@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks for the hot primitives: FPC/BDI compression,
+//! the cacheline-aligned range check, metadata codecs, and the sub-block
+//! locator. These are not paper figures; they guard the simulator's own
+//! performance.
+
+use baryon_compress::{bdi, cpack, fpc, Cf, RangeCompressor};
+use baryon_mem::frfcfs::DetailedDram;
+use baryon_mem::{DeviceConfig, MemDevice};
+use baryon_core::metadata::stage_entry::RangeRef;
+use baryon_core::metadata::{locate_sub_block, RemapEntry};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn narrow_ints(n: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n);
+    let mut i = 0u32;
+    while v.len() < n {
+        v.extend_from_slice(&(1_000_000 + i % 100).to_le_bytes());
+        i += 1;
+    }
+    v
+}
+
+fn random_bytes(n: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n);
+    let mut x = 0x12345u64;
+    while v.len() < n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let compressible = narrow_ints(64);
+    let incompressible = random_bytes(64);
+    c.bench_function("fpc_size_64B_compressible", |b| {
+        b.iter(|| fpc::compressed_size(black_box(&compressible)))
+    });
+    c.bench_function("fpc_size_64B_random", |b| {
+        b.iter(|| fpc::compressed_size(black_box(&incompressible)))
+    });
+    c.bench_function("bdi_size_64B_compressible", |b| {
+        b.iter(|| bdi::compressed_size(black_box(&compressible)))
+    });
+    c.bench_function("bdi_size_64B_random", |b| {
+        b.iter(|| bdi::compressed_size(black_box(&incompressible)))
+    });
+    let big = narrow_ints(1024);
+    c.bench_function("range_best_1kB", |b| {
+        let rc = RangeCompressor::cacheline_aligned();
+        b.iter(|| rc.best_range(black_box(&big), 1))
+    });
+}
+
+fn bench_metadata(c: &mut Criterion) {
+    let mut entry = RemapEntry::empty();
+    entry.set_range(0, Cf::X4);
+    entry.set_range(4, Cf::X2);
+    entry.set_range(6, Cf::X1);
+    c.bench_function("remap_encode16", |b| {
+        b.iter(|| black_box(entry).encode16())
+    });
+    let bits = entry.encode16();
+    c.bench_function("remap_decode16", |b| {
+        b.iter(|| RemapEntry::decode16(black_box(bits)))
+    });
+    let range = RangeRef {
+        blk_off: 7,
+        sub_off: 2,
+        cf: Cf::X2,
+        dirty: true,
+    };
+    c.bench_function("stage_slot_encode8", |b| b.iter(|| black_box(range).encode8()));
+
+    let entries: Vec<RemapEntry> = (0..8)
+        .map(|i| {
+            let mut e = RemapEntry::empty();
+            e.set_range(0, Cf::X2);
+            e.set_range(4, if i % 2 == 0 { Cf::X4 } else { Cf::X2 });
+            e
+        })
+        .collect();
+    c.bench_function("locate_sub_block", |b| {
+        b.iter(|| locate_sub_block(black_box(&entries), 6, 5))
+    });
+}
+
+fn bench_devices(c: &mut Criterion) {
+    c.bench_function("dram_simple_model_stream", |b| {
+        b.iter_batched(
+            || MemDevice::new(DeviceConfig::ddr4_3200()),
+            |mut d| {
+                let mut now = 0u64;
+                for i in 0..256u64 {
+                    now += 40;
+                    d.access(now, i * 64, 64, false);
+                }
+                d
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("dram_detailed_model_stream", |b| {
+        b.iter_batched(
+            DetailedDram::table1,
+            |mut d| {
+                let mut now = 0u64;
+                for i in 0..256u64 {
+                    now += 40;
+                    d.access(now, i * 64, 64, false);
+                }
+                d
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cpack(c: &mut Criterion) {
+    let compressible = narrow_ints(64);
+    let incompressible = random_bytes(64);
+    c.bench_function("cpack_size_64B_compressible", |b| {
+        b.iter(|| cpack::compressed_size(black_box(&compressible)))
+    });
+    c.bench_function("cpack_size_64B_random", |b| {
+        b.iter(|| cpack::compressed_size(black_box(&incompressible)))
+    });
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    use baryon_core::config::BaryonConfig;
+    use baryon_core::system::{ControllerKind, System, SystemConfig};
+    use baryon_workloads::{by_name, Scale};
+    let scale = Scale { divisor: 2048 };
+    let w = by_name("505.mcf_r", scale).expect("workload");
+    c.bench_function("system_step_1k_insts_per_core", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = SystemConfig::with_controller(
+                    scale,
+                    ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
+                );
+                cfg.warmup_insts = 0;
+                System::new(cfg, &w, 1)
+            },
+            |mut sys| sys.run(1_000),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compressors,
+    bench_cpack,
+    bench_metadata,
+    bench_devices,
+    bench_simulator_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Table I: system configuration. Prints the resolved simulated machine and
+//! the metadata/SRAM budget claims of §III-B (448 kB stage tag array at
+//! paper scale, 2 B remap entries = 0.1% of memory, 32 kB remap cache).
+
+use baryon_bench::{banner, write_csv, Params};
+use baryon_cache::HierarchyConfig;
+use baryon_core::config::BaryonConfig;
+use baryon_mem::DeviceConfig;
+use baryon_workloads::Scale;
+
+fn main() {
+    let params = Params::from_env();
+    banner("Table I", "system configuration (paper scale and bench scale)");
+
+    let mut rows = Vec::new();
+    for scale in [Scale { divisor: 1 }, params.scale] {
+        let cfg = BaryonConfig::default_cache_mode(scale);
+        let hier = if scale.divisor == 1 {
+            HierarchyConfig::table1()
+        } else {
+            HierarchyConfig::table1_scaled(scale.divisor)
+        };
+        let dram = DeviceConfig::ddr4_3200();
+        let nvm = DeviceConfig::nvm();
+        let (stage_tag, remap_cache) = cfg.sram_budget();
+        let label = if scale.divisor == 1 {
+            "paper (divisor 1)".to_owned()
+        } else {
+            format!("bench (divisor {})", scale.divisor)
+        };
+
+        println!("\n--- {label} ---");
+        println!("cores             : {} x86-64 @ 3.2 GHz", hier.cores);
+        println!(
+            "L1D               : {}-way, {} kB/core",
+            hier.l1d.ways,
+            hier.l1d.capacity() >> 10
+        );
+        println!(
+            "L2                : {}-way, {} kB/core, {}-cycle",
+            hier.l2.ways,
+            hier.l2.capacity() >> 10,
+            hier.l2.latency
+        );
+        println!(
+            "LLC               : {}-way, {} kB shared, {}-cycle",
+            hier.llc.ways,
+            hier.llc.capacity() >> 10,
+            hier.llc.latency
+        );
+        println!(
+            "stage tag array   : {} sets, {}-way, {}-cycle ({} kB SRAM)",
+            cfg.stage_sets(),
+            cfg.stage_ways,
+            cfg.stage_tag_latency,
+            stage_tag >> 10
+        );
+        println!(
+            "remap cache       : {} kB, {}-cycle",
+            remap_cache >> 10,
+            cfg.remap_cache_latency
+        );
+        println!(
+            "compressor        : FPC/BDI, {}-cycle decompression",
+            cfg.decompress_cycles
+        );
+        println!(
+            "fast memory       : {} ({} MB, {} ch x {} rk x {} banks)",
+            dram.name,
+            cfg.fast_bytes >> 20,
+            dram.channels,
+            dram.ranks,
+            dram.banks_per_rank
+        );
+        println!(
+            "slow memory       : {} ({} MB, {} ch x {} rk x {} banks, rd {} cyc / wr +{} cyc)",
+            nvm.name,
+            cfg.slow_bytes >> 20,
+            nvm.channels,
+            nvm.ranks,
+            nvm.banks_per_rank,
+            nvm.hit_latency,
+            nvm.write_extra
+        );
+        println!(
+            "stage area        : {} kB ({} blocks); data area {} kB",
+            cfg.stage_bytes >> 10,
+            cfg.stage_blocks(),
+            cfg.data_area_bytes() >> 10
+        );
+        let remap_frac =
+            cfg.remap_table_bytes() as f64 / (cfg.fast_bytes + cfg.slow_bytes) as f64;
+        println!(
+            "remap table       : {} kB = {:.3}% of total memory (paper: ~0.1%)",
+            cfg.remap_table_bytes() >> 10,
+            100.0 * remap_frac
+        );
+
+        rows.push(format!(
+            "{label},{},{},{},{},{},{},{:.5}",
+            hier.cores,
+            cfg.fast_bytes,
+            cfg.slow_bytes,
+            cfg.stage_bytes,
+            stage_tag,
+            remap_cache,
+            remap_frac
+        ));
+    }
+
+    // Paper-scale checks printed as assertions so regressions are loud.
+    let paper = BaryonConfig::default_cache_mode(Scale { divisor: 1 });
+    let (stage_tag, remap_cache) = paper.sram_budget();
+    assert_eq!(stage_tag, 448 << 10, "stage tag array must be 448 kB at paper scale");
+    assert_eq!(remap_cache, 32 << 10);
+    assert_eq!(paper.stage_sets(), 8192);
+    println!("\npaper-scale invariants hold: 448 kB stage tags, 8192 sets, 32 kB remap cache");
+
+    // The §II-B/§III-B metadata-cost argument, quantified.
+    let budget = baryon_core::budget::MetadataBudget::of(&paper);
+    println!(
+        "metadata budget   : remap table {} MB ({:.3}% of memory); a naive \
+         per-sub-block scheme would be {:.0}x bigger ({} MB); total \
+         controller SRAM {} kB",
+        budget.remap_table_bytes >> 20,
+        100.0 * budget.table_fraction(),
+        budget.naive_blowup(),
+        budget.naive_subblock_table_bytes >> 20,
+        budget.total_sram_bytes() >> 10
+    );
+
+    write_csv(
+        "table1",
+        "config,cores,fast_bytes,slow_bytes,stage_bytes,stage_tag_sram,remap_cache_sram,remap_table_frac",
+        &rows,
+    );
+}

@@ -1,0 +1,118 @@
+//! Assembles every `target/baryon-results/*.csv` produced by the bench
+//! targets into a single markdown report.
+//!
+//! ```sh
+//! cargo bench -p baryon-bench            # generate all results
+//! cargo run -p baryon-bench --bin report # render baryon-results/report.md
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// The benches, in the paper's presentation order, with one-line blurbs.
+const SECTIONS: [(&str, &str); 10] = [
+    ("table1", "Table I: resolved system configuration and SRAM budget"),
+    ("fig3", "Fig 3: staged (S) vs committed (C) access breakdown"),
+    ("fig4", "Fig 4: stage-phase miss-rate distribution (normalized time)"),
+    ("fig9", "Fig 9: cache-mode speedups, normalized to Simple"),
+    ("fig10", "Fig 10: flat mode — Baryon-FA over Hybrid2"),
+    ("fig11", "Fig 11: fast-memory serve rate and bandwidth bloat"),
+    ("fig12", "Fig 12: compression-scheme ablations"),
+    ("fig13", "Fig 13: design-parameter exploration"),
+    ("energy", "§IV-B: memory-system energy"),
+    ("extra", "Prose claims, §III-F discussions and related design points"),
+];
+
+fn csv_to_markdown(csv: &str) -> String {
+    let mut out = String::new();
+    let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+    let Some(header) = lines.next() else {
+        return "(empty)\n".to_owned();
+    };
+    let cols = header.split(',').count();
+    let fmt_row = |line: &str| {
+        let mut cells: Vec<&str> = line.split(',').collect();
+        cells.resize(cols, "");
+        format!("| {} |", cells.join(" | "))
+    };
+    let _ = writeln!(out, "{}", fmt_row(header));
+    let _ = writeln!(out, "|{}", "---|".repeat(cols));
+    for line in lines {
+        let _ = writeln!(out, "{}", fmt_row(line));
+    }
+    out
+}
+
+fn results_dir() -> PathBuf {
+    std::env::var("BARYON_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("baryon-results")
+        })
+}
+
+fn main() {
+    let dir = results_dir();
+    let mut report = String::new();
+    let _ = writeln!(report, "# Baryon reproduction — collected results\n");
+    let _ = writeln!(
+        report,
+        "Rendered from the CSV outputs of `cargo bench -p baryon-bench`. \
+         See EXPERIMENTS.md for the paper-vs-measured analysis.\n"
+    );
+
+    let mut missing = Vec::new();
+    for (id, blurb) in SECTIONS {
+        let path = dir.join(format!("{id}.csv"));
+        let _ = writeln!(report, "## {id}\n\n{blurb}\n");
+        match fs::read_to_string(&path) {
+            Ok(csv) => {
+                let _ = writeln!(report, "{}", csv_to_markdown(&csv));
+            }
+            Err(_) => {
+                missing.push(id);
+                let _ = writeln!(
+                    report,
+                    "*(not yet generated — run `cargo bench -p baryon-bench --bench {id}`)*\n"
+                );
+            }
+        }
+    }
+
+    fs::create_dir_all(&dir).expect("create results dir");
+    let out = dir.join("report.md");
+    fs::write(&out, &report).expect("write report");
+    println!("report written to {}", out.display());
+    if missing.is_empty() {
+        println!("all {} sections present", SECTIONS.len());
+    } else {
+        println!("missing sections: {missing:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_renders_as_table() {
+        let md = csv_to_markdown("a,b\n1,2\n3,4\n");
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let md = csv_to_markdown("a,b,c\n1\n");
+        assert!(md.contains("| 1 |  |  |"));
+    }
+
+    #[test]
+    fn empty_csv_is_marked() {
+        assert_eq!(csv_to_markdown(""), "(empty)\n");
+    }
+}

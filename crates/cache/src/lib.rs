@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! CPU-side cache models for the Baryon reproduction.
+//!
+//! The paper simulates a 16-core x86 machine (Table I) whose cache hierarchy
+//! filters the memory reference stream before it reaches the hybrid memory
+//! controller:
+//!
+//! * L1D: 8-way, 64 kB per core,
+//! * L2: 8-way, 1 MB per core, 9-cycle latency,
+//! * LLC: 16-way, 16 MB shared, 38-cycle latency,
+//! * 64 B cachelines, LRU everywhere.
+//!
+//! [`SetAssocCache`] is the single-level building block; [`Hierarchy`] wires
+//! per-core L1D + L2 and a shared LLC together and reports, for each access,
+//! where it hit and which dirty line (if any) must be written back to memory.
+//!
+//! The workloads in this reproduction are data traces, so the L1I from
+//! Table I exists only as configuration (instruction fetch is not simulated);
+//! this matches how trace-driven evaluations of memory-system papers use it.
+//!
+//! # Examples
+//!
+//! ```
+//! use baryon_cache::{CacheConfig, SetAssocCache};
+//!
+//! let mut cache = SetAssocCache::new(CacheConfig::new(64, 4, 64, 1));
+//! assert!(!cache.access(0x1000, false).hit);
+//! assert!(cache.access(0x1000, false).hit);
+//! ```
+
+pub mod hierarchy;
+pub mod setassoc;
+
+pub use hierarchy::{Hierarchy, HierarchyConfig, HitLevel};
+pub use setassoc::{AccessResult, CacheConfig, Eviction, SetAssocCache};

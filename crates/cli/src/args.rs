@@ -1,0 +1,108 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use baryon_workloads::Scale;
+use std::collections::BTreeMap;
+
+/// Parsed command line: one positional command plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (without the program name).
+    ///
+    /// Unknown shapes (`--flag` without a value, stray positionals after
+    /// the command) abort with an error message, keeping mistakes loud.
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Self {
+        let mut out = Args::default();
+        let mut it = items.into_iter();
+        while let Some(item) = it.next() {
+            if let Some(key) = item.strip_prefix("--") {
+                match it.next() {
+                    Some(value) => {
+                        out.flags.insert(key.to_owned(), value);
+                    }
+                    None => {
+                        eprintln!("flag --{key} needs a value");
+                        std::process::exit(2);
+                    }
+                }
+            } else if out.command.is_none() {
+                out.command = Some(item);
+            } else {
+                eprintln!("unexpected argument: {item}");
+                std::process::exit(2);
+            }
+        }
+        out
+    }
+
+    /// The positional command, if given.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// A flag's value, if present.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.flags.get(key).cloned()
+    }
+
+    /// A mandatory flag; exits with a message if missing.
+    pub fn require(&self, key: &str) -> String {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required flag --{key}");
+            std::process::exit(2);
+        })
+    }
+
+    /// A numeric flag with a default; exits on unparsable input.
+    pub fn num(&self, key: &str, default: u64) -> u64 {
+        match self.flags.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("flag --{key} expects a number, got {v}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// The capacity scale (`--scale` divisor, default 256).
+    pub fn scale(&self) -> Scale {
+        Scale {
+            divisor: self.num("scale", 256),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> Args {
+        Args::parse(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn command_and_flags() {
+        let a = parse(&["run", "--workload", "505.mcf_r", "--insts", "1000"]);
+        assert_eq!(a.command(), Some("run"));
+        assert_eq!(a.get("workload").as_deref(), Some("505.mcf_r"));
+        assert_eq!(a.num("insts", 5), 1000);
+        assert_eq!(a.num("warmup", 7), 7);
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = parse(&[]);
+        assert_eq!(a.command(), None);
+        assert!(a.get("x").is_none());
+    }
+
+    #[test]
+    fn scale_default() {
+        assert_eq!(parse(&["list"]).scale().divisor, 256);
+        assert_eq!(parse(&["list", "--scale", "512"]).scale().divisor, 512);
+    }
+}

@@ -1,0 +1,190 @@
+#![warn(missing_docs)]
+
+//! `baryon-cli` — run hybrid-memory experiments from the command line.
+//!
+//! ```text
+//! baryon-cli list
+//! baryon-cli run --workload 505.mcf_r --controller baryon --insts 150000
+//! baryon-cli run --workload pr.twi --controller dice --scale 512 --csv out.csv
+//! baryon-cli compare --workload ycsb-a
+//! baryon-cli record --workload ycsb-a --ops 100000 --out trace.bin
+//! ```
+//!
+//! Controllers: `baryon`, `baryon-fa`, `baryon-mixed`, `simple`, `unison`,
+//! `dice`, `hybrid2`, `micro-sector`, `os-paging`.
+
+use baryon_core::config::BaryonConfig;
+use baryon_core::metrics::RunResult;
+use baryon_core::system::{ControllerKind, System, SystemConfig};
+use baryon_workloads::{by_name, registry, RecordedTrace, Scale};
+use std::process::ExitCode;
+
+mod args;
+
+use args::Args;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  baryon-cli list\n  baryon-cli run --workload <name> [--controller <name>] \
+         [--insts N] [--warmup N] [--scale D] [--seed S] [--mlp N] [--csv FILE]\n  \
+         baryon-cli compare --workload <name> [--insts N] [--scale D]\n  \
+         baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n\n\
+         controllers: baryon baryon-fa baryon-mixed simple unison dice hybrid2 \
+         micro-sector os-paging"
+    );
+    std::process::exit(2)
+}
+
+fn controller_kind(name: &str, scale: Scale) -> Option<ControllerKind> {
+    Some(match name {
+        "baryon" => ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
+        "baryon-fa" => ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)),
+        "baryon-mixed" => ControllerKind::Baryon(BaryonConfig::default_mixed(scale, 0.5)),
+        "simple" => ControllerKind::Simple,
+        "unison" => ControllerKind::Unison,
+        "dice" => ControllerKind::Dice,
+        "hybrid2" => ControllerKind::Hybrid2,
+        "micro-sector" => ControllerKind::MicroSector,
+        "os-paging" => ControllerKind::OsPaging,
+        _ => return None,
+    })
+}
+
+fn print_result(r: &RunResult) {
+    println!("{r}");
+}
+
+fn csv_line(r: &RunResult) -> String {
+    format!(
+        "{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{:.4}",
+        r.controller,
+        r.workload,
+        r.total_cycles,
+        r.instructions,
+        r.ipc(),
+        r.serve.fast_serve_rate(),
+        r.serve.bloat_factor(),
+        r.read_latency.percentile(50.0),
+        r.read_latency.percentile(99.0),
+        r.llc_misses,
+        r.energy_mj()
+    )
+}
+
+const CSV_HEADER: &str = "controller,workload,cycles,instructions,ipc,serve_rate,\
+                          bloat,lat_p50,lat_p99,llc_misses,energy_mj";
+
+fn cmd_list(args: &Args) -> ExitCode {
+    let scale = args.scale();
+    println!("{:<18} {:>10} {:>7} {:<8} pattern", "workload", "footprint", "shared", "gap");
+    for w in registry(scale) {
+        println!(
+            "{:<18} {:>7} MB {:>7} {:<8.1} {:?}",
+            w.name,
+            w.footprint >> 20,
+            w.shared,
+            w.mean_gap,
+            w.kind
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let scale = args.scale();
+    let wname = args.require("workload");
+    let Some(workload) = by_name(&wname, scale) else {
+        eprintln!("unknown workload {wname}; try `baryon-cli list`");
+        return ExitCode::FAILURE;
+    };
+    let cname = args.get("controller").unwrap_or_else(|| "baryon".into());
+    let Some(kind) = controller_kind(&cname, scale) else {
+        eprintln!("unknown controller {cname}");
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = SystemConfig::with_controller(scale, kind);
+    cfg.warmup_insts = args.num("warmup", 50_000);
+    cfg.mlp = args.num("mlp", 1) as usize;
+    let mut system = System::new(cfg, &workload, args.num("seed", 42));
+    let r = system.run(args.num("insts", 150_000));
+    print_result(&r);
+    if let Some(path) = args.get("csv") {
+        let body = format!("{CSV_HEADER}\n{}\n", csv_line(&r));
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("csv             : {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &Args) -> ExitCode {
+    let scale = args.scale();
+    let wname = args.require("workload");
+    let Some(workload) = by_name(&wname, scale) else {
+        eprintln!("unknown workload {wname}");
+        return ExitCode::FAILURE;
+    };
+    let insts = args.num("insts", 100_000);
+    println!(
+        "{:<14} {:>12} {:>8} {:>8} {:>9} {:>9}",
+        "controller", "cycles", "speedup", "serve%", "lat p50", "lat p99"
+    );
+    let mut base = None;
+    for name in [
+        "simple", "unison", "dice", "micro-sector", "os-paging", "hybrid2", "baryon-fa",
+        "baryon-mixed", "baryon",
+    ] {
+        let kind = controller_kind(name, scale).expect("static list");
+        let mut cfg = SystemConfig::with_controller(scale, kind);
+        cfg.warmup_insts = args.num("warmup", 50_000);
+        let r = System::new(cfg, &workload, args.num("seed", 42)).run(insts);
+        let base_cycles = *base.get_or_insert(r.total_cycles);
+        println!(
+            "{:<14} {:>12} {:>7.2}x {:>7.1}% {:>9} {:>9}",
+            r.controller,
+            r.total_cycles,
+            base_cycles as f64 / r.total_cycles as f64,
+            100.0 * r.serve.fast_serve_rate(),
+            r.read_latency.percentile(50.0),
+            r.read_latency.percentile(99.0),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_record(args: &Args) -> ExitCode {
+    let scale = args.scale();
+    let wname = args.require("workload");
+    let Some(workload) = by_name(&wname, scale) else {
+        eprintln!("unknown workload {wname}");
+        return ExitCode::FAILURE;
+    };
+    let out = args.require("out");
+    let ops = args.num("ops", 100_000) as usize;
+    let core = args.num("core", 0) as usize;
+    let mut g = workload.spawn_core(core, 16, args.num("seed", 42));
+    let trace = RecordedTrace::record(g.as_mut(), ops);
+    match std::fs::File::create(&out).and_then(|f| trace.save(f)) {
+        Ok(()) => {
+            println!("recorded {ops} ops of {wname} (core {core}) to {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    match args.command() {
+        Some("list") => cmd_list(&args),
+        Some("run") => cmd_run(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("record") => cmd_record(&args),
+        _ => usage(),
+    }
+}

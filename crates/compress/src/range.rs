@@ -1,0 +1,346 @@
+//! Baryon's contiguous-and-aligned range compression (§III-B, §III-E).
+//!
+//! Baryon fetches sub-blocks in *contiguous, aligned ranges* of 1, 2, or 4
+//! sub-blocks (Rule 2), each range compressed into exactly one 256 B physical
+//! sub-block slot, giving a compression factor ([`Cf`]) of 1, 2, or 4.
+//!
+//! With **cacheline-aligned compression** (Fig 7), a CF = n range must have
+//! every 64·n-byte chunk *independently* compressible to ≤ 64 B, so a single
+//! DDRx 64 B burst can be decompressed without fetching the rest of the slot.
+//! Without it (the Fig 12 ablation), the whole 256·n bytes only need to
+//! compress to ≤ 256 B jointly, which compresses better but forces the whole
+//! slot to be transferred per access.
+
+use crate::{best_compressed_size, compress_extended, CACHELINE_BYTES, SUB_BLOCK_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// A Baryon compression factor: how many 256 B sub-blocks fit in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Cf {
+    /// Uncompressed: one sub-block per slot.
+    X1,
+    /// Two sub-blocks per slot.
+    X2,
+    /// Four sub-blocks per slot.
+    X4,
+}
+
+impl Cf {
+    /// The numeric factor (1, 2, or 4).
+    pub fn factor(self) -> usize {
+        match self {
+            Cf::X1 => 1,
+            Cf::X2 => 2,
+            Cf::X4 => 4,
+        }
+    }
+
+    /// Number of sub-blocks covered by a range of this CF.
+    pub fn sub_blocks(self) -> usize {
+        self.factor()
+    }
+
+    /// All CFs from largest to smallest, the order fetch trials run in.
+    pub fn descending() -> [Cf; 3] {
+        [Cf::X4, Cf::X2, Cf::X1]
+    }
+
+    /// Builds a CF from its numeric factor.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baryon_compress::Cf;
+    /// assert_eq!(Cf::from_factor(4), Some(Cf::X4));
+    /// assert_eq!(Cf::from_factor(3), None);
+    /// ```
+    pub fn from_factor(factor: usize) -> Option<Cf> {
+        match factor {
+            1 => Some(Cf::X1),
+            2 => Some(Cf::X2),
+            4 => Some(Cf::X4),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Cf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x", self.factor())
+    }
+}
+
+/// Decides whether sub-block ranges fit in one slot under a compression mode.
+///
+/// The sub-block (slot) size defaults to Baryon's 256 B but is configurable
+/// for the Baryon-64B variant evaluated in Fig 9.
+///
+/// # Examples
+///
+/// ```
+/// use baryon_compress::{Cf, RangeCompressor};
+///
+/// let rc = RangeCompressor::cacheline_aligned();
+/// // 512 B of zeros: both 256 B chunks compress to ≤ 64 B, so CF=2 fits.
+/// assert!(rc.fits(&vec![0u8; 512], Cf::X2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeCompressor {
+    cacheline_aligned: bool,
+    sub_bytes: usize,
+    cpack: bool,
+}
+
+impl RangeCompressor {
+    /// The default Baryon mode: every 64·n-byte chunk independently
+    /// compressible (Fig 7 right), 256 B sub-blocks.
+    pub fn cacheline_aligned() -> Self {
+        RangeCompressor {
+            cacheline_aligned: true,
+            sub_bytes: SUB_BLOCK_BYTES,
+            cpack: false,
+        }
+    }
+
+    /// The ablation mode: the range only needs to compress jointly
+    /// (Fig 7 left / Fig 12 "w/o cacheline-aligned"), 256 B sub-blocks.
+    pub fn whole_range() -> Self {
+        RangeCompressor {
+            cacheline_aligned: false,
+            sub_bytes: SUB_BLOCK_BYTES,
+            cpack: false,
+        }
+    }
+
+    /// Returns a copy using a different sub-block (slot) size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sub_bytes` is a multiple of 64.
+    pub fn with_sub_bytes(mut self, sub_bytes: usize) -> Self {
+        assert!(
+            sub_bytes >= CACHELINE_BYTES && sub_bytes.is_multiple_of(CACHELINE_BYTES),
+            "sub-block size must be a multiple of 64 B"
+        );
+        self.sub_bytes = sub_bytes;
+        self
+    }
+
+    /// Returns a copy that also tries the C-Pack compressor (an extension
+    /// beyond the paper's FPC + BDI hardware).
+    pub fn with_cpack(mut self) -> Self {
+        self.cpack = true;
+        self
+    }
+
+    /// Whether cacheline-aligned chunking is enforced.
+    pub fn is_cacheline_aligned(&self) -> bool {
+        self.cacheline_aligned
+    }
+
+    /// The best compressed size of a chunk under this compressor set.
+    pub fn chunk_size(&self, data: &[u8]) -> usize {
+        if self.cpack {
+            compress_extended(data).size
+        } else {
+            best_compressed_size(data)
+        }
+    }
+
+    /// The sub-block (slot) size in bytes.
+    pub fn sub_bytes(&self) -> usize {
+        self.sub_bytes
+    }
+
+    /// Does a range of `cf.sub_blocks()` sub-blocks, whose raw bytes are
+    /// `data`, fit in one sub-block slot at compression factor `cf`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != cf.sub_blocks() * self.sub_bytes()`.
+    pub fn fits(&self, data: &[u8], cf: Cf) -> bool {
+        assert_eq!(
+            data.len(),
+            cf.sub_blocks() * self.sub_bytes,
+            "range data must be exactly {} sub-blocks",
+            cf.sub_blocks()
+        );
+        match cf {
+            Cf::X1 => true, // an uncompressed sub-block always fits its slot
+            _ => {
+                if self.cacheline_aligned {
+                    let chunk = CACHELINE_BYTES * cf.factor();
+                    data.chunks_exact(chunk)
+                        .all(|c| self.chunk_size(c) <= CACHELINE_BYTES)
+                } else {
+                    self.chunk_size(data) <= self.sub_bytes
+                }
+            }
+        }
+    }
+
+    /// The largest CF at which `data` (which must be exactly 4 sub-blocks,
+    /// i.e. a maximal candidate range) can be stored: tries CF=4 over the
+    /// whole window, then CF=2 over the aligned half containing `pos`, then
+    /// CF=1.
+    ///
+    /// `pos` is the index (0–3) of the demanded sub-block within the 4-range.
+    ///
+    /// Returns the chosen CF and the offset (in sub-blocks, relative to the
+    /// 4-range start) of the chosen range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 4 * self.sub_bytes()` or `pos >= 4`.
+    pub fn best_range(&self, data: &[u8], pos: usize) -> (Cf, usize) {
+        assert_eq!(data.len(), 4 * self.sub_bytes, "need a full 4-sub-block window");
+        assert!(pos < 4, "pos must be 0..4");
+        if self.fits(data, Cf::X4) {
+            return (Cf::X4, 0);
+        }
+        let half = pos / 2;
+        let half_data = &data[half * 2 * self.sub_bytes..(half + 1) * 2 * self.sub_bytes];
+        if self.fits(half_data, Cf::X2) {
+            return (Cf::X2, half * 2);
+        }
+        (Cf::X1, pos)
+    }
+
+    /// The maximum CF for a buffer that is exactly 1, 2, or 4 sub-blocks,
+    /// testing the whole buffer as a single range.
+    ///
+    /// Returns `None` if the buffer length is not 1, 2, or 4 sub-blocks.
+    pub fn max_cf(&self, data: &[u8]) -> Option<Cf> {
+        if !data.len().is_multiple_of(self.sub_bytes) {
+            return None;
+        }
+        let cf = Cf::from_factor(data.len() / self.sub_bytes)?;
+        self.fits(data, cf).then_some(cf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compressible(n: usize) -> Vec<u8> {
+        // Small 32-bit integers: FPC-friendly everywhere.
+        let mut v = Vec::with_capacity(n);
+        let mut i = 0u32;
+        while v.len() < n {
+            v.extend_from_slice(&(i % 7).to_le_bytes());
+            i += 1;
+        }
+        v
+    }
+
+    fn incompressible(n: usize) -> Vec<u8> {
+        let mut v = Vec::with_capacity(n);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        while v.len() < n {
+            x = x.wrapping_mul(0xD120_0000_0FB3_C1E7).wrapping_add(0x2545_F491_4F6C_DD1D);
+            v.extend_from_slice(&x.to_le_bytes());
+        }
+        v
+    }
+
+    #[test]
+    fn cf_factors() {
+        assert_eq!(Cf::X1.factor(), 1);
+        assert_eq!(Cf::X2.factor(), 2);
+        assert_eq!(Cf::X4.factor(), 4);
+        assert_eq!(Cf::descending(), [Cf::X4, Cf::X2, Cf::X1]);
+    }
+
+    #[test]
+    fn cf1_always_fits() {
+        let rc = RangeCompressor::cacheline_aligned();
+        assert!(rc.fits(&incompressible(256), Cf::X1));
+    }
+
+    #[test]
+    fn zeros_fit_cf4_both_modes() {
+        for rc in [RangeCompressor::cacheline_aligned(), RangeCompressor::whole_range()] {
+            assert!(rc.fits(&vec![0u8; 1024], Cf::X4));
+        }
+    }
+
+    #[test]
+    fn incompressible_fails_cf2() {
+        let rc = RangeCompressor::cacheline_aligned();
+        assert!(!rc.fits(&incompressible(512), Cf::X2));
+    }
+
+    #[test]
+    fn cacheline_aligned_is_stricter() {
+        // Build 512 B that compresses jointly but where one 128 B chunk does
+        // not independently reach 2x: half small ints, half random.
+        let mut data = compressible(384);
+        data.extend_from_slice(&incompressible(128));
+        let loose = RangeCompressor::whole_range();
+        let strict = RangeCompressor::cacheline_aligned();
+        if loose.fits(&data, Cf::X2) {
+            assert!(!strict.fits(&data, Cf::X2));
+        } else {
+            // At minimum, strict can never accept what loose rejects.
+            assert!(!strict.fits(&data, Cf::X2));
+        }
+    }
+
+    #[test]
+    fn best_range_prefers_cf4() {
+        let rc = RangeCompressor::cacheline_aligned();
+        let (cf, off) = rc.best_range(&compressible(1024), 2);
+        assert_eq!(cf, Cf::X4);
+        assert_eq!(off, 0);
+    }
+
+    #[test]
+    fn best_range_falls_back_to_half() {
+        let rc = RangeCompressor::cacheline_aligned();
+        // First half compressible, second half random; demand sub-block 0.
+        let mut data = compressible(512);
+        data.extend_from_slice(&incompressible(512));
+        let (cf, off) = rc.best_range(&data, 0);
+        assert_eq!(cf, Cf::X2);
+        assert_eq!(off, 0);
+        // Demand sub-block 3: its half is random, so CF1 at its position.
+        let (cf, off) = rc.best_range(&data, 3);
+        assert_eq!(cf, Cf::X1);
+        assert_eq!(off, 3);
+    }
+
+    #[test]
+    fn best_range_all_raw() {
+        let rc = RangeCompressor::cacheline_aligned();
+        let (cf, off) = rc.best_range(&incompressible(1024), 1);
+        assert_eq!(cf, Cf::X1);
+        assert_eq!(off, 1);
+    }
+
+    #[test]
+    fn max_cf_checks_length() {
+        let rc = RangeCompressor::cacheline_aligned();
+        assert_eq!(rc.max_cf(&vec![0u8; 768]), None);
+        assert_eq!(rc.max_cf(&vec![0u8; 512]), Some(Cf::X2));
+        assert_eq!(rc.max_cf(&incompressible(512)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn fits_length_mismatch_panics() {
+        RangeCompressor::cacheline_aligned().fits(&[0u8; 100], Cf::X1);
+    }
+
+    #[test]
+    fn from_factor_roundtrip() {
+        for cf in Cf::descending() {
+            assert_eq!(Cf::from_factor(cf.factor()), Some(cf));
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cf::X4.to_string(), "4x");
+    }
+}

@@ -1,0 +1,296 @@
+//! DICE [74]: a compressed DRAM cache with 64 B blocks (§IV-A).
+//!
+//! Modelled at the paper's configuration: direct-mapped with a *perfect*
+//! way predictor (no tag-probe cost) and bandwidth-efficient *spatial
+//! indexing* — the four lines of a 256 B group share one bucket, so one
+//! 64 B fast-memory access can return several compressed neighbours, and a
+//! fill packs as many group lines as compress into the bucket. Dirty lines
+//! write back individually. Decompression costs the same 5 cycles as
+//! Baryon (§IV-A).
+
+use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
+use baryon_compress::best_compressed_size;
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use baryon_workloads::{MemoryContents, Scale};
+
+const GROUP_LINES: usize = 4;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    group: Option<u64>,
+    /// Which of the group's four lines are packed here.
+    packed: u8,
+    dirty: u8,
+}
+
+/// DICE-specific counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiceCounters {
+    /// Line hits.
+    pub hits: u64,
+    /// Misses (bucket refills).
+    pub misses: u64,
+    /// Lines delivered per hit beyond the demanded one (compression
+    /// bandwidth benefit).
+    pub free_neighbours: u64,
+    /// Decompressions on the critical path.
+    pub decompressions: u64,
+}
+
+/// The DICE compressed DRAM cache baseline.
+#[derive(Debug, Clone)]
+pub struct DiceCache {
+    buckets: Vec<Bucket>,
+    devices: Devices,
+    serve: ServeCounter,
+    counters: DiceCounters,
+    decompress_cycles: Cycle,
+}
+
+impl DiceCache {
+    /// Builds the cache over the scaled fast memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled fast memory holds no buckets.
+    pub fn new(scale: Scale) -> Self {
+        let n = (scale.fast_bytes() / 64) as usize;
+        assert!(n > 0, "fast memory too small");
+        DiceCache {
+            buckets: vec![Bucket::default(); n],
+            devices: Devices::table1(),
+            serve: ServeCounter::default(),
+            counters: DiceCounters::default(),
+            decompress_cycles: 5,
+        }
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &DiceCounters {
+        &self.counters
+    }
+
+    fn bucket_of(&self, group: u64) -> usize {
+        (group % self.buckets.len() as u64) as usize
+    }
+
+    /// Greedily packs the group's lines around `line` into ≤ 64 B.
+    fn pack(&mut self, group: u64, line: usize, mem: &MemoryContents) -> u8 {
+        let sizes: Vec<usize> = (0..GROUP_LINES)
+            .map(|l| best_compressed_size(&mem.line(group * 256 + l as u64 * 64)))
+            .collect();
+        let mut total = sizes[line];
+        let mut mask = 1u8 << line;
+        // Spatial indexing packs forward neighbours first (the direction a
+        // sequential stream will touch next), then wraps to earlier lines.
+        for l in (line + 1..GROUP_LINES).chain(0..line) {
+            if total + sizes[l] <= 64 {
+                total += sizes[l];
+                mask |= 1 << l;
+            }
+        }
+        mask
+    }
+}
+
+impl MemoryController for DiceCache {
+    fn read(&mut self, now: Cycle, req: Request, mem: &mut MemoryContents) -> Response {
+        let line_addr = req.addr & !63;
+        let group = line_addr / 256;
+        let line = ((line_addr % 256) / 64) as usize;
+        let idx = self.bucket_of(group);
+        let fast_addr = idx as u64 * 64;
+
+        if self.buckets[idx].group == Some(group) && self.buckets[idx].packed >> line & 1 == 1 {
+            self.counters.hits += 1;
+            let done = self.devices.fast.access(now, fast_addr, 64, false);
+            let packed = self.buckets[idx].packed;
+            let mut latency = done - now;
+            let extras: Vec<u64> = if packed.count_ones() > 1 {
+                self.counters.decompressions += 1;
+                latency += self.decompress_cycles;
+                (0..GROUP_LINES)
+                    .filter(|l| *l != line && packed >> *l & 1 == 1)
+                    .map(|l| group * 256 + l as u64 * 64)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            self.counters.free_neighbours += extras.len() as u64;
+            self.serve.record_read(true);
+            self.serve.record_prefetch_lines(extras.len());
+            return Response {
+                latency,
+                served_by_fast: true,
+                extra_lines: extras,
+            };
+        }
+
+        // Miss: DICE's miss predictor launches the slow access in parallel
+        // with the in-DRAM tag probe (Alloy-style), so only the slow
+        // latency is on the critical path; the probe still costs bandwidth.
+        self.counters.misses += 1;
+        self.devices.fast.access(now, fast_addr, 64, false);
+        let done = self.devices.slow.access(now, line_addr, 64, false);
+        // Write back dirty lines of the displaced content.
+        let old = self.buckets[idx];
+        if let Some(og) = old.group {
+            let dirty = old.dirty.count_ones() as usize;
+            if dirty > 0 {
+                self.devices.fast.access(done, fast_addr, 64, false);
+                self.devices.slow.access(done, og * 256, dirty * 64, true);
+            }
+        }
+        let mask = self.pack(group, line, mem);
+        let fetch = mask.count_ones() as usize;
+        if fetch > 1 {
+            // Fetch the co-packed neighbours.
+            self.devices
+                .slow
+                .access(done, group * 256, (fetch - 1) * 64, false);
+        }
+        self.devices.fast.access(done, fast_addr, 64, true);
+        self.buckets[idx] = Bucket {
+            group: Some(group),
+            packed: mask,
+            dirty: 0,
+        };
+        self.serve.record_read(false);
+        Response {
+            latency: done - now,
+            served_by_fast: false,
+            extra_lines: Vec::new(),
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, addr: u64, mem: &mut MemoryContents) -> Cycle {
+        self.serve.record_writeback();
+        let line_addr = addr & !63;
+        let group = line_addr / 256;
+        let line = ((line_addr % 256) / 64) as usize;
+        let idx = self.bucket_of(group);
+        if self.buckets[idx].group == Some(group) && self.buckets[idx].packed >> line & 1 == 1 {
+            // Re-check packing: the updated line may not fit anymore.
+            let mask = self.pack(group, line, mem);
+            let b = &mut self.buckets[idx];
+            let evicted = b.packed & !mask;
+            if evicted != 0 {
+                // Lines squeezed out by growth: write dirty ones to slow.
+                let dirty_evicted = (evicted & b.dirty).count_ones() as usize;
+                b.packed = mask & b.packed | 1 << line;
+                b.dirty &= b.packed;
+                if dirty_evicted > 0 {
+                    self.devices
+                        .slow
+                        .access(now, group * 256, dirty_evicted * 64, true);
+                }
+            }
+            self.buckets[idx].dirty |= 1 << line;
+            self.devices.fast.access(now, idx as u64 * 64, 64, true)
+        } else {
+            self.devices.slow.access(now, line_addr, 64, true)
+        }
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        self.serve.finish(&self.devices)
+    }
+
+    fn export(&self, stats: &mut Stats) {
+        stats.set_counter("hits", self.counters.hits);
+        stats.set_counter("misses", self.counters.misses);
+        stats.set_counter("free_neighbours", self.counters.free_neighbours);
+        stats.set_counter("decompressions", self.counters.decompressions);
+        self.devices.export(stats);
+    }
+
+    fn reset_stats(&mut self) {
+        self.serve.reset();
+        self.counters = DiceCounters::default();
+        self.devices.reset_stats();
+    }
+
+    fn name(&self) -> &str {
+        "dice"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_workloads::{ProfileMix, ValueProfile};
+
+    fn ctrl() -> DiceCache {
+        DiceCache::new(Scale { divisor: 2048 })
+    }
+
+    fn compressible_mem() -> MemoryContents {
+        MemoryContents::new(ProfileMix::pure(ValueProfile::NarrowInt), 7)
+    }
+
+    fn random_mem() -> MemoryContents {
+        MemoryContents::new(ProfileMix::pure(ValueProfile::Random), 7)
+    }
+
+    #[test]
+    fn compressible_group_packs_multiple_lines() {
+        let mut c = ctrl();
+        let mut mem = compressible_mem();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        // The neighbour lines were packed: hitting them is fast.
+        let r = c.read(10_000, Request { addr: 64, core: 0 }, &mut mem);
+        assert!(r.served_by_fast);
+        assert!(!r.extra_lines.is_empty(), "co-packed lines decompress for free");
+    }
+
+    #[test]
+    fn incompressible_group_holds_one_line() {
+        let mut c = ctrl();
+        let mut mem = random_mem();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        let r = c.read(10_000, Request { addr: 64, core: 0 }, &mut mem);
+        assert!(!r.served_by_fast, "random data cannot pack neighbours");
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = ctrl();
+        let mut mem = random_mem();
+        assert!(!c.read(0, Request { addr: 0, core: 0 }, &mut mem).served_by_fast);
+        assert!(c.read(1000, Request { addr: 0, core: 0 }, &mut mem).served_by_fast);
+        assert_eq!(c.counters().hits, 1);
+    }
+
+    #[test]
+    fn conflicting_groups_evict() {
+        let mut c = ctrl();
+        let mut mem = random_mem();
+        let n = c.buckets.len() as u64;
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        c.read(1000, Request { addr: n * 256, core: 0 }, &mut mem); // same bucket
+        let r = c.read(2000, Request { addr: 0, core: 0 }, &mut mem);
+        assert!(!r.served_by_fast, "direct-mapped conflict");
+    }
+
+    #[test]
+    fn dirty_writeback_on_conflict() {
+        let mut c = ctrl();
+        let mut mem = random_mem();
+        let n = c.buckets.len() as u64;
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        c.writeback(10, 0, &mut mem);
+        let before = c.serve_stats().slow_bytes;
+        c.read(1000, Request { addr: n * 256, core: 0 }, &mut mem);
+        assert!(c.serve_stats().slow_bytes > before + 64);
+    }
+
+    #[test]
+    fn uncached_writeback_goes_slow() {
+        let mut c = ctrl();
+        let mut mem = random_mem();
+        c.writeback(0, 512, &mut mem);
+        assert_eq!(c.serve_stats().fast_bytes, 0);
+        assert_eq!(c.serve_stats().slow_bytes, 64);
+    }
+}

@@ -1,0 +1,440 @@
+//! Hybrid2 [67]: the flat-mode state-of-the-art baseline (§IV-A).
+//!
+//! Hybrid2 provisions a fixed slice of the fast memory as a sub-blocked
+//! cache zone (256 B sub-blocks, one data block per cache block, no
+//! compression) and uses the rest as OS-visible flat memory; hot blocks are
+//! *migrated* (full-block swap) from slow to fast. The migration trigger is
+//! an access-count threshold, approximating Hybrid2's write-cost-driven
+//! policy (the `k = 0` point of Baryon's Eq. 1); see DESIGN.md.
+
+use super::MetaModel;
+use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use baryon_workloads::{MemoryContents, Scale};
+use std::collections::HashMap;
+
+const BLOCK: u64 = 2048;
+const SUB: u64 = 256;
+
+/// Accesses to a slow block before it is migrated into the flat area.
+const MIGRATE_THRESHOLD: u32 = 32;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheBlock {
+    block: Option<u64>,
+    present: u8,
+    dirty: u8,
+}
+
+/// Hybrid2-specific counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hybrid2Counters {
+    /// Served from the fast flat area (original or migrated).
+    pub flat_hits: u64,
+    /// Served from the sub-block cache zone.
+    pub cache_hits: u64,
+    /// Sub-block fetches into the cache zone.
+    pub sub_fetches: u64,
+    /// Full-block migrations (swaps).
+    pub migrations: u64,
+    /// Served from slow memory.
+    pub slow_serves: u64,
+}
+
+/// The Hybrid2 flat-mode baseline.
+#[derive(Debug, Clone)]
+pub struct Hybrid2 {
+    /// OS blocks resident in the fast flat area initially.
+    flat_blocks: u64,
+    /// Sub-block cache zone (fully associative, FIFO).
+    cache: Vec<CacheBlock>,
+    cache_fifo: usize,
+    /// block -> cache zone index.
+    cache_map: HashMap<u64, usize>,
+    /// Migrated slow block -> flat slot (the displaced original moved to
+    /// the migrated block's slow home).
+    migrated: HashMap<u64, u64>,
+    /// Displaced original block -> the slow home it now occupies.
+    displaced: HashMap<u64, u64>,
+    /// Access counters for the migration trigger.
+    heat: HashMap<u64, u32>,
+    /// Round-robin cursor over flat slots for migration victims.
+    flat_cursor: u64,
+    devices: Devices,
+    meta: MetaModel,
+    serve: ServeCounter,
+    counters: Hybrid2Counters,
+    slow_base_blocks: u64,
+}
+
+impl Hybrid2 {
+    /// Builds the controller over the scaled memories: 1/8 of fast memory
+    /// is the cache zone, the rest is OS-visible flat space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled fast memory holds fewer than 16 blocks.
+    pub fn new(scale: Scale) -> Self {
+        let fast_blocks = scale.fast_bytes() / BLOCK;
+        assert!(fast_blocks >= 16, "fast memory too small");
+        let cache_blocks = (fast_blocks / 8).max(1) as usize;
+        let flat_blocks = fast_blocks - cache_blocks as u64;
+        Hybrid2 {
+            flat_blocks,
+            cache: vec![CacheBlock::default(); cache_blocks],
+            cache_fifo: 0,
+            cache_map: HashMap::new(),
+            migrated: HashMap::new(),
+            displaced: HashMap::new(),
+            heat: HashMap::new(),
+            flat_cursor: 0,
+            devices: Devices::table1(),
+            meta: MetaModel::new(32 << 10, 3, 0),
+            serve: ServeCounter::default(),
+            counters: Hybrid2Counters::default(),
+            slow_base_blocks: flat_blocks,
+        }
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &Hybrid2Counters {
+        &self.counters
+    }
+
+    /// The number of OS blocks initially resident in fast memory.
+    pub fn flat_blocks(&self) -> u64 {
+        self.flat_blocks
+    }
+
+    fn slow_addr(&self, block: u64, offset: u64) -> u64 {
+        (block.saturating_sub(self.slow_base_blocks)) * BLOCK + offset
+    }
+
+    fn cache_zone_addr(&self, idx: usize, offset: u64) -> u64 {
+        self.flat_blocks * BLOCK + idx as u64 * BLOCK + offset
+    }
+
+    /// Is `block` currently served by the fast flat area?
+    fn in_flat(&self, block: u64) -> bool {
+        if self.migrated.contains_key(&block) {
+            return true;
+        }
+        block < self.flat_blocks && !self.displaced.contains_key(&block)
+    }
+
+    fn flat_addr(&self, block: u64, offset: u64) -> u64 {
+        match self.migrated.get(&block) {
+            Some(slot) => slot * BLOCK + offset,
+            None => block * BLOCK + offset,
+        }
+    }
+
+    /// Migrates hot slow `block` into the flat area by swapping it with a
+    /// FIFO-chosen original.
+    fn migrate(&mut self, now: Cycle, block: u64) {
+        // Pick the next flat slot whose original still lives there: a slot
+        // hosting a migrated block has its identity original displaced, so
+        // `displaced` doubles as the "slot taken" set.
+        let mut slot = None;
+        for k in 0..self.flat_blocks {
+            let cand = (self.flat_cursor + k) % self.flat_blocks;
+            if !self.displaced.contains_key(&cand) {
+                slot = Some(cand);
+                self.flat_cursor = (cand + 1) % self.flat_blocks;
+                break;
+            }
+        }
+        let Some(slot) = slot else {
+            return; // everything already migrated/displaced
+        };
+        self.counters.migrations += 1;
+        // Full-block swap: both directions.
+        let sa = self.slow_addr(block, 0);
+        self.devices.slow.access(now, sa, BLOCK as usize, false);
+        self.devices
+            .fast
+            .access(now, slot * BLOCK, BLOCK as usize, false);
+        self.devices
+            .fast
+            .access(now, slot * BLOCK, BLOCK as usize, true);
+        self.devices.slow.access(now, sa, BLOCK as usize, true);
+        self.migrated.insert(block, slot);
+        self.displaced.insert(slot, block);
+        // Drop any cached sub-blocks of the migrated block.
+        if let Some(idx) = self.cache_map.remove(&block) {
+            self.cache[idx] = CacheBlock::default();
+        }
+        self.heat.remove(&block);
+    }
+
+    /// Fetches `sub` of slow `block` into the cache zone.
+    fn cache_fill(&mut self, now: Cycle, block: u64, sub: usize) {
+        self.counters.sub_fetches += 1;
+        let idx = match self.cache_map.get(&block) {
+            Some(i) => *i,
+            None => {
+                let victim = self.cache_fifo;
+                self.cache_fifo = (self.cache_fifo + 1) % self.cache.len();
+                if let Some(old) = self.cache[victim].block {
+                    self.cache_map.remove(&old);
+                    let dirty = self.cache[victim].dirty.count_ones() as usize;
+                    if dirty > 0 {
+                        self.devices.fast.access(
+                            now,
+                            self.cache_zone_addr(victim, 0),
+                            dirty * (SUB as usize),
+                            false,
+                        );
+                        self.devices.slow.access(
+                            now,
+                            self.slow_addr(old, 0),
+                            dirty * (SUB as usize),
+                            true,
+                        );
+                    }
+                }
+                self.cache[victim] = CacheBlock {
+                    block: Some(block),
+                    present: 0,
+                    dirty: 0,
+                };
+                self.cache_map.insert(block, victim);
+                victim
+            }
+        };
+        self.devices.slow.access(
+            now,
+            self.slow_addr(block, sub as u64 * SUB),
+            SUB as usize,
+            false,
+        );
+        self.devices.fast.access(
+            now,
+            self.cache_zone_addr(idx, sub as u64 * SUB),
+            SUB as usize,
+            true,
+        );
+        self.cache[idx].present |= 1 << sub;
+    }
+}
+
+impl MemoryController for Hybrid2 {
+    fn read(&mut self, now: Cycle, req: Request, _mem: &mut MemoryContents) -> Response {
+        let block = req.addr / BLOCK;
+        let sub = ((req.addr % BLOCK) / SUB) as usize;
+        let meta_lat = self.meta.lookup(now, block, &mut self.devices.fast);
+
+        if self.in_flat(block) {
+            self.counters.flat_hits += 1;
+            let addr = self.flat_addr(block, req.addr % BLOCK);
+            let done = self.devices.fast.access(now + meta_lat, addr, 64, false);
+            self.serve.record_read(true);
+            return Response {
+                latency: done - now,
+                served_by_fast: true,
+                extra_lines: Vec::new(),
+            };
+        }
+
+        // Displaced originals live at the migrated partner's slow home.
+        if let Some(partner) = self.displaced.get(&block).copied() {
+            self.counters.slow_serves += 1;
+            let addr = self.slow_addr(partner, req.addr % BLOCK);
+            let done = self.devices.slow.access(now + meta_lat, addr, 64, false);
+            self.serve.record_read(false);
+            return Response {
+                latency: done - now,
+                served_by_fast: false,
+                extra_lines: Vec::new(),
+            };
+        }
+
+        // Slow-home block: cache zone?
+        if let Some(idx) = self.cache_map.get(&block).copied() {
+            if self.cache[idx].present >> sub & 1 == 1 {
+                self.counters.cache_hits += 1;
+                let addr = self.cache_zone_addr(idx, req.addr % BLOCK);
+                let done = self.devices.fast.access(now + meta_lat, addr, 64, false);
+                // Cached activity heats the block towards migration.
+                let heat = self.heat.entry(block).or_insert(0);
+                *heat += 1;
+                if *heat >= MIGRATE_THRESHOLD {
+                    self.migrate(done, block);
+                }
+                self.serve.record_read(true);
+                return Response {
+                    latency: done - now,
+                    served_by_fast: true,
+                    extra_lines: Vec::new(),
+                };
+            }
+        }
+
+        // Slow serve + heat accounting + background fill/migration.
+        self.counters.slow_serves += 1;
+        let done = self
+            .devices
+            .slow
+            .access(now + meta_lat, self.slow_addr(block, req.addr % BLOCK), 64, false);
+        let heat = self.heat.entry(block).or_insert(0);
+        *heat += 1;
+        let hot = *heat >= MIGRATE_THRESHOLD;
+        if hot {
+            self.migrate(done, block);
+        } else {
+            self.cache_fill(done, block, sub);
+        }
+        self.serve.record_read(false);
+        Response {
+            latency: done - now,
+            served_by_fast: false,
+            extra_lines: Vec::new(),
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, addr: u64, _mem: &mut MemoryContents) -> Cycle {
+        self.serve.record_writeback();
+        let block = addr / BLOCK;
+        let sub = ((addr % BLOCK) / SUB) as usize;
+        if self.in_flat(block) {
+            let a = self.flat_addr(block, addr % BLOCK);
+            return self.devices.fast.access(now, a, 64, true);
+        }
+        if let Some(partner) = self.displaced.get(&block).copied() {
+            let a = self.slow_addr(partner, addr % BLOCK);
+            return self.devices.slow.access(now, a, 64, true);
+        }
+        if let Some(idx) = self.cache_map.get(&block).copied() {
+            if self.cache[idx].present >> sub & 1 == 1 {
+                let a = self.cache_zone_addr(idx, addr % BLOCK);
+                let done = self.devices.fast.access(now, a, 64, true);
+                self.cache[idx].dirty |= 1 << sub;
+                return done;
+            }
+        }
+        self.devices
+            .slow
+            .access(now, self.slow_addr(block, addr % BLOCK), 64, true)
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        self.serve.finish(&self.devices)
+    }
+
+    fn export(&self, stats: &mut Stats) {
+        stats.set_counter("flat_hits", self.counters.flat_hits);
+        stats.set_counter("cache_hits", self.counters.cache_hits);
+        stats.set_counter("sub_fetches", self.counters.sub_fetches);
+        stats.set_counter("migrations", self.counters.migrations);
+        stats.set_counter("slow_serves", self.counters.slow_serves);
+        self.devices.export(stats);
+    }
+
+    fn reset_stats(&mut self) {
+        self.serve.reset();
+        self.counters = Hybrid2Counters::default();
+        self.devices.reset_stats();
+    }
+
+    fn name(&self) -> &str {
+        "hybrid2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::test_contents;
+
+    fn ctrl() -> Hybrid2 {
+        Hybrid2::new(Scale { divisor: 2048 })
+    }
+
+    #[test]
+    fn flat_blocks_serve_fast() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let r = c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        assert!(r.served_by_fast);
+        assert_eq!(c.counters().flat_hits, 1);
+    }
+
+    #[test]
+    fn slow_block_cached_after_miss() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let slow_addr = c.flat_blocks() * BLOCK + 4096;
+        let r1 = c.read(0, Request { addr: slow_addr, core: 0 }, &mut mem);
+        assert!(!r1.served_by_fast);
+        let r2 = c.read(100_000, Request { addr: slow_addr, core: 0 }, &mut mem);
+        assert!(r2.served_by_fast, "sub-block now in the cache zone");
+        assert_eq!(c.counters().cache_hits, 1);
+    }
+
+    #[test]
+    fn sub_blocking_fetches_256b() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let slow_addr = c.flat_blocks() * BLOCK;
+        c.read(0, Request { addr: slow_addr, core: 0 }, &mut mem);
+        // Another sub-block of the same block still misses.
+        let r = c.read(50_000, Request { addr: slow_addr + 1024, core: 0 }, &mut mem);
+        assert!(!r.served_by_fast);
+    }
+
+    #[test]
+    fn hot_block_migrates() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let block = c.flat_blocks() + 5;
+        // Hammer different sub-blocks so cache-zone hits do not absorb all
+        // accesses and the heat counter rises.
+        let mut t = 0;
+        for i in 0..(MIGRATE_THRESHOLD as u64 * 16) {
+            let sub = (i % 8) * SUB;
+            // Alternate blocks to evict cache-zone state occasionally.
+            c.read(t, Request { addr: block * BLOCK + sub, core: 0 }, &mut mem);
+            t += 1000;
+            if c.counters().migrations > 0 {
+                break;
+            }
+        }
+        assert!(c.counters().migrations > 0, "hot block should migrate");
+        let r = c.read(t + 1000, Request { addr: block * BLOCK, core: 0 }, &mut mem);
+        assert!(r.served_by_fast, "migrated block serves from fast");
+    }
+
+    #[test]
+    fn displaced_original_serves_slow() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let block = c.flat_blocks() + 5;
+        let mut t = 0;
+        while c.counters().migrations == 0 {
+            let sub = (t / 1000 % 8) * SUB;
+            c.read(t, Request { addr: block * BLOCK + sub, core: 0 }, &mut mem);
+            t += 1000;
+            assert!(t < 10_000_000, "migration never happened");
+        }
+        let displaced = *c.migrated.get(&block).expect("migrated");
+        let r = c.read(t, Request { addr: displaced * BLOCK, core: 0 }, &mut mem);
+        assert!(!r.served_by_fast, "displaced original now lives in slow");
+    }
+
+    #[test]
+    fn dirty_cache_zone_writes_back() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let block = c.flat_blocks() + 3;
+        c.read(0, Request { addr: block * BLOCK, core: 0 }, &mut mem);
+        c.writeback(10, block * BLOCK, &mut mem);
+        let before = c.serve_stats().slow_bytes;
+        // Evict by filling the FIFO cache zone with other blocks.
+        for i in 0..c.cache.len() as u64 + 2 {
+            let b = c.flat_blocks() + 100 + i;
+            c.read(1000 * (i + 1), Request { addr: b * BLOCK, core: 0 }, &mut mem);
+        }
+        assert!(c.serve_stats().slow_bytes > before, "dirty sub written back");
+    }
+}

@@ -1,0 +1,296 @@
+//! Micro-sector cache [12] — the closest sub-blocking prior to Baryon.
+//!
+//! Chaudhuri et al.'s micro-sector cache lets 256 B sectors from *multiple*
+//! blocks share one physical DRAM-cache block (unlike Footprint
+//! Cache/Unison, which waste the space of absent sub-blocks), "in order to
+//! save capacity as well as bandwidth. But it had significant metadata tag
+//! overheads" (§V) — every sector slot carries its own full tag.
+//!
+//! Model: 4-way sets of 2 kB physical blocks, each split into eight 256 B
+//! sector slots; any slot can hold any sector of any block mapping to the
+//! set (per-slot tags). Sectors are fetched on demand, replaced slot-FIFO
+//! within the set, with no compression. The per-slot tag store is charged
+//! through the shared on-chip metadata-cache model at 4x the footprint of
+//! Baryon's remap metadata.
+
+use super::MetaModel;
+use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use baryon_workloads::{MemoryContents, Scale};
+
+const BLOCK: u64 = 2048;
+const SUB: u64 = 256;
+const SUBS_PER_BLOCK: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sector {
+    /// Owning data block.
+    block: u64,
+    /// Sub-block index within the block.
+    sub: u8,
+    dirty: bool,
+}
+
+/// Micro-sector specific counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MicroSectorCounters {
+    /// Sector hits.
+    pub hits: u64,
+    /// Sector misses (on-demand fetches).
+    pub misses: u64,
+    /// Dirty sector writebacks to slow memory.
+    pub dirty_evictions: u64,
+}
+
+/// The micro-sector cache baseline.
+#[derive(Debug, Clone)]
+pub struct MicroSector {
+    sets: usize,
+    slots_per_set: usize,
+    slots: Vec<Option<Sector>>,
+    fifo: Vec<usize>,
+    devices: Devices,
+    meta: MetaModel,
+    serve: ServeCounter,
+    counters: MicroSectorCounters,
+}
+
+impl MicroSector {
+    /// Builds the cache over the scaled fast memory (4-way sets of 2 kB
+    /// blocks, eight sector slots each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled fast memory holds fewer than 4 blocks.
+    pub fn new(scale: Scale) -> Self {
+        let assoc = 4;
+        // The per-slot tag store is the design's cost: reserve 4x Baryon's
+        // remap-table footprint out of the fast memory.
+        let tag_bytes = (scale.fast_bytes() + scale.slow_bytes()) / BLOCK * 8;
+        let data_blocks = ((scale.fast_bytes() - tag_bytes.min(scale.fast_bytes() / 2)) / BLOCK)
+            as usize;
+        let sets = (data_blocks / assoc).max(1);
+        MicroSector {
+            sets,
+            slots_per_set: assoc * SUBS_PER_BLOCK,
+            slots: vec![None; sets * assoc * SUBS_PER_BLOCK],
+            fifo: vec![0; sets],
+            devices: Devices::table1(),
+            meta: MetaModel::new(32 << 10, 3, 0),
+            serve: ServeCounter::default(),
+            counters: MicroSectorCounters::default(),
+        }
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &MicroSectorCounters {
+        &self.counters
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets as u64) as usize
+    }
+
+    fn find(&self, block: u64, sub: u8) -> Option<usize> {
+        let base = self.set_of(block) * self.slots_per_set;
+        (base..base + self.slots_per_set).find(|i| {
+            self.slots[*i].is_some_and(|s| s.block == block && s.sub == sub)
+        })
+    }
+
+    fn slot_addr(&self, slot: usize, addr: u64) -> u64 {
+        slot as u64 * SUB + addr % SUB
+    }
+
+    fn fill(&mut self, now: Cycle, block: u64, sub: u8) -> usize {
+        let set = self.set_of(block);
+        let base = set * self.slots_per_set;
+        // Free slot, else slot-FIFO within the set.
+        let idx = (base..base + self.slots_per_set)
+            .find(|i| self.slots[*i].is_none())
+            .unwrap_or_else(|| {
+                let victim = base + self.fifo[set];
+                self.fifo[set] = (self.fifo[set] + 1) % self.slots_per_set;
+                victim
+            });
+        if let Some(old) = self.slots[idx] {
+            if old.dirty {
+                self.counters.dirty_evictions += 1;
+                self.devices
+                    .fast
+                    .access(now, self.slot_addr(idx, 0), SUB as usize, false);
+                self.devices.slow.access(
+                    now,
+                    old.block * BLOCK + old.sub as u64 * SUB,
+                    SUB as usize,
+                    true,
+                );
+            }
+        }
+        // Fetch the whole 256 B sector.
+        self.devices
+            .slow
+            .access(now, block * BLOCK + sub as u64 * SUB, SUB as usize, false);
+        self.devices
+            .fast
+            .access(now, self.slot_addr(idx, 0), SUB as usize, true);
+        self.slots[idx] = Some(Sector {
+            block,
+            sub,
+            dirty: false,
+        });
+        idx
+    }
+}
+
+impl MemoryController for MicroSector {
+    fn read(&mut self, now: Cycle, req: Request, _mem: &mut MemoryContents) -> Response {
+        let block = req.addr / BLOCK;
+        let sub = ((req.addr % BLOCK) / SUB) as u8;
+        let meta_lat = self.meta.lookup(now, block, &mut self.devices.fast);
+        if let Some(slot) = self.find(block, sub) {
+            self.counters.hits += 1;
+            let done = self
+                .devices
+                .fast
+                .access(now + meta_lat, self.slot_addr(slot, req.addr), 64, false);
+            self.serve.record_read(true);
+            return Response {
+                latency: done - now,
+                served_by_fast: true,
+                extra_lines: Vec::new(),
+            };
+        }
+        self.counters.misses += 1;
+        let done = self
+            .devices
+            .slow
+            .access(now + meta_lat, req.addr & !63, 64, false);
+        self.fill(done, block, sub);
+        self.serve.record_read(false);
+        Response {
+            latency: done - now,
+            served_by_fast: false,
+            extra_lines: Vec::new(),
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, addr: u64, _mem: &mut MemoryContents) -> Cycle {
+        self.serve.record_writeback();
+        let block = addr / BLOCK;
+        let sub = ((addr % BLOCK) / SUB) as u8;
+        if let Some(slot) = self.find(block, sub) {
+            let done = self
+                .devices
+                .fast
+                .access(now, self.slot_addr(slot, addr), 64, true);
+            if let Some(s) = self.slots[slot].as_mut() {
+                s.dirty = true;
+            }
+            done
+        } else {
+            self.devices.slow.access(now, addr & !63, 64, true)
+        }
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        self.serve.finish(&self.devices)
+    }
+
+    fn export(&self, stats: &mut Stats) {
+        stats.set_counter("hits", self.counters.hits);
+        stats.set_counter("misses", self.counters.misses);
+        stats.set_counter("dirty_evictions", self.counters.dirty_evictions);
+        self.devices.export(stats);
+    }
+
+    fn reset_stats(&mut self) {
+        self.serve.reset();
+        self.counters = MicroSectorCounters::default();
+        self.devices.reset_stats();
+    }
+
+    fn name(&self) -> &str {
+        "micro-sector"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::test_contents;
+
+    fn ctrl() -> MicroSector {
+        MicroSector::new(Scale { divisor: 2048 })
+    }
+
+    #[test]
+    fn sector_miss_then_hit() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        assert!(!c.read(0, Request { addr: 100, core: 0 }, &mut mem).served_by_fast);
+        // Same sector (within 256 B) now hits.
+        assert!(c.read(10_000, Request { addr: 200, core: 0 }, &mut mem).served_by_fast);
+        // A different sector of the same block still misses (no footprint
+        // prefetch in micro-sector).
+        assert!(!c.read(20_000, Request { addr: 512, core: 0 }, &mut mem).served_by_fast);
+    }
+
+    #[test]
+    fn sectors_of_different_blocks_share_a_set() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let sets = c.sets as u64;
+        // Two blocks in the same set: both sectors coexist (the capacity
+        // advantage over one-block-per-frame designs).
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        c.read(1_000, Request { addr: sets * BLOCK, core: 0 }, &mut mem);
+        assert!(c.read(2_000, Request { addr: 0, core: 0 }, &mut mem).served_by_fast);
+        assert!(c
+            .read(3_000, Request { addr: sets * BLOCK, core: 0 }, &mut mem)
+            .served_by_fast);
+    }
+
+    #[test]
+    fn slot_fifo_replaces_when_full() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let sets = c.sets as u64;
+        let slots = c.slots_per_set as u64;
+        // Fill every slot of set 0 with distinct sectors, then one more.
+        for i in 0..=slots {
+            c.read(i * 1_000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+        }
+        // The first sector was FIFO-evicted.
+        assert!(!c.read(99_000, Request { addr: 0, core: 0 }, &mut mem).served_by_fast);
+    }
+
+    #[test]
+    fn dirty_sector_written_back_on_eviction() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let sets = c.sets as u64;
+        let slots = c.slots_per_set as u64;
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        c.writeback(100, 0, &mut mem);
+        let before = c.serve_stats().slow_bytes;
+        for i in 1..=slots {
+            c.read(i * 1_000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+        }
+        assert!(c.counters().dirty_evictions >= 1);
+        assert!(c.serve_stats().slow_bytes > before);
+    }
+
+    #[test]
+    fn fetch_granularity_is_one_sector() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        let s = c.serve_stats();
+        // 64 B demand + 256 B sector fetch from slow; 256 B install + one
+        // 64 B metadata line on the fast side.
+        assert_eq!(s.slow_bytes, 64 + 256);
+        assert_eq!(s.fast_bytes, 256 + 64);
+    }
+}

@@ -1,0 +1,87 @@
+//! The baseline controllers the paper compares Baryon against (§IV-A):
+//!
+//! * [`simple::SimpleCache`] — a 2 kB-block, 4-way DRAM cache with neither
+//!   compression nor sub-blocking (the normalization baseline of Fig 9),
+//! * [`unison::UnisonCache`] — Unison Cache [31]: 2 kB pages, 64 B
+//!   footprint-predicted sub-blocking, in-DRAM tags with way prediction,
+//! * [`dice::DiceCache`] — DICE [74]: a direct-mapped compressed DRAM cache
+//!   with 64 B blocks, spatial (bandwidth-efficient) indexing, and a
+//!   perfect way predictor (the paper's optimistic configuration),
+//! * [`hybrid2::Hybrid2`] — Hybrid2 [67]: a flat-mode hybrid memory with a
+//!   reserved sub-block cache zone (256 B sub-blocks, no compression) plus
+//!   full-block migration.
+//!
+//! Two further design points beyond the paper's evaluated baselines:
+//!
+//! * [`microsector::MicroSector`] — the micro-sector cache [12], Baryon's
+//!   closest sub-blocking prior (§V),
+//! * [`ospage::OsPaging`] — the OS page-migration strawman of §II-A.
+
+pub mod dice;
+pub mod hybrid2;
+pub mod microsector;
+pub mod ospage;
+pub mod simple;
+pub mod unison;
+
+pub use dice::DiceCache;
+pub use hybrid2::Hybrid2;
+pub use microsector::MicroSector;
+pub use ospage::OsPaging;
+pub use simple::SimpleCache;
+pub use unison::UnisonCache;
+
+use baryon_cache::{CacheConfig, SetAssocCache};
+use baryon_mem::MemDevice;
+use baryon_sim::Cycle;
+
+/// A small on-chip metadata cache in front of an off-chip (fast-memory)
+/// metadata table, shared by the baselines: hits cost the SRAM latency,
+/// misses additionally cost a fast-memory access.
+#[derive(Debug, Clone)]
+pub(crate) struct MetaModel {
+    cache: SetAssocCache,
+    hit_latency: Cycle,
+    table_base: u64,
+}
+
+impl MetaModel {
+    /// `bytes` of SRAM caching 64 B metadata lines; the off-chip table
+    /// lives at `table_base` in fast memory.
+    pub(crate) fn new(bytes: u64, hit_latency: Cycle, table_base: u64) -> Self {
+        let sets = (bytes / 64 / 8).max(4).next_power_of_two() as usize;
+        MetaModel {
+            cache: SetAssocCache::new(CacheConfig::new(sets, 8, 64, hit_latency)),
+            hit_latency,
+            table_base,
+        }
+    }
+
+    /// Looks up the metadata line for `key` (e.g. a block index); returns
+    /// the metadata latency.
+    pub(crate) fn lookup(&mut self, now: Cycle, key: u64, fast: &mut MemDevice) -> Cycle {
+        let line = key * 64;
+        if self.cache.access(line, false).hit {
+            self.hit_latency
+        } else {
+            let done = fast.access(now + self.hit_latency, self.table_base + line, 64, false);
+            done - now
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_mem::DeviceConfig;
+
+    #[test]
+    fn meta_model_miss_costs_more() {
+        let mut m = MetaModel::new(32 << 10, 3, 0);
+        let mut fast = MemDevice::new(DeviceConfig::ddr4_3200());
+        let miss = m.lookup(0, 7, &mut fast);
+        let hit = m.lookup(1000, 7, &mut fast);
+        assert!(miss > hit);
+        assert_eq!(hit, 3);
+    }
+}

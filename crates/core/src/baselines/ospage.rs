@@ -1,0 +1,299 @@
+//! An OS-based page-migration baseline (§II-A's software design point).
+//!
+//! The paper's §II-A contrasts hardware-managed hybrid memory against
+//! OS-based solutions that "directly change the physical addresses in the
+//! page table", citing their limitations: substantial software overheads
+//! and coarse 4 kB page granularity. This controller models that design
+//! point so the contrast is measurable:
+//!
+//! * the OS samples access counts per 4 kB page;
+//! * every `epoch_accesses` memory accesses it migrates the hottest slow
+//!   pages into fast memory (demoting the coldest fast pages), paying a
+//!   whole-page swap plus a software cost (page-table update + TLB
+//!   shootdown) per migration;
+//! * between epochs placement is static — there is no fine-grained
+//!   caching at all.
+//!
+//! This is deliberately *not* one of the paper's evaluated baselines; it is
+//! the motivating strawman of §II, included for completeness (and used by
+//! the `extra` bench narrative).
+
+use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use baryon_workloads::{MemoryContents, Scale};
+use std::collections::HashMap;
+
+const PAGE: u64 = 4096;
+
+/// Software cost of one page migration: page-table update, TLB shootdown
+/// IPIs and the OS bookkeeping, charged to the epoch boundary (~2 µs at
+/// 3.2 GHz, a common figure in OS-migration literature).
+const MIGRATION_SW_CYCLES: Cycle = 6400;
+
+/// OS-paging specific counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OsPageCounters {
+    /// Accesses served by fast-memory pages.
+    pub fast_hits: u64,
+    /// Accesses served by slow-memory pages.
+    pub slow_serves: u64,
+    /// Pages migrated (promotions = demotions).
+    pub migrations: u64,
+    /// Migration epochs executed.
+    pub epochs: u64,
+}
+
+/// The OS page-migration controller.
+#[derive(Debug, Clone)]
+pub struct OsPaging {
+    /// Pages resident in fast memory (page id -> fast frame).
+    fast_map: HashMap<u64, u64>,
+    /// Free fast frames.
+    free_frames: Vec<u64>,
+    /// Per-page access counts this epoch.
+    heat: HashMap<u64, u32>,
+    /// Accesses since the last epoch boundary.
+    since_epoch: u64,
+    /// Epoch length in memory accesses.
+    epoch_accesses: u64,
+    /// Max pages migrated per epoch.
+    migrations_per_epoch: usize,
+    devices: Devices,
+    serve: ServeCounter,
+    counters: OsPageCounters,
+    /// Pending software-cost stall charged to the next access's latency.
+    pending_sw_cycles: Cycle,
+}
+
+impl OsPaging {
+    /// Builds the controller over the scaled memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled fast memory holds no 4 kB pages.
+    pub fn new(scale: Scale) -> Self {
+        let frames = scale.fast_bytes() / PAGE;
+        assert!(frames > 0, "fast memory too small for one page");
+        OsPaging {
+            fast_map: HashMap::new(),
+            free_frames: (0..frames).rev().collect(),
+            heat: HashMap::new(),
+            since_epoch: 0,
+            epoch_accesses: 50_000,
+            migrations_per_epoch: 256,
+            devices: Devices::table1(),
+            serve: ServeCounter::default(),
+            counters: OsPageCounters::default(),
+            pending_sw_cycles: 0,
+        }
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &OsPageCounters {
+        &self.counters
+    }
+
+    fn fast_addr(&self, frame: u64, addr: u64) -> u64 {
+        frame * PAGE + addr % PAGE
+    }
+
+    fn run_epoch(&mut self, now: Cycle) {
+        self.counters.epochs += 1;
+        // Hottest pages first.
+        let mut pages: Vec<(u64, u32)> = self.heat.drain().collect();
+        pages.sort_unstable_by_key(|(_, h)| std::cmp::Reverse(*h));
+        let mut migrated = 0usize;
+        for (page, heat) in pages {
+            if migrated >= self.migrations_per_epoch {
+                break;
+            }
+            if self.fast_map.contains_key(&page) {
+                continue;
+            }
+            // Find a frame: free, or demote the coldest resident.
+            let frame = match self.free_frames.pop() {
+                Some(f) => f,
+                None => {
+                    // Demote the resident page with the lowest current heat
+                    // (absent from `heat` after drain: treat as cold 0 and
+                    // pick arbitrarily — the OS uses approximate LRU too).
+                    let Some((&victim, &frame)) = self.fast_map.iter().next() else {
+                        break;
+                    };
+                    if heat < 2 {
+                        break; // not worth displacing anything
+                    }
+                    self.fast_map.remove(&victim);
+                    // Demotion: whole page fast -> slow.
+                    self.devices.fast.access(now, frame * PAGE, PAGE as usize, false);
+                    self.devices
+                        .slow
+                        .access(now, victim * PAGE, PAGE as usize, true);
+                    frame
+                }
+            };
+            // Promotion: whole page slow -> fast.
+            self.devices.slow.access(now, page * PAGE, PAGE as usize, false);
+            self.devices
+                .fast
+                .access(now, self.fast_addr(frame, 0), PAGE as usize, true);
+            self.fast_map.insert(page, frame);
+            self.counters.migrations += 1;
+            self.pending_sw_cycles += MIGRATION_SW_CYCLES;
+            migrated += 1;
+        }
+    }
+
+    fn account(&mut self, now: Cycle, addr: u64) -> (bool, u64) {
+        let page = addr / PAGE;
+        *self.heat.entry(page).or_insert(0) += 1;
+        self.since_epoch += 1;
+        if self.since_epoch >= self.epoch_accesses {
+            self.since_epoch = 0;
+            self.run_epoch(now);
+        }
+        match self.fast_map.get(&page) {
+            Some(frame) => (true, self.fast_addr(*frame, addr)),
+            None => (false, addr & !63),
+        }
+    }
+}
+
+impl MemoryController for OsPaging {
+    fn read(&mut self, now: Cycle, req: Request, _mem: &mut MemoryContents) -> Response {
+        let sw = std::mem::take(&mut self.pending_sw_cycles);
+        let (fast, addr) = self.account(now, req.addr);
+        let done = if fast {
+            self.counters.fast_hits += 1;
+            self.devices.fast.access(now + sw, addr, 64, false)
+        } else {
+            self.counters.slow_serves += 1;
+            self.devices.slow.access(now + sw, addr, 64, false)
+        };
+        self.serve.record_read(fast);
+        Response {
+            latency: done - now,
+            served_by_fast: fast,
+            extra_lines: Vec::new(),
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, addr: u64, _mem: &mut MemoryContents) -> Cycle {
+        self.serve.record_writeback();
+        let page = addr / PAGE;
+        match self.fast_map.get(&page) {
+            Some(frame) => {
+                let a = self.fast_addr(*frame, addr);
+                self.devices.fast.access(now, a, 64, true)
+            }
+            None => self.devices.slow.access(now, addr & !63, 64, true),
+        }
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        self.serve.finish(&self.devices)
+    }
+
+    fn export(&self, stats: &mut Stats) {
+        stats.set_counter("fast_hits", self.counters.fast_hits);
+        stats.set_counter("slow_serves", self.counters.slow_serves);
+        stats.set_counter("migrations", self.counters.migrations);
+        stats.set_counter("epochs", self.counters.epochs);
+        self.devices.export(stats);
+    }
+
+    fn reset_stats(&mut self) {
+        self.serve.reset();
+        self.counters = OsPageCounters::default();
+        self.devices.reset_stats();
+    }
+
+    fn name(&self) -> &str {
+        "os-paging"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::test_contents;
+
+    fn ctrl() -> OsPaging {
+        OsPaging::new(Scale { divisor: 2048 })
+    }
+
+    #[test]
+    fn cold_accesses_serve_slow() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let r = c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        assert!(!r.served_by_fast, "nothing migrated yet");
+        assert_eq!(c.counters().slow_serves, 1);
+    }
+
+    #[test]
+    fn hot_pages_migrate_at_epoch() {
+        let mut c = ctrl();
+        c.epoch_accesses = 100;
+        let mut mem = test_contents();
+        let mut now = 0;
+        // Hammer one page past the epoch boundary.
+        for i in 0..120u64 {
+            now += 1000;
+            c.read(now, Request { addr: (i % 64) * 64, core: 0 }, &mut mem);
+        }
+        assert!(c.counters().epochs >= 1);
+        assert!(c.counters().migrations >= 1);
+        let r = c.read(now + 1000, Request { addr: 0, core: 0 }, &mut mem);
+        assert!(r.served_by_fast, "hot page now lives in fast memory");
+    }
+
+    #[test]
+    fn migration_charges_whole_pages() {
+        let mut c = ctrl();
+        c.epoch_accesses = 10;
+        let mut mem = test_contents();
+        for i in 0..12u64 {
+            c.read(i * 1000, Request { addr: 64 * (i % 8), core: 0 }, &mut mem);
+        }
+        let s = c.serve_stats();
+        // At least one 4 kB promotion moved through both devices.
+        assert!(s.slow_bytes >= PAGE);
+        assert!(s.fast_bytes >= PAGE);
+    }
+
+    #[test]
+    fn demotion_when_full() {
+        let mut c = ctrl();
+        c.epoch_accesses = 50;
+        c.migrations_per_epoch = 1 << 20;
+        let frames = c.free_frames.len() as u64;
+        let mut mem = test_contents();
+        let mut now = 0;
+        // Touch more distinct pages than there are frames, repeatedly and
+        // hot enough (heat >= 2 per epoch) to justify displacement.
+        for round in 0..6u64 {
+            for p in 0..frames + 8 {
+                for rep in 0..3u64 {
+                    now += 500;
+                    c.read(
+                        now,
+                        Request { addr: p * PAGE + round * 64 + rep * 128, core: 0 },
+                        &mut mem,
+                    );
+                }
+            }
+        }
+        assert!(c.counters().migrations > frames, "demotions must have occurred");
+        assert!(c.fast_map.len() as u64 <= frames);
+    }
+
+    #[test]
+    fn writebacks_follow_placement() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.writeback(0, 0, &mut mem);
+        assert_eq!(c.serve_stats().slow_bytes, 64, "cold page writeback goes slow");
+    }
+}

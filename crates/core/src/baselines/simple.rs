@@ -1,0 +1,279 @@
+//! The Simple DRAM-cache baseline: 2 kB blocks, 4-way, LRU, whole-block
+//! fills and writebacks, no compression, no sub-blocking (§IV-A).
+
+use super::MetaModel;
+use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use baryon_workloads::{MemoryContents, Scale};
+
+const BLOCK: u64 = 2048;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    block: Option<u64>,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// Event counters specific to the Simple cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimpleCounters {
+    /// Block hits.
+    pub hits: u64,
+    /// Block misses (whole-block fills).
+    pub misses: u64,
+    /// Dirty whole-block writebacks to slow memory.
+    pub dirty_evictions: u64,
+}
+
+/// The Simple 2 kB-block DRAM cache.
+///
+/// # Examples
+///
+/// ```
+/// use baryon_core::baselines::SimpleCache;
+/// use baryon_core::ctrl::{MemoryController, Request};
+/// use baryon_workloads::Scale;
+///
+/// let mut ctrl = SimpleCache::new(Scale { divisor: 2048 });
+/// let mut mem = baryon_core::ctrl::test_contents();
+/// let r = ctrl.read(0, Request { addr: 0, core: 0 }, &mut mem);
+/// assert!(!r.served_by_fast);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimpleCache {
+    sets: usize,
+    assoc: usize,
+    ways: Vec<Way>,
+    devices: Devices,
+    meta: MetaModel,
+    serve: ServeCounter,
+    counters: SimpleCounters,
+    tick: u64,
+    data_base: u64,
+}
+
+impl SimpleCache {
+    /// Builds the cache over the scaled fast memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled fast memory holds fewer than 4 blocks.
+    pub fn new(scale: Scale) -> Self {
+        let fast = scale.fast_bytes();
+        let table_bytes = (fast + scale.slow_bytes()) / BLOCK * 2;
+        let data_blocks = ((fast - table_bytes) / BLOCK) as usize;
+        let assoc = 4;
+        let sets = data_blocks / assoc;
+        assert!(sets > 0, "fast memory too small");
+        SimpleCache {
+            sets,
+            assoc,
+            ways: vec![Way::default(); sets * assoc],
+            devices: Devices::table1(),
+            meta: MetaModel::new(32 << 10, 3, 0),
+            serve: ServeCounter::default(),
+            counters: SimpleCounters::default(),
+            tick: 0,
+            data_base: table_bytes,
+        }
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &SimpleCounters {
+        &self.counters
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets as u64) as usize
+    }
+
+    fn find(&self, block: u64) -> Option<usize> {
+        let base = self.set_of(block) * self.assoc;
+        (base..base + self.assoc).find(|i| self.ways[*i].block == Some(block))
+    }
+
+    fn fast_addr(&self, way: usize, addr: u64) -> u64 {
+        self.data_base + way as u64 * BLOCK + addr % BLOCK
+    }
+
+    fn fill(&mut self, now: Cycle, block: u64) -> usize {
+        let base = self.set_of(block) * self.assoc;
+        let victim = (base..base + self.assoc)
+            .min_by_key(|i| match self.ways[*i].block {
+                None => (0, 0),
+                Some(_) => (1, self.ways[*i].stamp),
+            })
+            .expect("assoc > 0");
+        if let Some(old) = self.ways[victim].block {
+            if self.ways[victim].dirty {
+                self.counters.dirty_evictions += 1;
+                self.devices
+                    .fast
+                    .access(now, self.fast_addr(victim, 0), BLOCK as usize, false);
+                self.devices
+                    .slow
+                    .access(now, old * BLOCK, BLOCK as usize, true);
+            }
+        }
+        // Whole-block fill from slow memory.
+        self.devices
+            .slow
+            .access(now, block * BLOCK, BLOCK as usize, false);
+        self.devices
+            .fast
+            .access(now, self.fast_addr(victim, 0), BLOCK as usize, true);
+        self.tick += 1;
+        self.ways[victim] = Way {
+            block: Some(block),
+            dirty: false,
+            stamp: self.tick,
+        };
+        victim
+    }
+}
+
+impl MemoryController for SimpleCache {
+    fn read(&mut self, now: Cycle, req: Request, _mem: &mut MemoryContents) -> Response {
+        let block = req.addr / BLOCK;
+        let meta_lat = self.meta.lookup(now, block, &mut self.devices.fast);
+        if let Some(way) = self.find(block) {
+            self.counters.hits += 1;
+            self.tick += 1;
+            self.ways[way].stamp = self.tick;
+            let done = self
+                .devices
+                .fast
+                .access(now + meta_lat, self.fast_addr(way, req.addr), 64, false);
+            self.serve.record_read(true);
+            return Response {
+                latency: done - now,
+                served_by_fast: true,
+                extra_lines: Vec::new(),
+            };
+        }
+        self.counters.misses += 1;
+        // Demanded line first, block fill in the background.
+        let done = self
+            .devices
+            .slow
+            .access(now + meta_lat, req.addr & !63, 64, false);
+        self.fill(done, block);
+        self.serve.record_read(false);
+        Response {
+            latency: done - now,
+            served_by_fast: false,
+            extra_lines: Vec::new(),
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, addr: u64, _mem: &mut MemoryContents) -> Cycle {
+        self.serve.record_writeback();
+        let block = addr / BLOCK;
+        if let Some(way) = self.find(block) {
+            self.tick += 1;
+            self.ways[way].stamp = self.tick;
+            self.ways[way].dirty = true;
+            self.devices
+                .fast
+                .access(now, self.fast_addr(way, addr), 64, true)
+        } else {
+            self.devices.slow.access(now, addr & !63, 64, true)
+        }
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        self.serve.finish(&self.devices)
+    }
+
+    fn export(&self, stats: &mut Stats) {
+        stats.set_counter("hits", self.counters.hits);
+        stats.set_counter("misses", self.counters.misses);
+        stats.set_counter("dirty_evictions", self.counters.dirty_evictions);
+        self.devices.export(stats);
+    }
+
+    fn reset_stats(&mut self) {
+        self.serve.reset();
+        self.counters = SimpleCounters::default();
+        self.devices.reset_stats();
+    }
+
+    fn name(&self) -> &str {
+        "simple"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::test_contents;
+
+    fn ctrl() -> SimpleCache {
+        SimpleCache::new(Scale { divisor: 2048 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let r1 = c.read(0, Request { addr: 100, core: 0 }, &mut mem);
+        assert!(!r1.served_by_fast);
+        let r2 = c.read(100_000, Request { addr: 200, core: 0 }, &mut mem);
+        assert!(r2.served_by_fast, "same block now cached");
+        assert_eq!(c.counters().hits, 1);
+        assert_eq!(c.counters().misses, 1);
+    }
+
+    #[test]
+    fn whole_block_fill_traffic() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        let s = c.serve_stats();
+        // 64 B demand + 2048 B block fill from slow.
+        assert_eq!(s.slow_bytes, 64 + 2048);
+        // Block installed into fast, plus one 64 B metadata-table read.
+        assert_eq!(s.fast_bytes, 2048 + 64);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_block_back() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        c.writeback(10, 0, &mut mem);
+        // Conflict-fill the same set until block 0 is evicted.
+        let sets = c.sets as u64;
+        for i in 1..=4u64 {
+            c.read(i * 1000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+        }
+        assert_eq!(c.counters().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let sets = c.sets as u64;
+        // Fill a set with 4 blocks, touch the first, add a 5th.
+        for i in 0..4u64 {
+            c.read(i, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+        }
+        c.read(10, Request { addr: 0, core: 0 }, &mut mem); // touch block 0
+        c.read(20, Request { addr: 4 * sets * BLOCK, core: 0 }, &mut mem);
+        // Block 0 must still be present (block sets*BLOCK was LRU).
+        let r = c.read(30, Request { addr: 0, core: 0 }, &mut mem);
+        assert!(r.served_by_fast);
+    }
+
+    #[test]
+    fn writeback_to_uncached_goes_slow() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.writeback(0, 4096, &mut mem);
+        assert_eq!(c.serve_stats().slow_bytes, 64);
+        assert_eq!(c.serve_stats().fast_bytes, 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Unison Cache [31]: a die-stacked DRAM cache with 2 kB pages, embedded
+//! in-DRAM tags with way prediction, and footprint-predicted 64 B
+//! sub-blocking — no compression (§IV-A).
+//!
+//! Fidelity notes (see DESIGN.md): the footprint history table is indexed
+//! by a hash of the page address (synthetic traces carry no PCs); way
+//! prediction is MRU-based, and a misprediction costs one extra in-DRAM
+//! tag+data access, as in the original design.
+
+use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
+use baryon_sim::rng::splitmix64;
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use baryon_workloads::{MemoryContents, Scale};
+use std::collections::HashMap;
+
+const BLOCK: u64 = 2048;
+const LINES: usize = 32; // 64 B lines per 2 kB page
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    block: Option<u64>,
+    present: u32,
+    dirty: u32,
+    stamp: u64,
+    mru: bool,
+}
+
+/// Unison-specific counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnisonCounters {
+    /// Line hits.
+    pub hits: u64,
+    /// Sub-block (line) misses within a present page.
+    pub sub_misses: u64,
+    /// Page misses (new allocations).
+    pub page_misses: u64,
+    /// Way mispredictions (extra tag probe).
+    pub way_mispredicts: u64,
+    /// Lines fetched by the footprint predictor.
+    pub predicted_lines: u64,
+}
+
+/// The Unison Cache baseline.
+#[derive(Debug, Clone)]
+pub struct UnisonCache {
+    sets: usize,
+    assoc: usize,
+    ways: Vec<Way>,
+    /// Footprint history: page hash -> last-residency line mask.
+    footprints: HashMap<u64, u32>,
+    footprint_cap: usize,
+    /// EWMA footprint density (lines touched / 32) across evictions — the
+    /// generalization a PC-indexed predictor provides across same-code
+    /// pages; used when a page has no private history.
+    density_ewma: f64,
+    devices: Devices,
+    serve: ServeCounter,
+    counters: UnisonCounters,
+    tick: u64,
+    data_base: u64,
+}
+
+impl UnisonCache {
+    /// Builds the cache over the scaled fast memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled fast memory holds fewer than 4 pages.
+    pub fn new(scale: Scale) -> Self {
+        let fast = scale.fast_bytes();
+        // Tags are embedded in DRAM; only the way-predictor/footprint SRAM
+        // is on-chip. Keep the whole fast memory as data+tags.
+        let data_blocks = (fast / BLOCK) as usize;
+        let assoc = 4;
+        let sets = data_blocks / assoc;
+        assert!(sets > 0, "fast memory too small");
+        // The paper scales Unison's SRAM proportionally to fast memory.
+        let footprint_cap = (data_blocks * 4).max(1024);
+        UnisonCache {
+            sets,
+            assoc,
+            ways: vec![Way::default(); sets * assoc],
+            footprints: HashMap::new(),
+            footprint_cap,
+            density_ewma: 4.0 / LINES as f64,
+            devices: Devices::table1(),
+            serve: ServeCounter::default(),
+            counters: UnisonCounters::default(),
+            tick: 0,
+            data_base: 0,
+        }
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &UnisonCounters {
+        &self.counters
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets as u64) as usize
+    }
+
+    fn find(&self, block: u64) -> Option<usize> {
+        let base = self.set_of(block) * self.assoc;
+        (base..base + self.assoc).find(|i| self.ways[*i].block == Some(block))
+    }
+
+    fn fast_addr(&self, way: usize, addr: u64) -> u64 {
+        self.data_base + way as u64 * BLOCK + addr % BLOCK
+    }
+
+    fn touch(&mut self, way: usize) {
+        self.tick += 1;
+        let set = way / self.assoc * self.assoc;
+        for i in set..set + self.assoc {
+            self.ways[i].mru = false;
+        }
+        self.ways[way].stamp = self.tick;
+        self.ways[way].mru = true;
+    }
+
+    /// Charges the in-DRAM tag+data probe; a way misprediction costs one
+    /// extra fast access.
+    fn probe(&mut self, now: Cycle, way: Option<usize>, addr: u64) -> Cycle {
+        let predicted_hit = way.is_some_and(|w| self.ways[w].mru);
+        let target = way.map_or(addr % (self.sets as u64 * BLOCK), |w| self.fast_addr(w, addr));
+        let done = self.devices.fast.access(now, target, 64, false);
+        if !predicted_hit {
+            self.counters.way_mispredicts += 1;
+            let done2 = self.devices.fast.access(done, target ^ BLOCK, 64, false);
+            return done2 - now;
+        }
+        done - now
+    }
+
+    fn predicted_mask(&self, block: u64, line: usize) -> u32 {
+        // History hit: replay the page's last footprint. Otherwise predict
+        // from the learned average density (at least the demanded 4-line
+        // group), the generalization a PC-indexed table gives new pages.
+        let key = splitmix64(block);
+        if let Some(mask) = self.footprints.get(&key) {
+            return mask | (1 << line);
+        }
+        let predicted = ((self.density_ewma * LINES as f64).round() as usize).clamp(4, LINES);
+        let start = line / 4 * 4;
+        let mut mask = 0u32;
+        for k in 0..predicted {
+            mask |= 1 << ((start + k) % LINES);
+        }
+        mask | (1 << line)
+    }
+
+    fn evict(&mut self, now: Cycle, way: usize) {
+        let w = self.ways[way];
+        if let Some(old) = w.block {
+            // Record the observed footprint for the next residency.
+            if self.footprints.len() >= self.footprint_cap {
+                // Bounded table: drop an arbitrary entry.
+                if let Some(k) = self.footprints.keys().next().copied() {
+                    self.footprints.remove(&k);
+                }
+            }
+            self.footprints.insert(splitmix64(old), w.present);
+            let density = w.present.count_ones() as f64 / LINES as f64;
+            self.density_ewma = 0.95 * self.density_ewma + 0.05 * density;
+            let dirty_lines = w.dirty.count_ones() as usize;
+            if dirty_lines > 0 {
+                self.devices
+                    .fast
+                    .access(now, self.fast_addr(way, 0), dirty_lines * 64, false);
+                self.devices
+                    .slow
+                    .access(now, old * BLOCK, dirty_lines * 64, true);
+            }
+        }
+    }
+}
+
+impl MemoryController for UnisonCache {
+    fn read(&mut self, now: Cycle, req: Request, _mem: &mut MemoryContents) -> Response {
+        let block = req.addr / BLOCK;
+        let line = ((req.addr % BLOCK) / 64) as usize;
+        let way = self.find(block);
+        match way {
+            Some(w) if self.ways[w].present >> line & 1 == 1 => {
+                self.counters.hits += 1;
+                let lat = self.probe(now, Some(w), req.addr);
+                self.touch(w);
+                self.serve.record_read(true);
+                Response {
+                    latency: lat,
+                    served_by_fast: true,
+                    extra_lines: Vec::new(),
+                }
+            }
+            Some(w) => {
+                // Page present, line not fetched: fetch it from slow.
+                self.counters.sub_misses += 1;
+                let tag_lat = self.probe(now, Some(w), req.addr);
+                let done = self
+                    .devices
+                    .slow
+                    .access(now + tag_lat, req.addr & !63, 64, false);
+                self.devices
+                    .fast
+                    .access(done, self.fast_addr(w, req.addr), 64, true);
+                self.ways[w].present |= 1 << line;
+                self.touch(w);
+                self.serve.record_read(false);
+                Response {
+                    latency: done - now,
+                    served_by_fast: false,
+                    extra_lines: Vec::new(),
+                }
+            }
+            None => {
+                self.counters.page_misses += 1;
+                let meta_lat = self.probe(now, None, req.addr);
+                let done = self
+                    .devices
+                    .slow
+                    .access(now + meta_lat, req.addr & !63, 64, false);
+                // Allocate: evict the LRU way, fetch the predicted footprint.
+                let base = self.set_of(block) * self.assoc;
+                let victim = (base..base + self.assoc)
+                    .min_by_key(|i| match self.ways[*i].block {
+                        None => (0, 0),
+                        Some(_) => (1, self.ways[*i].stamp),
+                    })
+                    .expect("assoc > 0");
+                self.evict(done, victim);
+                let mask = self.predicted_mask(block, line);
+                let fetch_lines = mask.count_ones() as usize;
+                self.counters.predicted_lines += fetch_lines as u64;
+                self.devices
+                    .slow
+                    .access(done, block * BLOCK, fetch_lines * 64, false);
+                self.devices
+                    .fast
+                    .access(done, self.fast_addr(victim, 0), fetch_lines * 64, true);
+                self.ways[victim] = Way {
+                    block: Some(block),
+                    present: mask,
+                    dirty: 0,
+                    stamp: 0,
+                    mru: false,
+                };
+                self.touch(victim);
+                self.serve.record_read(false);
+                Response {
+                    latency: done - now,
+                    served_by_fast: false,
+                    extra_lines: Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, addr: u64, _mem: &mut MemoryContents) -> Cycle {
+        self.serve.record_writeback();
+        let block = addr / BLOCK;
+        let line = ((addr % BLOCK) / 64) as usize;
+        if let Some(w) = self.find(block) {
+            let done = self
+                .devices
+                .fast
+                .access(now, self.fast_addr(w, addr), 64, true);
+            self.ways[w].present |= 1 << line;
+            self.ways[w].dirty |= 1 << line;
+            self.touch(w);
+            done
+        } else {
+            self.devices.slow.access(now, addr & !63, 64, true)
+        }
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        self.serve.finish(&self.devices)
+    }
+
+    fn export(&self, stats: &mut Stats) {
+        stats.set_counter("hits", self.counters.hits);
+        stats.set_counter("sub_misses", self.counters.sub_misses);
+        stats.set_counter("page_misses", self.counters.page_misses);
+        stats.set_counter("way_mispredicts", self.counters.way_mispredicts);
+        stats.set_counter("predicted_lines", self.counters.predicted_lines);
+        self.devices.export(stats);
+    }
+
+    fn reset_stats(&mut self) {
+        self.serve.reset();
+        self.counters = UnisonCounters::default();
+        self.devices.reset_stats();
+    }
+
+    fn name(&self) -> &str {
+        "unison"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::test_contents;
+
+    fn ctrl() -> UnisonCache {
+        UnisonCache::new(Scale { divisor: 2048 })
+    }
+
+    #[test]
+    fn page_miss_fetches_footprint_not_whole_page() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        let s = c.serve_stats();
+        // Default prediction: 4-line group, not the whole 2 kB page.
+        assert!(s.slow_bytes <= 64 + 4 * 64, "slow bytes {}", s.slow_bytes);
+        assert_eq!(c.counters().page_misses, 1);
+    }
+
+    #[test]
+    fn line_hit_after_fill() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        let r = c.read(10_000, Request { addr: 64, core: 0 }, &mut mem);
+        assert!(r.served_by_fast, "line 1 was in the default 4-line group");
+        assert_eq!(c.counters().hits, 1);
+    }
+
+    #[test]
+    fn sub_miss_fetches_single_line() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        let r = c.read(10_000, Request { addr: 1024, core: 0 }, &mut mem);
+        assert!(!r.served_by_fast);
+        assert_eq!(c.counters().sub_misses, 1);
+        // The line is now present.
+        let r2 = c.read(20_000, Request { addr: 1024, core: 0 }, &mut mem);
+        assert!(r2.served_by_fast);
+    }
+
+    #[test]
+    fn footprint_learned_from_residency() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        let sets = c.sets as u64;
+        // Touch lines 0 and 16 of block 0.
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        c.read(1000, Request { addr: 1024, core: 0 }, &mut mem);
+        // Evict block 0 by filling its set.
+        for i in 1..=4u64 {
+            c.read(i * 10_000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+        }
+        // Refetch block 0: both previously-touched lines come back at once.
+        c.read(100_000, Request { addr: 0, core: 0 }, &mut mem);
+        let r = c.read(200_000, Request { addr: 1024, core: 0 }, &mut mem);
+        assert!(r.served_by_fast, "footprint prediction refetched line 16");
+    }
+
+    #[test]
+    fn dirty_lines_written_back_on_eviction() {
+        let mut c = ctrl();
+        let mut mem = test_contents();
+        c.read(0, Request { addr: 0, core: 0 }, &mut mem);
+        c.writeback(10, 0, &mut mem);
+        let before = c.serve_stats().slow_bytes;
+        let sets = c.sets as u64;
+        for i in 1..=4u64 {
+            c.read(i * 10_000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+        }
+        let after = c.serve_stats().slow_bytes;
+        assert!(after > before, "dirty line written to slow on eviction");
+    }
+}

@@ -1,0 +1,450 @@
+//! Baryon controller configuration.
+
+use crate::addr::Geometry;
+use baryon_sim::Cycle;
+use baryon_workloads::Scale;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// How the fast memory is exposed (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HybridMode {
+    /// Fast memory is an OS-invisible cache; the OS-physical space equals
+    /// the slow memory.
+    Cache,
+    /// Fast memory is part of the OS-physical space (fully-associative in
+    /// this implementation, matching the paper's evaluated Baryon-FA/Hybrid2
+    /// flat configurations).
+    Flat,
+    /// A static combination: part of the fast data area is OS-visible flat
+    /// space, the rest is an OS-invisible cache (§III-A: the fast memory
+    /// "can be flexibly (but statically) partitioned into cache and flat
+    /// areas"). Fully-associative, like the flat scheme.
+    Mixed,
+}
+
+/// Victim selection for the cache/flat data area (§III-E notes the choice
+/// is orthogonal to Baryon; the paper uses LRU for low-associative
+/// configurations and FIFO for high-associative ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VictimPolicy {
+    /// The paper's default: LRU when low-associative, FIFO when
+    /// fully-associative.
+    Auto,
+    /// Least-recently-used.
+    Lru,
+    /// Insertion-order FIFO.
+    Fifo,
+    /// Deterministic pseudo-random.
+    Random,
+    /// CLOCK (second-chance) approximation of LRU.
+    Clock,
+    /// Least-frequently-used (decayed access counts).
+    Lfu,
+}
+
+/// An invalid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
+
+impl ConfigError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ConfigError(msg.into())
+    }
+}
+
+/// Full configuration of the Baryon controller.
+///
+/// Every Fig 12/Fig 13 ablation is a field here; the `default_*`
+/// constructors give the paper's default design points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaryonConfig {
+    /// Block / sub-block / super-block sizes.
+    pub geometry: Geometry,
+    /// Cache or flat scheme.
+    pub mode: HybridMode,
+    /// Total fast-memory capacity (stage area + metadata + data area).
+    pub fast_bytes: u64,
+    /// Total slow-memory capacity.
+    pub slow_bytes: u64,
+    /// Stage-area capacity (paper default 64 MB at 4 GB fast; scaled here).
+    /// Zero disables the stage area (the Fig 13(c) "no stage" ablation).
+    pub stage_bytes: u64,
+    /// Stage-area associativity (paper: 4).
+    pub stage_ways: usize,
+    /// Cache/flat-area associativity: fast blocks per set (paper: 4).
+    /// `usize::MAX` selects the fully-associative Baryon-FA organization.
+    pub assoc: usize,
+    /// Selective-commit weight `k` (Eq. 1; paper default 4).
+    /// `f64::INFINITY` selects the stability-only policy.
+    pub commit_k: f64,
+    /// Commit every stage victim regardless of the cost model (Fig 13(d)).
+    pub commit_all: bool,
+    /// Enforce cacheline-aligned compression (§III-E; default true).
+    pub cacheline_aligned: bool,
+    /// Enable the `Z`-bit all-zero range optimization (default true).
+    pub zero_opt: bool,
+    /// Also try the C-Pack compressor next to FPC/BDI (default false; an
+    /// extension beyond the paper's hardware, §III-B "alternative schemes").
+    pub use_cpack: bool,
+    /// Keep data compressed on fast-to-slow writeback (§III-F; default true).
+    pub compressed_writeback: bool,
+    /// Allow block-level stage replacements (default true; false restricts
+    /// the stage area to sub-block-only replacement, the Fig 13(a) ablation).
+    pub two_level_replacement: bool,
+    /// Decompression latency on the critical path (paper: 5 cycles).
+    pub decompress_cycles: Cycle,
+    /// Stage tag array lookup latency (Table I: 5 cycles).
+    pub stage_tag_latency: Cycle,
+    /// Remap cache hit latency (Table I: 3 cycles).
+    pub remap_cache_latency: Cycle,
+    /// Remap cache capacity in bytes (paper: 32 kB; fixed SRAM, not scaled).
+    pub remap_cache_bytes: u64,
+    /// Counter-aging period for the selective-commit counters (per-set
+    /// accesses between right-shifts; paper: 10000).
+    pub aging_period: u64,
+    /// Cache/flat-area victim selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Fraction of the data area that is OS-visible flat space in
+    /// [`HybridMode::Mixed`] (ignored otherwise).
+    pub flat_fraction: f64,
+}
+
+impl BaryonConfig {
+    /// The default stage-area size at a scale. The paper uses 64 MB of the
+    /// 4 GB fast memory; when capacities scale down the core count does
+    /// not, so stage *residency time* (what Fig 4 shows stabilizing
+    /// layouts) must be protected with a floor of `min(2 MB, fast/8)`
+    /// (see DESIGN.md, "Scaling").
+    pub fn default_stage_bytes(scale: Scale) -> u64 {
+        let proportional = (64 << 20) / scale.divisor;
+        let floor = (2 << 20).min(scale.fast_bytes() / 8);
+        proportional.max(floor) & !2047
+    }
+
+    /// The paper's default cache-mode design point at a given scale:
+    /// 4-way cache area, 256 B sub-blocks, 64 MB-equivalent stage area,
+    /// k = 4, all optimizations on.
+    pub fn default_cache_mode(scale: Scale) -> Self {
+        BaryonConfig {
+            geometry: Geometry::baryon_default(),
+            mode: HybridMode::Cache,
+            fast_bytes: scale.fast_bytes(),
+            slow_bytes: scale.slow_bytes(),
+            stage_bytes: Self::default_stage_bytes(scale),
+            // Table I uses 4-way staging over 8192 sets. Scaled-down stage
+            // areas have far fewer sets for the same 16 cores, so active
+            // streams collide and commit mid-fill; 8 ways at the same
+            // capacity removes that artifact (see DESIGN.md).
+            stage_ways: if scale.divisor > 4 { 8 } else { 4 },
+            assoc: 4,
+            commit_k: 4.0,
+            commit_all: false,
+            cacheline_aligned: true,
+            zero_opt: true,
+            use_cpack: false,
+            compressed_writeback: true,
+            two_level_replacement: true,
+            decompress_cycles: 5,
+            stage_tag_latency: 5,
+            remap_cache_latency: 3,
+            remap_cache_bytes: 32 << 10,
+            aging_period: 10_000,
+            victim_policy: VictimPolicy::Auto,
+            flat_fraction: 0.0,
+        }
+    }
+
+    /// The fully-associative flat-mode design point (Baryon-FA, Fig 10).
+    pub fn default_flat_fa(scale: Scale) -> Self {
+        BaryonConfig {
+            mode: HybridMode::Flat,
+            assoc: usize::MAX,
+            flat_fraction: 1.0,
+            ..Self::default_cache_mode(scale)
+        }
+    }
+
+    /// A static cache + flat combination (§III-A): `flat_fraction` of the
+    /// data area is OS-visible, the rest serves as a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `flat_fraction` is within (0, 1).
+    pub fn default_mixed(scale: Scale, flat_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&flat_fraction) && flat_fraction > 0.0 && flat_fraction < 1.0,
+            "mixed mode needs a flat fraction strictly between 0 and 1"
+        );
+        BaryonConfig {
+            mode: HybridMode::Mixed,
+            assoc: usize::MAX,
+            flat_fraction,
+            ..Self::default_cache_mode(scale)
+        }
+    }
+
+    /// True if the cache/flat area is fully associative.
+    pub fn is_fully_associative(&self) -> bool {
+        self.assoc == usize::MAX || self.assoc >= self.data_blocks()
+    }
+
+    /// Stage-area capacity in 2 kB physical blocks.
+    pub fn stage_blocks(&self) -> usize {
+        (self.stage_bytes / self.geometry.block_bytes) as usize
+    }
+
+    /// Stage-area sets.
+    pub fn stage_sets(&self) -> usize {
+        (self.stage_blocks() / self.stage_ways).max(1)
+    }
+
+    /// Bytes of fast memory consumed by the off-chip remap table
+    /// (2 B per data block over the whole OS-physical space).
+    pub fn remap_table_bytes(&self) -> u64 {
+        let total_blocks = (self.fast_bytes + self.slow_bytes) / self.geometry.block_bytes;
+        total_blocks * 2
+    }
+
+    /// Fast-memory bytes left for the cache/flat data area.
+    pub fn data_area_bytes(&self) -> u64 {
+        let meta = self.stage_bytes + self.remap_table_bytes();
+        self.fast_bytes.saturating_sub(meta) / self.geometry.block_bytes
+            * self.geometry.block_bytes
+    }
+
+    /// Fast data-area capacity in blocks.
+    pub fn data_blocks(&self) -> usize {
+        (self.data_area_bytes() / self.geometry.block_bytes) as usize
+    }
+
+    /// Number of cache/flat-area sets.
+    pub fn num_sets(&self) -> usize {
+        if self.is_fully_associative() {
+            1
+        } else {
+            (self.data_blocks() / self.assoc).max(1)
+        }
+    }
+
+    /// Effective associativity (ways per set).
+    pub fn effective_assoc(&self) -> usize {
+        if self.is_fully_associative() {
+            self.data_blocks()
+        } else {
+            self.assoc
+        }
+    }
+
+    /// Fast data-area blocks that are OS-visible flat space.
+    pub fn flat_blocks(&self) -> u64 {
+        match self.mode {
+            HybridMode::Cache => 0,
+            HybridMode::Flat => self.data_blocks() as u64,
+            HybridMode::Mixed => {
+                (self.data_blocks() as f64 * self.flat_fraction).floor() as u64
+            }
+        }
+    }
+
+    /// OS-physical space in bytes: slow memory only (cache mode) or the
+    /// flat fast area plus slow memory (flat/mixed modes).
+    pub fn os_space_bytes(&self) -> u64 {
+        self.flat_blocks() * self.geometry.block_bytes + self.slow_bytes
+    }
+
+    /// Total OS-visible blocks.
+    pub fn os_blocks(&self) -> u64 {
+        self.os_space_bytes() / self.geometry.block_bytes
+    }
+
+    /// On-chip SRAM budget: (stage tag array bytes, remap cache bytes).
+    ///
+    /// Stage tag entries are 14 B each in the default geometry (§III-B);
+    /// with other geometries the entry grows/shrinks with the number of
+    /// sub-block slots (1 B per slot field plus the 6 B of tag/valid/LRU/
+    /// FIFO/MissCnt bookkeeping).
+    pub fn sram_budget(&self) -> (u64, u64) {
+        let slot_fields = self.geometry.subs_per_block() as u64;
+        let entry_bytes = 6 + slot_fields;
+        (self.stage_blocks() as u64 * entry_bytes, self.remap_cache_bytes)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.geometry.validate().map_err(ConfigError::new)?;
+        if self.fast_bytes == 0 || self.slow_bytes == 0 {
+            return Err(ConfigError::new("memory capacities must be non-zero"));
+        }
+        if !self.fast_bytes.is_multiple_of(self.geometry.block_bytes)
+            || !self.slow_bytes.is_multiple_of(self.geometry.block_bytes)
+        {
+            return Err(ConfigError::new("capacities must be block-aligned"));
+        }
+        if self.stage_bytes > 0 && self.stage_blocks() < self.stage_ways {
+            return Err(ConfigError::new("stage area smaller than one set"));
+        }
+        if self.stage_ways == 0 {
+            return Err(ConfigError::new("stage_ways must be non-zero"));
+        }
+        if self.assoc == 0 {
+            return Err(ConfigError::new("assoc must be non-zero"));
+        }
+        if self.data_blocks() == 0 {
+            return Err(ConfigError::new(
+                "metadata and stage area leave no fast memory for data",
+            ));
+        }
+        if self.commit_k < 0.0 {
+            return Err(ConfigError::new("commit_k must be non-negative"));
+        }
+        if matches!(self.mode, HybridMode::Flat | HybridMode::Mixed)
+            && !self.is_fully_associative()
+        {
+            return Err(ConfigError::new(
+                "flat/mixed modes are only supported fully-associative (the paper's evaluated configuration)",
+            ));
+        }
+        if matches!(self.mode, HybridMode::Mixed)
+            && !(self.flat_fraction > 0.0 && self.flat_fraction < 1.0)
+        {
+            return Err(ConfigError::new(
+                "mixed mode needs flat_fraction strictly between 0 and 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> Scale {
+        Scale::default()
+    }
+
+    #[test]
+    fn default_cache_mode_valid() {
+        let c = BaryonConfig::default_cache_mode(scale());
+        c.validate().expect("valid");
+        assert_eq!(c.mode, HybridMode::Cache);
+        assert!(!c.is_fully_associative());
+        // 64 MB / 256 = 256 kB proportional, floored at min(2 MB, fast/8).
+        assert_eq!(c.stage_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn stage_scaling_rule() {
+        // Paper scale: exactly 64 MB.
+        assert_eq!(BaryonConfig::default_stage_bytes(Scale { divisor: 1 }), 64 << 20);
+        // Moderate scale: proportional wins.
+        assert_eq!(BaryonConfig::default_stage_bytes(Scale { divisor: 16 }), 4 << 20);
+        // Deep scale: the residency floor wins, capped at fast/8.
+        assert_eq!(BaryonConfig::default_stage_bytes(Scale { divisor: 1024 }), 512 << 10);
+    }
+
+    #[test]
+    fn default_flat_fa_valid() {
+        let c = BaryonConfig::default_flat_fa(scale());
+        c.validate().expect("valid");
+        assert!(c.is_fully_associative());
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.effective_assoc(), c.data_blocks());
+    }
+
+    #[test]
+    fn data_area_excludes_metadata() {
+        let c = BaryonConfig::default_cache_mode(scale());
+        assert!(c.data_area_bytes() < c.fast_bytes);
+        assert!(
+            c.fast_bytes - c.data_area_bytes() >= c.stage_bytes + c.remap_table_bytes() - 2047
+        );
+    }
+
+    #[test]
+    fn remap_table_is_tiny_fraction() {
+        // Paper: "the full remap table occupies only 0.1% of the total
+        // system memory capacity".
+        let c = BaryonConfig::default_cache_mode(scale());
+        let frac = c.remap_table_bytes() as f64 / (c.fast_bytes + c.slow_bytes) as f64;
+        assert!(frac < 0.0011, "remap table fraction {frac}");
+    }
+
+    #[test]
+    fn stage_tag_entry_is_14_bytes_default() {
+        let c = BaryonConfig::default_cache_mode(scale());
+        let (stage_tag, remap_cache) = c.sram_budget();
+        assert_eq!(stage_tag / c.stage_blocks() as u64, 14);
+        assert_eq!(remap_cache, 32 << 10);
+    }
+
+    #[test]
+    fn paper_scale_sram_budget() {
+        // At the paper's scale the stage tag array must be 448 kB.
+        let c = BaryonConfig::default_cache_mode(Scale { divisor: 1 });
+        let (stage_tag, _) = c.sram_budget();
+        assert_eq!(stage_tag, 448 << 10);
+        assert_eq!(c.stage_sets(), 8192);
+    }
+
+    #[test]
+    fn os_space_depends_on_mode() {
+        let cache = BaryonConfig::default_cache_mode(scale());
+        let flat = BaryonConfig::default_flat_fa(scale());
+        assert_eq!(cache.os_space_bytes(), cache.slow_bytes);
+        assert!(flat.os_space_bytes() > flat.slow_bytes);
+    }
+
+    #[test]
+    fn low_assoc_flat_rejected() {
+        let mut c = BaryonConfig::default_flat_fa(scale());
+        c.assoc = 4;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_stage_is_valid_ablation() {
+        let mut c = BaryonConfig::default_cache_mode(scale());
+        c.stage_bytes = 0;
+        c.validate().expect("no-stage ablation is valid");
+        assert_eq!(c.stage_blocks(), 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = BaryonConfig::default_cache_mode(scale());
+        c.assoc = 0;
+        assert!(c.validate().is_err());
+        let mut c = BaryonConfig::default_cache_mode(scale());
+        c.fast_bytes = 0;
+        assert!(c.validate().is_err());
+        let mut c = BaryonConfig::default_cache_mode(scale());
+        c.commit_k = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = BaryonConfig::default_cache_mode(scale());
+        c.fast_bytes = 12345; // not block aligned
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let mut c = BaryonConfig::default_cache_mode(scale());
+        c.stage_ways = 0;
+        let err = c.validate().expect_err("invalid");
+        assert!(err.to_string().contains("stage_ways"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Stage-phase instrumentation backing Fig 3 and Fig 4 of the paper.
+//!
+//! * **Fig 3** classifies accesses to a block during a window right after it
+//!   is *staged* (the "S" bars) and right after it is *committed* (the "C"
+//!   bars) into hits, read/write sub-block misses, and write overflows.
+//! * **Fig 4** tracks the miss ratio of each staged block across its stage
+//!   phase, normalized to the phase length, showing layouts stabilizing.
+
+use crate::stage::StageSlot;
+use std::collections::HashMap;
+
+/// Outcome classes of Fig 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data present in fast memory.
+    Hit,
+    /// Demanded sub-block missing (read or write).
+    Miss,
+    /// Updated data no longer fits its compressed slot.
+    Overflow,
+}
+
+/// Counters of one Fig 3 window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowCounts {
+    /// Hits observed.
+    pub hits: u64,
+    /// Sub-block misses observed.
+    pub misses: u64,
+    /// Write overflows observed.
+    pub overflows: u64,
+}
+
+impl WindowCounts {
+    /// Total classified accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.overflows
+    }
+
+    fn add(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Hit => self.hits += 1,
+            AccessKind::Miss => self.misses += 1,
+            AccessKind::Overflow => self.overflows += 1,
+        }
+    }
+}
+
+/// Number of time buckets the normalized stage phase is split into (Fig 4).
+pub const PHASE_BUCKETS: usize = 10;
+
+/// One completed stage phase: per-bucket access/miss counts over the
+/// phase's (normalized) wall-clock span.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Accesses per normalized-time bucket.
+    pub accesses: [u64; PHASE_BUCKETS],
+    /// Misses per normalized-time bucket.
+    pub misses: [u64; PHASE_BUCKETS],
+    /// Phase length in cycles.
+    pub span: u64,
+    /// Whether the phase ended in a commit (vs eviction to slow).
+    pub committed: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ActivePhase {
+    /// Cycle at which the block was staged.
+    start: u64,
+    /// (cycle, was it a miss) events.
+    events: Vec<(u64, bool)>,
+}
+
+/// The tracker. Disabled by default (zero overhead beyond a branch).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTracker {
+    enabled: bool,
+    window: u64,
+    max_phases: usize,
+    /// One phase per (stage slot, data block): the paper's Fig 4 tracks
+    /// each *block's* stage phase, not the physical entry's lifetime.
+    active: HashMap<(StageSlot, u64), ActivePhase>,
+    phases: Vec<PhaseRecord>,
+    /// Blocks inside their post-stage window: remaining access budget.
+    staged_window: HashMap<u64, u64>,
+    /// Blocks inside their post-commit window.
+    committed_window: HashMap<u64, u64>,
+    staged_counts: WindowCounts,
+    committed_counts: WindowCounts,
+}
+
+impl PhaseTracker {
+    /// Creates an enabled tracker. `window` is the number of accesses
+    /// classified after each stage/commit event (Fig 3); `max_phases`
+    /// bounds the Fig 4 sample (the paper samples 1k blocks).
+    pub fn enabled(window: u64, max_phases: usize) -> Self {
+        PhaseTracker {
+            enabled: true,
+            window,
+            max_phases,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a disabled tracker.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether instrumentation is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A new stage phase began for `block` at `slot` at cycle `now`.
+    pub fn on_stage(&mut self, slot: StageSlot, block: u64, now: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.active.entry((slot, block)).or_insert(ActivePhase {
+            start: now,
+            events: Vec::new(),
+        });
+        self.staged_window.insert(block, self.window);
+    }
+
+    /// An access touched `block`, staged at `slot`, at cycle `now`.
+    pub fn on_stage_access(&mut self, slot: StageSlot, block: u64, now: u64, miss: bool) {
+        if !self.enabled {
+            return;
+        }
+        let p = self.active.entry((slot, block)).or_insert(ActivePhase {
+            start: now,
+            events: Vec::new(),
+        });
+        if p.events.len() < 4096 {
+            p.events.push((now, miss));
+        }
+    }
+
+    /// The stage phase of `slot` ended (commit or eviction) at cycle `now`.
+    pub fn on_phase_end(&mut self, slot: StageSlot, now: u64, committed: bool, blocks: &[u64]) {
+        if !self.enabled {
+            return;
+        }
+        for block in blocks {
+            let Some(p) = self.active.remove(&(slot, *block)) else {
+                continue;
+            };
+            let span = now.saturating_sub(p.start);
+            if self.phases.len() < self.max_phases && !p.events.is_empty() && span > 0 {
+                let mut rec = PhaseRecord {
+                    committed,
+                    span,
+                    ..PhaseRecord::default()
+                };
+                for (t, miss) in p.events {
+                    let rel = t.saturating_sub(p.start).min(span - 1);
+                    let bucket =
+                        ((rel * PHASE_BUCKETS as u64) / span).min(PHASE_BUCKETS as u64 - 1) as usize;
+                    rec.accesses[bucket] += 1;
+                    if miss {
+                        rec.misses[bucket] += 1;
+                    }
+                }
+                self.phases.push(rec);
+            }
+        }
+        if committed {
+            for b in blocks {
+                self.staged_window.remove(b);
+                self.committed_window.insert(*b, self.window);
+            }
+        } else {
+            for b in blocks {
+                self.staged_window.remove(b);
+            }
+        }
+    }
+
+    /// True if `block` is currently inside its post-commit window.
+    pub fn in_committed_window(&self, block: u64) -> bool {
+        self.committed_window.contains_key(&block)
+    }
+
+    /// A committed block was evicted back to slow memory: its windows no
+    /// longer describe fast-memory behaviour and are cancelled.
+    pub fn on_evict_committed(&mut self, block: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.committed_window.remove(&block);
+        self.staged_window.remove(&block);
+    }
+
+    /// Classifies an access to data block `block` into the S/C windows.
+    pub fn classify(&mut self, block: u64, kind: AccessKind) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(left) = self.staged_window.get_mut(&block) {
+            self.staged_counts.add(kind);
+            *left -= 1;
+            if *left == 0 {
+                self.staged_window.remove(&block);
+            }
+        } else if let Some(left) = self.committed_window.get_mut(&block) {
+            self.committed_counts.add(kind);
+            *left -= 1;
+            if *left == 0 {
+                self.committed_window.remove(&block);
+            }
+        }
+    }
+
+    /// Fig 3 "S" window counters.
+    pub fn staged_counts(&self) -> WindowCounts {
+        self.staged_counts
+    }
+
+    /// Fig 3 "C" window counters.
+    pub fn committed_counts(&self) -> WindowCounts {
+        self.committed_counts
+    }
+
+    /// Fig 4 completed phase records.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// Per-bucket miss-rate samples across completed phases (Fig 4's
+    /// distribution input): element `i` collects, for each sampled phase,
+    /// the block's stage misses per kilocycle in normalized-time bucket `i`
+    /// (the analogue of the paper's per-block stage-area MPKI). Phases with
+    /// fewer than 4 total misses are skipped as too short to bucket.
+    pub fn bucket_miss_ratios(&self) -> [Vec<f64>; PHASE_BUCKETS] {
+        let mut out: [Vec<f64>; PHASE_BUCKETS] = Default::default();
+        for p in &self.phases {
+            let total: u64 = p.misses.iter().sum();
+            if total < 4 || p.span == 0 {
+                continue;
+            }
+            let bucket_kilocycles = p.span as f64 / PHASE_BUCKETS as f64 / 1000.0;
+            for (acc, misses) in out.iter_mut().zip(&p.misses) {
+                acc.push(*misses as f64 / bucket_kilocycles);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot() -> StageSlot {
+        StageSlot { set: 0, way: 0 }
+    }
+
+    #[test]
+    fn disabled_tracker_is_inert() {
+        let mut t = PhaseTracker::disabled();
+        t.on_stage(slot(), 1, 0);
+        t.on_stage_access(slot(), 1, 5, true);
+        t.on_phase_end(slot(), 10, true, &[1]);
+        t.classify(1, AccessKind::Hit);
+        assert!(t.phases().is_empty());
+        assert_eq!(t.committed_counts().total(), 0);
+    }
+
+    #[test]
+    fn phase_bucketing_by_time() {
+        let mut t = PhaseTracker::enabled(8, 100);
+        t.on_stage(slot(), 1, 0);
+        // Misses early in wall-clock time, hits later.
+        for i in 0..5u64 {
+            t.on_stage_access(slot(), 1, i * 10, true);
+        }
+        for i in 0..5u64 {
+            t.on_stage_access(slot(), 1, 900 + i * 10, false);
+        }
+        t.on_phase_end(slot(), 1000, true, &[1]);
+        let p = &t.phases()[0];
+        assert!(p.committed);
+        assert_eq!(p.span, 1000);
+        assert_eq!(p.misses[0], 5, "all misses land in the first bucket");
+        assert_eq!(p.misses[9], 0);
+        assert_eq!(p.accesses[9], 5, "late hits land in the last bucket");
+    }
+
+    #[test]
+    fn windows_classify_s_then_c() {
+        let mut t = PhaseTracker::enabled(2, 10);
+        t.on_stage(slot(), 7, 0);
+        t.classify(7, AccessKind::Miss);
+        t.classify(7, AccessKind::Hit);
+        // Window exhausted: further accesses unclassified.
+        t.classify(7, AccessKind::Hit);
+        assert_eq!(t.staged_counts().total(), 2);
+        assert_eq!(t.staged_counts().misses, 1);
+
+        t.on_stage(slot(), 7, 100);
+        t.on_phase_end(slot(), 200, true, &[7]);
+        t.classify(7, AccessKind::Overflow);
+        assert_eq!(t.committed_counts().overflows, 1);
+    }
+
+    #[test]
+    fn eviction_cancels_windows() {
+        let mut t = PhaseTracker::enabled(4, 10);
+        t.on_stage(slot(), 3, 0);
+        t.on_phase_end(slot(), 10, false, &[3]);
+        t.classify(3, AccessKind::Hit);
+        assert_eq!(t.staged_counts().total(), 0);
+        assert_eq!(t.committed_counts().total(), 0);
+    }
+
+    #[test]
+    fn max_phases_caps_memory() {
+        let mut t = PhaseTracker::enabled(1, 2);
+        for i in 0..5u64 {
+            let s = StageSlot {
+                set: 0,
+                way: i as usize % 4,
+            };
+            t.on_stage(s, i, 0);
+            t.on_stage_access(s, i, 1, true);
+            t.on_phase_end(s, 10, false, &[i]);
+        }
+        assert_eq!(t.phases().len(), 2);
+    }
+
+    #[test]
+    fn bucket_rates_decay_with_stabilizing_block() {
+        let mut t = PhaseTracker::enabled(1, 10);
+        t.on_stage(slot(), 0, 0);
+        // Cold misses in the first 10% of the phase, then silence (hits
+        // absorbed upstream), a couple of late hits visible.
+        for i in 0..8u64 {
+            t.on_stage_access(slot(), 0, i * 10, true);
+        }
+        t.on_stage_access(slot(), 0, 5000, false);
+        t.on_stage_access(slot(), 0, 9000, false);
+        t.on_phase_end(slot(), 10_000, true, &[0]);
+        let rates = t.bucket_miss_ratios();
+        assert!(rates[0][0] > 0.0, "early bucket has misses");
+        assert_eq!(rates[9][0], 0.0, "late buckets are quiet");
+    }
+
+    #[test]
+    fn short_phases_excluded_from_distribution() {
+        let mut t = PhaseTracker::enabled(1, 10);
+        t.on_stage(slot(), 0, 0);
+        t.on_stage_access(slot(), 0, 1, true);
+        t.on_phase_end(slot(), 10, true, &[0]);
+        let rates = t.bucket_miss_ratios();
+        assert!(rates.iter().all(|b| b.is_empty()), "1-miss phase skipped");
+    }
+}

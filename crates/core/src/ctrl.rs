@@ -1,0 +1,250 @@
+//! The memory-controller interface shared by Baryon and all baselines.
+
+use baryon_mem::{DeviceConfig, MemDevice};
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use baryon_workloads::MemoryContents;
+
+/// A demand read reaching the memory controller (an LLC fill request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// OS-physical byte address (64 B aligned by the driver).
+    pub addr: u64,
+    /// Issuing core (for statistics only).
+    pub core: usize,
+}
+
+/// The controller's answer to a demand read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Memory-side latency of the demanded 64 B line, in cycles.
+    pub latency: Cycle,
+    /// True if the demanded line was served from fast memory.
+    pub served_by_fast: bool,
+    /// Additional 64 B line addresses that arrived "for free" (e.g.
+    /// co-decompressed neighbours) and should be installed into the LLC.
+    pub extra_lines: Vec<u64>,
+}
+
+/// A hybrid-memory controller: Baryon or one of the baselines.
+///
+/// The driver calls [`MemoryController::read`] for every LLC miss and
+/// [`MemoryController::writeback`] for every dirty 64 B line the LLC evicts.
+/// Writebacks are posted (they do not stall cores) but consume device
+/// bandwidth and may trigger overflow handling.
+pub trait MemoryController {
+    /// Handles a demand read of the 64 B line at `req.addr`.
+    fn read(&mut self, now: Cycle, req: Request, mem: &mut MemoryContents) -> Response;
+
+    /// Handles a dirty 64 B line written back from the LLC. Returns the
+    /// cycle at which the write's device work completes: writebacks are
+    /// posted (they do not stall the issuing load path) but the driver
+    /// bounds how many may be outstanding per core, so sustained write
+    /// streams feel memory bandwidth.
+    fn writeback(&mut self, now: Cycle, addr: u64, mem: &mut MemoryContents) -> Cycle;
+
+    /// Aggregate serve/traffic statistics.
+    fn serve_stats(&self) -> ServeStats;
+
+    /// Dumps all internal counters under their own names.
+    fn export(&self, stats: &mut Stats);
+
+    /// Resets statistics after warm-up (state is kept).
+    fn reset_stats(&mut self);
+
+    /// Short display name (e.g. `"baryon"`, `"unison"`).
+    fn name(&self) -> &str;
+}
+
+/// Serve-rate and traffic summary used by Fig 9–11.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Demand reads handled.
+    pub reads: u64,
+    /// Demand reads served by fast memory.
+    pub fast_served: u64,
+    /// Dirty line writebacks received.
+    pub writebacks: u64,
+    /// Useful bytes exchanged with the LLC (64 B per read/writeback plus
+    /// prefetched lines actually installed).
+    pub useful_bytes: u64,
+    /// Total fast-memory device traffic in bytes.
+    pub fast_bytes: u64,
+    /// Total slow-memory device traffic in bytes.
+    pub slow_bytes: u64,
+    /// Total memory-system energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl ServeStats {
+    /// Fraction of demand reads served by fast memory (Fig 11 left).
+    pub fn fast_serve_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.fast_served as f64 / self.reads as f64
+        }
+    }
+
+    /// Fast-memory bandwidth bloat factor (Fig 11 right): total fast traffic
+    /// over useful LLC traffic.
+    pub fn bloat_factor(&self) -> f64 {
+        if self.useful_bytes == 0 {
+            0.0
+        } else {
+            self.fast_bytes as f64 / self.useful_bytes as f64
+        }
+    }
+}
+
+/// The fast + slow device pair owned by every controller.
+#[derive(Debug, Clone)]
+pub struct Devices {
+    /// DDR4 fast memory.
+    pub fast: MemDevice,
+    /// NVM slow memory.
+    pub slow: MemDevice,
+}
+
+impl Devices {
+    /// Creates the Table I device pair.
+    pub fn table1() -> Self {
+        Devices {
+            fast: MemDevice::new(DeviceConfig::ddr4_3200()),
+            slow: MemDevice::new(DeviceConfig::nvm()),
+        }
+    }
+
+    /// Total energy across both devices.
+    pub fn energy_pj(&self) -> f64 {
+        self.fast.stats().energy_pj + self.slow.stats().energy_pj
+    }
+
+    /// Resets both devices' statistics.
+    pub fn reset_stats(&mut self) {
+        self.fast.reset_stats();
+        self.slow.reset_stats();
+    }
+
+    /// Exports both devices' statistics under `fast.` / `slow.` prefixes.
+    pub fn export(&self, stats: &mut Stats) {
+        let mut f = Stats::new();
+        self.fast.stats().export(&mut f);
+        stats.absorb("fast", &f);
+        let mut s = Stats::new();
+        self.slow.stats().export(&mut s);
+        stats.absorb("slow", &s);
+    }
+}
+
+/// Convenience used by controllers to keep `ServeStats` consistent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeCounter {
+    pub(crate) reads: u64,
+    pub(crate) fast_served: u64,
+    pub(crate) writebacks: u64,
+    pub(crate) useful_bytes: u64,
+}
+
+impl ServeCounter {
+    /// Records a demand read and whether fast memory served it.
+    pub fn record_read(&mut self, fast: bool) {
+        self.reads += 1;
+        self.useful_bytes += 64;
+        if fast {
+            self.fast_served += 1;
+        }
+    }
+
+    /// Records extra prefetched lines delivered to the LLC.
+    pub fn record_prefetch_lines(&mut self, n: usize) {
+        self.useful_bytes += 64 * n as u64;
+    }
+
+    /// Records a dirty writeback from the LLC.
+    pub fn record_writeback(&mut self) {
+        self.writebacks += 1;
+        self.useful_bytes += 64;
+    }
+
+    /// Combines with device traffic into a [`ServeStats`].
+    pub fn finish(&self, devices: &Devices) -> ServeStats {
+        ServeStats {
+            reads: self.reads,
+            fast_served: self.fast_served,
+            writebacks: self.writebacks,
+            useful_bytes: self.useful_bytes,
+            fast_bytes: devices.fast.stats().total_bytes(),
+            slow_bytes: devices.slow.stats().total_bytes(),
+            energy_pj: devices.energy_pj(),
+        }
+    }
+
+    /// Clears the counters.
+    pub fn reset(&mut self) {
+        *self = ServeCounter::default();
+    }
+}
+
+/// A placeholder contents object for unit tests that do not care about data.
+#[doc(hidden)]
+pub fn test_contents() -> MemoryContents {
+    use baryon_workloads::{ProfileMix, ValueProfile};
+    MemoryContents::new(ProfileMix::pure(ValueProfile::NarrowInt), 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_rate_and_bloat() {
+        let s = ServeStats {
+            reads: 10,
+            fast_served: 7,
+            writebacks: 0,
+            useful_bytes: 640,
+            fast_bytes: 1920,
+            slow_bytes: 0,
+            energy_pj: 0.0,
+        };
+        assert!((s.fast_serve_rate() - 0.7).abs() < 1e-12);
+        assert!((s.bloat_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ServeStats::default();
+        assert_eq!(s.fast_serve_rate(), 0.0);
+        assert_eq!(s.bloat_factor(), 0.0);
+    }
+
+    #[test]
+    fn counter_tracks_useful_bytes() {
+        let mut c = ServeCounter::default();
+        c.record_read(true);
+        c.record_read(false);
+        c.record_prefetch_lines(3);
+        c.record_writeback();
+        let d = Devices::table1();
+        let s = c.finish(&d);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.fast_served, 1);
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(s.useful_bytes, 64 * (2 + 3 + 1));
+    }
+
+    #[test]
+    fn devices_energy_sums() {
+        let mut d = Devices::table1();
+        d.fast.access(0, 0, 64, false);
+        d.slow.access(0, 0, 64, false);
+        let total = d.energy_pj();
+        assert!(total > 0.0);
+        assert!((total
+            - d.fast.stats().energy_pj
+            - d.slow.stats().energy_pj)
+            .abs()
+            < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! The prefix-sum sub-block locator (§III-C).
+//!
+//! Committed layouts are sorted and dense (Rule 4), so the physical slot of
+//! a sub-block inside its fast block is fully determined by the remap
+//! entries of its super-block: sum the slots used by every *earlier* block
+//! of the super-block that shares the same `Pointer`, then add the
+//! sub-block's slot index within its own entry.
+//!
+//! In hardware this is the remap cache's "eight parallel decoders and a
+//! prefix sum unit"; here it is the same computation in software.
+
+use crate::metadata::remap_entry::RemapEntry;
+
+/// Computes the physical sub-block slot of `(blk_off, sub)` inside the fast
+/// block pointed to by its entry's `Pointer`.
+///
+/// `entries` are the remap entries of the whole super-block in block order.
+/// Returns `None` if the sub-block is not remapped or is an all-zero (`Z`)
+/// sub-block (which occupies no slot).
+///
+/// # Examples
+///
+/// Fig 5(e): A0, A2, A4-A7 (CF4) and B1, B3 share physical block Z; B3 is in
+/// the 5th slot (index 4... the paper counts from 1; we count from 0).
+///
+/// ```
+/// use baryon_core::metadata::{locate_sub_block, RemapEntry};
+/// use baryon_compress::Cf;
+///
+/// let mut a = RemapEntry::empty();
+/// a.set_range(0, Cf::X1);
+/// a.set_range(2, Cf::X1);
+/// a.set_range(4, Cf::X4);
+/// let mut b = RemapEntry::empty();
+/// b.set_range(1, Cf::X1);
+/// b.set_range(3, Cf::X1);
+/// let entries = vec![a, b, RemapEntry::empty()];
+/// assert_eq!(locate_sub_block(&entries, 1, 3), Some(4));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `blk_off` is out of range.
+pub fn locate_sub_block(entries: &[RemapEntry], blk_off: usize, sub: usize) -> Option<usize> {
+    assert!(blk_off < entries.len(), "blk_off out of range");
+    let target = &entries[blk_off];
+    if !target.has_sub(sub) {
+        return None;
+    }
+    let own = target.slot_of(sub)?; // None for Z entries
+    let pointer = target.pointer;
+    let before: usize = entries[..blk_off]
+        .iter()
+        .filter(|e| !e.is_empty() && e.pointer == pointer)
+        .map(RemapEntry::slots_used)
+        .sum();
+    Some(before + own)
+}
+
+/// Total sub-block slots consumed in the physical block pointed to by
+/// `pointer` by all entries of the super-block.
+pub fn slots_in_block(entries: &[RemapEntry], pointer: u32) -> usize {
+    entries
+        .iter()
+        .filter(|e| !e.is_empty() && e.pointer == pointer)
+        .map(RemapEntry::slots_used)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_compress::Cf;
+
+    fn entry(ranges: &[(usize, Cf)], pointer: u32) -> RemapEntry {
+        let mut e = RemapEntry::empty();
+        for (start, cf) in ranges {
+            e.set_range(*start, *cf);
+        }
+        e.pointer = pointer;
+        e
+    }
+
+    #[test]
+    fn paper_example_b3_is_fifth_slot() {
+        // "The Remap and CF2/CF4 bits say A0, A2, A4-A7, and B1 each takes
+        // one sub-block space. So B3 is in the 5th sub-block of Z."
+        let a = entry(&[(0, Cf::X1), (2, Cf::X1), (4, Cf::X4)], 0);
+        let b = entry(&[(1, Cf::X1), (3, Cf::X1)], 0);
+        let entries = vec![a, b];
+        assert_eq!(locate_sub_block(&entries, 1, 3), Some(4));
+        assert_eq!(locate_sub_block(&entries, 1, 1), Some(3));
+        assert_eq!(locate_sub_block(&entries, 0, 6), Some(2));
+    }
+
+    #[test]
+    fn different_pointer_not_counted() {
+        // Blocks remapped to another physical block do not shift the layout.
+        let a = entry(&[(0, Cf::X4), (4, Cf::X4)], 1); // elsewhere
+        let b = entry(&[(0, Cf::X1)], 0);
+        let entries = vec![a, b];
+        assert_eq!(locate_sub_block(&entries, 1, 0), Some(0));
+    }
+
+    #[test]
+    fn unmapped_sub_is_none() {
+        let entries = vec![entry(&[(0, Cf::X1)], 0)];
+        assert_eq!(locate_sub_block(&entries, 0, 5), None);
+    }
+
+    #[test]
+    fn zero_entries_take_no_space() {
+        let mut z = entry(&[(0, Cf::X4)], 0);
+        z.zero = true;
+        let b = entry(&[(2, Cf::X2)], 0);
+        let entries = vec![z, b];
+        assert_eq!(locate_sub_block(&entries, 1, 2), Some(0));
+        assert_eq!(locate_sub_block(&entries, 0, 0), None, "Z data has no slot");
+    }
+
+    #[test]
+    fn matches_naive_layout_builder() {
+        // Build a layout naively (walk blocks in order, assign slots) and
+        // check the locator agrees, across a spread of configurations.
+        let configs: Vec<Vec<Vec<(usize, Cf)>>> = vec![
+            vec![
+                vec![(0, Cf::X2), (4, Cf::X1)],
+                vec![],
+                vec![(0, Cf::X4), (4, Cf::X4)],
+                vec![(6, Cf::X2)],
+            ],
+            vec![
+                vec![(0, Cf::X1)],
+                vec![(2, Cf::X1), (4, Cf::X2)],
+                vec![(0, Cf::X2), (2, Cf::X2), (4, Cf::X2), (6, Cf::X2)],
+            ],
+        ];
+        for blocks in configs {
+            let entries: Vec<RemapEntry> =
+                blocks.iter().map(|rs| entry(rs, 0)).collect();
+            // Naive: assign slots in (block, sub) order.
+            let mut slot = 0usize;
+            for (blk, ranges) in blocks.iter().enumerate() {
+                let mut sorted = ranges.clone();
+                sorted.sort_by_key(|(s, _)| *s);
+                for (start, cf) in sorted {
+                    for s in start..start + cf.sub_blocks() {
+                        assert_eq!(
+                            locate_sub_block(&entries, blk, s),
+                            Some(slot),
+                            "block {blk} sub {s}"
+                        );
+                    }
+                    slot += 1;
+                }
+            }
+            assert_eq!(slots_in_block(&entries, 0), slot);
+        }
+    }
+
+    #[test]
+    fn slots_in_block_by_pointer() {
+        let a = entry(&[(0, Cf::X4)], 0);
+        let b = entry(&[(0, Cf::X2)], 1);
+        let c = entry(&[(0, Cf::X1), (1, Cf::X1)], 0);
+        let entries = vec![a, b, c];
+        assert_eq!(slots_in_block(&entries, 0), 3);
+        assert_eq!(slots_in_block(&entries, 1), 1);
+        assert_eq!(slots_in_block(&entries, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_blk_off_panics() {
+        locate_sub_block(&[RemapEntry::empty()], 3, 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Baryon's dual-format metadata scheme (§III-C).
+//!
+//! Two formats with different flexibility/size trade-offs:
+//!
+//! * [`stage_entry::StageEntry`] — the flexible 14 B format of the on-chip
+//!   stage tag array: one entry per stage-area physical block, able to hold
+//!   arbitrary compressed ranges from any blocks of one super-block (Rule 1),
+//! * [`remap_entry::RemapEntry`] — the compact 2 B format of the off-chip
+//!   remap table: one entry per data block, a sorted/fixed layout (Rule 4)
+//!   located via the prefix-sum computation in [`locator`].
+
+pub mod locator;
+pub mod remap_entry;
+pub mod stage_entry;
+
+pub use locator::locate_sub_block;
+pub use remap_entry::RemapEntry;
+pub use stage_entry::{RangeRef, StageEntry};

@@ -1,0 +1,312 @@
+//! The compact remap-table entry format (Fig 5(b)).
+//!
+//! One entry per data block: eight `Remap` bits say which sub-blocks are
+//! cached/migrated into fast memory, a single short `Pointer` names the fast
+//! physical block holding all of them (Rule 3), and the `CF2`/`CF4` bitmaps
+//! mark which aligned pairs/quads of remapped sub-blocks are stored
+//! compressed in a single sub-block slot (Rule 2). The layout is sorted and
+//! dense (Rule 4), so a sub-block's slot index is recoverable by counting.
+//!
+//! The all-ones `CF2`+`CF4` state is architecturally invalid (a quad cannot
+//! simultaneously be two pairs and one quad) and encodes the all-zero block
+//! (the paper's `Z` optimization): remapped sub-blocks are known-zero and
+//! occupy **no** data space.
+//!
+//! In the default geometry (8 sub-blocks, 4-way associativity) the entry
+//! packs into exactly 2 bytes: `Remap[8] | Pointer[2] | CF2[4] | CF4[2]`.
+
+use baryon_compress::Cf;
+use serde::{Deserialize, Serialize};
+
+/// A remap-table entry for one data block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemapEntry {
+    /// Bit `i` set: sub-block `i` lives in fast memory.
+    pub remap: u32,
+    /// The fast physical block (way index within the set, or pool index in
+    /// the fully-associative organization) holding the remapped sub-blocks.
+    pub pointer: u32,
+    /// Bit `j` set: the aligned pair `(2j, 2j+1)` is one CF = 2 range.
+    pub cf2: u32,
+    /// Bit `j` set: the aligned quad `(4j .. 4j+4)` is one CF = 4 range.
+    pub cf4: u32,
+    /// The `Z` state: remapped sub-blocks are all-zero, occupying no space.
+    pub zero: bool,
+}
+
+impl RemapEntry {
+    /// An entry with nothing remapped.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// True if no sub-block is remapped.
+    pub fn is_empty(&self) -> bool {
+        self.remap == 0
+    }
+
+    /// True if sub-block `sub` is in fast memory.
+    pub fn has_sub(&self, sub: usize) -> bool {
+        self.remap >> sub & 1 == 1
+    }
+
+    /// Number of physical sub-block slots this entry occupies in its fast
+    /// block: each remapped sub-block takes a slot, minus one per CF2 pair,
+    /// minus three per CF4 quad; zero entries occupy none.
+    pub fn slots_used(&self) -> usize {
+        if self.zero {
+            return 0;
+        }
+        (self.remap.count_ones() - self.cf2.count_ones() - 3 * self.cf4.count_ones()) as usize
+    }
+
+    /// The compressed range containing `sub`, if remapped:
+    /// `(range start sub index, CF)`.
+    pub fn range_of(&self, sub: usize) -> Option<(usize, Cf)> {
+        if !self.has_sub(sub) {
+            return None;
+        }
+        if self.cf4 >> (sub / 4) & 1 == 1 {
+            return Some((sub / 4 * 4, Cf::X4));
+        }
+        if self.cf2 >> (sub / 2) & 1 == 1 {
+            return Some((sub / 2 * 2, Cf::X2));
+        }
+        Some((sub, Cf::X1))
+    }
+
+    /// The slot index (within this entry's sorted contribution) of the range
+    /// containing `sub`. Ranges are sorted by starting sub-block offset, one
+    /// slot each. Returns `None` if `sub` is not remapped or the entry is
+    /// all-zero (zero data occupies no slot).
+    pub fn slot_of(&self, sub: usize) -> Option<usize> {
+        if self.zero {
+            return None;
+        }
+        let (start, _) = self.range_of(sub)?;
+        let mut slot = 0;
+        let mut s = 0;
+        while s < start {
+            match self.range_of(s) {
+                Some((_, cf)) => {
+                    slot += 1;
+                    s += cf.sub_blocks();
+                }
+                None => s += 1,
+            }
+        }
+        Some(slot)
+    }
+
+    /// Marks the aligned range `(start, cf)` as remapped (used at commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is misaligned or overlaps an existing CF range
+    /// inconsistently.
+    pub fn set_range(&mut self, start: usize, cf: Cf) {
+        assert_eq!(start % cf.sub_blocks(), 0, "range must be aligned");
+        for s in start..start + cf.sub_blocks() {
+            assert!(!self.has_sub(s), "range overlaps remapped sub-block {s}");
+            self.remap |= 1 << s;
+        }
+        match cf {
+            Cf::X1 => {}
+            Cf::X2 => self.cf2 |= 1 << (start / 2),
+            Cf::X4 => self.cf4 |= 1 << (start / 4),
+        }
+    }
+
+    /// Checks structural invariants for a geometry with `subs` sub-blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn check(&self, subs: usize) -> Result<(), String> {
+        if self.remap >> subs != 0 {
+            return Err("remap bits beyond geometry".into());
+        }
+        for j in 0..subs / 2 {
+            if self.cf2 >> j & 1 == 1 {
+                let pair = 0b11u32 << (2 * j);
+                if self.remap & pair != pair {
+                    return Err(format!("cf2 range {j} without both remap bits"));
+                }
+                if self.cf4 >> (j / 2) & 1 == 1 {
+                    return Err(format!("cf2 range {j} inside a cf4 quad"));
+                }
+            }
+        }
+        for j in 0..subs / 4 {
+            if self.cf4 >> j & 1 == 1 {
+                let quad = 0b1111u32 << (4 * j);
+                if self.remap & quad != quad {
+                    return Err(format!("cf4 range {j} without all four remap bits"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Packs into the 16-bit wire format of the default geometry
+    /// (8 sub-blocks, pointer ≤ 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry does not fit the default geometry.
+    pub fn encode16(&self) -> u16 {
+        assert!(self.remap < 256 && self.pointer < 4, "entry exceeds the 2 B format");
+        assert!(self.cf2 < 16 && self.cf4 < 4);
+        let (cf2, cf4) = if self.zero {
+            (0xF, 0x3) // the invalid all-ones state encodes Z
+        } else {
+            assert!(
+                !(self.cf2 == 0xF && self.cf4 == 0x3),
+                "non-zero entry collides with the Z encoding"
+            );
+            (self.cf2 as u16, self.cf4 as u16)
+        };
+        self.remap as u16 | (self.pointer as u16) << 8 | cf2 << 10 | cf4 << 14
+    }
+
+    /// Unpacks the 16-bit wire format.
+    pub fn decode16(bits: u16) -> Self {
+        let cf2 = (bits >> 10 & 0xF) as u32;
+        let cf4 = (bits >> 14 & 0x3) as u32;
+        let zero = cf2 == 0xF && cf4 == 0x3;
+        RemapEntry {
+            remap: (bits & 0xFF) as u32,
+            pointer: (bits >> 8 & 0x3) as u32,
+            cf2: if zero { 0 } else { cf2 },
+            cf4: if zero { 0 } else { cf4 },
+            zero,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_entry() {
+        let e = RemapEntry::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.slots_used(), 0);
+        assert_eq!(e.range_of(0), None);
+    }
+
+    #[test]
+    fn figure5e_block_a() {
+        // Fig 5(e): Block A has A0, A2 uncompressed and A4-A7 at CF4:
+        // Remap = 10101111 (bits 0,2,4,5,6,7), CF4 quad 1.
+        let mut e = RemapEntry::empty();
+        e.set_range(0, Cf::X1);
+        e.set_range(2, Cf::X1);
+        e.set_range(4, Cf::X4);
+        assert_eq!(e.remap, 0b1111_0101);
+        assert_eq!(e.slots_used(), 3); // A0, A2, A4-A7
+        assert_eq!(e.range_of(5), Some((4, Cf::X4)));
+        assert_eq!(e.slot_of(0), Some(0));
+        assert_eq!(e.slot_of(2), Some(1));
+        assert_eq!(e.slot_of(6), Some(2));
+        e.check(8).expect("valid");
+    }
+
+    #[test]
+    fn cf2_range_slots() {
+        let mut e = RemapEntry::empty();
+        e.set_range(2, Cf::X2);
+        e.set_range(6, Cf::X2);
+        assert_eq!(e.slots_used(), 2);
+        assert_eq!(e.slot_of(3), Some(0));
+        assert_eq!(e.slot_of(7), Some(1));
+        assert_eq!(e.range_of(6), Some((6, Cf::X2)));
+        e.check(8).expect("valid");
+    }
+
+    #[test]
+    fn zero_entry_occupies_nothing() {
+        let mut e = RemapEntry::empty();
+        e.set_range(0, Cf::X4);
+        e.zero = true;
+        assert_eq!(e.slots_used(), 0);
+        assert_eq!(e.slot_of(0), None);
+    }
+
+    #[test]
+    fn encode16_roundtrip() {
+        let mut e = RemapEntry::empty();
+        e.set_range(0, Cf::X2);
+        e.set_range(4, Cf::X1);
+        e.pointer = 3;
+        let bits = e.encode16();
+        assert_eq!(RemapEntry::decode16(bits), e);
+    }
+
+    #[test]
+    fn encode16_zero_state() {
+        let mut e = RemapEntry::empty();
+        e.set_range(0, Cf::X1);
+        e.zero = true;
+        let decoded = RemapEntry::decode16(e.encode16());
+        assert!(decoded.zero);
+        assert_eq!(decoded.remap, e.remap);
+        assert_eq!(decoded.cf2, 0);
+    }
+
+    #[test]
+    fn encode16_exhaustive_roundtrip() {
+        // Every decodable 16-bit pattern must re-encode to itself when its
+        // decoded form is structurally valid.
+        for bits in 0..=u16::MAX {
+            let e = RemapEntry::decode16(bits);
+            if e.check(8).is_ok() {
+                assert_eq!(e.encode16(), bits, "pattern {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_range_panics() {
+        RemapEntry::empty().set_range(1, Cf::X2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_range_panics() {
+        let mut e = RemapEntry::empty();
+        e.set_range(0, Cf::X2);
+        e.set_range(0, Cf::X4);
+    }
+
+    #[test]
+    fn check_catches_inconsistency() {
+        let e = RemapEntry {
+            remap: 0b01,
+            cf2: 0b1,
+            ..RemapEntry::empty()
+        };
+        assert!(e.check(8).is_err(), "cf2 without both remap bits");
+        let e = RemapEntry {
+            remap: 0xFF,
+            cf2: 0b0001,
+            cf4: 0b01,
+            ..RemapEntry::empty()
+        };
+        assert!(e.check(8).is_err(), "cf2 inside cf4 quad");
+    }
+
+    #[test]
+    fn slots_formula_matches_paper() {
+        // "the remapped location is equal to the number of valid remap bits,
+        // minus valid CF2 bits, and minus 3x valid CF4 bits".
+        let mut e = RemapEntry::empty();
+        e.set_range(0, Cf::X4); // 4 bits, 1 slot
+        e.set_range(4, Cf::X2); // 2 bits, 1 slot
+        e.set_range(6, Cf::X1); // 1 bit, 1 slot
+        e.set_range(7, Cf::X1); // 1 bit, 1 slot
+        assert_eq!(e.slots_used(), 8 - 1 - 3);
+    }
+}

@@ -1,0 +1,354 @@
+//! The flexible stage-tag-array entry format (Fig 5(a)).
+//!
+//! One entry per stage-area physical block. The entry carries the
+//! super-block tag (Rule 1: one super-block per physical block) and, for
+//! each of the physical sub-block slots, an 8-bit field describing the
+//! contiguous aligned range stored there (Rule 2): CF code, dirty bit, block
+//! offset within the super-block, and starting sub-block offset. Two more
+//! fields support the policies: a FIFO pointer for sub-block-level
+//! replacement and a 2 B `MissCnt` for selective commit.
+//!
+//! **Bit-packing note** (documented deviation, see DESIGN.md): the paper's
+//! field list needs 9 bits for a CF = 1 slot; we use a variable-length type
+//! prefix (`0` = CF1, `10` = CF2, `110` = CF4, `111` = empty) so every slot
+//! field fits exactly 8 bits, preserving the 14 B entry. All-zero (`Z`)
+//! ranges occupy no data slot and are tracked in a side list charged at the
+//! paper's metadata budget.
+
+use baryon_compress::Cf;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous aligned range of sub-blocks from one block of the entry's
+/// super-block, compressed into a single sub-block slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeRef {
+    /// Block offset within the super-block (0–7 by default).
+    pub blk_off: u8,
+    /// Starting sub-block offset within the block; aligned to the CF.
+    pub sub_off: u8,
+    /// Compression factor: how many sub-blocks the range covers.
+    pub cf: Cf,
+    /// True if the range holds data newer than the slow-memory copy.
+    pub dirty: bool,
+}
+
+impl RangeRef {
+    /// True if the range covers sub-block `sub` of block `blk_off`.
+    pub fn covers(&self, blk_off: usize, sub: usize) -> bool {
+        self.blk_off as usize == blk_off
+            && (self.sub_off as usize..self.sub_off as usize + self.cf.sub_blocks()).contains(&sub)
+    }
+
+    /// Encodes into the 8-bit slot field (default geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets exceed the default geometry (8 blocks of
+    /// 8 sub-blocks) or are misaligned.
+    pub fn encode8(&self) -> u8 {
+        assert!(self.blk_off < 8 && self.sub_off < 8, "default geometry only");
+        assert_eq!(
+            self.sub_off as usize % self.cf.sub_blocks(),
+            0,
+            "range must be CF-aligned"
+        );
+        let d = self.dirty as u8;
+        match self.cf {
+            // 0 D BBB SSS
+            Cf::X1 => (d << 6) | (self.blk_off << 3) | self.sub_off,
+            // 1 0 D BBB SS
+            Cf::X2 => 0b1000_0000 | (d << 5) | (self.blk_off << 2) | (self.sub_off >> 1),
+            // 1 1 0 D BBB S
+            Cf::X4 => 0b1100_0000 | (d << 4) | (self.blk_off << 1) | (self.sub_off >> 2),
+        }
+    }
+
+    /// Decodes an 8-bit slot field; `None` for the empty encoding.
+    pub fn decode8(bits: u8) -> Option<Self> {
+        if bits >> 5 == 0b111 {
+            return None; // empty
+        }
+        if bits >> 7 == 0 {
+            Some(RangeRef {
+                cf: Cf::X1,
+                dirty: bits >> 6 & 1 == 1,
+                blk_off: bits >> 3 & 0b111,
+                sub_off: bits & 0b111,
+            })
+        } else if bits >> 6 == 0b10 {
+            Some(RangeRef {
+                cf: Cf::X2,
+                dirty: bits >> 5 & 1 == 1,
+                blk_off: bits >> 2 & 0b111,
+                sub_off: (bits & 0b11) << 1,
+            })
+        } else {
+            Some(RangeRef {
+                cf: Cf::X4,
+                dirty: bits >> 4 & 1 == 1,
+                blk_off: bits >> 1 & 0b111,
+                sub_off: (bits & 0b1) << 2,
+            })
+        }
+    }
+}
+
+/// Marker value for the empty slot encoding (`111` prefix).
+pub const EMPTY_SLOT: u8 = 0b1110_0000;
+
+/// Where a sub-block was found inside a stage entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubHit {
+    /// Slot index, or `None` for a zero (Z) range.
+    pub slot: Option<usize>,
+    /// CF of the containing range.
+    pub cf: Cf,
+    /// Dirty bit of the containing range.
+    pub dirty: bool,
+}
+
+/// One stage tag array entry = one stage-area physical block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageEntry {
+    /// Super-block index this physical block stages (Rule 1).
+    pub tag: u64,
+    /// Contents of each physical sub-block slot.
+    pub slots: Vec<Option<RangeRef>>,
+    /// All-zero ranges (occupy no slot).
+    pub zero_ranges: Vec<RangeRef>,
+    /// Sub-block-level FIFO replacement pointer.
+    pub fifo: u8,
+    /// Sub-block miss counter for selective commit (aged by the set).
+    pub miss_cnt: u16,
+}
+
+impl StageEntry {
+    /// Creates an empty entry for super-block `tag` with `slots` slots.
+    pub fn new(tag: u64, slots: usize) -> Self {
+        StageEntry {
+            tag,
+            slots: vec![None; slots],
+            zero_ranges: Vec::new(),
+            fifo: 0,
+            miss_cnt: 0,
+        }
+    }
+
+    /// Looks up sub-block `sub` of block `blk_off`.
+    pub fn find(&self, blk_off: usize, sub: usize) -> Option<SubHit> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(r) = slot {
+                if r.covers(blk_off, sub) {
+                    return Some(SubHit {
+                        slot: Some(i),
+                        cf: r.cf,
+                        dirty: r.dirty,
+                    });
+                }
+            }
+        }
+        self.zero_ranges
+            .iter()
+            .find(|r| r.covers(blk_off, sub))
+            .map(|r| SubHit {
+                slot: None,
+                cf: r.cf,
+                dirty: r.dirty,
+            })
+    }
+
+    /// True if any range (slot or zero) belongs to block `blk_off`.
+    pub fn has_block(&self, blk_off: usize) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .chain(self.zero_ranges.iter())
+            .any(|r| r.blk_off as usize == blk_off)
+    }
+
+    /// First free slot index, if any.
+    pub fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| s.is_none())
+    }
+
+    /// Number of occupied slots.
+    pub fn used_slots(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Number of dirty sub-blocks (each dirty range counts its CF
+    /// sub-blocks, since all of them must be written back).
+    pub fn dirty_subs(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .chain(self.zero_ranges.iter())
+            .filter(|r| r.dirty)
+            .map(|r| r.cf.sub_blocks())
+            .sum()
+    }
+
+    /// The sub-block bitmask currently staged for block `blk_off`.
+    pub fn sub_mask_of(&self, blk_off: usize) -> u32 {
+        let mut mask = 0;
+        for r in self.slots.iter().flatten().chain(self.zero_ranges.iter()) {
+            if r.blk_off as usize == blk_off {
+                for s in r.sub_off as usize..r.sub_off as usize + r.cf.sub_blocks() {
+                    mask |= 1 << s;
+                }
+            }
+        }
+        mask
+    }
+
+    /// All ranges (slot index, range) of block `blk_off`.
+    pub fn ranges_of(&self, blk_off: usize) -> Vec<(Option<usize>, RangeRef)> {
+        let mut out: Vec<(Option<usize>, RangeRef)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.filter(|r| r.blk_off as usize == blk_off).map(|r| (Some(i), r)))
+            .collect();
+        out.extend(
+            self.zero_ranges
+                .iter()
+                .filter(|r| r.blk_off as usize == blk_off)
+                .map(|r| (None, *r)),
+        );
+        out
+    }
+
+    /// Packs the slot fields into bytes (metadata size verification).
+    pub fn encode_slots(&self) -> Vec<u8> {
+        self.slots
+            .iter()
+            .map(|s| s.map_or(EMPTY_SLOT, |r| r.encode8()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(blk: u8, sub: u8, cf: Cf, dirty: bool) -> RangeRef {
+        RangeRef {
+            blk_off: blk,
+            sub_off: sub,
+            cf,
+            dirty,
+        }
+    }
+
+    #[test]
+    fn encode8_paper_example() {
+        // Fig 5(d): slot holding H2-H3 encoded as CF=2, clean, block 7 (H),
+        // 2nd aligned pair.
+        let range = r(7, 2, Cf::X2, false);
+        let bits = range.encode8();
+        assert_eq!(bits >> 6, 0b10, "CF2 prefix");
+        assert_eq!(bits & 0b11, 0b01, "2nd aligned pair");
+        assert_eq!(RangeRef::decode8(bits), Some(range));
+    }
+
+    #[test]
+    fn encode8_roundtrip_all_variants() {
+        for blk in 0..8u8 {
+            for dirty in [false, true] {
+                for sub in 0..8u8 {
+                    let cases = [
+                        Some(r(blk, sub, Cf::X1, dirty)),
+                        (sub % 2 == 0).then(|| r(blk, sub, Cf::X2, dirty)),
+                        (sub % 4 == 0).then(|| r(blk, sub, Cf::X4, dirty)),
+                    ];
+                    for range in cases.into_iter().flatten() {
+                        assert_eq!(RangeRef::decode8(range.encode8()), Some(range), "{range:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slot_decodes_to_none() {
+        assert_eq!(RangeRef::decode8(EMPTY_SLOT), None);
+    }
+
+    #[test]
+    fn covers_range_extent() {
+        let range = r(3, 4, Cf::X4, false);
+        assert!(range.covers(3, 4) && range.covers(3, 7));
+        assert!(!range.covers(3, 3));
+        assert!(!range.covers(2, 5));
+    }
+
+    #[test]
+    fn find_in_slots_and_zero() {
+        let mut e = StageEntry::new(9, 8);
+        e.slots[2] = Some(r(1, 0, Cf::X2, true));
+        e.zero_ranges.push(r(4, 4, Cf::X4, false));
+        let hit = e.find(1, 1).expect("covered by slot 2");
+        assert_eq!(hit.slot, Some(2));
+        assert!(hit.dirty);
+        let zhit = e.find(4, 6).expect("covered by zero range");
+        assert_eq!(zhit.slot, None);
+        assert!(e.find(0, 0).is_none());
+    }
+
+    #[test]
+    fn sub_mask_accumulates() {
+        let mut e = StageEntry::new(0, 8);
+        e.slots[0] = Some(r(2, 0, Cf::X1, false));
+        e.slots[1] = Some(r(2, 4, Cf::X4, false));
+        e.zero_ranges.push(r(2, 2, Cf::X2, false));
+        assert_eq!(e.sub_mask_of(2), 0b1111_1101);
+        assert_eq!(e.sub_mask_of(3), 0);
+    }
+
+    #[test]
+    fn dirty_subs_counts_range_widths() {
+        let mut e = StageEntry::new(0, 8);
+        e.slots[0] = Some(r(0, 0, Cf::X4, true));
+        e.slots[1] = Some(r(1, 0, Cf::X1, true));
+        e.slots[2] = Some(r(1, 2, Cf::X2, false));
+        assert_eq!(e.dirty_subs(), 5);
+    }
+
+    #[test]
+    fn free_slot_and_used() {
+        let mut e = StageEntry::new(0, 4);
+        assert_eq!(e.free_slot(), Some(0));
+        e.slots[0] = Some(r(0, 0, Cf::X1, false));
+        e.slots[1] = Some(r(0, 1, Cf::X1, false));
+        assert_eq!(e.free_slot(), Some(2));
+        assert_eq!(e.used_slots(), 2);
+    }
+
+    #[test]
+    fn encode_slots_width() {
+        let mut e = StageEntry::new(0, 8);
+        e.slots[3] = Some(r(5, 2, Cf::X1, true));
+        let bytes = e.encode_slots();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(RangeRef::decode8(bytes[3]), e.slots[3]);
+        assert_eq!(bytes[0], EMPTY_SLOT);
+    }
+
+    #[test]
+    fn ranges_of_returns_all() {
+        let mut e = StageEntry::new(0, 8);
+        e.slots[0] = Some(r(1, 0, Cf::X1, false));
+        e.slots[5] = Some(r(1, 4, Cf::X2, true));
+        e.zero_ranges.push(r(1, 6, Cf::X2, false));
+        let ranges = e.ranges_of(1);
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.iter().any(|(s, _)| *s == Some(5)));
+        assert!(ranges.iter().any(|(s, _)| s.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "CF-aligned")]
+    fn misaligned_encode_panics() {
+        r(0, 1, Cf::X2, false).encode8();
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end run results.
+
+use crate::ctrl::ServeStats;
+use baryon_sim::histogram::Histogram;
+use baryon_sim::stats::Stats;
+
+/// The outcome of one measured simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Controller name (e.g. `"baryon"`).
+    pub controller: String,
+    /// Workload name.
+    pub workload: String,
+    /// Cycles elapsed in the measured phase (max over cores).
+    pub total_cycles: u64,
+    /// Instructions executed in the measured phase (sum over cores).
+    pub instructions: u64,
+    /// Memory reads that reached the controller (LLC misses).
+    pub llc_misses: u64,
+    /// Serve-rate / traffic summary.
+    pub serve: ServeStats,
+    /// Distribution of memory-side read latencies (cycles per LLC miss).
+    pub read_latency: Histogram,
+    /// Full counter dump (hierarchy + controller + devices).
+    pub stats: Stats,
+}
+
+impl RunResult {
+    /// Aggregate instructions per cycle across all cores.
+    pub fn ipc(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline run of the same workload
+    /// (ratio of cycles, both having executed the same instruction count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction counts differ by more than 1% (the runs
+    /// would not be comparable).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        let a = self.instructions as f64;
+        let b = baseline.instructions as f64;
+        assert!(
+            (a - b).abs() / b.max(1.0) < 0.01,
+            "speedup between runs of different lengths ({a} vs {b} instructions)"
+        );
+        baseline.total_cycles as f64 / self.total_cycles.max(1) as f64
+    }
+
+    /// Misses per kilo-instruction at the LLC (memory pressure indicator).
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Memory-system energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.serve.energy_pj / 1e9
+    }
+}
+
+impl std::fmt::Display for RunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "controller      : {}", self.controller)?;
+        writeln!(f, "workload        : {}", self.workload)?;
+        writeln!(f, "cycles          : {}", self.total_cycles)?;
+        writeln!(f, "instructions    : {}", self.instructions)?;
+        writeln!(f, "IPC             : {:.4}", self.ipc())?;
+        writeln!(f, "LLC MPKI        : {:.2}", self.llc_mpki())?;
+        writeln!(
+            f,
+            "fast serve rate : {:.1}%",
+            100.0 * self.serve.fast_serve_rate()
+        )?;
+        writeln!(f, "bloat factor    : {:.2}", self.serve.bloat_factor())?;
+        writeln!(
+            f,
+            "read latency    : mean {:.0} cyc, p50 {} / p90 {} / p99 {}",
+            self.read_latency.mean(),
+            self.read_latency.percentile(50.0),
+            self.read_latency.percentile(90.0),
+            self.read_latency.percentile(99.0)
+        )?;
+        write!(f, "energy          : {:.3} mJ", self.energy_mj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(cycles: u64, insts: u64) -> RunResult {
+        RunResult {
+            controller: "x".into(),
+            workload: "w".into(),
+            total_cycles: cycles,
+            instructions: insts,
+            llc_misses: 50,
+            serve: ServeStats::default(),
+            read_latency: Histogram::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    #[test]
+    fn ipc_and_mpki() {
+        let r = result(1000, 4000);
+        assert!((r.ipc() - 4.0).abs() < 1e-12);
+        assert!((r.llc_mpki() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let fast = result(500, 4000);
+        let slow = result(1000, 4000);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn speedup_rejects_mismatched_runs() {
+        result(1000, 4000).speedup_over(&result(1000, 8000));
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_ipc() {
+        assert_eq!(result(0, 100).ipc(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_headline_metric() {
+        let text = result(1000, 4000).to_string();
+        for needle in ["IPC", "MPKI", "serve rate", "latency", "energy"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

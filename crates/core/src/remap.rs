@@ -1,0 +1,217 @@
+//! The off-chip remap table and its on-chip remap cache.
+//!
+//! The remap table lives in fast memory (one 2 B [`RemapEntry`] per OS
+//! block) and is accessed at super-block granularity: one 16 B line holds
+//! all eight entries of a super-block, which the locator needs anyway
+//! (§III-C). The on-chip remap cache (32 kB, Table I) caches those lines.
+
+use crate::metadata::RemapEntry;
+use baryon_cache::{CacheConfig, SetAssocCache};
+use baryon_mem::MemDevice;
+use baryon_sim::Cycle;
+
+/// Statistics of the remap metadata path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemapStats {
+    /// Remap cache hits.
+    pub cache_hits: u64,
+    /// Remap cache misses (each costs a fast-memory table read).
+    pub cache_misses: u64,
+    /// Metadata write traffic events (table updates).
+    pub table_updates: u64,
+}
+
+/// The remap table plus its cache model.
+#[derive(Debug, Clone)]
+pub struct RemapTable {
+    entries: Vec<RemapEntry>,
+    blocks_per_super: usize,
+    cache: SetAssocCache,
+    hit_latency: Cycle,
+    /// Device address of the table inside fast memory.
+    table_base: u64,
+    stats: RemapStats,
+}
+
+impl RemapTable {
+    /// Creates a table for `os_blocks` blocks.
+    ///
+    /// `cache_bytes` sizes the on-chip remap cache; each cache line covers
+    /// one super-block (16 B of entries in the default geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `os_blocks` or `blocks_per_super` is zero.
+    pub fn new(
+        os_blocks: u64,
+        blocks_per_super: usize,
+        cache_bytes: u64,
+        hit_latency: Cycle,
+        table_base: u64,
+    ) -> Self {
+        assert!(os_blocks > 0 && blocks_per_super > 0, "empty remap table");
+        let line_bytes = (blocks_per_super * 2).next_power_of_two().max(16) as u64;
+        let ways = 8;
+        let sets = (cache_bytes / line_bytes / ways as u64).max(4).next_power_of_two() as usize;
+        RemapTable {
+            entries: vec![RemapEntry::empty(); os_blocks as usize],
+            blocks_per_super,
+            cache: SetAssocCache::new(CacheConfig::new(sets, ways, line_bytes, hit_latency)),
+            hit_latency,
+            table_base,
+            stats: RemapStats::default(),
+        }
+    }
+
+    /// The entry of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn entry(&self, block: u64) -> &RemapEntry {
+        &self.entries[block as usize]
+    }
+
+    /// Mutable access to the entry of `block`; counts a table update.
+    pub fn entry_mut(&mut self, block: u64) -> &mut RemapEntry {
+        self.stats.table_updates += 1;
+        &mut self.entries[block as usize]
+    }
+
+    /// All entries of super-block `sb`, in block order.
+    pub fn super_entries(&self, sb: u64) -> &[RemapEntry] {
+        let start = sb as usize * self.blocks_per_super;
+        &self.entries[start..start + self.blocks_per_super]
+    }
+
+    /// Simulates the metadata lookup for super-block `sb`: probes the remap
+    /// cache, fetching the table line from fast memory on a miss. Returns
+    /// the metadata latency.
+    pub fn lookup(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) -> Cycle {
+        let line_addr = sb * self.cache.config().line_bytes;
+        if self.cache.access(line_addr, false).hit {
+            self.stats.cache_hits += 1;
+            self.hit_latency
+        } else {
+            self.stats.cache_misses += 1;
+            let done = fast.access(
+                now + self.hit_latency,
+                self.table_base + line_addr,
+                64, // minimum burst
+                false,
+            );
+            done - now
+        }
+    }
+
+    /// Records a metadata write for super-block `sb` (on commit/evict).
+    /// Updates go through the cache; a miss also costs a fast-memory write.
+    pub fn record_update(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) {
+        let line_addr = sb * self.cache.config().line_bytes;
+        self.stats.table_updates += 1;
+        if !self.cache.access(line_addr, true).hit {
+            fast.access(now, self.table_base + line_addr, 64, true);
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &RemapStats {
+        &self.stats
+    }
+
+    /// Remap-cache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.stats.cache_hits + self.stats.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Resets statistics only.
+    pub fn reset_stats(&mut self) {
+        self.stats = RemapStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_compress::Cf;
+    use baryon_mem::DeviceConfig;
+
+    fn table() -> RemapTable {
+        RemapTable::new(1024, 8, 32 << 10, 3, 0)
+    }
+
+    fn fast() -> MemDevice {
+        MemDevice::new(DeviceConfig::ddr4_3200())
+    }
+
+    #[test]
+    fn entries_start_empty() {
+        let t = table();
+        assert!(t.entry(0).is_empty());
+        assert!(t.entry(1023).is_empty());
+    }
+
+    #[test]
+    fn super_entries_are_contiguous() {
+        let mut t = table();
+        t.entry_mut(17).set_range(0, Cf::X2);
+        let entries = t.super_entries(2); // blocks 16..24
+        assert_eq!(entries.len(), 8);
+        assert!(entries[1].has_sub(0));
+    }
+
+    #[test]
+    fn cold_lookup_misses_then_hits() {
+        let mut t = table();
+        let mut f = fast();
+        let miss_lat = t.lookup(0, 5, &mut f);
+        let hit_lat = t.lookup(1000, 5, &mut f);
+        assert!(miss_lat > hit_lat, "miss {miss_lat} <= hit {hit_lat}");
+        assert_eq!(hit_lat, 3);
+        assert_eq!(t.stats().cache_misses, 1);
+        assert_eq!(t.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut t = table();
+        let mut f = fast();
+        for _ in 0..9 {
+            t.lookup(0, 7, &mut f);
+        }
+        assert!((t.cache_hit_rate() - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_on_miss_writes_fast_memory() {
+        let mut t = table();
+        let mut f = fast();
+        t.record_update(0, 3, &mut f);
+        assert_eq!(f.stats().writes, 1);
+        // Second update hits the cache: no more device writes.
+        t.record_update(100, 3, &mut f);
+        assert_eq!(f.stats().writes, 1);
+    }
+
+    #[test]
+    fn reset_clears_stats_not_entries() {
+        let mut t = table();
+        let mut f = fast();
+        t.entry_mut(4).set_range(0, Cf::X1);
+        t.lookup(0, 0, &mut f);
+        t.reset_stats();
+        assert_eq!(t.stats().cache_misses, 0);
+        assert!(t.entry(4).has_sub(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        table().entry(99999);
+    }
+}

@@ -1,0 +1,386 @@
+//! The stage area: the reserved fast-memory region that absorbs and
+//! stabilizes freshly fetched compressed/sub-blocked layouts (§III-B, §III-E).
+//!
+//! [`StageArea`] owns the set-associative array of [`StageEntry`] tags, the
+//! per-way LRU stamps, and the selective-commit counters (`MissCnt` per
+//! entry, `MRUMissCnt` per set, both aged by right-shift every
+//! `aging_period` accesses to the set). The replacement *policies* live in
+//! the controller; this module provides the mechanics.
+
+use crate::metadata::stage_entry::{StageEntry, SubHit};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one stage-area physical block: `(set, way)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StageSlot {
+    /// Set index.
+    pub set: usize,
+    /// Way index within the set.
+    pub way: usize,
+}
+
+/// Aggregate stage-area statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Blocks newly staged (entry allocations).
+    pub stagings: u64,
+    /// Sub-block-level (FIFO) replacements.
+    pub sub_replacements: u64,
+    /// Block-level (LRU) replacements.
+    pub block_replacements: u64,
+}
+
+/// The stage area tag mechanics.
+#[derive(Debug, Clone)]
+pub struct StageArea {
+    sets: usize,
+    ways: usize,
+    slots_per_block: usize,
+    entries: Vec<Option<StageEntry>>,
+    stamps: Vec<u64>,
+    mru_miss_cnt: Vec<u16>,
+    set_accesses: Vec<u64>,
+    aging_period: u64,
+    tick: u64,
+    stats: StageStats,
+}
+
+impl StageArea {
+    /// Creates an empty stage area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(sets: usize, ways: usize, slots_per_block: usize, aging_period: u64) -> Self {
+        assert!(sets > 0 && ways > 0 && slots_per_block > 0, "empty stage area");
+        StageArea {
+            sets,
+            ways,
+            slots_per_block,
+            entries: vec![None; sets * ways],
+            stamps: vec![0; sets * ways],
+            mru_miss_cnt: vec![0; sets],
+            set_accesses: vec![0; sets],
+            aging_period: aging_period.max(1),
+            tick: 0,
+            stats: StageStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Sub-block slots per stage physical block.
+    pub fn slots_per_block(&self) -> usize {
+        self.slots_per_block
+    }
+
+    /// The set a super-block stages into.
+    pub fn set_of(&self, sb: u64) -> usize {
+        (sb % self.sets as u64) as usize
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &StageStats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = StageStats::default();
+    }
+
+    fn idx(&self, slot: StageSlot) -> usize {
+        debug_assert!(slot.set < self.sets && slot.way < self.ways);
+        slot.set * self.ways + slot.way
+    }
+
+    /// The entry at `slot`, if allocated.
+    pub fn entry(&self, slot: StageSlot) -> Option<&StageEntry> {
+        self.entries[self.idx(slot)].as_ref()
+    }
+
+    /// Mutable entry access.
+    pub fn entry_mut(&mut self, slot: StageSlot) -> Option<&mut StageEntry> {
+        let i = self.idx(slot);
+        self.entries[i].as_mut()
+    }
+
+    /// All ways in `sb`'s set currently staging super-block `sb`.
+    pub fn blocks_of(&self, sb: u64) -> Vec<StageSlot> {
+        let set = self.set_of(sb);
+        (0..self.ways)
+            .filter(|w| {
+                self.entries[set * self.ways + w]
+                    .as_ref()
+                    .is_some_and(|e| e.tag == sb)
+            })
+            .map(|way| StageSlot { set, way })
+            .collect()
+    }
+
+    /// Finds the slot and hit info of `(sb, blk_off, sub)` if staged.
+    pub fn lookup(&self, sb: u64, blk_off: usize, sub: usize) -> Option<(StageSlot, SubHit)> {
+        for slot in self.blocks_of(sb) {
+            if let Some(hit) = self.entry(slot).and_then(|e| e.find(blk_off, sub)) {
+                return Some((slot, hit));
+            }
+        }
+        None
+    }
+
+    /// The slot among `sb`'s blocks that holds ranges of `blk_off`, if any
+    /// (Rule 3: a data block's staged sub-blocks live in one physical block).
+    pub fn block_home(&self, sb: u64, blk_off: usize) -> Option<StageSlot> {
+        self.blocks_of(sb)
+            .into_iter()
+            .find(|s| self.entry(*s).is_some_and(|e| e.has_block(blk_off)))
+    }
+
+    /// Marks `slot` most-recently-used.
+    pub fn touch(&mut self, slot: StageSlot) {
+        self.tick += 1;
+        let i = self.idx(slot);
+        self.stamps[i] = self.tick;
+    }
+
+    /// The LRU *allocated* way of `set`, if any entry exists.
+    pub fn lru_way(&self, set: usize) -> Option<StageSlot> {
+        (0..self.ways)
+            .filter(|w| self.entries[set * self.ways + w].is_some())
+            .min_by_key(|w| self.stamps[set * self.ways + w])
+            .map(|way| StageSlot { set, way })
+    }
+
+    /// True if `slot` is the LRU allocated entry of its set.
+    pub fn is_lru(&self, slot: StageSlot) -> bool {
+        self.lru_way(slot.set) == Some(slot)
+    }
+
+    /// A free (unallocated) way in `set`, if any.
+    pub fn free_way(&self, set: usize) -> Option<StageSlot> {
+        (0..self.ways)
+            .find(|w| self.entries[set * self.ways + w].is_none())
+            .map(|way| StageSlot { set, way })
+    }
+
+    /// Allocates a fresh entry for super-block `sb` at `slot`
+    /// (which must be free) and marks it MRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied.
+    pub fn allocate(&mut self, slot: StageSlot, sb: u64) {
+        let i = self.idx(slot);
+        assert!(self.entries[i].is_none(), "slot {slot:?} is occupied");
+        self.entries[i] = Some(StageEntry::new(sb, self.slots_per_block));
+        self.stats.stagings += 1;
+        self.touch(slot);
+    }
+
+    /// Removes and returns the entry at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn evict(&mut self, slot: StageSlot) -> StageEntry {
+        let i = self.idx(slot);
+        self.stats.block_replacements += 1;
+        self.entries[i].take().expect("evicting an empty stage slot")
+    }
+
+    /// Records a sub-block-level replacement (for statistics).
+    pub fn note_sub_replacement(&mut self) {
+        self.stats.sub_replacements += 1;
+    }
+
+    /// Records an access to `set` for counter aging; call once per stage-set
+    /// access. Ages all MissCnt counters of the set and the MRUMissCnt by
+    /// right-shifting every `aging_period` accesses (§III-E).
+    pub fn record_set_access(&mut self, set: usize) {
+        self.set_accesses[set] += 1;
+        if self.set_accesses[set].is_multiple_of(self.aging_period) {
+            self.mru_miss_cnt[set] >>= 1;
+            for w in 0..self.ways {
+                if let Some(e) = self.entries[set * self.ways + w].as_mut() {
+                    e.miss_cnt >>= 1;
+                }
+            }
+        }
+    }
+
+    /// Increments the per-set MRU miss counter (block misses and sub-block
+    /// misses to the MRU entry).
+    pub fn bump_mru_miss(&mut self, set: usize) {
+        self.mru_miss_cnt[set] = self.mru_miss_cnt[set].saturating_add(1);
+    }
+
+    /// Current MRU miss counter of `set`.
+    pub fn mru_miss_cnt(&self, set: usize) -> u16 {
+        self.mru_miss_cnt[set]
+    }
+
+    /// True if `slot` is currently the MRU allocated entry of its set.
+    pub fn is_mru(&self, slot: StageSlot) -> bool {
+        let set = slot.set;
+        (0..self.ways)
+            .filter(|w| self.entries[set * self.ways + w].is_some())
+            .max_by_key(|w| self.stamps[set * self.ways + w])
+            == Some(slot.way)
+    }
+
+    /// Iterates all allocated slots (for drain/inspection).
+    pub fn occupied_slots(&self) -> Vec<StageSlot> {
+        (0..self.sets * self.ways)
+            .filter(|i| self.entries[*i].is_some())
+            .map(|i| StageSlot {
+                set: i / self.ways,
+                way: i % self.ways,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::stage_entry::RangeRef;
+    use baryon_compress::Cf;
+
+    fn area() -> StageArea {
+        StageArea::new(4, 2, 8, 100)
+    }
+
+    fn put_range(a: &mut StageArea, slot: StageSlot, blk: u8, sub: u8, cf: Cf) {
+        let free = a.entry(slot).expect("allocated").free_slot().expect("has space");
+        a.entry_mut(slot).expect("allocated").slots[free] = Some(RangeRef {
+            blk_off: blk,
+            sub_off: sub,
+            cf,
+            dirty: false,
+        });
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let a = area();
+        assert_eq!(a.set_of(0), 0);
+        assert_eq!(a.set_of(5), 1);
+        assert_eq!(a.set_of(7), 3);
+    }
+
+    #[test]
+    fn allocate_lookup_evict() {
+        let mut a = area();
+        let slot = a.free_way(a.set_of(9)).expect("free");
+        a.allocate(slot, 9);
+        put_range(&mut a, slot, 2, 4, Cf::X2);
+        let (found, hit) = a.lookup(9, 2, 5).expect("staged");
+        assert_eq!(found, slot);
+        assert_eq!(hit.cf, Cf::X2);
+        assert!(a.lookup(9, 2, 6).is_none());
+        assert!(a.lookup(13, 2, 5).is_none(), "same set, different tag");
+        let e = a.evict(slot);
+        assert_eq!(e.tag, 9);
+        assert!(a.lookup(9, 2, 5).is_none());
+    }
+
+    #[test]
+    fn multiple_blocks_per_super() {
+        let mut a = area();
+        let set = a.set_of(4);
+        let s0 = StageSlot { set, way: 0 };
+        let s1 = StageSlot { set, way: 1 };
+        a.allocate(s0, 4);
+        a.allocate(s1, 4);
+        assert_eq!(a.blocks_of(4).len(), 2);
+        put_range(&mut a, s1, 3, 0, Cf::X1);
+        assert_eq!(a.block_home(4, 3), Some(s1));
+        assert_eq!(a.block_home(4, 5), None);
+    }
+
+    #[test]
+    fn lru_ordering() {
+        let mut a = area();
+        let set = 0;
+        let s0 = StageSlot { set, way: 0 };
+        let s1 = StageSlot { set, way: 1 };
+        a.allocate(s0, 0);
+        a.allocate(s1, 4);
+        assert!(a.is_lru(s0));
+        assert!(a.is_mru(s1));
+        a.touch(s0);
+        assert!(a.is_lru(s1));
+        assert!(a.is_mru(s0));
+    }
+
+    #[test]
+    fn aging_shifts_counters() {
+        let mut a = StageArea::new(2, 2, 8, 10);
+        let slot = StageSlot { set: 0, way: 0 };
+        a.allocate(slot, 0);
+        a.entry_mut(slot).expect("allocated").miss_cnt = 8;
+        a.bump_mru_miss(0);
+        a.bump_mru_miss(0);
+        for _ in 0..10 {
+            a.record_set_access(0);
+        }
+        assert_eq!(a.entry(slot).expect("allocated").miss_cnt, 4);
+        assert_eq!(a.mru_miss_cnt(0), 1);
+        // Other set untouched.
+        assert_eq!(a.mru_miss_cnt(1), 0);
+    }
+
+    #[test]
+    fn free_way_exhaustion() {
+        let mut a = area();
+        assert!(a.free_way(0).is_some());
+        a.allocate(StageSlot { set: 0, way: 0 }, 0);
+        a.allocate(StageSlot { set: 0, way: 1 }, 4);
+        assert!(a.free_way(0).is_none());
+        assert!(a.free_way(1).is_some());
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut a = area();
+        let s = StageSlot { set: 0, way: 0 };
+        a.allocate(s, 0);
+        a.evict(s);
+        a.note_sub_replacement();
+        assert_eq!(a.stats().stagings, 1);
+        assert_eq!(a.stats().block_replacements, 1);
+        assert_eq!(a.stats().sub_replacements, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn double_allocate_panics() {
+        let mut a = area();
+        a.allocate(StageSlot { set: 0, way: 0 }, 0);
+        a.allocate(StageSlot { set: 0, way: 0 }, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stage slot")]
+    fn evict_empty_panics() {
+        area().evict(StageSlot { set: 0, way: 0 });
+    }
+
+    #[test]
+    fn occupied_slots_lists_all() {
+        let mut a = area();
+        a.allocate(StageSlot { set: 0, way: 1 }, 0);
+        a.allocate(StageSlot { set: 2, way: 0 }, 2);
+        let occ = a.occupied_slots();
+        assert_eq!(occ.len(), 2);
+        assert!(occ.contains(&StageSlot { set: 2, way: 0 }));
+    }
+}

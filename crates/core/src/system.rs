@@ -1,0 +1,529 @@
+//! The end-to-end system driver: trace generators -> cache hierarchy ->
+//! memory controller, with a simple multi-core timing model.
+//!
+//! Cores are trace-driven with a fixed non-memory CPI; loads block the
+//! issuing core while stores are posted (they retire through the cache
+//! hierarchy and surface at the memory controller as dirty writebacks).
+//! Cores are interleaved in timestamp order so that device-level contention
+//! (banks, channel buses) is shared realistically.
+
+use crate::baselines::{DiceCache, Hybrid2, MicroSector, OsPaging, SimpleCache, UnisonCache};
+use crate::config::BaryonConfig;
+use crate::controller::BaryonController;
+use crate::ctrl::{MemoryController, Request, ServeStats};
+use crate::metrics::RunResult;
+use baryon_cache::{Hierarchy, HierarchyConfig, HitLevel};
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use baryon_workloads::{MemoryContents, Scale, TraceGen, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Which memory controller a system runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// The Baryon controller with the given configuration.
+    Baryon(BaryonConfig),
+    /// Simple 2 kB DRAM cache.
+    Simple,
+    /// Unison Cache.
+    Unison,
+    /// DICE compressed DRAM cache.
+    Dice,
+    /// Hybrid2 flat-mode hybrid memory.
+    Hybrid2,
+    /// Micro-sector cache (Baryon's closest sub-blocking prior, §V).
+    MicroSector,
+    /// OS-based 4 kB page migration (the §II-A software design point).
+    OsPaging,
+}
+
+/// One of the concrete controllers (static dispatch with an accessor for
+/// Baryon-specific instrumentation).
+#[derive(Debug)]
+pub enum AnyController {
+    /// Baryon.
+    Baryon(Box<BaryonController>),
+    /// Simple DRAM cache.
+    Simple(SimpleCache),
+    /// Unison Cache.
+    Unison(UnisonCache),
+    /// DICE.
+    Dice(DiceCache),
+    /// Hybrid2.
+    Hybrid2(Hybrid2),
+    /// Micro-sector cache.
+    MicroSector(MicroSector),
+    /// OS page migration.
+    OsPaging(OsPaging),
+}
+
+macro_rules! delegate {
+    ($self:ident, $c:ident => $body:expr) => {
+        match $self {
+            AnyController::Baryon($c) => $body,
+            AnyController::Simple($c) => $body,
+            AnyController::Unison($c) => $body,
+            AnyController::Dice($c) => $body,
+            AnyController::Hybrid2($c) => $body,
+            AnyController::MicroSector($c) => $body,
+            AnyController::OsPaging($c) => $body,
+        }
+    };
+}
+
+impl MemoryController for AnyController {
+    fn read(&mut self, now: Cycle, req: Request, mem: &mut MemoryContents) -> crate::ctrl::Response {
+        delegate!(self, c => c.read(now, req, mem))
+    }
+
+    fn writeback(&mut self, now: Cycle, addr: u64, mem: &mut MemoryContents) -> Cycle {
+        delegate!(self, c => c.writeback(now, addr, mem))
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        delegate!(self, c => c.serve_stats())
+    }
+
+    fn export(&self, stats: &mut Stats) {
+        delegate!(self, c => c.export(stats))
+    }
+
+    fn reset_stats(&mut self) {
+        delegate!(self, c => c.reset_stats())
+    }
+
+    fn name(&self) -> &str {
+        delegate!(self, c => c.name())
+    }
+}
+
+impl AnyController {
+    /// The Baryon controller, if that is what this system runs.
+    pub fn as_baryon(&self) -> Option<&BaryonController> {
+        match self {
+            AnyController::Baryon(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Mutable Baryon access (to enable phase tracking).
+    pub fn as_baryon_mut(&mut self) -> Option<&mut BaryonController> {
+        match self {
+            AnyController::Baryon(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// System-level configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Cache hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// The memory controller under test.
+    pub controller: ControllerKind,
+    /// Capacity scale shared with the workload registry.
+    pub scale: Scale,
+    /// Cycles per non-memory instruction (4-wide cores: 0.25).
+    pub cpi_nonmem: f64,
+    /// Warm-up instructions per core before measurement starts.
+    pub warmup_insts: u64,
+    /// Outstanding read misses a core may overlap (memory-level
+    /// parallelism). 1 models a blocking core (the default used by all
+    /// recorded experiments); OoO cores overlap several misses.
+    pub mlp: usize,
+    /// Outstanding posted writebacks a core may have before it stalls
+    /// (write bandwidth back-pressure). Without a bound, pure-store
+    /// workloads would never feel the memory system at all.
+    pub store_buffer: usize,
+}
+
+impl SystemConfig {
+    /// Baryon in the paper's default cache mode.
+    pub fn baryon_cache_mode(scale: Scale) -> Self {
+        Self::with_controller(scale, ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)))
+    }
+
+    /// Baryon-FA in flat mode (Fig 10).
+    pub fn baryon_flat_fa(scale: Scale) -> Self {
+        Self::with_controller(scale, ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)))
+    }
+
+    /// A system around any controller kind, with scaled-hierarchy defaults.
+    pub fn with_controller(scale: Scale, controller: ControllerKind) -> Self {
+        SystemConfig {
+            hierarchy: HierarchyConfig::table1_scaled(scale.divisor),
+            controller,
+            scale,
+            cpi_nonmem: 0.25,
+            warmup_insts: 30_000,
+            mlp: 1,
+            store_buffer: 32,
+        }
+    }
+
+    fn build_controller(&self) -> AnyController {
+        match &self.controller {
+            ControllerKind::Baryon(cfg) => {
+                AnyController::Baryon(Box::new(BaryonController::new(cfg.clone())))
+            }
+            ControllerKind::Simple => AnyController::Simple(SimpleCache::new(self.scale)),
+            ControllerKind::Unison => AnyController::Unison(UnisonCache::new(self.scale)),
+            ControllerKind::Dice => AnyController::Dice(DiceCache::new(self.scale)),
+            ControllerKind::Hybrid2 => AnyController::Hybrid2(Hybrid2::new(self.scale)),
+            ControllerKind::MicroSector => {
+                AnyController::MicroSector(MicroSector::new(self.scale))
+            }
+            ControllerKind::OsPaging => AnyController::OsPaging(OsPaging::new(self.scale)),
+        }
+    }
+}
+
+/// The simulated 16-core system.
+pub struct System {
+    cfg: SystemConfig,
+    workload_name: String,
+    hierarchy: Hierarchy,
+    controller: AnyController,
+    contents: MemoryContents,
+    gens: Vec<Box<dyn TraceGen>>,
+    core_time: Vec<Cycle>,
+    core_insts: Vec<u64>,
+    /// Per-core completion times of in-flight read misses (MLP window).
+    outstanding: Vec<Vec<Cycle>>,
+    /// Per-core completion times of posted writebacks (store buffer).
+    wb_queue: Vec<Vec<Cycle>>,
+    llc_misses: u64,
+    read_latency: baryon_sim::histogram::Histogram,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("workload", &self.workload_name)
+            .field("controller", &self.controller.name())
+            .field("cores", &self.core_time.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system running `workload` with the given seed.
+    pub fn new(cfg: SystemConfig, workload: &Workload, seed: u64) -> Self {
+        let cores = cfg.hierarchy.cores;
+        let gens = (0..cores)
+            .map(|c| workload.spawn_core(c, cores, seed))
+            .collect();
+        System {
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            controller: cfg.build_controller(),
+            contents: workload.contents(seed),
+            gens,
+            core_time: vec![0; cores],
+            core_insts: vec![0; cores],
+            outstanding: vec![Vec::new(); cores],
+            wb_queue: vec![Vec::new(); cores],
+            llc_misses: 0,
+            read_latency: baryon_sim::histogram::Histogram::new(),
+            workload_name: workload.name.to_owned(),
+            cfg,
+        }
+    }
+
+    /// The controller (for counters and Baryon-specific instrumentation).
+    pub fn controller(&self) -> &AnyController {
+        &self.controller
+    }
+
+    /// Mutable controller access.
+    pub fn controller_mut(&mut self) -> &mut AnyController {
+        &mut self.controller
+    }
+
+    /// Runs warm-up (if configured) followed by `insts_per_core` measured
+    /// instructions per core, and returns the measured results.
+    pub fn run(&mut self, insts_per_core: u64) -> RunResult {
+        if self.cfg.warmup_insts > 0 {
+            self.run_phase(self.cfg.warmup_insts);
+            self.reset_measurement();
+        }
+        let start: Vec<Cycle> = self.core_time.clone();
+        let insts_before: u64 = self.core_insts.iter().sum();
+        self.run_phase(insts_per_core);
+        let cycles = self
+            .core_time
+            .iter()
+            .zip(&start)
+            .map(|(t, s)| t - s)
+            .max()
+            .unwrap_or(0);
+        let instructions = self.core_insts.iter().sum::<u64>() - insts_before;
+        let mut stats = Stats::new();
+        self.hierarchy.export(&mut stats);
+        let mut ctrl_stats = Stats::new();
+        self.controller.export(&mut ctrl_stats);
+        stats.absorb("ctrl", &ctrl_stats);
+        RunResult {
+            controller: self.controller.name().to_owned(),
+            workload: self.workload_name.clone(),
+            total_cycles: cycles,
+            instructions,
+            llc_misses: self.llc_misses,
+            serve: self.controller.serve_stats(),
+            read_latency: self.read_latency.clone(),
+            stats,
+        }
+    }
+
+    fn reset_measurement(&mut self) {
+        self.hierarchy.reset_stats();
+        self.controller.reset_stats();
+        self.llc_misses = 0;
+        self.read_latency = baryon_sim::histogram::Histogram::new();
+    }
+
+    /// Advances every core by `insts_per_core` instructions, interleaving
+    /// cores in timestamp order.
+    fn run_phase(&mut self, insts_per_core: u64) {
+        let cores = self.core_time.len();
+        let targets: Vec<u64> = self
+            .core_insts
+            .iter()
+            .map(|i| i + insts_per_core)
+            .collect();
+        let mut live = cores;
+        while live > 0 {
+            // The lagging unfinished core goes next.
+            let core = (0..cores)
+                .filter(|c| self.core_insts[*c] < targets[*c])
+                .min_by_key(|c| self.core_time[*c])
+                .expect("live > 0");
+            self.step(core);
+            if self.core_insts[core] >= targets[core] {
+                live -= 1;
+            }
+        }
+    }
+
+    fn step(&mut self, core: usize) {
+        let op = self.gens[core].next_op();
+        self.core_insts[core] += op.instructions();
+        let mut t = self.core_time[core]
+            + (op.gap as f64 * self.cfg.cpi_nonmem).ceil() as Cycle;
+        if op.write {
+            // The store's value changes memory contents now; the data moves
+            // to memory later via the write-back path.
+            self.contents.write_line(op.addr);
+        }
+        let access = self.hierarchy.access(core, op.addr, op.write);
+        for wb in &access.writebacks {
+            let done = self.controller.writeback(t, *wb, &mut self.contents);
+            t = self.post_writeback(core, t, done);
+        }
+        if access.level == HitLevel::Memory {
+            self.llc_misses += 1;
+            let resp = self.controller.read(
+                t + access.latency,
+                Request {
+                    addr: op.addr,
+                    core,
+                },
+                &mut self.contents,
+            );
+            if !op.write {
+                self.read_latency.record(resp.latency);
+            }
+            if !resp.extra_lines.is_empty() {
+                let wbs = self.hierarchy.install_llc_lines(&resp.extra_lines);
+                for wb in wbs {
+                    let done = self.controller.writeback(t, wb, &mut self.contents);
+                    t = self.post_writeback(core, t, done);
+                }
+            }
+            if op.write {
+                // Stores retire into the store buffer: the miss latency is
+                // overlapped, only the on-chip path stalls the core.
+                t += access.latency;
+            } else if self.cfg.mlp <= 1 {
+                t += access.latency + resp.latency;
+            } else {
+                // Overlap up to `mlp` read misses: the core only stalls
+                // when the MLP window is full, waiting for the oldest
+                // in-flight miss to complete.
+                let completion = t + access.latency + resp.latency;
+                let window = &mut self.outstanding[core];
+                window.retain(|c| *c > t);
+                if window.len() >= self.cfg.mlp {
+                    let oldest = window.iter().copied().min().expect("window full");
+                    t = t.max(oldest);
+                    window.retain(|c| *c > t);
+                }
+                window.push(completion);
+                t += access.latency;
+            }
+        } else {
+            t += access.latency;
+        }
+        // A memory instruction costs at least one issue cycle.
+        self.core_time[core] = t.max(self.core_time[core] + 1);
+    }
+
+    /// Tracks a posted writeback completing at `done`; returns the (possibly
+    /// stalled) core time: the store buffer holds `store_buffer` entries and
+    /// a full buffer blocks until the oldest drains.
+    fn post_writeback(&mut self, core: usize, mut t: Cycle, done: Cycle) -> Cycle {
+        let cap = self.cfg.store_buffer.max(1);
+        let q = &mut self.wb_queue[core];
+        q.retain(|c| *c > t);
+        if q.len() >= cap {
+            let oldest = q.iter().copied().min().expect("buffer full");
+            t = t.max(oldest);
+            q.retain(|c| *c > t);
+        }
+        q.push(done);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_workloads::by_name;
+
+    fn scale() -> Scale {
+        Scale { divisor: 2048 }
+    }
+
+    fn run(kind: ControllerKind, workload: &str, insts: u64) -> RunResult {
+        let w = by_name(workload, scale()).expect("workload");
+        let mut cfg = SystemConfig::with_controller(scale(), kind);
+        cfg.warmup_insts = 5_000;
+        System::new(cfg, &w, 7).run(insts)
+    }
+
+    #[test]
+    fn all_controllers_run_end_to_end() {
+        for kind in [
+            ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale())),
+            ControllerKind::Simple,
+            ControllerKind::Unison,
+            ControllerKind::Dice,
+            ControllerKind::Hybrid2,
+        ] {
+            let r = run(kind.clone(), "505.mcf_r", 20_000);
+            assert!(r.total_cycles > 0, "{kind:?} produced no cycles");
+            assert!(r.instructions >= 20_000 * 16);
+            assert!(r.ipc() > 0.0);
+            let s = &r.serve;
+            assert!(s.fast_serve_rate() >= 0.0 && s.fast_serve_rate() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(ControllerKind::Simple, "519.lbm_r", 10_000);
+        let b = run(ControllerKind::Simple, "519.lbm_r", 10_000);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.serve, b.serve);
+    }
+
+    #[test]
+    fn flat_fa_baryon_runs() {
+        let r = run(
+            ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale())),
+            "505.mcf_r",
+            20_000,
+        );
+        assert!(r.total_cycles > 0);
+        assert_eq!(r.controller, "baryon-fa");
+    }
+
+    #[test]
+    fn traffic_conservation() {
+        // Controller traffic must be at least the useful bytes served from
+        // each device class (sanity of the accounting).
+        let r = run(ControllerKind::Simple, "505.mcf_r", 20_000);
+        assert!(r.serve.fast_bytes + r.serve.slow_bytes >= 64 * r.serve.reads);
+    }
+
+    #[test]
+    fn mlp_overlap_speeds_latency_bound_reads_up() {
+        // A latency-bound scenario: the footprint fits in fast memory, so
+        // after warm-up every read is a fixed-latency fast hit that an MLP
+        // window can overlap (bandwidth-bound runs are a wash by design).
+        let mut w = by_name("505.mcf_r", scale()).expect("workload");
+        w.footprint = 1 << 20; // 1 MB vs 2 MB fast memory
+        let mut blocking = SystemConfig::with_controller(scale(), ControllerKind::Simple);
+        blocking.warmup_insts = 20_000;
+        let mut overlapped = blocking.clone();
+        overlapped.mlp = 8;
+        let b = System::new(blocking, &w, 7).run(15_000);
+        let o = System::new(overlapped, &w, 7).run(15_000);
+        assert!(
+            o.total_cycles < b.total_cycles,
+            "overlapping 8 hits must beat a blocking core ({} vs {})",
+            o.total_cycles,
+            b.total_cycles
+        );
+    }
+
+    #[test]
+    fn warmup_resets_measured_stats() {
+        let w = by_name("505.mcf_r", scale()).expect("workload");
+        let mut with_warmup = SystemConfig::with_controller(scale(), ControllerKind::Simple);
+        with_warmup.warmup_insts = 10_000;
+        let r = System::new(with_warmup, &w, 3).run(10_000);
+        // The measured instruction count must reflect only the measured
+        // phase (16 cores x 10k, +- the per-op rounding of the last op).
+        let per_core = r.instructions / 16;
+        assert!(
+            (10_000..11_000).contains(&per_core),
+            "measured {per_core} instructions per core"
+        );
+    }
+
+    #[test]
+    fn store_buffer_throttles_pure_write_streams() {
+        // ycsb-load writes every line; with a tiny store buffer the cores
+        // must run slower than with a large one.
+        let w = by_name("ycsb-load", scale()).expect("workload");
+        let mut tight = SystemConfig::with_controller(scale(), ControllerKind::Simple);
+        tight.warmup_insts = 2_000;
+        tight.store_buffer = 1;
+        let mut roomy = tight.clone();
+        roomy.store_buffer = 1024;
+        let t = System::new(tight, &w, 5).run(10_000);
+        let r = System::new(roomy, &w, 5).run(10_000);
+        assert!(
+            t.total_cycles > r.total_cycles,
+            "a 1-entry store buffer must be slower ({} vs {})",
+            t.total_cycles,
+            r.total_cycles
+        );
+    }
+
+    #[test]
+    fn read_latency_histogram_populates() {
+        let w = by_name("505.mcf_r", scale()).expect("workload");
+        let mut cfg = SystemConfig::with_controller(scale(), ControllerKind::Simple);
+        cfg.warmup_insts = 1_000;
+        let r = System::new(cfg, &w, 3).run(10_000);
+        assert!(r.read_latency.count() > 0, "misses must record latencies");
+        assert!(r.read_latency.percentile(99.0) >= r.read_latency.percentile(50.0));
+        // Loads are a strict subset of LLC misses (stores miss too but are
+        // posted and unsampled).
+        assert!(r.read_latency.count() <= r.llc_misses);
+    }
+
+    #[test]
+    fn baryon_accessor_works() {
+        let w = by_name("505.mcf_r", scale()).expect("workload");
+        let cfg = SystemConfig::baryon_cache_mode(scale());
+        let mut sys = System::new(cfg, &w, 7);
+        assert!(sys.controller().as_baryon().is_some());
+        sys.controller_mut()
+            .as_baryon_mut()
+            .expect("baryon")
+            .enable_phase_tracking(64, 100);
+    }
+}

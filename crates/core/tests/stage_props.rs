@@ -1,0 +1,138 @@
+//! Property tests of the stage-area mechanics: Rule 1 (one super-block per
+//! physical block), LRU/MRU coherence, counter aging, and lookup/insert
+//! consistency under arbitrary operation sequences.
+
+use baryon_core::metadata::stage_entry::RangeRef;
+use baryon_core::stage::StageArea;
+use baryon_compress::Cf;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate { sb: u64 },
+    Touch { sb: u64 },
+    Insert { sb: u64, blk: u8, sub: u8, cf_idx: u8 },
+    Evict { sb: u64 },
+    Access { set: u8 },
+    BumpMru { set: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64).prop_map(|sb| Op::Allocate { sb }),
+        (0u64..64).prop_map(|sb| Op::Touch { sb }),
+        (0u64..64, 0u8..8, 0u8..8, 0u8..3)
+            .prop_map(|(sb, blk, sub, cf_idx)| Op::Insert { sb, blk, sub, cf_idx }),
+        (0u64..64).prop_map(|sb| Op::Evict { sb }),
+        (0u8..4).prop_map(|set| Op::Access { set }),
+        (0u8..4).prop_map(|set| Op::BumpMru { set }),
+    ]
+}
+
+fn check_invariants(area: &StageArea) {
+    for slot in area.occupied_slots() {
+        let entry = area.entry(slot).expect("occupied");
+        // Rule 1: a physical block only stages one super-block — implied by
+        // construction, but every range must stay within the geometry.
+        for r in entry.slots.iter().flatten().chain(entry.zero_ranges.iter()) {
+            assert!(r.blk_off < 8, "blk_off {r:?}");
+            assert!(
+                r.sub_off as usize + r.cf.sub_blocks() <= 8,
+                "range beyond block: {r:?}"
+            );
+            assert_eq!(
+                r.sub_off as usize % r.cf.sub_blocks(),
+                0,
+                "range misaligned: {r:?}"
+            );
+        }
+        // The set mapping is stable.
+        assert_eq!(area.set_of(entry.tag), slot.set);
+        // LRU and MRU agree with the stamps.
+        if area.is_lru(slot) {
+            assert!(area.lru_way(slot.set) == Some(slot));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_operation_sequences_hold_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut area = StageArea::new(4, 4, 8, 16);
+        for op in ops {
+            match op {
+                Op::Allocate { sb } => {
+                    let set = area.set_of(sb);
+                    if let Some(slot) = area.free_way(set) {
+                        area.allocate(slot, sb);
+                    }
+                }
+                Op::Touch { sb } => {
+                    if let Some(slot) = area.blocks_of(sb).first().copied() {
+                        area.touch(slot);
+                        assert!(area.is_mru(slot), "touched slot must be MRU");
+                    }
+                }
+                Op::Insert { sb, blk, sub, cf_idx } => {
+                    let cf = [Cf::X1, Cf::X2, Cf::X4][cf_idx as usize];
+                    let sub_off = (sub as usize / cf.sub_blocks() * cf.sub_blocks()) as u8;
+                    if let Some(slot) = area.blocks_of(sb).first().copied() {
+                        // Skip overlapping inserts (the controller never
+                        // creates them; the raw mechanics would allow it).
+                        let covered = area
+                            .entry(slot)
+                            .map(|e| e.sub_mask_of(blk as usize))
+                            .unwrap_or(0);
+                        let mask: u32 = ((1u32 << cf.sub_blocks()) - 1) << sub_off;
+                        if covered & mask != 0 {
+                            continue;
+                        }
+                        if let Some(free) = area.entry(slot).and_then(|e| e.free_slot()) {
+                            area.entry_mut(slot).expect("occupied").slots[free] =
+                                Some(RangeRef { blk_off: blk, sub_off, cf, dirty: false });
+                            // Lookup finds every covered sub.
+                            for s in sub_off as usize..sub_off as usize + cf.sub_blocks() {
+                                let hit = area.lookup(sb, blk as usize, s);
+                                prop_assert!(hit.is_some(), "inserted sub not found");
+                            }
+                        }
+                    }
+                }
+                Op::Evict { sb } => {
+                    if let Some(slot) = area.blocks_of(sb).first().copied() {
+                        let entry = area.evict(slot);
+                        prop_assert_eq!(entry.tag, sb);
+                        prop_assert!(area.entry(slot).is_none());
+                    }
+                }
+                Op::Access { set } => area.record_set_access(set as usize % 4),
+                Op::BumpMru { set } => area.bump_mru_miss(set as usize % 4),
+            }
+            check_invariants(&area);
+        }
+    }
+
+    #[test]
+    fn aging_halves_counters(accesses in 16u64..200, bumps in 1u16..400) {
+        let mut area = StageArea::new(2, 2, 8, 16);
+        for _ in 0..bumps {
+            area.bump_mru_miss(0);
+        }
+        let before = area.mru_miss_cnt(0);
+        for _ in 0..accesses {
+            area.record_set_access(0);
+        }
+        let agings = accesses / 16;
+        let expected = before >> agings.min(15);
+        prop_assert_eq!(area.mru_miss_cnt(0), expected);
+    }
+
+    #[test]
+    fn lookup_misses_for_untracked_subs(sb in 0u64..32, blk in 0usize..8, sub in 0usize..8) {
+        let area = StageArea::new(4, 4, 8, 16);
+        prop_assert!(area.lookup(sb, blk, sub).is_none());
+        prop_assert!(area.block_home(sb, blk).is_none());
+    }
+}

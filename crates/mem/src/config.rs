@@ -1,0 +1,154 @@
+//! Device configuration presets matching Table I of the paper.
+
+use baryon_sim::ns_to_cycles;
+use baryon_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Timing and energy parameters of one memory device (all timing in CPU
+/// cycles of the 3.2 GHz cores).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable name used in stats output.
+    pub name: String,
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: u64,
+    /// Column access latency on a row hit.
+    pub hit_latency: Cycle,
+    /// Extra latency on a row miss (precharge + activate), added to
+    /// `hit_latency`. Zero for devices without a row buffer benefit.
+    pub miss_penalty: Cycle,
+    /// Additional latency for writes over reads (e.g. NVM write asymmetry).
+    pub write_extra: Cycle,
+    /// Channel bus time to move one 64 B burst.
+    pub burst_cycles: Cycle,
+    /// Read energy in pJ per bit moved.
+    pub read_pj_per_bit: f64,
+    /// Write energy in pJ per bit moved.
+    pub write_pj_per_bit: f64,
+    /// Activate + precharge energy in pJ per row-buffer miss.
+    pub act_pre_pj: f64,
+}
+
+impl DeviceConfig {
+    /// DDR4-3200, 4 channels, 2 ranks, 16 banks, 22-22-22 (Table I).
+    ///
+    /// At 3200 MT/s the DRAM clock is 1600 MHz (tCK = 0.625 ns):
+    /// tCAS = tRCD = tRP = 22 tCK = 13.75 ns. A 64 B burst on a 64-bit
+    /// channel takes 4 tCK = 2.5 ns.
+    pub fn ddr4_3200() -> Self {
+        DeviceConfig {
+            name: "ddr4-3200".to_owned(),
+            channels: 4,
+            ranks: 2,
+            banks_per_rank: 16,
+            row_bytes: 2048,
+            hit_latency: ns_to_cycles(13.75),
+            miss_penalty: ns_to_cycles(13.75 * 2.0),
+            write_extra: 0,
+            burst_cycles: ns_to_cycles(2.5),
+            read_pj_per_bit: 5.0,
+            write_pj_per_bit: 5.0,
+            act_pre_pj: 535.8,
+        }
+    }
+
+    /// The paper's NVM: 1333 MHz, 4 channels, 1 rank, 8 banks,
+    /// 76.92 ns read / 230.77 ns write, 14 / 21 pJ/bit (Table I).
+    ///
+    /// Modelled without a row-buffer benefit (flat access latency); a 64 B
+    /// burst at 1333 MT/s × 8 B is 6.0 ns.
+    pub fn nvm() -> Self {
+        DeviceConfig {
+            name: "nvm".to_owned(),
+            channels: 4,
+            ranks: 1,
+            banks_per_rank: 8,
+            row_bytes: 2048,
+            hit_latency: ns_to_cycles(76.92),
+            miss_penalty: 0,
+            write_extra: ns_to_cycles(230.77 - 76.92),
+            burst_cycles: ns_to_cycles(6.0),
+            read_pj_per_bit: 14.0,
+            write_pj_per_bit: 21.0,
+            act_pre_pj: 0.0,
+        }
+    }
+
+    /// Total number of banks across all channels and ranks.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks * self.banks_per_rank
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.ranks == 0 || self.banks_per_rank == 0 {
+            return Err(format!("{}: channel/rank/bank counts must be non-zero", self.name));
+        }
+        if !self.row_bytes.is_power_of_two() || self.row_bytes < 64 {
+            return Err(format!(
+                "{}: row_bytes must be a power of two >= 64, got {}",
+                self.name, self.row_bytes
+            ));
+        }
+        if self.burst_cycles == 0 {
+            return Err(format!("{}: burst_cycles must be non-zero", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        DeviceConfig::ddr4_3200().validate().expect("ddr4 valid");
+        DeviceConfig::nvm().validate().expect("nvm valid");
+    }
+
+    #[test]
+    fn table1_bank_counts() {
+        assert_eq!(DeviceConfig::ddr4_3200().total_banks(), 4 * 2 * 16);
+        assert_eq!(DeviceConfig::nvm().total_banks(), 4 * 8);
+    }
+
+    #[test]
+    fn nvm_is_slower_than_dram() {
+        let dram = DeviceConfig::ddr4_3200();
+        let nvm = DeviceConfig::nvm();
+        assert!(nvm.hit_latency > dram.hit_latency + dram.miss_penalty);
+        assert!(nvm.write_extra > 0);
+        assert!(nvm.burst_cycles > dram.burst_cycles);
+    }
+
+    #[test]
+    fn nvm_read_latency_matches_paper() {
+        // 76.92 ns at 3.2 GHz ≈ 247 cycles.
+        let nvm = DeviceConfig::nvm();
+        assert_eq!(nvm.hit_latency, 247);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = DeviceConfig::ddr4_3200();
+        c.channels = 0;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::ddr4_3200();
+        c.row_bytes = 100;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::nvm();
+        c.burst_cycles = 0;
+        assert!(c.validate().is_err());
+    }
+}

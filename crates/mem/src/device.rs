@@ -1,0 +1,334 @@
+//! The banked memory device model.
+
+use crate::config::DeviceConfig;
+use crate::energy::EnergyMeter;
+use baryon_sim::stats::Stats;
+use baryon_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one device.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Bytes moved by reads.
+    pub read_bytes: u64,
+    /// Bytes moved by writes.
+    pub written_bytes: u64,
+    /// Row-buffer hits (devices with `miss_penalty > 0` only).
+    pub row_hits: u64,
+    /// Row-buffer misses.
+    pub row_misses: u64,
+    /// Total cycles the channel buses were busy (occupancy).
+    pub bus_busy_cycles: u64,
+    /// Total energy consumed, picojoules.
+    pub energy_pj: f64,
+}
+
+impl DeviceStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.written_bytes
+    }
+
+    /// Exports into a [`Stats`] registry.
+    pub fn export(&self, stats: &mut Stats) {
+        stats.set_counter("reads", self.reads);
+        stats.set_counter("writes", self.writes);
+        stats.set_counter("read_bytes", self.read_bytes);
+        stats.set_counter("written_bytes", self.written_bytes);
+        stats.set_counter("row_hits", self.row_hits);
+        stats.set_counter("row_misses", self.row_misses);
+        stats.set_counter("bus_busy_cycles", self.bus_busy_cycles);
+        stats.set_gauge("energy_pj", self.energy_pj);
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    free_at: Cycle,
+}
+
+/// A banked, multi-channel memory device with row-buffer timing.
+///
+/// Addresses are *device* addresses (bytes). Channel interleaving is at 256 B
+/// granularity (one Baryon sub-block) and banks are selected by row index,
+/// which spreads consecutive rows across banks.
+///
+/// # Examples
+///
+/// ```
+/// use baryon_mem::{DeviceConfig, MemDevice};
+///
+/// let mut nvm = MemDevice::new(DeviceConfig::nvm());
+/// let t_read = nvm.access(0, 4096, 64, false);
+/// let t_write = nvm.access(0, 8192, 64, true);
+/// assert!(t_write > t_read, "NVM writes are slower than reads");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemDevice {
+    cfg: DeviceConfig,
+    banks: Vec<Bank>,
+    channel_free: Vec<Cycle>,
+    stats: DeviceStats,
+    meter: EnergyMeter,
+}
+
+/// Interleave granularity across channels (one sub-block).
+const CHANNEL_INTERLEAVE_BYTES: u64 = 256;
+
+impl MemDevice {
+    /// Creates a device from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`DeviceConfig::validate`]).
+    pub fn new(cfg: DeviceConfig) -> Self {
+        cfg.validate().expect("invalid device config");
+        let banks = vec![Bank::default(); cfg.total_banks()];
+        let channel_free = vec![0; cfg.channels];
+        let meter = EnergyMeter::new(&cfg);
+        MemDevice {
+            cfg,
+            banks,
+            channel_free,
+            stats: DeviceStats::default(),
+            meter,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Resets statistics (used after warm-up) without touching bank state.
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+    }
+
+    fn channel_of(&self, addr: u64) -> usize {
+        ((addr / CHANNEL_INTERLEAVE_BYTES) % self.cfg.channels as u64) as usize
+    }
+
+    fn bank_of(&self, addr: u64) -> (usize, u64) {
+        let row = addr / self.cfg.row_bytes;
+        let banks_per_channel = self.cfg.ranks * self.cfg.banks_per_rank;
+        let channel = self.channel_of(addr);
+        let bank_in_channel = (row % banks_per_channel as u64) as usize;
+        let bank_row = row / banks_per_channel as u64;
+        (channel * banks_per_channel + bank_in_channel, bank_row)
+    }
+
+    /// Performs one access of `bytes` bytes starting at `addr` and returns
+    /// the completion cycle.
+    ///
+    /// The request occupies the channel for the full transfer and the bank
+    /// for the access latency; multi-burst transfers (e.g. a 2 kB block
+    /// migration) are charged one row activation per touched row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn access(&mut self, now: Cycle, addr: u64, bytes: usize, is_write: bool) -> Cycle {
+        assert!(bytes > 0, "zero-byte access");
+        let (bank_idx, row) = self.bank_of(addr);
+        let channel = self.channel_of(addr);
+
+        let bank = &mut self.banks[bank_idx];
+        let start = now.max(bank.free_at).max(self.channel_free[channel]);
+
+        // Row-buffer behaviour: only meaningful when miss_penalty > 0.
+        let row_hit = self.cfg.miss_penalty == 0 || bank.open_row == Some(row);
+        let access_latency = if row_hit {
+            self.stats.row_hits += 1;
+            self.cfg.hit_latency
+        } else {
+            self.stats.row_misses += 1;
+            self.meter.charge_act_pre(&mut self.stats);
+            self.cfg.hit_latency + self.cfg.miss_penalty
+        };
+        if self.cfg.miss_penalty > 0 {
+            bank.open_row = Some(row);
+        }
+
+        let bursts = (bytes as u64).div_ceil(64);
+        // Extra rows touched by a long transfer each cost an activation.
+        let extra_rows = (addr + bytes as u64 - 1) / self.cfg.row_bytes - addr / self.cfg.row_bytes;
+        let extra_row_latency = extra_rows * if self.cfg.miss_penalty > 0 {
+            self.cfg.miss_penalty
+        } else {
+            0
+        };
+        for _ in 0..extra_rows {
+            self.meter.charge_act_pre(&mut self.stats);
+        }
+
+        let write_extra = if is_write { self.cfg.write_extra } else { 0 };
+        let transfer = bursts * self.cfg.burst_cycles;
+        let done = start + access_latency + write_extra + extra_row_latency + transfer;
+
+        // Bank busy until the access completes; channel busy for the burst.
+        self.banks[bank_idx].free_at = done;
+        self.channel_free[channel] = start + access_latency + write_extra + transfer;
+        self.stats.bus_busy_cycles += transfer;
+
+        if is_write {
+            self.stats.writes += 1;
+            self.stats.written_bytes += bytes as u64;
+        } else {
+            self.stats.reads += 1;
+            self.stats.read_bytes += bytes as u64;
+        }
+        self.meter.charge_transfer(&mut self.stats, bytes as u64, is_write);
+
+        done
+    }
+
+    /// The latency an isolated 64 B read would observe on an idle device
+    /// with an open row (the best case), useful for calibration/tests.
+    pub fn unloaded_read_latency(&self) -> Cycle {
+        self.cfg.hit_latency + self.cfg.burst_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> MemDevice {
+        MemDevice::new(DeviceConfig::ddr4_3200())
+    }
+
+    fn nvm() -> MemDevice {
+        MemDevice::new(DeviceConfig::nvm())
+    }
+
+    #[test]
+    fn read_completes_after_now() {
+        let mut d = dram();
+        assert!(d.access(100, 0, 64, false) > 100);
+    }
+
+    #[test]
+    fn row_hit_faster_than_miss() {
+        let mut d = dram();
+        let first = d.access(0, 0, 64, false); // cold: row miss
+        let second_start = first + 1000;
+        let second = d.access(second_start, 64, 64, false) - second_start;
+        assert!(second < first, "row hit ({second}) should beat miss ({first})");
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn different_rows_same_bank_conflict() {
+        let d = dram();
+        let banks_per_channel = (d.config().ranks * d.config().banks_per_rank) as u64;
+        // Two addresses in the same channel whose rows map to the same bank.
+        let a = 0u64;
+        let b = a + d.config().row_bytes * banks_per_channel * d.config().channels as u64;
+        let mut d = dram();
+        let (bank_a, row_a) = d.bank_of(a);
+        let (bank_b, row_b) = d.bank_of(b);
+        assert_eq!(bank_a, bank_b);
+        assert_ne!(row_a, row_b);
+        d.access(0, a, 64, false);
+        let t = d.access(0, b, 64, false);
+        // Second access waits for the first and pays a row miss.
+        assert!(t > d.unloaded_read_latency() * 2);
+    }
+
+    #[test]
+    fn nvm_write_slower_than_read() {
+        let mut d = nvm();
+        let r = d.access(0, 0, 64, false);
+        let w = d.access(r + 100, 1 << 20, 64, true) - (r + 100);
+        assert!(w > r, "write {w} read {r}");
+    }
+
+    #[test]
+    fn nvm_has_flat_latency() {
+        let mut d = nvm();
+        let t1 = d.access(0, 0, 64, false);
+        let start = t1 + 10_000;
+        let t2 = d.access(start, 64, 64, false) - start;
+        assert_eq!(t1, t2, "no row-buffer benefit in the NVM model");
+    }
+
+    #[test]
+    fn big_transfer_takes_longer() {
+        let mut d = dram();
+        let small = d.access(0, 0, 64, false);
+        let mut d = dram();
+        let big = d.access(0, 0, 2048, false);
+        assert!(big > small);
+        assert_eq!(d.stats().read_bytes, 2048);
+    }
+
+    #[test]
+    fn channel_parallelism() {
+        // Same cycle, different channels: both see unloaded latency.
+        let mut d = dram();
+        let t0 = d.access(0, 0, 64, false);
+        let t1 = d.access(0, 256, 64, false); // next channel
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn same_channel_serializes_bursts() {
+        let mut d = dram();
+        let t0 = d.access(0, 0, 64, false);
+        // Same channel (offset 1024 = channel 0 again with 4 channels)
+        let t1 = d.access(0, 1024 * d.config().channels as u64, 64, false);
+        assert!(t1 >= t0, "second access on busy channel cannot finish earlier");
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut d = nvm();
+        d.access(0, 0, 64, false);
+        let after_read = d.stats().energy_pj;
+        assert!((after_read - 64.0 * 8.0 * 14.0).abs() < 1e-6);
+        d.access(1000, 0, 64, true);
+        assert!((d.stats().energy_pj - after_read - 64.0 * 8.0 * 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_reset_keeps_bank_state() {
+        let mut d = dram();
+        d.access(0, 0, 64, false);
+        d.reset_stats();
+        assert_eq!(d.stats().reads, 0);
+        // Row stays open: next access to same row is a hit.
+        let start = 100_000;
+        d.access(start, 0, 64, false);
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_bytes_panics() {
+        dram().access(0, 0, 0, false);
+    }
+
+    #[test]
+    fn export_contains_all_fields() {
+        let mut d = dram();
+        d.access(0, 0, 64, true);
+        let mut s = Stats::new();
+        d.stats().export(&mut s);
+        assert_eq!(s.counter("writes"), 1);
+        assert_eq!(s.counter("written_bytes"), 64);
+        assert!(s.gauge("energy_pj") > 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Energy accounting per Table I of the paper.
+
+use crate::config::DeviceConfig;
+use crate::device::DeviceStats;
+use serde::{Deserialize, Serialize};
+
+/// Charges energy into a [`DeviceStats`] according to a device's per-bit and
+/// per-activation costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    read_pj_per_bit: f64,
+    write_pj_per_bit: f64,
+    act_pre_pj: f64,
+}
+
+impl EnergyMeter {
+    /// Builds a meter from a device configuration.
+    pub fn new(cfg: &DeviceConfig) -> Self {
+        EnergyMeter {
+            read_pj_per_bit: cfg.read_pj_per_bit,
+            write_pj_per_bit: cfg.write_pj_per_bit,
+            act_pre_pj: cfg.act_pre_pj,
+        }
+    }
+
+    /// Charges a data transfer of `bytes` bytes.
+    pub fn charge_transfer(&self, stats: &mut DeviceStats, bytes: u64, is_write: bool) {
+        let pj_per_bit = if is_write {
+            self.write_pj_per_bit
+        } else {
+            self.read_pj_per_bit
+        };
+        stats.energy_pj += bytes as f64 * 8.0 * pj_per_bit;
+    }
+
+    /// Charges one activate + precharge pair.
+    pub fn charge_act_pre(&self, stats: &mut DeviceStats) {
+        stats.energy_pj += self.act_pre_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_transfer_energy() {
+        let m = EnergyMeter::new(&DeviceConfig::ddr4_3200());
+        let mut s = DeviceStats::default();
+        m.charge_transfer(&mut s, 64, false);
+        assert!((s.energy_pj - 64.0 * 8.0 * 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn act_pre_energy() {
+        let m = EnergyMeter::new(&DeviceConfig::ddr4_3200());
+        let mut s = DeviceStats::default();
+        m.charge_act_pre(&mut s);
+        assert!((s.energy_pj - 535.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvm_write_energy_higher() {
+        let m = EnergyMeter::new(&DeviceConfig::nvm());
+        let mut r = DeviceStats::default();
+        let mut w = DeviceStats::default();
+        m.charge_transfer(&mut r, 64, false);
+        m.charge_transfer(&mut w, 64, true);
+        assert!(w.energy_pj > r.energy_pj);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Memory-device timing and energy models.
+//!
+//! The Baryon paper (Table I) evaluates a hybrid memory built from:
+//!
+//! * **fast memory**: DDR4-3200, 4 channels × 2 ranks × 16 banks,
+//!   RCD-CAS-RP = 22-22-22, 5.0 pJ/bit read/write, 535.8 pJ activate+precharge;
+//! * **slow memory**: an NVM at 1333 MHz, 4 channels × 1 rank × 8 banks,
+//!   76.92 ns reads (14 pJ/bit), 230.77 ns writes (21 pJ/bit).
+//!
+//! [`MemDevice`] models either device with per-bank row-buffer state and
+//! per-channel bus occupancy. It is not a full DDR command scheduler — the
+//! simulator issues one request at a time per device and the model charges
+//! queueing as `max(now, bank_free, channel_free)` — but it reproduces the
+//! latency, bandwidth and energy asymmetries the paper's results depend on.
+//!
+//! # Examples
+//!
+//! ```
+//! use baryon_mem::{DeviceConfig, MemDevice};
+//!
+//! let mut dram = MemDevice::new(DeviceConfig::ddr4_3200());
+//! let done = dram.access(0, 0x1000, 64, false);
+//! assert!(done > 0);
+//! let stats = dram.stats();
+//! assert_eq!(stats.read_bytes, 64);
+//! ```
+
+pub mod config;
+pub mod device;
+pub mod energy;
+pub mod frfcfs;
+
+pub use config::DeviceConfig;
+pub use device::{DeviceStats, MemDevice};

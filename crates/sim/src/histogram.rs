@@ -1,0 +1,213 @@
+//! A compact power-of-two-bucketed histogram for latency distributions.
+//!
+//! Memory-system analysis often needs more than averages — e.g. the tail
+//! latencies behind Fig 11's serve rates. [`Histogram`] buckets samples by
+//! `floor(log2(value))`, giving constant-size storage and ~1.4x relative
+//! resolution, which is plenty for cycle latencies spanning 10^1..10^5.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 buckets (covers values up to 2^47).
+const BUCKETS: usize = 48;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use baryon_sim::histogram::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 40, 800] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(50.0) >= 16);
+/// assert!(h.percentile(99.0) >= 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = (64 - value.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample; 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (`p` in 0..=100): the lower bound of the
+    /// bucket containing the p-th sample. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if b == 0 { 0 } else { 1u64 << (b - 1) };
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Non-empty `(bucket_lower_bound, count)` pairs, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(b, n)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, *n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    fn percentiles_monotonic() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99);
+        // Bucket resolution: p50 of 1..=1000 is in [256, 512].
+        assert!((256..=512).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn zero_and_one_land_in_low_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn huge_values_clamp() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.mean(), 252.5);
+    }
+
+    #[test]
+    fn buckets_report_lower_bounds() {
+        let mut h = Histogram::new();
+        h.record(3); // bucket lower bound 2
+        h.record(100); // bucket lower bound 64
+        let b = h.buckets();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], (2, 1));
+        assert_eq!(b[1], (64, 1));
+    }
+}

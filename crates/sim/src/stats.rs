@@ -1,0 +1,191 @@
+//! A lightweight hierarchical statistics registry.
+//!
+//! Every simulator component keeps its own strongly-typed stats struct, but we
+//! also want a uniform way to dump "everything" into a table or CSV. [`Stats`]
+//! is a flat ordered map of dotted counter names (`"llc.misses"`,
+//! `"ctrl.fast.read_bytes"`) that components export into.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered collection of named counters and gauges.
+///
+/// # Examples
+///
+/// ```
+/// use baryon_sim::stats::Stats;
+///
+/// let mut stats = Stats::new();
+/// stats.add("mem.reads", 10);
+/// stats.add("mem.reads", 5);
+/// assert_eq!(stats.counter("mem.reads"), 15);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets the counter `name` to an absolute value.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Sets a floating-point gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a counter; missing counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge; missing gauges read as NaN.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(f64::NAN)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one under a dotted prefix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baryon_sim::stats::Stats;
+    ///
+    /// let mut inner = Stats::new();
+    /// inner.add("hits", 3);
+    /// let mut outer = Stats::new();
+    /// outer.absorb("llc", &inner);
+    /// assert_eq!(outer.counter("llc.hits"), 3);
+    /// ```
+    pub fn absorb(&mut self, prefix: &str, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(format!("{prefix}.{k}")).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(format!("{prefix}.{k}"), *v);
+        }
+    }
+
+    /// True if no counters or gauges have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Renders as CSV lines `name,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,value\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k},{v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k},{v}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(no stats)");
+        }
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<48} {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k:<48} {v:.6}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut s = Stats::new();
+        s.add("x", 1);
+        s.add("x", 2);
+        assert_eq!(s.counter("x"), 3);
+    }
+
+    #[test]
+    fn missing_counter_is_zero() {
+        assert_eq!(Stats::new().counter("nope"), 0);
+    }
+
+    #[test]
+    fn missing_gauge_is_nan() {
+        assert!(Stats::new().gauge("nope").is_nan());
+    }
+
+    #[test]
+    fn set_counter_overwrites() {
+        let mut s = Stats::new();
+        s.add("x", 10);
+        s.set_counter("x", 2);
+        assert_eq!(s.counter("x"), 2);
+    }
+
+    #[test]
+    fn absorb_prefixes_and_sums() {
+        let mut inner = Stats::new();
+        inner.add("a", 1);
+        inner.set_gauge("g", 0.5);
+        let mut outer = Stats::new();
+        outer.absorb("p", &inner);
+        outer.absorb("p", &inner);
+        assert_eq!(outer.counter("p.a"), 2);
+        assert_eq!(outer.gauge("p.g"), 0.5);
+    }
+
+    #[test]
+    fn display_never_empty() {
+        let s = Stats::new();
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn csv_contains_header_and_rows() {
+        let mut s = Stats::new();
+        s.add("a.b", 7);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("a.b,7\n"));
+    }
+
+    #[test]
+    fn counters_iterate_in_order() {
+        let mut s = Stats::new();
+        s.add("z", 1);
+        s.add("a", 1);
+        let names: Vec<&str> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "z"]);
+    }
+}

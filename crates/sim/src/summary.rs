@@ -1,0 +1,143 @@
+//! Statistical summary helpers used by the benchmark harness: geometric means
+//! (the paper reports geomean speedups) and percentile boxes (Fig 4 uses
+//! 25/75 quartile boxes with 5/95 whiskers).
+
+/// Geometric mean of a slice of positive values.
+///
+/// Returns `None` for an empty slice or if any value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// let g = baryon_sim::summary::geomean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Linear-interpolated percentile of an unsorted slice, `p` in `[0, 100]`.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// let p = baryon_sim::summary::percentile(&[1.0, 2.0, 3.0, 4.0], 50.0).unwrap();
+/// assert!((p - 2.5).abs() < 1e-12);
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A five-number summary: 5/25/50/75/95 percentiles, as used by the Fig 4
+/// box-and-whisker plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxSummary {
+    /// 5th percentile (lower whisker).
+    pub p5: f64,
+    /// 25th percentile (box bottom).
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile (box top).
+    pub p75: f64,
+    /// 95th percentile (upper whisker).
+    pub p95: f64,
+}
+
+impl BoxSummary {
+    /// Computes the summary; `None` for an empty slice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use baryon_sim::summary::BoxSummary;
+    /// let vals: Vec<f64> = (0..=100).map(f64::from).collect();
+    /// let b = BoxSummary::from_values(&vals).unwrap();
+    /// assert!((b.p50 - 50.0).abs() < 1e-9);
+    /// ```
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        Some(BoxSummary {
+            p5: percentile(values, 5.0)?,
+            p25: percentile(values, 25.0)?,
+            p50: percentile(values, 50.0)?,
+            p75: percentile(values, 75.0)?,
+            p95: percentile(values, 95.0)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_or_nonpositive() {
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[1.0, 0.0]).is_none());
+        assert!(geomean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn geomean_of_identical_is_identity() {
+        assert!((geomean(&[3.0; 7]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 73.0), Some(42.0));
+    }
+
+    #[test]
+    fn box_summary_ordered() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let b = BoxSummary::from_values(&vals).unwrap();
+        assert!(b.p5 <= b.p25 && b.p25 <= b.p50 && b.p50 <= b.p75 && b.p75 <= b.p95);
+    }
+
+    #[test]
+    fn box_summary_empty_is_none() {
+        assert!(BoxSummary::from_values(&[]).is_none());
+    }
+}

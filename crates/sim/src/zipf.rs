@@ -1,0 +1,199 @@
+//! Zipfian sampling for skewed workloads (YCSB, graph degree distributions).
+//!
+//! Uses the rejection-inversion method of Hörmann & Derflinger, the same
+//! algorithm YCSB's own `ZipfianGenerator` approximates, so the key popularity
+//! skew of the `ycsb-a`/`ycsb-b` workloads matches the real benchmark's shape.
+
+use crate::rng::SimRng;
+
+/// A Zipfian distribution over `0..n` with exponent `theta`.
+///
+/// Rank 0 is the most popular item. YCSB's default skew is `theta = 0.99`.
+///
+/// # Examples
+///
+/// ```
+/// use baryon_sim::{rng::SimRng, zipf::Zipfian};
+///
+/// let zipf = Zipfian::new(1000, 0.99);
+/// let mut rng = SimRng::from_seed(1);
+/// let item = zipf.sample(&mut rng);
+/// assert!(item < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl Zipfian {
+    /// Creates a Zipfian distribution over `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1) ∪ (1, ∞)` (the classic
+    /// harmonic case `theta == 1` is excluded; use e.g. `0.999`).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs at least one item");
+        assert!(
+            theta > 0.0 && (theta - 1.0).abs() > 1e-9,
+            "theta must be positive and != 1, got {theta}"
+        );
+        let hi = |x: f64| h_integral_fn(x, theta);
+        let h_integral_x1 = hi(1.5) - 1.0;
+        Zipfian {
+            n,
+            theta,
+            h_integral_x1,
+            h_integral_n: hi(n as f64 + 0.5),
+            s: 2.0 - h_integral_inverse_fn(hi(2.5) - h_fn(2.0, theta), theta),
+        }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Samples a rank in `0..n`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        loop {
+            let u = self.h_integral_n + rng.gen_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let x = h_integral_inverse_fn(u, self.theta);
+            let mut k = (x + 0.5).floor();
+            if k < 1.0 {
+                k = 1.0;
+            } else if k > self.n as f64 {
+                k = self.n as f64;
+            }
+            if k - x <= self.s
+                || u >= h_integral_fn(k + 0.5, self.theta) - h_fn(k, self.theta)
+            {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+/// H(x) = integral of 1/x^theta.
+fn h_integral_fn(x: f64, theta: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - theta) * log_x) * log_x
+}
+
+/// h(x) = 1/x^theta.
+fn h_fn(x: f64, theta: f64) -> f64 {
+    (-theta * x.ln()).exp()
+}
+
+/// Inverse of `h_integral_fn`.
+fn h_integral_inverse_fn(x: f64, theta: f64) -> f64 {
+    let mut t = x * (1.0 - theta);
+    if t < -1.0 {
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// (exp(x) - 1) / x, stable near 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+/// ln(1 + x) / x, stable near 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let zipf = Zipfian::new(100, 0.99);
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let zipf = Zipfian::new(1000, 0.99);
+        let mut rng = SimRng::from_seed(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..200_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999] * 10);
+    }
+
+    #[test]
+    fn skew_matches_zipf_law() {
+        // P(rank 0) / P(rank 1) should be about 2^theta.
+        let theta = 0.99;
+        let zipf = Zipfian::new(10_000, theta);
+        let mut rng = SimRng::from_seed(3);
+        let (mut c0, mut c1) = (0u64, 0u64);
+        for _ in 0..2_000_000 {
+            match zipf.sample(&mut rng) {
+                0 => c0 += 1,
+                1 => c1 += 1,
+                _ => {}
+            }
+        }
+        let ratio = c0 as f64 / c1 as f64;
+        let expect = 2f64.powf(theta);
+        assert!((ratio - expect).abs() / expect < 0.05, "ratio {ratio} expect {expect}");
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let zipf = Zipfian::new(1, 0.5);
+        let mut rng = SimRng::from_seed(4);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        Zipfian::new(0, 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_one_panics() {
+        Zipfian::new(10, 1.0);
+    }
+
+    #[test]
+    fn heavy_skew_concentrates() {
+        let zipf = Zipfian::new(1_000_000, 1.2);
+        let mut rng = SimRng::from_seed(5);
+        let top100 = (0..100_000)
+            .filter(|_| zipf.sample(&mut rng) < 100)
+            .count();
+        // With theta > 1 most of the mass is on a handful of items.
+        assert!(top100 > 50_000, "top100 draws: {top100}");
+    }
+}

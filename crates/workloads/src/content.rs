@@ -1,0 +1,461 @@
+//! Deterministic memory-content model.
+//!
+//! Contents must be *real bytes* because the simulator runs real FPC/BDI over
+//! them, but storing a multi-GB image is impossible. Instead every 64 B line
+//! is a pure function of `(line address, version, block profile)`:
+//!
+//! * the **profile** of a 2 kB block is chosen by hashing the block index
+//!   against the workload's [`ProfileMix`], so it is stable across the run;
+//! * the **version** of a line starts at 0 and is bumped by every write, so
+//!   written data drifts (each profile has a *dirty entropy* giving the
+//!   probability a rewritten line degenerates to incompressible bytes).
+
+use baryon_sim::rng::mix64;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bytes per cacheline.
+pub const LINE_BYTES: u64 = 64;
+
+/// Bytes per 2 kB data block (the profile granularity).
+pub const BLOCK_BYTES: u64 = 2048;
+
+/// The value-content class of a 2 kB block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueProfile {
+    /// Untouched / zero-initialized data. Compresses to nothing (CF 4).
+    Zero,
+    /// 32-bit integers clustered around a per-block base (counters, indices).
+    /// BDI base4-Δ1 territory: reaches CF 2 under cacheline alignment.
+    NarrowInt,
+    /// 64-bit pointers into a shared heap region (linked structures).
+    /// BDI base8-Δ2 territory: CF 2.
+    Pointer,
+    /// 32-bit floats with a shared exponent and small mantissa spread
+    /// (stencil grids, NN activations). CF 2 when the spread is small.
+    FloatSimilar,
+    /// 32-bit floats with full-range mantissas (chaotic solvers). CF 1.
+    FloatRandom,
+    /// ASCII-ish text payloads (key-value records). Weakly compressible.
+    Text,
+    /// High-entropy bytes (encrypted/compressed data). CF 1.
+    Random,
+}
+
+impl ValueProfile {
+    /// Probability that a rewritten line degenerates to random bytes.
+    fn dirty_entropy(self) -> f64 {
+        match self {
+            ValueProfile::Zero => 0.9, // writing a zero page materializes data
+            ValueProfile::NarrowInt => 0.05,
+            ValueProfile::Pointer => 0.05,
+            ValueProfile::FloatSimilar => 0.15,
+            ValueProfile::FloatRandom => 0.0, // already incompressible
+            ValueProfile::Text => 0.10,
+            ValueProfile::Random => 0.0,
+        }
+    }
+}
+
+/// Relative weights of each profile for one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileMix {
+    /// Weight of [`ValueProfile::Zero`].
+    pub zero: f64,
+    /// Weight of [`ValueProfile::NarrowInt`].
+    pub narrow_int: f64,
+    /// Weight of [`ValueProfile::Pointer`].
+    pub pointer: f64,
+    /// Weight of [`ValueProfile::FloatSimilar`].
+    pub float_similar: f64,
+    /// Weight of [`ValueProfile::FloatRandom`].
+    pub float_random: f64,
+    /// Weight of [`ValueProfile::Text`].
+    pub text: f64,
+    /// Weight of [`ValueProfile::Random`].
+    pub random: f64,
+}
+
+impl ProfileMix {
+    /// A mix that is entirely one profile.
+    pub fn pure(profile: ValueProfile) -> Self {
+        let mut mix = ProfileMix {
+            zero: 0.0,
+            narrow_int: 0.0,
+            pointer: 0.0,
+            float_similar: 0.0,
+            float_random: 0.0,
+            text: 0.0,
+            random: 0.0,
+        };
+        match profile {
+            ValueProfile::Zero => mix.zero = 1.0,
+            ValueProfile::NarrowInt => mix.narrow_int = 1.0,
+            ValueProfile::Pointer => mix.pointer = 1.0,
+            ValueProfile::FloatSimilar => mix.float_similar = 1.0,
+            ValueProfile::FloatRandom => mix.float_random = 1.0,
+            ValueProfile::Text => mix.text = 1.0,
+            ValueProfile::Random => mix.random = 1.0,
+        }
+        mix
+    }
+
+    fn entries(&self) -> [(ValueProfile, f64); 7] {
+        [
+            (ValueProfile::Zero, self.zero),
+            (ValueProfile::NarrowInt, self.narrow_int),
+            (ValueProfile::Pointer, self.pointer),
+            (ValueProfile::FloatSimilar, self.float_similar),
+            (ValueProfile::FloatRandom, self.float_random),
+            (ValueProfile::Text, self.text),
+            (ValueProfile::Random, self.random),
+        ]
+    }
+
+    /// Total weight.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; a zero total is caught in [`MemoryContents::new`].
+    pub fn total(&self) -> f64 {
+        self.entries().iter().map(|(_, w)| w).sum()
+    }
+
+    /// Picks the profile for a block index, deterministically.
+    fn pick(&self, block_idx: u64, seed: u64) -> ValueProfile {
+        let total = self.total();
+        let h = mix64(seed ^ 0xB10C_B10C, block_idx);
+        let mut x = (h >> 11) as f64 / (1u64 << 53) as f64 * total;
+        for (p, w) in self.entries() {
+            if x < w {
+                return p;
+            }
+            x -= w;
+        }
+        ValueProfile::Random
+    }
+}
+
+/// The deterministic contents of the simulated physical memory.
+///
+/// # Examples
+///
+/// ```
+/// use baryon_workloads::content::{MemoryContents, ProfileMix, ValueProfile};
+///
+/// let mut mem = MemoryContents::new(ProfileMix::pure(ValueProfile::Zero), 7);
+/// assert_eq!(mem.line(0), [0u8; 64]);
+/// mem.write_line(0);
+/// // After a write the line is no longer (all) zero.
+/// assert_ne!(mem.line(0), [0u8; 64]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryContents {
+    mix: ProfileMix,
+    seed: u64,
+    versions: HashMap<u64, u32>,
+}
+
+impl MemoryContents {
+    /// Creates contents for a workload's profile mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix has zero total weight.
+    pub fn new(mix: ProfileMix, seed: u64) -> Self {
+        assert!(mix.total() > 0.0, "profile mix must have positive weight");
+        MemoryContents {
+            mix,
+            seed,
+            versions: HashMap::new(),
+        }
+    }
+
+    /// The profile of the 2 kB block containing `addr`.
+    pub fn profile_of(&self, addr: u64) -> ValueProfile {
+        self.mix.pick(addr / BLOCK_BYTES, self.seed)
+    }
+
+    /// Current version of the line containing `addr` (0 if never written).
+    pub fn version_of(&self, addr: u64) -> u32 {
+        self.versions.get(&(addr / LINE_BYTES)).copied().unwrap_or(0)
+    }
+
+    /// Records a write to the line containing `addr`, bumping its version.
+    pub fn write_line(&mut self, addr: u64) {
+        *self.versions.entry(addr / LINE_BYTES).or_insert(0) += 1;
+    }
+
+    /// Number of lines ever written (for memory-usage introspection).
+    pub fn written_lines(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// The 64 bytes of the line containing `addr` (line-aligned).
+    pub fn line(&self, addr: u64) -> [u8; 64] {
+        let line_addr = addr & !(LINE_BYTES - 1);
+        let version = self.version_of(line_addr);
+        let profile = self.profile_of(line_addr);
+        render_line(profile, line_addr, version, self.seed)
+    }
+
+    /// Assembles `len` bytes starting at line-aligned `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `len` is not 64 B aligned.
+    pub fn range(&self, addr: u64, len: usize) -> Vec<u8> {
+        assert!(
+            addr.is_multiple_of(LINE_BYTES) && (len as u64).is_multiple_of(LINE_BYTES),
+            "range must be line-aligned"
+        );
+        let mut out = Vec::with_capacity(len);
+        let mut a = addr;
+        while out.len() < len {
+            out.extend_from_slice(&self.line(a));
+            a += LINE_BYTES;
+        }
+        out
+    }
+}
+
+/// Renders one line's bytes. Pure function of its arguments.
+fn render_line(profile: ValueProfile, line_addr: u64, version: u32, seed: u64) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    if version == 0 && profile == ValueProfile::Zero {
+        return out;
+    }
+    // Dirty-entropy: rewritten lines may degenerate to random bytes.
+    if version > 0 {
+        let h = mix64(seed ^ 0xD1A7, mix64(line_addr, version as u64));
+        let p = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if p < profile.dirty_entropy() {
+            return random_bytes(line_addr, version, seed ^ 0xE57);
+        }
+    }
+    let vseed = mix64(seed, mix64(line_addr / BLOCK_BYTES, version as u64 >> 3));
+    // Intra-block heterogeneity: a quarter of the 256 B sub-blocks in a
+    // compressible block carry "hard" values (wide deltas / noisy
+    // mantissas) that only reach CF 1. Real data mixes hot irregular
+    // fields with regular ones; this is what makes Baryon's per-range CF
+    // choice (and the Fig 12 CF-restriction analysis) non-trivial.
+    let sub_idx = (line_addr % BLOCK_BYTES) / 256;
+    let hard = mix64(mix64(seed ^ 0x4A8D, line_addr / BLOCK_BYTES), sub_idx).is_multiple_of(4);
+    match profile {
+        ValueProfile::Zero => {
+            // A written zero line that did not degenerate: small integers.
+            fill_narrow_ints(&mut out, line_addr, version, vseed, hard);
+        }
+        ValueProfile::NarrowInt => fill_narrow_ints(&mut out, line_addr, version, vseed, hard),
+        ValueProfile::Pointer => {
+            // Pointers share their upper 48 bits within a block.
+            let base = (vseed & 0x0000_7FFF_FFFF_0000) as i64;
+            let spread = if hard { 1 << 28 } else { 4096 };
+            for (i, w) in out.chunks_exact_mut(8).enumerate() {
+                let delta = (mix64(line_addr + i as u64, version as u64) % spread) as i64 * 8;
+                w.copy_from_slice(&(base + delta).to_le_bytes());
+            }
+        }
+        ValueProfile::FloatSimilar => {
+            // Shared exponent, small mantissa spread -> BDI-friendly.
+            let base = 1.0f32 + (vseed % 1000) as f32 / 1000.0;
+            let scale = if hard { 1e-3 } else { 1e-7 };
+            for (i, w) in out.chunks_exact_mut(4).enumerate() {
+                let wiggle = (mix64(line_addr + i as u64, version as u64) % 100) as f32 * scale;
+                w.copy_from_slice(&(base + wiggle).to_bits().to_le_bytes());
+            }
+        }
+        ValueProfile::FloatRandom => {
+            for (i, w) in out.chunks_exact_mut(4).enumerate() {
+                let bits = mix64(line_addr + i as u64 * 7, version as u64 ^ vseed) as u32;
+                // Keep it a plausible normal float but with a chaotic mantissa.
+                let f = f32::from_bits((bits & 0x007F_FFFF) | 0x3F80_0000);
+                w.copy_from_slice(&(f * (1.0 + (bits >> 24) as f32)).to_bits().to_le_bytes());
+            }
+        }
+        ValueProfile::Text => {
+            const ALPHABET: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;";
+            let mut h = mix64(vseed, line_addr ^ version as u64);
+            for b in &mut out {
+                h = mix64(h, 0x7E57);
+                *b = ALPHABET[(h % ALPHABET.len() as u64) as usize];
+            }
+        }
+        ValueProfile::Random => {
+            out = random_bytes(line_addr, version, seed);
+        }
+    }
+    out
+}
+
+fn fill_narrow_ints(out: &mut [u8; 64], line_addr: u64, version: u32, vseed: u64, hard: bool) {
+    // 32-bit values near a per-block base; soft sub-blocks keep deltas in
+    // a signed byte, hard sub-blocks spread over 20 bits (CF 1).
+    let base = (vseed % 1_000_000) as u32;
+    let spread = if hard { 1 << 20 } else { 100 };
+    for (i, w) in out.chunks_exact_mut(4).enumerate() {
+        let delta = (mix64(line_addr + i as u64, version as u64) % spread) as u32;
+        w.copy_from_slice(&(base + delta).to_le_bytes());
+    }
+}
+
+fn random_bytes(line_addr: u64, version: u32, seed: u64) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    for (i, w) in out.chunks_exact_mut(8).enumerate() {
+        let v = mix64(mix64(line_addr, seed), (i as u64) << 32 | version as u64);
+        w.copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_compress::{best_compressed_size, RangeCompressor};
+
+    fn mem(profile: ValueProfile) -> MemoryContents {
+        MemoryContents::new(ProfileMix::pure(profile), 42)
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = mem(ValueProfile::NarrowInt);
+        let b = mem(ValueProfile::NarrowInt);
+        for addr in [0u64, 64, 2048, 1 << 20] {
+            assert_eq!(a.line(addr), b.line(addr));
+        }
+    }
+
+    #[test]
+    fn zero_profile_is_zero_until_written() {
+        let mut m = mem(ValueProfile::Zero);
+        assert!(m.line(128).iter().all(|b| *b == 0));
+        m.write_line(128);
+        assert_eq!(m.version_of(128), 1);
+        assert!(m.line(128).iter().any(|b| *b != 0));
+        // Other lines unaffected.
+        assert!(m.line(192).iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn narrow_ints_reach_cf2_at_cacheline_alignment() {
+        let m = mem(ValueProfile::NarrowInt);
+        let rc = RangeCompressor::cacheline_aligned();
+        let data = m.range(0, 512);
+        assert_eq!(rc.max_cf(&data), Some(baryon_compress::Cf::X2), "narrow ints should hit CF2");
+    }
+
+    #[test]
+    fn random_profile_is_incompressible() {
+        let m = mem(ValueProfile::Random);
+        for addr in [0u64, 4096] {
+            assert_eq!(best_compressed_size(&m.line(addr)), 64);
+        }
+    }
+
+    #[test]
+    fn pointers_compress() {
+        let m = mem(ValueProfile::Pointer);
+        let chunk = m.range(0, 128);
+        assert!(best_compressed_size(&chunk) <= 64, "pointer chunk should 2x compress");
+    }
+
+    #[test]
+    fn float_similar_compresses_float_random_does_not() {
+        let sim = mem(ValueProfile::FloatSimilar);
+        let rnd = mem(ValueProfile::FloatRandom);
+        let sim_sz = best_compressed_size(&sim.range(0, 128));
+        let rnd_sz = best_compressed_size(&rnd.range(0, 128));
+        assert!(sim_sz <= 64, "similar floats {sim_sz}");
+        assert!(rnd_sz > 64, "random floats {rnd_sz}");
+    }
+
+    #[test]
+    fn version_changes_content() {
+        let mut m = mem(ValueProfile::NarrowInt);
+        let before = m.line(0);
+        m.write_line(0);
+        let after = m.line(0);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn mixture_produces_multiple_profiles() {
+        let mix = ProfileMix {
+            zero: 1.0,
+            narrow_int: 1.0,
+            pointer: 1.0,
+            float_similar: 1.0,
+            float_random: 1.0,
+            text: 1.0,
+            random: 1.0,
+        };
+        let m = MemoryContents::new(mix, 3);
+        let mut seen = std::collections::HashSet::new();
+        for blk in 0..200u64 {
+            seen.insert(m.profile_of(blk * BLOCK_BYTES));
+        }
+        assert!(seen.len() >= 5, "only saw {seen:?}");
+    }
+
+    #[test]
+    fn profile_stable_within_block() {
+        let m = MemoryContents::new(
+            ProfileMix {
+                zero: 1.0,
+                narrow_int: 1.0,
+                pointer: 1.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.0,
+                random: 1.0,
+            },
+            9,
+        );
+        for blk in 0..50u64 {
+            let base = blk * BLOCK_BYTES;
+            let p = m.profile_of(base);
+            for off in (0..BLOCK_BYTES).step_by(64) {
+                assert_eq!(m.profile_of(base + off), p);
+            }
+        }
+    }
+
+    #[test]
+    fn range_is_line_concatenation() {
+        let m = mem(ValueProfile::Text);
+        let r = m.range(0, 256);
+        assert_eq!(&r[..64], &m.line(0));
+        assert_eq!(&r[64..128], &m.line(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "line-aligned")]
+    fn unaligned_range_panics() {
+        mem(ValueProfile::Zero).range(32, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn empty_mix_panics() {
+        let mut mix = ProfileMix::pure(ValueProfile::Zero);
+        mix.zero = 0.0;
+        MemoryContents::new(mix, 0);
+    }
+
+    #[test]
+    fn dirty_entropy_degrades_zero_pages() {
+        let mut m = mem(ValueProfile::Zero);
+        let mut degenerated = 0;
+        for i in 0..100u64 {
+            let addr = i * 64;
+            m.write_line(addr);
+            if best_compressed_size(&m.line(addr)) == 64 {
+                degenerated += 1;
+            }
+        }
+        // dirty_entropy(Zero)=0.9: most written zero lines become random.
+        assert!(degenerated > 70, "only {degenerated}/100 degenerated");
+    }
+}

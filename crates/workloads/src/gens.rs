@@ -1,0 +1,783 @@
+//! The concrete trace generators.
+//!
+//! Each generator targets the access-pattern profile of one workload family
+//! (see the crate docs for the fidelity argument):
+//!
+//! * [`StreamGen`] — array sweeps (lbm, fotonik3d, bwaves, roms, DNN-free),
+//! * [`ChaseGen`] — pointer chasing with tunable block locality (mcf,
+//!   omnetpp, xz),
+//! * [`ZipfGen`] — YCSB-style record store with zipfian popularity,
+//! * [`GraphGen`] — GAP-style pull-mode PageRank/CC iteration,
+//! * [`BfsGen`] — direction-optimizing breadth-first search,
+//! * [`TensorGen`] — layer-by-layer CNN inference sweeps.
+
+use crate::trace::{Op, TraceGen};
+use baryon_sim::rng::SimRng;
+use baryon_sim::zipf::Zipfian;
+
+const LINE: u64 = 64;
+
+fn sample_gap(rng: &mut SimRng, mean: f64) -> u32 {
+    // Geometric with the given mean, capped to keep cycles bounded.
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (mean + 1.0);
+    let u = rng.gen_f64().max(1e-12);
+    ((u.ln() / (1.0 - p).ln()).floor() as u32).min(10_000)
+}
+
+/// Streaming sweeps over `streams` interleaved arrays inside one region.
+///
+/// Mimics stencil/array codes: each op advances one of the round-robin
+/// streams by 64 B; a configurable fraction of streams are write streams.
+#[derive(Debug)]
+pub struct StreamGen {
+    base: u64,
+    stream_size: u64,
+    cursors: Vec<u64>,
+    writes: Vec<bool>,
+    next_stream: usize,
+    mean_gap: f64,
+    rng: SimRng,
+}
+
+impl StreamGen {
+    /// Creates a generator over `[base, base + size)` split into `streams`
+    /// equal arrays, the last `write_streams` of which are written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0`, `write_streams > streams`, or the region is
+    /// too small for one line per stream.
+    pub fn new(
+        base: u64,
+        size: u64,
+        streams: usize,
+        write_streams: usize,
+        mean_gap: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        assert!(write_streams <= streams, "more write streams than streams");
+        let stream_size = (size / streams as u64) & !(LINE - 1);
+        assert!(stream_size >= LINE, "region too small for {streams} streams");
+        let mut rng = SimRng::from_seed(seed);
+        // Start each stream at a distinct phase for realism.
+        let cursors = (0..streams)
+            .map(|_| rng.gen_range(0, stream_size / LINE) * LINE)
+            .collect();
+        StreamGen {
+            base,
+            stream_size,
+            cursors,
+            writes: (0..streams).map(|i| i >= streams - write_streams).collect(),
+            next_stream: 0,
+            mean_gap,
+            rng,
+        }
+    }
+}
+
+impl TraceGen for StreamGen {
+    fn next_op(&mut self) -> Op {
+        let s = self.next_stream;
+        self.next_stream = (self.next_stream + 1) % self.cursors.len();
+        let addr = self.base + s as u64 * self.stream_size + self.cursors[s];
+        self.cursors[s] = (self.cursors[s] + LINE) % self.stream_size;
+        Op {
+            addr,
+            write: self.writes[s],
+            gap: sample_gap(&mut self.rng, self.mean_gap),
+        }
+    }
+}
+
+/// Pointer chasing with tunable spatial locality.
+///
+/// With probability `stay` the next access is another line in the current
+/// 2 kB block (sub-block locality); otherwise it jumps to a random block.
+/// A fraction `write_frac` of accesses are stores.
+#[derive(Debug)]
+pub struct ChaseGen {
+    base: u64,
+    blocks: u64,
+    cur_block: u64,
+    stay: f64,
+    write_frac: f64,
+    touched_in_block: u32,
+    mean_gap: f64,
+    /// Sequential lines left in the current object access run.
+    run_left: u32,
+    run_line: u64,
+    rng: SimRng,
+}
+
+impl ChaseGen {
+    /// Creates a chaser over `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is smaller than one 2 kB block.
+    pub fn new(base: u64, size: u64, stay: f64, write_frac: f64, mean_gap: f64, seed: u64) -> Self {
+        let blocks = size / 2048;
+        assert!(blocks > 0, "region must hold at least one 2 kB block");
+        let mut rng = SimRng::from_seed(seed);
+        let cur_block = rng.gen_range(0, blocks);
+        ChaseGen {
+            base,
+            blocks,
+            cur_block,
+            stay,
+            write_frac,
+            touched_in_block: 0,
+            mean_gap,
+            run_left: 0,
+            run_line: 0,
+            rng,
+        }
+    }
+}
+
+impl TraceGen for ChaseGen {
+    fn next_op(&mut self) -> Op {
+        // Objects span a few consecutive lines: after landing on one, a
+        // short sequential run reads its fields (pointer + payload).
+        if self.run_left == 0 {
+            if !self.rng.gen_bool(self.stay) || self.touched_in_block > 32 {
+                self.cur_block = self.rng.gen_range(0, self.blocks);
+                self.touched_in_block = 0;
+            }
+            self.touched_in_block += 1;
+            // Each block has a stable hot half (the object fields the code
+            // actually uses): the paper's key observation is that per-block
+            // footprints stabilize, which uniform line sampling would
+            // violate. 85% of landings stay inside the hot window.
+            let lines = 2048 / LINE;
+            let window = lines / 2;
+            let window_start =
+                baryon_sim::rng::splitmix64(self.cur_block ^ 0xC0FFEE) % (lines - window + 1);
+            self.run_line = if self.rng.gen_bool(0.85) {
+                window_start + self.rng.gen_range(0, window)
+            } else {
+                self.rng.gen_range(0, lines)
+            };
+            self.run_left = 1 + self.rng.gen_range(0, 3) as u32;
+        }
+        self.run_left -= 1;
+        let line = self.run_line;
+        self.run_line = (self.run_line + 1) % (2048 / LINE);
+        let addr = self.base + self.cur_block * 2048 + line * LINE;
+        Op {
+            addr,
+            write: self.rng.gen_bool(self.write_frac),
+            gap: sample_gap(&mut self.rng, self.mean_gap),
+        }
+    }
+}
+
+/// YCSB-style key-value store over fixed-size records.
+///
+/// Each query picks a record by zipfian popularity. Reads scan the whole
+/// record; updates rewrite a small field (two lines).
+#[derive(Debug)]
+pub struct ZipfGen {
+    base: u64,
+    record_lines: u64,
+    zipf: Zipfian,
+    update_frac: f64,
+    pending: Vec<Op>,
+    mean_gap: f64,
+    rng: SimRng,
+}
+
+impl ZipfGen {
+    /// Creates a store of `records` records of `record_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_bytes < 128` or `records == 0`.
+    pub fn new(
+        base: u64,
+        records: u64,
+        record_bytes: u64,
+        theta: f64,
+        update_frac: f64,
+        mean_gap: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(record_bytes >= 128, "records must be at least two lines");
+        assert!(records > 0, "need at least one record");
+        ZipfGen {
+            base,
+            record_lines: record_bytes / LINE,
+            zipf: Zipfian::new(records, theta),
+            update_frac,
+            pending: Vec::new(),
+            mean_gap,
+            rng: SimRng::from_seed(seed),
+        }
+    }
+}
+
+impl TraceGen for ZipfGen {
+    fn next_op(&mut self) -> Op {
+        if let Some(op) = self.pending.pop() {
+            return op;
+        }
+        // Spread the zipf rank over the key space so hot records are not
+        // physically adjacent (hashing, as memcached's slab allocator does).
+        let rank = self.zipf.sample(&mut self.rng);
+        let record = baryon_sim::rng::splitmix64(rank) % self.zipf.n();
+        let rec_base = self.base + record * self.record_lines * LINE;
+        let gap = sample_gap(&mut self.rng, self.mean_gap);
+        if self.rng.gen_bool(self.update_frac) {
+            // Update: read one line then write two field lines.
+            let field = self.rng.gen_range(0, self.record_lines - 1);
+            self.pending.push(Op {
+                addr: rec_base + (field + 1) * LINE,
+                write: true,
+                gap: 1,
+            });
+            Op {
+                addr: rec_base + field * LINE,
+                write: true,
+                gap,
+            }
+        } else {
+            // Scan the record front to back: queue lines so pops come in
+            // ascending address order.
+            for l in (1..self.record_lines).rev() {
+                self.pending.push(Op {
+                    addr: rec_base + l * LINE,
+                    write: false,
+                    gap: 1,
+                });
+            }
+            Op {
+                addr: rec_base,
+                write: false,
+                gap,
+            }
+        }
+    }
+}
+
+/// GAP-style pull-mode graph iteration (PageRank / connected components).
+///
+/// Memory layout: an edge array streamed sequentially, a source-value array
+/// gathered at random (power-law biased) node indices, and a destination
+/// array written sequentially. This is the classic three-stream signature of
+/// `pr` and `cc` whose gathers dominate the LLC-miss stream.
+#[derive(Debug)]
+pub struct GraphGen {
+    edges_base: u64,
+    edges_size: u64,
+    src_base: u64,
+    dst_base: u64,
+    values_size: u64,
+    edge_cursor: u64,
+    node_cursor: u64,
+    degree_left: u32,
+    mean_degree: u32,
+    zipf: Zipfian,
+    write_dst: bool,
+    mean_gap: f64,
+    rng: SimRng,
+}
+
+impl GraphGen {
+    /// Creates a graph iteration over a region of `size` bytes.
+    ///
+    /// The region is split 70% edges / 15% source values / 15% destination
+    /// values. `skew` controls gather popularity (twitter-like graphs are
+    /// highly skewed, web-like less so).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is too small (< 64 kB).
+    pub fn new(base: u64, size: u64, mean_degree: u32, skew: f64, mean_gap: f64, seed: u64) -> Self {
+        assert!(size >= 64 << 10, "graph region too small");
+        let edges_size = (size * 7 / 10) & !(LINE - 1);
+        let values_size = (size * 15 / 100) & !(LINE - 1);
+        let nodes = values_size / 4; // 4-byte values per node
+        let mut rng = SimRng::from_seed(seed);
+        let edge_cursor = rng.gen_range(0, edges_size / LINE) * LINE;
+        GraphGen {
+            edges_base: base,
+            edges_size,
+            src_base: base + edges_size,
+            dst_base: base + edges_size + values_size,
+            values_size,
+            edge_cursor,
+            node_cursor: 0,
+            degree_left: 0,
+            mean_degree,
+            zipf: Zipfian::new(nodes.max(2), skew),
+            write_dst: false,
+            mean_gap,
+            rng,
+        }
+    }
+}
+
+impl TraceGen for GraphGen {
+    fn next_op(&mut self) -> Op {
+        let gap = sample_gap(&mut self.rng, self.mean_gap);
+        if self.write_dst {
+            // Finish the node: write its accumulated value.
+            self.write_dst = false;
+            let addr = self.dst_base + (self.node_cursor * 4) % self.values_size;
+            self.node_cursor += 1;
+            return Op {
+                addr: addr & !(LINE - 1),
+                write: true,
+                gap,
+            };
+        }
+        if self.degree_left == 0 {
+            // Start the next node: stream its edge list entry.
+            self.degree_left = 1 + (self.rng.gen_range(0, 2 * self.mean_degree as u64) as u32);
+            let addr = self.edges_base + self.edge_cursor;
+            self.edge_cursor = (self.edge_cursor + LINE) % self.edges_size;
+            return Op {
+                addr,
+                write: false,
+                gap,
+            };
+        }
+        // Gather one neighbour's value at a popularity-skewed index.
+        self.degree_left -= 1;
+        if self.degree_left == 0 {
+            self.write_dst = true;
+        }
+        let node = self.zipf.sample(&mut self.rng);
+        // Hash to de-cluster hot nodes, as real vertex IDs are arbitrary.
+        let node = baryon_sim::rng::splitmix64(node) % self.zipf.n();
+        let addr = self.src_base + (node * 4) % self.values_size;
+        Op {
+            addr: addr & !(LINE - 1),
+            write: false,
+            gap,
+        }
+    }
+}
+
+/// GAP-style direction-optimizing BFS.
+///
+/// Alternates *top-down* phases (pop the frontier queue, stream the popped
+/// node's edge list, probe the visited/parent array at random indices and
+/// append discoveries to the next queue) with *bottom-up* phases (dense
+/// sequential scans of the visited array with occasional edge probes) — the
+/// bursty two-regime signature of `bfs` in the GAP suite.
+#[derive(Debug)]
+pub struct BfsGen {
+    queue_base: u64,
+    queue_size: u64,
+    edges_base: u64,
+    edges_size: u64,
+    visited_base: u64,
+    visited_size: u64,
+    queue_head: u64,
+    queue_tail: u64,
+    edge_cursor: u64,
+    scan_cursor: u64,
+    /// Ops left in the current phase; sign of phase: top-down vs bottom-up.
+    phase_left: u32,
+    top_down: bool,
+    state: u8, // 0 pop, 1 edges, 2 probe, 3 push
+    edges_left: u32,
+    zipf: Zipfian,
+    mean_gap: f64,
+    rng: SimRng,
+}
+
+impl BfsGen {
+    /// Creates a BFS over `[base, base + size)`: 10% frontier queues,
+    /// 60% edges, 30% visited/parent values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is smaller than 64 kB.
+    pub fn new(base: u64, size: u64, mean_gap: f64, seed: u64) -> Self {
+        assert!(size >= 64 << 10, "bfs region too small");
+        let queue_size = (size / 10) & !(LINE - 1);
+        let edges_size = (size * 6 / 10) & !(LINE - 1);
+        let visited_size = (size - queue_size - edges_size) & !(LINE - 1);
+        let mut rng = SimRng::from_seed(seed);
+        let phase_left = 2_000 + rng.gen_range(0, 2_000) as u32;
+        BfsGen {
+            queue_base: base,
+            queue_size,
+            edges_base: base + queue_size,
+            edges_size,
+            visited_base: base + queue_size + edges_size,
+            visited_size,
+            queue_head: 0,
+            queue_tail: queue_size / 2,
+            edge_cursor: 0,
+            scan_cursor: 0,
+            phase_left,
+            top_down: true,
+            state: 0,
+            edges_left: 0,
+            zipf: Zipfian::new((visited_size / 4).max(2), 0.8),
+            mean_gap,
+            rng,
+        }
+    }
+}
+
+impl TraceGen for BfsGen {
+    fn next_op(&mut self) -> Op {
+        let gap = sample_gap(&mut self.rng, self.mean_gap);
+        if self.phase_left == 0 {
+            self.top_down = !self.top_down;
+            self.phase_left = 2_000 + self.rng.gen_range(0, 4_000) as u32;
+            self.state = 0;
+        }
+        self.phase_left -= 1;
+        if !self.top_down {
+            // Bottom-up: dense sequential scan of the visited array with an
+            // occasional edge-list probe.
+            if self.rng.gen_bool(0.2) {
+                let addr = self.edges_base + self.edge_cursor;
+                self.edge_cursor = (self.edge_cursor + LINE) % self.edges_size;
+                return Op { addr, write: false, gap };
+            }
+            let addr = self.visited_base + self.scan_cursor;
+            self.scan_cursor = (self.scan_cursor + LINE) % self.visited_size;
+            // A fraction of scanned nodes get claimed (written).
+            let write = self.rng.gen_bool(0.15);
+            return Op { addr, write, gap };
+        }
+        // Top-down state machine.
+        match self.state {
+            0 => {
+                // Pop the frontier queue (sequential read).
+                let addr = self.queue_base + self.queue_head;
+                self.queue_head = (self.queue_head + LINE) % self.queue_size;
+                self.state = 1;
+                self.edges_left = 1 + self.rng.gen_range(0, 6) as u32;
+                Op { addr, write: false, gap }
+            }
+            1 => {
+                // Stream the node's edge list.
+                let addr = self.edges_base + self.edge_cursor;
+                self.edge_cursor = (self.edge_cursor + LINE) % self.edges_size;
+                self.edges_left -= 1;
+                if self.edges_left == 0 {
+                    self.state = 2;
+                }
+                Op { addr, write: false, gap }
+            }
+            2 => {
+                // Probe a neighbour's visited flag (random, skewed).
+                let node = self.zipf.sample(&mut self.rng);
+                let node = baryon_sim::rng::splitmix64(node) % self.zipf.n();
+                let addr = (self.visited_base + (node * 4) % self.visited_size) & !(LINE - 1);
+                // Half the probes discover a new node -> claim + push.
+                self.state = if self.rng.gen_bool(0.5) { 3 } else { 0 };
+                Op { addr, write: self.state == 3, gap }
+            }
+            _ => {
+                // Append the discovery to the next frontier queue.
+                let addr = self.queue_base + self.queue_tail;
+                self.queue_tail = (self.queue_tail + LINE) % self.queue_size;
+                self.state = 0;
+                Op { addr, write: true, gap }
+            }
+        }
+    }
+}
+
+/// CNN inference: layer-by-layer weight and activation sweeps.
+///
+/// Weights are re-read every batch (strong temporal reuse at multi-MB
+/// granularity); activations ping-pong between two buffers.
+#[derive(Debug)]
+pub struct TensorGen {
+    weights_base: u64,
+    act_base: u64,
+    layers: u32,
+    layer: u32,
+    phase: u8, // 0 = weights, 1 = input act, 2 = output act
+    cursor: u64,
+    layer_weight_size: u64,
+    layer_act_size: u64,
+    mean_gap: f64,
+    rng: SimRng,
+}
+
+impl TensorGen {
+    /// Creates a CNN-like sweep: 80% of the region is weights, 20% is two
+    /// activation buffers, processed as `layers` layers per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is too small (< 64 kB) or `layers == 0`.
+    pub fn new(base: u64, size: u64, layers: u32, mean_gap: f64, seed: u64) -> Self {
+        assert!(size >= 64 << 10, "tensor region too small");
+        assert!(layers > 0, "need at least one layer");
+        let weights_size = (size * 8 / 10) & !(LINE - 1);
+        let act_size = (size - weights_size) & !(LINE - 1);
+        TensorGen {
+            weights_base: base,
+            act_base: base + weights_size,
+            layers,
+            layer: 0,
+            phase: 0,
+            cursor: 0,
+            layer_weight_size: (weights_size / layers as u64).max(LINE) & !(LINE - 1),
+            layer_act_size: (act_size / 2).max(LINE) & !(LINE - 1),
+            mean_gap,
+            rng: SimRng::from_seed(seed),
+        }
+    }
+}
+
+impl TraceGen for TensorGen {
+    fn next_op(&mut self) -> Op {
+        let gap = sample_gap(&mut self.rng, self.mean_gap);
+        let (addr, write, limit) = match self.phase {
+            0 => (
+                self.weights_base + self.layer as u64 * self.layer_weight_size + self.cursor,
+                false,
+                self.layer_weight_size,
+            ),
+            1 => (
+                self.act_base + (self.layer as u64 % 2) * self.layer_act_size + self.cursor,
+                false,
+                self.layer_act_size,
+            ),
+            _ => (
+                self.act_base + ((self.layer as u64 + 1) % 2) * self.layer_act_size + self.cursor,
+                true,
+                self.layer_act_size,
+            ),
+        };
+        self.cursor += LINE;
+        if self.cursor >= limit {
+            self.cursor = 0;
+            self.phase += 1;
+            if self.phase > 2 {
+                self.phase = 0;
+                self.layer = (self.layer + 1) % self.layers;
+            }
+        }
+        Op { addr, write, gap }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(mut g: impl TraceGen, n: usize) -> Vec<Op> {
+        (0..n).map(|_| g.next_op()).collect()
+    }
+
+    #[test]
+    fn stream_stays_in_region_and_wraps() {
+        let ops = drive(StreamGen::new(4096, 8192, 2, 1, 5.0, 1), 1000);
+        for op in &ops {
+            assert!(op.addr >= 4096 && op.addr < 4096 + 8192);
+        }
+        // Both read and write streams exist.
+        assert!(ops.iter().any(|o| o.write) && ops.iter().any(|o| !o.write));
+    }
+
+    #[test]
+    fn stream_is_sequential_per_stream() {
+        let ops = drive(StreamGen::new(0, 1 << 20, 1, 0, 0.0, 2), 100);
+        for w in ops.windows(2) {
+            let d = w[1].addr.wrapping_sub(w[0].addr);
+            assert!(d == 64 || w[1].addr < w[0].addr, "stride must be one line");
+        }
+    }
+
+    #[test]
+    fn chase_respects_region() {
+        let ops = drive(ChaseGen::new(1 << 20, 1 << 20, 0.7, 0.3, 10.0, 3), 5000);
+        for op in &ops {
+            assert!(op.addr >= 1 << 20 && op.addr < 2 << 20);
+        }
+        let writes = ops.iter().filter(|o| o.write).count();
+        let frac = writes as f64 / ops.len() as f64;
+        assert!((frac - 0.3).abs() < 0.05, "write frac {frac}");
+    }
+
+    #[test]
+    fn chase_locality_knob_matters() {
+        let block_switches = |stay: f64| {
+            let ops = drive(ChaseGen::new(0, 16 << 20, stay, 0.0, 0.0, 4), 10_000);
+            ops.windows(2)
+                .filter(|w| w[0].addr / 2048 != w[1].addr / 2048)
+                .count()
+        };
+        assert!(block_switches(0.95) < block_switches(0.2) / 2);
+    }
+
+    #[test]
+    fn zipf_reads_scan_records() {
+        let mut g = ZipfGen::new(0, 100, 1024, 0.99, 0.0, 2.0, 5);
+        let first = g.next_op();
+        assert!(!first.write);
+        // The next 15 ops scan the rest of the 16-line record sequentially.
+        let mut prev = first.addr;
+        for _ in 0..15 {
+            let op = g.next_op();
+            assert_eq!(op.addr, prev + 64);
+            prev = op.addr;
+        }
+    }
+
+    #[test]
+    fn zipf_update_fraction_respected() {
+        let ops = drive(ZipfGen::new(0, 1000, 1024, 0.99, 1.0, 2.0, 6), 100);
+        // All queries are updates: every op is a write.
+        assert!(ops.iter().all(|o| o.write));
+    }
+
+    #[test]
+    fn zipf_addresses_in_store() {
+        let ops = drive(ZipfGen::new(4096, 50, 1024, 0.99, 0.5, 2.0, 7), 2000);
+        for op in &ops {
+            assert!(op.addr >= 4096 && op.addr < 4096 + 50 * 1024);
+        }
+    }
+
+    #[test]
+    fn graph_has_three_region_signature() {
+        let size = 4u64 << 20;
+        let ops = drive(GraphGen::new(0, size, 8, 0.99, 3.0, 8), 20_000);
+        // Recompute the generator's aligned region boundaries.
+        let edges_end = (size * 7 / 10) & !63;
+        let src_end = edges_end + ((size * 15 / 100) & !63);
+        let edge_ops = ops.iter().filter(|o| o.addr < edges_end).count();
+        let gathers = ops.iter().filter(|o| o.addr >= edges_end && o.addr < src_end).count();
+        let writes = ops.iter().filter(|o| o.addr >= src_end).count();
+        assert!(edge_ops > 0 && gathers > 0 && writes > 0);
+        assert!(gathers > edge_ops, "gathers dominate");
+        assert!(ops.iter().filter(|o| o.write).count() == writes, "only dst is written");
+    }
+
+    #[test]
+    fn tensor_writes_only_output_acts() {
+        let ops = drive(TensorGen::new(0, 1 << 20, 4, 1.0, 9), 50_000);
+        let weights_end = ((1u64 << 20) * 8 / 10) & !63;
+        for op in &ops {
+            if op.write {
+                assert!(op.addr >= weights_end, "weights must not be written");
+            }
+        }
+        assert!(ops.iter().any(|o| o.write));
+    }
+
+    #[test]
+    fn tensor_weights_reused_across_batches() {
+        let mut g = TensorGen::new(0, 256 << 10, 2, 0.0, 10);
+        let mut first_pass = std::collections::HashSet::new();
+        let mut reuse = false;
+        for i in 0..200_000 {
+            let op = g.next_op();
+            if op.addr < (256u64 << 10) * 8 / 10
+                && !first_pass.insert(op.addr) {
+                    reuse = true;
+                    break;
+                }
+            if i > 150_000 {
+                break;
+            }
+        }
+        assert!(reuse, "weights should be re-read on the next batch");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = drive(ChaseGen::new(0, 1 << 20, 0.5, 0.2, 5.0, 42), 100);
+        let b = drive(ChaseGen::new(0, 1 << 20, 0.5, 0.2, 5.0, 42), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gap_mean_roughly_matches() {
+        let ops = drive(StreamGen::new(0, 1 << 20, 1, 0, 20.0, 11), 20_000);
+        let mean = ops.iter().map(|o| o.gap as f64).sum::<f64>() / ops.len() as f64;
+        assert!((mean - 20.0).abs() < 2.0, "gap mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_panics() {
+        StreamGen::new(0, 1 << 20, 0, 0, 1.0, 0);
+    }
+}
+
+#[cfg(test)]
+mod bfs_tests {
+    use super::*;
+
+    fn drive(mut g: impl TraceGen, n: usize) -> Vec<Op> {
+        (0..n).map(|_| g.next_op()).collect()
+    }
+
+    #[test]
+    fn bfs_stays_in_region() {
+        let ops = drive(BfsGen::new(4096, 4 << 20, 3.0, 5), 30_000);
+        for op in &ops {
+            assert!(op.addr >= 4096 && op.addr < 4096 + (4 << 20));
+        }
+    }
+
+    #[test]
+    fn bfs_mixes_reads_and_writes() {
+        let ops = drive(BfsGen::new(0, 4 << 20, 3.0, 5), 30_000);
+        let writes = ops.iter().filter(|o| o.write).count() as f64 / ops.len() as f64;
+        assert!((0.05..0.5).contains(&writes), "bfs write fraction {writes}");
+    }
+
+    #[test]
+    fn bfs_touches_all_three_regions() {
+        let size = 4u64 << 20;
+        let ops = drive(BfsGen::new(0, size, 3.0, 5), 30_000);
+        let queue_end = (size / 10) & !63;
+        let edges_end = queue_end + ((size * 6 / 10) & !63);
+        let queue = ops.iter().filter(|o| o.addr < queue_end).count();
+        let edges = ops.iter().filter(|o| o.addr >= queue_end && o.addr < edges_end).count();
+        let visited = ops.iter().filter(|o| o.addr >= edges_end).count();
+        assert!(queue > 0 && edges > 0 && visited > 0, "q {queue} e {edges} v {visited}");
+        assert!(edges > queue, "edge streaming dominates queue traffic");
+    }
+
+    #[test]
+    fn bfs_alternates_phases() {
+        // Bottom-up phases are visited-array dense: measure the visited
+        // share in windows and expect both low and high windows.
+        let size = 4u64 << 20;
+        let ops = drive(BfsGen::new(0, size, 0.0, 6), 60_000);
+        let edges_end = ((size / 10) & !63) + ((size * 6 / 10) & !63);
+        let mut shares = Vec::new();
+        for window in ops.chunks(2_000) {
+            let v = window.iter().filter(|o| o.addr >= edges_end).count() as f64
+                / window.len() as f64;
+            shares.push(v);
+        }
+        let min = shares.iter().cloned().fold(1.0f64, f64::min);
+        let max = shares.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max - min > 0.3, "phase contrast too weak: {min:.2}..{max:.2}");
+    }
+
+    #[test]
+    fn bfs_deterministic() {
+        let a = drive(BfsGen::new(0, 1 << 20, 2.0, 9), 500);
+        let b = drive(BfsGen::new(0, 1 << 20, 2.0, 9), 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn bfs_tiny_region_panics() {
+        BfsGen::new(0, 1024, 1.0, 0);
+    }
+}

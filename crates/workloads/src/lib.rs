@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload substitutes for the paper's benchmark suite.
+//!
+//! The paper evaluates Baryon with SPEC CPU2017 (rate mode, 16 copies), GAP
+//! graph kernels on twitter/web graphs, OneDNN CNN inference, and
+//! memcached/YCSB. None of those can run inside this reproduction, so this
+//! crate provides generators that reproduce the four properties those
+//! workloads exert on a hybrid memory system:
+//!
+//! 1. the **spatial/temporal locality** of the LLC-miss address stream,
+//! 2. the **read/write mix**,
+//! 3. the **value compressibility** of the data (real bytes fed to FPC/BDI),
+//! 4. the **footprint pressure** relative to fast-memory capacity.
+//!
+//! Memory contents are modelled deterministically: every 2 kB block is
+//! assigned a [`content::ValueProfile`] by hashing its index against the
+//! workload's profile mix, and the bytes of each 64 B line are a pure
+//! function of `(address, version, profile)`. Writes bump a per-line version
+//! so contents — and hence compressibility — drift over time, which is what
+//! produces Baryon's *write overflow* events.
+//!
+//! # Examples
+//!
+//! ```
+//! use baryon_workloads::{registry, Scale};
+//!
+//! let scale = Scale::default();
+//! let workloads = registry(scale);
+//! assert!(workloads.iter().any(|w| w.name == "505.mcf_r"));
+//!
+//! let w = baryon_workloads::by_name("ycsb-a", scale).expect("known workload");
+//! let mut contents = w.contents(1);
+//! let line = contents.line(0);
+//! assert_eq!(line.len(), 64);
+//! ```
+
+pub mod content;
+pub mod gens;
+pub mod recorded;
+pub mod registry;
+pub mod trace;
+
+pub use content::{MemoryContents, ProfileMix, ValueProfile};
+pub use recorded::RecordedTrace;
+pub use registry::{by_name, registry, Scale, Workload, WorkloadKind};
+pub use trace::{Op, TraceGen};

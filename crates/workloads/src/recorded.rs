@@ -1,0 +1,200 @@
+//! Recorded traces: capture any generator's op stream, persist it in a
+//! compact binary format, and replay it later (e.g. to feed the simulator
+//! a trace captured from a real machine instead of a synthetic generator).
+//!
+//! Format (little-endian): magic `b"BTR1"`, `u64` op count, then per op
+//! `u64` address, `u32` gap, `u8` flags (bit 0 = write).
+
+use crate::trace::{Op, TraceGen};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BTR1";
+
+/// A finite trace replayed cyclically (generators must be infinite).
+///
+/// # Examples
+///
+/// ```
+/// use baryon_workloads::recorded::RecordedTrace;
+/// use baryon_workloads::{Op, TraceGen};
+///
+/// let mut t = RecordedTrace::new(vec![
+///     Op { addr: 0, write: false, gap: 1 },
+///     Op { addr: 64, write: true, gap: 2 },
+/// ]);
+/// assert_eq!(t.next_op().addr, 0);
+/// assert_eq!(t.next_op().addr, 64);
+/// assert_eq!(t.next_op().addr, 0, "wraps around");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedTrace {
+    ops: Vec<Op>,
+    pos: usize,
+}
+
+impl RecordedTrace {
+    /// Wraps a list of operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace (replay would emit nothing).
+    pub fn new(ops: Vec<Op>) -> Self {
+        assert!(!ops.is_empty(), "a recorded trace must have at least one op");
+        RecordedTrace { ops, pos: 0 }
+    }
+
+    /// Records `n` operations from any generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn record(source: &mut dyn TraceGen, n: usize) -> Self {
+        assert!(n > 0, "cannot record an empty trace");
+        Self::new((0..n).map(|_| source.next_op()).collect())
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Always false (empty traces cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Serializes into the binary trace format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer; a `&mut Vec<u8>` never fails.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.ops.len() as u64).to_le_bytes())?;
+        for op in &self.ops {
+            w.write_all(&op.addr.to_le_bytes())?;
+            w.write_all(&op.gap.to_le_bytes())?;
+            w.write_all(&[op.write as u8])?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes from the binary trace format.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic, a zero-length trace, or a
+    /// truncated stream.
+    pub fn load<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a baryon trace"));
+        }
+        let mut count = [0u8; 8];
+        r.read_exact(&mut count)?;
+        let count = u64::from_le_bytes(count) as usize;
+        if count == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+        }
+        let mut ops = Vec::with_capacity(count.min(1 << 24));
+        for _ in 0..count {
+            let mut addr = [0u8; 8];
+            let mut gap = [0u8; 4];
+            let mut flags = [0u8; 1];
+            r.read_exact(&mut addr)?;
+            r.read_exact(&mut gap)?;
+            r.read_exact(&mut flags)?;
+            ops.push(Op {
+                addr: u64::from_le_bytes(addr),
+                gap: u32::from_le_bytes(gap),
+                write: flags[0] & 1 == 1,
+            });
+        }
+        Ok(Self::new(ops))
+    }
+}
+
+impl TraceGen for RecordedTrace {
+    fn next_op(&mut self) -> Op {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gens::ChaseGen;
+
+    fn sample() -> RecordedTrace {
+        let mut g = ChaseGen::new(0, 1 << 20, 0.5, 0.3, 4.0, 9);
+        RecordedTrace::record(&mut g, 100)
+    }
+
+    #[test]
+    fn record_captures_generator_output() {
+        let mut g1 = ChaseGen::new(0, 1 << 20, 0.5, 0.3, 4.0, 9);
+        let t = {
+            let mut g2 = ChaseGen::new(0, 1 << 20, 0.5, 0.3, 4.0, 9);
+            RecordedTrace::record(&mut g2, 50)
+        };
+        for op in t.ops() {
+            assert_eq!(*op, g1.next_op());
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.save(&mut buf).expect("writing to a Vec cannot fail");
+        let loaded = RecordedTrace::load(buf.as_slice()).expect("well-formed");
+        assert_eq!(loaded, t);
+    }
+
+    #[test]
+    fn replay_wraps() {
+        let mut t = RecordedTrace::new(vec![
+            Op { addr: 1, write: false, gap: 0 },
+            Op { addr: 2, write: false, gap: 0 },
+        ]);
+        let seq: Vec<u64> = (0..5).map(|_| t.next_op().addr).collect();
+        assert_eq!(seq, [1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = RecordedTrace::load(&b"NOPE\0\0\0\0\0\0\0\0"[..]).expect_err("bad magic");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.save(&mut buf).expect("vec write");
+        buf.truncate(buf.len() - 3);
+        assert!(RecordedTrace::load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(RecordedTrace::load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_constructor_panics() {
+        RecordedTrace::new(Vec::new());
+    }
+}

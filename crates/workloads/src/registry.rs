@@ -1,0 +1,643 @@
+//! The workload catalog: scaled analogues of the paper's benchmark suite.
+
+use crate::content::{MemoryContents, ProfileMix};
+use crate::gens::{BfsGen, ChaseGen, GraphGen, StreamGen, TensorGen, ZipfGen};
+use crate::trace::TraceGen;
+use baryon_sim::rng::mix64;
+use serde::{Deserialize, Serialize};
+
+/// The capacity scale of an experiment.
+///
+/// The paper simulates 4 GB fast + 32 GB slow memory and GB-scale footprints.
+/// Experiments here divide all capacities and footprints by `divisor`
+/// (default 256: 16 MB fast + 128 MB slow) while keeping block, sub-block,
+/// super-block and cacheline sizes unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Capacity divisor relative to the paper's configuration.
+    pub divisor: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale { divisor: 256 }
+    }
+}
+
+impl Scale {
+    /// Scaled fast-memory capacity in bytes (paper: 4 GB).
+    pub fn fast_bytes(&self) -> u64 {
+        (4 << 30) / self.divisor
+    }
+
+    /// Scaled slow-memory capacity in bytes (paper: 32 GB).
+    pub fn slow_bytes(&self) -> u64 {
+        (32 << 30) / self.divisor
+    }
+
+    /// Scales a paper-scale footprint given in GB to bytes, 2 kB aligned.
+    pub fn gb(&self, paper_gb: f64) -> u64 {
+        let bytes = (paper_gb * (1u64 << 30) as f64 / self.divisor as f64) as u64;
+        bytes & !2047
+    }
+}
+
+/// The access-pattern family and parameters of one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Interleaved sequential array sweeps.
+    Stream {
+        /// Total number of concurrent arrays.
+        streams: usize,
+        /// How many of them are written.
+        write_streams: usize,
+    },
+    /// Pointer chasing with block-level locality `stay`.
+    Chase {
+        /// Probability of staying within the current 2 kB block.
+        stay: f64,
+        /// Fraction of stores.
+        write_frac: f64,
+    },
+    /// YCSB-style zipfian key-value store.
+    Zipf {
+        /// Record size in bytes.
+        record_bytes: u64,
+        /// Zipf skew.
+        theta: f64,
+        /// Fraction of update queries.
+        update_frac: f64,
+    },
+    /// GAP-style graph iteration.
+    Graph {
+        /// Mean out-degree.
+        mean_degree: u32,
+        /// Gather popularity skew.
+        skew: f64,
+    },
+    /// GAP-style direction-optimizing breadth-first search.
+    Bfs,
+    /// CNN inference sweeps.
+    Tensor {
+        /// Layers per batch.
+        layers: u32,
+    },
+}
+
+/// A workload: pattern, footprint, value contents and instruction mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Name matching the paper's figures (e.g. `505.mcf_r`, `pr.twi`).
+    pub name: &'static str,
+    /// Pattern family and parameters.
+    pub kind: WorkloadKind,
+    /// Total footprint in bytes (already scaled).
+    pub footprint: u64,
+    /// Value-content mixture controlling compressibility.
+    pub mix: ProfileMix,
+    /// Mean non-memory instructions between memory ops.
+    pub mean_gap: f64,
+    /// True if all cores share one address space (GAP/DNN/YCSB);
+    /// false for SPEC rate mode (16 private copies).
+    pub shared: bool,
+}
+
+impl Workload {
+    /// Builds the memory-content model for this workload.
+    pub fn contents(&self, seed: u64) -> MemoryContents {
+        MemoryContents::new(self.mix, mix64(seed, name_hash(self.name)))
+    }
+
+    /// Spawns the trace generator for one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= cores` or `cores == 0`.
+    pub fn spawn_core(&self, core: usize, cores: usize, seed: u64) -> Box<dyn TraceGen> {
+        assert!(cores > 0 && core < cores, "core {core} of {cores}");
+        let gen_seed = mix64(mix64(seed, name_hash(self.name)), core as u64 + 1);
+        let (base, size) = if self.shared {
+            (0, self.footprint)
+        } else {
+            let per_core = (self.footprint / cores as u64) & !2047;
+            (core as u64 * per_core, per_core)
+        };
+        match self.kind {
+            WorkloadKind::Stream {
+                streams,
+                write_streams,
+            } => Box::new(StreamGen::new(
+                base,
+                size,
+                streams,
+                write_streams,
+                self.mean_gap,
+                gen_seed,
+            )),
+            WorkloadKind::Chase { stay, write_frac } => Box::new(ChaseGen::new(
+                base,
+                size,
+                stay,
+                write_frac,
+                self.mean_gap,
+                gen_seed,
+            )),
+            WorkloadKind::Zipf {
+                record_bytes,
+                theta,
+                update_frac,
+            } => Box::new(ZipfGen::new(
+                base,
+                size / record_bytes,
+                record_bytes,
+                theta,
+                update_frac,
+                self.mean_gap,
+                gen_seed,
+            )),
+            WorkloadKind::Graph { mean_degree, skew } => Box::new(GraphGen::new(
+                base,
+                size,
+                mean_degree,
+                skew,
+                self.mean_gap,
+                gen_seed,
+            )),
+            WorkloadKind::Bfs => Box::new(BfsGen::new(base, size, self.mean_gap, gen_seed)),
+            WorkloadKind::Tensor { layers } => {
+                Box::new(TensorGen::new(base, size, layers, self.mean_gap, gen_seed))
+            }
+        }
+    }
+}
+
+fn name_hash(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// The full workload suite at a given scale, in the order the paper's
+/// figures list them.
+pub fn registry(scale: Scale) -> Vec<Workload> {
+    let s = &scale;
+    vec![
+        // ----- SPEC CPU2017 (rate mode, 16 private copies) -----
+        Workload {
+            name: "503.bwaves_r",
+            kind: WorkloadKind::Stream {
+                streams: 5,
+                write_streams: 1,
+            },
+            footprint: s.gb(11.4),
+            mix: ProfileMix {
+                zero: 0.1,
+                narrow_int: 0.1,
+                pointer: 0.0,
+                float_similar: 0.4,
+                float_random: 0.4,
+                text: 0.0,
+                random: 0.0,
+            },
+            mean_gap: 5.0,
+            shared: false,
+        },
+        Workload {
+            name: "505.mcf_r",
+            kind: WorkloadKind::Chase {
+                stay: 0.85,
+                write_frac: 0.25,
+            },
+            footprint: s.gb(8.3),
+            mix: ProfileMix {
+                zero: 0.05,
+                narrow_int: 0.45,
+                pointer: 0.3,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.0,
+                random: 0.2,
+            },
+            mean_gap: 8.0,
+            shared: false,
+        },
+        Workload {
+            name: "507.cactuBSSN_r",
+            kind: WorkloadKind::Stream {
+                streams: 8,
+                write_streams: 2,
+            },
+            footprint: s.gb(7.1),
+            mix: ProfileMix {
+                zero: 0.2,
+                narrow_int: 0.0,
+                pointer: 0.0,
+                float_similar: 0.35,
+                float_random: 0.45,
+                text: 0.0,
+                random: 0.0,
+            },
+            mean_gap: 7.0,
+            shared: false,
+        },
+        Workload {
+            name: "519.lbm_r",
+            kind: WorkloadKind::Stream {
+                streams: 4,
+                write_streams: 2,
+            },
+            footprint: s.gb(6.9),
+            mix: ProfileMix {
+                zero: 0.0,
+                narrow_int: 0.0,
+                pointer: 0.0,
+                float_similar: 0.02,
+                float_random: 0.88,
+                text: 0.0,
+                random: 0.10,
+            },
+            mean_gap: 6.0,
+            shared: false,
+        },
+        Workload {
+            name: "520.omnetpp_r",
+            kind: WorkloadKind::Chase {
+                stay: 0.75,
+                write_frac: 0.3,
+            },
+            footprint: s.gb(6.2),
+            mix: ProfileMix {
+                zero: 0.1,
+                narrow_int: 0.3,
+                pointer: 0.35,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.15,
+                random: 0.1,
+            },
+            mean_gap: 10.0,
+            shared: false,
+        },
+        Workload {
+            name: "549.fotonik3d_r",
+            kind: WorkloadKind::Stream {
+                streams: 6,
+                write_streams: 2,
+            },
+            footprint: s.gb(13.4),
+            mix: ProfileMix {
+                zero: 0.3,
+                narrow_int: 0.18,
+                pointer: 0.0,
+                float_similar: 0.5,
+                float_random: 0.02,
+                text: 0.0,
+                random: 0.0,
+            },
+            mean_gap: 5.0,
+            shared: false,
+        },
+        Workload {
+            name: "554.roms_r",
+            kind: WorkloadKind::Stream {
+                streams: 4,
+                write_streams: 1,
+            },
+            footprint: s.gb(10.2),
+            mix: ProfileMix {
+                zero: 0.2,
+                narrow_int: 0.0,
+                pointer: 0.0,
+                float_similar: 0.3,
+                float_random: 0.5,
+                text: 0.0,
+                random: 0.0,
+            },
+            mean_gap: 6.0,
+            shared: false,
+        },
+        Workload {
+            name: "557.xz_r",
+            kind: WorkloadKind::Chase {
+                stay: 0.55,
+                write_frac: 0.3,
+            },
+            footprint: s.gb(5.8),
+            mix: ProfileMix {
+                zero: 0.05,
+                narrow_int: 0.25,
+                pointer: 0.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.3,
+                random: 0.4,
+            },
+            mean_gap: 12.0,
+            shared: false,
+        },
+        // ----- GAP graph kernels (16 threads, shared graph) -----
+        Workload {
+            name: "pr.twi",
+            kind: WorkloadKind::Graph {
+                mean_degree: 35,
+                skew: 0.99,
+            },
+            footprint: s.gb(30.0),
+            mix: ProfileMix {
+                zero: 0.2,
+                narrow_int: 0.6,
+                pointer: 0.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.0,
+                random: 0.2,
+            },
+            mean_gap: 4.0,
+            shared: true,
+        },
+        Workload {
+            name: "pr.web",
+            kind: WorkloadKind::Graph {
+                mean_degree: 20,
+                skew: 0.6,
+            },
+            footprint: s.gb(25.0),
+            mix: ProfileMix {
+                zero: 0.25,
+                narrow_int: 0.6,
+                pointer: 0.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.0,
+                random: 0.15,
+            },
+            mean_gap: 4.0,
+            shared: true,
+        },
+        Workload {
+            name: "cc.twi",
+            kind: WorkloadKind::Graph {
+                mean_degree: 35,
+                skew: 0.99,
+            },
+            footprint: s.gb(28.0),
+            mix: ProfileMix {
+                zero: 0.15,
+                narrow_int: 0.7,
+                pointer: 0.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.0,
+                random: 0.15,
+            },
+            mean_gap: 4.0,
+            shared: true,
+        },
+        Workload {
+            name: "bfs.twi",
+            kind: WorkloadKind::Bfs,
+            footprint: s.gb(26.0),
+            mix: ProfileMix {
+                zero: 0.25,
+                narrow_int: 0.6,
+                pointer: 0.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.0,
+                random: 0.15,
+            },
+            mean_gap: 4.0,
+            shared: true,
+        },
+        // ----- OneDNN CNN inference (16 threads) -----
+        Workload {
+            name: "resnet50",
+            kind: WorkloadKind::Tensor { layers: 50 },
+            footprint: s.gb(14.6),
+            mix: ProfileMix {
+                zero: 0.1,
+                narrow_int: 0.0,
+                pointer: 0.0,
+                float_similar: 0.55,
+                float_random: 0.35,
+                text: 0.0,
+                random: 0.0,
+            },
+            mean_gap: 4.0,
+            shared: true,
+        },
+        Workload {
+            name: "resnext50",
+            kind: WorkloadKind::Tensor { layers: 64 },
+            footprint: s.gb(18.6),
+            mix: ProfileMix {
+                zero: 0.1,
+                narrow_int: 0.0,
+                pointer: 0.0,
+                float_similar: 0.5,
+                float_random: 0.4,
+                text: 0.0,
+                random: 0.0,
+            },
+            mean_gap: 4.0,
+            shared: true,
+        },
+        // ----- memcached + YCSB (16 threads, 30 GB of 1 kB records) -----
+        // The loading phase: every record written once, sequentially
+        // (the paper simulates "both the loading and transactional
+        // phases"). Modelled as parallel write streams over the store.
+        Workload {
+            name: "ycsb-load",
+            kind: WorkloadKind::Stream {
+                streams: 2,
+                write_streams: 2,
+            },
+            footprint: s.gb(30.0),
+            mix: ProfileMix {
+                zero: 0.25,
+                narrow_int: 0.25,
+                pointer: 0.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.5,
+                random: 0.0,
+            },
+            mean_gap: 6.0,
+            shared: false,
+        },
+        Workload {
+            name: "ycsb-a",
+            kind: WorkloadKind::Zipf {
+                record_bytes: 1024,
+                theta: 0.99,
+                update_frac: 0.5,
+            },
+            footprint: s.gb(30.0),
+            mix: ProfileMix {
+                zero: 0.25,
+                narrow_int: 0.25,
+                pointer: 0.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.5,
+                random: 0.0,
+            },
+            mean_gap: 6.0,
+            shared: true,
+        },
+        Workload {
+            name: "ycsb-b",
+            kind: WorkloadKind::Zipf {
+                record_bytes: 1024,
+                theta: 0.99,
+                update_frac: 0.05,
+            },
+            footprint: s.gb(30.0),
+            mix: ProfileMix {
+                zero: 0.25,
+                narrow_int: 0.25,
+                pointer: 0.0,
+                float_similar: 0.0,
+                float_random: 0.0,
+                text: 0.5,
+                random: 0.0,
+            },
+            mean_gap: 6.0,
+            shared: true,
+        },
+    ]
+}
+
+/// Looks a workload up by name at the given scale.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    registry(scale).into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_families() {
+        let r = registry(Scale::default());
+        assert!(r.len() >= 15);
+        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Stream { .. })));
+        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Chase { .. })));
+        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Zipf { .. })));
+        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Graph { .. })));
+        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Tensor { .. })));
+    }
+
+    #[test]
+    fn names_unique() {
+        let r = registry(Scale::default());
+        let mut names: Vec<_> = r.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), r.len());
+    }
+
+    #[test]
+    fn footprints_exceed_fast_memory() {
+        // The paper selects workloads whose footprints exceed fast memory.
+        let s = Scale::default();
+        for w in registry(s) {
+            assert!(
+                w.footprint > s.fast_bytes(),
+                "{} footprint {} <= fast {}",
+                w.name,
+                w.footprint,
+                s.fast_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn footprints_fit_total_memory() {
+        let s = Scale::default();
+        for w in registry(s) {
+            assert!(
+                w.footprint <= s.fast_bytes() + s.slow_bytes(),
+                "{} footprint too large",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn scale_ratios() {
+        let s = Scale::default();
+        assert_eq!(s.fast_bytes(), 16 << 20);
+        assert_eq!(s.slow_bytes(), 128 << 20);
+        assert_eq!(s.slow_bytes() / s.fast_bytes(), 8, "paper's 1:8 ratio");
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        let s = Scale::default();
+        assert!(by_name("505.mcf_r", s).is_some());
+        assert!(by_name("nonexistent", s).is_none());
+    }
+
+    #[test]
+    fn all_workloads_spawn_all_cores() {
+        let s = Scale::default();
+        for w in registry(s) {
+            for core in [0usize, 7, 15] {
+                let mut g = w.spawn_core(core, 16, 1);
+                let op = g.next_op();
+                assert!(op.addr < w.footprint, "{}: addr out of footprint", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_mode_partitions_disjoint() {
+        let s = Scale::default();
+        let w = by_name("505.mcf_r", s).expect("exists");
+        assert!(!w.shared);
+        let mut g0 = w.spawn_core(0, 16, 1);
+        let mut g1 = w.spawn_core(1, 16, 1);
+        let per_core = (w.footprint / 16) & !2047;
+        for _ in 0..500 {
+            assert!(g0.next_op().addr < per_core);
+            let a1 = g1.next_op().addr;
+            assert!((per_core..2 * per_core).contains(&a1));
+        }
+    }
+
+    #[test]
+    fn shared_mode_overlaps() {
+        let s = Scale::default();
+        let w = by_name("pr.twi", s).expect("exists");
+        assert!(w.shared);
+        let touched = |core| {
+            let mut g = w.spawn_core(core, 16, 1);
+            let mut set = std::collections::HashSet::new();
+            for _ in 0..3000 {
+                set.insert(g.next_op().addr / 2048);
+            }
+            set
+        };
+        let t0 = touched(0);
+        let t1 = touched(1);
+        assert!(t0.intersection(&t1).count() > 0, "shared workloads overlap");
+    }
+
+    #[test]
+    fn contents_seeded_per_workload() {
+        let s = Scale::default();
+        let a = by_name("ycsb-a", s).expect("exists").contents(1);
+        let b = by_name("ycsb-b", s).expect("exists").contents(1);
+        // Same mix but different name -> different content seeds.
+        let differs = (0..64u64).any(|i| a.line(i * 2048) != b.line(i * 2048));
+        assert!(differs);
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn bad_core_panics() {
+        let s = Scale::default();
+        by_name("505.mcf_r", s).expect("exists").spawn_core(16, 16, 1);
+    }
+}

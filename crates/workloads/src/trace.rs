@@ -1,0 +1,71 @@
+//! The trace interface between workload generators and the system driver.
+
+use serde::{Deserialize, Serialize};
+
+/// One memory operation emitted by a core's trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    /// Byte address (the driver aligns to 64 B lines internally).
+    pub addr: u64,
+    /// True for a store, false for a load.
+    pub write: bool,
+    /// Non-memory instructions executed before this operation; the op itself
+    /// counts as one more instruction for MPKI purposes.
+    pub gap: u32,
+}
+
+impl Op {
+    /// Instructions represented by this op (gap + the memory instruction).
+    pub fn instructions(&self) -> u64 {
+        self.gap as u64 + 1
+    }
+}
+
+/// A per-core stream of memory operations.
+///
+/// Generators are infinite: the driver decides when to stop. They must be
+/// deterministic functions of their construction seed.
+pub trait TraceGen: Send {
+    /// Produces the next operation.
+    fn next_op(&mut self) -> Op;
+}
+
+impl TraceGen for Box<dyn TraceGen> {
+    fn next_op(&mut self) -> Op {
+        (**self).next_op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl TraceGen for Fixed {
+        fn next_op(&mut self) -> Op {
+            self.0 += 64;
+            Op {
+                addr: self.0,
+                write: false,
+                gap: 3,
+            }
+        }
+    }
+
+    #[test]
+    fn op_instruction_count() {
+        let op = Op {
+            addr: 0,
+            write: true,
+            gap: 9,
+        };
+        assert_eq!(op.instructions(), 10);
+    }
+
+    #[test]
+    fn boxed_dispatch_works() {
+        let mut boxed: Box<dyn TraceGen> = Box::new(Fixed(0));
+        assert_eq!(boxed.next_op().addr, 64);
+        assert_eq!(boxed.next_op().addr, 128);
+    }
+}

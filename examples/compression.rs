@@ -1,0 +1,76 @@
+//! Explore the compression substrate: FPC vs BDI on different value
+//! classes, and Baryon's cacheline-aligned range compression.
+//!
+//! ```sh
+//! cargo run --release --example compression
+//! ```
+
+use baryon::compress::{bdi, compress, fpc, Cf, RangeCompressor};
+use baryon::workloads::{MemoryContents, ProfileMix, ValueProfile};
+
+fn main() {
+    println!("=== per-64B-line compression by value class ===\n");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9}",
+        "profile", "fpc(B)", "bdi(B)", "best(B)", "winner"
+    );
+    let profiles = [
+        ValueProfile::Zero,
+        ValueProfile::NarrowInt,
+        ValueProfile::Pointer,
+        ValueProfile::FloatSimilar,
+        ValueProfile::FloatRandom,
+        ValueProfile::Text,
+        ValueProfile::Random,
+    ];
+    for p in profiles {
+        let mem = MemoryContents::new(ProfileMix::pure(p), 7);
+        // Average over a few lines.
+        let (mut f, mut b, mut best) = (0usize, 0usize, 0usize);
+        const N: usize = 32;
+        for i in 0..N as u64 {
+            let line = mem.line(i * 64);
+            f += fpc::compressed_size(&line);
+            b += bdi::compressed_size(&line);
+            best += compress(&line).size;
+        }
+        let winner = if f < b { "FPC" } else if b < f { "BDI" } else { "tie" };
+        println!(
+            "{:<14} {:>9.1} {:>9.1} {:>9.1} {:>9}",
+            format!("{p:?}"),
+            f as f64 / N as f64,
+            b as f64 / N as f64,
+            best as f64 / N as f64,
+            winner
+        );
+    }
+
+    println!("\n=== Baryon range compression (256 B sub-blocks) ===\n");
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "profile", "cacheline-aligned", "whole-range"
+    );
+    let strict = RangeCompressor::cacheline_aligned();
+    let loose = RangeCompressor::whole_range();
+    for p in profiles {
+        let mem = MemoryContents::new(ProfileMix::pure(p), 7);
+        let fmt_cf = |rc: &RangeCompressor| -> String {
+            // Largest CF accepted for a 4-sub-block window at address 0.
+            for cf in Cf::descending() {
+                let data = mem.range(0, cf.sub_blocks() * 256);
+                if rc.fits(&data, cf) {
+                    return cf.to_string();
+                }
+            }
+            "1x".to_owned()
+        };
+        println!(
+            "{:<14} {:>16} {:>16}",
+            format!("{p:?}"),
+            fmt_cf(&strict),
+            fmt_cf(&loose)
+        );
+    }
+    println!("\nCacheline-aligned compression is stricter (every 64·n-byte chunk");
+    println!("must compress alone) but lets one DDRx burst serve a whole chunk.");
+}

@@ -1,0 +1,67 @@
+//! Sweep Baryon design parameters (stage-area size and the selective-commit
+//! weight k) on one workload and inspect the access-flow counters — a
+//! miniature of the paper's Fig 13 exploration.
+//!
+//! ```sh
+//! cargo run --release --example design_sweep [workload]
+//! ```
+
+use baryon::core::config::BaryonConfig;
+use baryon::core::system::{ControllerKind, System, SystemConfig};
+use baryon::workloads::{by_name, Scale};
+
+fn run_one(scale: Scale, workload: &baryon::workloads::Workload, cfg: BaryonConfig) -> (u64, String) {
+    let mut sys = System::new(
+        SystemConfig::with_controller(scale, ControllerKind::Baryon(cfg)),
+        workload,
+        1,
+    );
+    let r = sys.run(60_000);
+    let c = *sys.controller().as_baryon().expect("baryon").counters();
+    let detail = format!(
+        "serve {:>5.1}% | stage hits {:>6} commit hits {:>6} bypasses {:>6} commits {:>5} evictions {:>4}",
+        100.0 * r.serve.fast_serve_rate(),
+        c.case1_stage_hits,
+        c.case2_commit_hits,
+        c.case4_bypasses,
+        c.commits,
+        c.stage_evictions,
+    );
+    (r.total_cycles, detail)
+}
+
+fn main() {
+    let scale = Scale { divisor: 512 };
+    let name = std::env::args().nth(1).unwrap_or_else(|| "505.mcf_r".to_owned());
+    let workload = by_name(&name, scale).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    });
+
+    println!("workload {name}\n");
+    println!("--- stage-area size (Fig 13(c) miniature) ---");
+    let default_stage = BaryonConfig::default_stage_bytes(scale);
+    for frac in [0u64, 4, 2, 1] {
+        let mut cfg = BaryonConfig::default_cache_mode(scale);
+        cfg.stage_bytes = default_stage.checked_div(frac).unwrap_or(0);
+        let label = if frac == 0 {
+            "none".to_owned()
+        } else {
+            format!("{} kB", cfg.stage_bytes >> 10)
+        };
+        let (cycles, detail) = run_one(scale, &workload, cfg);
+        println!("stage {label:>8}: {cycles:>11} cycles | {detail}");
+    }
+
+    println!("\n--- selective-commit weight k (Fig 13(d) miniature) ---");
+    for k in [0.0, 1.0, 4.0, f64::INFINITY] {
+        let mut cfg = BaryonConfig::default_cache_mode(scale);
+        cfg.commit_k = k;
+        let (cycles, detail) = run_one(scale, &workload, cfg);
+        println!("k {k:>8}: {cycles:>11} cycles | {detail}");
+    }
+    let mut cfg = BaryonConfig::default_cache_mode(scale);
+    cfg.commit_all = true;
+    let (cycles, detail) = run_one(scale, &workload, cfg);
+    println!("commit-all: {cycles:>11} cycles | {detail}");
+}

@@ -1,0 +1,58 @@
+//! Compare full memory-read-latency distributions across controllers —
+//! the tail behaviour behind the serve-rate headlines.
+//!
+//! ```sh
+//! cargo run --release --example latency_analysis [workload]
+//! ```
+
+use baryon::core::config::BaryonConfig;
+use baryon::core::system::{ControllerKind, System, SystemConfig};
+use baryon::workloads::{by_name, Scale};
+
+fn main() {
+    let scale = Scale { divisor: 512 };
+    let name = std::env::args().nth(1).unwrap_or_else(|| "505.mcf_r".to_owned());
+    let workload = by_name(&name, scale).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; try `baryon-cli list`");
+        std::process::exit(1);
+    });
+
+    println!("read-latency distributions for {name} (cycles)\n");
+    println!(
+        "{:<10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>9}",
+        "ctrl", "samples", "mean", "p50", "p90", "p99", "max"
+    );
+    for kind in [
+        ControllerKind::Simple,
+        ControllerKind::Unison,
+        ControllerKind::Dice,
+        ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
+    ] {
+        let mut cfg = SystemConfig::with_controller(scale, kind);
+        cfg.warmup_insts = 30_000;
+        let mut sys = System::new(cfg, &workload, 7);
+        let r = sys.run(80_000);
+        let h = &r.read_latency;
+        println!(
+            "{:<10} {:>9} {:>7.0} {:>7} {:>7} {:>7} {:>9}",
+            r.controller,
+            h.count(),
+            h.mean(),
+            h.percentile(50.0),
+            h.percentile(90.0),
+            h.percentile(99.0),
+            h.max()
+        );
+        // A coarse textual histogram of the log2 buckets.
+        let buckets = h.buckets();
+        let peak = buckets.iter().map(|(_, n)| *n).max().unwrap_or(1);
+        for (lo, n) in buckets {
+            let bar = "#".repeat((n * 40 / peak).max(1) as usize);
+            println!("    >= {lo:>6} cyc  {bar} {n}");
+        }
+        println!();
+    }
+    println!("Baryon trades a few long-tail slow-memory accesses (bypasses,");
+    println!("stage fills) for a fat fast-memory mode — the same story the");
+    println!("paper tells through serve rates.");
+}

@@ -1,0 +1,60 @@
+//! Compare the cache scheme (Baryon vs Simple/Unison/DICE) and the flat
+//! scheme (Baryon-FA vs Hybrid2) on one workload.
+//!
+//! ```sh
+//! cargo run --release --example mode_comparison [workload]
+//! ```
+
+use baryon::core::config::BaryonConfig;
+use baryon::core::system::{ControllerKind, System, SystemConfig};
+use baryon::workloads::{by_name, Scale};
+
+fn main() {
+    let scale = Scale { divisor: 512 };
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ycsb-a".to_owned());
+    let workload = by_name(&name, scale).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; try e.g. 505.mcf_r, pr.twi, ycsb-a");
+        std::process::exit(1);
+    });
+    let insts = 60_000;
+
+    println!("workload {name} | footprint {} MB | fast {} MB\n", workload.footprint >> 20, scale.fast_bytes() >> 20);
+
+    println!("--- cache scheme (fast memory is an OS-invisible cache) ---");
+    println!("{:<12} {:>12} {:>10} {:>10}", "controller", "cycles", "serve%", "energy(mJ)");
+    for kind in [
+        ControllerKind::Simple,
+        ControllerKind::Unison,
+        ControllerKind::Dice,
+        ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
+    ] {
+        let mut sys = System::new(SystemConfig::with_controller(scale, kind), &workload, 1);
+        let r = sys.run(insts);
+        println!(
+            "{:<12} {:>12} {:>9.1}% {:>10.3}",
+            r.controller,
+            r.total_cycles,
+            100.0 * r.serve.fast_serve_rate(),
+            r.energy_mj()
+        );
+    }
+
+    println!("\n--- flat scheme (fast memory is OS-visible; swaps required) ---");
+    println!("{:<12} {:>12} {:>10} {:>10}", "controller", "cycles", "serve%", "energy(mJ)");
+    for kind in [
+        ControllerKind::Hybrid2,
+        ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)),
+        // The static cache+flat combination of §III-A.
+        ControllerKind::Baryon(BaryonConfig::default_mixed(scale, 0.5)),
+    ] {
+        let mut sys = System::new(SystemConfig::with_controller(scale, kind), &workload, 1);
+        let r = sys.run(insts);
+        println!(
+            "{:<12} {:>12} {:>9.1}% {:>10.3}",
+            r.controller,
+            r.total_cycles,
+            100.0 * r.serve.fast_serve_rate(),
+            r.energy_mj()
+        );
+    }
+}

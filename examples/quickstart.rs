@@ -1,0 +1,61 @@
+//! Quickstart: run Baryon and the Simple DRAM-cache baseline on one
+//! workload and compare them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use baryon::core::system::{ControllerKind, System, SystemConfig};
+use baryon::workloads::{by_name, Scale};
+
+fn main() {
+    // Scale every capacity down 1024x from the paper's machine so the run
+    // finishes in seconds (DESIGN.md documents the scaling rules).
+    let scale = Scale { divisor: 1024 };
+    let workload = by_name("505.mcf_r", scale).expect("known workload");
+    let insts_per_core = 100_000;
+
+    println!("workload {} | footprint {} MB | fast {} MB | slow {} MB\n",
+        workload.name,
+        workload.footprint >> 20,
+        scale.fast_bytes() >> 20,
+        scale.slow_bytes() >> 20,
+    );
+    println!(
+        "{:<10} {:>12} {:>8} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "ctrl", "cycles", "IPC", "fast-serve", "bloat", "energy(mJ)", "lat p50", "lat p99"
+    );
+
+    let mut baseline_cycles = None;
+    for kind in [
+        ControllerKind::Simple,
+        ControllerKind::Baryon(baryon::core::BaryonConfig::default_cache_mode(scale)),
+    ] {
+        let mut system = System::new(
+            SystemConfig::with_controller(scale, kind),
+            &workload,
+            42,
+        );
+        let r = system.run(insts_per_core);
+        println!(
+            "{:<10} {:>12} {:>8.3} {:>11.1}% {:>10.2} {:>10.3} {:>9} {:>9}",
+            r.controller,
+            r.total_cycles,
+            r.ipc(),
+            100.0 * r.serve.fast_serve_rate(),
+            r.serve.bloat_factor(),
+            r.energy_mj(),
+            r.read_latency.percentile(50.0),
+            r.read_latency.percentile(99.0),
+        );
+        match baseline_cycles {
+            None => baseline_cycles = Some(r.total_cycles),
+            Some(base) => {
+                println!(
+                    "\nBaryon speedup over Simple: {:.2}x",
+                    base as f64 / r.total_cycles as f64
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # Baryon
+//!
+//! A full reproduction of **“Baryon: Efficient Hybrid Memory Management
+//! with Compression and Sub-Blocking”** (Li & Gao, HPCA 2023) as a Rust
+//! workspace: the Baryon controller, the baselines it is compared against
+//! (Simple, Unison Cache, DICE, Hybrid2), a trace-driven 16-core simulator
+//! with DDR4/NVM device models, FPC/BDI compression, synthetic workload
+//! generators with real compressible contents, and a benchmark harness
+//! regenerating every table and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace crates under short names.
+//!
+//! # Quick start
+//!
+//! ```
+//! use baryon::core::system::{System, SystemConfig};
+//! use baryon::workloads::{by_name, Scale};
+//!
+//! // A heavily scaled-down run (see DESIGN.md for the scaling rules).
+//! let scale = Scale { divisor: 2048 };
+//! let workload = by_name("505.mcf_r", scale).expect("known workload");
+//! let mut system = System::new(SystemConfig::baryon_cache_mode(scale), &workload, 42);
+//! let result = system.run(10_000);
+//! println!("IPC {:.3}, fast-serve {:.1}%",
+//!          result.ipc(), 100.0 * result.serve.fast_serve_rate());
+//! ```
+
+pub use baryon_cache as cache;
+pub use baryon_compress as compress;
+pub use baryon_core as core;
+pub use baryon_mem as mem;
+pub use baryon_sim as sim;
+pub use baryon_workloads as workloads;

@@ -1,0 +1,163 @@
+//! Property-based tests for the compression substrate and metadata codecs.
+
+use baryon::compress::{bdi, best_compressed_size, compress_extended, cpack, fpc, Cf, RangeCompressor};
+use baryon::core::metadata::stage_entry::RangeRef;
+use baryon::core::metadata::{locate_sub_block, RemapEntry};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fpc_roundtrips_all_inputs(data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        // Pad to whole words.
+        let mut d = data;
+        while d.len() % 4 != 0 {
+            d.push(0);
+        }
+        let enc = fpc::encode(&d);
+        prop_assert_eq!(fpc::decode(&enc, d.len() / 4), d.clone());
+        // The size model matches the real encoder.
+        prop_assert_eq!(enc.len(), fpc::compressed_size(&d));
+    }
+
+    #[test]
+    fn bdi_roundtrips_all_inputs(data in proptest::collection::vec(any::<u8>(), 1..128)) {
+        let mut d = data;
+        while d.len() % 8 != 0 {
+            d.push(0);
+        }
+        let enc = bdi::encode(&d);
+        prop_assert_eq!(bdi::decode(&enc), d);
+    }
+
+    #[test]
+    fn best_size_never_exceeds_input(words in proptest::collection::vec(any::<u64>(), 1..32)) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        prop_assert!(best_compressed_size(&bytes) <= bytes.len());
+    }
+
+    #[test]
+    fn compression_is_deterministic(words in proptest::collection::vec(any::<u64>(), 8..8+1)) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        prop_assert_eq!(best_compressed_size(&bytes), best_compressed_size(&bytes));
+    }
+
+    #[test]
+    fn cacheline_aligned_is_never_looser(words in proptest::collection::vec(any::<u64>(), 64..64+1)) {
+        // 512 B of arbitrary data: if the strict (cacheline-aligned) mode
+        // accepts CF2, the loose whole-range mode must accept it too.
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let strict = RangeCompressor::cacheline_aligned();
+        let loose = RangeCompressor::whole_range();
+        if strict.fits(&bytes, Cf::X2) {
+            prop_assert!(loose.fits(&bytes, Cf::X2));
+        }
+    }
+
+    #[test]
+    fn cpack_roundtrips_all_inputs(data in proptest::collection::vec(any::<u8>(), 1..96)) {
+        let mut d = data;
+        while d.len() % 4 != 0 {
+            d.push(0);
+        }
+        let enc = cpack::encode(&d);
+        prop_assert_eq!(cpack::decode(&enc, d.len() / 4), d.clone());
+        prop_assert_eq!(enc.len(), cpack::compressed_size(&d));
+    }
+
+    #[test]
+    fn extended_selection_never_worse(words in proptest::collection::vec(any::<u64>(), 8..8+1)) {
+        // Adding C-Pack to the selection can only shrink the chosen size.
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        prop_assert!(compress_extended(&bytes).size <= best_compressed_size(&bytes));
+    }
+
+    #[test]
+    fn remap_entry_roundtrip(bits in any::<u16>()) {
+        // Every structurally valid decoded entry re-encodes identically.
+        let e = RemapEntry::decode16(bits);
+        if e.check(8).is_ok() {
+            prop_assert_eq!(RemapEntry::decode16(e.encode16()), e);
+        }
+    }
+
+    #[test]
+    fn stage_slot_roundtrip(bits in any::<u8>()) {
+        if let Some(r) = RangeRef::decode8(bits) {
+            prop_assert_eq!(RangeRef::decode8(r.encode8()), Some(r));
+        }
+    }
+
+    #[test]
+    fn locator_matches_naive_layout(
+        plan in proptest::collection::vec(
+            proptest::collection::vec((0usize..8, 0usize..3), 0..4),
+            1..8,
+        )
+    ) {
+        // Build random-but-valid remap entries (non-overlapping aligned
+        // ranges per block) and check the locator against a naive walk.
+        let mut entries = Vec::new();
+        for ranges in &plan {
+            let mut e = RemapEntry::empty();
+            for (start, cf_idx) in ranges {
+                let cf = [Cf::X1, Cf::X2, Cf::X4][*cf_idx];
+                let aligned = start / cf.sub_blocks() * cf.sub_blocks();
+                let covered: u32 =
+                    ((1u32 << cf.sub_blocks()) - 1) << aligned;
+                if e.remap & covered == 0 {
+                    e.set_range(aligned, cf);
+                }
+            }
+            entries.push(e);
+        }
+        prop_assert!(entries.iter().all(|e| e.check(8).is_ok()));
+        // Naive: assign slots in (block, sub) order, pointer 0 everywhere.
+        let mut slot = 0usize;
+        for (blk, e) in entries.iter().enumerate() {
+            let mut s = 0usize;
+            while s < 8 {
+                match e.range_of(s) {
+                    Some((start, cf)) => {
+                        for covered in start..start + cf.sub_blocks() {
+                            prop_assert_eq!(
+                                locate_sub_block(&entries, blk, covered),
+                                Some(slot),
+                                "block {} sub {}", blk, covered
+                            );
+                        }
+                        slot += 1;
+                        s = start + cf.sub_blocks();
+                    }
+                    None => {
+                        prop_assert_eq!(locate_sub_block(&entries, blk, s), None);
+                        s += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slots_used_is_consistent_with_locator(
+        starts in proptest::collection::vec((0usize..8, 0usize..3), 0..4)
+    ) {
+        let mut e = RemapEntry::empty();
+        for (start, cf_idx) in &starts {
+            let cf = [Cf::X1, Cf::X2, Cf::X4][*cf_idx];
+            let aligned = start / cf.sub_blocks() * cf.sub_blocks();
+            let covered: u32 = ((1u32 << cf.sub_blocks()) - 1) << aligned;
+            if e.remap & covered == 0 {
+                e.set_range(aligned, cf);
+            }
+        }
+        // The number of distinct slots the entry's subs map to equals
+        // slots_used().
+        let mut slots = std::collections::HashSet::new();
+        for s in 0..8 {
+            if let Some(slot) = e.slot_of(s) {
+                slots.insert(slot);
+            }
+        }
+        prop_assert_eq!(slots.len(), e.slots_used());
+    }
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration tests: every controller on every workload
+//! family, end to end, with stats-consistency checks.
+
+use baryon::core::config::BaryonConfig;
+use baryon::core::system::{ControllerKind, System, SystemConfig};
+use baryon::core::RunResult;
+use baryon::workloads::{by_name, registry, Scale};
+
+const SCALE: Scale = Scale { divisor: 2048 };
+const INSTS: u64 = 15_000;
+
+fn run(kind: ControllerKind, workload: &str, seed: u64) -> RunResult {
+    let w = by_name(workload, SCALE).expect("workload exists");
+    let mut cfg = SystemConfig::with_controller(SCALE, kind);
+    cfg.warmup_insts = 5_000;
+    System::new(cfg, &w, seed).run(INSTS)
+}
+
+fn all_kinds() -> Vec<(&'static str, ControllerKind)> {
+    vec![
+        ("simple", ControllerKind::Simple),
+        ("unison", ControllerKind::Unison),
+        ("dice", ControllerKind::Dice),
+        ("hybrid2", ControllerKind::Hybrid2),
+        (
+            "baryon",
+            ControllerKind::Baryon(BaryonConfig::default_cache_mode(SCALE)),
+        ),
+        (
+            "baryon-fa",
+            ControllerKind::Baryon(BaryonConfig::default_flat_fa(SCALE)),
+        ),
+    ]
+}
+
+#[test]
+fn every_controller_runs_every_family() {
+    // One workload per generator family keeps the test fast while covering
+    // all code paths.
+    for workload in ["505.mcf_r", "519.lbm_r", "pr.twi", "resnet50", "ycsb-a"] {
+        for (name, kind) in all_kinds() {
+            let r = run(kind, workload, 7);
+            assert!(r.total_cycles > 0, "{name} on {workload}: no cycles");
+            assert!(
+                r.instructions >= INSTS * 16,
+                "{name} on {workload}: too few instructions"
+            );
+            let s = &r.serve;
+            assert!(
+                (0.0..=1.0).contains(&s.fast_serve_rate()),
+                "{name} on {workload}: serve rate {} out of range",
+                s.fast_serve_rate()
+            );
+            assert!(s.energy_pj >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    for (name, kind) in all_kinds() {
+        let a = run(kind.clone(), "520.omnetpp_r", 3);
+        let b = run(kind, "520.omnetpp_r", 3);
+        assert_eq!(a.total_cycles, b.total_cycles, "{name} not deterministic");
+        assert_eq!(a.serve, b.serve, "{name} stats not deterministic");
+    }
+}
+
+#[test]
+fn seeds_change_outcomes() {
+    let a = run(ControllerKind::Simple, "505.mcf_r", 1);
+    let b = run(ControllerKind::Simple, "505.mcf_r", 2);
+    assert_ne!(
+        a.total_cycles, b.total_cycles,
+        "different seeds should explore different traces"
+    );
+}
+
+#[test]
+fn traffic_accounting_is_consistent() {
+    for (name, kind) in all_kinds() {
+        let r = run(kind, "ycsb-b", 5);
+        let s = &r.serve;
+        // Useful bytes must be at least one line per read + writeback.
+        assert!(
+            s.useful_bytes >= 64 * (s.reads + s.writebacks),
+            "{name}: useful bytes too low"
+        );
+        // Every fast-served read moved fast-memory bytes (except pure-zero
+        // serves, which Baryon answers without any data movement).
+        if s.fast_served > 0 && name != "baryon" && name != "baryon-fa" {
+            assert!(s.fast_bytes > 0, "{name}: fast serves without fast traffic");
+        }
+    }
+}
+
+#[test]
+fn baryon_counters_cover_all_reads() {
+    let w = by_name("505.mcf_r", SCALE).expect("workload");
+    let mut cfg = SystemConfig::baryon_cache_mode(SCALE);
+    cfg.warmup_insts = 0;
+    let mut sys = System::new(cfg, &w, 9);
+    let r = sys.run(INSTS);
+    let c = sys.controller().as_baryon().expect("baryon").counters();
+    let by_case = c.case1_stage_hits
+        + c.case2_commit_hits
+        + c.case3_stage_misses
+        + c.case4_bypasses
+        + c.case5_block_misses
+        + c.flat_original_hits
+        + c.displaced_accesses;
+    assert_eq!(by_case, r.serve.reads, "the five cases must partition reads");
+}
+
+#[test]
+fn zero_heavy_data_serves_for_free() {
+    use baryon::workloads::WorkloadKind;
+    // A workload over pure-zero data: Baryon's Z optimization should serve
+    // many reads without touching the fast-memory data array.
+    let mut w = by_name("549.fotonik3d_r", SCALE).expect("workload");
+    w.mix = baryon::workloads::ProfileMix::pure(baryon::workloads::ValueProfile::Zero);
+    w.kind = WorkloadKind::Stream {
+        streams: 2,
+        write_streams: 0,
+    };
+    let mut cfg = SystemConfig::baryon_cache_mode(SCALE);
+    cfg.warmup_insts = 2_000;
+    let mut sys = System::new(cfg, &w, 3);
+    sys.run(INSTS);
+    let c = sys.controller().as_baryon().expect("baryon").counters();
+    assert!(c.zero_serves > 0, "zero blocks should hit the Z path");
+}
+
+#[test]
+fn larger_fast_memory_does_not_hurt() {
+    // Same workload, 2x fast memory: the Simple baseline must not slow down.
+    let w = by_name("505.mcf_r", SCALE).expect("workload");
+    let small = {
+        let mut cfg = SystemConfig::with_controller(SCALE, ControllerKind::Simple);
+        cfg.warmup_insts = 5_000;
+        System::new(cfg, &w, 7).run(INSTS)
+    };
+    let big_scale = Scale { divisor: 1024 };
+    let big = {
+        let mut cfg = SystemConfig::with_controller(big_scale, ControllerKind::Simple);
+        cfg.warmup_insts = 5_000;
+        // Same footprint as the small-scale run: reuse the small workload.
+        System::new(cfg, &w, 7).run(INSTS)
+    };
+    assert!(
+        big.total_cycles <= small.total_cycles,
+        "doubling fast memory slowed Simple down ({} -> {})",
+        small.total_cycles,
+        big.total_cycles
+    );
+}
+
+#[test]
+fn registry_workloads_run_under_baryon() {
+    // Smoke every registry entry briefly (shared + rate mode, all families).
+    for w in registry(SCALE) {
+        let mut cfg = SystemConfig::baryon_cache_mode(SCALE);
+        cfg.warmup_insts = 0;
+        let mut sys = System::new(cfg, &w, 11);
+        let r = sys.run(2_000);
+        assert!(r.total_cycles > 0, "{} failed to run", w.name);
+    }
+}
+
+#[test]
+fn flat_mode_conserves_residency() {
+    // In flat mode every read must be served by exactly one residency
+    // class; after heavy churn the counters still partition reads.
+    let w = by_name("ycsb-a", SCALE).expect("workload");
+    let mut cfg = SystemConfig::baryon_flat_fa(SCALE);
+    cfg.warmup_insts = 5_000;
+    let mut sys = System::new(cfg, &w, 13);
+    let r = sys.run(INSTS);
+    let c = sys.controller().as_baryon().expect("baryon").counters();
+    let by_case = c.case1_stage_hits
+        + c.case2_commit_hits
+        + c.case3_stage_misses
+        + c.case4_bypasses
+        + c.case5_block_misses
+        + c.flat_original_hits
+        + c.displaced_accesses;
+    assert_eq!(by_case, r.serve.reads);
+}

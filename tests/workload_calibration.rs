@@ -1,0 +1,196 @@
+//! Calibration guards: each workload analogue must keep the qualitative
+//! properties its real counterpart is chosen for in the paper (write mix,
+//! value compressibility, locality class). These tests pin the generator
+//! and content-model tuning so refactors cannot silently change what the
+//! benchmark figures measure.
+
+use baryon::compress::best_compressed_size;
+use baryon::workloads::{by_name, registry, Scale, Workload};
+
+const SCALE: Scale = Scale { divisor: 1024 };
+
+/// Measured write fraction over a sample of ops from all cores.
+fn write_fraction(w: &Workload) -> f64 {
+    let mut writes = 0usize;
+    let mut total = 0usize;
+    for core in 0..16 {
+        let mut g = w.spawn_core(core, 16, 9);
+        for _ in 0..2_000 {
+            if g.next_op().write {
+                writes += 1;
+            }
+            total += 1;
+        }
+    }
+    writes as f64 / total as f64
+}
+
+/// Average compression factor of sampled 128 B chunks (the CF-2 check
+/// granularity under cacheline alignment).
+fn avg_cf(w: &Workload) -> f64 {
+    let mem = w.contents(9);
+    let mut raw = 0usize;
+    let mut stored = 0usize;
+    for i in 0..2_000u64 {
+        let addr = (i * 40_507) % (w.footprint / 128) * 128;
+        let chunk = mem.range(addr, 128);
+        raw += 128;
+        stored += if best_compressed_size(&chunk) <= 64 { 64 } else { 128 };
+    }
+    raw as f64 / stored as f64
+}
+
+/// Fraction of consecutive op pairs staying within one 2 kB block.
+fn block_locality(w: &Workload) -> f64 {
+    let mut g = w.spawn_core(0, 16, 9);
+    let mut same = 0usize;
+    let mut prev = g.next_op().addr / 2048;
+    for _ in 0..5_000 {
+        let b = g.next_op().addr / 2048;
+        if b == prev {
+            same += 1;
+        }
+        prev = b;
+    }
+    same as f64 / 5_000.0
+}
+
+fn get(name: &str) -> Workload {
+    by_name(name, SCALE).unwrap_or_else(|| panic!("workload {name} missing"))
+}
+
+#[test]
+fn lbm_is_write_heavy_and_incompressible() {
+    let w = get("519.lbm_r");
+    let wf = write_fraction(&w);
+    assert!(wf > 0.4, "lbm write fraction {wf} (paper: write-intensive)");
+    let cf = avg_cf(&w);
+    assert!(cf < 1.15, "lbm CF {cf} (paper: ~1.0, compression useless)");
+}
+
+#[test]
+fn fotonik_is_highly_compressible() {
+    let cf = avg_cf(&get("549.fotonik3d_r"));
+    assert!(cf > 1.5, "fotonik CF {cf} (paper: 2.42, the best compressor case)");
+}
+
+#[test]
+fn mcf_is_read_mostly_pointer_chasing() {
+    let w = get("505.mcf_r");
+    let wf = write_fraction(&w);
+    assert!((0.1..0.4).contains(&wf), "mcf write fraction {wf}");
+    let loc = block_locality(&w);
+    assert!(
+        (0.5..0.99).contains(&loc),
+        "mcf block locality {loc}: chasing with stable hot windows"
+    );
+}
+
+#[test]
+fn xz_has_lowest_spatial_locality_of_the_chasers() {
+    let xz = block_locality(&get("557.xz_r"));
+    let mcf = block_locality(&get("505.mcf_r"));
+    assert!(
+        xz < mcf,
+        "xz locality {xz} must undercut mcf {mcf} (paper: xz prefers 64 B sub-blocks)"
+    );
+}
+
+#[test]
+fn streams_are_sequential() {
+    for name in ["503.bwaves_r", "549.fotonik3d_r", "554.roms_r", "519.lbm_r"] {
+        let mut g = get(name).spawn_core(0, 16, 9);
+        // Round-robin streams: an op continues *some* recent address by
+        // exactly one line.
+        let mut recent: Vec<u64> = Vec::new();
+        let mut seq = 0usize;
+        for _ in 0..2_000 {
+            let a = g.next_op().addr;
+            if recent.iter().any(|p| a == p + 64) {
+                seq += 1;
+            }
+            recent.push(a);
+            if recent.len() > 16 {
+                recent.remove(0);
+            }
+        }
+        assert!(seq > 1_800, "{name}: stream pattern lost ({seq}/2000)");
+    }
+}
+
+#[test]
+fn ycsb_update_fractions_differ() {
+    let a = write_fraction(&get("ycsb-a"));
+    let b = write_fraction(&get("ycsb-b"));
+    assert!(a > 0.1, "ycsb-a is 50/50 read/update (writes {a})");
+    assert!(b < a / 2.0, "ycsb-b (95/5) must write far less than ycsb-a ({b} vs {a})");
+}
+
+#[test]
+fn ycsb_load_is_pure_writes() {
+    let wf = write_fraction(&get("ycsb-load"));
+    assert!(wf > 0.99, "the loading phase only inserts records ({wf})");
+}
+
+#[test]
+fn bfs_alternates_between_regimes() {
+    // Direction-optimizing BFS mixes sparse gathers with dense scans; the
+    // write fraction sits between the pure readers and the writers.
+    let w = get("bfs.twi");
+    let wf = write_fraction(&w);
+    assert!((0.05..0.45).contains(&wf), "bfs write fraction {wf}");
+    // Its locality is burstier than pagerank's steady gather loop.
+    let bfs_loc = block_locality(&w);
+    assert!((0.0..0.9).contains(&bfs_loc));
+}
+
+#[test]
+fn graph_workloads_are_read_dominated() {
+    for name in ["pr.twi", "pr.web", "cc.twi"] {
+        let wf = write_fraction(&get(name));
+        assert!(
+            wf < 0.25,
+            "{name}: pull-mode iteration writes only destinations ({wf})"
+        );
+    }
+}
+
+#[test]
+fn dnn_weights_are_never_written() {
+    // The weight region (first 80% of the footprint) must see no stores.
+    let w = get("resnet50");
+    let weights_end = w.footprint * 8 / 10;
+    for core in [0usize, 5] {
+        let mut g = w.spawn_core(core, 16, 9);
+        for _ in 0..20_000 {
+            let op = g.next_op();
+            if op.write {
+                assert!(
+                    op.addr >= weights_end - 2048,
+                    "core {core} wrote into the weight region at {:#x}",
+                    op.addr
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compressibility_ordering_matches_paper() {
+    // fotonik (best) > graph/int workloads > lbm (worst).
+    let fot = avg_cf(&get("549.fotonik3d_r"));
+    let pr = avg_cf(&get("pr.twi"));
+    let lbm = avg_cf(&get("519.lbm_r"));
+    assert!(fot > pr, "fotonik {fot} must out-compress pr.twi {pr}");
+    assert!(pr > lbm, "pr.twi {pr} must out-compress lbm {lbm}");
+}
+
+#[test]
+fn every_workload_has_positive_cf_and_sane_writes() {
+    for w in registry(SCALE) {
+        let cf = avg_cf(&w);
+        assert!((1.0..=4.0).contains(&cf), "{}: CF {cf} out of range", w.name);
+        let wf = write_fraction(&w);
+        assert!((0.0..=1.0).contains(&wf), "{}: write fraction {wf}", w.name);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the workload generators and content model.
+
+use baryon::workloads::{registry, MemoryContents, ProfileMix, Scale, ValueProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn generators_stay_in_bounds(seed in any::<u64>(), core in 0usize..16) {
+        let scale = Scale { divisor: 2048 };
+        for w in registry(scale) {
+            let mut g = w.spawn_core(core, 16, seed);
+            for _ in 0..200 {
+                let op = g.next_op();
+                prop_assert!(
+                    op.addr < w.footprint,
+                    "{}: {:#x} outside footprint {:#x}", w.name, op.addr, w.footprint
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generators_replay_identically(seed in any::<u64>()) {
+        let scale = Scale { divisor: 2048 };
+        let w = registry(scale).into_iter().next().expect("non-empty registry");
+        let mut a = w.spawn_core(0, 16, seed);
+        let mut b = w.spawn_core(0, 16, seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn contents_are_pure_functions(addr in 0u64..(1 << 24), seed in any::<u64>()) {
+        let mem = MemoryContents::new(ProfileMix::pure(ValueProfile::NarrowInt), seed);
+        prop_assert_eq!(mem.line(addr), mem.line(addr));
+        // Any address within the same line yields the same bytes.
+        prop_assert_eq!(mem.line(addr & !63), mem.line(addr | 63));
+    }
+
+    #[test]
+    fn writes_only_affect_their_line(addr in 0u64..(1 << 24)) {
+        let mut mem = MemoryContents::new(ProfileMix::pure(ValueProfile::Text), 5);
+        let line = addr & !63;
+        let neighbour = line ^ 64;
+        let before = mem.line(neighbour);
+        mem.write_line(line);
+        prop_assert_eq!(mem.line(neighbour), before);
+        prop_assert_eq!(mem.version_of(line), 1);
+        prop_assert_eq!(mem.version_of(neighbour), 0);
+    }
+
+    #[test]
+    fn version_monotonically_changes_content(addr in 0u64..(1 << 20), writes in 1usize..5) {
+        let mut mem = MemoryContents::new(ProfileMix::pure(ValueProfile::NarrowInt), 5);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(mem.line(addr).to_vec());
+        for _ in 0..writes {
+            mem.write_line(addr);
+            seen.insert(mem.line(addr).to_vec());
+        }
+        // At least the first write must change the bytes.
+        prop_assert!(seen.len() >= 2);
+    }
+
+    #[test]
+    fn profile_assignment_respects_pure_mixes(block in 0u64..10_000, seed in any::<u64>()) {
+        for p in [ValueProfile::Zero, ValueProfile::Random, ValueProfile::Text] {
+            let mem = MemoryContents::new(ProfileMix::pure(p), seed);
+            prop_assert_eq!(mem.profile_of(block * 2048), p);
+        }
+    }
+}
+
+#[test]
+fn footprints_scale_linearly() {
+    let small = registry(Scale { divisor: 1024 });
+    let large = registry(Scale { divisor: 256 });
+    for (s, l) in small.iter().zip(&large) {
+        assert_eq!(s.name, l.name);
+        let ratio = l.footprint as f64 / s.footprint as f64;
+        assert!(
+            (ratio - 4.0).abs() < 0.01,
+            "{}: footprint ratio {ratio} != 4",
+            s.name
+        );
+    }
+}
