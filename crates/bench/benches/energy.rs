@@ -35,7 +35,10 @@ fn main() {
     let mut ratios: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
 
     println!("\n--- cache mode: energy (mJ) ---");
-    println!("{:<16} {:>9} {:>9} {:>9}", "workload", "unison", "dice", "baryon");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9}",
+        "workload", "unison", "dice", "baryon"
+    );
     for w in params.workloads() {
         let mut energies = Vec::new();
         for (label, kind) in &cache_contenders {
@@ -49,8 +52,14 @@ fn main() {
             w.name, energies[0].1, energies[1].1, energies[2].1
         );
         let baryon = energies[2].1;
-        ratios.entry("vs_unison").or_default().push(baryon / energies[0].1);
-        ratios.entry("vs_dice").or_default().push(baryon / energies[1].1);
+        ratios
+            .entry("vs_unison")
+            .or_default()
+            .push(baryon / energies[0].1);
+        ratios
+            .entry("vs_dice")
+            .or_default()
+            .push(baryon / energies[1].1);
         rows.push(format!(
             "cache,{},{:.4},{:.4},{:.4}",
             w.name, energies[0].1, energies[1].1, energies[2].1
@@ -67,7 +76,10 @@ fn main() {
             });
             energies.push((*label, r.energy_mj()));
         }
-        println!("{:<16} {:>9.3} {:>9.3}", w.name, energies[0].1, energies[1].1);
+        println!(
+            "{:<16} {:>9.3} {:>9.3}",
+            w.name, energies[0].1, energies[1].1
+        );
         ratios
             .entry("vs_hybrid2")
             .or_default()
@@ -79,11 +91,7 @@ fn main() {
     }
 
     println!("\n--- geomean energy savings ---");
-    for (key, paper) in [
-        ("vs_unison", 31.9),
-        ("vs_dice", 13.0),
-        ("vs_hybrid2", 14.5),
-    ] {
+    for (key, paper) in [("vs_unison", 31.9), ("vs_dice", 13.0), ("vs_hybrid2", 14.5)] {
         let g = geomean(&ratios[key]).unwrap_or(1.0);
         println!(
             "baryon {key:<11}: {:+.1}% (paper: -{paper:.1}%)",

@@ -48,14 +48,14 @@ fn related_design_points(params: &Params, rows: &mut Vec<String>) {
             "{:<16} {:>10.3} {:>12.3}x {:>8.3}x",
             w.name, 1.0, s_ms, s_ba
         );
-        rows.push(format!(
-            "design_points,{},{:.4},{:.4}",
-            w.name, s_ms, s_ba
-        ));
+        rows.push(format!("design_points,{},{:.4},{:.4}", w.name, s_ms, s_ba));
     }
     let g_ms = geomean(&geos[0]).unwrap_or(0.0);
     let g_ba = geomean(&geos[1]).unwrap_or(0.0);
-    println!("{:<16} {:>10.3} {:>12.3}x {:>8.3}x", "geomean", 1.0, g_ms, g_ba);
+    println!(
+        "{:<16} {:>10.3} {:>12.3}x {:>8.3}x",
+        "geomean", 1.0, g_ms, g_ba
+    );
     rows.push(format!("design_points,geomean,{g_ms:.4},{g_ba:.4}"));
     println!("(hardware management beats OS paging; packing sectors from");
     println!(" multiple blocks helps; compression + staging helps further)");
@@ -137,15 +137,9 @@ fn main() {
         ),
     ];
     for assoc in [1usize, 2, 8] {
-        variants.push((
-            format!("assoc-{assoc}"),
-            Box::new(move |c| c.assoc = assoc),
-        ));
+        variants.push((format!("assoc-{assoc}"), Box::new(move |c| c.assoc = assoc)));
     }
-    variants.push((
-        "assoc-full".into(),
-        Box::new(|c| c.assoc = usize::MAX),
-    ));
+    variants.push(("assoc-full".into(), Box::new(|c| c.assoc = usize::MAX)));
 
     // Baseline runs (also capture slow-memory traffic for the bandwidth
     // claim).
@@ -162,10 +156,7 @@ fn main() {
         base.insert(w.name, (r.total_cycles, r.serve.slow_bytes));
     }
 
-    println!(
-        "\n{:<26} {:>10} {:>16}",
-        "variant", "perf", "slow-traffic"
-    );
+    println!("\n{:<26} {:>10} {:>16}", "variant", "perf", "slow-traffic");
     for (label, tweak) in &variants {
         let mut perfs = Vec::new();
         let mut traffic = Vec::new();

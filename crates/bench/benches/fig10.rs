@@ -14,7 +14,10 @@ fn main() {
 
     let mut speedups = Vec::new();
     let mut rows = Vec::new();
-    println!("{:<16} {:>12} {:>12} {:>9}", "workload", "hybrid2", "baryon-fa", "speedup");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "workload", "hybrid2", "baryon-fa", "speedup"
+    );
     let workloads = params.workloads();
     let jobs: Vec<_> = workloads
         .iter()
@@ -38,7 +41,10 @@ fn main() {
             "{:<16} {:>12} {:>12} {:>8.3}x",
             w.name, h.total_cycles, b.total_cycles, s
         );
-        rows.push(format!("{},{},{},{:.4}", w.name, h.total_cycles, b.total_cycles, s));
+        rows.push(format!(
+            "{},{},{},{:.4}",
+            w.name, h.total_cycles, b.total_cycles, s
+        ));
     }
     let g = geomean(&speedups).unwrap_or(0.0);
     let max = speedups.iter().cloned().fold(0.0f64, f64::max);
@@ -46,5 +52,9 @@ fn main() {
     println!("geomean {g:.3}x, max {max:.3}x  (paper: 1.18x avg, 2.50x max)");
     rows.push(format!("geomean,,,{g:.4}"));
 
-    write_csv("fig10", "workload,hybrid2_cycles,baryon_fa_cycles,speedup", &rows);
+    write_csv(
+        "fig10",
+        "workload,hybrid2_cycles,baryon_fa_cycles,speedup",
+        &rows,
+    );
 }

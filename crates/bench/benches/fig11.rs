@@ -11,7 +11,10 @@ use std::collections::BTreeMap;
 
 fn main() {
     let params = Params::from_env();
-    banner("Fig 11", "fast-memory serve rate and bandwidth bloat factor");
+    banner(
+        "Fig 11",
+        "fast-memory serve rate and bandwidth bloat factor",
+    );
 
     // The paper compares Unison / DICE / Baryon here.
     let contenders: Vec<_> = fig9_contenders(params.scale)
@@ -45,7 +48,10 @@ fn main() {
 
     let mut rows = Vec::new();
     println!("\n--- fast memory serve rate (%) ---");
-    println!("{:<16} {:>8} {:>8} {:>8}", "workload", "unison", "dice", "baryon");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "workload", "unison", "dice", "baryon"
+    );
     let print_row = |name: &str, table: &BTreeMap<(String, String), f64>, pct: bool| {
         let mut line = format!("{name:<16}");
         let mut csv = name.to_owned();
@@ -85,13 +91,19 @@ fn main() {
     rows.push(format!("serve,geomean,{:.4},{:.4},{:.4}", g[0], g[1], g[2]));
 
     println!("\n--- bandwidth bloat factor (fast traffic / useful traffic) ---");
-    println!("{:<16} {:>8} {:>8} {:>8}", "workload", "unison", "dice", "baryon");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "workload", "unison", "dice", "baryon"
+    );
     for w in &representative {
         let csv = print_row(w.name, &bloat, false);
         rows.push(format!("bloat,{csv}"));
     }
     let g = geo(&bloat);
-    println!("{:<16} {:>8.2} {:>8.2} {:>8.2}", "geomean(all)", g[0], g[1], g[2]);
+    println!(
+        "{:<16} {:>8.2} {:>8.2} {:>8.2}",
+        "geomean(all)", g[0], g[1], g[2]
+    );
     rows.push(format!("bloat,geomean,{:.4},{:.4},{:.4}", g[0], g[1], g[2]));
 
     println!("\n--- memory read latency, cycles (p50 / p95 / p99) ---");

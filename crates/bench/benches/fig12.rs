@@ -18,7 +18,10 @@ type Variant = (&'static str, Box<dyn Fn(&mut BaryonConfig)>);
 
 fn main() {
     let params = Params::from_env();
-    banner("Fig 12", "compression-scheme ablations (performance and CF)");
+    banner(
+        "Fig 12",
+        "compression-scheme ablations (performance and CF)",
+    );
 
     let subset = params.representative();
     let mut rows = Vec::new();
@@ -26,7 +29,10 @@ fn main() {
     let variants: Vec<Variant> = vec![
         ("default", Box::new(|_c: &mut BaryonConfig| {})),
         ("no-zero-opt", Box::new(|c| c.zero_opt = false)),
-        ("no-cacheline-aligned", Box::new(|c| c.cacheline_aligned = false)),
+        (
+            "no-cacheline-aligned",
+            Box::new(|c| c.cacheline_aligned = false),
+        ),
         ("decompress-0cyc", Box::new(|c| c.decompress_cycles = 0)),
         ("decompress-1cyc", Box::new(|c| c.decompress_cycles = 1)),
         ("decompress-10cyc", Box::new(|c| c.decompress_cycles = 10)),
@@ -60,7 +66,10 @@ fn main() {
                 w.name, label, r.total_cycles, perf, cf
             );
             per_variant.entry(label.to_string()).or_default().push(perf);
-            rows.push(format!("{},{label},{},{perf:.4},{cf:.3}", w.name, r.total_cycles));
+            rows.push(format!(
+                "{},{label},{},{perf:.4},{cf:.3}",
+                w.name, r.total_cycles
+            ));
         }
         println!();
     }

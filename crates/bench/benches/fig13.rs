@@ -19,7 +19,10 @@ type Tweak = Box<dyn Fn(&mut BaryonConfig)>;
 
 fn main() {
     let params = Params::from_env();
-    banner("Fig 13", "design-parameter exploration (normalized to default)");
+    banner(
+        "Fig 13",
+        "design-parameter exploration (normalized to default)",
+    );
 
     let subset = params.representative();
     let default_stage = BaryonConfig::default_stage_bytes(params.scale);
@@ -121,11 +124,7 @@ fn main() {
 
     let header = format!(
         "panel,variant,{},geomean",
-        subset
-            .iter()
-            .map(|w| w.name)
-            .collect::<Vec<_>>()
-            .join(",")
+        subset.iter().map(|w| w.name).collect::<Vec<_>>().join(",")
     );
     write_csv("fig13", &header, &rows);
 }

@@ -14,7 +14,10 @@ use baryon_sim::summary::BoxSummary;
 
 fn main() {
     let params = Params::from_env();
-    banner("Fig 4", "stage-phase miss-ratio distribution (normalized time)");
+    banner(
+        "Fig 4",
+        "stage-phase miss-ratio distribution (normalized time)",
+    );
 
     // Mixed sample across the suite, as the paper aggregates workloads.
     let sample: Vec<_> = params.representative();
@@ -100,9 +103,7 @@ fn main() {
         "\nmedian miss ratio drops {:.1}x from the first to the last bucket",
         early / late
     );
-    println!(
-        "\nphases ending in commit: {committed}; ending in eviction: {evicted}"
-    );
+    println!("\nphases ending in commit: {committed}; ending in eviction: {evicted}");
     println!("(the paper's selective-commit policy exists exactly because the");
     println!(" evicted minority keeps missing through its whole phase — the");
     println!(" p95 whisker above)");

@@ -61,9 +61,18 @@ fn main() {
     let u = geomean(&per_ctrl["unison"]).unwrap_or(1.0);
     let d = geomean(&per_ctrl["dice"]).unwrap_or(1.0);
     let b64 = geomean(&per_ctrl["baryon-64b"]).unwrap_or(1.0);
-    println!("\nBaryon vs Unison Cache : {:.2}x (paper: 1.38x avg, 2.46x max)", b / u);
-    println!("Baryon vs DICE         : {:.2}x (paper: 1.27x avg, 1.68x max)", b / d);
-    println!("Baryon vs Baryon-64B   : {:.2}x (paper: +12.2% from the 256 B granularity)", b / b64);
+    println!(
+        "\nBaryon vs Unison Cache : {:.2}x (paper: 1.38x avg, 2.46x max)",
+        b / u
+    );
+    println!(
+        "Baryon vs DICE         : {:.2}x (paper: 1.27x avg, 1.68x max)",
+        b / d
+    );
+    println!(
+        "Baryon vs Baryon-64B   : {:.2}x (paper: +12.2% from the 256 B granularity)",
+        b / b64
+    );
 
     write_csv(
         "fig9",

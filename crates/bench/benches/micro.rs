@@ -1,14 +1,69 @@
-//! Criterion microbenchmarks for the hot primitives: FPC/BDI compression,
-//! the cacheline-aligned range check, metadata codecs, and the sub-block
-//! locator. These are not paper figures; they guard the simulator's own
-//! performance.
+//! Microbenchmarks for the hot primitives: FPC/BDI/C-Pack compression,
+//! the cacheline-aligned range check, metadata codecs, the sub-block
+//! locator, the device models, and end-to-end simulator stepping. These are
+//! not paper figures; they guard the simulator's own performance.
+//!
+//! Hermetic replacement for the former criterion harness: each benchmark is
+//! a closure timed with `std::time::Instant` after automatic calibration
+//! (iterations double until a run exceeds the measurement window). Results
+//! print as ns/iter and land in `baryon-results/micro.csv`.
+//!
+//! Knobs:
+//!
+//! * `BARYON_MICRO_MS` — target measurement window per benchmark in
+//!   milliseconds (default 20),
+//! * `BARYON_MICRO_QUICK` — if set, use a 2 ms window for smoke runs.
 
 use baryon_compress::{bdi, cpack, fpc, Cf, RangeCompressor};
-use baryon_mem::frfcfs::DetailedDram;
-use baryon_mem::{DeviceConfig, MemDevice};
 use baryon_core::metadata::stage_entry::RangeRef;
 use baryon_core::metadata::{locate_sub_block, RemapEntry};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use baryon_mem::frfcfs::DetailedDram;
+use baryon_mem::{DeviceConfig, MemDevice};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: calibrates an iteration count whose wall time
+/// exceeds the window, then reports mean ns/iter over the final batch.
+struct Bench {
+    window: Duration,
+    rows: Vec<String>,
+}
+
+impl Bench {
+    fn new() -> Bench {
+        let quick = std::env::var("BARYON_MICRO_QUICK").is_ok();
+        let ms = std::env::var("BARYON_MICRO_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(if quick { 2 } else { 20 });
+        Bench {
+            window: Duration::from_millis(ms),
+            rows: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, name: &str, mut f: impl FnMut()) {
+        // Warm-up and calibration: double the batch until it fills the
+        // window, then measure that batch.
+        let mut iters: u64 = 1;
+        let ns_per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.window || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            // Jump straight toward the window once we have a rate estimate.
+            let scale =
+                (self.window.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64).clamp(2.0, 1e6);
+            iters = (iters as f64 * scale).ceil() as u64;
+        };
+        println!("{name:<34} {ns_per_iter:>12.1} ns/iter  ({iters} iters)");
+        self.rows.push(format!("{name},{ns_per_iter:.1},{iters}"));
+    }
+}
 
 fn narrow_ints(n: usize) -> Vec<u8> {
     let mut v = Vec::with_capacity(n);
@@ -24,45 +79,53 @@ fn random_bytes(n: usize) -> Vec<u8> {
     let mut v = Vec::with_capacity(n);
     let mut x = 0x12345u64;
     while v.len() < n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         v.extend_from_slice(&x.to_le_bytes());
     }
     v
 }
 
-fn bench_compressors(c: &mut Criterion) {
+fn bench_compressors(b: &mut Bench) {
     let compressible = narrow_ints(64);
     let incompressible = random_bytes(64);
-    c.bench_function("fpc_size_64B_compressible", |b| {
-        b.iter(|| fpc::compressed_size(black_box(&compressible)))
+    b.run("fpc_size_64B_compressible", || {
+        black_box(fpc::compressed_size(black_box(&compressible)));
     });
-    c.bench_function("fpc_size_64B_random", |b| {
-        b.iter(|| fpc::compressed_size(black_box(&incompressible)))
+    b.run("fpc_size_64B_random", || {
+        black_box(fpc::compressed_size(black_box(&incompressible)));
     });
-    c.bench_function("bdi_size_64B_compressible", |b| {
-        b.iter(|| bdi::compressed_size(black_box(&compressible)))
+    b.run("bdi_size_64B_compressible", || {
+        black_box(bdi::compressed_size(black_box(&compressible)));
     });
-    c.bench_function("bdi_size_64B_random", |b| {
-        b.iter(|| bdi::compressed_size(black_box(&incompressible)))
+    b.run("bdi_size_64B_random", || {
+        black_box(bdi::compressed_size(black_box(&incompressible)));
+    });
+    b.run("cpack_size_64B_compressible", || {
+        black_box(cpack::compressed_size(black_box(&compressible)));
+    });
+    b.run("cpack_size_64B_random", || {
+        black_box(cpack::compressed_size(black_box(&incompressible)));
     });
     let big = narrow_ints(1024);
-    c.bench_function("range_best_1kB", |b| {
-        let rc = RangeCompressor::cacheline_aligned();
-        b.iter(|| rc.best_range(black_box(&big), 1))
+    let rc = RangeCompressor::cacheline_aligned();
+    b.run("range_best_1kB", || {
+        black_box(rc.best_range(black_box(&big), 1));
     });
 }
 
-fn bench_metadata(c: &mut Criterion) {
+fn bench_metadata(b: &mut Bench) {
     let mut entry = RemapEntry::empty();
     entry.set_range(0, Cf::X4);
     entry.set_range(4, Cf::X2);
     entry.set_range(6, Cf::X1);
-    c.bench_function("remap_encode16", |b| {
-        b.iter(|| black_box(entry).encode16())
+    b.run("remap_encode16", || {
+        black_box(black_box(entry).encode16());
     });
     let bits = entry.encode16();
-    c.bench_function("remap_decode16", |b| {
-        b.iter(|| RemapEntry::decode16(black_box(bits)))
+    b.run("remap_decode16", || {
+        black_box(RemapEntry::decode16(black_box(bits)));
     });
     let range = RangeRef {
         blk_off: 7,
@@ -70,7 +133,9 @@ fn bench_metadata(c: &mut Criterion) {
         cf: Cf::X2,
         dirty: true,
     };
-    c.bench_function("stage_slot_encode8", |b| b.iter(|| black_box(range).encode8()));
+    b.run("stage_slot_encode8", || {
+        black_box(black_box(range).encode8());
+    });
 
     let entries: Vec<RemapEntry> = (0..8)
         .map(|i| {
@@ -80,81 +145,57 @@ fn bench_metadata(c: &mut Criterion) {
             e
         })
         .collect();
-    c.bench_function("locate_sub_block", |b| {
-        b.iter(|| locate_sub_block(black_box(&entries), 6, 5))
+    b.run("locate_sub_block", || {
+        black_box(locate_sub_block(black_box(&entries), 6, 5));
     });
 }
 
-fn bench_devices(c: &mut Criterion) {
-    c.bench_function("dram_simple_model_stream", |b| {
-        b.iter_batched(
-            || MemDevice::new(DeviceConfig::ddr4_3200()),
-            |mut d| {
-                let mut now = 0u64;
-                for i in 0..256u64 {
-                    now += 40;
-                    d.access(now, i * 64, 64, false);
-                }
-                d
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_devices(b: &mut Bench) {
+    // Device state is tiny; constructing it inside the timed closure keeps
+    // each iteration independent (the former `iter_batched` pattern).
+    b.run("dram_simple_model_stream", || {
+        let mut d = MemDevice::new(DeviceConfig::ddr4_3200());
+        let mut now = 0u64;
+        for i in 0..256u64 {
+            now += 40;
+            d.access(now, i * 64, 64, false);
+        }
+        black_box(&d);
     });
-    c.bench_function("dram_detailed_model_stream", |b| {
-        b.iter_batched(
-            DetailedDram::table1,
-            |mut d| {
-                let mut now = 0u64;
-                for i in 0..256u64 {
-                    now += 40;
-                    d.access(now, i * 64, 64, false);
-                }
-                d
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    b.run("dram_detailed_model_stream", || {
+        let mut d = DetailedDram::table1();
+        let mut now = 0u64;
+        for i in 0..256u64 {
+            now += 40;
+            d.access(now, i * 64, 64, false);
+        }
+        black_box(&d);
     });
 }
 
-fn bench_cpack(c: &mut Criterion) {
-    let compressible = narrow_ints(64);
-    let incompressible = random_bytes(64);
-    c.bench_function("cpack_size_64B_compressible", |b| {
-        b.iter(|| cpack::compressed_size(black_box(&compressible)))
-    });
-    c.bench_function("cpack_size_64B_random", |b| {
-        b.iter(|| cpack::compressed_size(black_box(&incompressible)))
-    });
-}
-
-fn bench_simulator_throughput(c: &mut Criterion) {
+fn bench_simulator_throughput(b: &mut Bench) {
     use baryon_core::config::BaryonConfig;
     use baryon_core::system::{ControllerKind, System, SystemConfig};
     use baryon_workloads::{by_name, Scale};
     let scale = Scale { divisor: 2048 };
     let w = by_name("505.mcf_r", scale).expect("workload");
-    c.bench_function("system_step_1k_insts_per_core", |b| {
-        b.iter_batched(
-            || {
-                let mut cfg = SystemConfig::with_controller(
-                    scale,
-                    ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
-                );
-                cfg.warmup_insts = 0;
-                System::new(cfg, &w, 1)
-            },
-            |mut sys| sys.run(1_000),
-            criterion::BatchSize::SmallInput,
-        )
+    b.run("system_step_1k_insts_per_core", || {
+        let mut cfg = SystemConfig::with_controller(
+            scale,
+            ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
+        );
+        cfg.warmup_insts = 0;
+        let mut sys = System::new(cfg, &w, 1);
+        black_box(sys.run(1_000));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_compressors,
-    bench_cpack,
-    bench_metadata,
-    bench_devices,
-    bench_simulator_throughput
-);
-criterion_main!(benches);
+fn main() {
+    baryon_bench::banner("micro", "simulator hot-path microbenchmarks");
+    let mut b = Bench::new();
+    bench_compressors(&mut b);
+    bench_metadata(&mut b);
+    bench_devices(&mut b);
+    bench_simulator_throughput(&mut b);
+    baryon_bench::write_csv("micro", "benchmark,ns_per_iter,iters", &b.rows);
+}

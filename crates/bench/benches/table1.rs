@@ -10,7 +10,10 @@ use baryon_workloads::Scale;
 
 fn main() {
     let params = Params::from_env();
-    banner("Table I", "system configuration (paper scale and bench scale)");
+    banner(
+        "Table I",
+        "system configuration (paper scale and bench scale)",
+    );
 
     let mut rows = Vec::new();
     for scale in [Scale { divisor: 1 }, params.scale] {
@@ -88,8 +91,7 @@ fn main() {
             cfg.stage_blocks(),
             cfg.data_area_bytes() >> 10
         );
-        let remap_frac =
-            cfg.remap_table_bytes() as f64 / (cfg.fast_bytes + cfg.slow_bytes) as f64;
+        let remap_frac = cfg.remap_table_bytes() as f64 / (cfg.fast_bytes + cfg.slow_bytes) as f64;
         println!(
             "remap table       : {} kB = {:.3}% of total memory (paper: ~0.1%)",
             cfg.remap_table_bytes() >> 10,
@@ -111,7 +113,11 @@ fn main() {
     // Paper-scale checks printed as assertions so regressions are loud.
     let paper = BaryonConfig::default_cache_mode(Scale { divisor: 1 });
     let (stage_tag, remap_cache) = paper.sram_budget();
-    assert_eq!(stage_tag, 448 << 10, "stage tag array must be 448 kB at paper scale");
+    assert_eq!(
+        stage_tag,
+        448 << 10,
+        "stage tag array must be 448 kB at paper scale"
+    );
     assert_eq!(remap_cache, 32 << 10);
     assert_eq!(paper.stage_sets(), 8192);
     println!("\npaper-scale invariants hold: 448 kB stage tags, 8192 sets, 32 kB remap cache");

@@ -12,16 +12,31 @@ use std::path::PathBuf;
 
 /// The benches, in the paper's presentation order, with one-line blurbs.
 const SECTIONS: [(&str, &str); 10] = [
-    ("table1", "Table I: resolved system configuration and SRAM budget"),
-    ("fig3", "Fig 3: staged (S) vs committed (C) access breakdown"),
-    ("fig4", "Fig 4: stage-phase miss-rate distribution (normalized time)"),
+    (
+        "table1",
+        "Table I: resolved system configuration and SRAM budget",
+    ),
+    (
+        "fig3",
+        "Fig 3: staged (S) vs committed (C) access breakdown",
+    ),
+    (
+        "fig4",
+        "Fig 4: stage-phase miss-rate distribution (normalized time)",
+    ),
     ("fig9", "Fig 9: cache-mode speedups, normalized to Simple"),
     ("fig10", "Fig 10: flat mode — Baryon-FA over Hybrid2"),
-    ("fig11", "Fig 11: fast-memory serve rate and bandwidth bloat"),
+    (
+        "fig11",
+        "Fig 11: fast-memory serve rate and bandwidth bloat",
+    ),
     ("fig12", "Fig 12: compression-scheme ablations"),
     ("fig13", "Fig 13: design-parameter exploration"),
     ("energy", "§IV-B: memory-system energy"),
-    ("extra", "Prose claims, §III-F discussions and related design points"),
+    (
+        "extra",
+        "Prose claims, §III-F discussions and related design points",
+    ),
 ];
 
 fn csv_to_markdown(csv: &str) -> String {

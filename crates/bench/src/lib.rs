@@ -62,9 +62,7 @@ impl Params {
         let all = registry(self.scale);
         if self.quick {
             all.into_iter()
-                .filter(|w| {
-                    ["505.mcf_r", "549.fotonik3d_r", "pr.twi", "ycsb-a"].contains(&w.name)
-                })
+                .filter(|w| ["505.mcf_r", "549.fotonik3d_r", "pr.twi", "ycsb-a"].contains(&w.name))
                 .collect()
         } else {
             all
@@ -162,10 +160,7 @@ pub fn run_with_system(
 /// `BARYON_BENCH_THREADS` (default: available parallelism, capped at the
 /// job count). Every run stays deterministic — parallelism only reorders
 /// wall-clock execution, never the per-run streams.
-pub fn run_grid(
-    params: &Params,
-    jobs: Vec<(Workload, ControllerKind)>,
-) -> Vec<RunResult> {
+pub fn run_grid(params: &Params, jobs: Vec<(Workload, ControllerKind)>) -> Vec<RunResult> {
     let threads = std::env::var("BARYON_BENCH_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -176,30 +171,31 @@ pub fn run_grid(
         })
         .clamp(1, jobs.len().max(1));
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs
-            .into_iter()
-            .map(|(w, k)| run(params, &w, k))
-            .collect();
+        return jobs.into_iter().map(|(w, k)| run(params, &w, k)).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<RunResult>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunResult)>();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            let tx = tx.clone();
+            let next = &next;
+            let jobs = &jobs;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let (w, k) = &jobs[i];
                 let result = run(params, w, k.clone());
-                **slot_refs[i].lock().expect("slot lock") = Some(result);
+                tx.send((i, result)).expect("collector alive");
             });
         }
-    })
-    .expect("worker panicked");
-    drop(slot_refs);
+    });
+    drop(tx);
+    let mut slots: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
+    for (i, result) in rx {
+        slots[i] = Some(result);
+    }
     slots
         .into_iter()
         .map(|r| r.expect("every job filled"))

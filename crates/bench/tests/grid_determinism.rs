@@ -1,0 +1,41 @@
+//! Locks in `run_grid`'s contract: parallelism only reorders wall-clock
+//! execution, never the per-run random streams or results. A grid run with
+//! one worker thread must be bit-identical to the same grid with eight.
+
+use baryon_bench::{run_grid, Params};
+use baryon_core::system::ControllerKind;
+use baryon_workloads::{by_name, Scale};
+
+#[test]
+fn parallel_grid_matches_serial_grid() {
+    let params = Params {
+        insts: 2_000,
+        warmup: 500,
+        scale: Scale { divisor: 2048 },
+        quick: true,
+        seed: 7,
+    };
+    let jobs: Vec<_> = ["505.mcf_r", "pr.twi"]
+        .into_iter()
+        .flat_map(|name| {
+            let w = by_name(name, params.scale).expect("workload");
+            [(w, ControllerKind::Simple), (w, ControllerKind::Unison)]
+        })
+        .collect();
+
+    // This test owns BARYON_BENCH_THREADS: it is the only test in this
+    // binary, so no other thread observes the mutation.
+    std::env::set_var("BARYON_BENCH_THREADS", "1");
+    let serial = run_grid(&params, jobs.clone());
+    std::env::set_var("BARYON_BENCH_THREADS", "8");
+    let parallel = run_grid(&params, jobs.clone());
+    std::env::remove_var("BARYON_BENCH_THREADS");
+
+    assert_eq!(serial.len(), jobs.len());
+    assert_eq!(parallel.len(), jobs.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "job {i} diverged between 1 and 8 threads");
+    }
+    // Sanity: the runs did real work.
+    assert!(serial.iter().all(|r| r.total_cycles > 0));
+}

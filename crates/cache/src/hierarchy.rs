@@ -3,10 +3,9 @@
 use crate::setassoc::{CacheConfig, SetAssocCache};
 use baryon_sim::stats::Stats;
 use baryon_sim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Hierarchy geometry; defaults follow Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Number of cores (= number of private L1D/L2 pairs).
     pub cores: usize,
@@ -116,7 +115,9 @@ impl Hierarchy {
     pub fn new(cfg: HierarchyConfig) -> Self {
         assert!(cfg.cores > 0, "need at least one core");
         Hierarchy {
-            l1d: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1d)).collect(),
+            l1d: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(cfg.l1d))
+                .collect(),
             l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
             llc: SetAssocCache::new(cfg.llc),
             cfg,

@@ -2,10 +2,9 @@
 
 use baryon_sim::stats::Stats;
 use baryon_sim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Number of sets (power of two).
     pub sets: usize,
@@ -25,7 +24,10 @@ impl CacheConfig {
     /// Panics unless `sets` and `line_bytes` are powers of two and `ways > 0`.
     pub fn new(sets: usize, ways: usize, line_bytes: u64, latency: Cycle) -> Self {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "need at least one way");
         CacheConfig {
             sets,
@@ -78,7 +80,7 @@ struct Line {
 }
 
 /// Hit/miss statistics of one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Read hits.
     pub read_hits: u64,

@@ -26,7 +26,7 @@ use args::Args;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  baryon-cli list\n  baryon-cli run --workload <name> [--controller <name>] \
-         [--insts N] [--warmup N] [--scale D] [--seed S] [--mlp N] [--csv FILE]\n  \
+         [--insts N] [--warmup N] [--scale D] [--seed S] [--mlp N] [--csv FILE] [--json FILE]\n  \
          baryon-cli compare --workload <name> [--insts N] [--scale D]\n  \
          baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n\n\
          controllers: baryon baryon-fa baryon-mixed simple unison dice hybrid2 \
@@ -76,7 +76,10 @@ const CSV_HEADER: &str = "controller,workload,cycles,instructions,ipc,serve_rate
 
 fn cmd_list(args: &Args) -> ExitCode {
     let scale = args.scale();
-    println!("{:<18} {:>10} {:>7} {:<8} pattern", "workload", "footprint", "shared", "gap");
+    println!(
+        "{:<18} {:>10} {:>7} {:<8} pattern",
+        "workload", "footprint", "shared", "gap"
+    );
     for w in registry(scale) {
         println!(
             "{:<18} {:>7} MB {:>7} {:<8.1} {:?}",
@@ -116,6 +119,15 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
         println!("csv             : {path}");
     }
+    if let Some(path) = args.get("json") {
+        let mut body = r.to_json().render();
+        body.push('\n');
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("json            : {path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -133,8 +145,15 @@ fn cmd_compare(args: &Args) -> ExitCode {
     );
     let mut base = None;
     for name in [
-        "simple", "unison", "dice", "micro-sector", "os-paging", "hybrid2", "baryon-fa",
-        "baryon-mixed", "baryon",
+        "simple",
+        "unison",
+        "dice",
+        "micro-sector",
+        "os-paging",
+        "hybrid2",
+        "baryon-fa",
+        "baryon-mixed",
+        "baryon",
     ] {
         let kind = controller_kind(name, scale).expect("static list");
         let mut cfg = SystemConfig::with_controller(scale, kind);

@@ -90,7 +90,10 @@ pub fn size_with(data: &[u8], enc: Encoding) -> Option<usize> {
 ///
 /// Panics if `data` is not a multiple of 8 bytes.
 pub fn compressed_size(data: &[u8]) -> usize {
-    assert!(data.len().is_multiple_of(8), "BDI needs whole 64-bit elements");
+    assert!(
+        data.len().is_multiple_of(8),
+        "BDI needs whole 64-bit elements"
+    );
     if data.iter().all(|b| *b == 0) {
         return 1;
     }
@@ -133,7 +136,10 @@ pub enum Encoded {
 ///
 /// Panics if `data` is not a multiple of 8 bytes.
 pub fn encode(data: &[u8]) -> Encoded {
-    assert!(data.len().is_multiple_of(8), "BDI needs whole 64-bit elements");
+    assert!(
+        data.len().is_multiple_of(8),
+        "BDI needs whole 64-bit elements"
+    );
     if data.iter().all(|b| *b == 0) {
         return Encoded::Zeros(data.len());
     }
@@ -254,7 +260,11 @@ mod tests {
         // Some elements near zero, some near a big base: the dual-base trick.
         let mut data = Vec::new();
         for i in 0..8u64 {
-            let v = if i % 2 == 0 { i } else { 0x7700_0000_0000_0000 + i };
+            let v = if i % 2 == 0 {
+                i
+            } else {
+                0x7700_0000_0000_0000 + i
+            };
             data.extend_from_slice(&v.to_le_bytes());
         }
         assert!(compressed_size(&data) < 64);

@@ -102,7 +102,10 @@ fn words(data: &[u8]) -> impl Iterator<Item = u32> + '_ {
 ///
 /// Panics if `data` is not a multiple of 4 bytes.
 pub fn compressed_size(data: &[u8]) -> usize {
-    assert!(data.len().is_multiple_of(4), "C-Pack needs whole 32-bit words");
+    assert!(
+        data.len().is_multiple_of(4),
+        "C-Pack needs whole 32-bit words"
+    );
     let mut dict = Dictionary::new();
     let mut bits = 0usize;
     for word in words(data) {
@@ -139,7 +142,10 @@ pub fn compressed_size(data: &[u8]) -> usize {
 ///
 /// Panics if `data` is not a multiple of 4 bytes.
 pub fn encode(data: &[u8]) -> Vec<u8> {
-    assert!(data.len().is_multiple_of(4), "C-Pack needs whole 32-bit words");
+    assert!(
+        data.len().is_multiple_of(4),
+        "C-Pack needs whole 32-bit words"
+    );
     let mut dict = Dictionary::new();
     let mut w = BitWriter::new();
     for word in words(data) {
@@ -238,7 +244,11 @@ mod tests {
     fn roundtrip(data: &[u8]) {
         let enc = encode(data);
         assert_eq!(decode(&enc, data.len() / 4), data, "C-Pack roundtrip");
-        assert_eq!(enc.len(), compressed_size(data), "size model matches encoder");
+        assert_eq!(
+            enc.len(),
+            compressed_size(data),
+            "size model matches encoder"
+        );
     }
 
     #[test]
@@ -285,12 +295,13 @@ mod tests {
     fn incompressible_data() {
         let mut data = Vec::new();
         for i in 0..16u32 {
-            data.extend_from_slice(
-                &0x9E37_79B9u32.wrapping_mul(2 * i + 1).to_le_bytes(),
-            );
+            data.extend_from_slice(&0x9E37_79B9u32.wrapping_mul(2 * i + 1).to_le_bytes());
         }
         roundtrip(&data);
-        assert!(compressed_size(&data) >= 64, "random words cost >= 34 bits each");
+        assert!(
+            compressed_size(&data) >= 64,
+            "random words cost >= 34 bits each"
+        );
     }
 
     #[test]

@@ -355,7 +355,9 @@ mod tests {
     fn incompressible_words() {
         let mut data = Vec::new();
         for i in 0..16u32 {
-            data.extend_from_slice(&(0x1234_5678u32.wrapping_mul(i + 3) | 0x0101_0100).to_le_bytes());
+            data.extend_from_slice(
+                &(0x1234_5678u32.wrapping_mul(i + 3) | 0x0101_0100).to_le_bytes(),
+            );
         }
         roundtrip(&data);
         // 3 prefix + 32 payload per word, 16 words = 560 bits = 70 bytes.

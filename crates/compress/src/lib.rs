@@ -50,7 +50,7 @@ pub const CACHELINE_BYTES: usize = 64;
 pub const SUB_BLOCK_BYTES: usize = 256;
 
 /// Which algorithm produced the winning (smallest) compressed size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Frequent Pattern Compression (word-level prefix codes).
     Fpc,

@@ -12,10 +12,9 @@
 //! slot to be transferred per access.
 
 use crate::{best_compressed_size, compress_extended, CACHELINE_BYTES, SUB_BLOCK_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// A Baryon compression factor: how many 256 B sub-blocks fit in one slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Cf {
     /// Uncompressed: one sub-block per slot.
     X1,
@@ -84,7 +83,7 @@ impl std::fmt::Display for Cf {
 /// // 512 B of zeros: both 256 B chunks compress to ≤ 64 B, so CF=2 fits.
 /// assert!(rc.fits(&vec![0u8; 512], Cf::X2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangeCompressor {
     cacheline_aligned: bool,
     sub_bytes: usize,
@@ -193,7 +192,11 @@ impl RangeCompressor {
     ///
     /// Panics if `data.len() != 4 * self.sub_bytes()` or `pos >= 4`.
     pub fn best_range(&self, data: &[u8], pos: usize) -> (Cf, usize) {
-        assert_eq!(data.len(), 4 * self.sub_bytes, "need a full 4-sub-block window");
+        assert_eq!(
+            data.len(),
+            4 * self.sub_bytes,
+            "need a full 4-sub-block window"
+        );
         assert!(pos < 4, "pos must be 0..4");
         if self.fits(data, Cf::X4) {
             return (Cf::X4, 0);
@@ -238,7 +241,9 @@ mod tests {
         let mut v = Vec::with_capacity(n);
         let mut x = 0x9E37_79B9_7F4A_7C15u64;
         while v.len() < n {
-            x = x.wrapping_mul(0xD120_0000_0FB3_C1E7).wrapping_add(0x2545_F491_4F6C_DD1D);
+            x = x
+                .wrapping_mul(0xD120_0000_0FB3_C1E7)
+                .wrapping_add(0x2545_F491_4F6C_DD1D);
             v.extend_from_slice(&x.to_le_bytes());
         }
         v
@@ -260,7 +265,10 @@ mod tests {
 
     #[test]
     fn zeros_fit_cf4_both_modes() {
-        for rc in [RangeCompressor::cacheline_aligned(), RangeCompressor::whole_range()] {
+        for rc in [
+            RangeCompressor::cacheline_aligned(),
+            RangeCompressor::whole_range(),
+        ] {
             assert!(rc.fits(&vec![0u8; 1024], Cf::X4));
         }
     }

@@ -10,8 +10,6 @@
 //! Addresses flowing through the controller are *OS-physical* byte addresses;
 //! [`Geometry`] provides all index arithmetic plus validation.
 
-use serde::{Deserialize, Serialize};
-
 /// Index arithmetic for the block/sub-block/super-block hierarchy.
 ///
 /// # Examples
@@ -26,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.super_of_block(11), 1);         // block 11 / 8
 /// assert_eq!(g.blk_off(11), 3);                // block 11 % 8
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Geometry {
     /// Data block size in bytes (2048 by default).
     pub block_bytes: u64,
@@ -62,10 +60,16 @@ impl Geometry {
     /// Returns a message describing the first invalid relationship.
     pub fn validate(&self) -> Result<(), String> {
         if !self.block_bytes.is_power_of_two() || self.block_bytes < 256 {
-            return Err(format!("block_bytes {} must be a power of two >= 256", self.block_bytes));
+            return Err(format!(
+                "block_bytes {} must be a power of two >= 256",
+                self.block_bytes
+            ));
         }
         if !self.sub_bytes.is_power_of_two() || self.sub_bytes < 64 {
-            return Err(format!("sub_bytes {} must be a power of two >= 64", self.sub_bytes));
+            return Err(format!(
+                "sub_bytes {} must be a power of two >= 64",
+                self.sub_bytes
+            ));
         }
         if self.sub_bytes > self.block_bytes {
             return Err("sub-blocks cannot exceed the block size".to_owned());
@@ -160,7 +164,10 @@ mod tests {
             let s = g.sub_of(addr);
             let sub_base = g.sub_addr(b, s);
             assert!(sub_base <= addr && addr < sub_base + g.sub_bytes);
-            assert_eq!(g.super_of_block(b) * g.blocks_per_super + g.blk_off(b) as u64, b);
+            assert_eq!(
+                g.super_of_block(b) * g.blocks_per_super + g.blk_off(b) as u64,
+                b
+            );
         }
     }
 

@@ -241,7 +241,10 @@ mod tests {
         // The neighbour lines were packed: hitting them is fast.
         let r = c.read(10_000, Request { addr: 64, core: 0 }, &mut mem);
         assert!(r.served_by_fast);
-        assert!(!r.extra_lines.is_empty(), "co-packed lines decompress for free");
+        assert!(
+            !r.extra_lines.is_empty(),
+            "co-packed lines decompress for free"
+        );
     }
 
     #[test]
@@ -257,8 +260,14 @@ mod tests {
     fn hit_after_fill() {
         let mut c = ctrl();
         let mut mem = random_mem();
-        assert!(!c.read(0, Request { addr: 0, core: 0 }, &mut mem).served_by_fast);
-        assert!(c.read(1000, Request { addr: 0, core: 0 }, &mut mem).served_by_fast);
+        assert!(
+            !c.read(0, Request { addr: 0, core: 0 }, &mut mem)
+                .served_by_fast
+        );
+        assert!(
+            c.read(1000, Request { addr: 0, core: 0 }, &mut mem)
+                .served_by_fast
+        );
         assert_eq!(c.counters().hits, 1);
     }
 
@@ -268,7 +277,14 @@ mod tests {
         let mut mem = random_mem();
         let n = c.buckets.len() as u64;
         c.read(0, Request { addr: 0, core: 0 }, &mut mem);
-        c.read(1000, Request { addr: n * 256, core: 0 }, &mut mem); // same bucket
+        c.read(
+            1000,
+            Request {
+                addr: n * 256,
+                core: 0,
+            },
+            &mut mem,
+        ); // same bucket
         let r = c.read(2000, Request { addr: 0, core: 0 }, &mut mem);
         assert!(!r.served_by_fast, "direct-mapped conflict");
     }
@@ -281,7 +297,14 @@ mod tests {
         c.read(0, Request { addr: 0, core: 0 }, &mut mem);
         c.writeback(10, 0, &mut mem);
         let before = c.serve_stats().slow_bytes;
-        c.read(1000, Request { addr: n * 256, core: 0 }, &mut mem);
+        c.read(
+            1000,
+            Request {
+                addr: n * 256,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(c.serve_stats().slow_bytes > before + 64);
     }
 

@@ -273,10 +273,12 @@ impl MemoryController for Hybrid2 {
 
         // Slow serve + heat accounting + background fill/migration.
         self.counters.slow_serves += 1;
-        let done = self
-            .devices
-            .slow
-            .access(now + meta_lat, self.slow_addr(block, req.addr % BLOCK), 64, false);
+        let done = self.devices.slow.access(
+            now + meta_lat,
+            self.slow_addr(block, req.addr % BLOCK),
+            64,
+            false,
+        );
         let heat = self.heat.entry(block).or_insert(0);
         *heat += 1;
         let hot = *heat >= MIGRATE_THRESHOLD;
@@ -365,9 +367,23 @@ mod tests {
         let mut c = ctrl();
         let mut mem = test_contents();
         let slow_addr = c.flat_blocks() * BLOCK + 4096;
-        let r1 = c.read(0, Request { addr: slow_addr, core: 0 }, &mut mem);
+        let r1 = c.read(
+            0,
+            Request {
+                addr: slow_addr,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(!r1.served_by_fast);
-        let r2 = c.read(100_000, Request { addr: slow_addr, core: 0 }, &mut mem);
+        let r2 = c.read(
+            100_000,
+            Request {
+                addr: slow_addr,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(r2.served_by_fast, "sub-block now in the cache zone");
         assert_eq!(c.counters().cache_hits, 1);
     }
@@ -377,9 +393,23 @@ mod tests {
         let mut c = ctrl();
         let mut mem = test_contents();
         let slow_addr = c.flat_blocks() * BLOCK;
-        c.read(0, Request { addr: slow_addr, core: 0 }, &mut mem);
+        c.read(
+            0,
+            Request {
+                addr: slow_addr,
+                core: 0,
+            },
+            &mut mem,
+        );
         // Another sub-block of the same block still misses.
-        let r = c.read(50_000, Request { addr: slow_addr + 1024, core: 0 }, &mut mem);
+        let r = c.read(
+            50_000,
+            Request {
+                addr: slow_addr + 1024,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(!r.served_by_fast);
     }
 
@@ -394,14 +424,28 @@ mod tests {
         for i in 0..(MIGRATE_THRESHOLD as u64 * 16) {
             let sub = (i % 8) * SUB;
             // Alternate blocks to evict cache-zone state occasionally.
-            c.read(t, Request { addr: block * BLOCK + sub, core: 0 }, &mut mem);
+            c.read(
+                t,
+                Request {
+                    addr: block * BLOCK + sub,
+                    core: 0,
+                },
+                &mut mem,
+            );
             t += 1000;
             if c.counters().migrations > 0 {
                 break;
             }
         }
         assert!(c.counters().migrations > 0, "hot block should migrate");
-        let r = c.read(t + 1000, Request { addr: block * BLOCK, core: 0 }, &mut mem);
+        let r = c.read(
+            t + 1000,
+            Request {
+                addr: block * BLOCK,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(r.served_by_fast, "migrated block serves from fast");
     }
 
@@ -413,12 +457,26 @@ mod tests {
         let mut t = 0;
         while c.counters().migrations == 0 {
             let sub = (t / 1000 % 8) * SUB;
-            c.read(t, Request { addr: block * BLOCK + sub, core: 0 }, &mut mem);
+            c.read(
+                t,
+                Request {
+                    addr: block * BLOCK + sub,
+                    core: 0,
+                },
+                &mut mem,
+            );
             t += 1000;
             assert!(t < 10_000_000, "migration never happened");
         }
         let displaced = *c.migrated.get(&block).expect("migrated");
-        let r = c.read(t, Request { addr: displaced * BLOCK, core: 0 }, &mut mem);
+        let r = c.read(
+            t,
+            Request {
+                addr: displaced * BLOCK,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(!r.served_by_fast, "displaced original now lives in slow");
     }
 
@@ -427,14 +485,31 @@ mod tests {
         let mut c = ctrl();
         let mut mem = test_contents();
         let block = c.flat_blocks() + 3;
-        c.read(0, Request { addr: block * BLOCK, core: 0 }, &mut mem);
+        c.read(
+            0,
+            Request {
+                addr: block * BLOCK,
+                core: 0,
+            },
+            &mut mem,
+        );
         c.writeback(10, block * BLOCK, &mut mem);
         let before = c.serve_stats().slow_bytes;
         // Evict by filling the FIFO cache zone with other blocks.
         for i in 0..c.cache.len() as u64 + 2 {
             let b = c.flat_blocks() + 100 + i;
-            c.read(1000 * (i + 1), Request { addr: b * BLOCK, core: 0 }, &mut mem);
+            c.read(
+                1000 * (i + 1),
+                Request {
+                    addr: b * BLOCK,
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
-        assert!(c.serve_stats().slow_bytes > before, "dirty sub written back");
+        assert!(
+            c.serve_stats().slow_bytes > before,
+            "dirty sub written back"
+        );
     }
 }

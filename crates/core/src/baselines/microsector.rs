@@ -68,8 +68,8 @@ impl MicroSector {
         // The per-slot tag store is the design's cost: reserve 4x Baryon's
         // remap-table footprint out of the fast memory.
         let tag_bytes = (scale.fast_bytes() + scale.slow_bytes()) / BLOCK * 8;
-        let data_blocks = ((scale.fast_bytes() - tag_bytes.min(scale.fast_bytes() / 2)) / BLOCK)
-            as usize;
+        let data_blocks =
+            ((scale.fast_bytes() - tag_bytes.min(scale.fast_bytes() / 2)) / BLOCK) as usize;
         let sets = (data_blocks / assoc).max(1);
         MicroSector {
             sets,
@@ -94,9 +94,8 @@ impl MicroSector {
 
     fn find(&self, block: u64, sub: u8) -> Option<usize> {
         let base = self.set_of(block) * self.slots_per_set;
-        (base..base + self.slots_per_set).find(|i| {
-            self.slots[*i].is_some_and(|s| s.block == block && s.sub == sub)
-        })
+        (base..base + self.slots_per_set)
+            .find(|i| self.slots[*i].is_some_and(|s| s.block == block && s.sub == sub))
     }
 
     fn slot_addr(&self, slot: usize, addr: u64) -> u64 {
@@ -151,10 +150,10 @@ impl MemoryController for MicroSector {
         let meta_lat = self.meta.lookup(now, block, &mut self.devices.fast);
         if let Some(slot) = self.find(block, sub) {
             self.counters.hits += 1;
-            let done = self
-                .devices
-                .fast
-                .access(now + meta_lat, self.slot_addr(slot, req.addr), 64, false);
+            let done =
+                self.devices
+                    .fast
+                    .access(now + meta_lat, self.slot_addr(slot, req.addr), 64, false);
             self.serve.record_read(true);
             return Response {
                 latency: done - now,
@@ -229,12 +228,21 @@ mod tests {
     fn sector_miss_then_hit() {
         let mut c = ctrl();
         let mut mem = test_contents();
-        assert!(!c.read(0, Request { addr: 100, core: 0 }, &mut mem).served_by_fast);
+        assert!(
+            !c.read(0, Request { addr: 100, core: 0 }, &mut mem)
+                .served_by_fast
+        );
         // Same sector (within 256 B) now hits.
-        assert!(c.read(10_000, Request { addr: 200, core: 0 }, &mut mem).served_by_fast);
+        assert!(
+            c.read(10_000, Request { addr: 200, core: 0 }, &mut mem)
+                .served_by_fast
+        );
         // A different sector of the same block still misses (no footprint
         // prefetch in micro-sector).
-        assert!(!c.read(20_000, Request { addr: 512, core: 0 }, &mut mem).served_by_fast);
+        assert!(
+            !c.read(20_000, Request { addr: 512, core: 0 }, &mut mem)
+                .served_by_fast
+        );
     }
 
     #[test]
@@ -245,11 +253,29 @@ mod tests {
         // Two blocks in the same set: both sectors coexist (the capacity
         // advantage over one-block-per-frame designs).
         c.read(0, Request { addr: 0, core: 0 }, &mut mem);
-        c.read(1_000, Request { addr: sets * BLOCK, core: 0 }, &mut mem);
-        assert!(c.read(2_000, Request { addr: 0, core: 0 }, &mut mem).served_by_fast);
-        assert!(c
-            .read(3_000, Request { addr: sets * BLOCK, core: 0 }, &mut mem)
-            .served_by_fast);
+        c.read(
+            1_000,
+            Request {
+                addr: sets * BLOCK,
+                core: 0,
+            },
+            &mut mem,
+        );
+        assert!(
+            c.read(2_000, Request { addr: 0, core: 0 }, &mut mem)
+                .served_by_fast
+        );
+        assert!(
+            c.read(
+                3_000,
+                Request {
+                    addr: sets * BLOCK,
+                    core: 0
+                },
+                &mut mem
+            )
+            .served_by_fast
+        );
     }
 
     #[test]
@@ -260,10 +286,20 @@ mod tests {
         let slots = c.slots_per_set as u64;
         // Fill every slot of set 0 with distinct sectors, then one more.
         for i in 0..=slots {
-            c.read(i * 1_000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+            c.read(
+                i * 1_000,
+                Request {
+                    addr: i * sets * BLOCK,
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
         // The first sector was FIFO-evicted.
-        assert!(!c.read(99_000, Request { addr: 0, core: 0 }, &mut mem).served_by_fast);
+        assert!(
+            !c.read(99_000, Request { addr: 0, core: 0 }, &mut mem)
+                .served_by_fast
+        );
     }
 
     #[test]
@@ -276,7 +312,14 @@ mod tests {
         c.writeback(100, 0, &mut mem);
         let before = c.serve_stats().slow_bytes;
         for i in 1..=slots {
-            c.read(i * 1_000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+            c.read(
+                i * 1_000,
+                Request {
+                    addr: i * sets * BLOCK,
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
         assert!(c.counters().dirty_evictions >= 1);
         assert!(c.serve_stats().slow_bytes > before);

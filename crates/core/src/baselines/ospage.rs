@@ -126,7 +126,9 @@ impl OsPaging {
                     }
                     self.fast_map.remove(&victim);
                     // Demotion: whole page fast -> slow.
-                    self.devices.fast.access(now, frame * PAGE, PAGE as usize, false);
+                    self.devices
+                        .fast
+                        .access(now, frame * PAGE, PAGE as usize, false);
                     self.devices
                         .slow
                         .access(now, victim * PAGE, PAGE as usize, true);
@@ -134,7 +136,9 @@ impl OsPaging {
                 }
             };
             // Promotion: whole page slow -> fast.
-            self.devices.slow.access(now, page * PAGE, PAGE as usize, false);
+            self.devices
+                .slow
+                .access(now, page * PAGE, PAGE as usize, false);
             self.devices
                 .fast
                 .access(now, self.fast_addr(frame, 0), PAGE as usize, true);
@@ -241,7 +245,14 @@ mod tests {
         // Hammer one page past the epoch boundary.
         for i in 0..120u64 {
             now += 1000;
-            c.read(now, Request { addr: (i % 64) * 64, core: 0 }, &mut mem);
+            c.read(
+                now,
+                Request {
+                    addr: (i % 64) * 64,
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
         assert!(c.counters().epochs >= 1);
         assert!(c.counters().migrations >= 1);
@@ -255,7 +266,14 @@ mod tests {
         c.epoch_accesses = 10;
         let mut mem = test_contents();
         for i in 0..12u64 {
-            c.read(i * 1000, Request { addr: 64 * (i % 8), core: 0 }, &mut mem);
+            c.read(
+                i * 1000,
+                Request {
+                    addr: 64 * (i % 8),
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
         let s = c.serve_stats();
         // At least one 4 kB promotion moved through both devices.
@@ -279,13 +297,19 @@ mod tests {
                     now += 500;
                     c.read(
                         now,
-                        Request { addr: p * PAGE + round * 64 + rep * 128, core: 0 },
+                        Request {
+                            addr: p * PAGE + round * 64 + rep * 128,
+                            core: 0,
+                        },
                         &mut mem,
                     );
                 }
             }
         }
-        assert!(c.counters().migrations > frames, "demotions must have occurred");
+        assert!(
+            c.counters().migrations > frames,
+            "demotions must have occurred"
+        );
         assert!(c.fast_map.len() as u64 <= frames);
     }
 
@@ -294,6 +318,10 @@ mod tests {
         let mut c = ctrl();
         let mut mem = test_contents();
         c.writeback(0, 0, &mut mem);
-        assert_eq!(c.serve_stats().slow_bytes, 64, "cold page writeback goes slow");
+        assert_eq!(
+            c.serve_stats().slow_bytes,
+            64,
+            "cold page writeback goes slow"
+        );
     }
 }

@@ -142,10 +142,10 @@ impl MemoryController for SimpleCache {
             self.counters.hits += 1;
             self.tick += 1;
             self.ways[way].stamp = self.tick;
-            let done = self
-                .devices
-                .fast
-                .access(now + meta_lat, self.fast_addr(way, req.addr), 64, false);
+            let done =
+                self.devices
+                    .fast
+                    .access(now + meta_lat, self.fast_addr(way, req.addr), 64, false);
             self.serve.record_read(true);
             return Response {
                 latency: done - now,
@@ -247,7 +247,14 @@ mod tests {
         // Conflict-fill the same set until block 0 is evicted.
         let sets = c.sets as u64;
         for i in 1..=4u64 {
-            c.read(i * 1000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+            c.read(
+                i * 1000,
+                Request {
+                    addr: i * sets * BLOCK,
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
         assert_eq!(c.counters().dirty_evictions, 1);
     }
@@ -259,10 +266,24 @@ mod tests {
         let sets = c.sets as u64;
         // Fill a set with 4 blocks, touch the first, add a 5th.
         for i in 0..4u64 {
-            c.read(i, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+            c.read(
+                i,
+                Request {
+                    addr: i * sets * BLOCK,
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
         c.read(10, Request { addr: 0, core: 0 }, &mut mem); // touch block 0
-        c.read(20, Request { addr: 4 * sets * BLOCK, core: 0 }, &mut mem);
+        c.read(
+            20,
+            Request {
+                addr: 4 * sets * BLOCK,
+                core: 0,
+            },
+            &mut mem,
+        );
         // Block 0 must still be present (block sets*BLOCK was LRU).
         let r = c.read(30, Request { addr: 0, core: 0 }, &mut mem);
         assert!(r.served_by_fast);

@@ -124,7 +124,9 @@ impl UnisonCache {
     /// extra fast access.
     fn probe(&mut self, now: Cycle, way: Option<usize>, addr: u64) -> Cycle {
         let predicted_hit = way.is_some_and(|w| self.ways[w].mru);
-        let target = way.map_or(addr % (self.sets as u64 * BLOCK), |w| self.fast_addr(w, addr));
+        let target = way.map_or(addr % (self.sets as u64 * BLOCK), |w| {
+            self.fast_addr(w, addr)
+        });
         let done = self.devices.fast.access(now, target, 64, false);
         if !predicted_hit {
             self.counters.way_mispredicts += 1;
@@ -334,11 +336,25 @@ mod tests {
         let mut c = ctrl();
         let mut mem = test_contents();
         c.read(0, Request { addr: 0, core: 0 }, &mut mem);
-        let r = c.read(10_000, Request { addr: 1024, core: 0 }, &mut mem);
+        let r = c.read(
+            10_000,
+            Request {
+                addr: 1024,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(!r.served_by_fast);
         assert_eq!(c.counters().sub_misses, 1);
         // The line is now present.
-        let r2 = c.read(20_000, Request { addr: 1024, core: 0 }, &mut mem);
+        let r2 = c.read(
+            20_000,
+            Request {
+                addr: 1024,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(r2.served_by_fast);
     }
 
@@ -349,14 +365,35 @@ mod tests {
         let sets = c.sets as u64;
         // Touch lines 0 and 16 of block 0.
         c.read(0, Request { addr: 0, core: 0 }, &mut mem);
-        c.read(1000, Request { addr: 1024, core: 0 }, &mut mem);
+        c.read(
+            1000,
+            Request {
+                addr: 1024,
+                core: 0,
+            },
+            &mut mem,
+        );
         // Evict block 0 by filling its set.
         for i in 1..=4u64 {
-            c.read(i * 10_000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+            c.read(
+                i * 10_000,
+                Request {
+                    addr: i * sets * BLOCK,
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
         // Refetch block 0: both previously-touched lines come back at once.
         c.read(100_000, Request { addr: 0, core: 0 }, &mut mem);
-        let r = c.read(200_000, Request { addr: 1024, core: 0 }, &mut mem);
+        let r = c.read(
+            200_000,
+            Request {
+                addr: 1024,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(r.served_by_fast, "footprint prediction refetched line 16");
     }
 
@@ -369,7 +406,14 @@ mod tests {
         let before = c.serve_stats().slow_bytes;
         let sets = c.sets as u64;
         for i in 1..=4u64 {
-            c.read(i * 10_000, Request { addr: i * sets * BLOCK, core: 0 }, &mut mem);
+            c.read(
+                i * 10_000,
+                Request {
+                    addr: i * sets * BLOCK,
+                    core: 0,
+                },
+                &mut mem,
+            );
         }
         let after = c.serve_stats().slow_bytes;
         assert!(after > before, "dirty line written to slow on eviction");

@@ -13,10 +13,9 @@
 //! claims are checkable (and printed by the `table1` bench).
 
 use crate::config::BaryonConfig;
-use serde::{Deserialize, Serialize};
 
 /// The metadata cost breakdown of a configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetadataBudget {
     /// Off-chip remap table, Baryon's 2 B-per-block format.
     pub remap_table_bytes: u64,
@@ -101,7 +100,11 @@ mod tests {
         let mut cfg = BaryonConfig::default_cache_mode(Scale { divisor: 1 });
         cfg.geometry = crate::addr::Geometry::baryon_64b();
         let b64 = MetadataBudget::of(&cfg);
-        assert!(b64.naive_blowup() >= 32.0, "64B blowup {}", b64.naive_blowup());
+        assert!(
+            b64.naive_blowup() >= 32.0,
+            "64B blowup {}",
+            b64.naive_blowup()
+        );
     }
 
     #[test]

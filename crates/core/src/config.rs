@@ -3,12 +3,11 @@
 use crate::addr::Geometry;
 use baryon_sim::Cycle;
 use baryon_workloads::Scale;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// How the fast memory is exposed (§II-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HybridMode {
     /// Fast memory is an OS-invisible cache; the OS-physical space equals
     /// the slow memory.
@@ -27,7 +26,7 @@ pub enum HybridMode {
 /// Victim selection for the cache/flat data area (§III-E notes the choice
 /// is orthogonal to Baryon; the paper uses LRU for low-associative
 /// configurations and FIFO for high-associative ones).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VictimPolicy {
     /// The paper's default: LRU when low-associative, FIFO when
     /// fully-associative.
@@ -66,7 +65,7 @@ impl ConfigError {
 ///
 /// Every Fig 12/Fig 13 ablation is a field here; the `default_*`
 /// constructors give the paper's default design points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaryonConfig {
     /// Block / sub-block / super-block sizes.
     pub geometry: Geometry,
@@ -218,8 +217,7 @@ impl BaryonConfig {
     /// Fast-memory bytes left for the cache/flat data area.
     pub fn data_area_bytes(&self) -> u64 {
         let meta = self.stage_bytes + self.remap_table_bytes();
-        self.fast_bytes.saturating_sub(meta) / self.geometry.block_bytes
-            * self.geometry.block_bytes
+        self.fast_bytes.saturating_sub(meta) / self.geometry.block_bytes * self.geometry.block_bytes
     }
 
     /// Fast data-area capacity in blocks.
@@ -250,9 +248,7 @@ impl BaryonConfig {
         match self.mode {
             HybridMode::Cache => 0,
             HybridMode::Flat => self.data_blocks() as u64,
-            HybridMode::Mixed => {
-                (self.data_blocks() as f64 * self.flat_fraction).floor() as u64
-            }
+            HybridMode::Mixed => (self.data_blocks() as f64 * self.flat_fraction).floor() as u64,
         }
     }
 
@@ -276,7 +272,10 @@ impl BaryonConfig {
     pub fn sram_budget(&self) -> (u64, u64) {
         let slot_fields = self.geometry.subs_per_block() as u64;
         let entry_bytes = 6 + slot_fields;
-        (self.stage_blocks() as u64 * entry_bytes, self.remap_cache_bytes)
+        (
+            self.stage_blocks() as u64 * entry_bytes,
+            self.remap_cache_bytes,
+        )
     }
 
     /// Validates the configuration.
@@ -311,8 +310,7 @@ impl BaryonConfig {
         if self.commit_k < 0.0 {
             return Err(ConfigError::new("commit_k must be non-negative"));
         }
-        if matches!(self.mode, HybridMode::Flat | HybridMode::Mixed)
-            && !self.is_fully_associative()
+        if matches!(self.mode, HybridMode::Flat | HybridMode::Mixed) && !self.is_fully_associative()
         {
             return Err(ConfigError::new(
                 "flat/mixed modes are only supported fully-associative (the paper's evaluated configuration)",
@@ -350,11 +348,20 @@ mod tests {
     #[test]
     fn stage_scaling_rule() {
         // Paper scale: exactly 64 MB.
-        assert_eq!(BaryonConfig::default_stage_bytes(Scale { divisor: 1 }), 64 << 20);
+        assert_eq!(
+            BaryonConfig::default_stage_bytes(Scale { divisor: 1 }),
+            64 << 20
+        );
         // Moderate scale: proportional wins.
-        assert_eq!(BaryonConfig::default_stage_bytes(Scale { divisor: 16 }), 4 << 20);
+        assert_eq!(
+            BaryonConfig::default_stage_bytes(Scale { divisor: 16 }),
+            4 << 20
+        );
         // Deep scale: the residency floor wins, capped at fast/8.
-        assert_eq!(BaryonConfig::default_stage_bytes(Scale { divisor: 1024 }), 512 << 10);
+        assert_eq!(
+            BaryonConfig::default_stage_bytes(Scale { divisor: 1024 }),
+            512 << 10
+        );
     }
 
     #[test]
@@ -370,9 +377,7 @@ mod tests {
     fn data_area_excludes_metadata() {
         let c = BaryonConfig::default_cache_mode(scale());
         assert!(c.data_area_bytes() < c.fast_bytes);
-        assert!(
-            c.fast_bytes - c.data_area_bytes() >= c.stage_bytes + c.remap_table_bytes() - 2047
-        );
+        assert!(c.fast_bytes - c.data_area_bytes() >= c.stage_bytes + c.remap_table_bytes() - 2047);
     }
 
     #[test]

@@ -115,10 +115,7 @@ impl BaryonController {
     ) {
         let sb = self.geom.super_of_block(b);
         let off = self.geom.blk_off(b);
-        let was_empty = self
-            .stage
-            .block_home(sb, off)
-            .is_none();
+        let was_empty = self.stage.block_home(sb, off).is_none();
         let slot = self.stage_make_room(at, sb, off, mem);
         self.counters.cf_subs += range.cf.sub_blocks() as u64;
         if zero {
@@ -196,12 +193,22 @@ impl BaryonController {
 
     /// Finds (or makes) a stage slot with a free sub-block slot for block
     /// `(sb, off)`, implementing the two-level replacement heuristic (Fig 8).
-    fn stage_make_room(&mut self, at: Cycle, sb: u64, off: usize, mem: &mut MemoryContents) -> StageSlot {
+    fn stage_make_room(
+        &mut self,
+        at: Cycle,
+        sb: u64,
+        off: usize,
+        mem: &mut MemoryContents,
+    ) -> StageSlot {
         let set = self.stage.set_of(sb);
 
         // Rule 3: if the block already has a home, the range must join it.
         if let Some(home) = self.stage.block_home(sb, off) {
-            if self.stage.entry(home).is_some_and(|e| e.free_slot().is_some()) {
+            if self
+                .stage
+                .entry(home)
+                .is_some_and(|e| e.free_slot().is_some())
+            {
                 return home;
             }
             if !self.cfg.two_level_replacement || self.stage.is_lru(home) {
@@ -230,7 +237,11 @@ impl BaryonController {
         let with_room: Vec<StageSlot> = candidates
             .iter()
             .copied()
-            .filter(|s| self.stage.entry(*s).is_some_and(|e| e.free_slot().is_some()))
+            .filter(|s| {
+                self.stage
+                    .entry(*s)
+                    .is_some_and(|e| e.free_slot().is_some())
+            })
             .collect();
         if !with_room.is_empty() {
             let pick = self.rng.gen_range(0, with_room.len() as u64) as usize;
@@ -372,7 +383,12 @@ impl BaryonController {
 
     /// Block-level stage replacement: decide commit vs. eviction for the
     /// victim entry via the stability-aware cost model (Eq. 1).
-    pub(crate) fn evict_or_commit(&mut self, at: Cycle, victim: StageSlot, mem: &mut MemoryContents) {
+    pub(crate) fn evict_or_commit(
+        &mut self,
+        at: Cycle,
+        victim: StageSlot,
+        mem: &mut MemoryContents,
+    ) {
         let entry = self.stage.evict(victim);
         let sb = entry.tag;
         let blocks: Vec<u64> = {
@@ -505,8 +521,7 @@ impl BaryonController {
                 .filter(occupied)
                 .min_by_key(|i| self.phys[*i].stamp),
             VictimPolicy::Random => {
-                let candidates: Vec<usize> =
-                    self.phys_of_set(set).filter(occupied).collect();
+                let candidates: Vec<usize> = self.phys_of_set(set).filter(occupied).collect();
                 if candidates.is_empty() {
                     None
                 } else {
@@ -600,7 +615,13 @@ impl BaryonController {
     /// Acquires a physical block in `sb`'s set, evicting/swapping the
     /// current occupant. Returns `None` when a flat-mode swap is impossible
     /// (not enough freed slow slots, §III-F), in which case nothing changed.
-    fn acquire_phys(&mut self, at: Cycle, sb: u64, freed_slow_subs: usize, mem: &mut MemoryContents) -> Option<usize> {
+    fn acquire_phys(
+        &mut self,
+        at: Cycle,
+        sb: u64,
+        freed_slow_subs: usize,
+        mem: &mut MemoryContents,
+    ) -> Option<usize> {
         let set = self.set_of_super(sb);
         if let Some(free) = self.take_free_phys(set) {
             return Some(free);
@@ -616,9 +637,12 @@ impl BaryonController {
                 }
                 self.counters.spread_swaps += 1;
                 let block_bytes = self.geom.block_bytes as usize;
-                self.devices
-                    .fast
-                    .access(at, self.data_base + victim as u64 * self.geom.block_bytes, block_bytes, false);
+                self.devices.fast.access(
+                    at,
+                    self.data_base + victim as u64 * self.geom.block_bytes,
+                    block_bytes,
+                    false,
+                );
                 self.devices.slow.access(
                     at,
                     self.displaced_slow_addr(victim as u64, 0),
@@ -648,9 +672,12 @@ impl BaryonController {
                         self.counters.three_way_swaps += 1;
                         let block_bytes = self.geom.block_bytes as usize;
                         let z = victim as u64;
-                        self.devices
-                            .slow
-                            .access(at, self.displaced_slow_addr(z, 0), block_bytes, false);
+                        self.devices.slow.access(
+                            at,
+                            self.displaced_slow_addr(z, 0),
+                            block_bytes,
+                            false,
+                        );
                         self.devices.slow.access(
                             at,
                             self.displaced_slow_addr(z, 1024),
@@ -716,7 +743,12 @@ impl BaryonController {
 
     /// Commits a stage entry into the cache/flat area (§III-E). Returns
     /// false if a flat-mode swap was impossible.
-    fn try_commit(&mut self, at: Cycle, entry: &crate::metadata::StageEntry, mem: &mut MemoryContents) -> bool {
+    fn try_commit(
+        &mut self,
+        at: Cycle,
+        entry: &crate::metadata::StageEntry,
+        mem: &mut MemoryContents,
+    ) -> bool {
         let sb = entry.tag;
         // Gather all ranges per block, sorted (Rule 4's fixed sorted layout).
         let mut per_block: BlockRanges = Vec::new();
@@ -816,9 +848,7 @@ impl BaryonController {
         }
         if stage_bytes_moved > 0 {
             // Move data stage -> data area (both in fast memory).
-            self.devices
-                .fast
-                .access(at, 0, stage_bytes_moved, false);
+            self.devices.fast.access(at, 0, stage_bytes_moved, false);
             self.devices.fast.access(
                 at,
                 self.data_base + target as u64 * self.geom.block_bytes,
@@ -835,7 +865,12 @@ impl BaryonController {
     }
 
     /// Puts a stage entry's dirty data back to slow memory (non-commit path).
-    fn evict_entry_to_slow(&mut self, at: Cycle, entry: &crate::metadata::StageEntry, mem: &MemoryContents) {
+    fn evict_entry_to_slow(
+        &mut self,
+        at: Cycle,
+        entry: &crate::metadata::StageEntry,
+        mem: &MemoryContents,
+    ) {
         let sb = entry.tag;
         self.counters.stage_evictions += 1;
         for (i, slot) in entry.slots.iter().enumerate() {
@@ -844,12 +879,9 @@ impl BaryonController {
                     let b = sb * self.geom.blocks_per_super + r.blk_off as u64;
                     // Read from the stage block, write to slow.
                     let _ = i;
-                    self.devices.fast.access(
-                        at,
-                        0,
-                        self.geom.sub_bytes as usize,
-                        false,
-                    );
+                    self.devices
+                        .fast
+                        .access(at, 0, self.geom.sub_bytes as usize, false);
                     self.write_range_to_slow(at, b, r, mem);
                 }
             }
@@ -1056,7 +1088,11 @@ mod tests {
         let c = ctrl();
         let m = mem(ValueProfile::Zero);
         let (start, cf, compressed) = c.choose_range(5, 2, 0, &m);
-        assert_eq!((start, cf), (0, Cf::X4), "zeros compress at CF4 from the window base");
+        assert_eq!(
+            (start, cf),
+            (0, Cf::X4),
+            "zeros compress at CF4 from the window base"
+        );
         assert!(!compressed, "no slow-copy hint yet");
     }
 
@@ -1161,7 +1197,10 @@ mod tests {
         assert!(e0.has_sub(0), "first fill commits the range");
         c.direct_fill(1_000, 11, 6, &mut m);
         let e1 = *c.remap.entry(11);
-        assert!(e1.has_sub(6), "later fills extend the entry (with a re-sort)");
+        assert!(
+            e1.has_sub(6),
+            "later fills extend the entry (with a re-sort)"
+        );
         assert!(e1.remap.count_ones() > e0.remap.count_ones());
     }
 
@@ -1176,7 +1215,14 @@ mod tests {
         c.evict_committed_block(10_000, 11, &mut m);
         assert!(c.remap.entry(11).is_empty());
         // The block serves from slow again.
-        let r = c.read(20_000, crate::ctrl::Request { addr: 11 * 2048, core: 0 }, &mut m);
+        let r = c.read(
+            20_000,
+            crate::ctrl::Request {
+                addr: 11 * 2048,
+                core: 0,
+            },
+            &mut m,
+        );
         assert!(!r.served_by_fast);
     }
 }

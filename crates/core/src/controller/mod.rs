@@ -404,8 +404,14 @@ impl MemoryController for BaryonController {
         stats.set_gauge("avg_cf", c.avg_cf());
         stats.set_gauge("remap_cache_hit_rate", self.remap.cache_hit_rate());
         stats.set_counter("stage_stagings", self.stage.stats().stagings);
-        stats.set_counter("stage_sub_replacements", self.stage.stats().sub_replacements);
-        stats.set_counter("stage_block_replacements", self.stage.stats().block_replacements);
+        stats.set_counter(
+            "stage_sub_replacements",
+            self.stage.stats().sub_replacements,
+        );
+        stats.set_counter(
+            "stage_block_replacements",
+            self.stage.stats().block_replacements,
+        );
         self.devices.export(stats);
     }
 
@@ -492,11 +498,25 @@ mod tests {
     fn first_read_misses_then_hits() {
         let mut c = controller();
         let mut mem = test_contents();
-        let r1 = c.read(0, Request { addr: 4096, core: 0 }, &mut mem);
+        let r1 = c.read(
+            0,
+            Request {
+                addr: 4096,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(!r1.served_by_fast, "cold miss goes to slow memory");
         assert_eq!(c.counters().case5_block_misses, 1);
         // After staging, the same sub-block hits in the stage area.
-        let r2 = c.read(r1.latency + 10_000, Request { addr: 4096, core: 0 }, &mut mem);
+        let r2 = c.read(
+            r1.latency + 10_000,
+            Request {
+                addr: 4096,
+                core: 0,
+            },
+            &mut mem,
+        );
         assert!(r2.served_by_fast, "staged data serves from fast");
         assert_eq!(c.counters().case1_stage_hits, 1);
         assert!(r2.latency < r1.latency);

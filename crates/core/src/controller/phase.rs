@@ -156,8 +156,8 @@ impl PhaseTracker {
                 };
                 for (t, miss) in p.events {
                     let rel = t.saturating_sub(p.start).min(span - 1);
-                    let bucket =
-                        ((rel * PHASE_BUCKETS as u64) / span).min(PHASE_BUCKETS as u64 - 1) as usize;
+                    let bucket = ((rel * PHASE_BUCKETS as u64) / span).min(PHASE_BUCKETS as u64 - 1)
+                        as usize;
                     rec.accesses[bucket] += 1;
                     if miss {
                         rec.misses[bucket] += 1;

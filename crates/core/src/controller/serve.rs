@@ -101,7 +101,8 @@ impl BaryonController {
                         .expect("remapped sub must locate");
                     Some(self.data_slot_addr(phys, slot))
                 };
-                let (lat, extras) = self.serve_fast_chunk(now + meta_lat, slot_addr, b, range, line);
+                let (lat, extras) =
+                    self.serve_fast_chunk(now + meta_lat, slot_addr, b, range, line);
                 self.serve.record_read(true);
                 self.serve.record_prefetch_lines(extras.len());
                 return Response {
@@ -150,7 +151,10 @@ impl BaryonController {
             // Displaced: content spread over slow memory (§III-F).
             self.counters.displaced_accesses += 1;
             let spread_addr = self.displaced_slow_addr(b, line);
-            let done = self.devices.slow.access(now + meta_lat, spread_addr, 64, false);
+            let done = self
+                .devices
+                .slow
+                .access(now + meta_lat, spread_addr, 64, false);
             self.serve.record_read(false);
             return Response {
                 latency: done - now,
@@ -180,7 +184,12 @@ impl BaryonController {
         }
     }
 
-    pub(crate) fn writeback_impl(&mut self, now: Cycle, addr: u64, mem: &mut MemoryContents) -> Cycle {
+    pub(crate) fn writeback_impl(
+        &mut self,
+        now: Cycle,
+        addr: u64,
+        mem: &mut MemoryContents,
+    ) -> Cycle {
         let line = addr & !(CACHELINE_BYTES as u64 - 1);
         let b = self.geom.block_of(line);
         assert!(
@@ -198,10 +207,15 @@ impl BaryonController {
                 self.stage.touch(slot);
                 match hit.slot {
                     Some(i) => {
-                        let r = self.stage.entry(slot).and_then(|e| e.slots[i]).expect("hit");
+                        let r = self
+                            .stage
+                            .entry(slot)
+                            .and_then(|e| e.slots[i])
+                            .expect("hit");
                         if r.cf == Cf::X1 || self.chunk_still_fits(b, r, sub, mem) {
                             self.tracker.classify(b, AccessKind::Hit);
-                            let chunk = self.chunk_addr_in_slot(self.stage_slot_addr(slot, i), r, line);
+                            let chunk =
+                                self.chunk_addr_in_slot(self.stage_slot_addr(slot, i), r, line);
                             let done = self.devices.fast.access(now, chunk, 64, true);
                             if let Some(e) = self.stage.entry_mut(slot) {
                                 if let Some(sr) = e.slots[i].as_mut() {
@@ -284,7 +298,9 @@ impl BaryonController {
 
         if self.has_fast_home(b) {
             return if matches!(self.phys[b as usize].state, PhysState::Original) {
-                self.devices.fast.access(now, self.data_base + line, 64, true)
+                self.devices
+                    .fast
+                    .access(now, self.data_base + line, 64, true)
             } else {
                 // Writebacks to displaced blocks go to their spread slow
                 // location (displaced_accesses tracks demand reads only).
@@ -332,9 +348,7 @@ impl BaryonController {
         range: RangeRef,
         line: u64,
     ) -> (Cycle, Vec<u64>) {
-        let range_base = self
-            .geom
-            .sub_addr(block, range.sub_off as usize);
+        let range_base = self.geom.sub_addr(block, range.sub_off as usize);
         let cf = range.cf.factor() as u64;
         let li = (line - range_base) / 64;
         let chunk_id = li / cf;
@@ -355,19 +369,24 @@ impl BaryonController {
                     let done = self.devices.fast.access(at, base + li * 64, 64, false);
                     (done - at, Vec::new())
                 } else if self.cfg.cacheline_aligned {
-                    let done = self.devices.fast.access(at, base + chunk_id * 64, 64, false);
-                    self.counters.decompressions += 1;
-                    (done - at + self.cfg.decompress_cycles, chunk_lines(chunk_id))
-                } else {
-                    // Without cacheline alignment the whole slot must be
-                    // fetched and decompressed (Fig 7 left).
                     let done = self
                         .devices
                         .fast
-                        .access(at, base, self.geom.sub_bytes as usize, false);
+                        .access(at, base + chunk_id * 64, 64, false);
                     self.counters.decompressions += 1;
-                    let range_lines =
-                        (range.cf.sub_blocks() * self.geom.lines_per_sub()) as u64;
+                    (
+                        done - at + self.cfg.decompress_cycles,
+                        chunk_lines(chunk_id),
+                    )
+                } else {
+                    // Without cacheline alignment the whole slot must be
+                    // fetched and decompressed (Fig 7 left).
+                    let done =
+                        self.devices
+                            .fast
+                            .access(at, base, self.geom.sub_bytes as usize, false);
+                    self.counters.decompressions += 1;
+                    let range_lines = (range.cf.sub_blocks() * self.geom.lines_per_sub()) as u64;
                     let extras = (0..range_lines)
                         .map(|j| range_base + j * 64)
                         .filter(|l| *l != line)
@@ -620,7 +639,10 @@ mod tests {
             cf: Cf::X2,
             dirty: false,
         };
-        assert!(c.chunk_still_fits(0, r, 0, &m), "narrow ints compress at CF2");
+        assert!(
+            c.chunk_still_fits(0, r, 0, &m),
+            "narrow ints compress at CF2"
+        );
         // Degenerate every line of the range (writes with high entropy
         // eventually produce random bytes).
         for _ in 0..8 {
@@ -653,7 +675,10 @@ mod tests {
         let slow_bytes = c.cfg.slow_bytes;
         for b in [0u64, 1, 100] {
             let a = c.displaced_slow_addr(b, b * 2048 + 64);
-            assert!(a < slow_bytes, "displaced address {a:#x} beyond slow memory");
+            assert!(
+                a < slow_bytes,
+                "displaced address {a:#x} beyond slow memory"
+            );
         }
     }
 }

@@ -241,10 +241,6 @@ mod tests {
         d.slow.access(0, 0, 64, false);
         let total = d.energy_pj();
         assert!(total > 0.0);
-        assert!((total
-            - d.fast.stats().energy_pj
-            - d.slow.stats().energy_pj)
-            .abs()
-            < 1e-9);
+        assert!((total - d.fast.stats().energy_pj - d.slow.stats().energy_pj).abs() < 1e-9);
     }
 }

@@ -136,8 +136,7 @@ mod tests {
             ],
         ];
         for blocks in configs {
-            let entries: Vec<RemapEntry> =
-                blocks.iter().map(|rs| entry(rs, 0)).collect();
+            let entries: Vec<RemapEntry> = blocks.iter().map(|rs| entry(rs, 0)).collect();
             // Naive: assign slots in (block, sub) order.
             let mut slot = 0usize;
             for (blk, ranges) in blocks.iter().enumerate() {

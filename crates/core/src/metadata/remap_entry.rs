@@ -16,10 +16,9 @@
 //! packs into exactly 2 bytes: `Remap[8] | Pointer[2] | CF2[4] | CF4[2]`.
 
 use baryon_compress::Cf;
-use serde::{Deserialize, Serialize};
 
 /// A remap-table entry for one data block.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RemapEntry {
     /// Bit `i` set: sub-block `i` lives in fast memory.
     pub remap: u32,
@@ -155,7 +154,10 @@ impl RemapEntry {
     ///
     /// Panics if the entry does not fit the default geometry.
     pub fn encode16(&self) -> u16 {
-        assert!(self.remap < 256 && self.pointer < 4, "entry exceeds the 2 B format");
+        assert!(
+            self.remap < 256 && self.pointer < 4,
+            "entry exceeds the 2 B format"
+        );
         assert!(self.cf2 < 16 && self.cf4 < 4);
         let (cf2, cf4) = if self.zero {
             (0xF, 0x3) // the invalid all-ones state encodes Z

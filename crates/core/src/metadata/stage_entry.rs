@@ -16,11 +16,10 @@
 //! paper's metadata budget.
 
 use baryon_compress::Cf;
-use serde::{Deserialize, Serialize};
 
 /// A contiguous aligned range of sub-blocks from one block of the entry's
 /// super-block, compressed into a single sub-block slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangeRef {
     /// Block offset within the super-block (0–7 by default).
     pub blk_off: u8,
@@ -46,7 +45,10 @@ impl RangeRef {
     /// Panics if the offsets exceed the default geometry (8 blocks of
     /// 8 sub-blocks) or are misaligned.
     pub fn encode8(&self) -> u8 {
-        assert!(self.blk_off < 8 && self.sub_off < 8, "default geometry only");
+        assert!(
+            self.blk_off < 8 && self.sub_off < 8,
+            "default geometry only"
+        );
         assert_eq!(
             self.sub_off as usize % self.cf.sub_blocks(),
             0,
@@ -108,7 +110,7 @@ pub struct SubHit {
 }
 
 /// One stage tag array entry = one stage-area physical block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageEntry {
     /// Super-block index this physical block stages (Rule 1).
     pub tag: u64,
@@ -207,7 +209,10 @@ impl StageEntry {
             .slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.filter(|r| r.blk_off as usize == blk_off).map(|r| (Some(i), r)))
+            .filter_map(|(i, s)| {
+                s.filter(|r| r.blk_off as usize == blk_off)
+                    .map(|r| (Some(i), r))
+            })
             .collect();
         out.extend(
             self.zero_ranges

@@ -2,10 +2,11 @@
 
 use crate::ctrl::ServeStats;
 use baryon_sim::histogram::Histogram;
+use baryon_sim::json::Json;
 use baryon_sim::stats::Stats;
 
 /// The outcome of one measured simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Controller name (e.g. `"baryon"`).
     pub controller: String,
@@ -64,6 +65,54 @@ impl RunResult {
     /// Memory-system energy in millijoules.
     pub fn energy_mj(&self) -> f64 {
         self.serve.energy_pj / 1e9
+    }
+
+    /// The full result as a JSON document (headline metrics, serve/traffic
+    /// summary, latency percentiles, and the raw counter registry) for
+    /// machine consumption, e.g. `baryon-cli run --json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("controller", Json::from(self.controller.as_str())),
+            ("workload", Json::from(self.workload.as_str())),
+            ("cycles", Json::from(self.total_cycles)),
+            ("instructions", Json::from(self.instructions)),
+            ("ipc", Json::from(self.ipc())),
+            ("llc_misses", Json::from(self.llc_misses)),
+            ("llc_mpki", Json::from(self.llc_mpki())),
+            ("energy_mj", Json::from(self.energy_mj())),
+            (
+                "serve",
+                Json::obj([
+                    ("reads", Json::from(self.serve.reads)),
+                    ("fast_served", Json::from(self.serve.fast_served)),
+                    ("fast_serve_rate", Json::from(self.serve.fast_serve_rate())),
+                    ("writebacks", Json::from(self.serve.writebacks)),
+                    ("useful_bytes", Json::from(self.serve.useful_bytes)),
+                    ("fast_bytes", Json::from(self.serve.fast_bytes)),
+                    ("slow_bytes", Json::from(self.serve.slow_bytes)),
+                    ("bloat_factor", Json::from(self.serve.bloat_factor())),
+                    ("energy_pj", Json::from(self.serve.energy_pj)),
+                ]),
+            ),
+            (
+                "read_latency",
+                Json::obj([
+                    ("count", Json::from(self.read_latency.count())),
+                    ("mean", Json::from(self.read_latency.mean())),
+                    ("p50", Json::from(self.read_latency.percentile(50.0))),
+                    ("p90", Json::from(self.read_latency.percentile(90.0))),
+                    ("p99", Json::from(self.read_latency.percentile(99.0))),
+                ]),
+            ),
+            (
+                "counters",
+                Json::obj(
+                    self.stats
+                        .counters()
+                        .map(|(name, value)| (name.to_owned(), Json::from(value))),
+                ),
+            ),
+        ])
     }
 }
 
@@ -134,6 +183,25 @@ mod tests {
     #[test]
     fn zero_cycles_is_zero_ipc() {
         assert_eq!(result(0, 100).ipc(), 0.0);
+    }
+
+    #[test]
+    fn json_includes_headline_metrics_and_is_stable() {
+        let mut r = result(1000, 4000);
+        r.stats.add("llc.misses", 50);
+        let text = r.to_json().render();
+        for needle in [
+            "\"controller\":\"x\"",
+            "\"cycles\":1000",
+            "\"ipc\":4",
+            "\"serve\":{",
+            "\"read_latency\":{",
+            "\"llc.misses\":50",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Deterministic output for identical results.
+        assert_eq!(text, r.to_json().render());
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl RemapTable {
         assert!(os_blocks > 0 && blocks_per_super > 0, "empty remap table");
         let line_bytes = (blocks_per_super * 2).next_power_of_two().max(16) as u64;
         let ways = 8;
-        let sets = (cache_bytes / line_bytes / ways as u64).max(4).next_power_of_two() as usize;
+        let sets = (cache_bytes / line_bytes / ways as u64)
+            .max(4)
+            .next_power_of_two() as usize;
         RemapTable {
             entries: vec![RemapEntry::empty(); os_blocks as usize],
             blocks_per_super,

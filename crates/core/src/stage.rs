@@ -8,10 +8,9 @@
 //! the controller; this module provides the mechanics.
 
 use crate::metadata::stage_entry::{StageEntry, SubHit};
-use serde::{Deserialize, Serialize};
 
 /// Identifies one stage-area physical block: `(set, way)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StageSlot {
     /// Set index.
     pub set: usize,
@@ -52,7 +51,10 @@ impl StageArea {
     ///
     /// Panics if any dimension is zero.
     pub fn new(sets: usize, ways: usize, slots_per_block: usize, aging_period: u64) -> Self {
-        assert!(sets > 0 && ways > 0 && slots_per_block > 0, "empty stage area");
+        assert!(
+            sets > 0 && ways > 0 && slots_per_block > 0,
+            "empty stage area"
+        );
         StageArea {
             sets,
             ways,
@@ -193,7 +195,9 @@ impl StageArea {
     pub fn evict(&mut self, slot: StageSlot) -> StageEntry {
         let i = self.idx(slot);
         self.stats.block_replacements += 1;
-        self.entries[i].take().expect("evicting an empty stage slot")
+        self.entries[i]
+            .take()
+            .expect("evicting an empty stage slot")
     }
 
     /// Records a sub-block-level replacement (for statistics).
@@ -259,7 +263,11 @@ mod tests {
     }
 
     fn put_range(a: &mut StageArea, slot: StageSlot, blk: u8, sub: u8, cf: Cf) {
-        let free = a.entry(slot).expect("allocated").free_slot().expect("has space");
+        let free = a
+            .entry(slot)
+            .expect("allocated")
+            .free_slot()
+            .expect("has space");
         a.entry_mut(slot).expect("allocated").slots[free] = Some(RangeRef {
             blk_off: blk,
             sub_off: sub,

@@ -16,10 +16,9 @@ use baryon_cache::{Hierarchy, HierarchyConfig, HitLevel};
 use baryon_sim::stats::Stats;
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale, TraceGen, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Which memory controller a system runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControllerKind {
     /// The Baryon controller with the given configuration.
     Baryon(BaryonConfig),
@@ -72,7 +71,12 @@ macro_rules! delegate {
 }
 
 impl MemoryController for AnyController {
-    fn read(&mut self, now: Cycle, req: Request, mem: &mut MemoryContents) -> crate::ctrl::Response {
+    fn read(
+        &mut self,
+        now: Cycle,
+        req: Request,
+        mem: &mut MemoryContents,
+    ) -> crate::ctrl::Response {
         delegate!(self, c => c.read(now, req, mem))
     }
 
@@ -116,7 +120,7 @@ impl AnyController {
 }
 
 /// System-level configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Cache hierarchy geometry.
     pub hierarchy: HierarchyConfig,
@@ -141,12 +145,18 @@ pub struct SystemConfig {
 impl SystemConfig {
     /// Baryon in the paper's default cache mode.
     pub fn baryon_cache_mode(scale: Scale) -> Self {
-        Self::with_controller(scale, ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)))
+        Self::with_controller(
+            scale,
+            ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
+        )
     }
 
     /// Baryon-FA in flat mode (Fig 10).
     pub fn baryon_flat_fa(scale: Scale) -> Self {
-        Self::with_controller(scale, ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)))
+        Self::with_controller(
+            scale,
+            ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)),
+        )
     }
 
     /// A system around any controller kind, with scaled-hierarchy defaults.
@@ -171,9 +181,7 @@ impl SystemConfig {
             ControllerKind::Unison => AnyController::Unison(UnisonCache::new(self.scale)),
             ControllerKind::Dice => AnyController::Dice(DiceCache::new(self.scale)),
             ControllerKind::Hybrid2 => AnyController::Hybrid2(Hybrid2::new(self.scale)),
-            ControllerKind::MicroSector => {
-                AnyController::MicroSector(MicroSector::new(self.scale))
-            }
+            ControllerKind::MicroSector => AnyController::MicroSector(MicroSector::new(self.scale)),
             ControllerKind::OsPaging => AnyController::OsPaging(OsPaging::new(self.scale)),
         }
     }
@@ -286,11 +294,7 @@ impl System {
     /// cores in timestamp order.
     fn run_phase(&mut self, insts_per_core: u64) {
         let cores = self.core_time.len();
-        let targets: Vec<u64> = self
-            .core_insts
-            .iter()
-            .map(|i| i + insts_per_core)
-            .collect();
+        let targets: Vec<u64> = self.core_insts.iter().map(|i| i + insts_per_core).collect();
         let mut live = cores;
         while live > 0 {
             // The lagging unfinished core goes next.
@@ -308,8 +312,7 @@ impl System {
     fn step(&mut self, core: usize) {
         let op = self.gens[core].next_op();
         self.core_insts[core] += op.instructions();
-        let mut t = self.core_time[core]
-            + (op.gap as f64 * self.cfg.cpi_nonmem).ceil() as Cycle;
+        let mut t = self.core_time[core] + (op.gap as f64 * self.cfg.cpi_nonmem).ceil() as Cycle;
         if op.write {
             // The store's value changes memory contents now; the data moves
             // to memory later via the write-back path.

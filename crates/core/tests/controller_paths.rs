@@ -127,7 +127,12 @@ fn all_victim_policies_run_cleanly() {
 
 /// Drives enough distinct super-blocks through one stage set to force the
 /// victim block out (commit or eviction).
-fn churn_stage_set(c: &mut BaryonController, mem: &mut MemoryContents, base_sb: u64, now: &mut u64) {
+fn churn_stage_set(
+    c: &mut BaryonController,
+    mem: &mut MemoryContents,
+    base_sb: u64,
+    now: &mut u64,
+) {
     let sets = c.config().stage_sets() as u64;
     for i in 1..=8u64 {
         let sb = base_sb + i * sets; // same stage set, different super-block
@@ -145,7 +150,10 @@ fn stage_write_overflow_restages_range() {
     let mut mem = contents(ValueProfile::NarrowInt);
     let mut now = 0;
     read(&mut c, now, 0, &mut mem);
-    assert!(read(&mut c, 10_000, 0, &mut mem), "staged after first touch");
+    assert!(
+        read(&mut c, 10_000, 0, &mut mem),
+        "staged after first touch"
+    );
 
     // Write the line until its content degenerates.
     for i in 0..60 {
@@ -179,7 +187,10 @@ fn committed_write_overflow_evicts_block() {
     }
     let committed_before = c.counters().case2_commit_hits;
     assert!(read(&mut c, now + 5_000, 0, &mut mem));
-    assert!(c.counters().case2_commit_hits > committed_before, "block is committed");
+    assert!(
+        c.counters().case2_commit_hits > committed_before,
+        "block is committed"
+    );
 
     // Degenerate the committed compressed line with writes.
     let mut overflowed = false;
@@ -264,7 +275,10 @@ fn zero_blocks_serve_without_data_traffic() {
         fast_before,
         "Z serves move no data"
     );
-    assert!(!r.extra_lines.is_empty(), "zero chunks co-deliver neighbours");
+    assert!(
+        !r.extra_lines.is_empty(),
+        "zero chunks co-deliver neighbours"
+    );
 }
 
 #[test]

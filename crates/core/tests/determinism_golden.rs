@@ -38,7 +38,9 @@ fn golden_counters_differ_between_controllers() {
     // (guards against a refactor accidentally short-circuiting the
     // controller dispatch).
     let scale = Scale { divisor: 2048 };
-    let baryon = run_fixed(ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)));
+    let baryon = run_fixed(ControllerKind::Baryon(BaryonConfig::default_cache_mode(
+        scale,
+    )));
     let simple = run_fixed(ControllerKind::Simple);
     assert_ne!(baryon.0, simple.0, "cycle counts must differ");
     assert_ne!(baryon.2, simple.2, "fast traffic must differ");

@@ -1,32 +1,56 @@
 //! Property tests of the stage-area mechanics: Rule 1 (one super-block per
 //! physical block), LRU/MRU coherence, counter aging, and lookup/insert
-//! consistency under arbitrary operation sequences.
+//! consistency under arbitrary operation sequences — on the in-repo
+//! `baryon_sim::check` harness.
 
+use baryon_compress::Cf;
 use baryon_core::metadata::stage_entry::RangeRef;
 use baryon_core::stage::StageArea;
-use baryon_compress::Cf;
-use proptest::prelude::*;
+use baryon_sim::check::{props, Gen};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Allocate { sb: u64 },
-    Touch { sb: u64 },
-    Insert { sb: u64, blk: u8, sub: u8, cf_idx: u8 },
-    Evict { sb: u64 },
-    Access { set: u8 },
-    BumpMru { set: u8 },
+    Allocate {
+        sb: u64,
+    },
+    Touch {
+        sb: u64,
+    },
+    Insert {
+        sb: u64,
+        blk: u8,
+        sub: u8,
+        cf_idx: u8,
+    },
+    Evict {
+        sb: u64,
+    },
+    Access {
+        set: u8,
+    },
+    BumpMru {
+        set: u8,
+    },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..64).prop_map(|sb| Op::Allocate { sb }),
-        (0u64..64).prop_map(|sb| Op::Touch { sb }),
-        (0u64..64, 0u8..8, 0u8..8, 0u8..3)
-            .prop_map(|(sb, blk, sub, cf_idx)| Op::Insert { sb, blk, sub, cf_idx }),
-        (0u64..64).prop_map(|sb| Op::Evict { sb }),
-        (0u8..4).prop_map(|set| Op::Access { set }),
-        (0u8..4).prop_map(|set| Op::BumpMru { set }),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.choice(6) {
+        0 => Op::Allocate { sb: g.range(0, 64) },
+        1 => Op::Touch { sb: g.range(0, 64) },
+        2 => Op::Insert {
+            sb: g.range(0, 64),
+            blk: g.range(0, 8) as u8,
+            sub: g.range(0, 8) as u8,
+            cf_idx: g.range(0, 3) as u8,
+        },
+        3 => Op::Evict { sb: g.range(0, 64) },
+        4 => Op::Access {
+            set: g.range(0, 4) as u8,
+        },
+        _ => Op::BumpMru {
+            set: g.range(0, 4) as u8,
+        },
+    }
 }
 
 fn check_invariants(area: &StageArea) {
@@ -55,11 +79,10 @@ fn check_invariants(area: &StageArea) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_operation_sequences_hold_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn random_operation_sequences_hold_invariants() {
+    props("random_operation_sequences_hold_invariants").run(|g| {
+        let ops = g.vec(1, 120, gen_op);
         let mut area = StageArea::new(4, 4, 8, 16);
         for op in ops {
             match op {
@@ -75,7 +98,12 @@ proptest! {
                         assert!(area.is_mru(slot), "touched slot must be MRU");
                     }
                 }
-                Op::Insert { sb, blk, sub, cf_idx } => {
+                Op::Insert {
+                    sb,
+                    blk,
+                    sub,
+                    cf_idx,
+                } => {
                     let cf = [Cf::X1, Cf::X2, Cf::X4][cf_idx as usize];
                     let sub_off = (sub as usize / cf.sub_blocks() * cf.sub_blocks()) as u8;
                     if let Some(slot) = area.blocks_of(sb).first().copied() {
@@ -90,12 +118,16 @@ proptest! {
                             continue;
                         }
                         if let Some(free) = area.entry(slot).and_then(|e| e.free_slot()) {
-                            area.entry_mut(slot).expect("occupied").slots[free] =
-                                Some(RangeRef { blk_off: blk, sub_off, cf, dirty: false });
+                            area.entry_mut(slot).expect("occupied").slots[free] = Some(RangeRef {
+                                blk_off: blk,
+                                sub_off,
+                                cf,
+                                dirty: false,
+                            });
                             // Lookup finds every covered sub.
                             for s in sub_off as usize..sub_off as usize + cf.sub_blocks() {
                                 let hit = area.lookup(sb, blk as usize, s);
-                                prop_assert!(hit.is_some(), "inserted sub not found");
+                                assert!(hit.is_some(), "inserted sub not found");
                             }
                         }
                     }
@@ -103,8 +135,8 @@ proptest! {
                 Op::Evict { sb } => {
                     if let Some(slot) = area.blocks_of(sb).first().copied() {
                         let entry = area.evict(slot);
-                        prop_assert_eq!(entry.tag, sb);
-                        prop_assert!(area.entry(slot).is_none());
+                        assert_eq!(entry.tag, sb);
+                        assert!(area.entry(slot).is_none());
                     }
                 }
                 Op::Access { set } => area.record_set_access(set as usize % 4),
@@ -112,10 +144,14 @@ proptest! {
             }
             check_invariants(&area);
         }
-    }
+    });
+}
 
-    #[test]
-    fn aging_halves_counters(accesses in 16u64..200, bumps in 1u16..400) {
+#[test]
+fn aging_halves_counters() {
+    props("aging_halves_counters").run(|g| {
+        let accesses = g.range(16, 200);
+        let bumps = g.range(1, 400) as u16;
         let mut area = StageArea::new(2, 2, 8, 16);
         for _ in 0..bumps {
             area.bump_mru_miss(0);
@@ -126,13 +162,18 @@ proptest! {
         }
         let agings = accesses / 16;
         let expected = before >> agings.min(15);
-        prop_assert_eq!(area.mru_miss_cnt(0), expected);
-    }
+        assert_eq!(area.mru_miss_cnt(0), expected);
+    });
+}
 
-    #[test]
-    fn lookup_misses_for_untracked_subs(sb in 0u64..32, blk in 0usize..8, sub in 0usize..8) {
+#[test]
+fn lookup_misses_for_untracked_subs() {
+    props("lookup_misses_for_untracked_subs").run(|g| {
+        let sb = g.range(0, 32);
+        let blk = g.usize_range(0, 8);
+        let sub = g.usize_range(0, 8);
         let area = StageArea::new(4, 4, 8, 16);
-        prop_assert!(area.lookup(sb, blk, sub).is_none());
-        prop_assert!(area.block_home(sb, blk).is_none());
-    }
+        assert!(area.lookup(sb, blk, sub).is_none());
+        assert!(area.block_home(sb, blk).is_none());
+    });
 }

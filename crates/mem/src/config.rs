@@ -2,11 +2,10 @@
 
 use baryon_sim::ns_to_cycles;
 use baryon_sim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Timing and energy parameters of one memory device (all timing in CPU
 /// cycles of the 3.2 GHz cores).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
     /// Human-readable name used in stats output.
     pub name: String,
@@ -92,7 +91,10 @@ impl DeviceConfig {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if self.channels == 0 || self.ranks == 0 || self.banks_per_rank == 0 {
-            return Err(format!("{}: channel/rank/bank counts must be non-zero", self.name));
+            return Err(format!(
+                "{}: channel/rank/bank counts must be non-zero",
+                self.name
+            ));
         }
         if !self.row_bytes.is_power_of_two() || self.row_bytes < 64 {
             return Err(format!(

@@ -4,10 +4,9 @@ use crate::config::DeviceConfig;
 use crate::energy::EnergyMeter;
 use baryon_sim::stats::Stats;
 use baryon_sim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics of one device.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceStats {
     /// Completed read requests.
     pub reads: u64,
@@ -163,11 +162,12 @@ impl MemDevice {
         let bursts = (bytes as u64).div_ceil(64);
         // Extra rows touched by a long transfer each cost an activation.
         let extra_rows = (addr + bytes as u64 - 1) / self.cfg.row_bytes - addr / self.cfg.row_bytes;
-        let extra_row_latency = extra_rows * if self.cfg.miss_penalty > 0 {
-            self.cfg.miss_penalty
-        } else {
-            0
-        };
+        let extra_row_latency = extra_rows
+            * if self.cfg.miss_penalty > 0 {
+                self.cfg.miss_penalty
+            } else {
+                0
+            };
         for _ in 0..extra_rows {
             self.meter.charge_act_pre(&mut self.stats);
         }
@@ -188,7 +188,8 @@ impl MemDevice {
             self.stats.reads += 1;
             self.stats.read_bytes += bytes as u64;
         }
-        self.meter.charge_transfer(&mut self.stats, bytes as u64, is_write);
+        self.meter
+            .charge_transfer(&mut self.stats, bytes as u64, is_write);
 
         done
     }
@@ -224,7 +225,10 @@ mod tests {
         let first = d.access(0, 0, 64, false); // cold: row miss
         let second_start = first + 1000;
         let second = d.access(second_start, 64, 64, false) - second_start;
-        assert!(second < first, "row hit ({second}) should beat miss ({first})");
+        assert!(
+            second < first,
+            "row hit ({second}) should beat miss ({first})"
+        );
         assert_eq!(d.stats().row_hits, 1);
         assert_eq!(d.stats().row_misses, 1);
     }
@@ -289,7 +293,10 @@ mod tests {
         let t0 = d.access(0, 0, 64, false);
         // Same channel (offset 1024 = channel 0 again with 4 channels)
         let t1 = d.access(0, 1024 * d.config().channels as u64, 64, false);
-        assert!(t1 >= t0, "second access on busy channel cannot finish earlier");
+        assert!(
+            t1 >= t0,
+            "second access on busy channel cannot finish earlier"
+        );
     }
 
     #[test]

@@ -2,11 +2,10 @@
 
 use crate::config::DeviceConfig;
 use crate::device::DeviceStats;
-use serde::{Deserialize, Serialize};
 
 /// Charges energy into a [`DeviceStats`] according to a device's per-bit and
 /// per-activation costs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyMeter {
     read_pj_per_bit: f64,
     write_pj_per_bit: f64,

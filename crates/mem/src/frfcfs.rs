@@ -10,11 +10,10 @@
 
 use baryon_sim::ns_to_cycles;
 use baryon_sim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// DDR4-3200 command timing in CPU cycles (3.2 GHz core clock;
 /// tCK = 0.625 ns at 1600 MHz DRAM clock).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommandTimings {
     /// ACT -> internal read/write (22 tCK).
     pub t_rcd: Cycle,
@@ -110,8 +109,14 @@ impl DetailedDram {
         banks_per_rank: usize,
         row_bytes: u64,
     ) -> Self {
-        assert!(channels > 0 && ranks > 0 && banks_per_rank > 0, "empty geometry");
-        assert!(row_bytes.is_power_of_two(), "row size must be a power of two");
+        assert!(
+            channels > 0 && ranks > 0 && banks_per_rank > 0,
+            "empty geometry"
+        );
+        assert!(
+            row_bytes.is_power_of_two(),
+            "row size must be a power of two"
+        );
         DetailedDram {
             t,
             channels,
@@ -131,7 +136,12 @@ impl DetailedDram {
         let bank_in_channel = (row % banks_per_channel as u64) as usize;
         let rank = bank_in_channel / self.banks_per_rank;
         let bank = channel * banks_per_channel + bank_in_channel;
-        (channel, rank + channel * self.ranks, bank, row / banks_per_channel as u64)
+        (
+            channel,
+            rank + channel * self.ranks,
+            bank,
+            row / banks_per_channel as u64,
+        )
     }
 
     /// Delays `t` past any refresh window it falls into.
@@ -194,8 +204,7 @@ impl DetailedDram {
         self.banks[bank_idx].act_ready = self.banks[bank_idx].act_ready.max(cas_at);
         if is_write {
             // The row cannot close until write recovery completes.
-            self.banks[bank_idx].pre_ready =
-                self.banks[bank_idx].pre_ready.max(done + self.t.t_wr);
+            self.banks[bank_idx].pre_ready = self.banks[bank_idx].pre_ready.max(done + self.t.t_wr);
         }
         done
     }

@@ -1,0 +1,547 @@
+//! Deterministic, dependency-free property-based testing.
+//!
+//! This module replaces the external `proptest` crate with a small harness
+//! built on the workspace's own xoshiro256++ [`SimRng`]: every generated
+//! input is a pure function of a 64-bit seed, so failures reproduce
+//! bit-for-bit on any machine. The design follows Hypothesis-style
+//! *internal shrinking*: generators draw 64-bit choices from a recorded
+//! stream, and shrinking minimises the recorded stream (deleting chunks,
+//! binary-searching values toward zero) rather than the produced values —
+//! which makes shrinking work through arbitrary `map`-like user code for
+//! free.
+//!
+//! # Writing a property
+//!
+//! ```
+//! use baryon_sim::check;
+//!
+//! check::props("addition_commutes").run(|g| {
+//!     let a = g.range(0, 1000);
+//!     let b = g.range(0, 1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Properties fail by panicking (plain `assert!`/`assert_eq!` work), and the
+//! harness reports the reproducing seed plus the shrunk counterexample's
+//! panic message and any [`Gen::note`] annotations.
+//!
+//! # Environment knobs
+//!
+//! * `BARYON_PROP_CASES` — cases per property (default
+//!   [`DEFAULT_CASES`]; raise for deeper soak runs),
+//! * `BARYON_PROP_SEED` — replay exactly one failing case by the seed
+//!   printed in a failure report.
+
+use crate::rng::{mix64, SimRng};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Default number of cases each property runs (overridable via
+/// `BARYON_PROP_CASES`).
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Default base seed for case derivation. Fixed so CI runs are identical
+/// across machines and releases.
+pub const DEFAULT_BASE_SEED: u64 = 0xBA21_0E5D_5EED_0001;
+
+/// Cap on property executions spent shrinking one failure.
+const SHRINK_BUDGET: usize = 4096;
+
+/// The generator handed to properties: a recorded stream of 64-bit choices.
+///
+/// In generation mode choices come from a seeded [`SimRng`]; in replay mode
+/// (during shrinking) they come from a candidate buffer, with exhausted
+/// positions reading as zero. All derived values (`range`, `vec`, …) are
+/// pure functions of the choice stream, which is what makes internal
+/// shrinking sound.
+pub struct Gen<'a> {
+    rng: SimRng,
+    replay: Option<&'a [u64]>,
+    pos: usize,
+    recorded: Vec<u64>,
+    notes: Vec<String>,
+}
+
+impl<'a> Gen<'a> {
+    fn from_seed(seed: u64) -> Gen<'static> {
+        Gen {
+            rng: SimRng::from_seed(seed),
+            replay: None,
+            pos: 0,
+            recorded: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    fn replaying(buf: &'a [u64]) -> Gen<'a> {
+        Gen {
+            rng: SimRng::from_seed(0),
+            replay: Some(buf),
+            pos: 0,
+            recorded: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    fn draw(&mut self) -> u64 {
+        let c = match self.replay {
+            Some(buf) => buf.get(self.pos).copied().unwrap_or(0),
+            None => self.rng.next_u64(),
+        };
+        self.pos += 1;
+        self.recorded.push(c);
+        c
+    }
+
+    /// A full 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        self.draw()
+    }
+
+    /// A value in `[lo, hi)`.
+    ///
+    /// The mapping is `lo + choice % span`, so smaller recorded choices mean
+    /// smaller values — the property the shrinker relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range requires lo < hi, got [{lo}, {hi})");
+        lo + self.draw() % (hi - lo)
+    }
+
+    /// A `usize` in `[lo, hi)`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.draw() as u8
+    }
+
+    /// A uniform `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.draw() as u16
+    }
+
+    /// A uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.draw() as u32
+    }
+
+    /// A boolean; shrinks toward `false`.
+    pub fn bool(&mut self) -> bool {
+        self.draw() & 1 == 1
+    }
+
+    /// A uniform `f64` in `[0, 1)`; shrinks toward `0.0`.
+    pub fn f64(&mut self) -> f64 {
+        (self.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// An index into a choice of `n` alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn choice(&mut self, n: usize) -> usize {
+        assert!(n > 0, "choice requires at least one alternative");
+        self.usize_range(0, n)
+    }
+
+    /// A vector with a length drawn from `[min_len, max_len)` and elements
+    /// from `f`. Shrinks by shortening the length and simplifying elements.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_range(min_len, max_len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// Records a human-readable annotation (typically the generated input);
+    /// notes from the final shrunk failing run are included in the report.
+    pub fn note(&mut self, label: impl Into<String>) {
+        self.notes.push(label.into());
+    }
+}
+
+/// A failure report: everything needed to reproduce and understand one
+/// falsified property.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Property name.
+    pub name: String,
+    /// The per-case seed; `BARYON_PROP_SEED=<seed>` replays it exactly.
+    pub seed: u64,
+    /// Which case (0-based) out of the configured count failed.
+    pub case: u64,
+    /// Panic message of the *shrunk* counterexample.
+    pub message: String,
+    /// [`Gen::note`] annotations from the shrunk failing run.
+    pub notes: Vec<String>,
+    /// The shrunk choice stream (diagnostic; length ~= input complexity).
+    pub choices: Vec<u64>,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "property '{}' falsified (case {})", self.name, self.case)?;
+        writeln!(
+            f,
+            "  reproduce with: BARYON_PROP_SEED={} (seed {:#x})",
+            self.seed, self.seed
+        )?;
+        writeln!(
+            f,
+            "  shrunk counterexample ({} choices): {}",
+            self.choices.len(),
+            self.message
+        )?;
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A configured property runner; build with [`props`].
+pub struct Checker {
+    name: String,
+    cases: u64,
+    base_seed: u64,
+    replay_seed: Option<u64>,
+}
+
+/// Starts a property check named `name`, reading `BARYON_PROP_CASES` and
+/// `BARYON_PROP_SEED` from the environment.
+pub fn props(name: &str) -> Checker {
+    let cases = std::env::var("BARYON_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES);
+    let replay_seed = std::env::var("BARYON_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    Checker {
+        name: name.to_owned(),
+        cases,
+        base_seed: DEFAULT_BASE_SEED,
+        replay_seed,
+    }
+}
+
+impl Checker {
+    /// Overrides the case count (the environment still wins; use this to
+    /// *raise* coverage for cheap properties, never to drop below the
+    /// default).
+    pub fn cases(mut self, cases: u64) -> Self {
+        if std::env::var("BARYON_PROP_CASES").is_err() {
+            self.cases = cases.max(DEFAULT_CASES);
+        }
+        self
+    }
+
+    /// Overrides the base seed (rarely needed; distinct properties already
+    /// derive distinct streams from their case indices).
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Runs the property over all cases, panicking with a full [`Report`]
+    /// on the first (shrunk) failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any case falsifies the property.
+    pub fn run(self, prop: impl Fn(&mut Gen)) {
+        if let Some(report) = self.run_report(prop) {
+            panic!("{report}");
+        }
+    }
+
+    /// Like [`Checker::run`] but returns the failure report instead of
+    /// panicking — the hook the harness's own self-tests use.
+    pub fn run_report(self, prop: impl Fn(&mut Gen)) -> Option<Report> {
+        install_quiet_hook();
+        if let Some(seed) = self.replay_seed {
+            return self.check_seed(&prop, seed, 0);
+        }
+        for case in 0..self.cases {
+            let seed = mix64(self.base_seed, case);
+            if let Some(report) = self.check_seed(&prop, seed, case) {
+                return Some(report);
+            }
+        }
+        None
+    }
+
+    fn check_seed(&self, prop: &impl Fn(&mut Gen), seed: u64, case: u64) -> Option<Report> {
+        let mut g = Gen::from_seed(seed);
+        let outcome = run_case(prop, &mut g);
+        let message = outcome.err()?;
+        let (choices, message, notes) =
+            shrink(prop, g.recorded, message, std::mem::take(&mut g.notes));
+        Some(Report {
+            name: self.name.clone(),
+            seed,
+            case,
+            message,
+            notes,
+            choices,
+        })
+    }
+}
+
+/// Executes one property case, converting a panic into `Err(message)`.
+fn run_case(prop: &impl Fn(&mut Gen), g: &mut Gen) -> Result<(), String> {
+    QUIET.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(g)));
+    QUIET.with(|q| q.set(false));
+    result.map_err(|payload| payload_message(payload.as_ref()))
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Replays `candidate`; on failure returns the normalised choice stream
+/// (only the draws actually consumed), the panic message, and the notes.
+fn replay_fails(
+    prop: &impl Fn(&mut Gen),
+    candidate: &[u64],
+) -> Option<(Vec<u64>, String, Vec<String>)> {
+    let mut g = Gen::replaying(candidate);
+    match run_case(prop, &mut g) {
+        Ok(()) => None,
+        Err(message) => Some((g.recorded, message, g.notes)),
+    }
+}
+
+/// Shortlex order on choice streams: shorter wins, ties break
+/// lexicographically. Accepting only strictly shortlex-smaller candidates
+/// makes the greedy shrink well-founded (it cannot cycle or stall on a
+/// candidate that normalises back to the current stream).
+fn shortlex_less(a: &[u64], b: &[u64]) -> bool {
+    a.len() < b.len() || (a.len() == b.len() && a < b)
+}
+
+/// Greedy shrink over the choice stream: chunk deletion, then per-element
+/// binary search toward zero, repeated until a fixpoint (or budget).
+fn shrink(
+    prop: &impl Fn(&mut Gen),
+    choices: Vec<u64>,
+    message: String,
+    notes: Vec<String>,
+) -> (Vec<u64>, String, Vec<String>) {
+    let mut best = (choices, message, notes);
+    let mut budget = SHRINK_BUDGET;
+    let mut improved = true;
+    while improved && budget > 0 {
+        improved = false;
+
+        // Pass 1: delete chunks of choices (shortens vectors, drops ops).
+        let mut chunk = (best.0.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i + chunk <= best.0.len() && budget > 0 {
+                budget -= 1;
+                let mut candidate = best.0.clone();
+                candidate.drain(i..i + chunk);
+                match replay_fails(prop, &candidate) {
+                    Some(found) if shortlex_less(&found.0, &best.0) => {
+                        best = found;
+                        improved = true;
+                        // The stream shrank; retry the same position.
+                    }
+                    _ => i += chunk,
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: minimise each choice value — zero first, then binary
+        // search for the smallest still-failing value.
+        let mut i = 0;
+        while i < best.0.len() && budget > 0 {
+            if best.0[i] == 0 {
+                i += 1;
+                continue;
+            }
+            budget -= 1;
+            let mut candidate = best.0.clone();
+            candidate[i] = 0;
+            if let Some(found) = replay_fails(prop, &candidate) {
+                if shortlex_less(&found.0, &best.0) {
+                    best = found;
+                    improved = true;
+                    i += 1;
+                    continue;
+                }
+            }
+            // 0 passes (or didn't help); bisect the smallest failing value.
+            let (mut lo, mut hi) = (0u64, best.0[i]);
+            while lo + 1 < hi && budget > 0 && i < best.0.len() {
+                budget -= 1;
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.0.clone();
+                candidate[i] = mid;
+                match replay_fails(prop, &candidate) {
+                    Some(found) => {
+                        hi = mid;
+                        if shortlex_less(&found.0, &best.0) {
+                            best = found;
+                            improved = true;
+                        }
+                    }
+                    None => lo = mid,
+                }
+            }
+            i += 1;
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Panic-noise suppression: shrinking executes hundreds of intentionally
+// failing runs; a thread-local flag mutes the default hook for exactly the
+// properties being executed, leaving every other thread's panics loud.
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_returns_no_report() {
+        let report = props("tautology").run_report(|g| {
+            let x = g.range(0, 100);
+            assert!(x < 100);
+        });
+        assert!(report.is_none());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        // `x < 10` is falsified by any x in [10, 1000); the minimal
+        // counterexample is exactly 10.
+        let report = props("bounded_failure")
+            .run_report(|g| {
+                let x = g.range(0, 1000);
+                g.note(format!("x = {x}"));
+                assert!(x < 10, "x = {x} escaped the bound");
+            })
+            .expect("property must fail");
+        assert_eq!(report.choices, vec![10], "shrinker must reach the boundary");
+        assert!(report.message.contains("x = 10"), "got: {}", report.message);
+        assert_eq!(report.notes, vec!["x = 10".to_owned()]);
+    }
+
+    #[test]
+    fn reported_seed_replays_the_failure() {
+        let prop = |g: &mut Gen| {
+            let v = g.vec(0, 50, |g| g.range(0, 100));
+            assert!(v.iter().sum::<u64>() < 40);
+        };
+        let report = props("replayable").run_report(prop).expect("must fail");
+        // Re-deriving a generator from the reported seed reproduces the
+        // original (pre-shrink) failing case.
+        let mut g = Gen::from_seed(report.seed);
+        assert!(run_case(&prop, &mut g).is_err(), "seed must replay failure");
+    }
+
+    #[test]
+    fn vectors_shrink_toward_short_and_small() {
+        let report = props("vec_shrink")
+            .run_report(|g| {
+                let v = g.vec(0, 64, |g| g.range(0, 1000));
+                assert!(v.iter().all(|&x| x < 500), "large element in {v:?}");
+            })
+            .expect("must fail");
+        // Minimal counterexample: a single element equal to the boundary.
+        // Choice stream: [length, element] = [1, 500].
+        assert_eq!(report.choices, vec![1, 500]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let prop = |g: &mut Gen| {
+            let x = g.u64();
+            let v = g.vec(1, 9, |g| g.bool());
+            g.note(format!("{x} {v:?}"));
+            assert!(!x.is_multiple_of(7) || v.len() < 4);
+        };
+        let a = props("determinism").run_report(prop);
+        let b = props("determinism").run_report(prop);
+        match (a, b) {
+            (None, None) => {}
+            (Some(ra), Some(rb)) => {
+                assert_eq!(ra.seed, rb.seed);
+                assert_eq!(ra.choices, rb.choices);
+                assert_eq!(ra.message, rb.message);
+            }
+            (a, b) => panic!("non-deterministic outcomes: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn range_and_choice_stay_in_bounds() {
+        props("bounds").run(|g| {
+            let lo = g.range(0, 50);
+            let hi = lo + 1 + g.range(0, 50);
+            let x = g.range(lo, hi);
+            assert!((lo..hi).contains(&x));
+            let i = g.choice(7);
+            assert!(i < 7);
+            let f = g.f64();
+            assert!((0.0..1.0).contains(&f));
+        });
+    }
+
+    #[test]
+    fn report_display_names_the_seed() {
+        let report = props("display")
+            .run_report(|g| {
+                let x = g.range(1, 100);
+                assert_eq!(x, 0);
+            })
+            .expect("must fail");
+        let text = report.to_string();
+        assert!(text.contains("BARYON_PROP_SEED="), "missing seed: {text}");
+        assert!(text.contains("display"), "missing name: {text}");
+    }
+}

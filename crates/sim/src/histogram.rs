@@ -5,8 +5,6 @@
 //! `floor(log2(value))`, giving constant-size storage and ~1.4x relative
 //! resolution, which is plenty for cycle latencies spanning 10^1..10^5.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of log2 buckets (covers values up to 2^47).
 const BUCKETS: usize = 48;
 
@@ -25,7 +23,7 @@ const BUCKETS: usize = 48;
 /// assert!(h.percentile(50.0) >= 16);
 /// assert!(h.percentile(99.0) >= 512);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

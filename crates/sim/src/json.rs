@@ -1,0 +1,245 @@
+//! A minimal JSON value model and writer.
+//!
+//! The workspace is hermetic (no external crates), but tools still want
+//! machine-readable output: `baryon-cli run --json`, bench summaries, and
+//! any future dashboards. This module covers exactly that need — building
+//! and *emitting* JSON — and deliberately omits parsing, which nothing in
+//! the workspace requires.
+//!
+//! # Examples
+//!
+//! ```
+//! use baryon_sim::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("workload", Json::from("505.mcf_r")),
+//!     ("cycles", Json::from(123456u64)),
+//!     ("ipc", Json::from(1.25)),
+//!     ("fast", Json::from(true)),
+//! ]);
+//! assert_eq!(
+//!     doc.render(),
+//!     r#"{"workload":"505.mcf_r","cycles":123456,"ipc":1.25,"fast":true}"#
+//! );
+//! ```
+
+/// A JSON value. Objects preserve insertion order so emitted documents are
+/// stable and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, emitted without a fractional part.
+    U64(u64),
+    /// A signed integer, emitted without a fractional part.
+    I64(i64),
+    /// A floating-point number; non-finite values emit as `null` (JSON has
+    /// no NaN/Infinity).
+    F64(f64),
+    /// A string (escaped on emit).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key–value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Appends the compact rendering to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let mut buf = [0u8; 20];
+                out.push_str(format_u64(*n, &mut buf));
+            }
+            Json::I64(n) => {
+                if *n < 0 {
+                    out.push('-');
+                }
+                let mut buf = [0u8; 20];
+                out.push_str(format_u64(n.unsigned_abs(), &mut buf));
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 is the shortest roundtrip representation,
+                    // which is valid JSON except it may omit the fraction.
+                    let s = format!("{x}");
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn format_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ascii")
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::U64(n as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::I64(n)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::F64(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(false).render(), "false");
+        assert_eq!(Json::from(0u64).render(), "0");
+        assert_eq!(Json::from(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::from(-42i64).render(), "-42");
+        assert_eq!(Json::from(i64::MIN).render(), "-9223372036854775808");
+        assert_eq!(Json::from(1.5).render(), "1.5");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+        assert_eq!(Json::from(f64::NEG_INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_and_quotes() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\te\r").render(),
+            r#""a\"b\\c\nd\te\r""#
+        );
+        assert_eq!(Json::from("\u{1}").render(), r#""\u0001""#);
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(Json::from("µops").render(), "\"µops\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let doc = Json::obj([
+            ("xs", Json::arr([Json::from(1u64), Json::from(2u64)])),
+            ("inner", Json::obj([("k", Json::Null)])),
+            ("empty", Json::arr([])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"xs":[1,2],"inner":{"k":null},"empty":[]}"#
+        );
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let doc = Json::obj([("z", Json::from(1u64)), ("a", Json::from(2u64))]);
+        assert_eq!(doc.render(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -24,7 +24,9 @@
 //! assert_eq!(SimRng::from_seed(42).next_u64(), a);
 //! ```
 
+pub mod check;
 pub mod histogram;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod summary;

@@ -5,7 +5,6 @@
 //! is a flat ordered map of dotted counter names (`"llc.misses"`,
 //! `"ctrl.fast.read_bytes"`) that components export into.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -21,7 +20,7 @@ use std::fmt;
 /// stats.add("mem.reads", 5);
 /// assert_eq!(stats.counter("mem.reads"), 15);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,

@@ -74,9 +74,7 @@ impl Zipfian {
             } else if k > self.n as f64 {
                 k = self.n as f64;
             }
-            if k - x <= self.s
-                || u >= h_integral_fn(k + 0.5, self.theta) - h_fn(k, self.theta)
-            {
+            if k - x <= self.s || u >= h_integral_fn(k + 0.5, self.theta) - h_fn(k, self.theta) {
                 return k as u64 - 1;
             }
         }
@@ -162,7 +160,10 @@ mod tests {
         }
         let ratio = c0 as f64 / c1 as f64;
         let expect = 2f64.powf(theta);
-        assert!((ratio - expect).abs() / expect < 0.05, "ratio {ratio} expect {expect}");
+        assert!(
+            (ratio - expect).abs() / expect < 0.05,
+            "ratio {ratio} expect {expect}"
+        );
     }
 
     #[test]
@@ -190,9 +191,7 @@ mod tests {
     fn heavy_skew_concentrates() {
         let zipf = Zipfian::new(1_000_000, 1.2);
         let mut rng = SimRng::from_seed(5);
-        let top100 = (0..100_000)
-            .filter(|_| zipf.sample(&mut rng) < 100)
-            .count();
+        let top100 = (0..100_000).filter(|_| zipf.sample(&mut rng) < 100).count();
         // With theta > 1 most of the mass is on a handful of items.
         assert!(top100 > 50_000, "top100 draws: {top100}");
     }

@@ -11,7 +11,6 @@
 //!   probability a rewritten line degenerates to incompressible bytes).
 
 use baryon_sim::rng::mix64;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Bytes per cacheline.
@@ -21,7 +20,7 @@ pub const LINE_BYTES: u64 = 64;
 pub const BLOCK_BYTES: u64 = 2048;
 
 /// The value-content class of a 2 kB block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueProfile {
     /// Untouched / zero-initialized data. Compresses to nothing (CF 4).
     Zero,
@@ -58,7 +57,7 @@ impl ValueProfile {
 }
 
 /// Relative weights of each profile for one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfileMix {
     /// Weight of [`ValueProfile::Zero`].
     pub zero: f64,
@@ -178,7 +177,10 @@ impl MemoryContents {
 
     /// Current version of the line containing `addr` (0 if never written).
     pub fn version_of(&self, addr: u64) -> u32 {
-        self.versions.get(&(addr / LINE_BYTES)).copied().unwrap_or(0)
+        self.versions
+            .get(&(addr / LINE_BYTES))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Records a write to the line containing `addr`, bumping its version.
@@ -343,7 +345,11 @@ mod tests {
         let m = mem(ValueProfile::NarrowInt);
         let rc = RangeCompressor::cacheline_aligned();
         let data = m.range(0, 512);
-        assert_eq!(rc.max_cf(&data), Some(baryon_compress::Cf::X2), "narrow ints should hit CF2");
+        assert_eq!(
+            rc.max_cf(&data),
+            Some(baryon_compress::Cf::X2),
+            "narrow ints should hit CF2"
+        );
     }
 
     #[test]
@@ -358,7 +364,10 @@ mod tests {
     fn pointers_compress() {
         let m = mem(ValueProfile::Pointer);
         let chunk = m.range(0, 128);
-        assert!(best_compressed_size(&chunk) <= 64, "pointer chunk should 2x compress");
+        assert!(
+            best_compressed_size(&chunk) <= 64,
+            "pointer chunk should 2x compress"
+        );
     }
 
     #[test]

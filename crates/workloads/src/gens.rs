@@ -61,7 +61,10 @@ impl StreamGen {
         assert!(streams > 0, "need at least one stream");
         assert!(write_streams <= streams, "more write streams than streams");
         let stream_size = (size / streams as u64) & !(LINE - 1);
-        assert!(stream_size >= LINE, "region too small for {streams} streams");
+        assert!(
+            stream_size >= LINE,
+            "region too small for {streams} streams"
+        );
         let mut rng = SimRng::from_seed(seed);
         // Start each stream at a distinct phase for realism.
         let cursors = (0..streams)
@@ -296,7 +299,14 @@ impl GraphGen {
     /// # Panics
     ///
     /// Panics if the region is too small (< 64 kB).
-    pub fn new(base: u64, size: u64, mean_degree: u32, skew: f64, mean_gap: f64, seed: u64) -> Self {
+    pub fn new(
+        base: u64,
+        size: u64,
+        mean_degree: u32,
+        skew: f64,
+        mean_gap: f64,
+        seed: u64,
+    ) -> Self {
         assert!(size >= 64 << 10, "graph region too small");
         let edges_size = (size * 7 / 10) & !(LINE - 1);
         let values_size = (size * 15 / 100) & !(LINE - 1);
@@ -443,7 +453,11 @@ impl TraceGen for BfsGen {
             if self.rng.gen_bool(0.2) {
                 let addr = self.edges_base + self.edge_cursor;
                 self.edge_cursor = (self.edge_cursor + LINE) % self.edges_size;
-                return Op { addr, write: false, gap };
+                return Op {
+                    addr,
+                    write: false,
+                    gap,
+                };
             }
             let addr = self.visited_base + self.scan_cursor;
             self.scan_cursor = (self.scan_cursor + LINE) % self.visited_size;
@@ -459,7 +473,11 @@ impl TraceGen for BfsGen {
                 self.queue_head = (self.queue_head + LINE) % self.queue_size;
                 self.state = 1;
                 self.edges_left = 1 + self.rng.gen_range(0, 6) as u32;
-                Op { addr, write: false, gap }
+                Op {
+                    addr,
+                    write: false,
+                    gap,
+                }
             }
             1 => {
                 // Stream the node's edge list.
@@ -469,7 +487,11 @@ impl TraceGen for BfsGen {
                 if self.edges_left == 0 {
                     self.state = 2;
                 }
-                Op { addr, write: false, gap }
+                Op {
+                    addr,
+                    write: false,
+                    gap,
+                }
             }
             2 => {
                 // Probe a neighbour's visited flag (random, skewed).
@@ -478,14 +500,22 @@ impl TraceGen for BfsGen {
                 let addr = (self.visited_base + (node * 4) % self.visited_size) & !(LINE - 1);
                 // Half the probes discover a new node -> claim + push.
                 self.state = if self.rng.gen_bool(0.5) { 3 } else { 0 };
-                Op { addr, write: self.state == 3, gap }
+                Op {
+                    addr,
+                    write: self.state == 3,
+                    gap,
+                }
             }
             _ => {
                 // Append the discovery to the next frontier queue.
                 let addr = self.queue_base + self.queue_tail;
                 self.queue_tail = (self.queue_tail + LINE) % self.queue_size;
                 self.state = 0;
-                Op { addr, write: true, gap }
+                Op {
+                    addr,
+                    write: true,
+                    gap,
+                }
             }
         }
     }
@@ -655,11 +685,17 @@ mod tests {
         let edges_end = (size * 7 / 10) & !63;
         let src_end = edges_end + ((size * 15 / 100) & !63);
         let edge_ops = ops.iter().filter(|o| o.addr < edges_end).count();
-        let gathers = ops.iter().filter(|o| o.addr >= edges_end && o.addr < src_end).count();
+        let gathers = ops
+            .iter()
+            .filter(|o| o.addr >= edges_end && o.addr < src_end)
+            .count();
         let writes = ops.iter().filter(|o| o.addr >= src_end).count();
         assert!(edge_ops > 0 && gathers > 0 && writes > 0);
         assert!(gathers > edge_ops, "gathers dominate");
-        assert!(ops.iter().filter(|o| o.write).count() == writes, "only dst is written");
+        assert!(
+            ops.iter().filter(|o| o.write).count() == writes,
+            "only dst is written"
+        );
     }
 
     #[test]
@@ -681,11 +717,10 @@ mod tests {
         let mut reuse = false;
         for i in 0..200_000 {
             let op = g.next_op();
-            if op.addr < (256u64 << 10) * 8 / 10
-                && !first_pass.insert(op.addr) {
-                    reuse = true;
-                    break;
-                }
+            if op.addr < (256u64 << 10) * 8 / 10 && !first_pass.insert(op.addr) {
+                reuse = true;
+                break;
+            }
             if i > 150_000 {
                 break;
             }
@@ -744,9 +779,15 @@ mod bfs_tests {
         let queue_end = (size / 10) & !63;
         let edges_end = queue_end + ((size * 6 / 10) & !63);
         let queue = ops.iter().filter(|o| o.addr < queue_end).count();
-        let edges = ops.iter().filter(|o| o.addr >= queue_end && o.addr < edges_end).count();
+        let edges = ops
+            .iter()
+            .filter(|o| o.addr >= queue_end && o.addr < edges_end)
+            .count();
         let visited = ops.iter().filter(|o| o.addr >= edges_end).count();
-        assert!(queue > 0 && edges > 0 && visited > 0, "q {queue} e {edges} v {visited}");
+        assert!(
+            queue > 0 && edges > 0 && visited > 0,
+            "q {queue} e {edges} v {visited}"
+        );
         assert!(edges > queue, "edge streaming dominates queue traffic");
     }
 
@@ -759,13 +800,16 @@ mod bfs_tests {
         let edges_end = ((size / 10) & !63) + ((size * 6 / 10) & !63);
         let mut shares = Vec::new();
         for window in ops.chunks(2_000) {
-            let v = window.iter().filter(|o| o.addr >= edges_end).count() as f64
-                / window.len() as f64;
+            let v =
+                window.iter().filter(|o| o.addr >= edges_end).count() as f64 / window.len() as f64;
             shares.push(v);
         }
         let min = shares.iter().cloned().fold(1.0f64, f64::min);
         let max = shares.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max - min > 0.3, "phase contrast too weak: {min:.2}..{max:.2}");
+        assert!(
+            max - min > 0.3,
+            "phase contrast too weak: {min:.2}..{max:.2}"
+        );
     }
 
     #[test]

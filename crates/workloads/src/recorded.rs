@@ -39,7 +39,10 @@ impl RecordedTrace {
     ///
     /// Panics on an empty trace (replay would emit nothing).
     pub fn new(ops: Vec<Op>) -> Self {
-        assert!(!ops.is_empty(), "a recorded trace must have at least one op");
+        assert!(
+            !ops.is_empty(),
+            "a recorded trace must have at least one op"
+        );
         RecordedTrace { ops, pos: 0 }
     }
 
@@ -94,7 +97,10 @@ impl RecordedTrace {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a baryon trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a baryon trace",
+            ));
         }
         let mut count = [0u8; 8];
         r.read_exact(&mut count)?;
@@ -162,8 +168,16 @@ mod tests {
     #[test]
     fn replay_wraps() {
         let mut t = RecordedTrace::new(vec![
-            Op { addr: 1, write: false, gap: 0 },
-            Op { addr: 2, write: false, gap: 0 },
+            Op {
+                addr: 1,
+                write: false,
+                gap: 0,
+            },
+            Op {
+                addr: 2,
+                write: false,
+                gap: 0,
+            },
         ]);
         let seq: Vec<u64> = (0..5).map(|_| t.next_op().addr).collect();
         assert_eq!(seq, [1, 2, 1, 2, 1]);

@@ -4,7 +4,6 @@ use crate::content::{MemoryContents, ProfileMix};
 use crate::gens::{BfsGen, ChaseGen, GraphGen, StreamGen, TensorGen, ZipfGen};
 use crate::trace::TraceGen;
 use baryon_sim::rng::mix64;
-use serde::{Deserialize, Serialize};
 
 /// The capacity scale of an experiment.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// Experiments here divide all capacities and footprints by `divisor`
 /// (default 256: 16 MB fast + 128 MB slow) while keeping block, sub-block,
 /// super-block and cacheline sizes unchanged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Capacity divisor relative to the paper's configuration.
     pub divisor: u64,
@@ -43,7 +42,7 @@ impl Scale {
 }
 
 /// The access-pattern family and parameters of one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkloadKind {
     /// Interleaved sequential array sweeps.
     Stream {
@@ -85,7 +84,7 @@ pub enum WorkloadKind {
 }
 
 /// A workload: pattern, footprint, value contents and instruction mix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// Name matching the paper's figures (e.g. `505.mcf_r`, `pr.twi`).
     pub name: &'static str,
@@ -521,11 +520,21 @@ mod tests {
     fn registry_has_all_families() {
         let r = registry(Scale::default());
         assert!(r.len() >= 15);
-        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Stream { .. })));
-        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Chase { .. })));
-        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Zipf { .. })));
-        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Graph { .. })));
-        assert!(r.iter().any(|w| matches!(w.kind, WorkloadKind::Tensor { .. })));
+        assert!(r
+            .iter()
+            .any(|w| matches!(w.kind, WorkloadKind::Stream { .. })));
+        assert!(r
+            .iter()
+            .any(|w| matches!(w.kind, WorkloadKind::Chase { .. })));
+        assert!(r
+            .iter()
+            .any(|w| matches!(w.kind, WorkloadKind::Zipf { .. })));
+        assert!(r
+            .iter()
+            .any(|w| matches!(w.kind, WorkloadKind::Graph { .. })));
+        assert!(r
+            .iter()
+            .any(|w| matches!(w.kind, WorkloadKind::Tensor { .. })));
     }
 
     #[test]
@@ -638,6 +647,8 @@ mod tests {
     #[should_panic(expected = "core")]
     fn bad_core_panics() {
         let s = Scale::default();
-        by_name("505.mcf_r", s).expect("exists").spawn_core(16, 16, 1);
+        by_name("505.mcf_r", s)
+            .expect("exists")
+            .spawn_core(16, 16, 1);
     }
 }

@@ -1,9 +1,7 @@
 //! The trace interface between workload generators and the system driver.
 
-use serde::{Deserialize, Serialize};
-
 /// One memory operation emitted by a core's trace generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Op {
     /// Byte address (the driver aligns to 64 B lines internally).
     pub addr: u64,

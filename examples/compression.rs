@@ -34,7 +34,13 @@ fn main() {
             b += bdi::compressed_size(&line);
             best += compress(&line).size;
         }
-        let winner = if f < b { "FPC" } else if b < f { "BDI" } else { "tie" };
+        let winner = if f < b {
+            "FPC"
+        } else if b < f {
+            "BDI"
+        } else {
+            "tie"
+        };
         println!(
             "{:<14} {:>9.1} {:>9.1} {:>9.1} {:>9}",
             format!("{p:?}"),

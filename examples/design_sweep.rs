@@ -10,7 +10,11 @@ use baryon::core::config::BaryonConfig;
 use baryon::core::system::{ControllerKind, System, SystemConfig};
 use baryon::workloads::{by_name, Scale};
 
-fn run_one(scale: Scale, workload: &baryon::workloads::Workload, cfg: BaryonConfig) -> (u64, String) {
+fn run_one(
+    scale: Scale,
+    workload: &baryon::workloads::Workload,
+    cfg: BaryonConfig,
+) -> (u64, String) {
     let mut sys = System::new(
         SystemConfig::with_controller(scale, ControllerKind::Baryon(cfg)),
         workload,
@@ -32,7 +36,9 @@ fn run_one(scale: Scale, workload: &baryon::workloads::Workload, cfg: BaryonConf
 
 fn main() {
     let scale = Scale { divisor: 512 };
-    let name = std::env::args().nth(1).unwrap_or_else(|| "505.mcf_r".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "505.mcf_r".to_owned());
     let workload = by_name(&name, scale).unwrap_or_else(|| {
         eprintln!("unknown workload {name}");
         std::process::exit(1);

@@ -11,7 +11,9 @@ use baryon::workloads::{by_name, Scale};
 
 fn main() {
     let scale = Scale { divisor: 512 };
-    let name = std::env::args().nth(1).unwrap_or_else(|| "505.mcf_r".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "505.mcf_r".to_owned());
     let workload = by_name(&name, scale).unwrap_or_else(|| {
         eprintln!("unknown workload {name}; try `baryon-cli list`");
         std::process::exit(1);

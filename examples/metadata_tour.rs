@@ -22,10 +22,28 @@ fn main() {
     // Physical block Y stages data from super-block Φ (tag 0x15 here):
     // A0 uncompressed, H2-H3 at CF2, A4-A7 at CF4.
     let mut y = StageEntry::new(0x15, 8);
-    y.slots[0] = Some(RangeRef { blk_off: 0, sub_off: 0, cf: Cf::X1, dirty: false }); // A0
-    y.slots[1] = Some(RangeRef { blk_off: 7, sub_off: 2, cf: Cf::X2, dirty: false }); // H2-H3
-    y.slots[2] = Some(RangeRef { blk_off: 0, sub_off: 4, cf: Cf::X4, dirty: true }); // A4-A7
-    println!("stage entry for physical block Y (super-block tag {:#x}):", y.tag);
+    y.slots[0] = Some(RangeRef {
+        blk_off: 0,
+        sub_off: 0,
+        cf: Cf::X1,
+        dirty: false,
+    }); // A0
+    y.slots[1] = Some(RangeRef {
+        blk_off: 7,
+        sub_off: 2,
+        cf: Cf::X2,
+        dirty: false,
+    }); // H2-H3
+    y.slots[2] = Some(RangeRef {
+        blk_off: 0,
+        sub_off: 4,
+        cf: Cf::X4,
+        dirty: true,
+    }); // A4-A7
+    println!(
+        "stage entry for physical block Y (super-block tag {:#x}):",
+        y.tag
+    );
     for (i, slot) in y.slots.iter().enumerate() {
         match slot {
             Some(r) => println!(
@@ -48,9 +66,7 @@ fn main() {
         h23.blk_off,
         h23.sub_off >> 1
     );
-    println!(
-        "entry footprint: 8 slot bytes + tag/valid/LRU/FIFO/MissCnt = 14 B\n"
-    );
+    println!("entry footprint: 8 slot bytes + tag/valid/LRU/FIFO/MissCnt = 14 B\n");
 
     println!("=== remap entry format (Fig 5(b)/(e)) ===\n");
     // Block A: A0, A2 uncompressed; A4-A7 one CF4 range. Block B: B1, B3.

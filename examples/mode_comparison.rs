@@ -11,17 +11,26 @@ use baryon::workloads::{by_name, Scale};
 
 fn main() {
     let scale = Scale { divisor: 512 };
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ycsb-a".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ycsb-a".to_owned());
     let workload = by_name(&name, scale).unwrap_or_else(|| {
         eprintln!("unknown workload {name}; try e.g. 505.mcf_r, pr.twi, ycsb-a");
         std::process::exit(1);
     });
     let insts = 60_000;
 
-    println!("workload {name} | footprint {} MB | fast {} MB\n", workload.footprint >> 20, scale.fast_bytes() >> 20);
+    println!(
+        "workload {name} | footprint {} MB | fast {} MB\n",
+        workload.footprint >> 20,
+        scale.fast_bytes() >> 20
+    );
 
     println!("--- cache scheme (fast memory is an OS-invisible cache) ---");
-    println!("{:<12} {:>12} {:>10} {:>10}", "controller", "cycles", "serve%", "energy(mJ)");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "controller", "cycles", "serve%", "energy(mJ)"
+    );
     for kind in [
         ControllerKind::Simple,
         ControllerKind::Unison,
@@ -40,7 +49,10 @@ fn main() {
     }
 
     println!("\n--- flat scheme (fast memory is OS-visible; swaps required) ---");
-    println!("{:<12} {:>12} {:>10} {:>10}", "controller", "cycles", "serve%", "energy(mJ)");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "controller", "cycles", "serve%", "energy(mJ)"
+    );
     for kind in [
         ControllerKind::Hybrid2,
         ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)),

@@ -15,7 +15,8 @@ fn main() {
     let workload = by_name("505.mcf_r", scale).expect("known workload");
     let insts_per_core = 100_000;
 
-    println!("workload {} | footprint {} MB | fast {} MB | slow {} MB\n",
+    println!(
+        "workload {} | footprint {} MB | fast {} MB | slow {} MB\n",
         workload.name,
         workload.footprint >> 20,
         scale.fast_bytes() >> 20,
@@ -31,11 +32,7 @@ fn main() {
         ControllerKind::Simple,
         ControllerKind::Baryon(baryon::core::BaryonConfig::default_cache_mode(scale)),
     ] {
-        let mut system = System::new(
-            SystemConfig::with_controller(scale, kind),
-            &workload,
-            42,
-        );
+        let mut system = System::new(SystemConfig::with_controller(scale, kind), &workload, 42);
         let r = system.run(insts_per_core);
         println!(
             "{:<10} {:>12} {:>8.3} {:>11.1}% {:>10.2} {:>10.3} {:>9} {:>9}",

@@ -6,8 +6,8 @@
 //! cargo run --release --example trace_replay
 //! ```
 
-use baryon::core::ctrl::{MemoryController, Request};
 use baryon::core::controller::BaryonController;
+use baryon::core::ctrl::{MemoryController, Request};
 use baryon::core::BaryonConfig;
 use baryon::workloads::{by_name, RecordedTrace, Scale, TraceGen};
 use std::fs::File;
@@ -24,7 +24,14 @@ fn drive(trace: &mut dyn TraceGen, n: usize, workload: &baryon::workloads::Workl
             mem.write_line(op.addr);
             ctrl.writeback(now, op.addr, &mut mem);
         } else {
-            let r = ctrl.read(now, Request { addr: op.addr, core: 0 }, &mut mem);
+            let r = ctrl.read(
+                now,
+                Request {
+                    addr: op.addr,
+                    core: 0,
+                },
+                &mut mem,
+            );
             last_done = now + r.latency;
         }
     }

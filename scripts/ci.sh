@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 gate for the Baryon reproduction.
+#
+# The workspace is hermetic: it has zero external dependencies, so every
+# step below runs with `--offline` and must succeed on a machine with no
+# network and an empty crates.io cache. Adding a dependency that breaks
+# this is a build regression.
+#
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --workspace --offline
+
+echo "==> OK"

@@ -1,11 +1,12 @@
 //! Property-based tests driving the Baryon controller directly with random
-//! access sequences and checking its architectural invariants.
+//! access sequences and checking its architectural invariants, on the
+//! in-repo `baryon_sim::check` harness.
 
 use baryon::core::config::BaryonConfig;
-use baryon::core::ctrl::{MemoryController, Request};
 use baryon::core::controller::BaryonController;
+use baryon::core::ctrl::{MemoryController, Request};
+use baryon::sim::check::{props, Gen};
 use baryon::workloads::{MemoryContents, ProfileMix, Scale};
-use proptest::prelude::*;
 
 fn scale() -> Scale {
     Scale { divisor: 2048 }
@@ -26,21 +27,19 @@ fn mixed_contents(seed: u64) -> MemoryContents {
     )
 }
 
-/// A bounded random op: (line-aligned address, is_write).
-fn ops(max_addr: u64) -> impl Strategy<Value = Vec<(u64, bool)>> {
-    proptest::collection::vec(
-        (0..max_addr / 64).prop_map(|l| l * 64).prop_flat_map(|a| {
-            any::<bool>().prop_map(move |w| (a, w))
-        }),
-        1..400,
-    )
+/// A bounded random op sequence: (line-aligned address, is_write).
+fn ops(g: &mut Gen, max_addr: u64) -> Vec<(u64, bool)> {
+    g.vec(1, 400, |g| {
+        let line = g.range(0, max_addr / 64);
+        (line * 64, g.bool())
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn random_sequences_never_break_invariants(seq in ops(16 << 20), seed in any::<u64>()) {
+#[test]
+fn random_sequences_never_break_invariants() {
+    props("random_sequences_never_break_invariants").run(|g| {
+        let seq = ops(g, 16 << 20);
+        let seed = g.u64();
         let cfg = BaryonConfig::default_cache_mode(scale());
         let mut ctrl = BaryonController::new(cfg);
         let mut mem = mixed_contents(seed);
@@ -51,45 +50,64 @@ proptest! {
                 mem.write_line(*addr);
                 ctrl.writeback(now, *addr, &mut mem);
             } else {
-                let resp = ctrl.read(now, Request { addr: *addr, core: 0 }, &mut mem);
-                prop_assert!(resp.latency < 1_000_000, "runaway latency");
+                let resp = ctrl.read(
+                    now,
+                    Request {
+                        addr: *addr,
+                        core: 0,
+                    },
+                    &mut mem,
+                );
+                assert!(resp.latency < 1_000_000, "runaway latency");
                 // Extra lines never include the demanded line and are
                 // always line-aligned.
                 for l in &resp.extra_lines {
-                    prop_assert_ne!(*l, *addr & !63);
-                    prop_assert_eq!(l % 64, 0);
+                    assert_ne!(*l, *addr & !63);
+                    assert_eq!(l % 64, 0);
                 }
             }
         }
         // Counters partition the reads.
         let c = ctrl.counters();
         let reads = seq.iter().filter(|(_, w)| !w).count() as u64;
-        let by_case = c.case1_stage_hits + c.case2_commit_hits + c.case3_stage_misses
-            + c.case4_bypasses + c.case5_block_misses
-            + c.flat_original_hits + c.displaced_accesses;
-        prop_assert_eq!(by_case, reads);
+        let by_case = c.case1_stage_hits
+            + c.case2_commit_hits
+            + c.case3_stage_misses
+            + c.case4_bypasses
+            + c.case5_block_misses
+            + c.flat_original_hits
+            + c.displaced_accesses;
+        assert_eq!(by_case, reads);
         // The CF statistic stays in the architectural range (zero ranges
         // can push effective CF above 4 only via free zero coverage).
-        prop_assert!(c.avg_cf() >= 1.0);
+        assert!(c.avg_cf() >= 1.0);
         // Remap cache hit rate is a probability.
         let hr = ctrl.remap_cache_hit_rate();
-        prop_assert!((0.0..=1.0).contains(&hr) || hr.is_nan() || hr == 0.0);
-    }
+        assert!((0.0..=1.0).contains(&hr) || hr.is_nan() || hr == 0.0);
+    });
+}
 
-    #[test]
-    fn read_after_read_hits_faster(seed in any::<u64>(), block in 0u64..512) {
+#[test]
+fn read_after_read_hits_faster() {
+    props("read_after_read_hits_faster").run(|g| {
+        let seed = g.u64();
+        let block = g.range(0, 512);
         let cfg = BaryonConfig::default_cache_mode(scale());
         let mut ctrl = BaryonController::new(cfg);
         let mut mem = mixed_contents(seed);
         let addr = block * 2048;
         let r1 = ctrl.read(0, Request { addr, core: 0 }, &mut mem);
         let r2 = ctrl.read(1_000_000, Request { addr, core: 0 }, &mut mem);
-        prop_assert!(r2.served_by_fast, "second read must be staged");
-        prop_assert!(r2.latency <= r1.latency);
-    }
+        assert!(r2.served_by_fast, "second read must be staged");
+        assert!(r2.latency <= r1.latency);
+    });
+}
 
-    #[test]
-    fn flat_mode_partitions_reads(seq in ops(8 << 20), seed in any::<u64>()) {
+#[test]
+fn flat_mode_partitions_reads() {
+    props("flat_mode_partitions_reads").run(|g| {
+        let seq = ops(g, 8 << 20);
+        let seed = g.u64();
         let cfg = BaryonConfig::default_flat_fa(scale());
         let mut ctrl = BaryonController::new(cfg);
         let mut mem = mixed_contents(seed);
@@ -102,18 +120,33 @@ proptest! {
                 ctrl.writeback(now, *addr, &mut mem);
             } else {
                 reads += 1;
-                ctrl.read(now, Request { addr: *addr, core: 0 }, &mut mem);
+                ctrl.read(
+                    now,
+                    Request {
+                        addr: *addr,
+                        core: 0,
+                    },
+                    &mut mem,
+                );
             }
         }
         let c = ctrl.counters();
-        let by_case = c.case1_stage_hits + c.case2_commit_hits + c.case3_stage_misses
-            + c.case4_bypasses + c.case5_block_misses
-            + c.flat_original_hits + c.displaced_accesses;
-        prop_assert_eq!(by_case, reads);
-    }
+        let by_case = c.case1_stage_hits
+            + c.case2_commit_hits
+            + c.case3_stage_misses
+            + c.case4_bypasses
+            + c.case5_block_misses
+            + c.flat_original_hits
+            + c.displaced_accesses;
+        assert_eq!(by_case, reads);
+    });
+}
 
-    #[test]
-    fn ablations_run_cleanly(seq in ops(4 << 20), which in 0usize..4) {
+#[test]
+fn ablations_run_cleanly() {
+    props("ablations_run_cleanly").run(|g| {
+        let seq = ops(g, 4 << 20);
+        let which = g.choice(4);
         let mut cfg = BaryonConfig::default_cache_mode(scale());
         match which {
             0 => cfg.stage_bytes = 0,
@@ -130,10 +163,17 @@ proptest! {
                 mem.write_line(*addr);
                 ctrl.writeback(now, *addr, &mut mem);
             } else {
-                ctrl.read(now, Request { addr: *addr, core: 0 }, &mut mem);
+                ctrl.read(
+                    now,
+                    Request {
+                        addr: *addr,
+                        core: 0,
+                    },
+                    &mut mem,
+                );
             }
         }
         // No panics and sane stats is the property here.
-        prop_assert!(ctrl.serve_stats().reads <= seq.len() as u64);
-    }
+        assert!(ctrl.serve_stats().reads <= seq.len() as u64);
+    });
 }

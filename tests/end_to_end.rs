@@ -109,7 +109,10 @@ fn baryon_counters_cover_all_reads() {
         + c.case5_block_misses
         + c.flat_original_hits
         + c.displaced_accesses;
-    assert_eq!(by_case, r.serve.reads, "the five cases must partition reads");
+    assert_eq!(
+        by_case, r.serve.reads,
+        "the five cases must partition reads"
+    );
 }
 
 #[test]

@@ -34,8 +34,14 @@ fn claim_baryon_beats_the_dram_cache_baselines_on_graphs() {
     let unison = cycles("pr.twi", ControllerKind::Unison);
     let dice = cycles("pr.twi", ControllerKind::Dice);
     let b = cycles("pr.twi", baryon());
-    assert!(b * 12 < simple * 10, "baryon {b} vs simple {simple}: need >1.2x");
-    assert!(b * 12 < unison * 10, "baryon {b} vs unison {unison}: need >1.2x");
+    assert!(
+        b * 12 < simple * 10,
+        "baryon {b} vs simple {simple}: need >1.2x"
+    );
+    assert!(
+        b * 12 < unison * 10,
+        "baryon {b} vs unison {unison}: need >1.2x"
+    );
     assert!(b < dice, "baryon {b} vs dice {dice}");
 }
 
@@ -61,7 +67,10 @@ fn claim_lbm_is_baryons_worst_case() {
         lbm_ratio < mcf_ratio,
         "lbm ({lbm_ratio:.2}x) must be weaker for Baryon than mcf ({mcf_ratio:.2}x)"
     );
-    assert!(lbm_ratio < 1.05, "lbm speedup {lbm_ratio:.2}x should be ~none");
+    assert!(
+        lbm_ratio < 1.05,
+        "lbm speedup {lbm_ratio:.2}x should be ~none"
+    );
 }
 
 #[test]

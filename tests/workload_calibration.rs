@@ -35,7 +35,11 @@ fn avg_cf(w: &Workload) -> f64 {
         let addr = (i * 40_507) % (w.footprint / 128) * 128;
         let chunk = mem.range(addr, 128);
         raw += 128;
-        stored += if best_compressed_size(&chunk) <= 64 { 64 } else { 128 };
+        stored += if best_compressed_size(&chunk) <= 64 {
+            64
+        } else {
+            128
+        };
     }
     raw as f64 / stored as f64
 }
@@ -71,7 +75,10 @@ fn lbm_is_write_heavy_and_incompressible() {
 #[test]
 fn fotonik_is_highly_compressible() {
     let cf = avg_cf(&get("549.fotonik3d_r"));
-    assert!(cf > 1.5, "fotonik CF {cf} (paper: 2.42, the best compressor case)");
+    assert!(
+        cf > 1.5,
+        "fotonik CF {cf} (paper: 2.42, the best compressor case)"
+    );
 }
 
 #[test]
@@ -123,7 +130,10 @@ fn ycsb_update_fractions_differ() {
     let a = write_fraction(&get("ycsb-a"));
     let b = write_fraction(&get("ycsb-b"));
     assert!(a > 0.1, "ycsb-a is 50/50 read/update (writes {a})");
-    assert!(b < a / 2.0, "ycsb-b (95/5) must write far less than ycsb-a ({b} vs {a})");
+    assert!(
+        b < a / 2.0,
+        "ycsb-b (95/5) must write far less than ycsb-a ({b} vs {a})"
+    );
 }
 
 #[test]
@@ -189,7 +199,11 @@ fn compressibility_ordering_matches_paper() {
 fn every_workload_has_positive_cf_and_sane_writes() {
     for w in registry(SCALE) {
         let cf = avg_cf(&w);
-        assert!((1.0..=4.0).contains(&cf), "{}: CF {cf} out of range", w.name);
+        assert!(
+            (1.0..=4.0).contains(&cf),
+            "{}: CF {cf} out of range",
+            w.name
+        );
         let wf = write_fraction(&w);
         assert!((0.0..=1.0).contains(&wf), "{}: write fraction {wf}", w.name);
     }

@@ -1,57 +1,80 @@
-//! Property-based tests for the workload generators and content model.
+//! Property-based tests for the workload generators and content model, on
+//! the in-repo `baryon_sim::check` harness.
 
+use baryon::sim::check::props;
 use baryon::workloads::{registry, MemoryContents, ProfileMix, Scale, ValueProfile};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn generators_stay_in_bounds(seed in any::<u64>(), core in 0usize..16) {
+#[test]
+fn generators_stay_in_bounds() {
+    props("generators_stay_in_bounds").run(|g| {
+        let seed = g.u64();
+        let core = g.usize_range(0, 16);
         let scale = Scale { divisor: 2048 };
         for w in registry(scale) {
-            let mut g = w.spawn_core(core, 16, seed);
+            let mut gen = w.spawn_core(core, 16, seed);
             for _ in 0..200 {
-                let op = g.next_op();
-                prop_assert!(
+                let op = gen.next_op();
+                assert!(
                     op.addr < w.footprint,
-                    "{}: {:#x} outside footprint {:#x}", w.name, op.addr, w.footprint
+                    "{}: {:#x} outside footprint {:#x}",
+                    w.name,
+                    op.addr,
+                    w.footprint
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn generators_replay_identically(seed in any::<u64>()) {
+#[test]
+fn generators_replay_identically() {
+    props("generators_replay_identically").run(|g| {
+        let seed = g.u64();
         let scale = Scale { divisor: 2048 };
-        let w = registry(scale).into_iter().next().expect("non-empty registry");
+        let w = registry(scale)
+            .into_iter()
+            .next()
+            .expect("non-empty registry");
         let mut a = w.spawn_core(0, 16, seed);
         let mut b = w.spawn_core(0, 16, seed);
         for _ in 0..200 {
-            prop_assert_eq!(a.next_op(), b.next_op());
+            assert_eq!(a.next_op(), b.next_op());
         }
-    }
+    });
+}
 
-    #[test]
-    fn contents_are_pure_functions(addr in 0u64..(1 << 24), seed in any::<u64>()) {
+#[test]
+fn contents_are_pure_functions() {
+    props("contents_are_pure_functions").run(|g| {
+        let addr = g.range(0, 1 << 24);
+        let seed = g.u64();
         let mem = MemoryContents::new(ProfileMix::pure(ValueProfile::NarrowInt), seed);
-        prop_assert_eq!(mem.line(addr), mem.line(addr));
+        assert_eq!(mem.line(addr), mem.line(addr));
         // Any address within the same line yields the same bytes.
-        prop_assert_eq!(mem.line(addr & !63), mem.line(addr | 63));
-    }
+        assert_eq!(mem.line(addr & !63), mem.line(addr | 63));
+    });
+}
 
-    #[test]
-    fn writes_only_affect_their_line(addr in 0u64..(1 << 24)) {
+#[test]
+fn writes_only_affect_their_line() {
+    props("writes_only_affect_their_line").run(|g| {
+        let addr = g.range(0, 1 << 24);
         let mut mem = MemoryContents::new(ProfileMix::pure(ValueProfile::Text), 5);
         let line = addr & !63;
         let neighbour = line ^ 64;
         let before = mem.line(neighbour);
         mem.write_line(line);
-        prop_assert_eq!(mem.line(neighbour), before);
-        prop_assert_eq!(mem.version_of(line), 1);
-        prop_assert_eq!(mem.version_of(neighbour), 0);
-    }
+        assert_eq!(mem.line(neighbour), before);
+        assert_eq!(mem.version_of(line), 1);
+        assert_eq!(mem.version_of(neighbour), 0);
+    });
+}
 
-    #[test]
-    fn version_monotonically_changes_content(addr in 0u64..(1 << 20), writes in 1usize..5) {
+#[test]
+fn version_monotonically_changes_content() {
+    props("version_monotonically_changes_content").run(|g| {
+        let addr = g.range(0, 1 << 20);
+        let writes = g.usize_range(1, 5);
         let mut mem = MemoryContents::new(ProfileMix::pure(ValueProfile::NarrowInt), 5);
         let mut seen = std::collections::HashSet::new();
         seen.insert(mem.line(addr).to_vec());
@@ -60,16 +83,20 @@ proptest! {
             seen.insert(mem.line(addr).to_vec());
         }
         // At least the first write must change the bytes.
-        prop_assert!(seen.len() >= 2);
-    }
+        assert!(seen.len() >= 2);
+    });
+}
 
-    #[test]
-    fn profile_assignment_respects_pure_mixes(block in 0u64..10_000, seed in any::<u64>()) {
+#[test]
+fn profile_assignment_respects_pure_mixes() {
+    props("profile_assignment_respects_pure_mixes").run(|g| {
+        let block = g.range(0, 10_000);
+        let seed = g.u64();
         for p in [ValueProfile::Zero, ValueProfile::Random, ValueProfile::Text] {
             let mem = MemoryContents::new(ProfileMix::pure(p), seed);
-            prop_assert_eq!(mem.profile_of(block * 2048), p);
+            assert_eq!(mem.profile_of(block * 2048), p);
         }
-    }
+    });
 }
 
 #[test]
