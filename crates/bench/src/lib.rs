@@ -14,6 +14,8 @@
 //! * `BARYON_BENCH_SCALE` — capacity divisor vs the paper (default 256),
 //! * `BARYON_BENCH_QUICK` — if set, runs a reduced workload set.
 
+pub mod spec;
+
 use baryon_core::config::BaryonConfig;
 use baryon_core::metrics::RunResult;
 use baryon_core::system::{ControllerKind, System, SystemConfig};

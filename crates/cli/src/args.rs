@@ -1,9 +1,26 @@
-//! Minimal `--flag value` argument parsing (no external dependencies).
+//! Minimal argument parsing (no external dependencies).
+//!
+//! Flags come as `--flag value` or `--flag=value`; one positional command
+//! leads. The fallible core (`try_*` methods) returns [`ArgError`] so it
+//! is unit-testable; the CLI binary wraps it with exit-on-error helpers.
 
 use baryon_workloads::Scale;
 use std::collections::BTreeMap;
 
-/// Parsed command line: one positional command plus `--key value` flags.
+/// A command-line shape error, displayed to the user verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: one positional command plus `--key value` /
+/// `--key=value` flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     command: Option<String>,
@@ -13,30 +30,41 @@ pub struct Args {
 impl Args {
     /// Parses an iterator of arguments (without the program name).
     ///
-    /// Unknown shapes (`--flag` without a value, stray positionals after
-    /// the command) abort with an error message, keeping mistakes loud.
-    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Self {
+    /// # Errors
+    ///
+    /// Unknown shapes — `--flag` without a value, an empty flag name,
+    /// stray positionals after the command — fail loudly.
+    pub fn try_parse<I: IntoIterator<Item = String>>(items: I) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut it = items.into_iter();
         while let Some(item) = it.next() {
             if let Some(key) = item.strip_prefix("--") {
-                match it.next() {
-                    Some(value) => {
-                        out.flags.insert(key.to_owned(), value);
-                    }
-                    None => {
-                        eprintln!("flag --{key} needs a value");
-                        std::process::exit(2);
-                    }
+                let (key, value) = match key.split_once('=') {
+                    Some((key, value)) => (key, value.to_owned()),
+                    None => match it.next() {
+                        Some(value) => (key, value),
+                        None => return Err(ArgError(format!("flag --{key} needs a value"))),
+                    },
+                };
+                if key.is_empty() {
+                    return Err(ArgError(format!("malformed flag `{item}`")));
                 }
+                out.flags.insert(key.to_owned(), value);
             } else if out.command.is_none() {
                 out.command = Some(item);
             } else {
-                eprintln!("unexpected argument: {item}");
-                std::process::exit(2);
+                return Err(ArgError(format!("unexpected argument: {item}")));
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Parses, printing the error and exiting with status 2 on bad shapes.
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Self {
+        Self::try_parse(items).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
     }
 
     /// The positional command, if given.
@@ -49,23 +77,44 @@ impl Args {
         self.flags.get(key).cloned()
     }
 
+    /// A mandatory flag.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the flag is missing.
+    pub fn try_require(&self, key: &str) -> Result<String, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// A numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unparsable input.
+    pub fn try_num(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key} expects a number, got {v}"))),
+        }
+    }
+
     /// A mandatory flag; exits with a message if missing.
     pub fn require(&self, key: &str) -> String {
-        self.get(key).unwrap_or_else(|| {
-            eprintln!("missing required flag --{key}");
+        self.try_require(key).unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
         })
     }
 
     /// A numeric flag with a default; exits on unparsable input.
     pub fn num(&self, key: &str, default: u64) -> u64 {
-        match self.flags.get(key) {
-            None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("flag --{key} expects a number, got {v}");
-                std::process::exit(2);
-            }),
-        }
+        self.try_num(key, default).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
     }
 
     /// The capacity scale (`--scale` divisor, default 256).
@@ -81,7 +130,11 @@ mod tests {
     use super::*;
 
     fn parse(items: &[&str]) -> Args {
-        Args::parse(items.iter().map(|s| s.to_string()))
+        Args::try_parse(items.iter().map(|s| s.to_string())).expect("well-formed")
+    }
+
+    fn parse_err(items: &[&str]) -> ArgError {
+        Args::try_parse(items.iter().map(|s| s.to_string())).expect_err("malformed")
     }
 
     #[test]
@@ -91,6 +144,23 @@ mod tests {
         assert_eq!(a.get("workload").as_deref(), Some("505.mcf_r"));
         assert_eq!(a.num("insts", 5), 1000);
         assert_eq!(a.num("warmup", 7), 7);
+    }
+
+    #[test]
+    fn equals_shape_is_equivalent() {
+        let a = parse(&["run", "--workload=505.mcf_r", "--insts=1000"]);
+        assert_eq!(a.get("workload").as_deref(), Some("505.mcf_r"));
+        assert_eq!(a.num("insts", 5), 1000);
+        // Mixed shapes in one line.
+        let a = parse(&["run", "--workload=ycsb-a", "--seed", "9"]);
+        assert_eq!(a.get("workload").as_deref(), Some("ycsb-a"));
+        assert_eq!(a.num("seed", 0), 9);
+        // Values may contain `=` themselves.
+        let a = parse(&["run", "--csv=out=weird.csv"]);
+        assert_eq!(a.get("csv").as_deref(), Some("out=weird.csv"));
+        // An explicit empty value is allowed.
+        let a = parse(&["run", "--csv="]);
+        assert_eq!(a.get("csv").as_deref(), Some(""));
     }
 
     #[test]
@@ -104,5 +174,23 @@ mod tests {
     fn scale_default() {
         assert_eq!(parse(&["list"]).scale().divisor, 256);
         assert_eq!(parse(&["list", "--scale", "512"]).scale().divisor, 512);
+        assert_eq!(parse(&["list", "--scale=512"]).scale().divisor, 512);
+    }
+
+    #[test]
+    fn malformed_shapes_error() {
+        assert!(parse_err(&["run", "--insts"]).0.contains("needs a value"));
+        assert!(parse_err(&["run", "extra"]).0.contains("unexpected"));
+        assert!(parse_err(&["run", "--=5"]).0.contains("malformed flag"));
+        assert!(parse_err(&["run", "--"]).0.contains("needs a value"));
+    }
+
+    #[test]
+    fn fallible_accessors_report_instead_of_exiting() {
+        let a = parse(&["run", "--insts", "abc"]);
+        assert!(a.try_require("workload").is_err());
+        assert_eq!(a.try_require("insts").as_deref(), Ok("abc"));
+        assert!(a.try_num("insts", 1).unwrap_err().0.contains("number"));
+        assert_eq!(a.try_num("missing", 17), Ok(17));
     }
 }

@@ -5,18 +5,20 @@
 //! ```text
 //! baryon-cli list
 //! baryon-cli run --workload 505.mcf_r --controller baryon --insts 150000
-//! baryon-cli run --workload pr.twi --controller dice --scale 512 --csv out.csv
+//! baryon-cli run --workload pr.twi --controller dice --scale=512 --csv out.csv
 //! baryon-cli compare --workload ycsb-a
 //! baryon-cli record --workload ycsb-a --ops 100000 --out trace.bin
+//! baryon-cli serve --port 8677 --workers 4 --queue-depth 32
 //! ```
 //!
 //! Controllers: `baryon`, `baryon-fa`, `baryon-mixed`, `simple`, `unison`,
 //! `dice`, `hybrid2`, `micro-sector`, `os-paging`.
 
-use baryon_core::config::BaryonConfig;
+use baryon_bench::spec::{controller_kind, RunSpec};
 use baryon_core::metrics::RunResult;
-use baryon_core::system::{ControllerKind, System, SystemConfig};
-use baryon_workloads::{by_name, registry, RecordedTrace, Scale};
+use baryon_core::system::{System, SystemConfig};
+use baryon_serve::{ServeConfig, Server};
+use baryon_workloads::{by_name, registry, RecordedTrace};
 use std::process::ExitCode;
 
 mod args;
@@ -28,26 +30,13 @@ fn usage() -> ! {
         "usage:\n  baryon-cli list\n  baryon-cli run --workload <name> [--controller <name>] \
          [--insts N] [--warmup N] [--scale D] [--seed S] [--mlp N] [--csv FILE] [--json FILE]\n  \
          baryon-cli compare --workload <name> [--insts N] [--scale D]\n  \
-         baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n\n\
+         baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n  \
+         baryon-cli serve [--port P] [--workers N] [--queue-depth N]\n\n\
+         flags accept both `--flag value` and `--flag=value`\n\
          controllers: baryon baryon-fa baryon-mixed simple unison dice hybrid2 \
          micro-sector os-paging"
     );
     std::process::exit(2)
-}
-
-fn controller_kind(name: &str, scale: Scale) -> Option<ControllerKind> {
-    Some(match name {
-        "baryon" => ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
-        "baryon-fa" => ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)),
-        "baryon-mixed" => ControllerKind::Baryon(BaryonConfig::default_mixed(scale, 0.5)),
-        "simple" => ControllerKind::Simple,
-        "unison" => ControllerKind::Unison,
-        "dice" => ControllerKind::Dice,
-        "hybrid2" => ControllerKind::Hybrid2,
-        "micro-sector" => ControllerKind::MicroSector,
-        "os-paging" => ControllerKind::OsPaging,
-        _ => return None,
-    })
 }
 
 fn print_result(r: &RunResult) {
@@ -94,22 +83,22 @@ fn cmd_list(args: &Args) -> ExitCode {
 }
 
 fn cmd_run(args: &Args) -> ExitCode {
-    let scale = args.scale();
-    let wname = args.require("workload");
-    let Some(workload) = by_name(&wname, scale) else {
-        eprintln!("unknown workload {wname}; try `baryon-cli list`");
-        return ExitCode::FAILURE;
+    let spec = RunSpec {
+        workload: args.require("workload"),
+        controller: args.get("controller").unwrap_or_else(|| "baryon".into()),
+        insts: args.num("insts", 150_000),
+        warmup: args.num("warmup", 50_000),
+        scale: args.num("scale", 256),
+        seed: args.num("seed", 42),
+        mlp: args.num("mlp", 1),
     };
-    let cname = args.get("controller").unwrap_or_else(|| "baryon".into());
-    let Some(kind) = controller_kind(&cname, scale) else {
-        eprintln!("unknown controller {cname}");
-        return ExitCode::FAILURE;
+    let r = match spec.execute() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}; try `baryon-cli list`");
+            return ExitCode::FAILURE;
+        }
     };
-    let mut cfg = SystemConfig::with_controller(scale, kind);
-    cfg.warmup_insts = args.num("warmup", 50_000);
-    cfg.mlp = args.num("mlp", 1) as usize;
-    let mut system = System::new(cfg, &workload, args.num("seed", 42));
-    let r = system.run(args.num("insts", 150_000));
     print_result(&r);
     if let Some(path) = args.get("csv") {
         let body = format!("{CSV_HEADER}\n{}\n", csv_line(&r));
@@ -197,6 +186,38 @@ fn cmd_record(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_serve(args: &Args) -> ExitCode {
+    let cfg = ServeConfig {
+        port: args.num("port", 8677) as u16,
+        workers: (args.num("workers", 2) as usize).max(1),
+        queue_depth: (args.num("queue-depth", 16) as usize).max(1),
+    };
+    let server = match Server::bind(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{}: {e}", cfg.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "baryon-serve listening on http://{} ({} workers, queue depth {})",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_depth
+    );
+    println!("submit jobs with POST /v1/jobs; stop with POST /v1/shutdown");
+    match server.run() {
+        Ok(()) => {
+            println!("drained and shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
     match args.command() {
@@ -204,6 +225,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args),
         Some("compare") => cmd_compare(&args),
         Some("record") => cmd_record(&args),
+        Some("serve") => cmd_serve(&args),
         _ => usage(),
     }
 }

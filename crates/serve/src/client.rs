@@ -1,0 +1,146 @@
+//! A tiny one-shot HTTP client for smoke tests and examples.
+//!
+//! Deliberately minimal: one request per connection, `Content-Length`
+//! bodies only — the mirror image of what [`crate::http`] serves. The
+//! end-to-end tests and the README's example session both use it, so the
+//! documented workflow is the tested workflow.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code, headers, body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header value for `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Propagates connection and I/O failures; a malformed response is
+/// `InvalidData`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut writer = stream.try_clone()?;
+    let body = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: baryon\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+fn malformed(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    // "HTTP/1.1 200 OK"
+    let status = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| malformed("malformed status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(malformed("connection closed inside headers"));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("malformed header line"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = Some(value.parse().map_err(|_| malformed("bad Content-Length"))?);
+        }
+        headers.push((name, value));
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8(buf).map_err(|_| malformed("body is not UTF-8"))?
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response_with_content_length() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 5\r\n\r\nhello";
+        let r = read_response(&mut BufReader::new(&raw[..])).expect("well-formed");
+        assert_eq!(r.status, 503);
+        assert_eq!(r.header("retry-after"), Some("1"));
+        assert_eq!(r.header("Retry-After"), Some("1"));
+        assert_eq!(r.body, "hello");
+    }
+
+    #[test]
+    fn parses_a_response_without_content_length_to_eof() {
+        let raw = b"HTTP/1.1 200 OK\r\n\r\nrest";
+        let r = read_response(&mut BufReader::new(&raw[..])).expect("well-formed");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "rest");
+    }
+
+    #[test]
+    fn malformed_responses_rejected() {
+        for bad in [
+            b"NOPE\r\n\r\n".as_slice(),
+            b"HTTP/1.1 abc OK\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\nbad-header\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(read_response(&mut BufReader::new(bad)).is_err());
+        }
+    }
+}

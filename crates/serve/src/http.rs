@@ -1,0 +1,327 @@
+//! A minimal HTTP/1.1 request reader and response writer.
+//!
+//! Just enough of RFC 9112 for a hermetic job server: request line,
+//! headers, `Content-Length` bodies, and keep-alive. No chunked encoding,
+//! no TLS, no compression — job specs and result documents are small JSON
+//! bodies over loopback or a trusted network.
+
+use baryon_sim::json::Json;
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request line or header line, and the cap on total
+/// header bytes. Oversized requests are malformed by definition here.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Largest accepted request body (job specs are tiny; result documents
+/// only ever travel in responses).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target, e.g. `/v1/jobs/7`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default, overridden by `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one line up to CRLF (or bare LF), without the terminator.
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut limited = r.take(MAX_HEAD_BYTES as u64 + 1);
+    let n = limited.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None); // clean EOF before any bytes
+    }
+    if buf.len() > MAX_HEAD_BYTES {
+        return Err(malformed("header line too long"));
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| malformed("header line is not UTF-8"))
+}
+
+/// Reads one request from the stream.
+///
+/// Returns `Ok(None)` on a clean EOF before the request line (the peer
+/// closed an idle keep-alive connection).
+///
+/// # Errors
+///
+/// `InvalidData` for malformed or oversized requests; other I/O errors
+/// pass through (including timeouts).
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(malformed(format!("malformed request line: {line:?}"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(malformed(format!("unsupported protocol {version:?}")));
+    }
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(malformed("connection closed inside headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(malformed("request head too large"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed(format!("malformed header line: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut request = Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    // HTTP/1.0 defaults to close; record that as an explicit header so
+    // `keep_alive` stays a pure function of the headers.
+    if version == "HTTP/1.0" && request.header("connection").is_none() {
+        request.headers.push(("connection".into(), "close".into()));
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| malformed(format!("bad Content-Length {len:?}")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(malformed(format!("body of {len} bytes exceeds limit")));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)
+            .map_err(|_| malformed("body shorter than Content-Length"))?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// A response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (`200`, `404`, ...).
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// The JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: &Json) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.render(),
+        }
+    }
+
+    /// The uniform error shape: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Json::obj([("error", Json::from(message))]))
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Serializes the response; `close` controls the `Connection` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> io::Result<Option<Request>> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("well-formed")
+            .expect("not EOF");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{} \n")
+            .expect("well-formed")
+            .expect("not EOF");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{} \n");
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let req = parse(b"GET / HTTP/1.1\nA: b\n\n")
+            .expect("well-formed")
+            .expect("not EOF");
+        assert_eq!(req.header("a"), Some("b"));
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive());
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET path HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"GET / HTTP/1.1\r\n",
+        ] {
+            assert!(
+                parse(bad).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_rejected() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD_BYTES));
+        assert!(parse(long.as_bytes()).is_err());
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(parse(big.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(200, &Json::obj([("ok", Json::Bool(true))]))
+            .header("Retry-After", "1")
+            .write_to(&mut out, true)
+            .expect("vec write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn error_shape_is_uniform() {
+        let r = Response::error(404, "no such job");
+        assert_eq!(r.body, r#"{"error":"no such job"}"#);
+        assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(599), "Unknown");
+    }
+}

@@ -1,0 +1,296 @@
+//! Job lifecycle: monotonic IDs, state machine, and the shared table the
+//! HTTP handlers and workers both consult.
+//!
+//! States move strictly forward:
+//!
+//! ```text
+//! queued ──▶ running ──▶ done | failed
+//!    └─────▶ cancelled                  (only queued jobs can be cancelled)
+//! ```
+
+use baryon_bench::spec::JobSpec;
+use baryon_sim::json::Json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully; the result document is available.
+    Done,
+    /// Finished with an error (bad spec caught late, or a worker panic).
+    Failed,
+    /// Cancelled while still queued; it will never run.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One job's full record.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Monotonic ID (1-based, in submission order).
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The submitted spec, for echoing back in status documents.
+    pub spec: JobSpec,
+    /// Result document once `Done`.
+    pub result: Option<Json>,
+    /// Error message once `Failed`.
+    pub error: Option<String>,
+    /// Execution wall time in microseconds, once finished.
+    pub wall_us: Option<u64>,
+}
+
+impl JobRecord {
+    /// The status document served by `GET /v1/jobs/<id>`.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_owned(), Json::from(self.id)),
+            ("state".to_owned(), Json::from(self.state.as_str())),
+            ("runs".to_owned(), Json::from(self.spec.runs())),
+            ("spec".to_owned(), self.spec.to_json()),
+        ];
+        if let Some(us) = self.wall_us {
+            pairs.push(("wall_us".to_owned(), Json::from(us)));
+        }
+        if let Some(err) = &self.error {
+            pairs.push(("error".to_owned(), Json::from(err.as_str())));
+        }
+        if let Some(result) = &self.result {
+            pairs.push(("result".to_owned(), result.clone()));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Outcome of a cancellation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was queued and is now cancelled.
+    Cancelled,
+    /// The job exists but already left the queue (running or finished).
+    TooLate(JobState),
+    /// No such job.
+    NotFound,
+}
+
+#[derive(Default)]
+struct TableInner {
+    jobs: BTreeMap<u64, JobRecord>,
+    next_id: u64,
+}
+
+/// The shared, locked registry of every job this server has seen.
+#[derive(Default)]
+pub struct JobTable {
+    inner: Mutex<TableInner>,
+}
+
+impl JobTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new queued job and returns its ID.
+    pub fn submit(&self, spec: JobSpec) -> u64 {
+        let mut inner = self.inner.lock().expect("job table lock poisoned");
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.jobs.insert(
+            id,
+            JobRecord {
+                id,
+                state: JobState::Queued,
+                spec,
+                result: None,
+                error: None,
+                wall_us: None,
+            },
+        );
+        id
+    }
+
+    /// Removes a job that was never enqueued (its queue push was refused),
+    /// so a rejected submission leaves no trace.
+    pub fn forget(&self, id: u64) {
+        self.inner
+            .lock()
+            .expect("job table lock poisoned")
+            .jobs
+            .remove(&id);
+    }
+
+    /// A snapshot of one job's record.
+    pub fn get(&self, id: u64) -> Option<JobRecord> {
+        self.inner
+            .lock()
+            .expect("job table lock poisoned")
+            .jobs
+            .get(&id)
+            .cloned()
+    }
+
+    /// Current state only (cheaper than [`JobTable::get`]).
+    pub fn state(&self, id: u64) -> Option<JobState> {
+        self.inner
+            .lock()
+            .expect("job table lock poisoned")
+            .jobs
+            .get(&id)
+            .map(|r| r.state)
+    }
+
+    /// Cancels a queued job.
+    pub fn cancel(&self, id: u64) -> CancelOutcome {
+        let mut inner = self.inner.lock().expect("job table lock poisoned");
+        match inner.jobs.get_mut(&id) {
+            None => CancelOutcome::NotFound,
+            Some(record) if record.state == JobState::Queued => {
+                record.state = JobState::Cancelled;
+                CancelOutcome::Cancelled
+            }
+            Some(record) => CancelOutcome::TooLate(record.state),
+        }
+    }
+
+    /// Transitions a job to `Running`; returns the spec to execute, or
+    /// `None` if the job was cancelled while queued (the worker skips it).
+    pub fn start(&self, id: u64) -> Option<JobSpec> {
+        let mut inner = self.inner.lock().expect("job table lock poisoned");
+        let record = inner.jobs.get_mut(&id)?;
+        if record.state != JobState::Queued {
+            return None;
+        }
+        record.state = JobState::Running;
+        Some(record.spec.clone())
+    }
+
+    /// Records a finished execution.
+    pub fn finish(&self, id: u64, outcome: Result<Json, String>, wall_us: u64) {
+        let mut inner = self.inner.lock().expect("job table lock poisoned");
+        let Some(record) = inner.jobs.get_mut(&id) else {
+            return;
+        };
+        record.wall_us = Some(wall_us);
+        match outcome {
+            Ok(result) => {
+                record.state = JobState::Done;
+                record.result = Some(result);
+            }
+            Err(message) => {
+                record.state = JobState::Failed;
+                record.error = Some(message);
+            }
+        }
+    }
+
+    /// Number of jobs ever submitted (== the highest ID so far).
+    pub fn submitted(&self) -> u64 {
+        self.inner.lock().expect("job table lock poisoned").next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_bench::spec::RunSpec;
+
+    fn spec() -> JobSpec {
+        JobSpec::Run(RunSpec::default())
+    }
+
+    #[test]
+    fn ids_are_monotonic_from_one() {
+        let t = JobTable::new();
+        assert_eq!(t.submit(spec()), 1);
+        assert_eq!(t.submit(spec()), 2);
+        assert_eq!(t.submitted(), 2);
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let t = JobTable::new();
+        let id = t.submit(spec());
+        assert_eq!(t.state(id), Some(JobState::Queued));
+        assert!(t.start(id).is_some());
+        assert_eq!(t.state(id), Some(JobState::Running));
+        t.finish(id, Ok(Json::Null), 123);
+        let r = t.get(id).expect("exists");
+        assert_eq!(r.state, JobState::Done);
+        assert_eq!(r.wall_us, Some(123));
+        assert_eq!(r.result, Some(Json::Null));
+        assert!(r.error.is_none());
+    }
+
+    #[test]
+    fn failure_records_error() {
+        let t = JobTable::new();
+        let id = t.submit(spec());
+        t.start(id);
+        t.finish(id, Err("boom".into()), 5);
+        let r = t.get(id).expect("exists");
+        assert_eq!(r.state, JobState::Failed);
+        assert_eq!(r.error.as_deref(), Some("boom"));
+        assert!(r.result.is_none());
+    }
+
+    #[test]
+    fn cancel_only_while_queued() {
+        let t = JobTable::new();
+        let id = t.submit(spec());
+        assert_eq!(t.cancel(id), CancelOutcome::Cancelled);
+        assert_eq!(t.state(id), Some(JobState::Cancelled));
+        // A cancelled job never starts.
+        assert!(t.start(id).is_none());
+
+        let id2 = t.submit(spec());
+        t.start(id2);
+        assert_eq!(t.cancel(id2), CancelOutcome::TooLate(JobState::Running));
+        assert_eq!(t.cancel(999), CancelOutcome::NotFound);
+    }
+
+    #[test]
+    fn forget_removes_rejected_submissions() {
+        let t = JobTable::new();
+        let id = t.submit(spec());
+        t.forget(id);
+        assert!(t.get(id).is_none());
+        // IDs are not reused.
+        assert_eq!(t.submit(spec()), id + 1);
+    }
+
+    #[test]
+    fn status_document_shape() {
+        let t = JobTable::new();
+        let id = t.submit(spec());
+        let text = t.get(id).expect("exists").to_json().render();
+        assert!(text.contains("\"id\":1"), "{text}");
+        assert!(text.contains("\"state\":\"queued\""), "{text}");
+        assert!(text.contains("\"spec\":{"), "{text}");
+        assert!(!text.contains("\"result\""), "{text}");
+        t.start(id);
+        t.finish(id, Ok(Json::obj([("x", Json::from(1u64))])), 9);
+        let text = t.get(id).expect("exists").to_json().render();
+        assert!(text.contains("\"state\":\"done\""), "{text}");
+        assert!(text.contains("\"wall_us\":9"), "{text}");
+        assert!(text.contains("\"result\":{\"x\":1}"), "{text}");
+    }
+}

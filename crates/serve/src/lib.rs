@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! `baryon-serve` — simulation-as-a-service for the Baryon reproduction.
+//!
+//! A zero-dependency HTTP/1.1 job server on [`std::net::TcpListener`]:
+//! clients `POST` simulation jobs (single runs or workloads × controllers
+//! grids, as JSON), a fixed worker pool executes them through the same
+//! [`baryon_bench::spec`] path `baryon-cli run` uses, and clients poll for
+//! status and fetch `RunResult` JSON. The queue is bounded: when it fills,
+//! submissions get `503` + `Retry-After` instead of unbounded buffering.
+//!
+//! # Endpoints
+//!
+//! | Method & path             | Purpose                                        |
+//! |---------------------------|------------------------------------------------|
+//! | `POST /v1/jobs`           | Submit a run or grid spec; `202` + job ID      |
+//! | `GET /v1/jobs/<id>`       | Status + result document once done             |
+//! | `POST /v1/jobs/<id>/cancel` | Cancel a still-queued job                    |
+//! | `GET /v1/metrics`         | Serve-layer counters (queue depth, latency…)   |
+//! | `GET /v1/healthz`         | Liveness probe                                 |
+//! | `POST /v1/shutdown`       | Graceful shutdown, draining accepted jobs      |
+//!
+//! # Example
+//!
+//! ```
+//! use baryon_serve::{client, Server, ServeConfig};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     port: 0, // ephemeral
+//!     workers: 1,
+//!     queue_depth: 4,
+//! })
+//! .expect("bind loopback");
+//! let addr = server.local_addr();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let health = client::request(addr, "GET", "/v1/healthz", None).expect("reachable");
+//! assert_eq!(health.status, 200);
+//!
+//! client::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+//! handle.join().expect("no panic").expect("clean exit");
+//! ```
+//!
+//! Determinism carries over the wire: a job's result document is
+//! byte-identical to `baryon-cli run --json` with the same spec, because
+//! both funnel through [`baryon_bench::spec::RunSpec::execute`].
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod server;
+
+pub use server::{Metrics, ServeConfig, Server};

@@ -1,0 +1,415 @@
+//! The job server: accept loop, router, worker pool, metrics, shutdown.
+//!
+//! One thread accepts connections and hands each to a short-lived handler
+//! thread; handlers parse requests and either answer immediately (status,
+//! metrics) or enqueue work. A fixed pool of worker threads drains the
+//! bounded queue and runs simulations via [`baryon_bench::spec::JobSpec`].
+//! Backpressure is explicit: a full queue answers `503` with
+//! `Retry-After`, never blocking the accept path.
+
+use crate::http::{read_request, Request, Response};
+use crate::job::{CancelOutcome, JobTable};
+use crate::queue::{BoundedQueue, PushError};
+use baryon_bench::spec::JobSpec;
+use baryon_sim::histogram::Histogram;
+use baryon_sim::json::{self, Json};
+use baryon_sim::stats::Stats;
+use std::io::{self, BufReader};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server construction knobs (the CLI's `serve` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// TCP port on 127.0.0.1; `0` asks the OS for an ephemeral port
+    /// (useful in tests — read it back via [`Server::local_addr`]).
+    pub port: u16,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it get `503`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 8677,
+            workers: 2,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// Serve-layer counters, exported uniformly through
+/// [`baryon_sim::stats::Stats`] so grid/report tooling can consume them
+/// like any simulator component's counters.
+#[derive(Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    runs_executed: AtomicU64,
+    busy: AtomicUsize,
+    latency_us: Mutex<Histogram>,
+}
+
+impl Metrics {
+    fn record_latency(&self, us: u64) {
+        self.latency_us
+            .lock()
+            .expect("latency lock poisoned")
+            .record(us);
+    }
+
+    /// Snapshots every counter and gauge into a [`Stats`] registry under
+    /// the `serve.` namespace.
+    pub fn to_stats(&self, queue_depth: usize, workers: usize) -> Stats {
+        let mut stats = Stats::new();
+        stats.set_counter("serve.http.requests", self.requests.load(Ordering::Relaxed));
+        stats.set_counter(
+            "serve.jobs.submitted",
+            self.submitted.load(Ordering::Relaxed),
+        );
+        stats.set_counter("serve.jobs.rejected", self.rejected.load(Ordering::Relaxed));
+        stats.set_counter("serve.jobs.done", self.done.load(Ordering::Relaxed));
+        stats.set_counter("serve.jobs.failed", self.failed.load(Ordering::Relaxed));
+        stats.set_counter(
+            "serve.jobs.cancelled",
+            self.cancelled.load(Ordering::Relaxed),
+        );
+        stats.set_counter(
+            "serve.runs.executed",
+            self.runs_executed.load(Ordering::Relaxed),
+        );
+        stats.set_counter("serve.queue.depth", queue_depth as u64);
+        let busy = self.busy.load(Ordering::Relaxed);
+        stats.set_counter("serve.workers.total", workers as u64);
+        stats.set_counter("serve.workers.busy", busy as u64);
+        stats.set_gauge(
+            "serve.workers.utilization",
+            busy as f64 / workers.max(1) as f64,
+        );
+        let latency = self.latency_us.lock().expect("latency lock poisoned");
+        stats.set_counter("serve.job_latency.count", latency.count());
+        stats.set_counter("serve.job_latency.p50_us", latency.percentile(50.0));
+        stats.set_counter("serve.job_latency.p95_us", latency.percentile(95.0));
+        stats.set_gauge("serve.job_latency.mean_us", latency.mean());
+        stats
+    }
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+struct Shared {
+    jobs: JobTable,
+    queue: BoundedQueue<u64>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+}
+
+/// A bound, running job server (workers already spawned; call
+/// [`Server::run`] to start serving connections).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:<port>` and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (e.g. port already in use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `queue_depth` is zero.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, cfg.port))?;
+        let shared = Arc::new(Shared {
+            jobs: JobTable::new(),
+            queue: BoundedQueue::new(cfg.queue_depth),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            addr: listener.local_addr()?,
+            workers: cfg.workers,
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("baryon-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until `POST /v1/shutdown`, then drains queued and in-flight
+    /// jobs and returns.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after a successful bind; the signature leaves
+    /// room for fatal accept-loop errors.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                continue; // transient accept error
+            };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(stream, &shared));
+        }
+        // Drain: workers exit once the (closed) queue is empty.
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(id) = shared.queue.pop() {
+        // `start` refuses jobs cancelled while queued.
+        let Some(spec) = shared.jobs.start(id) else {
+            continue;
+        };
+        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| spec.execute()))
+            .unwrap_or_else(|payload| Err(panic_message(payload.as_ref())));
+        let wall_us = t0.elapsed().as_micros() as u64;
+        shared.metrics.busy.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.record_latency(wall_us);
+        match &outcome {
+            Ok(_) => {
+                shared.metrics.done.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .runs_executed
+                    .fetch_add(spec.runs() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.jobs.finish(id, outcome, wall_us);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+    format!("worker panicked: {detail}")
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // A parked keep-alive peer must not pin this thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // peer closed between requests
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = Response::error(400, &e.to_string()).write_to(&mut writer, true);
+                return;
+            }
+            Err(_) => return, // timeout or reset
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let response = route(shared, &request);
+        let close = !request.keep_alive() || shared.shutdown.load(Ordering::SeqCst);
+        if response.write_to(&mut writer, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint.
+fn route(shared: &Shared, request: &Request) -> Response {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("GET", "/v1/healthz") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+        ("GET", "/v1/metrics") => metrics_response(shared),
+        ("POST", "/v1/jobs") => submit(shared, &request.body),
+        ("POST", "/v1/shutdown") => shutdown(shared),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                return job_route(shared, method, rest);
+            }
+            if matches!(
+                path,
+                "/v1/healthz" | "/v1/metrics" | "/v1/jobs" | "/v1/shutdown"
+            ) {
+                return Response::error(405, "method not allowed");
+            }
+            Response::error(404, "no such endpoint")
+        }
+    }
+}
+
+fn job_route(shared: &Shared, method: &str, rest: &str) -> Response {
+    let (id_text, action) = match rest.split_once('/') {
+        None => (rest, None),
+        Some((id, action)) => (id, Some(action)),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(404, "job IDs are integers");
+    };
+    match (method, action) {
+        ("GET", None) => match shared.jobs.get(id) {
+            Some(record) => Response::json(200, &record.to_json()),
+            None => Response::error(404, "no such job"),
+        },
+        ("POST", Some("cancel")) => match shared.jobs.cancel(id) {
+            CancelOutcome::Cancelled => {
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    200,
+                    &Json::obj([("id", Json::from(id)), ("state", Json::from("cancelled"))]),
+                )
+            }
+            CancelOutcome::TooLate(state) => Response::error(
+                409,
+                &format!(
+                    "job is {}, only queued jobs can be cancelled",
+                    state.as_str()
+                ),
+            ),
+            CancelOutcome::NotFound => Response::error(404, "no such job"),
+        },
+        (_, None) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn submit(shared: &Shared, body: &[u8]) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::error(503, "server is shutting down");
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    };
+    let spec = match JobSpec::from_json(&doc) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, &format!("invalid job spec: {e}")),
+    };
+    let id = shared.jobs.submit(spec);
+    match shared.queue.try_push(id) {
+        Ok(()) => {
+            shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                202,
+                &Json::obj([("id", Json::from(id)), ("state", Json::from("queued"))]),
+            )
+        }
+        Err(PushError::Full) => {
+            shared.jobs.forget(id);
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::error(503, "queue full, retry later").header("Retry-After", "1")
+        }
+        Err(PushError::Closed) => {
+            shared.jobs.forget(id);
+            Response::error(503, "server is shutting down")
+        }
+    }
+}
+
+fn metrics_response(shared: &Shared) -> Response {
+    let stats = shared.metrics.to_stats(shared.queue.len(), shared.workers);
+    let counters = Json::obj(
+        stats
+            .counters()
+            .map(|(name, value)| (name.to_owned(), Json::from(value))),
+    );
+    let gauges = Json::obj(
+        stats
+            .gauges()
+            .map(|(name, value)| (name.to_owned(), Json::from(value))),
+    );
+    Response::json(
+        200,
+        &Json::obj([("counters", counters), ("gauges", gauges)]),
+    )
+}
+
+fn shutdown(shared: &Shared) -> Response {
+    let draining = shared.queue.len();
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    // Unblock the accept loop so `run` can notice the flag and join the
+    // workers. The dummy connection closes immediately (clean EOF).
+    let _ = TcpStream::connect(shared.addr);
+    Response::json(
+        200,
+        &Json::obj([("ok", Json::Bool(true)), ("draining", Json::from(draining))]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_export_through_stats_registry() {
+        let m = Metrics::default();
+        m.submitted.store(5, Ordering::Relaxed);
+        m.done.store(3, Ordering::Relaxed);
+        m.busy.store(1, Ordering::Relaxed);
+        m.record_latency(1000);
+        m.record_latency(2000);
+        let stats = m.to_stats(4, 2);
+        assert_eq!(stats.counter("serve.jobs.submitted"), 5);
+        assert_eq!(stats.counter("serve.jobs.done"), 3);
+        assert_eq!(stats.counter("serve.queue.depth"), 4);
+        assert_eq!(stats.counter("serve.workers.total"), 2);
+        assert_eq!(stats.counter("serve.workers.busy"), 1);
+        assert_eq!(stats.counter("serve.job_latency.count"), 2);
+        assert!(stats.counter("serve.job_latency.p50_us") >= 512);
+        assert!((stats.gauge("serve.workers.utilization") - 0.5).abs() < 1e-12);
+        assert!(stats.gauge("serve.job_latency.mean_us") > 0.0);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.workers > 0);
+        assert!(cfg.queue_depth > 0);
+    }
+}

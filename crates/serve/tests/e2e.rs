@@ -1,0 +1,296 @@
+//! End-to-end smoke tests: a real server on an ephemeral loopback port,
+//! driven through the smoke-test client.
+//!
+//! The headline checks mirror the serving contract:
+//! * a completed job's result document is byte-identical to the same run
+//!   executed directly through the in-process spec path (determinism),
+//! * a burst larger than the queue depth gets `503` backpressure without
+//!   dropping any accepted job,
+//! * lifecycle: status polling, cancellation of queued jobs, metrics.
+
+use baryon_bench::spec::RunSpec;
+use baryon_serve::client::{self, ClientResponse};
+use baryon_serve::{ServeConfig, Server};
+use baryon_sim::json::{parse, Json};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Boots a server and returns its address plus the join handle.
+fn boot(workers: usize, queue_depth: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        port: 0,
+        workers,
+        queue_depth,
+    })
+    .expect("bind ephemeral loopback port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || {
+        server.run().expect("accept loop exits cleanly");
+    });
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let r = client::request(addr, "POST", "/v1/shutdown", None).expect("shutdown reachable");
+    assert_eq!(r.status, 200, "{}", r.body);
+    handle.join().expect("server thread exits");
+}
+
+fn get_field<'a>(doc: &'a Json, key: &str) -> &'a Json {
+    let Json::Obj(pairs) = doc else {
+        panic!("expected an object, got {}", doc.render());
+    };
+    &pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing field {key} in {}", doc.render()))
+        .1
+}
+
+fn submit(addr: SocketAddr, body: &str) -> ClientResponse {
+    client::request(addr, "POST", "/v1/jobs", Some(body)).expect("submit reachable")
+}
+
+fn job_id(response: &ClientResponse) -> u64 {
+    let doc = parse(&response.body).expect("submit response is JSON");
+    match get_field(&doc, "id") {
+        Json::U64(id) => *id,
+        other => panic!("id should be an integer, got {}", other.render()),
+    }
+}
+
+/// Polls a job until it leaves the queue/running states.
+fn await_job(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let r = client::request(addr, "GET", &format!("/v1/jobs/{id}"), None)
+            .expect("status reachable");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let doc = parse(&r.body).expect("status is JSON");
+        let Json::Str(state) = get_field(&doc, "state") else {
+            panic!("state should be a string: {}", r.body);
+        };
+        match state.as_str() {
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {id} stuck: {}", r.body);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            _ => return doc,
+        }
+    }
+}
+
+/// A quick spec: small scaled-down run that still exercises the full
+/// simulator (same path as `baryon-cli run`).
+const QUICK_SPEC: &str = r#"{"workload":"ycsb-a","controller":"simple",
+    "insts":3000,"warmup":500,"scale":1024,"seed":7}"#;
+
+#[test]
+fn served_result_is_byte_identical_to_direct_run() {
+    let (addr, handle) = boot(2, 8);
+
+    let accepted = submit(addr, QUICK_SPEC);
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let id = job_id(&accepted);
+
+    let status = await_job(addr, id);
+    assert_eq!(get_field(&status, "state"), &Json::from("done"));
+    let served = get_field(&status, "result").render();
+
+    // The same spec executed in-process must produce the same bytes.
+    let spec = RunSpec {
+        workload: "ycsb-a".into(),
+        controller: "simple".into(),
+        insts: 3000,
+        warmup: 500,
+        scale: 1024,
+        seed: 7,
+        mlp: 1,
+    };
+    let direct = spec.execute().expect("spec runs").to_json().render();
+    assert_eq!(served, direct, "served result diverged from direct run");
+
+    // Wall time is reported once finished.
+    match get_field(&status, "wall_us") {
+        Json::U64(_) => {}
+        other => panic!("wall_us should be an integer, got {}", other.render()),
+    }
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn burst_beyond_queue_depth_gets_backpressure_without_losing_jobs() {
+    let queue_depth = 2;
+    let (addr, handle) = boot(1, queue_depth);
+
+    // Occupy the single worker with a longer job, then burst.
+    let slow = submit(
+        addr,
+        r#"{"workload":"ycsb-a","controller":"simple","insts":120000,"warmup":1000,"scale":1024}"#,
+    );
+    assert_eq!(slow.status, 202, "{}", slow.body);
+    let mut accepted = vec![job_id(&slow)];
+    let mut rejected = 0usize;
+    for _ in 0..(queue_depth + 6) {
+        let r = submit(addr, QUICK_SPEC);
+        match r.status {
+            202 => accepted.push(job_id(&r)),
+            503 => {
+                assert_eq!(r.header("retry-after"), Some("1"), "{}", r.body);
+                rejected += 1;
+            }
+            other => panic!("unexpected status {other}: {}", r.body),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "burst of {} should overflow a queue of {queue_depth}",
+        queue_depth + 6
+    );
+
+    // Every accepted job completes; none are dropped by the backpressure.
+    for id in &accepted {
+        let status = await_job(addr, *id);
+        assert_eq!(
+            get_field(&status, "state"),
+            &Json::from("done"),
+            "job {id}: {}",
+            status.render()
+        );
+    }
+
+    // Rejected submissions left no half-registered records behind.
+    let submitted = accepted.len() + rejected;
+    let r = client::request(addr, "GET", &format!("/v1/jobs/{submitted}"), None)
+        .expect("status reachable");
+    assert_eq!(r.status, 404, "rejected job should not exist: {}", r.body);
+
+    let metrics = client::request(addr, "GET", "/v1/metrics", None).expect("metrics reachable");
+    let doc = parse(&metrics.body).expect("metrics are JSON");
+    let counters = get_field(&doc, "counters");
+    assert_eq!(
+        get_field(counters, "serve.jobs.rejected"),
+        &Json::from(rejected as u64)
+    );
+    assert_eq!(
+        get_field(counters, "serve.jobs.done"),
+        &Json::from(accepted.len() as u64)
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn queued_jobs_can_be_cancelled_and_never_run() {
+    let (addr, handle) = boot(1, 4);
+
+    // Worker busy on a long job, next job waits in the queue.
+    let slow = submit(
+        addr,
+        r#"{"workload":"ycsb-a","controller":"simple","insts":120000,"warmup":1000,"scale":1024}"#,
+    );
+    assert_eq!(slow.status, 202);
+    let queued = submit(addr, QUICK_SPEC);
+    assert_eq!(queued.status, 202);
+    let id = job_id(&queued);
+
+    let r = client::request(addr, "POST", &format!("/v1/jobs/{id}/cancel"), None)
+        .expect("cancel reachable");
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    // The record stays cancelled even after the worker drains the queue.
+    let slow_id = job_id(&slow);
+    await_job(addr, slow_id);
+    let status = await_job(addr, id);
+    assert_eq!(get_field(&status, "state"), &Json::from("cancelled"));
+
+    // Cancelling a finished job is a conflict; unknown jobs are 404.
+    let r = client::request(addr, "POST", &format!("/v1/jobs/{slow_id}/cancel"), None)
+        .expect("cancel reachable");
+    assert_eq!(r.status, 409, "{}", r.body);
+    let r = client::request(addr, "POST", "/v1/jobs/999/cancel", None).expect("reachable");
+    assert_eq!(r.status, 404);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn grid_jobs_return_row_major_results() {
+    let (addr, handle) = boot(2, 4);
+
+    let r = submit(
+        addr,
+        r#"{"grid":{"workloads":["ycsb-a"],"controllers":["simple","dice"],
+             "insts":3000,"warmup":500,"scale":1024,"seed":7}}"#,
+    );
+    assert_eq!(r.status, 202, "{}", r.body);
+    let status = await_job(addr, job_id(&r));
+    assert_eq!(get_field(&status, "state"), &Json::from("done"));
+    let Json::Arr(results) = get_field(get_field(&status, "result"), "results") else {
+        panic!("grid result should hold an array: {}", status.render());
+    };
+    assert_eq!(results.len(), 2);
+    assert_eq!(get_field(&results[0], "controller"), &Json::from("simple"));
+    assert_eq!(get_field(&results[1], "controller"), &Json::from("dice"));
+    for cell in results {
+        assert_eq!(get_field(cell, "workload"), &Json::from("ycsb-a"));
+    }
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn protocol_errors_are_typed() {
+    let (addr, handle) = boot(1, 2);
+
+    // Malformed JSON body → 400 with a parse position.
+    let r = submit(addr, "{nope");
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("invalid JSON"), "{}", r.body);
+
+    // Well-formed JSON, bad spec → 400 naming the field.
+    let r = submit(addr, r#"{"workload":"not-a-workload"}"#);
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("unknown workload"), "{}", r.body);
+
+    // Unknown endpoint → 404; wrong method → 405.
+    let r = client::request(addr, "GET", "/v1/nope", None).expect("reachable");
+    assert_eq!(r.status, 404);
+    let r = client::request(addr, "DELETE", "/v1/jobs", None).expect("reachable");
+    assert_eq!(r.status, 405);
+    let r = client::request(addr, "GET", "/v1/jobs/not-a-number", None).expect("reachable");
+    assert_eq!(r.status, 404);
+
+    // Health and metrics respond even on a fresh server.
+    let r = client::request(addr, "GET", "/v1/healthz", None).expect("reachable");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, r#"{"ok":true}"#);
+    let r = client::request(addr, "GET", "/v1/metrics", None).expect("reachable");
+    assert_eq!(r.status, 200);
+    let doc = parse(&r.body).expect("metrics are JSON");
+    assert_eq!(
+        get_field(get_field(&doc, "counters"), "serve.workers.total"),
+        &Json::from(1u64)
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn submissions_after_shutdown_are_refused() {
+    let (addr, handle) = boot(1, 2);
+    let accepted = submit(addr, QUICK_SPEC);
+    assert_eq!(accepted.status, 202);
+    let id = job_id(&accepted);
+
+    let r = client::request(addr, "POST", "/v1/shutdown", None).expect("reachable");
+    assert_eq!(r.status, 200);
+    handle.join().expect("drained");
+
+    // The accepted job was drained to completion before exit, visible in
+    // the in-process table had we kept the server; over the wire the
+    // listener is gone, so any further submission fails to connect.
+    assert!(client::request(addr, "POST", "/v1/jobs", Some(QUICK_SPEC)).is_err());
+    let _ = id;
+}

@@ -89,38 +89,62 @@ impl RecordedTrace {
 
     /// Deserializes from the binary trace format.
     ///
+    /// Every malformation is rejected with a typed [`io::Error`] rather
+    /// than a panic: a truncated header or payload, a declared op count
+    /// that does not match the payload length (in either direction — too
+    /// short *or* trailing bytes), and reserved flag bits. A hostile
+    /// header declaring billions of ops cannot pre-allocate memory; the
+    /// payload is read op by op and fails at the first missing byte.
+    ///
     /// # Errors
     ///
-    /// Returns `InvalidData` for a bad magic, a zero-length trace, or a
-    /// truncated stream.
+    /// * [`io::ErrorKind::UnexpectedEof`] — stream ends inside the header.
+    /// * [`io::ErrorKind::InvalidData`] — bad magic, zero op count,
+    ///   payload shorter or longer than the declared count, or reserved
+    ///   flag bits set.
     pub fn load<R: Read>(mut r: R) -> io::Result<Self> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a baryon trace",
-            ));
+            return Err(invalid(format!(
+                "not a baryon trace (magic {magic:02x?}, expected {MAGIC:02x?})"
+            )));
         }
         let mut count = [0u8; 8];
         r.read_exact(&mut count)?;
-        let count = u64::from_le_bytes(count) as usize;
+        let count = u64::from_le_bytes(count);
         if count == 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+            return Err(invalid("trace declares zero ops".to_owned()));
         }
-        let mut ops = Vec::with_capacity(count.min(1 << 24));
-        for _ in 0..count {
-            let mut addr = [0u8; 8];
-            let mut gap = [0u8; 4];
-            let mut flags = [0u8; 1];
-            r.read_exact(&mut addr)?;
-            r.read_exact(&mut gap)?;
-            r.read_exact(&mut flags)?;
+        let mut ops = Vec::with_capacity(count.min(1 << 24) as usize);
+        let mut record = [0u8; 13]; // u64 addr + u32 gap + u8 flags
+        for i in 0..count {
+            r.read_exact(&mut record).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    invalid(format!(
+                        "trace declares {count} ops but payload ends at op {i}"
+                    ))
+                } else {
+                    e
+                }
+            })?;
+            let flags = record[12];
+            if flags & !1 != 0 {
+                return Err(invalid(format!(
+                    "op {i} has reserved flag bits set ({flags:#04x})"
+                )));
+            }
             ops.push(Op {
-                addr: u64::from_le_bytes(addr),
-                gap: u32::from_le_bytes(gap),
-                write: flags[0] & 1 == 1,
+                addr: u64::from_le_bytes(record[..8].try_into().expect("8 bytes")),
+                gap: u32::from_le_bytes(record[8..12].try_into().expect("4 bytes")),
+                write: flags & 1 == 1,
             });
+        }
+        if r.read(&mut [0u8; 1])? != 0 {
+            return Err(invalid(format!(
+                "trailing bytes after the declared {count} ops"
+            )));
         }
         Ok(Self::new(ops))
     }
@@ -210,5 +234,70 @@ mod tests {
     #[should_panic(expected = "at least one op")]
     fn empty_constructor_panics() {
         RecordedTrace::new(Vec::new());
+    }
+
+    #[test]
+    fn declared_count_longer_than_payload_rejected() {
+        let mut buf = Vec::new();
+        sample().save(&mut buf).expect("vec write");
+        // Claim 100 more ops than the payload holds.
+        buf[4..12].copy_from_slice(&200u64.to_le_bytes());
+        let err = RecordedTrace::load(buf.as_slice()).expect_err("count mismatch");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("declares 200 ops"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_after_payload_rejected() {
+        let mut buf = Vec::new();
+        sample().save(&mut buf).expect("vec write");
+        buf.push(0xAB);
+        let err = RecordedTrace::load(buf.as_slice()).expect_err("trailing data");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn reserved_flag_bits_rejected() {
+        let mut buf = Vec::new();
+        sample().save(&mut buf).expect("vec write");
+        // Corrupt the first op's flags byte (offset 12 header + 12 into op).
+        buf[12 + 12] |= 0x80;
+        let err = RecordedTrace::load(buf.as_slice()).expect_err("reserved bits");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("reserved flag bits"), "{err}");
+    }
+
+    #[test]
+    fn hostile_op_count_fails_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        // No payload at all: must error promptly, not try to reserve
+        // u64::MAX records.
+        let err = RecordedTrace::load(buf.as_slice()).expect_err("hostile count");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_header_is_unexpected_eof() {
+        let err = RecordedTrace::load(&b"BTR1\x01\x00"[..]).expect_err("short header");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn prop_save_load_roundtrip() {
+        baryon_sim::check::props("recorded_trace_roundtrip").run(|g| {
+            let ops = g.vec(1, 64, |g| Op {
+                addr: g.u64(),
+                gap: g.u32(),
+                write: g.bool(),
+            });
+            let trace = RecordedTrace::new(ops);
+            let mut buf = Vec::new();
+            trace.save(&mut buf).expect("writing to a Vec cannot fail");
+            let loaded = RecordedTrace::load(buf.as_slice()).expect("own output loads");
+            assert_eq!(loaded, trace);
+        });
     }
 }

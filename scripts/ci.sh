@@ -23,4 +23,11 @@ cargo build --release --workspace --offline
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline
 
+# The full suite above already covers baryon-serve, but the serving
+# contract is important enough to gate on explicitly: an ephemeral-port
+# server must accept a job, backpressure a burst, and return results
+# byte-identical to a direct in-process run.
+echo "==> baryon-serve end-to-end smoke"
+cargo test -q -p baryon-serve --offline --test e2e
+
 echo "==> OK"
