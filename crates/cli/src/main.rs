@@ -31,7 +31,7 @@ fn usage() -> ! {
          [--insts N] [--warmup N] [--scale D] [--seed S] [--mlp N] [--csv FILE] [--json FILE]\n  \
          baryon-cli compare --workload <name> [--insts N] [--scale D]\n  \
          baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n  \
-         baryon-cli serve [--port P] [--workers N] [--queue-depth N]\n\n\
+         baryon-cli serve [--port P] [--workers N] [--queue-depth N] [--deadline-ms MS]\n\n\
          flags accept both `--flag value` and `--flag=value`\n\
          controllers: baryon baryon-fa baryon-mixed simple unison dice hybrid2 \
          micro-sector os-paging"
@@ -187,10 +187,12 @@ fn cmd_record(args: &Args) -> ExitCode {
 }
 
 fn cmd_serve(args: &Args) -> ExitCode {
+    let deadline_ms = args.num("deadline-ms", 0);
     let cfg = ServeConfig {
         port: args.num("port", 8677) as u16,
         workers: (args.num("workers", 2) as usize).max(1),
         queue_depth: (args.num("queue-depth", 16) as usize).max(1),
+        job_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
     };
     let server = match Server::bind(cfg) {
         Ok(server) => server,

@@ -20,6 +20,7 @@
 //! dictionary, exactly as the hardware does.
 
 use crate::fpc::{BitReader, BitWriter};
+use crate::frame::IntegrityError;
 
 const DICT_WORDS: usize = 16;
 
@@ -192,49 +193,52 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 
 /// Decodes an [`encode`]d stream back into `word_count` words.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the stream is truncated or malformed.
-pub fn decode(stream: &[u8], word_count: usize) -> Vec<u8> {
+/// Returns [`IntegrityError::Truncated`] when the stream runs dry and
+/// [`IntegrityError::Malformed`] on the reserved `1111` code (which the
+/// encoder never emits, so seeing it means corruption).
+pub fn decode(stream: &[u8], word_count: usize) -> Result<Vec<u8>, IntegrityError> {
     let mut dict = Dictionary::new();
     let mut r = BitReader::new(stream);
     let mut out = Vec::with_capacity(word_count * 4);
+    let need = |context| IntegrityError::Truncated { context };
     for _ in 0..word_count {
-        let word = match r.read(2) {
+        let word = match r.try_read(2).ok_or(need("C-Pack code"))? {
             0b00 => 0,
             0b01 => {
-                let w = r.read(32);
+                let w = r.try_read(32).ok_or(need("C-Pack word"))?;
                 dict.push(w);
                 w
             }
             0b10 => {
-                let i = r.read(4) as usize;
+                let i = r.try_read(4).ok_or(need("C-Pack index"))? as usize;
                 dict.words[i]
             }
-            _ => match r.read(2) {
+            _ => match r.try_read(2).ok_or(need("C-Pack escape"))? {
                 0b00 => {
                     // 1100 mmxx
-                    let i = r.read(4) as usize;
-                    let low = r.read(16);
+                    let i = r.try_read(4).ok_or(need("C-Pack index"))? as usize;
+                    let low = r.try_read(16).ok_or(need("C-Pack low bytes"))?;
                     let w = (dict.words[i] & 0xFFFF_0000) | low;
                     dict.push(w);
                     w
                 }
-                0b01 => r.read(8), // 1101 zzzx
+                0b01 => r.try_read(8).ok_or(need("C-Pack byte"))?, // 1101 zzzx
                 0b10 => {
                     // 1110 mmmx
-                    let i = r.read(4) as usize;
-                    let low = r.read(8);
+                    let i = r.try_read(4).ok_or(need("C-Pack index"))? as usize;
+                    let low = r.try_read(8).ok_or(need("C-Pack low byte"))?;
                     let w = (dict.words[i] & 0xFFFF_FF00) | low;
                     dict.push(w);
                     w
                 }
-                other => unreachable!("reserved C-Pack code 11{other:02b}"),
+                _ => return Err(IntegrityError::Malformed("reserved C-Pack code 1111")),
             },
         };
         out.extend_from_slice(&word.to_le_bytes());
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -243,12 +247,40 @@ mod tests {
 
     fn roundtrip(data: &[u8]) {
         let enc = encode(data);
-        assert_eq!(decode(&enc, data.len() / 4), data, "C-Pack roundtrip");
+        let dec = decode(&enc, data.len() / 4).expect("clean stream decodes");
+        assert_eq!(dec, data, "C-Pack roundtrip");
         assert_eq!(
             enc.len(),
             compressed_size(data),
             "size model matches encoder"
         );
+    }
+
+    #[test]
+    fn reserved_code_is_a_typed_error() {
+        // 0b1111 in the first four bits hits the reserved escape.
+        assert_eq!(
+            decode(&[0b1111], 1),
+            Err(IntegrityError::Malformed("reserved C-Pack code 1111"))
+        );
+    }
+
+    #[test]
+    fn truncated_streams_are_errors() {
+        let mut data = Vec::new();
+        for i in 0..16u32 {
+            data.extend_from_slice(&0x9E37_79B9u32.wrapping_mul(2 * i + 1).to_le_bytes());
+        }
+        let enc = encode(&data);
+        for cut in 0..enc.len() {
+            assert!(
+                matches!(
+                    decode(&enc[..cut], data.len() / 4),
+                    Err(IntegrityError::Truncated { .. })
+                ),
+                "cut at {cut} should be a truncation error"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! [`compressed_size`] is the size model used in the simulator's hot path;
 //! [`encode`]/[`decode`] are a real lossless bitstream used to validate it.
 
+use crate::frame::IntegrityError;
+
 /// A little-endian bit stream writer used by the FPC encoder.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
@@ -71,12 +73,12 @@ impl<'a> BitReader<'a> {
         BitReader { bytes, pos: 0 }
     }
 
-    /// Reads `n` bits, LSB first.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stream is exhausted.
-    pub fn read(&mut self, n: usize) -> u32 {
+    /// Reads `n` bits, LSB first, or `None` if the stream is exhausted.
+    pub fn try_read(&mut self, n: usize) -> Option<u32> {
+        if self.pos + n > self.bytes.len() * 8 {
+            self.pos = self.bytes.len() * 8;
+            return None;
+        }
         let mut v = 0u32;
         for i in 0..n {
             let byte = self.bytes[self.pos / 8];
@@ -85,7 +87,17 @@ impl<'a> BitReader<'a> {
             }
             self.pos += 1;
         }
-        v
+        Some(v)
+    }
+
+    /// Reads `n` bits, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is exhausted; decoders use
+    /// [`BitReader::try_read`] and surface a typed error instead.
+    pub fn read(&mut self, n: usize) -> u32 {
+        self.try_read(n).expect("bit stream exhausted")
     }
 }
 
@@ -249,42 +261,44 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 
 /// Decodes an [`encode`]d stream back into `word_count` 32-bit words.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the stream is truncated or malformed.
-pub fn decode(stream: &[u8], word_count: usize) -> Vec<u8> {
+/// Returns [`IntegrityError::Truncated`] when the stream runs out of
+/// bits before `word_count` words are reconstructed.
+pub fn decode(stream: &[u8], word_count: usize) -> Result<Vec<u8>, IntegrityError> {
     let mut r = BitReader::new(stream);
     let mut out: Vec<u8> = Vec::with_capacity(word_count * 4);
+    let need = |context| IntegrityError::Truncated { context };
     while out.len() < word_count * 4 {
-        let pfx = r.read(3);
+        let pfx = r.try_read(3).ok_or(need("FPC prefix"))?;
         let word: u32 = match pfx {
             0b000 => {
-                let run = r.read(3) + 1;
+                let run = r.try_read(3).ok_or(need("FPC zero-run length"))? + 1;
                 for _ in 0..run {
                     out.extend_from_slice(&0u32.to_le_bytes());
                 }
                 continue;
             }
-            0b001 => sign_extend(r.read(4), 4),
-            0b010 => sign_extend(r.read(8), 8),
-            0b011 => sign_extend(r.read(16), 16),
-            0b100 => r.read(16) << 16,
+            0b001 => sign_extend(r.try_read(4).ok_or(need("FPC payload"))?, 4),
+            0b010 => sign_extend(r.try_read(8).ok_or(need("FPC payload"))?, 8),
+            0b011 => sign_extend(r.try_read(16).ok_or(need("FPC payload"))?, 16),
+            0b100 => r.try_read(16).ok_or(need("FPC payload"))? << 16,
             0b101 => {
-                let lo = sign_extend(r.read(8), 8) & 0xFFFF;
-                let hi = sign_extend(r.read(8), 8) & 0xFFFF;
+                let lo = sign_extend(r.try_read(8).ok_or(need("FPC payload"))?, 8) & 0xFFFF;
+                let hi = sign_extend(r.try_read(8).ok_or(need("FPC payload"))?, 8) & 0xFFFF;
                 lo | (hi << 16)
             }
             0b110 => {
-                let b = r.read(8);
+                let b = r.try_read(8).ok_or(need("FPC payload"))?;
                 b | (b << 8) | (b << 16) | (b << 24)
             }
-            0b111 => r.read(32),
+            0b111 => r.try_read(32).ok_or(need("FPC payload"))?,
             _ => unreachable!("3-bit prefix"),
         };
         out.extend_from_slice(&word.to_le_bytes());
     }
     out.truncate(word_count * 4);
-    out
+    Ok(out)
 }
 
 fn sign_extend(v: u32, bits: u32) -> u32 {
@@ -298,10 +312,28 @@ mod tests {
 
     fn roundtrip(data: &[u8]) {
         let enc = encode(data);
-        let dec = decode(&enc, data.len() / 4);
+        let dec = decode(&enc, data.len() / 4).expect("clean stream decodes");
         assert_eq!(dec, data, "FPC roundtrip failed");
         // The size model must match the real encoder exactly.
         assert_eq!(enc.len(), compressed_size(data));
+    }
+
+    #[test]
+    fn truncated_streams_are_errors_not_garbage() {
+        let mut data = Vec::new();
+        for i in 0..16u32 {
+            data.extend_from_slice(&(0x1234_5678u32.wrapping_mul(i + 3)).to_le_bytes());
+        }
+        let enc = encode(&data);
+        for cut in 0..enc.len() {
+            assert!(
+                matches!(
+                    decode(&enc[..cut], data.len() / 4),
+                    Err(IntegrityError::Truncated { .. })
+                ),
+                "cut at {cut} should be a typed truncation error"
+            );
+        }
     }
 
     #[test]

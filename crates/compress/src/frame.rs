@@ -1,0 +1,284 @@
+//! CRC-framed compressed blocks and the typed integrity error.
+//!
+//! Every compressed block that crosses a device boundary is wrapped in a
+//! small frame carrying the winning algorithm, the raw length, and a
+//! CRC32 of the *uncompressed* bytes:
+//!
+//! ```text
+//! [algo: u8][raw_len: u16 LE][crc32(raw): u32 LE][compressed payload]
+//! ```
+//!
+//! Checksumming the raw side (not the payload) makes the check
+//! end-to-end: [`open`] decompresses first and then verifies, so
+//! corruption anywhere in compress → store → fetch → decompress is
+//! caught, including decoder bugs. The guarantee is "never silent
+//! garbage": `open` either returns exactly the sealed bytes or a typed
+//! [`IntegrityError`].
+//!
+//! # Examples
+//!
+//! ```
+//! use baryon_compress::frame;
+//!
+//! let data = [7u8; 64];
+//! let sealed = frame::seal(&data);
+//! assert_eq!(frame::open(&sealed).unwrap(), data);
+//!
+//! let mut bad = sealed.clone();
+//! *bad.last_mut().unwrap() ^= 0x10;
+//! assert!(frame::open(&bad).is_err());
+//! ```
+
+use crate::crc::crc32;
+use crate::{bdi, cpack, fpc, Algorithm};
+use std::fmt;
+
+/// Why a compressed block failed its integrity checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The stream ended before the decoder got the bits it needed.
+    Truncated {
+        /// What the decoder was reading when it ran out.
+        context: &'static str,
+    },
+    /// The decompressed bytes hash differently than the sealed CRC.
+    ChecksumMismatch {
+        /// CRC32 recorded in the frame at seal time.
+        expected: u32,
+        /// CRC32 of what actually decompressed.
+        actual: u32,
+    },
+    /// The decompressed length disagrees with the frame header.
+    LengthMismatch {
+        /// Raw length recorded in the frame.
+        expected: usize,
+        /// Length actually produced.
+        actual: usize,
+    },
+    /// Structurally invalid data (bad tag, reserved code, inconsistent
+    /// fields).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::Truncated { context } => {
+                write!(f, "stream truncated while reading {context}")
+            }
+            IntegrityError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "CRC32 mismatch: sealed {expected:#010x}, decoded {actual:#010x}"
+                )
+            }
+            IntegrityError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "length mismatch: frame says {expected} bytes, decoded {actual}"
+                )
+            }
+            IntegrityError::Malformed(what) => write!(f, "malformed stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+/// Frame header size: algorithm tag + raw length + CRC32.
+pub const HEADER_BYTES: usize = 7;
+
+fn algo_tag(algorithm: Algorithm) -> u8 {
+    match algorithm {
+        Algorithm::Raw => 0,
+        Algorithm::Fpc => 1,
+        Algorithm::Bdi => 2,
+        Algorithm::CPack => 3,
+    }
+}
+
+fn tag_algo(tag: u8) -> Result<Algorithm, IntegrityError> {
+    Ok(match tag {
+        0 => Algorithm::Raw,
+        1 => Algorithm::Fpc,
+        2 => Algorithm::Bdi,
+        3 => Algorithm::CPack,
+        _ => return Err(IntegrityError::Malformed("unknown algorithm tag")),
+    })
+}
+
+/// Seals `data` with the algorithm [`crate::compress`] would pick.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, longer than `u16::MAX` bytes, or not a
+/// multiple of 8 bytes (the same contract as [`crate::compress`]).
+pub fn seal(data: &[u8]) -> Vec<u8> {
+    seal_with(data, crate::compress(data).algorithm)
+}
+
+/// Seals `data` under a caller-chosen algorithm.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`seal`].
+pub fn seal_with(data: &[u8], algorithm: Algorithm) -> Vec<u8> {
+    assert!(
+        !data.is_empty() && data.len().is_multiple_of(8),
+        "frames need a non-empty multiple of 8 bytes, got {}",
+        data.len()
+    );
+    assert!(data.len() <= u16::MAX as usize, "block too large to frame");
+    let payload = match algorithm {
+        Algorithm::Raw => data.to_vec(),
+        Algorithm::Fpc => fpc::encode(data),
+        Algorithm::Bdi => bdi::encode_bytes(data),
+        Algorithm::CPack => cpack::encode(data),
+    };
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.push(algo_tag(algorithm));
+    out.extend_from_slice(&(data.len() as u16).to_le_bytes());
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Opens a sealed frame, returning the verified raw bytes.
+///
+/// # Errors
+///
+/// Returns a typed [`IntegrityError`] when the frame is truncated, the
+/// payload does not decode, the decoded length disagrees with the
+/// header, or the decoded bytes fail the CRC. Never returns bytes that
+/// differ from what [`seal`] was given.
+pub fn open(framed: &[u8]) -> Result<Vec<u8>, IntegrityError> {
+    if framed.len() < HEADER_BYTES {
+        return Err(IntegrityError::Truncated {
+            context: "frame header",
+        });
+    }
+    let algorithm = tag_algo(framed[0])?;
+    let raw_len = u16::from_le_bytes([framed[1], framed[2]]) as usize;
+    let expected = u32::from_le_bytes([framed[3], framed[4], framed[5], framed[6]]);
+    let payload = &framed[HEADER_BYTES..];
+    if raw_len == 0 || !raw_len.is_multiple_of(8) {
+        return Err(IntegrityError::Malformed("raw length not a word multiple"));
+    }
+    let raw = match algorithm {
+        Algorithm::Raw => {
+            if payload.len() < raw_len {
+                return Err(IntegrityError::Truncated {
+                    context: "raw payload",
+                });
+            }
+            payload[..raw_len].to_vec()
+        }
+        Algorithm::Fpc => fpc::decode(payload, raw_len / 4)?,
+        Algorithm::Bdi => bdi::decode_bytes(payload)?,
+        Algorithm::CPack => cpack::decode(payload, raw_len / 4)?,
+    };
+    if raw.len() != raw_len {
+        return Err(IntegrityError::LengthMismatch {
+            expected: raw_len,
+            actual: raw.len(),
+        });
+    }
+    let actual = crc32(&raw);
+    if actual != expected {
+        return Err(IntegrityError::ChecksumMismatch { expected, actual });
+    }
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns() -> Vec<Vec<u8>> {
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![0u8; 64],
+            vec![0u8; 256],
+            (0..64).map(|i| i as u8).collect(),
+            (0..256)
+                .map(|i| (i as u8).wrapping_mul(131) ^ 0x5A)
+                .collect(),
+        ];
+        // Pointer-like data (BDI territory).
+        let mut ptrs = Vec::new();
+        for i in 0..32u64 {
+            ptrs.extend_from_slice(&(0x7F00_0000_1000u64 + i * 16).to_le_bytes());
+        }
+        cases.push(ptrs);
+        // Small ints (FPC territory).
+        let mut ints = Vec::new();
+        for i in 0..64u32 {
+            ints.extend_from_slice(&(i % 7).to_le_bytes());
+        }
+        cases.push(ints);
+        cases
+    }
+
+    #[test]
+    fn seal_open_roundtrip_all_algorithms() {
+        for data in patterns() {
+            for algo in [
+                Algorithm::Raw,
+                Algorithm::Fpc,
+                Algorithm::Bdi,
+                Algorithm::CPack,
+            ] {
+                let sealed = seal_with(&data, algo);
+                assert_eq!(
+                    open(&sealed).expect("clean frame opens"),
+                    data,
+                    "roundtrip failed for {algo:?}"
+                );
+            }
+            let sealed = seal(&data);
+            assert_eq!(open(&sealed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_never_silent_garbage() {
+        // The core guarantee: a corrupted frame either fails to open or
+        // opens to exactly the original bytes (a flip in dead padding).
+        for data in patterns() {
+            let sealed = seal(&data);
+            for bit in 0..sealed.len() * 8 {
+                let mut bad = sealed.clone();
+                bad[bit / 8] ^= 1 << (bit % 8);
+                match open(&bad) {
+                    Err(_) => {}
+                    Ok(got) => assert_eq!(got, data, "bit {bit} flip produced silent garbage"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        let sealed = seal(&[5u8; 64]);
+        for len in 0..HEADER_BYTES {
+            assert_eq!(
+                open(&sealed[..len]),
+                Err(IntegrityError::Truncated {
+                    context: "frame header"
+                })
+            );
+        }
+        // Chopping the payload is detected too (truncated or CRC).
+        assert!(open(&sealed[..sealed.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = IntegrityError::ChecksumMismatch {
+            expected: 0xDEAD_BEEF,
+            actual: 0,
+        };
+        assert!(e.to_string().contains("0xdeadbeef"));
+        let e = IntegrityError::Truncated { context: "header" };
+        assert!(e.to_string().contains("header"));
+    }
+}

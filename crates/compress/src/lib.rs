@@ -13,10 +13,14 @@
 //! * [`RangeCompressor`] — the *cacheline-aligned* range compression rule of
 //!   §III-E (each 64·n-byte chunk of a CF=n range must independently compress
 //!   to ≤ 64 B, so that a single DDRx 64 B transfer can be decompressed alone),
-//! * zero-block detection for the `Z`-bit optimization.
+//! * zero-block detection for the `Z`-bit optimization,
+//! * [`frame`] — CRC32-sealed block framing ([`crc`] is the hermetic
+//!   table-driven checksum) so a corrupted block is a typed
+//!   [`IntegrityError`], never silent garbage.
 //!
 //! Both algorithms also have full encoders/decoders so tests can verify
-//! losslessness, not just size models.
+//! losslessness, not just size models; every decoder returns `Result`
+//! and surfaces truncation or malformed codes as [`IntegrityError`].
 //!
 //! # Examples
 //!
@@ -38,9 +42,12 @@
 
 pub mod bdi;
 pub mod cpack;
+pub mod crc;
 pub mod fpc;
+pub mod frame;
 pub mod range;
 
+pub use frame::IntegrityError;
 pub use range::{Cf, RangeCompressor};
 
 /// The cacheline size all compressors are designed around (64 B, Table I).

@@ -1,6 +1,7 @@
 //! Baryon controller configuration.
 
 use crate::addr::Geometry;
+use baryon_mem::FaultConfig;
 use baryon_sim::Cycle;
 use baryon_workloads::Scale;
 use std::error::Error;
@@ -116,6 +117,13 @@ pub struct BaryonConfig {
     /// Fraction of the data area that is OS-visible flat space in
     /// [`HybridMode::Mixed`] (ignored otherwise).
     pub flat_fraction: f64,
+    /// Fault injection on the fast (DDR4) device. Disabled by default;
+    /// enabling it activates the controller's detection/recovery paths.
+    pub fault_fast: FaultConfig,
+    /// Fault injection on the slow (NVM) device.
+    pub fault_slow: FaultConfig,
+    /// Demand reads between metadata-scrub passes (0 disables scrubbing).
+    pub scrub_interval: u64,
 }
 
 impl BaryonConfig {
@@ -160,6 +168,9 @@ impl BaryonConfig {
             aging_period: 10_000,
             victim_policy: VictimPolicy::Auto,
             flat_fraction: 0.0,
+            fault_fast: FaultConfig::default(),
+            fault_slow: FaultConfig::default(),
+            scrub_interval: 0,
         }
     }
 
@@ -323,6 +334,12 @@ impl BaryonConfig {
                 "mixed mode needs flat_fraction strictly between 0 and 1",
             ));
         }
+        self.fault_fast
+            .validate()
+            .map_err(|e| ConfigError::new(format!("fault_fast: {e}")))?;
+        self.fault_slow
+            .validate()
+            .map_err(|e| ConfigError::new(format!("fault_slow: {e}")))?;
         Ok(())
     }
 }
@@ -443,6 +460,21 @@ mod tests {
         let mut c = BaryonConfig::default_cache_mode(scale());
         c.fast_bytes = 12345; // not block aligned
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_rates_are_validated() {
+        let mut c = BaryonConfig::default_cache_mode(scale());
+        c.validate().expect("disabled faults are valid");
+        c.fault_fast.bit_flip_rate = 1.5;
+        let err = c.validate().expect_err("invalid rate");
+        assert!(err.to_string().contains("fault_fast"));
+        c.fault_fast.bit_flip_rate = 1e-4;
+        c.fault_slow.stuck_at_rate = -0.1;
+        let err = c.validate().expect_err("invalid rate");
+        assert!(err.to_string().contains("fault_slow"));
+        c.fault_slow.stuck_at_rate = 1e-6;
+        c.validate().expect("valid rates accepted");
     }
 
     #[test]

@@ -66,6 +66,11 @@ impl BaryonController {
         existing_mask: u32,
         mem: &MemoryContents,
     ) -> (usize, Cf, bool) {
+        if self.meta[b as usize].degraded {
+            // Degraded block (a stuck fast cell was found under its data):
+            // no compression trials, single raw sub-block fetches only.
+            return (sub, Cf::X1, false);
+        }
         if let Some((start, cf)) = self.slow_hint(b, sub) {
             let mask = range_mask(&RangeRef {
                 blk_off: 0,
@@ -174,6 +179,9 @@ impl BaryonController {
 
     /// The widest aligned CF whose whole group is in `mask` and compresses.
     fn best_cf_for_group(&self, b: u64, s: usize, mask: u32, mem: &MemoryContents) -> Cf {
+        if self.meta[b as usize].degraded {
+            return Cf::X1;
+        }
         for cf in [Cf::X4, Cf::X2] {
             let n = cf.sub_blocks();
             let start = s / n * n;
@@ -1118,6 +1126,18 @@ mod tests {
         let (start, cf, compressed) = c.choose_range(5, 1, 0, &m);
         assert_eq!((start, cf), (0, Cf::X4));
         assert!(compressed, "the hint marks a compressed slow copy");
+    }
+
+    #[test]
+    fn degraded_blocks_fill_uncompressed() {
+        let mut c = ctrl();
+        let m = mem(ValueProfile::Zero);
+        let (_, cf, _) = c.choose_range(5, 2, 0, &m);
+        assert_eq!(cf, Cf::X4, "healthy zeros compress");
+        c.meta[5].degraded = true;
+        let (start, cf, compressed) = c.choose_range(5, 2, 0, &m);
+        assert_eq!((start, cf, compressed), (2, Cf::X1, false));
+        assert_eq!(c.best_cf_for_group(5, 0, 0xFF, &m), Cf::X1);
     }
 
     #[test]

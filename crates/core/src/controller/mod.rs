@@ -64,6 +64,10 @@ pub(crate) struct BlockMeta {
     pub(crate) slow_cf4: u32,
     /// Flat mode: this identity-fast block's content is spread into slow.
     pub(crate) displaced: bool,
+    /// Degraded mode (fault recovery): a stuck fast cell was found under
+    /// this block's data, so future fills avoid compression (CF1 only) and
+    /// keep the layout trivially re-fetchable from the slow copy.
+    pub(crate) degraded: bool,
 }
 
 /// Event counters of the Baryon access flow.
@@ -115,6 +119,20 @@ pub struct BaryonCounters {
     pub dbg_commit_partial: u64,
     /// Debug: sub-blocks missing from partial commits.
     pub dbg_commit_missing_subs: u64,
+    /// Integrity faults detected on checked read paths.
+    pub faults_detected: u64,
+    /// Faults corrected by a clean retry (transient transfer errors).
+    pub faults_corrected: u64,
+    /// Faults recovered by re-fetching the slow copy and poisoning the
+    /// fast copy; the block enters degraded (uncompressed-fill) mode.
+    pub faults_degraded: u64,
+    /// Faults with no clean copy anywhere (dirty fast data over a stuck
+    /// cell, or a stuck slow home).
+    pub faults_unrecoverable: u64,
+    /// Metadata-scrub passes completed.
+    pub scrub_passes: u64,
+    /// Inconsistencies repaired by scrub passes (0 in a healthy run).
+    pub scrub_repairs: u64,
 }
 
 impl BaryonCounters {
@@ -158,6 +176,8 @@ pub struct BaryonController {
     pub(crate) data_base: u64,
     /// Flat mode: number of OS blocks resident in the fast flat area.
     pub(crate) flat_blocks: u64,
+    /// Demand reads since the last metadata-scrub pass.
+    pub(crate) reads_since_scrub: u64,
 }
 
 impl BaryonController {
@@ -198,10 +218,13 @@ impl BaryonController {
         // Flat slots (indices below flat_blocks) start as identity-mapped
         // originals; cache slots start free.
         let free_list: Vec<usize> = (flat_blocks as usize..cfg.data_blocks()).rev().collect();
+        let mut devices = Devices::table1();
+        devices.fast.set_fault_injector(cfg.fault_fast);
+        devices.slow.set_fault_injector(cfg.fault_slow);
         BaryonController {
             rc,
             geom,
-            devices: Devices::table1(),
+            devices,
             remap,
             stage,
             phys: (0..cfg.data_blocks())
@@ -228,6 +251,7 @@ impl BaryonController {
             free_list,
             data_base,
             flat_blocks,
+            reads_since_scrub: 0,
             cfg,
         }
     }
@@ -368,6 +392,114 @@ impl BaryonController {
         m.slow_cf4 &= !(1 << (sub / 4));
         m.slow_cf2 &= !(1 << (sub / 2));
     }
+
+    // ---- fault recovery / metadata scrub --------------------------------
+
+    /// Runs one metadata-scrub pass: audits the remap table against the
+    /// physical residency bookkeeping and the stage tag array, repairing
+    /// (and counting) every inconsistency found. A healthy controller
+    /// repairs nothing — the `scrub_repairs` counter is the chaos suite's
+    /// canary for metadata corruption. Returns this pass's repair count.
+    ///
+    /// Scrubbing streams the remap-table region of fast memory, so passes
+    /// cost device bandwidth; they only run when
+    /// [`BaryonConfig::scrub_interval`](crate::config::BaryonConfig) is
+    /// non-zero (or when called directly, e.g. from tests).
+    pub fn scrub_metadata(&mut self, now: Cycle) -> u64 {
+        let mut repairs = 0u64;
+        let table_bytes = self.cfg.remap_table_bytes() as usize;
+        if table_bytes > 0 {
+            self.devices
+                .fast
+                .access(now, self.cfg.stage_bytes, table_bytes, false);
+        }
+
+        // Every non-empty remap entry must point at a committed physical
+        // block that lists it as a resident.
+        for b in 0..self.cfg.os_blocks() {
+            let entry = *self.remap.entry(b);
+            if entry.is_empty() {
+                continue;
+            }
+            let sb = self.geom.super_of_block(b);
+            let phys = self.phys_of_pointer(sb, entry.pointer);
+            let resident = phys < self.phys.len()
+                && matches!(
+                    &self.phys[phys].state,
+                    PhysState::Committed { sb: s, residents } if *s == sb && residents.contains(&b)
+                );
+            if !resident {
+                *self.remap.entry_mut(b) = crate::metadata::RemapEntry::empty();
+                self.meta[b as usize].dirty_mask = 0;
+                repairs += 1;
+            }
+        }
+
+        // Every committed resident must have a remap entry pointing back.
+        for phys in 0..self.phys.len() {
+            let PhysState::Committed { sb, residents } = self.phys[phys].state.clone() else {
+                continue;
+            };
+            let keep: Vec<u64> = residents
+                .iter()
+                .copied()
+                .filter(|r| {
+                    let e = self.remap.entry(*r);
+                    !e.is_empty()
+                        && self.geom.super_of_block(*r) == sb
+                        && self.phys_of_pointer(sb, e.pointer) == phys
+                })
+                .collect();
+            if keep.len() != residents.len() {
+                repairs += (residents.len() - keep.len()) as u64;
+                if keep.is_empty() {
+                    self.release_phys(phys);
+                } else if let PhysState::Committed { residents, .. } = &mut self.phys[phys].state {
+                    *residents = keep;
+                }
+            }
+        }
+
+        // Stage entries: per-block range masks must be in-bounds and
+        // non-overlapping; an entry violating that cannot be trusted.
+        let nsubs = self.geom.subs_per_block();
+        for slot in self.stage.occupied_slots() {
+            let Some(entry) = self.stage.entry(slot) else {
+                continue;
+            };
+            let mut bad = false;
+            for off in 0..self.geom.blocks_per_super as usize {
+                let mut seen = 0u32;
+                for (_, r) in entry.ranges_of(off) {
+                    let mask = serve::range_mask(&r);
+                    if r.sub_off as usize + r.cf.sub_blocks() > nsubs || seen & mask != 0 {
+                        bad = true;
+                    }
+                    seen |= mask;
+                }
+            }
+            if bad {
+                let _ = self.stage.evict(slot);
+                repairs += 1;
+            }
+        }
+
+        self.counters.scrub_passes += 1;
+        self.counters.scrub_repairs += repairs;
+        repairs
+    }
+
+    /// Scrub trigger, charged once per demand read.
+    pub(crate) fn maybe_scrub(&mut self, now: Cycle) {
+        if self.cfg.scrub_interval == 0 {
+            return;
+        }
+        self.reads_since_scrub += 1;
+        if self.reads_since_scrub >= self.cfg.scrub_interval {
+            self.reads_since_scrub = 0;
+            self.scrub_metadata(now);
+        }
+    }
 }
 
 impl MemoryController for BaryonController {
@@ -401,6 +533,12 @@ impl MemoryController for BaryonController {
         stats.set_counter("flat_original_hits", c.flat_original_hits);
         stats.set_counter("displaced_accesses", c.displaced_accesses);
         stats.set_counter("decompressions", c.decompressions);
+        stats.set_counter("faults_detected", c.faults_detected);
+        stats.set_counter("faults_corrected", c.faults_corrected);
+        stats.set_counter("faults_degraded", c.faults_degraded);
+        stats.set_counter("faults_unrecoverable", c.faults_unrecoverable);
+        stats.set_counter("scrub_passes", c.scrub_passes);
+        stats.set_counter("scrub_repairs", c.scrub_repairs);
         stats.set_gauge("avg_cf", c.avg_cf());
         stats.set_gauge("remap_cache_hit_rate", self.remap.cache_hit_rate());
         stats.set_counter("stage_stagings", self.stage.stats().stagings);

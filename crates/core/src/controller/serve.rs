@@ -6,8 +6,40 @@ use crate::ctrl::{Request, Response};
 use crate::metadata::locate_sub_block;
 use crate::metadata::stage_entry::RangeRef;
 use baryon_compress::{Cf, CACHELINE_BYTES};
+use baryon_mem::FaultKind;
 use baryon_sim::Cycle;
 use baryon_workloads::MemoryContents;
+
+/// Where a fast-memory serve's data lives. Fault recovery needs to know
+/// what to poison when the read observes an injected fault.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FastData {
+    /// A `Z`-encoded zero range: no device access at all.
+    Zero,
+    /// A stage-area data slot.
+    Stage {
+        /// Device address of the slot.
+        addr: u64,
+        /// The stage entry holding the range.
+        slot: crate::stage::StageSlot,
+        /// Index of the range in the entry's slot array.
+        idx: usize,
+    },
+    /// A committed data-area slot.
+    Committed {
+        /// Device address of the slot.
+        addr: u64,
+    },
+}
+
+impl FastData {
+    fn addr(&self) -> Option<u64> {
+        match self {
+            FastData::Zero => None,
+            FastData::Stage { addr, .. } | FastData::Committed { addr } => Some(*addr),
+        }
+    }
+}
 
 impl BaryonController {
     pub(crate) fn read_impl(
@@ -27,6 +59,7 @@ impl BaryonController {
         let off = self.geom.blk_off(b);
         let sub = self.geom.sub_of(line);
         let meta_lat = self.cfg.stage_tag_latency;
+        self.maybe_scrub(now);
 
         if self.stage_enabled() {
             let sset = self.stage.set_of(sb);
@@ -39,9 +72,16 @@ impl BaryonController {
                 self.tracker.on_stage_access(slot, b, now, false);
                 self.stage.touch(slot);
                 let range = self.staged_range_of(slot, off, sub, hit.slot);
-                let slot_addr = hit.slot.map(|i| self.stage_slot_addr(slot, i));
+                let data = match hit.slot {
+                    Some(i) => FastData::Stage {
+                        addr: self.stage_slot_addr(slot, i),
+                        slot,
+                        idx: i,
+                    },
+                    None => FastData::Zero,
+                };
                 let (lat, extras) =
-                    self.serve_fast_chunk(now + meta_lat, slot_addr, b, range, line);
+                    self.serve_fast_chunk(now + meta_lat, data, b, range, line, mem);
                 self.serve.record_read(true);
                 self.serve.record_prefetch_lines(extras.len());
                 return Response {
@@ -94,15 +134,17 @@ impl BaryonController {
                     cf,
                     dirty: false,
                 };
-                let slot_addr = if entry.zero {
-                    None
+                let data = if entry.zero {
+                    FastData::Zero
                 } else {
                     let slot = locate_sub_block(self.remap.super_entries(sb), off, start)
                         .expect("remapped sub must locate");
-                    Some(self.data_slot_addr(phys, slot))
+                    FastData::Committed {
+                        addr: self.data_slot_addr(phys, slot),
+                    }
                 };
                 let (lat, extras) =
-                    self.serve_fast_chunk(now + meta_lat, slot_addr, b, range, line);
+                    self.serve_fast_chunk(now + meta_lat, data, b, range, line, mem);
                 self.serve.record_read(true);
                 self.serve.record_prefetch_lines(extras.len());
                 return Response {
@@ -338,15 +380,20 @@ impl BaryonController {
     }
 
     /// Serves a line from a (possibly compressed) fast-memory slot.
-    /// `slot_addr` is `None` for Z ranges (no data access needed).
     /// Returns (latency, extra lines to install in the LLC).
+    ///
+    /// Reads go through the integrity-checked path: an injected fault is
+    /// counted, retried (transient), or recovered from the slow copy with
+    /// the faulty fast copy poisoned and the block degraded to CF1 fills
+    /// (see [`BaryonController::resolve_fast_fault`]).
     pub(crate) fn serve_fast_chunk(
         &mut self,
         at: Cycle,
-        slot_addr: Option<u64>,
+        data: FastData,
         block: u64,
         range: RangeRef,
         line: u64,
+        mem: &mut MemoryContents,
     ) -> (Cycle, Vec<u64>) {
         let range_base = self.geom.sub_addr(block, range.sub_off as usize);
         let cf = range.cf.factor() as u64;
@@ -358,43 +405,172 @@ impl BaryonController {
                 .filter(|l| *l != line)
                 .collect()
         };
-        match slot_addr {
-            None => {
-                // Z range: no data movement at all.
-                self.counters.zero_serves += 1;
-                (0, chunk_lines(chunk_id))
-            }
-            Some(base) => {
-                if range.cf == Cf::X1 {
-                    let done = self.devices.fast.access(at, base + li * 64, 64, false);
-                    (done - at, Vec::new())
-                } else if self.cfg.cacheline_aligned {
-                    let done = self
-                        .devices
-                        .fast
-                        .access(at, base + chunk_id * 64, 64, false);
-                    self.counters.decompressions += 1;
-                    (
-                        done - at + self.cfg.decompress_cycles,
-                        chunk_lines(chunk_id),
-                    )
-                } else {
-                    // Without cacheline alignment the whole slot must be
-                    // fetched and decompressed (Fig 7 left).
-                    let done =
-                        self.devices
-                            .fast
-                            .access(at, base, self.geom.sub_bytes as usize, false);
-                    self.counters.decompressions += 1;
-                    let range_lines = (range.cf.sub_blocks() * self.geom.lines_per_sub()) as u64;
-                    let extras = (0..range_lines)
-                        .map(|j| range_base + j * 64)
-                        .filter(|l| *l != line)
-                        .collect();
-                    (done - at + self.cfg.decompress_cycles, extras)
-                }
+        let Some(base) = data.addr() else {
+            // Z range: no data movement at all.
+            self.counters.zero_serves += 1;
+            return (0, chunk_lines(chunk_id));
+        };
+        if range.cf == Cf::X1 {
+            let done =
+                self.checked_fast_read(at, base + li * 64, 64, block, range, data, line, mem);
+            (done - at, Vec::new())
+        } else if self.cfg.cacheline_aligned {
+            let done =
+                self.checked_fast_read(at, base + chunk_id * 64, 64, block, range, data, line, mem);
+            self.counters.decompressions += 1;
+            (
+                done - at + self.cfg.decompress_cycles,
+                chunk_lines(chunk_id),
+            )
+        } else {
+            // Without cacheline alignment the whole slot must be
+            // fetched and decompressed (Fig 7 left).
+            let done = self.checked_fast_read(
+                at,
+                base,
+                self.geom.sub_bytes as usize,
+                block,
+                range,
+                data,
+                line,
+                mem,
+            );
+            self.counters.decompressions += 1;
+            let range_lines = (range.cf.sub_blocks() * self.geom.lines_per_sub()) as u64;
+            let extras = (0..range_lines)
+                .map(|j| range_base + j * 64)
+                .filter(|l| *l != line)
+                .collect();
+            (done - at + self.cfg.decompress_cycles, extras)
+        }
+    }
+
+    /// A fast-memory read with end-to-end integrity checking: on a fault
+    /// the recovery path runs and the returned completion cycle includes
+    /// the recovery work.
+    #[allow(clippy::too_many_arguments)]
+    fn checked_fast_read(
+        &mut self,
+        at: Cycle,
+        addr: u64,
+        bytes: usize,
+        block: u64,
+        range: RangeRef,
+        data: FastData,
+        line: u64,
+        mem: &mut MemoryContents,
+    ) -> Cycle {
+        let o = self.devices.fast.access_outcome(at, addr, bytes, false);
+        match o.fault {
+            None => o.done,
+            Some(kind) => {
+                self.resolve_fast_fault(o.done, addr, bytes, block, range, data, line, kind, mem)
             }
         }
+    }
+
+    /// Recovery for a faulted fast-memory read (the tentpole of the fault
+    /// model, see ARCHITECTURE.md "Fault model & recovery"):
+    ///
+    /// 1. transient fault → retry once; a clean retry *corrects* it;
+    /// 2. stuck fault (or failed retry) over clean data with a slow home →
+    ///    re-fetch the line from the slow copy, poison and evict the fast
+    ///    copy, and *degrade* the block to uncompressed (CF1) fills;
+    /// 3. otherwise (dirty data over a bad cell, a fast-home block with no
+    ///    second copy, or a stuck slow home) the fault is *unrecoverable*.
+    ///
+    /// Every detected fault lands in exactly one of those counters, so
+    /// `faults_detected == corrected + degraded + unrecoverable` holds by
+    /// construction.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_fast_fault(
+        &mut self,
+        done: Cycle,
+        addr: u64,
+        bytes: usize,
+        block: u64,
+        range: RangeRef,
+        data: FastData,
+        line: u64,
+        kind: FaultKind,
+        mem: &mut MemoryContents,
+    ) -> Cycle {
+        self.counters.faults_detected += 1;
+        if kind == FaultKind::Transient {
+            let retry = self.devices.fast.access_outcome(done, addr, bytes, false);
+            if retry.fault.is_none() {
+                self.counters.faults_corrected += 1;
+                return retry.done;
+            }
+            // The retry faulted too: fall through to the stuck path.
+        }
+        let dirty = match data {
+            FastData::Stage { slot, idx, .. } => self
+                .stage
+                .entry(slot)
+                .and_then(|e| e.slots[idx])
+                .is_some_and(|r| r.dirty),
+            FastData::Committed { .. } => {
+                self.meta[block as usize].dirty_mask & range_mask(&range) != 0
+            }
+            FastData::Zero => false,
+        };
+        if self.has_fast_home(block) || dirty {
+            // The faulty fast copy is the only current one: data loss.
+            self.counters.faults_unrecoverable += 1;
+            return done;
+        }
+        // Re-fetch the demanded line from the clean slow copy (one retry
+        // on a transient fault during recovery).
+        let sub = self.geom.sub_of(line);
+        let slow_addr = self.slow_home_addr(block, sub) + (line - self.geom.sub_addr(block, sub));
+        let mut refetch = self.devices.slow.access_outcome(done, slow_addr, 64, false);
+        if refetch.fault == Some(FaultKind::Transient) {
+            refetch = self
+                .devices
+                .slow
+                .access_outcome(refetch.done, slow_addr, 64, false);
+        }
+        if refetch.fault.is_some() {
+            self.counters.faults_unrecoverable += 1;
+            return refetch.done;
+        }
+        // Poison and evict the faulty fast copy; the block degrades to
+        // uncompressed fills so future recovery stays trivial.
+        self.counters.faults_degraded += 1;
+        self.meta[block as usize].degraded = true;
+        match data {
+            FastData::Stage { slot, idx, .. } => {
+                if let Some(e) = self.stage.entry_mut(slot) {
+                    e.slots[idx] = None;
+                }
+            }
+            FastData::Committed { .. } => self.evict_committed_block(refetch.done, block, mem),
+            FastData::Zero => {}
+        }
+        refetch.done
+    }
+
+    /// A slow-memory read with integrity checking: transient faults retry
+    /// once; anything else is unrecoverable (the slow home has no second
+    /// copy behind it).
+    fn checked_slow_read(&mut self, at: Cycle, addr: u64, bytes: usize) -> Cycle {
+        let o = self.devices.slow.access_outcome(at, addr, bytes, false);
+        let Some(kind) = o.fault else {
+            return o.done;
+        };
+        self.counters.faults_detected += 1;
+        if kind == FaultKind::Transient {
+            let retry = self.devices.slow.access_outcome(o.done, addr, bytes, false);
+            if retry.fault.is_none() {
+                self.counters.faults_corrected += 1;
+            } else {
+                self.counters.faults_unrecoverable += 1;
+            }
+            return retry.done;
+        }
+        self.counters.faults_unrecoverable += 1;
+        o.done
     }
 
     /// Reads the demanded line from slow memory, honouring compressed-slow
@@ -412,7 +588,7 @@ impl BaryonController {
             let li = (line - range_base) / 64;
             let chunk_id = li / cfn;
             let addr = self.slow_home_addr(b, start) + chunk_id * 64;
-            let done = self.devices.slow.access(at, addr, 64, false);
+            let done = self.checked_slow_read(at, addr, 64);
             self.counters.decompressions += 1;
             let extras = (0..cfn)
                 .map(|j| range_base + (chunk_id * cfn + j) * 64)
@@ -421,7 +597,7 @@ impl BaryonController {
             (done - at + self.cfg.decompress_cycles, extras)
         } else {
             let addr = self.slow_home_addr(b, sub) + (line - self.geom.sub_addr(b, sub));
-            let done = self.devices.slow.access(at, addr, 64, false);
+            let done = self.checked_slow_read(at, addr, 64);
             (done - at, Vec::new())
         }
     }
@@ -524,6 +700,7 @@ mod tests {
     use super::*;
     use crate::config::BaryonConfig;
     use crate::controller::BaryonController;
+    use crate::ctrl::MemoryController;
     use baryon_workloads::{MemoryContents, ProfileMix, Scale, ValueProfile};
 
     fn ctrl() -> BaryonController {
@@ -588,13 +765,15 @@ mod tests {
     #[test]
     fn serve_fast_chunk_returns_co_decompressed_neighbours() {
         let mut c = ctrl();
+        let mut m = mem(ValueProfile::NarrowInt);
         let r = RangeRef {
             blk_off: 0,
             sub_off: 0,
             cf: Cf::X2,
             dirty: false,
         };
-        let (lat, extras) = c.serve_fast_chunk(0, Some(0), 0, r, 64);
+        let data = FastData::Committed { addr: 0 };
+        let (lat, extras) = c.serve_fast_chunk(0, data, 0, r, 64, &mut m);
         assert!(lat > 0);
         // The 128 B chunk holding line 64 also holds line 0.
         assert_eq!(extras, vec![0]);
@@ -603,13 +782,14 @@ mod tests {
     #[test]
     fn serve_fast_chunk_zero_is_free() {
         let mut c = ctrl();
+        let mut m = mem(ValueProfile::NarrowInt);
         let r = RangeRef {
             blk_off: 0,
             sub_off: 0,
             cf: Cf::X4,
             dirty: false,
         };
-        let (lat, extras) = c.serve_fast_chunk(0, None, 0, r, 128);
+        let (lat, extras) = c.serve_fast_chunk(0, FastData::Zero, 0, r, 128, &mut m);
         assert_eq!(lat, 0, "Z ranges cost no device time");
         assert_eq!(extras.len(), 3, "the rest of the 4-line chunk comes free");
         assert_eq!(c.counters().zero_serves, 1);
@@ -667,6 +847,52 @@ mod tests {
             dirty: true,
         };
         assert!(c.chunk_still_fits(0, r, 0, &m));
+    }
+
+    #[test]
+    fn persistent_fast_faults_poison_and_degrade() {
+        // A flip rate this high faults (and re-faults on retry) every fast
+        // read; the slow device stays clean, so recovery must refetch,
+        // poison the staged range, and degrade the block.
+        let mut cfg = BaryonConfig::default_cache_mode(Scale { divisor: 2048 });
+        cfg.fault_fast = baryon_mem::FaultConfig {
+            bit_flip_rate: 0.5,
+            stuck_at_rate: 0.0,
+            seed: 3,
+        };
+        let mut c = BaryonController::new(cfg);
+        let mut m = mem(ValueProfile::NarrowInt);
+        let addr = 4 * 2048;
+        c.read(0, crate::ctrl::Request { addr, core: 0 }, &mut m); // stage it
+        c.read(100_000, crate::ctrl::Request { addr, core: 0 }, &mut m);
+        let k = c.counters();
+        assert!(k.faults_detected >= 1);
+        assert!(k.faults_degraded >= 1, "clean staged data recovers: {k:?}");
+        assert_eq!(k.faults_unrecoverable, 0);
+        assert!(c.meta[4].degraded, "the block enters degraded mode");
+    }
+
+    #[test]
+    fn dirty_data_over_faulty_cells_is_unrecoverable() {
+        let mut cfg = BaryonConfig::default_cache_mode(Scale { divisor: 2048 });
+        cfg.fault_fast = baryon_mem::FaultConfig {
+            bit_flip_rate: 0.5,
+            stuck_at_rate: 0.0,
+            seed: 3,
+        };
+        let mut c = BaryonController::new(cfg);
+        let mut m = mem(ValueProfile::NarrowInt);
+        let addr = 4 * 2048;
+        c.read(0, crate::ctrl::Request { addr, core: 0 }, &mut m);
+        // Dirty the staged range: the slow copy is now stale, so a faulty
+        // fast read has no clean source left.
+        c.writeback(50_000, addr, &mut m);
+        c.read(100_000, crate::ctrl::Request { addr, core: 0 }, &mut m);
+        let k = c.counters();
+        assert!(
+            k.faults_unrecoverable >= 1,
+            "dirty data cannot recover: {k:?}"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::DeviceConfig;
 use crate::energy::EnergyMeter;
+use crate::fault::{FaultConfig, FaultInjector, FaultKind};
 use baryon_sim::stats::Stats;
 use baryon_sim::Cycle;
 
@@ -24,12 +25,23 @@ pub struct DeviceStats {
     pub bus_busy_cycles: u64,
     /// Total energy consumed, picojoules.
     pub energy_pj: f64,
+    /// Reads that observed an injected transient (bit-flip) fault.
+    pub faults_transient: u64,
+    /// Reads that observed an injected stuck-at fault.
+    pub faults_stuck: u64,
 }
 
 impl DeviceStats {
-    /// Total bytes moved in either direction.
+    /// Total bytes moved in either direction. Saturates rather than
+    /// wrapping: with hostile byte counts the totals pin at `u64::MAX`
+    /// instead of silently overflowing in release builds.
     pub fn total_bytes(&self) -> u64 {
-        self.read_bytes + self.written_bytes
+        self.read_bytes.saturating_add(self.written_bytes)
+    }
+
+    /// Total injected faults observed by reads, either kind.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_transient.saturating_add(self.faults_stuck)
     }
 
     /// Exports into a [`Stats`] registry.
@@ -41,6 +53,8 @@ impl DeviceStats {
         stats.set_counter("row_hits", self.row_hits);
         stats.set_counter("row_misses", self.row_misses);
         stats.set_counter("bus_busy_cycles", self.bus_busy_cycles);
+        stats.set_counter("faults_transient", self.faults_transient);
+        stats.set_counter("faults_stuck", self.faults_stuck);
         stats.set_gauge("energy_pj", self.energy_pj);
     }
 }
@@ -74,6 +88,18 @@ pub struct MemDevice {
     channel_free: Vec<Cycle>,
     stats: DeviceStats,
     meter: EnergyMeter,
+    fault: Option<FaultInjector>,
+}
+
+/// The result of one device access: the completion cycle plus any fault
+/// the transfer observed (always `None` on writes and on devices without
+/// an installed [`FaultInjector`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycle at which the transfer completes.
+    pub done: Cycle,
+    /// Injected fault observed by the read, if any.
+    pub fault: Option<FaultKind>,
 }
 
 /// Interleave granularity across channels (one sub-block).
@@ -96,12 +122,35 @@ impl MemDevice {
             channel_free,
             stats: DeviceStats::default(),
             meter,
+            fault: None,
         }
     }
 
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.cfg
+    }
+
+    /// Installs (or, with a disabled config, removes) a fault injector
+    /// layered under the read path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`FaultConfig::validate`]).
+    pub fn set_fault_injector(&mut self, cfg: FaultConfig) {
+        self.fault = cfg.enabled().then(|| FaultInjector::new(cfg));
+    }
+
+    /// The installed fault injector's configuration, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref().map(FaultInjector::config)
+    }
+
+    /// True when the 64 B line at `addr` is permanently stuck under the
+    /// installed injector.
+    pub fn line_is_stuck(&self, addr: u64) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.line_is_stuck(addr))
     }
 
     /// Accumulated statistics.
@@ -138,6 +187,27 @@ impl MemDevice {
     ///
     /// Panics if `bytes == 0`.
     pub fn access(&mut self, now: Cycle, addr: u64, bytes: usize, is_write: bool) -> Cycle {
+        self.access_outcome(now, addr, bytes, is_write).done
+    }
+
+    /// [`MemDevice::access`], but also reporting any injected fault the
+    /// read observed. Callers on integrity-checked paths use this form;
+    /// plain `access` discards the flag (latent faults a real system
+    /// would only notice at the next end-to-end check).
+    ///
+    /// Timing arithmetic saturates: hostile byte counts pin cycle and
+    /// byte totals at their maxima instead of wrapping in release builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn access_outcome(
+        &mut self,
+        now: Cycle,
+        addr: u64,
+        bytes: usize,
+        is_write: bool,
+    ) -> AccessOutcome {
         assert!(bytes > 0, "zero-byte access");
         let (bank_idx, row) = self.bank_of(addr);
         let channel = self.channel_of(addr);
@@ -161,37 +231,54 @@ impl MemDevice {
 
         let bursts = (bytes as u64).div_ceil(64);
         // Extra rows touched by a long transfer each cost an activation.
-        let extra_rows = (addr + bytes as u64 - 1) / self.cfg.row_bytes - addr / self.cfg.row_bytes;
-        let extra_row_latency = extra_rows
-            * if self.cfg.miss_penalty > 0 {
-                self.cfg.miss_penalty
-            } else {
-                0
-            };
+        let last_byte = addr.saturating_add(bytes as u64 - 1);
+        let extra_rows = last_byte / self.cfg.row_bytes - addr / self.cfg.row_bytes;
+        let extra_row_latency = extra_rows.saturating_mul(if self.cfg.miss_penalty > 0 {
+            self.cfg.miss_penalty
+        } else {
+            0
+        });
         for _ in 0..extra_rows {
             self.meter.charge_act_pre(&mut self.stats);
         }
 
         let write_extra = if is_write { self.cfg.write_extra } else { 0 };
-        let transfer = bursts * self.cfg.burst_cycles;
-        let done = start + access_latency + write_extra + extra_row_latency + transfer;
+        let transfer = bursts.saturating_mul(self.cfg.burst_cycles);
+        let busy = start
+            .saturating_add(access_latency)
+            .saturating_add(write_extra)
+            .saturating_add(transfer);
+        let done = busy.saturating_add(extra_row_latency);
 
         // Bank busy until the access completes; channel busy for the burst.
         self.banks[bank_idx].free_at = done;
-        self.channel_free[channel] = start + access_latency + write_extra + transfer;
-        self.stats.bus_busy_cycles += transfer;
+        self.channel_free[channel] = busy;
+        self.stats.bus_busy_cycles = self.stats.bus_busy_cycles.saturating_add(transfer);
 
         if is_write {
             self.stats.writes += 1;
-            self.stats.written_bytes += bytes as u64;
+            self.stats.written_bytes = self.stats.written_bytes.saturating_add(bytes as u64);
         } else {
             self.stats.reads += 1;
-            self.stats.read_bytes += bytes as u64;
+            self.stats.read_bytes = self.stats.read_bytes.saturating_add(bytes as u64);
         }
         self.meter
             .charge_transfer(&mut self.stats, bytes as u64, is_write);
 
-        done
+        let fault = match (&mut self.fault, is_write) {
+            (Some(injector), false) => {
+                let fault = injector.observe_read(addr, bytes);
+                match fault {
+                    Some(FaultKind::Transient) => self.stats.faults_transient += 1,
+                    Some(FaultKind::Stuck) => self.stats.faults_stuck += 1,
+                    None => {}
+                }
+                fault
+            }
+            _ => None,
+        };
+
+        AccessOutcome { done, fault }
     }
 
     /// The latency an isolated 64 B read would observe on an idle device
@@ -336,6 +423,59 @@ mod tests {
         d.stats().export(&mut s);
         assert_eq!(s.counter("writes"), 1);
         assert_eq!(s.counter("written_bytes"), 64);
+        assert_eq!(s.counter("faults_transient"), 0);
+        assert_eq!(s.counter("faults_stuck"), 0);
         assert!(s.gauge("energy_pj") > 0.0);
+    }
+
+    #[test]
+    fn hostile_byte_counts_saturate_instead_of_overflowing() {
+        let mut d = dram();
+        // Two near-maximal transfers: totals pin at u64::MAX, timing
+        // stays monotone, and nothing wraps or panics.
+        let first = d.access(0, u64::MAX - 64, usize::MAX, false);
+        let done = d.access(0, u64::MAX - 64, usize::MAX, true);
+        assert_eq!(d.stats().total_bytes(), u64::MAX);
+        assert!(done >= first, "saturating timing stays monotone");
+        let s = DeviceStats {
+            read_bytes: u64::MAX,
+            written_bytes: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.total_bytes(), u64::MAX);
+    }
+
+    #[test]
+    fn injected_faults_surface_through_access_outcome() {
+        let mut d = dram();
+        d.set_fault_injector(crate::fault::FaultConfig {
+            bit_flip_rate: 0.05,
+            stuck_at_rate: 0.0,
+            seed: 9,
+        });
+        let mut observed = 0u64;
+        for i in 0..2_000u64 {
+            let out = d.access_outcome(0, i * 64, 64, false);
+            observed += u64::from(out.fault.is_some());
+            // Writes never report faults.
+            assert_eq!(d.access_outcome(0, i * 64, 64, true).fault, None);
+        }
+        assert!(observed > 0, "5%/bit must fault within 2000 reads");
+        assert_eq!(d.stats().faults_injected(), observed);
+        assert_eq!(d.stats().faults_stuck, 0);
+    }
+
+    #[test]
+    fn disabled_injector_adds_no_drift() {
+        let mut plain = dram();
+        let mut with_disabled = dram();
+        with_disabled.set_fault_injector(crate::fault::FaultConfig::default());
+        for i in 0..500u64 {
+            let a = plain.access(i, i * 128, 256, i % 3 == 0);
+            let out = with_disabled.access_outcome(i, i * 128, 256, i % 3 == 0);
+            assert_eq!(a, out.done);
+            assert_eq!(out.fault, None);
+        }
+        assert_eq!(plain.stats(), with_disabled.stats());
     }
 }

@@ -1,0 +1,277 @@
+//! Seeded, deterministic fault injection for memory devices.
+//!
+//! Real hybrid-memory parts are not perfectly reliable: NVM in particular
+//! has a non-trivial raw bit error rate, and DRAM rows develop stuck
+//! cells. The simulator models two fault classes:
+//!
+//! * **transient** faults — bit flips during a transfer. Re-reading the
+//!   same location returns clean data; a retry or a re-fetch from the
+//!   redundant copy corrects them.
+//! * **stuck-at** faults — permanently bad 64 B lines. The *same* device
+//!   line faults on every read, so the only recovery is to stop using the
+//!   location (or the copy stored there).
+//!
+//! Both are driven by the in-repo deterministic RNG so a run is exactly
+//! reproducible from `FaultConfig::seed`: transient draws come from a
+//! [`SimRng`] stream advanced once per injected read, and stuck lines are
+//! a pure hash of the line address (`mix64(seed, line)`), which makes the
+//! stuck set a property of the seed rather than of access order.
+//!
+//! The injector only *flags* faulting accesses — [`crate::MemDevice`] is
+//! a timing model and holds no data bytes, so corruption is represented
+//! as "this read observed a fault" and the controller above decides what
+//! that means for the data it believes lives there.
+
+use baryon_sim::rng::{mix64, SimRng};
+
+/// Bits in one device line, the granularity at which stuck cells are
+/// tracked (64 B, one cacheline burst).
+const LINE_BYTES: u64 = 64;
+const LINE_BITS: i32 = (LINE_BYTES * 8) as i32;
+
+/// Per-device fault-injection rates. The default is fully disabled and
+/// adds zero behavioural drift: no RNG is consumed and no extra work is
+/// done on the access path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-bit probability that a transferred bit flips in transit.
+    pub bit_flip_rate: f64,
+    /// Per-bit probability that a bit belongs to a permanently stuck
+    /// line. Expanded to a per-64 B-line probability internally.
+    pub stuck_at_rate: f64,
+    /// Seed for the transient draw stream and the stuck-line hash.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            bit_flip_rate: 0.0,
+            stuck_at_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when either fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.bit_flip_rate > 0.0 || self.stuck_at_rate > 0.0
+    }
+
+    /// Validates the rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field when a rate is not a
+    /// probability in `[0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("bit_flip_rate", self.bit_flip_rate),
+            ("stuck_at_rate", self.stuck_at_rate),
+        ] {
+            if !(0.0..1.0).contains(&rate) {
+                return Err(format!("{name} must be in [0, 1), got {rate}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The class of fault a read observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A transfer error; the stored data is fine and a retry succeeds.
+    Transient,
+    /// The location itself is bad; every read of it faults.
+    Stuck,
+}
+
+/// The deterministic fault source layered under a device's read path.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SimRng,
+    /// Salt for the stuck-line hash, derived from the seed but distinct
+    /// from the transient stream.
+    stuck_salt: u64,
+    /// Pre-expanded per-line stuck probability mapped onto the 53-bit
+    /// uniform hash range (compare once per line, no float math per read).
+    stuck_threshold: u64,
+}
+
+/// Converts a per-bit rate to a per-`bits` event probability.
+fn per_access_probability(per_bit: f64, bits: i32) -> f64 {
+    1.0 - (1.0 - per_bit).powi(bits)
+}
+
+impl FaultInjector {
+    /// Creates an injector from validated rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`FaultConfig::validate`]).
+    pub fn new(cfg: FaultConfig) -> Self {
+        cfg.validate().expect("invalid fault config");
+        let per_line = per_access_probability(cfg.stuck_at_rate, LINE_BITS);
+        // Same mapping gen_f64 uses: 53 high bits over [0, 1).
+        let stuck_threshold = (per_line * (1u64 << 53) as f64) as u64;
+        FaultInjector {
+            cfg,
+            rng: SimRng::from_seed(cfg.seed ^ 0x00FA_017F_A017),
+            stuck_salt: mix64(cfg.seed, 0x57_0C_4A_11),
+            stuck_threshold,
+        }
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// True when the 64 B line holding `addr` is permanently stuck. Pure
+    /// in the address: repeated queries always agree.
+    pub fn line_is_stuck(&self, addr: u64) -> bool {
+        if self.stuck_threshold == 0 {
+            return false;
+        }
+        let line = addr / LINE_BYTES;
+        (mix64(self.stuck_salt, line) >> 11) < self.stuck_threshold
+    }
+
+    /// Draws the fault (if any) observed by a read of `bytes` bytes at
+    /// `addr`. Stuck lines dominate transient flips: if the read touches
+    /// a stuck line the outcome is [`FaultKind::Stuck`] regardless of the
+    /// transient draw, and no transient randomness is consumed (keeping
+    /// stuck-line reads deterministic in isolation).
+    pub fn observe_read(&mut self, addr: u64, bytes: usize) -> Option<FaultKind> {
+        let first = addr / LINE_BYTES;
+        let last = addr.saturating_add(bytes.saturating_sub(1) as u64) / LINE_BYTES;
+        for line in first..=last {
+            if self.line_is_stuck(line * LINE_BYTES) {
+                return Some(FaultKind::Stuck);
+            }
+        }
+        if self.cfg.bit_flip_rate > 0.0 {
+            let bits = (bytes as u64).saturating_mul(8).min(i32::MAX as u64) as i32;
+            if self
+                .rng
+                .gen_bool(per_access_probability(self.cfg.bit_flip_rate, bits))
+            {
+                return Some(FaultKind::Transient);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aggressive() -> FaultConfig {
+        FaultConfig {
+            bit_flip_rate: 1e-3,
+            stuck_at_rate: 1e-4,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!FaultConfig::default().enabled());
+        assert!(FaultConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rates_outside_unit_interval_rejected() {
+        for bad in [-0.1, 1.0, 2.0, f64::NAN] {
+            let cfg = FaultConfig {
+                bit_flip_rate: bad,
+                ..FaultConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "rate {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let mut a = FaultInjector::new(aggressive());
+        let mut b = FaultInjector::new(aggressive());
+        for i in 0..10_000u64 {
+            assert_eq!(
+                a.observe_read(i * 64, 64),
+                b.observe_read(i * 64, 64),
+                "diverged at access {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn stuck_lines_are_stable_per_address() {
+        let inj = FaultInjector::new(FaultConfig {
+            stuck_at_rate: 1e-3,
+            ..FaultConfig::default()
+        });
+        let stuck: Vec<u64> = (0..100_000u64)
+            .map(|l| l * 64)
+            .filter(|a| inj.line_is_stuck(*a))
+            .collect();
+        assert!(!stuck.is_empty(), "1e-3/bit should mark some lines stuck");
+        let mut inj2 = FaultInjector::new(FaultConfig {
+            stuck_at_rate: 1e-3,
+            ..FaultConfig::default()
+        });
+        for a in &stuck {
+            assert!(inj.line_is_stuck(*a));
+            assert_eq!(inj2.observe_read(*a, 64), Some(FaultKind::Stuck));
+        }
+    }
+
+    #[test]
+    fn transient_rate_tracks_configuration() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            bit_flip_rate: 1e-4,
+            ..FaultConfig::default()
+        });
+        let trials = 50_000;
+        let mut hits = 0u64;
+        for i in 0..trials {
+            if inj.observe_read(i * 64, 64).is_some() {
+                hits += 1;
+            }
+        }
+        // p(64 B read faults) = 1 - (1 - 1e-4)^512 ≈ 0.0499.
+        let observed = hits as f64 / trials as f64;
+        assert!(
+            (observed - 0.0499).abs() < 0.01,
+            "observed transient rate {observed} far from expected 0.0499"
+        );
+    }
+
+    #[test]
+    fn disabled_injector_never_faults() {
+        let mut inj = FaultInjector::new(FaultConfig::default());
+        for i in 0..10_000u64 {
+            assert_eq!(inj.observe_read(i * 64, 2048), None);
+        }
+    }
+
+    #[test]
+    fn long_reads_fault_more_often_than_short() {
+        let cfg = FaultConfig {
+            bit_flip_rate: 1e-4,
+            ..FaultConfig::default()
+        };
+        let mut short = FaultInjector::new(cfg);
+        let mut long = FaultInjector::new(cfg);
+        let trials = 20_000;
+        let (mut s, mut l) = (0u64, 0u64);
+        for i in 0..trials {
+            s += u64::from(short.observe_read(i * 64, 64).is_some());
+            l += u64::from(long.observe_read(i * 64, 2048).is_some());
+        }
+        assert!(l > s, "2 kB reads ({l}) should fault more than 64 B ({s})");
+    }
+}

@@ -30,7 +30,9 @@
 pub mod config;
 pub mod device;
 pub mod energy;
+pub mod fault;
 pub mod frfcfs;
 
 pub use config::DeviceConfig;
-pub use device::{DeviceStats, MemDevice};
+pub use device::{AccessOutcome, DeviceStats, MemDevice};
+pub use fault::{FaultConfig, FaultInjector, FaultKind};

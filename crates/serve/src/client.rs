@@ -4,10 +4,225 @@
 //! bodies only — the mirror image of what [`crate::http`] serves. The
 //! end-to-end tests and the README's example session both use it, so the
 //! documented workflow is the tested workflow.
+//!
+//! [`Client`] adds the knobs the bare [`request`] helper hides:
+//! configurable connect and read timeouts (builder methods, or the
+//! `BARYON_CLIENT_CONNECT_TIMEOUT_MS` / `BARYON_CLIENT_READ_TIMEOUT_MS`
+//! environment variables), errors typed by phase so callers can tell a
+//! dead server ([`ClientError::Connect`]) from a stalled one
+//! ([`ClientError::Timeout`]), and [`Client::request_with_retry`] —
+//! exponential backoff with deterministic jitter on `503` backpressure
+//! and read timeouts, honouring the server's `Retry-After` header.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Why a request failed, split by phase so callers can react differently
+/// to "server unreachable" and "server accepted the connection but never
+/// answered in time".
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect failed or timed out: the server is down, the port is
+    /// wrong, or the listener's backlog is not being drained.
+    Connect(io::Error),
+    /// The connection succeeded but the response did not arrive within
+    /// the read timeout.
+    Timeout(io::Error),
+    /// Any other I/O or parse failure after connecting (reset mid-body,
+    /// malformed response, ...).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Timeout(e) => write!(f, "response timed out: {e}"),
+            ClientError::Io(e) => write!(f, "request failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Connect(e) | ClientError::Timeout(e) | ClientError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> io::Error {
+        match e {
+            ClientError::Connect(e) | ClientError::Timeout(e) | ClientError::Io(e) => e,
+        }
+    }
+}
+
+/// A configured client for one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    retries: u32,
+    backoff_base: Duration,
+}
+
+/// Upper bound on a single backoff sleep, so a long `Retry-After` or a
+/// deep retry chain cannot park the caller for minutes.
+const BACKOFF_CAP: Duration = Duration::from_secs(10);
+
+fn env_ms(name: &str) -> Option<Duration> {
+    std::env::var(name)
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .map(Duration::from_millis)
+}
+
+impl Client {
+    /// A client with default timeouts (5 s connect, 60 s read), overridden
+    /// by `BARYON_CLIENT_CONNECT_TIMEOUT_MS` / `BARYON_CLIENT_READ_TIMEOUT_MS`
+    /// when set to a millisecond count. Retries are off (`retries == 0`)
+    /// until enabled via [`Client::retries`].
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            connect_timeout: env_ms("BARYON_CLIENT_CONNECT_TIMEOUT_MS")
+                .unwrap_or(Duration::from_secs(5)),
+            read_timeout: env_ms("BARYON_CLIENT_READ_TIMEOUT_MS")
+                .unwrap_or(Duration::from_secs(60)),
+            retries: 0,
+            backoff_base: Duration::from_millis(100),
+        }
+    }
+
+    /// Sets the TCP connect timeout.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> Client {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the response read timeout.
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> Client {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets how many times [`Client::request_with_retry`] retries after
+    /// `503` or a timeout (so it attempts at most `retries + 1` times).
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Client {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the first backoff delay; each retry doubles it (capped).
+    #[must_use]
+    pub fn backoff_base(mut self, base: Duration) -> Client {
+        self.backoff_base = base;
+        self
+    }
+
+    /// Sends one request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] when the TCP connect fails or exceeds the
+    /// connect timeout, [`ClientError::Timeout`] when the response does
+    /// not arrive within the read timeout, [`ClientError::Io`] otherwise.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)
+            .map_err(ClientError::Connect)?;
+        let exchange = || -> io::Result<ClientResponse> {
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            let mut writer = stream.try_clone()?;
+            let body = body.unwrap_or("");
+            // One buffer, one write: a server that answers-and-closes
+            // early must not break a multi-syscall request mid-stream.
+            let request = format!(
+                "{method} {path} HTTP/1.1\r\nHost: baryon\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            writer.write_all(request.as_bytes())?;
+            writer.flush()?;
+            read_response(&mut BufReader::new(&stream))
+        };
+        exchange().map_err(|e| {
+            // Both names appear in the wild for a read-timeout errno
+            // (WouldBlock on Unix, TimedOut on Windows).
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                ClientError::Timeout(e)
+            } else {
+                ClientError::Io(e)
+            }
+        })
+    }
+
+    /// Like [`Client::request`], but retries on `503` responses and read
+    /// timeouts with exponential backoff and deterministic jitter. A `503`
+    /// carrying `Retry-After: <seconds>` sleeps that long instead of the
+    /// backoff (both capped at 10 s). Connect, I/O, and parse errors are
+    /// returned immediately — retrying cannot fix a dead server, and
+    /// POSTs must not be replayed onto a connection that broke mid-body.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error, or the final `503` response (as an `Ok`)
+    /// once retries are exhausted.
+    pub fn request_with_retry(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let wait = match self.request(method, path, body) {
+                Ok(r) if r.status == 503 && attempt < self.retries => r
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(Duration::from_secs),
+                Ok(r) => return Ok(r),
+                Err(ClientError::Timeout(_)) if attempt < self.retries => None,
+                Err(e) => return Err(e),
+            };
+            let delay = wait.unwrap_or_else(|| backoff_delay(self.backoff_base, attempt));
+            std::thread::sleep(delay.min(BACKOFF_CAP) + jitter(self.addr, attempt));
+            attempt += 1;
+        }
+    }
+}
+
+/// `base << attempt`, saturating, capped at [`BACKOFF_CAP`].
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+        .min(BACKOFF_CAP)
+}
+
+/// Deterministic 0–15 ms jitter so a herd of clients hashing different
+/// source state desynchronises without any wall-clock randomness.
+fn jitter(addr: SocketAddr, attempt: u32) -> Duration {
+    let seed = (u64::from(addr.port()) << 32) ^ u64::from(attempt);
+    let mixed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    Duration::from_millis(mixed >> 60)
+}
 
 /// A parsed response: status code, headers, body text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +246,9 @@ impl ClientResponse {
     }
 }
 
-/// Sends one request and reads the full response.
+/// Sends one request with default timeouts and reads the full response.
+/// Shorthand for [`Client::new`]`(addr).request(...)` with the typed
+/// error flattened back to `io::Error`.
 ///
 /// # Errors
 ///
@@ -43,17 +260,9 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<ClientResponse> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    let mut writer = stream.try_clone()?;
-    let body = body.unwrap_or("");
-    write!(
-        writer,
-        "{method} {path} HTTP/1.1\r\nHost: baryon\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    )?;
-    writer.flush()?;
-    read_response(&mut BufReader::new(stream))
+    Client::new(addr)
+        .request(method, path, body)
+        .map_err(io::Error::from)
 }
 
 fn malformed(msg: &str) -> io::Error {
@@ -142,5 +351,120 @@ mod tests {
         ] {
             assert!(read_response(&mut BufReader::new(bad)).is_err());
         }
+    }
+
+    /// Serves each canned response to one connection, in order, without
+    /// reading the request (small requests fit the socket buffer).
+    fn canned_server(responses: &'static [&'static str]) -> SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            for resp in responses {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                // Consume the whole request (up to the header terminator;
+                // these tests send empty bodies) before answering, so
+                // closing the socket cannot RST unread data away.
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 256];
+                while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match std::io::Read::read(&mut stream, &mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                let _ = stream.write_all(resp.as_bytes());
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn connect_failure_is_typed() {
+        // Bind then drop to get a loopback port that refuses connections.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let err = Client::new(addr)
+            .connect_timeout(Duration::from_millis(500))
+            .request("GET", "/v1/healthz", None)
+            .expect_err("nobody is listening");
+        assert!(matches!(err, ClientError::Connect(_)), "{err}");
+    }
+
+    #[test]
+    fn silent_server_is_a_read_timeout() {
+        // The listener accepts into its backlog but never answers.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let err = Client::new(addr)
+            .read_timeout(Duration::from_millis(50))
+            .request("GET", "/v1/healthz", None)
+            .expect_err("no response ever comes");
+        assert!(matches!(err, ClientError::Timeout(_)), "{err}");
+    }
+
+    #[test]
+    fn retry_recovers_from_backpressure() {
+        let addr = canned_server(&[
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\nContent-Length: 0\r\n\r\n",
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+        ]);
+        let r = Client::new(addr)
+            .retries(2)
+            .backoff_base(Duration::from_millis(1))
+            .request_with_retry("GET", "/v1/metrics", None)
+            .expect("second attempt succeeds");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "ok");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_final_503() {
+        let addr = canned_server(&[
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n",
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n",
+        ]);
+        let r = Client::new(addr)
+            .retries(1)
+            .backoff_base(Duration::from_millis(1))
+            .request_with_retry("GET", "/v1/metrics", None)
+            .expect("a 503 response is still a response");
+        assert_eq!(r.status, 503);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(100);
+        assert_eq!(backoff_delay(base, 0), Duration::from_millis(100));
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(200));
+        assert_eq!(backoff_delay(base, 3), Duration::from_millis(800));
+        assert_eq!(backoff_delay(base, 20), BACKOFF_CAP);
+        // A shift past 31 saturates instead of wrapping back to short waits.
+        assert_eq!(backoff_delay(base, 64), BACKOFF_CAP);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let addr: SocketAddr = "127.0.0.1:8677".parse().expect("addr");
+        for attempt in 0..8 {
+            let j = jitter(addr, attempt);
+            assert_eq!(j, jitter(addr, attempt), "same inputs, same jitter");
+            assert!(j < Duration::from_millis(16), "{j:?}");
+        }
+    }
+
+    #[test]
+    fn env_overrides_parse_milliseconds() {
+        assert_eq!(env_ms("BARYON_CLIENT_TEST_UNSET_VAR"), None);
+        // Builder overrides always win over defaults.
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let c = Client::new(addr)
+            .connect_timeout(Duration::from_millis(7))
+            .read_timeout(Duration::from_millis(9));
+        assert_eq!(c.connect_timeout, Duration::from_millis(7));
+        assert_eq!(c.read_timeout, Duration::from_millis(9));
     }
 }

@@ -183,12 +183,19 @@ impl JobTable {
         Some(record.spec.clone())
     }
 
-    /// Records a finished execution.
-    pub fn finish(&self, id: u64, outcome: Result<Json, String>, wall_us: u64) {
+    /// Records a finished execution. Only `Running` jobs transition;
+    /// returns whether the outcome landed. A `false` means someone else
+    /// already settled the job — e.g. the deadline watchdog failed it and
+    /// this is the runner's late result, which must be discarded so the
+    /// job's terminal state never flips.
+    pub fn finish(&self, id: u64, outcome: Result<Json, String>, wall_us: u64) -> bool {
         let mut inner = self.inner.lock().expect("job table lock poisoned");
         let Some(record) = inner.jobs.get_mut(&id) else {
-            return;
+            return false;
         };
+        if record.state != JobState::Running {
+            return false;
+        }
         record.wall_us = Some(wall_us);
         match outcome {
             Ok(result) => {
@@ -200,6 +207,7 @@ impl JobTable {
                 record.error = Some(message);
             }
         }
+        true
     }
 
     /// Number of jobs ever submitted (== the highest ID so far).
@@ -265,6 +273,28 @@ mod tests {
         t.start(id2);
         assert_eq!(t.cancel(id2), CancelOutcome::TooLate(JobState::Running));
         assert_eq!(t.cancel(999), CancelOutcome::NotFound);
+    }
+
+    #[test]
+    fn finish_only_lands_on_running_jobs() {
+        let t = JobTable::new();
+        let id = t.submit(spec());
+        // Not started yet: a stray result must not settle a queued job.
+        assert!(!t.finish(id, Ok(Json::Null), 1));
+        assert_eq!(t.state(id), Some(JobState::Queued));
+
+        t.start(id);
+        assert!(t.finish(id, Err("deadline exceeded".into()), 2));
+        // The runner's late success arrives after the watchdog failed it:
+        // discarded, the terminal state never flips.
+        assert!(!t.finish(id, Ok(Json::Null), 3));
+        let r = t.get(id).expect("exists");
+        assert_eq!(r.state, JobState::Failed);
+        assert_eq!(r.error.as_deref(), Some("deadline exceeded"));
+        assert_eq!(r.wall_us, Some(2));
+        assert!(r.result.is_none());
+
+        assert!(!t.finish(999, Ok(Json::Null), 4), "unknown job");
     }
 
     #[test]

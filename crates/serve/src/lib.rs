@@ -29,6 +29,7 @@
 //!     port: 0, // ephemeral
 //!     workers: 1,
 //!     queue_depth: 4,
+//!     job_deadline: None,
 //! })
 //! .expect("bind loopback");
 //! let addr = server.local_addr();

@@ -201,4 +201,84 @@ mod tests {
     fn zero_capacity_panics() {
         let _ = BoundedQueue::<u8>::new(0);
     }
+
+    /// Race `close` against a herd of producers: whatever `try_push`
+    /// accepted before the close must still drain — shutdown never loses
+    /// an acknowledged item — and everything after fails `Closed`.
+    #[test]
+    fn close_racing_producers_loses_no_accepted_item() {
+        for round in 0..20 {
+            let q = Arc::new(BoundedQueue::new(8));
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut accepted = 0u64;
+                        for v in 0..200u64 {
+                            match q.try_push(p * 1000 + v) {
+                                Ok(()) => accepted += 1,
+                                Err(PushError::Full) => std::thread::yield_now(),
+                                Err(PushError::Closed) => break,
+                            }
+                        }
+                        accepted
+                    })
+                })
+                .collect();
+            // Consumer drains concurrently so producers make progress.
+            let consumer = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut drained = 0u64;
+                    while q.pop().is_some() {
+                        drained += 1;
+                    }
+                    drained
+                })
+            };
+            // Close at a slightly different point each round.
+            for _ in 0..round {
+                std::thread::yield_now();
+            }
+            q.close();
+            let accepted: u64 = producers
+                .into_iter()
+                .map(|h| h.join().expect("producer exits"))
+                .sum();
+            let drained = consumer.join().expect("consumer exits");
+            assert_eq!(drained, accepted, "round {round} lost accepted items");
+            assert_eq!(q.try_push(9999), Err(PushError::Closed));
+        }
+    }
+
+    /// Race `close` against consumers blocked in `pop`: every one wakes
+    /// with `None` and nothing deadlocks, even when items and the close
+    /// arrive back-to-back.
+    #[test]
+    fn close_racing_blocked_consumers_never_deadlocks() {
+        for _ in 0..20 {
+            let q = Arc::new(BoundedQueue::new(4));
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(v) = q.pop() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            q.try_push(1).expect("open");
+            q.try_push(2).expect("open");
+            q.close();
+            let mut got: Vec<u32> = consumers
+                .into_iter()
+                .flat_map(|h| h.join().expect("consumer exits"))
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2], "items pushed just before close drain");
+        }
+    }
 }

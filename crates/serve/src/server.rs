@@ -18,7 +18,7 @@ use std::io::{self, BufReader};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server construction knobs (the CLI's `serve` flags).
@@ -31,6 +31,11 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it get `503`.
     pub queue_depth: usize,
+    /// Per-job wall-clock budget. A job still running past this is marked
+    /// `failed` with a timeout reason and its worker moves on to the next
+    /// queued job; the stuck runner thread is abandoned (its late result
+    /// is discarded). `None` lets jobs run unbounded.
+    pub job_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +44,7 @@ impl Default for ServeConfig {
             port: 8677,
             workers: 2,
             queue_depth: 16,
+            job_deadline: None,
         }
     }
 }
@@ -53,6 +59,8 @@ pub struct Metrics {
     rejected: AtomicU64,
     done: AtomicU64,
     failed: AtomicU64,
+    timed_out: AtomicU64,
+    panicked: AtomicU64,
     cancelled: AtomicU64,
     runs_executed: AtomicU64,
     busy: AtomicUsize,
@@ -79,6 +87,11 @@ impl Metrics {
         stats.set_counter("serve.jobs.rejected", self.rejected.load(Ordering::Relaxed));
         stats.set_counter("serve.jobs.done", self.done.load(Ordering::Relaxed));
         stats.set_counter("serve.jobs.failed", self.failed.load(Ordering::Relaxed));
+        stats.set_counter(
+            "serve.jobs.timed_out",
+            self.timed_out.load(Ordering::Relaxed),
+        );
+        stats.set_counter("serve.jobs.panicked", self.panicked.load(Ordering::Relaxed));
         stats.set_counter(
             "serve.jobs.cancelled",
             self.cancelled.load(Ordering::Relaxed),
@@ -112,6 +125,7 @@ struct Shared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     workers: usize,
+    job_deadline: Option<Duration>,
 }
 
 /// A bound, running job server (workers already spawned; call
@@ -142,6 +156,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr: listener.local_addr()?,
             workers: cfg.workers,
+            job_deadline: cfg.job_deadline,
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -190,32 +205,94 @@ impl Server {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>) {
     while let Some(id) = shared.queue.pop() {
         // `start` refuses jobs cancelled while queued.
         let Some(spec) = shared.jobs.start(id) else {
             continue;
         };
         shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| spec.execute()))
-            .unwrap_or_else(|payload| Err(panic_message(payload.as_ref())));
-        let wall_us = t0.elapsed().as_micros() as u64;
+        match shared.job_deadline {
+            None => run_job(shared, id, spec),
+            Some(deadline) => run_job_with_deadline(shared, id, spec, deadline),
+        }
         shared.metrics.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Executes `spec` and records the outcome. The guarded
+/// [`JobTable::finish`] decides whether this result lands — if a watchdog
+/// already failed the job, the late result is discarded and no completion
+/// metrics move (a job resolves exactly once).
+fn run_job(shared: &Shared, id: u64, spec: JobSpec) {
+    let t0 = Instant::now();
+    let (outcome, panicked) = match panic::catch_unwind(AssertUnwindSafe(|| spec.execute())) {
+        Ok(outcome) => (outcome, false),
+        Err(payload) => (Err(panic_message(payload.as_ref())), true),
+    };
+    let wall_us = t0.elapsed().as_micros() as u64;
+    if panicked {
+        shared.metrics.panicked.fetch_add(1, Ordering::Relaxed);
+    }
+    let succeeded = outcome.is_ok();
+    if shared.jobs.finish(id, outcome, wall_us) {
         shared.metrics.record_latency(wall_us);
-        match &outcome {
-            Ok(_) => {
-                shared.metrics.done.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .runs_executed
-                    .fetch_add(spec.runs() as u64, Ordering::Relaxed);
+        if succeeded {
+            shared.metrics.done.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .runs_executed
+                .fetch_add(spec.runs() as u64, Ordering::Relaxed);
+        } else {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs `spec` on a watchdog-supervised runner thread. If the runner does
+/// not report back within `deadline`, the job is failed with a timeout
+/// reason and the worker returns to take the next queued job; the stuck
+/// runner is abandoned (it cannot be killed, but its eventual result is
+/// ignored by the guarded `finish` and the thread dies with the process).
+fn run_job_with_deadline(shared: &Arc<Shared>, id: u64, spec: JobSpec, deadline: Duration) {
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let runner_shared = Arc::clone(shared);
+    let runner = std::thread::Builder::new()
+        .name(format!("baryon-serve-job-{id}"))
+        .spawn(move || {
+            run_job(&runner_shared, id, spec);
+            let _ = done_tx.send(());
+        })
+        .expect("spawn job runner thread");
+    match done_rx.recv_timeout(deadline) {
+        Ok(()) => {
+            let _ = runner.join();
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            let wall_us = deadline.as_micros() as u64;
+            let reason = format!("deadline exceeded: still running after {deadline:?}");
+            if shared.jobs.finish(id, Err(reason), wall_us) {
+                shared.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.record_latency(wall_us);
+            } else {
+                // The runner slipped in right at the deadline; its result
+                // already landed, so this is not a timeout after all.
+                let _ = runner.join();
             }
-            Err(_) => {
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The runner died without reporting (e.g. a poisoned lock
+            // aborted it past the catch_unwind); surface that as a failure
+            // if nothing landed.
+            let _ = runner.join();
+            if shared
+                .jobs
+                .finish(id, Err("job runner died without a result".to_owned()), 0)
+            {
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
             }
         }
-        shared.jobs.finish(id, outcome, wall_us);
     }
 }
 
@@ -391,12 +468,16 @@ mod tests {
         let m = Metrics::default();
         m.submitted.store(5, Ordering::Relaxed);
         m.done.store(3, Ordering::Relaxed);
+        m.timed_out.store(2, Ordering::Relaxed);
+        m.panicked.store(1, Ordering::Relaxed);
         m.busy.store(1, Ordering::Relaxed);
         m.record_latency(1000);
         m.record_latency(2000);
         let stats = m.to_stats(4, 2);
         assert_eq!(stats.counter("serve.jobs.submitted"), 5);
         assert_eq!(stats.counter("serve.jobs.done"), 3);
+        assert_eq!(stats.counter("serve.jobs.timed_out"), 2);
+        assert_eq!(stats.counter("serve.jobs.panicked"), 1);
         assert_eq!(stats.counter("serve.queue.depth"), 4);
         assert_eq!(stats.counter("serve.workers.total"), 2);
         assert_eq!(stats.counter("serve.workers.busy"), 1);
@@ -411,5 +492,6 @@ mod tests {
         let cfg = ServeConfig::default();
         assert!(cfg.workers > 0);
         assert!(cfg.queue_depth > 0);
+        assert!(cfg.job_deadline.is_none(), "jobs run unbounded by default");
     }
 }

@@ -17,10 +17,20 @@ use std::time::{Duration, Instant};
 
 /// Boots a server and returns its address plus the join handle.
 fn boot(workers: usize, queue_depth: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    boot_with_deadline(workers, queue_depth, None)
+}
+
+/// Boots a server with a per-job wall-clock deadline.
+fn boot_with_deadline(
+    workers: usize,
+    queue_depth: usize,
+    job_deadline: Option<Duration>,
+) -> (SocketAddr, std::thread::JoinHandle<()>) {
     let server = Server::bind(ServeConfig {
         port: 0,
         workers,
         queue_depth,
+        job_deadline,
     })
     .expect("bind ephemeral loopback port");
     let addr = server.local_addr();
@@ -275,6 +285,86 @@ fn protocol_errors_are_typed() {
     );
 
     shutdown(addr, handle);
+}
+
+#[test]
+fn deadline_exceeded_jobs_fail_and_the_worker_moves_on() {
+    // One worker, 200 ms budget per job: plenty for QUICK_SPEC, hopeless
+    // for a multi-million-instruction run.
+    let (addr, handle) = boot_with_deadline(1, 4, Some(Duration::from_millis(200)));
+
+    let stuck = submit(
+        addr,
+        r#"{"workload":"ycsb-a","controller":"simple","insts":5000000,"warmup":1000,"scale":1024}"#,
+    );
+    assert_eq!(stuck.status, 202, "{}", stuck.body);
+    let quick = submit(addr, QUICK_SPEC);
+    assert_eq!(quick.status, 202, "{}", quick.body);
+
+    // The oversized job is failed by the watchdog, with a timeout reason.
+    let status = await_job(addr, job_id(&stuck));
+    assert_eq!(
+        get_field(&status, "state"),
+        &Json::from("failed"),
+        "{}",
+        status.render()
+    );
+    let Json::Str(error) = get_field(&status, "error") else {
+        panic!("failed job should carry an error: {}", status.render());
+    };
+    assert!(error.contains("deadline exceeded"), "{error}");
+
+    // The worker survived the timeout and completed the queued job.
+    let status = await_job(addr, job_id(&quick));
+    assert_eq!(
+        get_field(&status, "state"),
+        &Json::from("done"),
+        "{}",
+        status.render()
+    );
+
+    let metrics = client::request(addr, "GET", "/v1/metrics", None).expect("metrics reachable");
+    let doc = parse(&metrics.body).expect("metrics are JSON");
+    let counters = get_field(&doc, "counters");
+    assert_eq!(
+        get_field(counters, "serve.jobs.timed_out"),
+        &Json::from(1u64)
+    );
+    assert_eq!(get_field(counters, "serve.jobs.failed"), &Json::from(1u64));
+    assert_eq!(get_field(counters, "serve.jobs.done"), &Json::from(1u64));
+    assert_eq!(
+        get_field(counters, "serve.jobs.panicked"),
+        &Json::from(0u64)
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn typed_client_distinguishes_connect_from_timeout_against_a_live_server() {
+    let (addr, handle) = boot(1, 2);
+
+    // A tight read timeout against a healthy endpoint still succeeds.
+    let client = baryon_serve::client::Client::new(addr)
+        .connect_timeout(Duration::from_secs(5))
+        .read_timeout(Duration::from_secs(5))
+        .retries(3)
+        .backoff_base(Duration::from_millis(5));
+    let r = client
+        .request_with_retry("GET", "/v1/healthz", None)
+        .expect("healthy server answers");
+    assert_eq!(r.status, 200);
+
+    shutdown(addr, handle);
+
+    // With the listener gone, the failure is typed as a connect error.
+    let err = client
+        .request("GET", "/v1/healthz", None)
+        .expect_err("server is gone");
+    assert!(
+        matches!(err, baryon_serve::client::ClientError::Connect(_)),
+        "{err}"
+    );
 }
 
 #[test]

@@ -30,4 +30,11 @@ cargo test -q --workspace --offline
 echo "==> baryon-serve end-to-end smoke"
 cargo test -q -p baryon-serve --offline --test e2e
 
+# Chaos gate: the controller under aggressive seeded fault injection
+# (transient flips + stuck cells far beyond any real part). The suite's
+# seeds are fixed in the test source, so a failure here is a real
+# regression in the recovery path, reproducible bit-for-bit — never flake.
+echo "==> chaos fault-injection suite (fixed seeds)"
+cargo test -q -p baryon-core --offline --test chaos_faults
+
 echo "==> OK"

@@ -3,7 +3,7 @@
 //! `BARYON_PROP_CASES` to widen, `BARYON_PROP_SEED` to replay a failure).
 
 use baryon::compress::{
-    bdi, best_compressed_size, compress_extended, cpack, fpc, Cf, RangeCompressor,
+    bdi, best_compressed_size, compress_extended, cpack, fpc, frame, Cf, RangeCompressor,
 };
 use baryon::core::metadata::stage_entry::RangeRef;
 use baryon::core::metadata::{locate_sub_block, RemapEntry};
@@ -30,7 +30,7 @@ fn fpc_roundtrips_all_inputs() {
             d.push(0);
         }
         let enc = fpc::encode(&d);
-        assert_eq!(fpc::decode(&enc, d.len() / 4), d);
+        assert_eq!(fpc::decode(&enc, d.len() / 4).expect("clean stream"), d);
         // The size model matches the real encoder.
         assert_eq!(enc.len(), fpc::compressed_size(&d));
     });
@@ -44,7 +44,7 @@ fn bdi_roundtrips_all_inputs() {
             d.push(0);
         }
         let enc = bdi::encode(&d);
-        assert_eq!(bdi::decode(&enc), d);
+        assert_eq!(bdi::decode(&enc).expect("clean representation"), d);
     });
 }
 
@@ -86,8 +86,29 @@ fn cpack_roundtrips_all_inputs() {
             d.push(0);
         }
         let enc = cpack::encode(&d);
-        assert_eq!(cpack::decode(&enc, d.len() / 4), d);
+        assert_eq!(cpack::decode(&enc, d.len() / 4).expect("clean stream"), d);
         assert_eq!(enc.len(), cpack::compressed_size(&d));
+    });
+}
+
+#[test]
+fn sealed_frames_roundtrip_and_never_yield_garbage() {
+    props("sealed_frames_roundtrip_and_never_yield_garbage").run(|g| {
+        let mut d = byte_vec(g, 8, 256);
+        while !d.len().is_multiple_of(8) {
+            d.push(0);
+        }
+        let sealed = frame::seal(&d);
+        assert_eq!(frame::open(&sealed).expect("clean frame"), d);
+        // Corrupt a random bit: the frame must open to either a typed
+        // error or the exact original bytes (flip in dead padding) —
+        // never different data.
+        let mut bad = sealed.clone();
+        let bit = g.usize_range(0, bad.len() * 8);
+        bad[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(got) = frame::open(&bad) {
+            assert_eq!(got, d, "bit {bit} flip opened to silent garbage");
+        }
     });
 }
 
