@@ -1,0 +1,230 @@
+//! `sim_throughput` — the simulator profiling harness.
+//!
+//! Runs a small matrix of workloads through the baryon controller twice —
+//! telemetry spans off and on — and measures wall-clock simulation
+//! throughput (instructions simulated per second of host time). The result
+//! document `BENCH_sim_throughput.json` is written at the repository root
+//! and carries, per workload, the ops/sec of both configurations, the
+//! telemetry overhead, and a per-phase breakdown extracted from the
+//! `ctrl.span.*` / `sim.span.*` summaries of the unified registry.
+//!
+//! The process exits non-zero when the aggregate telemetry-on overhead
+//! exceeds the budget (default 5%), so CI can gate on it:
+//!
+//! ```text
+//! cargo run --release -p baryon-bench --bin sim_throughput
+//! BARYON_BENCH_MAX_OVERHEAD_PCT=10 BARYON_BENCH_REPEATS=5 ... sim_throughput
+//! ```
+//!
+//! Wall-clock times are the minimum over `BARYON_BENCH_REPEATS` runs
+//! (default 3): the minimum is the standard noise-robust estimator for
+//! "how fast can this go", which is what an overhead gate needs.
+
+use baryon_bench::spec::RunSpec;
+use baryon_core::metrics::RunResult;
+use baryon_sim::json::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The profiling matrix: one workload per access-pattern family.
+const WORKLOADS: [&str; 4] = ["505.mcf_r", "557.xz_r", "pr.twi", "ycsb-a"];
+
+const SCALE: u64 = 1024;
+const INSTS: u64 = 200_000;
+const WARMUP: u64 = 40_000;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn spec(workload: &str, telemetry: bool) -> RunSpec {
+    RunSpec {
+        workload: workload.to_owned(),
+        controller: "baryon".to_owned(),
+        insts: INSTS,
+        warmup: WARMUP,
+        scale: SCALE,
+        seed: 42,
+        mlp: 1,
+        telemetry,
+    }
+}
+
+/// One timed configuration: the fastest wall time over `repeats` runs,
+/// plus the result of the last run (identical across repeats — the
+/// simulation is deterministic).
+struct Timed {
+    wall_us: f64,
+    result: RunResult,
+}
+
+fn run_timed(workload: &str, telemetry: bool, repeats: u64) -> Result<Timed, String> {
+    let s = spec(workload, telemetry);
+    // One untimed run to warm caches and the page allocator.
+    let mut result = s.execute()?;
+    let mut wall_us = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        result = s.execute()?;
+        wall_us = wall_us.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    Ok(Timed { wall_us, result })
+}
+
+fn ops_per_sec(r: &RunResult, wall_us: f64) -> f64 {
+    if wall_us <= 0.0 {
+        0.0
+    } else {
+        r.instructions as f64 / (wall_us / 1e6)
+    }
+}
+
+/// The per-phase breakdown: every `*.span.*` summary of the telemetry-on
+/// run, with its share of the total span time.
+fn phase_breakdown(r: &RunResult) -> Json {
+    let spans: Vec<(&str, u64, f64)> = r
+        .telemetry
+        .summaries()
+        .filter(|(name, _)| name.contains(".span."))
+        .map(|(name, h)| (name, h.count(), h.mean() * h.count() as f64))
+        .collect();
+    let total_ns: f64 = spans.iter().map(|(_, _, t)| t).sum();
+    Json::Obj(
+        spans
+            .into_iter()
+            .map(|(name, count, ns)| {
+                (
+                    name.to_owned(),
+                    Json::obj([
+                        ("count", Json::from(count)),
+                        ("total_ms", Json::from(ns / 1e6)),
+                        (
+                            "share_pct",
+                            Json::from(if total_ns > 0.0 {
+                                100.0 * ns / total_ns
+                            } else {
+                                0.0
+                            }),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn overhead_pct(off_us: f64, on_us: f64) -> f64 {
+    if off_us <= 0.0 {
+        0.0
+    } else {
+        100.0 * (on_us - off_us) / off_us
+    }
+}
+
+fn out_path() -> PathBuf {
+    // crates/bench -> repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim_throughput.json")
+}
+
+fn main() -> ExitCode {
+    let budget_pct = env_f64("BARYON_BENCH_MAX_OVERHEAD_PCT", 5.0);
+    let repeats = env_u64("BARYON_BENCH_REPEATS", 3).max(1);
+
+    let mut rows = Vec::new();
+    let (mut total_off_us, mut total_on_us) = (0.0_f64, 0.0_f64);
+    for workload in WORKLOADS {
+        let off = match run_timed(workload, false, repeats) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim_throughput: {workload}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let on = match run_timed(workload, true, repeats) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim_throughput: {workload}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        total_off_us += off.wall_us;
+        total_on_us += on.wall_us;
+        let oh = overhead_pct(off.wall_us, on.wall_us);
+        println!(
+            "{workload:<12} off {:>9.0} ops/s  on {:>9.0} ops/s  overhead {oh:+.2}%",
+            ops_per_sec(&off.result, off.wall_us),
+            ops_per_sec(&on.result, on.wall_us),
+        );
+        rows.push(Json::obj([
+            ("workload", Json::from(workload)),
+            ("instructions", Json::from(off.result.instructions)),
+            (
+                "telemetry_off",
+                Json::obj([
+                    ("wall_us", Json::from(off.wall_us)),
+                    (
+                        "ops_per_sec",
+                        Json::from(ops_per_sec(&off.result, off.wall_us)),
+                    ),
+                ]),
+            ),
+            (
+                "telemetry_on",
+                Json::obj([
+                    ("wall_us", Json::from(on.wall_us)),
+                    (
+                        "ops_per_sec",
+                        Json::from(ops_per_sec(&on.result, on.wall_us)),
+                    ),
+                ]),
+            ),
+            ("overhead_pct", Json::from(oh)),
+            ("phases", phase_breakdown(&on.result)),
+        ]));
+    }
+
+    let aggregate_pct = overhead_pct(total_off_us, total_on_us);
+    let pass = aggregate_pct <= budget_pct;
+    let doc = Json::obj([
+        ("bench", Json::from("sim_throughput")),
+        ("controller", Json::from("baryon")),
+        ("scale", Json::from(SCALE)),
+        ("insts", Json::from(INSTS)),
+        ("warmup", Json::from(WARMUP)),
+        ("repeats", Json::from(repeats)),
+        ("max_overhead_pct", Json::from(budget_pct)),
+        ("aggregate_overhead_pct", Json::from(aggregate_pct)),
+        ("pass", Json::from(pass)),
+        ("workloads", Json::Arr(rows)),
+    ]);
+
+    let path = out_path();
+    let mut body = doc.render();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("sim_throughput: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "aggregate overhead {aggregate_pct:+.2}% (budget {budget_pct}%) -> {}",
+        path.display()
+    );
+    if !pass {
+        eprintln!(
+            "sim_throughput: telemetry overhead {aggregate_pct:.2}% exceeds budget {budget_pct}%"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -65,6 +65,10 @@ pub struct RunSpec {
     pub seed: u64,
     /// Memory-level parallelism per core.
     pub mlp: u64,
+    /// Collect wall-clock spans (`*.span.*` summaries) during the run.
+    /// Off by default: disabled runs never read the host clock, keeping
+    /// results bit-identical.
+    pub telemetry: bool,
 }
 
 impl Default for RunSpec {
@@ -77,6 +81,7 @@ impl Default for RunSpec {
             scale: 256,
             seed: 42,
             mlp: 1,
+            telemetry: false,
         }
     }
 }
@@ -102,6 +107,16 @@ fn field_u64(key: &str, value: &Json) -> Result<u64, String> {
     }
 }
 
+fn field_bool(key: &str, value: &Json) -> Result<bool, String> {
+    match value {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!(
+            "field `{key}` must be a boolean, got {}",
+            other.render()
+        )),
+    }
+}
+
 fn field_str_list(key: &str, value: &Json) -> Result<Vec<String>, String> {
     let Json::Arr(items) = value else {
         return Err(format!(
@@ -115,7 +130,7 @@ fn field_str_list(key: &str, value: &Json) -> Result<Vec<String>, String> {
 impl RunSpec {
     /// Builds a spec from a JSON object, starting from [`Default`] and
     /// overriding any of `workload`, `controller`, `insts`, `warmup`,
-    /// `scale`, `seed`, `mlp`.
+    /// `scale`, `seed`, `mlp`, `telemetry`.
     ///
     /// # Errors
     ///
@@ -135,6 +150,7 @@ impl RunSpec {
                 "scale" => spec.scale = field_u64(key, value)?,
                 "seed" => spec.seed = field_u64(key, value)?,
                 "mlp" => spec.mlp = field_u64(key, value)?,
+                "telemetry" => spec.telemetry = field_bool(key, value)?,
                 other => return Err(format!("unknown run spec field `{other}`")),
             }
         }
@@ -152,6 +168,7 @@ impl RunSpec {
             ("scale", Json::from(self.scale)),
             ("seed", Json::from(self.seed)),
             ("mlp", Json::from(self.mlp)),
+            ("telemetry", Json::Bool(self.telemetry)),
         ])
     }
 
@@ -200,6 +217,7 @@ impl RunSpec {
         let mut cfg = SystemConfig::with_controller(scale, kind);
         cfg.warmup_insts = self.warmup;
         cfg.mlp = self.mlp as usize;
+        cfg.telemetry = self.telemetry;
         let mut system = System::new(cfg, &workload, self.seed);
         Ok(system.run(self.insts))
     }
@@ -240,6 +258,7 @@ impl GridSpec {
                 "scale" => base.scale = field_u64(key, value)?,
                 "seed" => base.seed = field_u64(key, value)?,
                 "mlp" => base.mlp = field_u64(key, value)?,
+                "telemetry" => base.telemetry = field_bool(key, value)?,
                 other => return Err(format!("unknown grid spec field `{other}`")),
             }
         }
@@ -324,6 +343,7 @@ impl JobSpec {
                     ("scale", Json::from(grid.base.scale)),
                     ("seed", Json::from(grid.base.seed)),
                     ("mlp", Json::from(grid.base.mlp)),
+                    ("telemetry", Json::Bool(grid.base.telemetry)),
                 ]),
             )]),
         }
@@ -384,6 +404,7 @@ mod tests {
             scale: 1024,
             seed: 7,
             mlp: 2,
+            telemetry: true,
         };
         let back = RunSpec::from_json(&spec.to_json()).expect("roundtrip");
         assert_eq!(back, spec);
@@ -431,6 +452,7 @@ mod tests {
             scale: 1024,
             seed: 9,
             mlp: 1,
+            telemetry: false,
         };
         let via_spec = spec.execute().expect("runs");
 

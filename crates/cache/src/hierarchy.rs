@@ -1,7 +1,7 @@
 //! The three-level cache hierarchy of the simulated 16-core machine.
 
 use crate::setassoc::{CacheConfig, SetAssocCache};
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 
 /// Hierarchy geometry; defaults follow Table I.
@@ -228,22 +228,23 @@ impl Hierarchy {
         self.llc.reset_stats();
     }
 
-    /// Exports per-level statistics.
-    pub fn export(&self, stats: &mut Stats) {
+    /// Publishes per-level statistics under `cache.<level>.<metric>`;
+    /// private levels are summed across cores.
+    pub fn export(&self, reg: &mut Registry) {
         let mut agg = |name: &str, caches: &[SetAssocCache]| {
-            let mut level = Stats::new();
+            let mut level = Registry::new();
             for c in caches {
-                let mut s = Stats::new();
+                let mut s = Registry::new();
                 c.stats().export(&mut s);
-                level.absorb("sum", &s);
+                level.merge(&s);
             }
-            stats.absorb(name, &level);
+            reg.absorb(name, &level);
         };
-        agg("l1d", &self.l1d);
-        agg("l2", &self.l2);
-        let mut llc = Stats::new();
+        agg("cache.l1d", &self.l1d);
+        agg("cache.l2", &self.l2);
+        let mut llc = Registry::new();
         self.llc.stats().export(&mut llc);
-        stats.absorb("llc", &llc);
+        reg.absorb("cache.llc", &llc);
     }
 }
 
@@ -328,11 +329,11 @@ mod tests {
     fn export_has_all_levels() {
         let mut h = small();
         h.access(0, 0, false);
-        let mut s = Stats::new();
+        let mut s = Registry::new();
         h.export(&mut s);
-        assert_eq!(s.counter("l1d.sum.read_misses"), 1);
-        assert_eq!(s.counter("l2.sum.read_misses"), 1);
-        assert_eq!(s.counter("llc.read_misses"), 1);
+        assert_eq!(s.counter("cache.l1d.read_misses"), 1);
+        assert_eq!(s.counter("cache.l2.read_misses"), 1);
+        assert_eq!(s.counter("cache.llc.read_misses"), 1);
     }
 
     #[test]

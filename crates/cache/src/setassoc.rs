@@ -1,6 +1,6 @@
 //! A generic set-associative, write-back, write-allocate cache with LRU.
 
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 
 /// Geometry and latency of one cache level.
@@ -112,12 +112,12 @@ impl CacheStats {
         }
     }
 
-    /// Exports into a [`Stats`] registry.
-    pub fn export(&self, stats: &mut Stats) {
-        stats.set_counter("read_hits", self.read_hits);
-        stats.set_counter("read_misses", self.read_misses);
-        stats.set_counter("write_hits", self.write_hits);
-        stats.set_counter("write_misses", self.write_misses);
+    /// Publishes into the unified telemetry [`Registry`].
+    pub fn export(&self, reg: &mut Registry) {
+        reg.set_counter("read_hits", self.read_hits);
+        reg.set_counter("read_misses", self.read_misses);
+        reg.set_counter("write_hits", self.write_hits);
+        reg.set_counter("write_misses", self.write_misses);
     }
 }
 

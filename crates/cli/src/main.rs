@@ -28,7 +28,8 @@ use args::Args;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  baryon-cli list\n  baryon-cli run --workload <name> [--controller <name>] \
-         [--insts N] [--warmup N] [--scale D] [--seed S] [--mlp N] [--csv FILE] [--json FILE]\n  \
+         [--insts N] [--warmup N] [--scale D] [--seed S] [--mlp N] [--telemetry true] \
+         [--csv FILE] [--json FILE]\n  \
          baryon-cli compare --workload <name> [--insts N] [--scale D]\n  \
          baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n  \
          baryon-cli serve [--port P] [--workers N] [--queue-depth N] [--deadline-ms MS]\n\n\
@@ -91,6 +92,7 @@ fn cmd_run(args: &Args) -> ExitCode {
         scale: args.num("scale", 256),
         seed: args.num("seed", 42),
         mlp: args.num("mlp", 1),
+        telemetry: args.bool_flag("telemetry", false),
     };
     let r = match spec.execute() {
         Ok(r) => r,

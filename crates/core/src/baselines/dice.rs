@@ -10,7 +10,7 @@
 
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
 use baryon_compress::best_compressed_size;
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 
@@ -197,12 +197,12 @@ impl MemoryController for DiceCache {
         self.serve.finish(&self.devices)
     }
 
-    fn export(&self, stats: &mut Stats) {
-        stats.set_counter("hits", self.counters.hits);
-        stats.set_counter("misses", self.counters.misses);
-        stats.set_counter("free_neighbours", self.counters.free_neighbours);
-        stats.set_counter("decompressions", self.counters.decompressions);
-        self.devices.export(stats);
+    fn export(&self, reg: &mut Registry) {
+        reg.set_counter("hits", self.counters.hits);
+        reg.set_counter("misses", self.counters.misses);
+        reg.set_counter("free_neighbours", self.counters.free_neighbours);
+        reg.set_counter("decompressions", self.counters.decompressions);
+        self.devices.export(reg);
     }
 
     fn reset_stats(&mut self) {

@@ -9,7 +9,7 @@
 
 use super::MetaModel;
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 use std::collections::HashMap;
@@ -324,13 +324,13 @@ impl MemoryController for Hybrid2 {
         self.serve.finish(&self.devices)
     }
 
-    fn export(&self, stats: &mut Stats) {
-        stats.set_counter("flat_hits", self.counters.flat_hits);
-        stats.set_counter("cache_hits", self.counters.cache_hits);
-        stats.set_counter("sub_fetches", self.counters.sub_fetches);
-        stats.set_counter("migrations", self.counters.migrations);
-        stats.set_counter("slow_serves", self.counters.slow_serves);
-        self.devices.export(stats);
+    fn export(&self, reg: &mut Registry) {
+        reg.set_counter("flat_hits", self.counters.flat_hits);
+        reg.set_counter("cache_hits", self.counters.cache_hits);
+        reg.set_counter("sub_fetches", self.counters.sub_fetches);
+        reg.set_counter("migrations", self.counters.migrations);
+        reg.set_counter("slow_serves", self.counters.slow_serves);
+        self.devices.export(reg);
     }
 
     fn reset_stats(&mut self) {

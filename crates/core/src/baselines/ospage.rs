@@ -19,7 +19,7 @@
 //! the `extra` bench narrative).
 
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 use std::collections::HashMap;
@@ -199,12 +199,12 @@ impl MemoryController for OsPaging {
         self.serve.finish(&self.devices)
     }
 
-    fn export(&self, stats: &mut Stats) {
-        stats.set_counter("fast_hits", self.counters.fast_hits);
-        stats.set_counter("slow_serves", self.counters.slow_serves);
-        stats.set_counter("migrations", self.counters.migrations);
-        stats.set_counter("epochs", self.counters.epochs);
-        self.devices.export(stats);
+    fn export(&self, reg: &mut Registry) {
+        reg.set_counter("fast_hits", self.counters.fast_hits);
+        reg.set_counter("slow_serves", self.counters.slow_serves);
+        reg.set_counter("migrations", self.counters.migrations);
+        reg.set_counter("epochs", self.counters.epochs);
+        self.devices.export(reg);
     }
 
     fn reset_stats(&mut self) {

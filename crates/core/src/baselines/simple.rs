@@ -3,7 +3,7 @@
 
 use super::MetaModel;
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 
@@ -187,11 +187,11 @@ impl MemoryController for SimpleCache {
         self.serve.finish(&self.devices)
     }
 
-    fn export(&self, stats: &mut Stats) {
-        stats.set_counter("hits", self.counters.hits);
-        stats.set_counter("misses", self.counters.misses);
-        stats.set_counter("dirty_evictions", self.counters.dirty_evictions);
-        self.devices.export(stats);
+    fn export(&self, reg: &mut Registry) {
+        reg.set_counter("hits", self.counters.hits);
+        reg.set_counter("misses", self.counters.misses);
+        reg.set_counter("dirty_evictions", self.counters.dirty_evictions);
+        self.devices.export(reg);
     }
 
     fn reset_stats(&mut self) {

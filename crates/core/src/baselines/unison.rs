@@ -9,7 +9,7 @@
 
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
 use baryon_sim::rng::splitmix64;
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 use std::collections::HashMap;
@@ -281,13 +281,13 @@ impl MemoryController for UnisonCache {
         self.serve.finish(&self.devices)
     }
 
-    fn export(&self, stats: &mut Stats) {
-        stats.set_counter("hits", self.counters.hits);
-        stats.set_counter("sub_misses", self.counters.sub_misses);
-        stats.set_counter("page_misses", self.counters.page_misses);
-        stats.set_counter("way_mispredicts", self.counters.way_mispredicts);
-        stats.set_counter("predicted_lines", self.counters.predicted_lines);
-        self.devices.export(stats);
+    fn export(&self, reg: &mut Registry) {
+        reg.set_counter("hits", self.counters.hits);
+        reg.set_counter("sub_misses", self.counters.sub_misses);
+        reg.set_counter("page_misses", self.counters.page_misses);
+        reg.set_counter("way_mispredicts", self.counters.way_mispredicts);
+        reg.set_counter("predicted_lines", self.counters.predicted_lines);
+        self.devices.export(reg);
     }
 
     fn reset_stats(&mut self) {

@@ -44,23 +44,67 @@ pub enum VictimPolicy {
     Lfu,
 }
 
-/// An invalid configuration.
+/// A violated configuration invariant, typed so callers can branch on the
+/// exact constraint instead of grepping message text.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError(String);
+pub enum ConfigError {
+    /// The block/sub-block/super-block geometry is inconsistent.
+    Geometry(String),
+    /// `fast_bytes` or `slow_bytes` is zero.
+    ZeroCapacity,
+    /// A capacity is not a multiple of the block size.
+    MisalignedCapacity,
+    /// A non-zero stage area holds fewer blocks than one set.
+    StageSmallerThanSet,
+    /// `stage_ways` is zero.
+    ZeroStageWays,
+    /// `assoc` is zero.
+    ZeroAssoc,
+    /// Stage area plus metadata consume the whole fast memory.
+    NoDataArea,
+    /// `commit_k` is negative.
+    NegativeCommitK,
+    /// A flat or mixed mode with set-associative (non-FA) organization.
+    LowAssocFlat,
+    /// A mixed mode whose `flat_fraction` is not strictly inside (0, 1).
+    BadFlatFraction,
+    /// A fault-injection config is invalid; `device` is `"fault_fast"` or
+    /// `"fault_slow"`.
+    Fault {
+        /// Which device's fault config failed.
+        device: &'static str,
+        /// The underlying fault-config error.
+        reason: String,
+    },
+}
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid configuration: {}", self.0)
+        write!(f, "invalid configuration: ")?;
+        match self {
+            ConfigError::Geometry(reason) => f.write_str(reason),
+            ConfigError::ZeroCapacity => f.write_str("memory capacities must be non-zero"),
+            ConfigError::MisalignedCapacity => f.write_str("capacities must be block-aligned"),
+            ConfigError::StageSmallerThanSet => f.write_str("stage area smaller than one set"),
+            ConfigError::ZeroStageWays => f.write_str("stage_ways must be non-zero"),
+            ConfigError::ZeroAssoc => f.write_str("assoc must be non-zero"),
+            ConfigError::NoDataArea => {
+                f.write_str("metadata and stage area leave no fast memory for data")
+            }
+            ConfigError::NegativeCommitK => f.write_str("commit_k must be non-negative"),
+            ConfigError::LowAssocFlat => f.write_str(
+                "flat/mixed modes are only supported fully-associative \
+                 (the paper's evaluated configuration)",
+            ),
+            ConfigError::BadFlatFraction => {
+                f.write_str("mixed mode needs flat_fraction strictly between 0 and 1")
+            }
+            ConfigError::Fault { device, reason } => write!(f, "{device}: {reason}"),
+        }
     }
 }
 
 impl Error for ConfigError {}
-
-impl ConfigError {
-    pub(crate) fn new(msg: impl Into<String>) -> Self {
-        ConfigError(msg.into())
-    }
-}
 
 /// Full configuration of the Baryon controller.
 ///
@@ -189,18 +233,14 @@ impl BaryonConfig {
     ///
     /// # Panics
     ///
-    /// Panics unless `flat_fraction` is within (0, 1).
+    /// Panics unless `flat_fraction` is within (0, 1). Use
+    /// [`BaryonConfig::builder`] with [`BaryonConfigBuilder::mixed`] for
+    /// the fallible version.
     pub fn default_mixed(scale: Scale, flat_fraction: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&flat_fraction) && flat_fraction > 0.0 && flat_fraction < 1.0,
-            "mixed mode needs a flat fraction strictly between 0 and 1"
-        );
-        BaryonConfig {
-            mode: HybridMode::Mixed,
-            assoc: usize::MAX,
-            flat_fraction,
-            ..Self::default_cache_mode(scale)
-        }
+        Self::builder(scale)
+            .mixed(flat_fraction)
+            .build()
+            .expect("mixed mode needs a flat fraction strictly between 0 and 1")
     }
 
     /// True if the cache/flat area is fully associative.
@@ -295,52 +335,170 @@ impl BaryonConfig {
     ///
     /// Returns [`ConfigError`] describing the first violated constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        self.geometry.validate().map_err(ConfigError::new)?;
+        self.geometry.validate().map_err(ConfigError::Geometry)?;
         if self.fast_bytes == 0 || self.slow_bytes == 0 {
-            return Err(ConfigError::new("memory capacities must be non-zero"));
+            return Err(ConfigError::ZeroCapacity);
         }
         if !self.fast_bytes.is_multiple_of(self.geometry.block_bytes)
             || !self.slow_bytes.is_multiple_of(self.geometry.block_bytes)
         {
-            return Err(ConfigError::new("capacities must be block-aligned"));
+            return Err(ConfigError::MisalignedCapacity);
         }
         if self.stage_bytes > 0 && self.stage_blocks() < self.stage_ways {
-            return Err(ConfigError::new("stage area smaller than one set"));
+            return Err(ConfigError::StageSmallerThanSet);
         }
         if self.stage_ways == 0 {
-            return Err(ConfigError::new("stage_ways must be non-zero"));
+            return Err(ConfigError::ZeroStageWays);
         }
         if self.assoc == 0 {
-            return Err(ConfigError::new("assoc must be non-zero"));
+            return Err(ConfigError::ZeroAssoc);
         }
         if self.data_blocks() == 0 {
-            return Err(ConfigError::new(
-                "metadata and stage area leave no fast memory for data",
-            ));
+            return Err(ConfigError::NoDataArea);
         }
         if self.commit_k < 0.0 {
-            return Err(ConfigError::new("commit_k must be non-negative"));
+            return Err(ConfigError::NegativeCommitK);
         }
         if matches!(self.mode, HybridMode::Flat | HybridMode::Mixed) && !self.is_fully_associative()
         {
-            return Err(ConfigError::new(
-                "flat/mixed modes are only supported fully-associative (the paper's evaluated configuration)",
-            ));
+            return Err(ConfigError::LowAssocFlat);
         }
         if matches!(self.mode, HybridMode::Mixed)
             && !(self.flat_fraction > 0.0 && self.flat_fraction < 1.0)
         {
-            return Err(ConfigError::new(
-                "mixed mode needs flat_fraction strictly between 0 and 1",
-            ));
+            return Err(ConfigError::BadFlatFraction);
         }
-        self.fault_fast
-            .validate()
-            .map_err(|e| ConfigError::new(format!("fault_fast: {e}")))?;
-        self.fault_slow
-            .validate()
-            .map_err(|e| ConfigError::new(format!("fault_slow: {e}")))?;
+        self.fault_fast.validate().map_err(|e| ConfigError::Fault {
+            device: "fault_fast",
+            reason: e,
+        })?;
+        self.fault_slow.validate().map_err(|e| ConfigError::Fault {
+            device: "fault_slow",
+            reason: e,
+        })?;
         Ok(())
+    }
+
+    /// Starts a builder pre-filled with [`BaryonConfig::default_cache_mode`]
+    /// at the given scale. Finish with [`BaryonConfigBuilder::build`], which
+    /// validates and returns the typed [`ConfigError`] for any violated
+    /// invariant — the fallible mirror of the panicking `default_*`
+    /// constructors.
+    pub fn builder(scale: Scale) -> BaryonConfigBuilder {
+        BaryonConfigBuilder {
+            cfg: Self::default_cache_mode(scale),
+        }
+    }
+}
+
+/// Fluent, validating construction of a [`BaryonConfig`].
+///
+/// ```
+/// use baryon_core::config::{BaryonConfig, ConfigError};
+/// use baryon_workloads::Scale;
+///
+/// let cfg = BaryonConfig::builder(Scale { divisor: 1024 })
+///     .commit_k(2.0)
+///     .zero_opt(false)
+///     .build()
+///     .expect("valid");
+/// assert_eq!(cfg.commit_k, 2.0);
+///
+/// let err = BaryonConfig::builder(Scale { divisor: 1024 })
+///     .stage_ways(0)
+///     .build()
+///     .expect_err("invalid");
+/// assert_eq!(err, ConfigError::ZeroStageWays);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaryonConfigBuilder {
+    cfg: BaryonConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+impl BaryonConfigBuilder {
+    builder_setters! {
+        /// Sets the hybrid mode (cache / flat / mixed).
+        mode: HybridMode,
+        /// Sets the total fast-memory capacity.
+        fast_bytes: u64,
+        /// Sets the total slow-memory capacity.
+        slow_bytes: u64,
+        /// Sets the stage-area capacity (0 disables the stage area).
+        stage_bytes: u64,
+        /// Sets the stage-area associativity.
+        stage_ways: usize,
+        /// Sets the data-area associativity (`usize::MAX` for FA).
+        assoc: usize,
+        /// Sets the selective-commit weight `k`.
+        commit_k: f64,
+        /// Commits every stage victim regardless of the cost model.
+        commit_all: bool,
+        /// Enforces cacheline-aligned compression.
+        cacheline_aligned: bool,
+        /// Enables the `Z`-bit all-zero range optimization.
+        zero_opt: bool,
+        /// Also tries the C-Pack compressor.
+        use_cpack: bool,
+        /// Keeps data compressed on fast-to-slow writeback.
+        compressed_writeback: bool,
+        /// Allows block-level stage replacements.
+        two_level_replacement: bool,
+        /// Sets the data-area victim-selection policy.
+        victim_policy: VictimPolicy,
+        /// Sets the OS-visible fraction of the data area (mixed mode).
+        flat_fraction: f64,
+        /// Sets fault injection on the fast device.
+        fault_fast: FaultConfig,
+        /// Sets fault injection on the slow device.
+        fault_slow: FaultConfig,
+        /// Sets the metadata-scrub interval (0 disables scrubbing).
+        scrub_interval: u64,
+    }
+
+    /// Switches to the fully-associative flat organization
+    /// (the [`BaryonConfig::default_flat_fa`] design point).
+    #[must_use]
+    pub fn flat_fa(mut self) -> Self {
+        self.cfg.mode = HybridMode::Flat;
+        self.cfg.assoc = usize::MAX;
+        self.cfg.flat_fraction = 1.0;
+        self
+    }
+
+    /// Switches to the mixed cache + flat organization with the given
+    /// OS-visible fraction ([`BaryonConfig::default_mixed`], but fallible:
+    /// an out-of-range fraction surfaces as
+    /// [`ConfigError::BadFlatFraction`] from [`BaryonConfigBuilder::build`]
+    /// instead of a panic).
+    #[must_use]
+    pub fn mixed(mut self, flat_fraction: f64) -> Self {
+        self.cfg.mode = HybridMode::Mixed;
+        self.cfg.assoc = usize::MAX;
+        self.cfg.flat_fraction = flat_fraction;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ConfigError`] for the first violated invariant.
+    pub fn build(self) -> Result<BaryonConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -482,6 +640,89 @@ mod tests {
         let mut c = BaryonConfig::default_cache_mode(scale());
         c.stage_ways = 0;
         let err = c.validate().expect_err("invalid");
+        assert_eq!(err, ConfigError::ZeroStageWays);
         assert!(err.to_string().contains("stage_ways"));
+    }
+
+    #[test]
+    fn builder_defaults_match_default_cache_mode() {
+        let built = BaryonConfig::builder(scale()).build().expect("valid");
+        assert_eq!(built, BaryonConfig::default_cache_mode(scale()));
+        let fa = BaryonConfig::builder(scale())
+            .flat_fa()
+            .build()
+            .expect("valid");
+        assert_eq!(fa, BaryonConfig::default_flat_fa(scale()));
+        let mixed = BaryonConfig::builder(scale())
+            .mixed(0.5)
+            .build()
+            .expect("valid");
+        assert_eq!(mixed, BaryonConfig::default_mixed(scale(), 0.5));
+    }
+
+    #[test]
+    fn builder_returns_typed_errors_instead_of_asserting() {
+        let err = BaryonConfig::builder(scale())
+            .mixed(1.5)
+            .build()
+            .expect_err("fraction out of range");
+        assert_eq!(err, ConfigError::BadFlatFraction);
+        let err = BaryonConfig::builder(scale())
+            .assoc(0)
+            .build()
+            .expect_err("zero assoc");
+        assert_eq!(err, ConfigError::ZeroAssoc);
+        let err = BaryonConfig::builder(scale())
+            .fast_bytes(0)
+            .build()
+            .expect_err("zero capacity");
+        assert_eq!(err, ConfigError::ZeroCapacity);
+        let err = BaryonConfig::builder(scale())
+            .commit_k(-1.0)
+            .build()
+            .expect_err("negative k");
+        assert_eq!(err, ConfigError::NegativeCommitK);
+        let bad = baryon_mem::FaultConfig {
+            bit_flip_rate: 2.0,
+            ..Default::default()
+        };
+        let err = BaryonConfig::builder(scale())
+            .fault_fast(bad)
+            .build()
+            .expect_err("bad rate");
+        assert!(matches!(
+            err,
+            ConfigError::Fault {
+                device: "fault_fast",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        let cfg = BaryonConfig::builder(scale())
+            .stage_bytes(0)
+            .stage_ways(2)
+            .commit_all(true)
+            .cacheline_aligned(false)
+            .zero_opt(false)
+            .use_cpack(true)
+            .compressed_writeback(false)
+            .two_level_replacement(false)
+            .victim_policy(VictimPolicy::Clock)
+            .scrub_interval(500)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.stage_bytes, 0);
+        assert_eq!(cfg.stage_ways, 2);
+        assert!(cfg.commit_all);
+        assert!(!cfg.cacheline_aligned);
+        assert!(!cfg.zero_opt);
+        assert!(cfg.use_cpack);
+        assert!(!cfg.compressed_writeback);
+        assert!(!cfg.two_level_replacement);
+        assert_eq!(cfg.victim_policy, VictimPolicy::Clock);
+        assert_eq!(cfg.scrub_interval, 500);
     }
 }

@@ -19,7 +19,7 @@ use crate::remap::RemapTable;
 use crate::stage::StageArea;
 use baryon_compress::RangeCompressor;
 use baryon_sim::rng::SimRng;
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 use baryon_workloads::MemoryContents;
 use phase::PhaseTracker;
@@ -178,6 +178,9 @@ pub struct BaryonController {
     pub(crate) flat_blocks: u64,
     /// Demand reads since the last metadata-scrub pass.
     pub(crate) reads_since_scrub: u64,
+    /// Unified telemetry: span timings of the access flow (and any future
+    /// controller-local metrics). Spans are off unless enabled.
+    pub(crate) telemetry: Registry,
 }
 
 impl BaryonController {
@@ -252,8 +255,16 @@ impl BaryonController {
             data_base,
             flat_blocks,
             reads_since_scrub: 0,
+            telemetry: Registry::new(),
             cfg,
         }
+    }
+
+    /// Enables wall-clock span recording through the access flow
+    /// (stage probe, remap walk, fill, commit, writeback). Off by
+    /// default so golden runs never observe the host clock.
+    pub fn enable_telemetry_spans(&mut self) {
+        self.telemetry.enable_spans();
     }
 
     /// Enables the Fig 3 / Fig 4 stage-phase instrumentation.
@@ -504,53 +515,57 @@ impl BaryonController {
 
 impl MemoryController for BaryonController {
     fn read(&mut self, now: Cycle, req: Request, mem: &mut MemoryContents) -> Response {
-        self.read_impl(now, req, mem)
+        let t = self.telemetry.timer();
+        let r = self.read_impl(now, req, mem);
+        self.telemetry.record_span("span.read", t);
+        r
     }
 
     fn writeback(&mut self, now: Cycle, addr: u64, mem: &mut MemoryContents) -> Cycle {
-        self.writeback_impl(now, addr, mem)
+        let t = self.telemetry.timer();
+        let done = self.writeback_impl(now, addr, mem);
+        self.telemetry.record_span("span.writeback", t);
+        done
     }
 
     fn serve_stats(&self) -> ServeStats {
         self.serve.finish(&self.devices)
     }
 
-    fn export(&self, stats: &mut Stats) {
+    fn export(&self, reg: &mut Registry) {
         let c = &self.counters;
-        stats.set_counter("case1_stage_hits", c.case1_stage_hits);
-        stats.set_counter("case2_commit_hits", c.case2_commit_hits);
-        stats.set_counter("case3_stage_misses", c.case3_stage_misses);
-        stats.set_counter("case4_bypasses", c.case4_bypasses);
-        stats.set_counter("case5_block_misses", c.case5_block_misses);
-        stats.set_counter("zero_serves", c.zero_serves);
-        stats.set_counter("stage_overflows", c.stage_overflows);
-        stats.set_counter("committed_overflows", c.committed_overflows);
-        stats.set_counter("commits", c.commits);
-        stats.set_counter("stage_evictions", c.stage_evictions);
-        stats.set_counter("commit_aborts", c.commit_aborts);
-        stats.set_counter("spread_swaps", c.spread_swaps);
-        stats.set_counter("three_way_swaps", c.three_way_swaps);
-        stats.set_counter("flat_original_hits", c.flat_original_hits);
-        stats.set_counter("displaced_accesses", c.displaced_accesses);
-        stats.set_counter("decompressions", c.decompressions);
-        stats.set_counter("faults_detected", c.faults_detected);
-        stats.set_counter("faults_corrected", c.faults_corrected);
-        stats.set_counter("faults_degraded", c.faults_degraded);
-        stats.set_counter("faults_unrecoverable", c.faults_unrecoverable);
-        stats.set_counter("scrub_passes", c.scrub_passes);
-        stats.set_counter("scrub_repairs", c.scrub_repairs);
-        stats.set_gauge("avg_cf", c.avg_cf());
-        stats.set_gauge("remap_cache_hit_rate", self.remap.cache_hit_rate());
-        stats.set_counter("stage_stagings", self.stage.stats().stagings);
-        stats.set_counter(
-            "stage_sub_replacements",
-            self.stage.stats().sub_replacements,
-        );
-        stats.set_counter(
-            "stage_block_replacements",
-            self.stage.stats().block_replacements,
-        );
-        self.devices.export(stats);
+        reg.set_counter("case1_stage_hits", c.case1_stage_hits);
+        reg.set_counter("case2_commit_hits", c.case2_commit_hits);
+        reg.set_counter("case3_stage_misses", c.case3_stage_misses);
+        reg.set_counter("case4_bypasses", c.case4_bypasses);
+        reg.set_counter("case5_block_misses", c.case5_block_misses);
+        reg.set_counter("zero_serves", c.zero_serves);
+        reg.set_counter("stage_overflows", c.stage_overflows);
+        reg.set_counter("committed_overflows", c.committed_overflows);
+        reg.set_counter("commits", c.commits);
+        reg.set_counter("stage_evictions", c.stage_evictions);
+        reg.set_counter("commit_aborts", c.commit_aborts);
+        reg.set_counter("spread_swaps", c.spread_swaps);
+        reg.set_counter("three_way_swaps", c.three_way_swaps);
+        reg.set_counter("flat_original_hits", c.flat_original_hits);
+        reg.set_counter("displaced_accesses", c.displaced_accesses);
+        reg.set_counter("decompressions", c.decompressions);
+        reg.set_counter("faults_detected", c.faults_detected);
+        reg.set_counter("faults_corrected", c.faults_corrected);
+        reg.set_counter("faults_degraded", c.faults_degraded);
+        reg.set_counter("faults_unrecoverable", c.faults_unrecoverable);
+        reg.set_counter("scrub_passes", c.scrub_passes);
+        reg.set_counter("scrub_repairs", c.scrub_repairs);
+        reg.set_gauge("avg_cf", c.avg_cf());
+        let mut sub = Registry::new();
+        self.stage.stats().export(&mut sub);
+        reg.absorb("stage", &sub);
+        let mut sub = Registry::new();
+        self.remap.stats().export(&mut sub);
+        reg.absorb("remap", &sub);
+        reg.set_gauge("remap.cache_hit_rate", self.remap.cache_hit_rate());
+        self.devices.export(reg);
+        reg.merge(&self.telemetry);
     }
 
     fn reset_stats(&mut self) {
@@ -559,6 +574,7 @@ impl MemoryController for BaryonController {
         self.devices.reset_stats();
         self.remap.reset_stats();
         self.stage.reset_stats();
+        self.telemetry.reset();
     }
 
     fn name(&self) -> &str {
@@ -675,9 +691,10 @@ mod tests {
         let mut c = controller();
         let mut mem = test_contents();
         c.read(0, Request { addr: 0, core: 0 }, &mut mem);
-        let mut s = Stats::new();
+        let mut s = Registry::new();
         c.export(&mut s);
         assert_eq!(s.counter("case5_block_misses"), 1);
+        assert_eq!(s.counter("remap.cache_misses"), 1);
         assert!(s.gauge("avg_cf") >= 1.0);
     }
 

@@ -65,8 +65,12 @@ impl BaryonController {
             let sset = self.stage.set_of(sb);
             self.stage.record_set_access(sset);
 
+            let t = self.telemetry.timer();
+            let probe = self.stage.lookup(sb, off, sub);
+            self.telemetry.record_span("span.stage_probe", t);
+
             // Case 1: block staged, sub-block hit.
-            if let Some((slot, hit)) = self.stage.lookup(sb, off, sub) {
+            if let Some((slot, hit)) = probe {
                 self.counters.case1_stage_hits += 1;
                 self.tracker.classify(b, AccessKind::Hit);
                 self.tracker.on_stage_access(slot, b, now, false);
@@ -116,9 +120,11 @@ impl BaryonController {
         }
 
         // Remap metadata path (stage tag array probed in parallel).
+        let t = self.telemetry.timer();
         let remap_lat = self.remap.lookup(now, sb, &mut self.devices.fast);
-        let meta_lat = meta_lat.max(remap_lat);
         let entry = *self.remap.entry(b);
+        self.telemetry.record_span("span.remap_walk", t);
+        let meta_lat = meta_lat.max(remap_lat);
 
         if !entry.is_empty() {
             if entry.has_sub(sub) {

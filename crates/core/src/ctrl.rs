@@ -1,7 +1,7 @@
 //! The memory-controller interface shared by Baryon and all baselines.
 
 use baryon_mem::{DeviceConfig, MemDevice};
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 use baryon_workloads::MemoryContents;
 
@@ -46,8 +46,10 @@ pub trait MemoryController {
     /// Aggregate serve/traffic statistics.
     fn serve_stats(&self) -> ServeStats;
 
-    /// Dumps all internal counters under their own names.
-    fn export(&self, stats: &mut Stats);
+    /// Publishes every internal counter into the unified telemetry
+    /// registry under `component.metric` names (the driver absorbs the
+    /// result under a `ctrl.` prefix).
+    fn export(&self, reg: &mut Registry);
 
     /// Resets statistics after warm-up (state is kept).
     fn reset_stats(&mut self);
@@ -95,6 +97,20 @@ impl ServeStats {
             self.fast_bytes as f64 / self.useful_bytes as f64
         }
     }
+
+    /// Publishes into the unified telemetry [`Registry`] (the driver
+    /// absorbs the result under `ctrl.serve.`).
+    pub fn export(&self, reg: &mut Registry) {
+        reg.set_counter("reads", self.reads);
+        reg.set_counter("fast_served", self.fast_served);
+        reg.set_counter("writebacks", self.writebacks);
+        reg.set_counter("useful_bytes", self.useful_bytes);
+        reg.set_counter("fast_bytes", self.fast_bytes);
+        reg.set_counter("slow_bytes", self.slow_bytes);
+        reg.set_gauge("energy_pj", self.energy_pj);
+        reg.set_gauge("fast_serve_rate", self.fast_serve_rate());
+        reg.set_gauge("bloat_factor", self.bloat_factor());
+    }
 }
 
 /// The fast + slow device pair owned by every controller.
@@ -126,14 +142,14 @@ impl Devices {
         self.slow.reset_stats();
     }
 
-    /// Exports both devices' statistics under `fast.` / `slow.` prefixes.
-    pub fn export(&self, stats: &mut Stats) {
-        let mut f = Stats::new();
+    /// Publishes both devices' statistics under `fast.` / `slow.` prefixes.
+    pub fn export(&self, reg: &mut Registry) {
+        let mut f = Registry::new();
         self.fast.stats().export(&mut f);
-        stats.absorb("fast", &f);
-        let mut s = Stats::new();
+        reg.absorb("fast", &f);
+        let mut s = Registry::new();
         self.slow.stats().export(&mut s);
-        stats.absorb("slow", &s);
+        reg.absorb("slow", &s);
     }
 }
 

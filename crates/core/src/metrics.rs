@@ -3,7 +3,8 @@
 use crate::ctrl::ServeStats;
 use baryon_sim::histogram::Histogram;
 use baryon_sim::json::Json;
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::{Registry, Value};
+use std::collections::BTreeMap;
 
 /// The outcome of one measured simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +23,11 @@ pub struct RunResult {
     pub serve: ServeStats,
     /// Distribution of memory-side read latencies (cycles per LLC miss).
     pub read_latency: Histogram,
-    /// Full counter dump (hierarchy + controller + devices).
-    pub stats: Stats,
+    /// The unified telemetry registry: every counter, gauge and summary
+    /// published by the hierarchy, controller and devices. Read through
+    /// [`RunResult::snapshot`] or [`Registry`] accessors — the per-crate
+    /// stats structs are internal publishers only.
+    pub telemetry: Registry,
 }
 
 impl RunResult {
@@ -67,9 +71,20 @@ impl RunResult {
         self.serve.energy_pj / 1e9
     }
 
+    /// Freezes the unified telemetry registry into the single read API:
+    /// one ordered map of `component.metric` name to [`Value`].
+    pub fn snapshot(&self) -> BTreeMap<String, Value> {
+        self.telemetry.snapshot()
+    }
+
+    /// Reads one telemetry counter; missing counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.telemetry.counter(name)
+    }
+
     /// The full result as a JSON document (headline metrics, serve/traffic
-    /// summary, latency percentiles, and the raw counter registry) for
-    /// machine consumption, e.g. `baryon-cli run --json`.
+    /// summary, latency percentiles, and the unified telemetry registry)
+    /// for machine consumption, e.g. `baryon-cli run --json`.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("controller", Json::from(self.controller.as_str())),
@@ -104,14 +119,7 @@ impl RunResult {
                     ("p99", Json::from(self.read_latency.percentile(99.0))),
                 ]),
             ),
-            (
-                "counters",
-                Json::obj(
-                    self.stats
-                        .counters()
-                        .map(|(name, value)| (name.to_owned(), Json::from(value))),
-                ),
-            ),
+            ("telemetry", self.telemetry.to_json()),
         ])
     }
 }
@@ -155,7 +163,7 @@ mod tests {
             llc_misses: 50,
             serve: ServeStats::default(),
             read_latency: Histogram::new(),
-            stats: Stats::new(),
+            telemetry: Registry::new(),
         }
     }
 
@@ -188,7 +196,9 @@ mod tests {
     #[test]
     fn json_includes_headline_metrics_and_is_stable() {
         let mut r = result(1000, 4000);
-        r.stats.add("llc.misses", 50);
+        r.telemetry.add("cache.llc.read_misses", 50);
+        r.telemetry.set_gauge("ctrl.avg_cf", 1.5);
+        r.telemetry.observe("sim.read_latency", 100);
         let text = r.to_json().render();
         for needle in [
             "\"controller\":\"x\"",
@@ -196,12 +206,25 @@ mod tests {
             "\"ipc\":4",
             "\"serve\":{",
             "\"read_latency\":{",
-            "\"llc.misses\":50",
+            "\"telemetry\":{",
+            "\"cache.llc.read_misses\":50",
+            "\"ctrl.avg_cf\":1.5",
+            "\"sim.read_latency\":{\"count\":1",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
         // Deterministic output for identical results.
         assert_eq!(text, r.to_json().render());
+    }
+
+    #[test]
+    fn snapshot_is_the_single_read_api() {
+        let mut r = result(1000, 4000);
+        r.telemetry.add("ctrl.commits", 3);
+        let snap = r.snapshot();
+        assert_eq!(snap["ctrl.commits"], Value::Counter(3));
+        assert_eq!(r.counter("ctrl.commits"), 3);
+        assert_eq!(r.counter("ctrl.nope"), 0);
     }
 
     #[test]

@@ -21,6 +21,28 @@ pub struct RemapStats {
     pub table_updates: u64,
 }
 
+impl RemapStats {
+    /// Publishes into the unified telemetry [`Registry`]
+    /// (absorbed by the controller under `remap.`).
+    ///
+    /// [`Registry`]: baryon_sim::telemetry::Registry
+    pub fn export(&self, reg: &mut baryon_sim::telemetry::Registry) {
+        reg.set_counter("cache_hits", self.cache_hits);
+        reg.set_counter("cache_misses", self.cache_misses);
+        reg.set_counter("table_updates", self.table_updates);
+    }
+
+    /// Remap-cache hit rate in `[0, 1]`; 0 with no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// The remap table plus its cache model.
 #[derive(Debug, Clone)]
 pub struct RemapTable {
@@ -123,12 +145,7 @@ impl RemapTable {
 
     /// Remap-cache hit rate.
     pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.stats.cache_hits + self.stats.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.stats.cache_hits as f64 / total as f64
-        }
+        self.stats.cache_hit_rate()
     }
 
     /// Resets statistics only.

@@ -29,6 +29,18 @@ pub struct StageStats {
     pub block_replacements: u64,
 }
 
+impl StageStats {
+    /// Publishes into the unified telemetry [`Registry`]
+    /// (absorbed by the controller under `stage.`).
+    ///
+    /// [`Registry`]: baryon_sim::telemetry::Registry
+    pub fn export(&self, reg: &mut baryon_sim::telemetry::Registry) {
+        reg.set_counter("stagings", self.stagings);
+        reg.set_counter("sub_replacements", self.sub_replacements);
+        reg.set_counter("block_replacements", self.block_replacements);
+    }
+}
+
 /// The stage area tag mechanics.
 #[derive(Debug, Clone)]
 pub struct StageArea {

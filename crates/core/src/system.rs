@@ -13,7 +13,7 @@ use crate::controller::BaryonController;
 use crate::ctrl::{MemoryController, Request, ServeStats};
 use crate::metrics::RunResult;
 use baryon_cache::{Hierarchy, HierarchyConfig, HitLevel};
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale, TraceGen, Workload};
 
@@ -88,8 +88,8 @@ impl MemoryController for AnyController {
         delegate!(self, c => c.serve_stats())
     }
 
-    fn export(&self, stats: &mut Stats) {
-        delegate!(self, c => c.export(stats))
+    fn export(&self, reg: &mut Registry) {
+        delegate!(self, c => c.export(reg))
     }
 
     fn reset_stats(&mut self) {
@@ -140,6 +140,10 @@ pub struct SystemConfig {
     /// (write bandwidth back-pressure). Without a bound, pure-store
     /// workloads would never feel the memory system at all.
     pub store_buffer: usize,
+    /// Enables wall-clock span telemetry (access-flow and phase timings).
+    /// Off by default: disabled runs never read the host clock, so golden
+    /// results stay bit-identical.
+    pub telemetry: bool,
 }
 
 impl SystemConfig {
@@ -169,6 +173,7 @@ impl SystemConfig {
             warmup_insts: 30_000,
             mlp: 1,
             store_buffer: 32,
+            telemetry: false,
         }
     }
 
@@ -203,6 +208,9 @@ pub struct System {
     wb_queue: Vec<Vec<Cycle>>,
     llc_misses: u64,
     read_latency: baryon_sim::histogram::Histogram,
+    /// System-level spans (warm-up / measure phases); live only when
+    /// `SystemConfig::telemetry` is set.
+    telemetry: Registry,
 }
 
 impl std::fmt::Debug for System {
@@ -222,9 +230,17 @@ impl System {
         let gens = (0..cores)
             .map(|c| workload.spawn_core(c, cores, seed))
             .collect();
+        let mut controller = cfg.build_controller();
+        let mut telemetry = Registry::new();
+        if cfg.telemetry {
+            telemetry.enable_spans();
+            if let Some(b) = controller.as_baryon_mut() {
+                b.enable_telemetry_spans();
+            }
+        }
         System {
             hierarchy: Hierarchy::new(cfg.hierarchy),
-            controller: cfg.build_controller(),
+            controller,
             contents: workload.contents(seed),
             gens,
             core_time: vec![0; cores],
@@ -233,6 +249,7 @@ impl System {
             wb_queue: vec![Vec::new(); cores],
             llc_misses: 0,
             read_latency: baryon_sim::histogram::Histogram::new(),
+            telemetry,
             workload_name: workload.name.to_owned(),
             cfg,
         }
@@ -252,12 +269,17 @@ impl System {
     /// instructions per core, and returns the measured results.
     pub fn run(&mut self, insts_per_core: u64) -> RunResult {
         if self.cfg.warmup_insts > 0 {
+            // Phase spans are coarse one-shot events: always sample.
+            let t = self.telemetry.phase_timer();
             self.run_phase(self.cfg.warmup_insts);
+            self.telemetry.record_span("sim.span.warmup", t);
             self.reset_measurement();
         }
         let start: Vec<Cycle> = self.core_time.clone();
         let insts_before: u64 = self.core_insts.iter().sum();
+        let t = self.telemetry.phase_timer();
         self.run_phase(insts_per_core);
+        self.telemetry.record_span("sim.span.measure", t);
         let cycles = self
             .core_time
             .iter()
@@ -266,20 +288,29 @@ impl System {
             .max()
             .unwrap_or(0);
         let instructions = self.core_insts.iter().sum::<u64>() - insts_before;
-        let mut stats = Stats::new();
-        self.hierarchy.export(&mut stats);
-        let mut ctrl_stats = Stats::new();
-        self.controller.export(&mut ctrl_stats);
-        stats.absorb("ctrl", &ctrl_stats);
+        let serve = self.controller.serve_stats();
+        let mut reg = Registry::new();
+        self.hierarchy.export(&mut reg);
+        let mut ctrl_reg = Registry::new();
+        self.controller.export(&mut ctrl_reg);
+        let mut serve_reg = Registry::new();
+        serve.export(&mut serve_reg);
+        ctrl_reg.absorb("serve", &serve_reg);
+        reg.absorb("ctrl", &ctrl_reg);
+        reg.set_counter("sim.cycles", cycles);
+        reg.set_counter("sim.instructions", instructions);
+        reg.set_counter("sim.llc_misses", self.llc_misses);
+        reg.observe_histogram("sim.read_latency", &self.read_latency);
+        reg.merge(&self.telemetry);
         RunResult {
             controller: self.controller.name().to_owned(),
             workload: self.workload_name.clone(),
             total_cycles: cycles,
             instructions,
             llc_misses: self.llc_misses,
-            serve: self.controller.serve_stats(),
+            serve,
             read_latency: self.read_latency.clone(),
-            stats,
+            telemetry: reg,
         }
     }
 

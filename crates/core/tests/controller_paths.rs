@@ -229,9 +229,9 @@ fn compressed_writeback_leaves_hints() {
     // Whichever path was taken, the bookkeeping must stay coherent: every
     // staging eventually ends in at most one commit or eviction (blocks
     // still resident keep the inequality strict).
-    let mut stats = baryon_sim::stats::Stats::new();
-    c.export(&mut stats);
-    let stagings = stats.counter("stage_stagings");
+    let mut reg = baryon_sim::telemetry::Registry::new();
+    c.export(&mut reg);
+    let stagings = reg.counter("stage.stagings");
     let cnt = c.counters();
     assert!(
         cnt.commits + cnt.stage_evictions <= stagings,

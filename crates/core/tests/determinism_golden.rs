@@ -47,6 +47,45 @@ fn golden_counters_differ_between_controllers() {
 }
 
 #[test]
+fn golden_telemetry_off_and_on_agree_bit_for_bit() {
+    // Enabling telemetry spans may add wall-clock span summaries, but it
+    // must not perturb the simulation itself: every cycle count, byte
+    // counter and latency bucket is identical, and the disabled run never
+    // records a single span.
+    let scale = Scale { divisor: 2048 };
+    let w = by_name("505.mcf_r", scale).expect("workload");
+    let run = |telemetry: bool| {
+        let mut cfg = SystemConfig::baryon_cache_mode(scale);
+        cfg.warmup_insts = 5_000;
+        cfg.telemetry = telemetry;
+        System::new(cfg, &w, 12345).run(10_000)
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off.total_cycles, on.total_cycles);
+    assert_eq!(off.instructions, on.instructions);
+    assert_eq!(off.llc_misses, on.llc_misses);
+    assert_eq!(off.serve, on.serve);
+    assert_eq!(off.read_latency, on.read_latency);
+    // Stripped of span summaries, the registries match metric for metric.
+    let strip = |r: &baryon_core::metrics::RunResult| {
+        r.snapshot()
+            .into_iter()
+            .filter(|(k, _)| !k.contains("span."))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&off), strip(&on));
+    assert!(
+        off.snapshot().keys().all(|k| !k.contains("span.")),
+        "telemetry-off must never record spans"
+    );
+    assert!(
+        on.snapshot().keys().any(|k| k.contains("span.")),
+        "telemetry-on must record spans"
+    );
+}
+
+#[test]
 fn golden_seed_sensitivity() {
     // Different seeds explore different traces but identical machinery:
     // cycle counts differ while the configuration-level invariants hold.

@@ -3,7 +3,7 @@
 use crate::config::DeviceConfig;
 use crate::energy::EnergyMeter;
 use crate::fault::{FaultConfig, FaultInjector, FaultKind};
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use baryon_sim::Cycle;
 
 /// Aggregate statistics of one device.
@@ -44,18 +44,18 @@ impl DeviceStats {
         self.faults_transient.saturating_add(self.faults_stuck)
     }
 
-    /// Exports into a [`Stats`] registry.
-    pub fn export(&self, stats: &mut Stats) {
-        stats.set_counter("reads", self.reads);
-        stats.set_counter("writes", self.writes);
-        stats.set_counter("read_bytes", self.read_bytes);
-        stats.set_counter("written_bytes", self.written_bytes);
-        stats.set_counter("row_hits", self.row_hits);
-        stats.set_counter("row_misses", self.row_misses);
-        stats.set_counter("bus_busy_cycles", self.bus_busy_cycles);
-        stats.set_counter("faults_transient", self.faults_transient);
-        stats.set_counter("faults_stuck", self.faults_stuck);
-        stats.set_gauge("energy_pj", self.energy_pj);
+    /// Publishes into the unified telemetry [`Registry`].
+    pub fn export(&self, reg: &mut Registry) {
+        reg.set_counter("reads", self.reads);
+        reg.set_counter("writes", self.writes);
+        reg.set_counter("read_bytes", self.read_bytes);
+        reg.set_counter("written_bytes", self.written_bytes);
+        reg.set_counter("row_hits", self.row_hits);
+        reg.set_counter("row_misses", self.row_misses);
+        reg.set_counter("bus_busy_cycles", self.bus_busy_cycles);
+        reg.set_counter("faults_transient", self.faults_transient);
+        reg.set_counter("faults_stuck", self.faults_stuck);
+        reg.set_gauge("energy_pj", self.energy_pj);
     }
 }
 
@@ -419,7 +419,7 @@ mod tests {
     fn export_contains_all_fields() {
         let mut d = dram();
         d.access(0, 0, 64, true);
-        let mut s = Stats::new();
+        let mut s = Registry::new();
         d.stats().export(&mut s);
         assert_eq!(s.counter("writes"), 1);
         assert_eq!(s.counter("written_bytes"), 64);

@@ -14,13 +14,16 @@
 //! exponential backoff with deterministic jitter on `503` backpressure
 //! and read timeouts, honouring the server's `Retry-After` header.
 
+use crate::error::{ApiError, ErrorCode};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// Why a request failed, split by phase so callers can react differently
 /// to "server unreachable" and "server accepted the connection but never
-/// answered in time".
+/// answered in time". Servers that answered with the uniform error
+/// envelope surface as [`ClientError::Api`], carrying the typed
+/// [`ErrorCode`] instead of raw status text.
 #[derive(Debug)]
 pub enum ClientError {
     /// TCP connect failed or timed out: the server is down, the port is
@@ -32,6 +35,26 @@ pub enum ClientError {
     /// Any other I/O or parse failure after connecting (reset mid-body,
     /// malformed response, ...).
     Io(io::Error),
+    /// The server answered with an error envelope; the HTTP status plus
+    /// the decoded `{code, message}`.
+    Api {
+        /// The HTTP status code of the error response.
+        status: u16,
+        /// The decoded envelope.
+        error: ApiError,
+    },
+}
+
+impl ClientError {
+    /// The typed API error code, when the failure was an [`Api`] one.
+    ///
+    /// [`Api`]: ClientError::Api
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Api { error, .. } => Some(error.code),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -40,6 +63,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Connect(e) => write!(f, "connect failed: {e}"),
             ClientError::Timeout(e) => write!(f, "response timed out: {e}"),
             ClientError::Io(e) => write!(f, "request failed: {e}"),
+            ClientError::Api { status, error } => write!(f, "server said {status} {error}"),
         }
     }
 }
@@ -48,6 +72,7 @@ impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClientError::Connect(e) | ClientError::Timeout(e) | ClientError::Io(e) => Some(e),
+            ClientError::Api { error, .. } => Some(error),
         }
     }
 }
@@ -56,6 +81,7 @@ impl From<ClientError> for io::Error {
     fn from(e: ClientError) -> io::Error {
         match e {
             ClientError::Connect(e) | ClientError::Timeout(e) | ClientError::Io(e) => e,
+            ClientError::Api { .. } => io::Error::other(e.to_string()),
         }
     }
 }
@@ -243,6 +269,36 @@ impl ClientResponse {
             .iter()
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Decodes the uniform error envelope, when this is a non-2xx
+    /// response carrying one.
+    pub fn api_error(&self) -> Option<ApiError> {
+        if self.status < 400 {
+            return None;
+        }
+        ApiError::from_body(&self.body)
+    }
+
+    /// Converts a non-2xx response into a typed [`ClientError::Api`]
+    /// (falling back to [`ErrorCode::Internal`] with the raw body when
+    /// the server did not send a decodable envelope), and passes 2xx
+    /// responses through.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] for every status outside `200..300`.
+    pub fn into_result(self) -> Result<ClientResponse, ClientError> {
+        if (200..300).contains(&self.status) {
+            return Ok(self);
+        }
+        let error = self
+            .api_error()
+            .unwrap_or_else(|| ApiError::new(ErrorCode::Internal, self.body.clone()));
+        Err(ClientError::Api {
+            status: self.status,
+            error,
+        })
     }
 }
 
@@ -433,6 +489,43 @@ mod tests {
             .request_with_retry("GET", "/v1/metrics", None)
             .expect("a 503 response is still a response");
         assert_eq!(r.status, 503);
+    }
+
+    #[test]
+    fn envelopes_decode_into_typed_api_errors() {
+        let body = r#"{"error":{"code":"queue_full","message":"queue full, retry later"}}"#;
+        let raw = format!(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let r = read_response(&mut BufReader::new(raw.as_bytes())).expect("well-formed");
+        assert_eq!(
+            r.api_error(),
+            Some(ApiError::new(
+                ErrorCode::QueueFull,
+                "queue full, retry later"
+            ))
+        );
+        let err = r.into_result().expect_err("503 is an error");
+        assert_eq!(err.code(), Some(ErrorCode::QueueFull));
+        assert!(err.to_string().contains("queue_full"), "{err}");
+
+        // A 2xx passes through untouched; a bare-body error falls back to
+        // `internal` instead of being dropped.
+        let ok = ClientResponse {
+            status: 200,
+            headers: Vec::new(),
+            body: "{}".into(),
+        };
+        assert!(ok.api_error().is_none());
+        assert!(ok.into_result().is_ok());
+        let legacy = ClientResponse {
+            status: 500,
+            headers: Vec::new(),
+            body: "oops".into(),
+        };
+        let err = legacy.into_result().expect_err("500 is an error");
+        assert_eq!(err.code(), Some(ErrorCode::Internal));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! no TLS, no compression — job specs and result documents are small JSON
 //! bodies over loopback or a trusted network.
 
+use crate::error::{ApiError, ErrorCode};
 use baryon_sim::json::Json;
 use std::io::{self, BufRead, Read, Write};
 
@@ -160,9 +161,10 @@ impl Response {
         }
     }
 
-    /// The uniform error shape: `{"error": "..."}`.
-    pub fn error(status: u16, message: &str) -> Response {
-        Response::json(status, &Json::obj([("error", Json::from(message))]))
+    /// The uniform error envelope:
+    /// `{"error": {"code": "...", "message": "..."}}`.
+    pub fn error(status: u16, code: ErrorCode, message: &str) -> Response {
+        Response::json(status, &ApiError::new(code, message).to_json())
     }
 
     /// Adds a header.
@@ -319,8 +321,15 @@ mod tests {
 
     #[test]
     fn error_shape_is_uniform() {
-        let r = Response::error(404, "no such job");
-        assert_eq!(r.body, r#"{"error":"no such job"}"#);
+        let r = Response::error(404, ErrorCode::NotFound, "no such job");
+        assert_eq!(
+            r.body,
+            r#"{"error":{"code":"not_found","message":"no such job"}}"#
+        );
+        assert_eq!(
+            ApiError::from_body(&r.body),
+            Some(ApiError::new(ErrorCode::NotFound, "no such job"))
+        );
         assert_eq!(reason(404), "Not Found");
         assert_eq!(reason(599), "Unknown");
     }

@@ -20,6 +20,11 @@
 //! | `GET /v1/healthz`         | Liveness probe                                 |
 //! | `POST /v1/shutdown`       | Graceful shutdown, draining accepted jobs      |
 //!
+//! Every non-2xx response carries the uniform error envelope
+//! `{"error": {"code": "...", "message": "..."}}`; see [`error::ErrorCode`]
+//! for the machine-readable codes. `GET /v1/metrics` serves the unified
+//! telemetry registry document (`{"counters", "gauges", "summaries"}`).
+//!
 //! # Example
 //!
 //! ```
@@ -47,9 +52,11 @@
 //! both funnel through [`baryon_bench::spec::RunSpec::execute`].
 
 pub mod client;
+pub mod error;
 pub mod http;
 pub mod job;
 pub mod queue;
 pub mod server;
 
+pub use error::{ApiError, ErrorCode};
 pub use server::{Metrics, ServeConfig, Server};

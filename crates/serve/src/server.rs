@@ -7,13 +7,14 @@
 //! Backpressure is explicit: a full queue answers `503` with
 //! `Retry-After`, never blocking the accept path.
 
+use crate::error::ErrorCode;
 use crate::http::{read_request, Request, Response};
 use crate::job::{CancelOutcome, JobTable};
 use crate::queue::{BoundedQueue, PushError};
 use baryon_bench::spec::JobSpec;
 use baryon_sim::histogram::Histogram;
 use baryon_sim::json::{self, Json};
-use baryon_sim::stats::Stats;
+use baryon_sim::telemetry::Registry;
 use std::io::{self, BufReader};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
@@ -49,9 +50,9 @@ impl Default for ServeConfig {
     }
 }
 
-/// Serve-layer counters, exported uniformly through
-/// [`baryon_sim::stats::Stats`] so grid/report tooling can consume them
-/// like any simulator component's counters.
+/// Serve-layer counters, exported uniformly through the unified
+/// [`baryon_sim::telemetry::Registry`] so grid/report tooling can consume
+/// them like any simulator component's counters.
 #[derive(Default)]
 pub struct Metrics {
     requests: AtomicU64,
@@ -75,45 +76,48 @@ impl Metrics {
             .record(us);
     }
 
-    /// Snapshots every counter and gauge into a [`Stats`] registry under
-    /// the `serve.` namespace.
-    pub fn to_stats(&self, queue_depth: usize, workers: usize) -> Stats {
-        let mut stats = Stats::new();
-        stats.set_counter("serve.http.requests", self.requests.load(Ordering::Relaxed));
-        stats.set_counter(
+    /// Snapshots every counter and gauge into a telemetry [`Registry`]
+    /// under the `serve.` namespace. Job latency is published both as a
+    /// summary (`serve.job_latency_us`) and as the legacy flat counters
+    /// (`serve.job_latency.count` / `.p50_us` / `.p95_us`).
+    pub fn to_registry(&self, queue_depth: usize, workers: usize) -> Registry {
+        let mut reg = Registry::new();
+        reg.set_counter("serve.http.requests", self.requests.load(Ordering::Relaxed));
+        reg.set_counter(
             "serve.jobs.submitted",
             self.submitted.load(Ordering::Relaxed),
         );
-        stats.set_counter("serve.jobs.rejected", self.rejected.load(Ordering::Relaxed));
-        stats.set_counter("serve.jobs.done", self.done.load(Ordering::Relaxed));
-        stats.set_counter("serve.jobs.failed", self.failed.load(Ordering::Relaxed));
-        stats.set_counter(
+        reg.set_counter("serve.jobs.rejected", self.rejected.load(Ordering::Relaxed));
+        reg.set_counter("serve.jobs.done", self.done.load(Ordering::Relaxed));
+        reg.set_counter("serve.jobs.failed", self.failed.load(Ordering::Relaxed));
+        reg.set_counter(
             "serve.jobs.timed_out",
             self.timed_out.load(Ordering::Relaxed),
         );
-        stats.set_counter("serve.jobs.panicked", self.panicked.load(Ordering::Relaxed));
-        stats.set_counter(
+        reg.set_counter("serve.jobs.panicked", self.panicked.load(Ordering::Relaxed));
+        reg.set_counter(
             "serve.jobs.cancelled",
             self.cancelled.load(Ordering::Relaxed),
         );
-        stats.set_counter(
+        reg.set_counter(
             "serve.runs.executed",
             self.runs_executed.load(Ordering::Relaxed),
         );
-        stats.set_counter("serve.queue.depth", queue_depth as u64);
+        reg.set_counter("serve.queue.depth", queue_depth as u64);
         let busy = self.busy.load(Ordering::Relaxed);
-        stats.set_counter("serve.workers.total", workers as u64);
-        stats.set_counter("serve.workers.busy", busy as u64);
-        stats.set_gauge(
+        reg.set_counter("serve.workers.total", workers as u64);
+        reg.set_counter("serve.workers.busy", busy as u64);
+        reg.set_gauge(
             "serve.workers.utilization",
             busy as f64 / workers.max(1) as f64,
         );
         let latency = self.latency_us.lock().expect("latency lock poisoned");
-        stats.set_counter("serve.job_latency.count", latency.count());
-        stats.set_counter("serve.job_latency.p50_us", latency.percentile(50.0));
-        stats.set_counter("serve.job_latency.p95_us", latency.percentile(95.0));
-        stats.set_gauge("serve.job_latency.mean_us", latency.mean());
-        stats
+        reg.set_counter("serve.job_latency.count", latency.count());
+        reg.set_counter("serve.job_latency.p50_us", latency.percentile(50.0));
+        reg.set_counter("serve.job_latency.p95_us", latency.percentile(95.0));
+        reg.set_gauge("serve.job_latency.mean_us", latency.mean());
+        reg.observe_histogram("serve.job_latency_us", &latency);
+        reg
     }
 }
 
@@ -318,7 +322,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(Some(request)) => request,
             Ok(None) => return, // peer closed between requests
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let _ = Response::error(400, &e.to_string()).write_to(&mut writer, true);
+                let _ = Response::error(400, ErrorCode::BadRequest, &e.to_string())
+                    .write_to(&mut writer, true);
                 return;
             }
             Err(_) => return, // timeout or reset
@@ -349,9 +354,9 @@ fn route(shared: &Shared, request: &Request) -> Response {
                 path,
                 "/v1/healthz" | "/v1/metrics" | "/v1/jobs" | "/v1/shutdown"
             ) {
-                return Response::error(405, "method not allowed");
+                return Response::error(405, ErrorCode::MethodNotAllowed, "method not allowed");
             }
-            Response::error(404, "no such endpoint")
+            Response::error(404, ErrorCode::NotFound, "no such endpoint")
         }
     }
 }
@@ -362,12 +367,12 @@ fn job_route(shared: &Shared, method: &str, rest: &str) -> Response {
         Some((id, action)) => (id, Some(action)),
     };
     let Ok(id) = id_text.parse::<u64>() else {
-        return Response::error(404, "job IDs are integers");
+        return Response::error(404, ErrorCode::NotFound, "job IDs are integers");
     };
     match (method, action) {
         ("GET", None) => match shared.jobs.get(id) {
             Some(record) => Response::json(200, &record.to_json()),
-            None => Response::error(404, "no such job"),
+            None => Response::error(404, ErrorCode::NotFound, "no such job"),
         },
         ("POST", Some("cancel")) => match shared.jobs.cancel(id) {
             CancelOutcome::Cancelled => {
@@ -379,33 +384,42 @@ fn job_route(shared: &Shared, method: &str, rest: &str) -> Response {
             }
             CancelOutcome::TooLate(state) => Response::error(
                 409,
+                ErrorCode::Conflict,
                 &format!(
                     "job is {}, only queued jobs can be cancelled",
                     state.as_str()
                 ),
             ),
-            CancelOutcome::NotFound => Response::error(404, "no such job"),
+            CancelOutcome::NotFound => Response::error(404, ErrorCode::NotFound, "no such job"),
         },
-        (_, None) => Response::error(405, "method not allowed"),
-        _ => Response::error(404, "no such endpoint"),
+        (_, None) => Response::error(405, ErrorCode::MethodNotAllowed, "method not allowed"),
+        _ => Response::error(404, ErrorCode::NotFound, "no such endpoint"),
     }
 }
 
 fn submit(shared: &Shared, body: &[u8]) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Response::error(503, "server is shutting down");
+        return Response::error(503, ErrorCode::ShuttingDown, "server is shutting down");
     }
     let text = match std::str::from_utf8(body) {
         Ok(text) => text,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
+        Err(_) => return Response::error(400, ErrorCode::BadRequest, "body is not UTF-8"),
     };
     let doc = match json::parse(text) {
         Ok(doc) => doc,
-        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+        Err(e) => {
+            return Response::error(400, ErrorCode::InvalidJson, &format!("invalid JSON: {e}"))
+        }
     };
     let spec = match JobSpec::from_json(&doc) {
         Ok(spec) => spec,
-        Err(e) => return Response::error(400, &format!("invalid job spec: {e}")),
+        Err(e) => {
+            return Response::error(
+                400,
+                ErrorCode::InvalidSpec,
+                &format!("invalid job spec: {e}"),
+            )
+        }
     };
     let id = shared.jobs.submit(spec);
     match shared.queue.try_push(id) {
@@ -419,31 +433,21 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
         Err(PushError::Full) => {
             shared.jobs.forget(id);
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            Response::error(503, "queue full, retry later").header("Retry-After", "1")
+            Response::error(503, ErrorCode::QueueFull, "queue full, retry later")
+                .header("Retry-After", "1")
         }
         Err(PushError::Closed) => {
             shared.jobs.forget(id);
-            Response::error(503, "server is shutting down")
+            Response::error(503, ErrorCode::ShuttingDown, "server is shutting down")
         }
     }
 }
 
 fn metrics_response(shared: &Shared) -> Response {
-    let stats = shared.metrics.to_stats(shared.queue.len(), shared.workers);
-    let counters = Json::obj(
-        stats
-            .counters()
-            .map(|(name, value)| (name.to_owned(), Json::from(value))),
-    );
-    let gauges = Json::obj(
-        stats
-            .gauges()
-            .map(|(name, value)| (name.to_owned(), Json::from(value))),
-    );
-    Response::json(
-        200,
-        &Json::obj([("counters", counters), ("gauges", gauges)]),
-    )
+    let reg = shared
+        .metrics
+        .to_registry(shared.queue.len(), shared.workers);
+    Response::json(200, &reg.to_json())
 }
 
 fn shutdown(shared: &Shared) -> Response {
@@ -464,7 +468,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn metrics_export_through_stats_registry() {
+    fn metrics_export_through_telemetry_registry() {
         let m = Metrics::default();
         m.submitted.store(5, Ordering::Relaxed);
         m.done.store(3, Ordering::Relaxed);
@@ -473,18 +477,74 @@ mod tests {
         m.busy.store(1, Ordering::Relaxed);
         m.record_latency(1000);
         m.record_latency(2000);
-        let stats = m.to_stats(4, 2);
-        assert_eq!(stats.counter("serve.jobs.submitted"), 5);
-        assert_eq!(stats.counter("serve.jobs.done"), 3);
-        assert_eq!(stats.counter("serve.jobs.timed_out"), 2);
-        assert_eq!(stats.counter("serve.jobs.panicked"), 1);
-        assert_eq!(stats.counter("serve.queue.depth"), 4);
-        assert_eq!(stats.counter("serve.workers.total"), 2);
-        assert_eq!(stats.counter("serve.workers.busy"), 1);
-        assert_eq!(stats.counter("serve.job_latency.count"), 2);
-        assert!(stats.counter("serve.job_latency.p50_us") >= 512);
-        assert!((stats.gauge("serve.workers.utilization") - 0.5).abs() < 1e-12);
-        assert!(stats.gauge("serve.job_latency.mean_us") > 0.0);
+        let reg = m.to_registry(4, 2);
+        assert_eq!(reg.counter("serve.jobs.submitted"), 5);
+        assert_eq!(reg.counter("serve.jobs.done"), 3);
+        assert_eq!(reg.counter("serve.jobs.timed_out"), 2);
+        assert_eq!(reg.counter("serve.jobs.panicked"), 1);
+        assert_eq!(reg.counter("serve.queue.depth"), 4);
+        assert_eq!(reg.counter("serve.workers.total"), 2);
+        assert_eq!(reg.counter("serve.workers.busy"), 1);
+        assert_eq!(reg.counter("serve.job_latency.count"), 2);
+        assert!(reg.counter("serve.job_latency.p50_us") >= 512);
+        assert!((reg.gauge("serve.workers.utilization") - 0.5).abs() < 1e-12);
+        assert!(reg.gauge("serve.job_latency.mean_us") > 0.0);
+        let summary = reg.summary("serve.job_latency_us").expect("summary");
+        assert_eq!(summary.count(), 2);
+    }
+
+    #[test]
+    fn metrics_schema_is_golden() {
+        // The /v1/metrics document is the registry's JSON: exactly these
+        // names, under exactly these sections. Extending the schema is
+        // fine — update the lists here — but renaming or dropping a metric
+        // breaks scrapers and must be deliberate.
+        let m = Metrics::default();
+        m.record_latency(1000);
+        let reg = m.to_registry(4, 2);
+        let counters: Vec<&str> = reg.counters().map(|(k, _)| k).collect();
+        assert_eq!(
+            counters,
+            [
+                "serve.http.requests",
+                "serve.job_latency.count",
+                "serve.job_latency.p50_us",
+                "serve.job_latency.p95_us",
+                "serve.jobs.cancelled",
+                "serve.jobs.done",
+                "serve.jobs.failed",
+                "serve.jobs.panicked",
+                "serve.jobs.rejected",
+                "serve.jobs.submitted",
+                "serve.jobs.timed_out",
+                "serve.queue.depth",
+                "serve.runs.executed",
+                "serve.workers.busy",
+                "serve.workers.total",
+            ]
+        );
+        let gauges: Vec<&str> = reg.gauges().map(|(k, _)| k).collect();
+        assert_eq!(
+            gauges,
+            ["serve.job_latency.mean_us", "serve.workers.utilization"]
+        );
+        let summaries: Vec<&str> = reg.summaries().map(|(k, _)| k).collect();
+        assert_eq!(summaries, ["serve.job_latency_us"]);
+        // The rendered document has the three top-level sections in this
+        // order, and every summary carries the five fixed fields.
+        let text = reg.to_json().render();
+        assert!(text.starts_with("{\"counters\":{"));
+        assert!(text.contains("\"gauges\":{"));
+        assert!(text.contains("\"summaries\":{"));
+        for field in [
+            "\"count\":",
+            "\"mean\":",
+            "\"p50\":",
+            "\"p90\":",
+            "\"p99\":",
+        ] {
+            assert!(text.contains(field), "missing {field} in:\n{text}");
+        }
     }
 
     #[test]

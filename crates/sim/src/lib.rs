@@ -8,7 +8,8 @@
 //! * [`Cycle`] and time conversion helpers,
 //! * a deterministic, splittable random number generator ([`rng::SimRng`]),
 //! * a Zipfian sampler used by the YCSB-style workloads ([`zipf::Zipfian`]),
-//! * a hierarchical statistics registry ([`stats::Stats`]),
+//! * the unified telemetry registry ([`telemetry::Registry`]) every
+//!   component publishes counters, gauges and span timings into,
 //! * summary helpers (geometric mean, percentiles) in [`summary`].
 //!
 //! # Examples
@@ -28,8 +29,8 @@ pub mod check;
 pub mod histogram;
 pub mod json;
 pub mod rng;
-pub mod stats;
 pub mod summary;
+pub mod telemetry;
 pub mod zipf;
 
 /// A simulated clock cycle count.

@@ -37,4 +37,12 @@ cargo test -q -p baryon-serve --offline --test e2e
 echo "==> chaos fault-injection suite (fixed seeds)"
 cargo test -q -p baryon-core --offline --test chaos_faults
 
+# Telemetry overhead gate: the sim-throughput harness runs a small
+# workload matrix twice (spans off / spans on) and fails when enabling
+# telemetry costs more than 5% aggregate wall-clock (override with
+# BARYON_BENCH_MAX_OVERHEAD_PCT). It also refreshes the profiling
+# document BENCH_sim_throughput.json at the repository root.
+echo "==> bench: sim-throughput (telemetry overhead gate)"
+cargo run --release -p baryon-bench --bin sim_throughput --offline
+
 echo "==> OK"
