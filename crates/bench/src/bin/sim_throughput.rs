@@ -21,6 +21,7 @@
 //! "how fast can this go", which is what an overhead gate needs.
 
 use baryon_bench::spec::RunSpec;
+use baryon_core::checkpoint::atomic_write;
 use baryon_core::metrics::RunResult;
 use baryon_sim::json::Json;
 use std::path::PathBuf;
@@ -132,6 +133,43 @@ fn overhead_pct(off_us: f64, on_us: f64) -> f64 {
     }
 }
 
+/// Times one workload with periodic checkpointing enabled (telemetry off),
+/// for the `checkpoint` section of the result document. Returns the
+/// fastest wall time, the run result, and the number of checkpoint files
+/// left on disk by the final repeat.
+fn run_timed_checkpointed(
+    workload: &str,
+    every_ops: u64,
+    keep: usize,
+    repeats: u64,
+) -> Result<(Timed, usize), String> {
+    let s = spec(workload, false);
+    let dir =
+        std::env::temp_dir().join(format!("baryon-sim-throughput-ckpt-{}", std::process::id()));
+    let mut result = None;
+    let mut wall_us = f64::INFINITY;
+    let mut files = 0;
+    for _ in 0..=repeats {
+        // First pass warms caches (untimed), like `run_timed`.
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Instant::now();
+        let r = s.execute_with_checkpoints(&dir, every_ops, keep)?;
+        if result.is_some() {
+            wall_us = wall_us.min(t.elapsed().as_secs_f64() * 1e6);
+        }
+        files = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        result = Some(r);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((
+        Timed {
+            wall_us,
+            result: result.expect("at least one run"),
+        },
+        files,
+    ))
+}
+
 fn out_path() -> PathBuf {
     // crates/bench -> repository root.
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim_throughput.json")
@@ -143,6 +181,7 @@ fn main() -> ExitCode {
 
     let mut rows = Vec::new();
     let (mut total_off_us, mut total_on_us) = (0.0_f64, 0.0_f64);
+    let mut first_off: Option<Timed> = None;
     for workload in WORKLOADS {
         let off = match run_timed(workload, false, repeats) {
             Ok(t) => t,
@@ -160,6 +199,12 @@ fn main() -> ExitCode {
         };
         total_off_us += off.wall_us;
         total_on_us += on.wall_us;
+        if first_off.is_none() {
+            first_off = Some(Timed {
+                wall_us: off.wall_us,
+                result: off.result.clone(),
+            });
+        }
         let oh = overhead_pct(off.wall_us, on.wall_us);
         println!(
             "{workload:<12} off {:>9.0} ops/s  on {:>9.0} ops/s  overhead {oh:+.2}%",
@@ -194,6 +239,48 @@ fn main() -> ExitCode {
         ]));
     }
 
+    // Checkpoint overhead: the first workload once more with periodic
+    // checkpointing, against its plain telemetry-off timing. The result
+    // must be bit-identical — checkpointing observes the run, it never
+    // perturbs it — so a mismatch is a hard failure, not a statistic.
+    let ckpt_every = env_u64("BARYON_BENCH_CHECKPOINT_EVERY", 25_000);
+    let ckpt_keep = 2;
+    let (ckpt, ckpt_files) =
+        match run_timed_checkpointed(WORKLOADS[0], ckpt_every, ckpt_keep, repeats) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim_throughput: checkpointed {}: {e}", WORKLOADS[0]);
+                return ExitCode::FAILURE;
+            }
+        };
+    let baseline = first_off.expect("at least one workload timed");
+    if ckpt.result != baseline.result {
+        eprintln!(
+            "sim_throughput: checkpointed run of {} diverged from the plain run",
+            WORKLOADS[0]
+        );
+        return ExitCode::FAILURE;
+    }
+    let ckpt_oh = overhead_pct(baseline.wall_us, ckpt.wall_us);
+    println!(
+        "{:<12} checkpointing every {ckpt_every} ops: {:>9.0} ops/s  overhead {ckpt_oh:+.2}%  ({ckpt_files} files)",
+        WORKLOADS[0],
+        ops_per_sec(&ckpt.result, ckpt.wall_us),
+    );
+    let checkpoint_doc = Json::obj([
+        ("workload", Json::from(WORKLOADS[0])),
+        ("every_ops", Json::from(ckpt_every)),
+        ("keep", Json::from(ckpt_keep as u64)),
+        ("wall_us", Json::from(ckpt.wall_us)),
+        (
+            "ops_per_sec",
+            Json::from(ops_per_sec(&ckpt.result, ckpt.wall_us)),
+        ),
+        ("overhead_pct", Json::from(ckpt_oh)),
+        ("files_on_disk", Json::from(ckpt_files as u64)),
+        ("result_matches", Json::Bool(true)),
+    ]);
+
     let aggregate_pct = overhead_pct(total_off_us, total_on_us);
     let pass = aggregate_pct <= budget_pct;
     let doc = Json::obj([
@@ -206,13 +293,16 @@ fn main() -> ExitCode {
         ("max_overhead_pct", Json::from(budget_pct)),
         ("aggregate_overhead_pct", Json::from(aggregate_pct)),
         ("pass", Json::from(pass)),
+        ("checkpoint", checkpoint_doc),
         ("workloads", Json::Arr(rows)),
     ]);
 
     let path = out_path();
     let mut body = doc.render();
     body.push('\n');
-    if let Err(e) = std::fs::write(&path, body) {
+    // Atomic (temp file + rename) so a crash mid-write never leaves a
+    // torn result document for CI to misread.
+    if let Err(e) = atomic_write(&path, body.as_bytes()) {
         eprintln!("sim_throughput: cannot write {}: {e}", path.display());
         return ExitCode::FAILURE;
     }

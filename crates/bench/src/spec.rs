@@ -8,11 +8,18 @@
 //! used by the CLI and by every server worker — is what makes a job
 //! submitted remotely byte-identical to the same run performed locally.
 
+use baryon_core::checkpoint::{Checkpoint, RestoreError};
 use baryon_core::config::BaryonConfig;
 use baryon_core::metrics::RunResult;
 use baryon_core::system::{ControllerKind, System, SystemConfig};
-use baryon_sim::json::Json;
+use baryon_sim::json::{parse, Json};
+use baryon_sim::wire::{Reader, Writer};
 use baryon_workloads::{by_name, Scale};
+use std::path::Path;
+
+/// File-name prefix used by [`RunSpec::execute_with_checkpoints`] for its
+/// rotating checkpoint files (`ckpt-<ops>.ckpt`).
+pub const CHECKPOINT_PREFIX: &str = "ckpt";
 
 /// Controller names accepted by [`controller_kind`], in presentation order.
 pub const CONTROLLER_NAMES: &[&str] = &[
@@ -208,6 +215,18 @@ impl RunSpec {
     ///
     /// Returns the [`RunSpec::validate`] error for bad names or ranges.
     pub fn execute(&self) -> Result<RunResult, String> {
+        let mut system = self.build_system()?;
+        Ok(system.run(self.insts))
+    }
+
+    /// Constructs the [`System`] this spec describes without running it —
+    /// the shared front half of [`RunSpec::execute`] and the checkpoint
+    /// paths, so a resumed run is built from byte-identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RunSpec::validate`] error for bad names or ranges.
+    pub fn build_system(&self) -> Result<System, String> {
         self.validate()?;
         let scale = Scale {
             divisor: self.scale,
@@ -218,9 +237,88 @@ impl RunSpec {
         cfg.warmup_insts = self.warmup;
         cfg.mlp = self.mlp as usize;
         cfg.telemetry = self.telemetry;
-        let mut system = System::new(cfg, &workload, self.seed);
-        Ok(system.run(self.insts))
+        Ok(System::new(cfg, &workload, self.seed))
     }
+
+    /// Snapshots an in-progress run of this spec as a [`Checkpoint`].
+    pub fn checkpoint_of(&self, system: &System) -> Checkpoint {
+        let mut w = Writer::new();
+        system.save_state(&mut w);
+        Checkpoint {
+            spec_json: self.to_json().render(),
+            workload: self.workload.clone(),
+            seed: self.seed,
+            ops: system.run_ops(),
+            state: w.into_bytes(),
+        }
+    }
+
+    /// Runs the spec to completion, writing a rotating checkpoint into
+    /// `dir` every `every` trace operations (the newest `keep` are
+    /// retained). The returned result is bit-identical to
+    /// [`RunSpec::execute`] — checkpointing only observes the run, it
+    /// never perturbs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RunSpec::validate`] error, or an I/O error message
+    /// if a checkpoint cannot be written.
+    pub fn execute_with_checkpoints(
+        &self,
+        dir: &Path,
+        every: u64,
+        keep: usize,
+    ) -> Result<RunResult, String> {
+        let every = every.max(1);
+        let mut system = self.build_system()?;
+        system.begin(self.insts);
+        while !system.advance(every) {
+            self.checkpoint_of(&system)
+                .save_rotating(dir, CHECKPOINT_PREFIX, keep)
+                .map_err(|e| format!("cannot write checkpoint into {}: {e}", dir.display()))?;
+        }
+        Ok(system.finish())
+    }
+}
+
+/// Restores the run captured by the checkpoint at `path` and runs it to
+/// completion, returning the embedded spec and the final result. The
+/// result is bit-identical to an uninterrupted [`RunSpec::execute`] of
+/// the same spec.
+///
+/// # Errors
+///
+/// Any [`RestoreError`]: an unreadable/corrupt file, a state blob that
+/// does not decode against the rebuilt system, or an embedded spec that
+/// disagrees with the checkpoint envelope.
+pub fn resume_from(path: &Path) -> Result<(RunSpec, RunResult), RestoreError> {
+    let ckpt = Checkpoint::read_from(path)?;
+    let doc = parse(&ckpt.spec_json)
+        .map_err(|e| RestoreError::SpecMismatch(format!("embedded spec is not valid JSON: {e}")))?;
+    let spec = RunSpec::from_json(&doc).map_err(RestoreError::SpecMismatch)?;
+    if spec.workload != ckpt.workload {
+        return Err(RestoreError::SpecMismatch(format!(
+            "envelope workload `{}` disagrees with embedded spec `{}`",
+            ckpt.workload, spec.workload
+        )));
+    }
+    if spec.seed != ckpt.seed {
+        return Err(RestoreError::SpecMismatch(format!(
+            "envelope seed {} disagrees with embedded spec {}",
+            ckpt.seed, spec.seed
+        )));
+    }
+    let mut system = spec.build_system().map_err(RestoreError::SpecMismatch)?;
+    let mut r = Reader::new(&ckpt.state);
+    system.load_state(&mut r)?;
+    r.finish()?;
+    if !system.run_in_progress() {
+        return Err(RestoreError::SpecMismatch(
+            "checkpoint does not carry an in-progress run".to_owned(),
+        ));
+    }
+    system.advance(u64::MAX);
+    Ok((spec, system.finish()))
 }
 
 /// A cross product of workloads × controllers sharing one set of knobs —
@@ -507,6 +605,77 @@ mod tests {
             let doc = parse(bad).expect("valid json");
             assert!(JobSpec::from_json(&doc).is_err(), "accepted {bad}");
         }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("baryon-spec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_spec() -> RunSpec {
+        RunSpec {
+            workload: "ycsb-a".into(),
+            controller: "baryon".into(),
+            insts: 5_000,
+            warmup: 2_000,
+            scale: 1024,
+            seed: 11,
+            mlp: 1,
+            telemetry: false,
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_uninterrupted() {
+        let spec = small_spec();
+        let golden = spec.execute().expect("golden run");
+
+        let dir = temp_dir("ckpt");
+        let observed = spec
+            .execute_with_checkpoints(&dir, 500, 3)
+            .expect("checkpointed run");
+        assert_eq!(
+            observed.to_json().render(),
+            golden.to_json().render(),
+            "checkpointing perturbed the run"
+        );
+
+        // At most `keep` files remain, and the newest resumes to the
+        // same result as the uninterrupted golden.
+        let latest = Checkpoint::latest_in(&dir, CHECKPOINT_PREFIX)
+            .expect("scan checkpoints")
+            .expect("at least one checkpoint");
+        let files = std::fs::read_dir(&dir).expect("dir").count();
+        assert!(files <= 3, "rotation kept {files} files");
+        let (back_spec, resumed) = resume_from(&latest).expect("resume");
+        assert_eq!(back_spec, spec);
+        assert_eq!(
+            resumed.to_json().render(),
+            golden.to_json().render(),
+            "resumed run diverged from golden"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn resume_rejects_tampered_envelope() {
+        let spec = small_spec();
+        let dir = temp_dir("tamper");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        let mut system = spec.build_system().expect("system");
+        system.begin(spec.insts);
+        assert!(!system.advance(500), "run too short for test");
+        let mut ckpt = spec.checkpoint_of(&system);
+        ckpt.seed = spec.seed + 1; // envelope no longer matches the spec
+        let path = dir.join("bad.ckpt");
+        ckpt.write_to(&path).expect("write");
+        match resume_from(&path) {
+            Err(RestoreError::SpecMismatch(msg)) => assert!(msg.contains("seed"), "{msg}"),
+            other => panic!("expected SpecMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

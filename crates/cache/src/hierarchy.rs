@@ -2,6 +2,7 @@
 
 use crate::setassoc::{CacheConfig, SetAssocCache};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 
 /// Hierarchy geometry; defaults follow Table I.
@@ -226,6 +227,44 @@ impl Hierarchy {
             c.reset_stats();
         }
         self.llc.reset_stats();
+    }
+
+    /// Serializes every cache's mutable state (the geometry is rebuilt from
+    /// the restored configuration).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.l1d.len());
+        for c in &self.l1d {
+            c.save_state(w);
+        }
+        w.seq(self.l2.len());
+        for c in &self.l2 {
+            c.save_state(w);
+        }
+        self.llc.save_state(w);
+    }
+
+    /// Overlays checkpointed state onto this (freshly constructed)
+    /// hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or a geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.l1d.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for c in &mut self.l1d {
+            c.load_state(r)?;
+        }
+        let n = r.seq()?;
+        if n != self.l2.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for c in &mut self.l2 {
+            c.load_state(r)?;
+        }
+        self.llc.load_state(r)
     }
 
     /// Publishes per-level statistics under `cache.<level>.<metric>`;

@@ -1,6 +1,7 @@
 //! A generic set-associative, write-back, write-allocate cache with LRU.
 
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 
 /// Geometry and latency of one cache level.
@@ -269,6 +270,49 @@ impl SetAssocCache {
                     dirty: l.dirty,
                 }
             })
+    }
+
+    /// Serializes the mutable cache state (lines, LRU tick, statistics);
+    /// the geometry is carried by the caller's configuration and rebuilt
+    /// through [`SetAssocCache::new`] on restore.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.lines.len());
+        for l in &self.lines {
+            w.u64(l.tag);
+            w.bool(l.valid);
+            w.bool(l.dirty);
+            w.u64(l.stamp);
+        }
+        w.u64(self.tick);
+        w.u64(self.stats.read_hits);
+        w.u64(self.stats.read_misses);
+        w.u64(self.stats.write_hits);
+        w.u64(self.stats.write_misses);
+    }
+
+    /// Overlays checkpointed state onto this (freshly constructed) cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or a line count that
+    /// does not match this cache's geometry.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.lines.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for l in &mut self.lines {
+            l.tag = r.u64()?;
+            l.valid = r.bool()?;
+            l.dirty = r.bool()?;
+            l.stamp = r.u64()?;
+        }
+        self.tick = r.u64()?;
+        self.stats.read_hits = r.u64()?;
+        self.stats.read_misses = r.u64()?;
+        self.stats.write_hits = r.u64()?;
+        self.stats.write_misses = r.u64()?;
+        Ok(())
     }
 
     fn fill_at(&mut self, set: usize, tag: u64, dirty: bool) -> Option<Eviction> {

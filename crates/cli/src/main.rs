@@ -14,11 +14,13 @@
 //! Controllers: `baryon`, `baryon-fa`, `baryon-mixed`, `simple`, `unison`,
 //! `dice`, `hybrid2`, `micro-sector`, `os-paging`.
 
-use baryon_bench::spec::{controller_kind, RunSpec};
+use baryon_bench::spec::{controller_kind, resume_from, RunSpec};
+use baryon_core::checkpoint::atomic_write;
 use baryon_core::metrics::RunResult;
 use baryon_core::system::{System, SystemConfig};
 use baryon_serve::{ServeConfig, Server};
 use baryon_workloads::{by_name, registry, RecordedTrace};
+use std::path::Path;
 use std::process::ExitCode;
 
 mod args;
@@ -29,10 +31,13 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  baryon-cli list\n  baryon-cli run --workload <name> [--controller <name>] \
          [--insts N] [--warmup N] [--scale D] [--seed S] [--mlp N] [--telemetry true] \
-         [--csv FILE] [--json FILE]\n  \
+         [--csv FILE] [--json FILE]\n      \
+         [--checkpoint-every OPS] [--checkpoint-dir DIR] [--checkpoint-keep K]\n  \
+         baryon-cli run --resume-from FILE [--csv FILE] [--json FILE]\n  \
          baryon-cli compare --workload <name> [--insts N] [--scale D]\n  \
          baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n  \
-         baryon-cli serve [--port P] [--workers N] [--queue-depth N] [--deadline-ms MS]\n\n\
+         baryon-cli serve [--port P] [--workers N] [--queue-depth N] [--deadline-ms MS]\n      \
+         [--journal-dir DIR]\n\n\
          flags accept both `--flag value` and `--flag=value`\n\
          controllers: baryon baryon-fa baryon-mixed simple unison dice hybrid2 \
          micro-sector os-paging"
@@ -83,7 +88,45 @@ fn cmd_list(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Writes the `--csv` / `--json` outputs atomically (temp file + rename),
+/// so an interrupted CLI never leaves a torn result file behind.
+fn write_outputs(args: &Args, r: &RunResult) -> ExitCode {
+    if let Some(path) = args.get("csv") {
+        let body = format!("{CSV_HEADER}\n{}\n", csv_line(r));
+        if let Err(e) = atomic_write(Path::new(&path), body.as_bytes()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("csv             : {path}");
+    }
+    if let Some(path) = args.get("json") {
+        let mut body = r.to_json().render();
+        body.push('\n');
+        if let Err(e) = atomic_write(Path::new(&path), body.as_bytes()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("json            : {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_run(args: &Args) -> ExitCode {
+    if let Some(path) = args.get("resume-from") {
+        let (spec, r) = match resume_from(Path::new(&path)) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("cannot resume from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "resumed {} / {} (seed {}) from {path}",
+            spec.workload, spec.controller, spec.seed
+        );
+        print_result(&r);
+        return write_outputs(args, &r);
+    }
     let spec = RunSpec {
         workload: args.require("workload"),
         controller: args.get("controller").unwrap_or_else(|| "baryon".into()),
@@ -94,7 +137,17 @@ fn cmd_run(args: &Args) -> ExitCode {
         mlp: args.num("mlp", 1),
         telemetry: args.bool_flag("telemetry", false),
     };
-    let r = match spec.execute() {
+    let every = args.num("checkpoint-every", 0);
+    let run = if every > 0 {
+        let dir = args
+            .get("checkpoint-dir")
+            .unwrap_or_else(|| "baryon-checkpoints".into());
+        let keep = args.num("checkpoint-keep", 2).max(1) as usize;
+        spec.execute_with_checkpoints(Path::new(&dir), every, keep)
+    } else {
+        spec.execute()
+    };
+    let r = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}; try `baryon-cli list`");
@@ -102,24 +155,7 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
     };
     print_result(&r);
-    if let Some(path) = args.get("csv") {
-        let body = format!("{CSV_HEADER}\n{}\n", csv_line(&r));
-        if let Err(e) = std::fs::write(&path, body) {
-            eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("csv             : {path}");
-    }
-    if let Some(path) = args.get("json") {
-        let mut body = r.to_json().render();
-        body.push('\n');
-        if let Err(e) = std::fs::write(&path, body) {
-            eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("json            : {path}");
-    }
-    ExitCode::SUCCESS
+    write_outputs(args, &r)
 }
 
 fn cmd_compare(args: &Args) -> ExitCode {
@@ -195,8 +231,10 @@ fn cmd_serve(args: &Args) -> ExitCode {
         workers: (args.num("workers", 2) as usize).max(1),
         queue_depth: (args.num("queue-depth", 16) as usize).max(1),
         job_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        journal_dir: args.get("journal-dir").map(std::path::PathBuf::from),
+        finished_cap: (args.num("finished-cap", 256) as usize).max(1),
     };
-    let server = match Server::bind(cfg) {
+    let server = match Server::bind(cfg.clone()) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind 127.0.0.1:{}: {e}", cfg.port);
@@ -209,6 +247,9 @@ fn cmd_serve(args: &Args) -> ExitCode {
         cfg.workers,
         cfg.queue_depth
     );
+    if let Some(dir) = &cfg.journal_dir {
+        println!("journal & checkpoints: {}", dir.display());
+    }
     println!("submit jobs with POST /v1/jobs; stop with POST /v1/shutdown");
     match server.run() {
         Ok(()) => {

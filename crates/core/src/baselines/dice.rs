@@ -11,6 +11,7 @@
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
 use baryon_compress::best_compressed_size;
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 
@@ -91,6 +92,50 @@ impl DiceCache {
             }
         }
         mask
+    }
+
+    /// Serializes mutable state for checkpointing; geometry is rebuilt by
+    /// [`DiceCache::new`].
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.buckets.len());
+        for b in &self.buckets {
+            w.opt(b.group.is_some());
+            if let Some(g) = b.group {
+                w.u64(g);
+            }
+            w.u8(b.packed);
+            w.u8(b.dirty);
+        }
+        self.devices.save_state(w);
+        self.serve.save_state(w);
+        w.u64(self.counters.hits);
+        w.u64(self.counters.misses);
+        w.u64(self.counters.free_neighbours);
+        w.u64(self.counters.decompressions);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.buckets.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for b in &mut self.buckets {
+            b.group = if r.opt()? { Some(r.u64()?) } else { None };
+            b.packed = r.u8()?;
+            b.dirty = r.u8()?;
+        }
+        self.devices.load_state(r)?;
+        self.serve.load_state(r)?;
+        self.counters.hits = r.u64()?;
+        self.counters.misses = r.u64()?;
+        self.counters.free_neighbours = r.u64()?;
+        self.counters.decompressions = r.u64()?;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 use super::MetaModel;
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 use std::collections::HashMap;
@@ -217,6 +218,92 @@ impl Hybrid2 {
         );
         self.cache[idx].present |= 1 << sub;
     }
+
+    /// Serializes mutable state for checkpointing; geometry is rebuilt by
+    /// [`Hybrid2::new`]. The lookup maps are emitted in sorted key order
+    /// so identical states produce identical bytes (the maps are never
+    /// iterated during simulation, so a `HashMap` is otherwise fine).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.cache.len());
+        for b in &self.cache {
+            w.opt(b.block.is_some());
+            if let Some(blk) = b.block {
+                w.u64(blk);
+            }
+            w.u8(b.present);
+            w.u8(b.dirty);
+        }
+        w.usize(self.cache_fifo);
+        save_sorted_map(w, &self.cache_map, |w, v| w.usize(*v));
+        save_sorted_map(w, &self.migrated, |w, v| w.u64(*v));
+        save_sorted_map(w, &self.displaced, |w, v| w.u64(*v));
+        save_sorted_map(w, &self.heat, |w, v| w.u32(*v));
+        w.u64(self.flat_cursor);
+        self.devices.save_state(w);
+        self.meta.save_state(w);
+        self.serve.save_state(w);
+        w.u64(self.counters.flat_hits);
+        w.u64(self.counters.cache_hits);
+        w.u64(self.counters.sub_fetches);
+        w.u64(self.counters.migrations);
+        w.u64(self.counters.slow_serves);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.cache.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for b in &mut self.cache {
+            b.block = if r.opt()? { Some(r.u64()?) } else { None };
+            b.present = r.u8()?;
+            b.dirty = r.u8()?;
+        }
+        self.cache_fifo = r.usize()?;
+        self.cache_map = load_map(r, |r| r.usize())?;
+        self.migrated = load_map(r, |r| r.u64())?;
+        self.displaced = load_map(r, |r| r.u64())?;
+        self.heat = load_map(r, |r| r.u32())?;
+        self.flat_cursor = r.u64()?;
+        self.devices.load_state(r)?;
+        self.meta.load_state(r)?;
+        self.serve.load_state(r)?;
+        self.counters.flat_hits = r.u64()?;
+        self.counters.cache_hits = r.u64()?;
+        self.counters.sub_fetches = r.u64()?;
+        self.counters.migrations = r.u64()?;
+        self.counters.slow_serves = r.u64()?;
+        Ok(())
+    }
+}
+
+fn save_sorted_map<V>(w: &mut Writer, map: &HashMap<u64, V>, save: impl Fn(&mut Writer, &V)) {
+    let mut keys: Vec<&u64> = map.keys().collect();
+    keys.sort_unstable();
+    w.seq(map.len());
+    for k in keys {
+        w.u64(*k);
+        save(w, &map[k]);
+    }
+}
+
+fn load_map<V>(
+    r: &mut Reader<'_>,
+    load: impl Fn(&mut Reader<'_>) -> Result<V, WireError>,
+) -> Result<HashMap<u64, V>, WireError> {
+    let n = r.seq()?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = r.u64()?;
+        map.insert(k, load(r)?);
+    }
+    Ok(map)
 }
 
 impl MemoryController for Hybrid2 {

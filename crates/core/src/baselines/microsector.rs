@@ -16,6 +16,7 @@
 use super::MetaModel;
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 
@@ -140,6 +141,67 @@ impl MicroSector {
             dirty: false,
         });
         idx
+    }
+
+    /// Serializes mutable state for checkpointing; geometry is rebuilt by
+    /// [`MicroSector::new`].
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.slots.len());
+        for slot in &self.slots {
+            w.opt(slot.is_some());
+            if let Some(s) = slot {
+                w.u64(s.block);
+                w.u8(s.sub);
+                w.bool(s.dirty);
+            }
+        }
+        w.seq(self.fifo.len());
+        for f in &self.fifo {
+            w.usize(*f);
+        }
+        self.devices.save_state(w);
+        self.meta.save_state(w);
+        self.serve.save_state(w);
+        w.u64(self.counters.hits);
+        w.u64(self.counters.misses);
+        w.u64(self.counters.dirty_evictions);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.slots.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for slot in &mut self.slots {
+            *slot = if r.opt()? {
+                Some(Sector {
+                    block: r.u64()?,
+                    sub: r.u8()?,
+                    dirty: r.bool()?,
+                })
+            } else {
+                None
+            };
+        }
+        let n = r.seq()?;
+        if n != self.fifo.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for f in &mut self.fifo {
+            *f = r.usize()?;
+        }
+        self.devices.load_state(r)?;
+        self.meta.load_state(r)?;
+        self.serve.load_state(r)?;
+        self.counters.hits = r.u64()?;
+        self.counters.misses = r.u64()?;
+        self.counters.dirty_evictions = r.u64()?;
+        Ok(())
     }
 }
 

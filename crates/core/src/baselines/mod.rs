@@ -33,6 +33,7 @@ pub use unison::UnisonCache;
 
 use baryon_cache::{CacheConfig, SetAssocCache};
 use baryon_mem::MemDevice;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 
 /// A small on-chip metadata cache in front of an off-chip (fast-memory)
@@ -67,6 +68,16 @@ impl MetaModel {
             let done = fast.access(now + self.hit_latency, self.table_base + line, 64, false);
             done - now
         }
+    }
+
+    /// Serializes the metadata-cache contents for checkpointing.
+    pub(crate) fn save_state(&self, w: &mut Writer) {
+        self.cache.save_state(w);
+    }
+
+    /// Restores the metadata-cache contents from a checkpoint.
+    pub(crate) fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.cache.load_state(r)
     }
 }
 

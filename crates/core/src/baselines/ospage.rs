@@ -20,9 +20,10 @@
 
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const PAGE: u64 = 4096;
 
@@ -47,12 +48,14 @@ pub struct OsPageCounters {
 /// The OS page-migration controller.
 #[derive(Debug, Clone)]
 pub struct OsPaging {
-    /// Pages resident in fast memory (page id -> fast frame).
-    fast_map: HashMap<u64, u64>,
+    /// Pages resident in fast memory (page id -> fast frame). Ordered so
+    /// demotion-victim choice (and checkpointing) is deterministic.
+    fast_map: BTreeMap<u64, u64>,
     /// Free fast frames.
     free_frames: Vec<u64>,
-    /// Per-page access counts this epoch.
-    heat: HashMap<u64, u32>,
+    /// Per-page access counts this epoch. Ordered so sort ties at the
+    /// epoch boundary resolve deterministically.
+    heat: BTreeMap<u64, u32>,
     /// Accesses since the last epoch boundary.
     since_epoch: u64,
     /// Epoch length in memory accesses.
@@ -76,9 +79,9 @@ impl OsPaging {
         let frames = scale.fast_bytes() / PAGE;
         assert!(frames > 0, "fast memory too small for one page");
         OsPaging {
-            fast_map: HashMap::new(),
+            fast_map: BTreeMap::new(),
             free_frames: (0..frames).rev().collect(),
-            heat: HashMap::new(),
+            heat: BTreeMap::new(),
             since_epoch: 0,
             epoch_accesses: 50_000,
             migrations_per_epoch: 256,
@@ -100,9 +103,10 @@ impl OsPaging {
 
     fn run_epoch(&mut self, now: Cycle) {
         self.counters.epochs += 1;
-        // Hottest pages first.
-        let mut pages: Vec<(u64, u32)> = self.heat.drain().collect();
-        pages.sort_unstable_by_key(|(_, h)| std::cmp::Reverse(*h));
+        // Hottest pages first; ties resolve by page id (BTreeMap order +
+        // stable sort), keeping epochs deterministic.
+        let mut pages: Vec<(u64, u32)> = std::mem::take(&mut self.heat).into_iter().collect();
+        pages.sort_by_key(|(_, h)| std::cmp::Reverse(*h));
         let mut migrated = 0usize;
         for (page, heat) in pages {
             if migrated >= self.migrations_per_epoch {
@@ -115,9 +119,9 @@ impl OsPaging {
             let frame = match self.free_frames.pop() {
                 Some(f) => f,
                 None => {
-                    // Demote the resident page with the lowest current heat
-                    // (absent from `heat` after drain: treat as cold 0 and
-                    // pick arbitrarily — the OS uses approximate LRU too).
+                    // Demote the lowest-numbered resident page (heat was
+                    // already drained: everything resident counts as cold,
+                    // and the OS uses approximate LRU too).
                     let Some((&victim, &frame)) = self.fast_map.iter().next() else {
                         break;
                     };
@@ -161,6 +165,62 @@ impl OsPaging {
             Some(frame) => (true, self.fast_addr(*frame, addr)),
             None => (false, addr & !63),
         }
+    }
+
+    /// Serializes mutable state for checkpointing. The epoch parameters
+    /// are included because tests (and future tuning knobs) mutate them.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.fast_map.len());
+        for (page, frame) in &self.fast_map {
+            w.u64(*page);
+            w.u64(*frame);
+        }
+        w.seq(self.free_frames.len());
+        for f in &self.free_frames {
+            w.u64(*f);
+        }
+        w.seq(self.heat.len());
+        for (page, h) in &self.heat {
+            w.u64(*page);
+            w.u32(*h);
+        }
+        w.u64(self.since_epoch);
+        w.u64(self.epoch_accesses);
+        w.usize(self.migrations_per_epoch);
+        self.devices.save_state(w);
+        self.serve.save_state(w);
+        w.u64(self.counters.fast_hits);
+        w.u64(self.counters.slow_serves);
+        w.u64(self.counters.migrations);
+        w.u64(self.counters.epochs);
+        w.u64(self.pending_sw_cycles);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.fast_map = (0..r.seq()?)
+            .map(|_| Ok((r.u64()?, r.u64()?)))
+            .collect::<Result<_, WireError>>()?;
+        self.free_frames = (0..r.seq()?).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        self.heat = (0..r.seq()?)
+            .map(|_| Ok((r.u64()?, r.u32()?)))
+            .collect::<Result<_, WireError>>()?;
+        self.since_epoch = r.u64()?;
+        self.epoch_accesses = r.u64()?;
+        self.migrations_per_epoch = r.usize()?;
+        self.devices.load_state(r)?;
+        self.serve.load_state(r)?;
+        self.counters.fast_hits = r.u64()?;
+        self.counters.slow_serves = r.u64()?;
+        self.counters.migrations = r.u64()?;
+        self.counters.epochs = r.u64()?;
+        self.pending_sw_cycles = r.u64()?;
+        Ok(())
     }
 }
 

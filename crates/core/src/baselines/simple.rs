@@ -4,6 +4,7 @@
 use super::MetaModel;
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
 
@@ -131,6 +132,52 @@ impl SimpleCache {
             stamp: self.tick,
         };
         victim
+    }
+
+    /// Serializes mutable state for checkpointing; geometry is rebuilt by
+    /// [`SimpleCache::new`].
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.ways.len());
+        for way in &self.ways {
+            w.opt(way.block.is_some());
+            if let Some(b) = way.block {
+                w.u64(b);
+            }
+            w.bool(way.dirty);
+            w.u64(way.stamp);
+        }
+        self.devices.save_state(w);
+        self.meta.save_state(w);
+        self.serve.save_state(w);
+        w.u64(self.counters.hits);
+        w.u64(self.counters.misses);
+        w.u64(self.counters.dirty_evictions);
+        w.u64(self.tick);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.ways.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for way in &mut self.ways {
+            way.block = if r.opt()? { Some(r.u64()?) } else { None };
+            way.dirty = r.bool()?;
+            way.stamp = r.u64()?;
+        }
+        self.devices.load_state(r)?;
+        self.meta.load_state(r)?;
+        self.serve.load_state(r)?;
+        self.counters.hits = r.u64()?;
+        self.counters.misses = r.u64()?;
+        self.counters.dirty_evictions = r.u64()?;
+        self.tick = r.u64()?;
+        Ok(())
     }
 }
 

@@ -10,9 +10,10 @@
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
 use baryon_sim::rng::splitmix64;
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const BLOCK: u64 = 2048;
 const LINES: usize = 32; // 64 B lines per 2 kB page
@@ -47,8 +48,9 @@ pub struct UnisonCache {
     sets: usize,
     assoc: usize,
     ways: Vec<Way>,
-    /// Footprint history: page hash -> last-residency line mask.
-    footprints: HashMap<u64, u32>,
+    /// Footprint history: page hash -> last-residency line mask. Ordered
+    /// so that capacity eviction (and checkpointing) is deterministic.
+    footprints: BTreeMap<u64, u32>,
     footprint_cap: usize,
     /// EWMA footprint density (lines touched / 32) across evictions — the
     /// generalization a PC-indexed predictor provides across same-code
@@ -81,7 +83,7 @@ impl UnisonCache {
             sets,
             assoc,
             ways: vec![Way::default(); sets * assoc],
-            footprints: HashMap::new(),
+            footprints: BTreeMap::new(),
             footprint_cap,
             density_ewma: 4.0 / LINES as f64,
             devices: Devices::table1(),
@@ -158,7 +160,7 @@ impl UnisonCache {
         if let Some(old) = w.block {
             // Record the observed footprint for the next residency.
             if self.footprints.len() >= self.footprint_cap {
-                // Bounded table: drop an arbitrary entry.
+                // Bounded table: drop the smallest key (deterministic).
                 if let Some(k) = self.footprints.keys().next().copied() {
                     self.footprints.remove(&k);
                 }
@@ -176,6 +178,72 @@ impl UnisonCache {
                     .access(now, old * BLOCK, dirty_lines * 64, true);
             }
         }
+    }
+
+    /// Serializes mutable state for checkpointing; geometry is rebuilt by
+    /// [`UnisonCache::new`].
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.ways.len());
+        for way in &self.ways {
+            w.opt(way.block.is_some());
+            if let Some(b) = way.block {
+                w.u64(b);
+            }
+            w.u32(way.present);
+            w.u32(way.dirty);
+            w.u64(way.stamp);
+            w.bool(way.mru);
+        }
+        w.seq(self.footprints.len());
+        for (k, mask) in &self.footprints {
+            w.u64(*k);
+            w.u32(*mask);
+        }
+        w.f64(self.density_ewma);
+        self.devices.save_state(w);
+        self.serve.save_state(w);
+        w.u64(self.counters.hits);
+        w.u64(self.counters.sub_misses);
+        w.u64(self.counters.page_misses);
+        w.u64(self.counters.way_mispredicts);
+        w.u64(self.counters.predicted_lines);
+        w.u64(self.tick);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.ways.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for way in &mut self.ways {
+            way.block = if r.opt()? { Some(r.u64()?) } else { None };
+            way.present = r.u32()?;
+            way.dirty = r.u32()?;
+            way.stamp = r.u64()?;
+            way.mru = r.bool()?;
+        }
+        let n = r.seq()?;
+        if n > self.footprint_cap {
+            return Err(WireError::BadLength(n as u64));
+        }
+        self.footprints = (0..n)
+            .map(|_| Ok((r.u64()?, r.u32()?)))
+            .collect::<Result<_, WireError>>()?;
+        self.density_ewma = r.f64()?;
+        self.devices.load_state(r)?;
+        self.serve.load_state(r)?;
+        self.counters.hits = r.u64()?;
+        self.counters.sub_misses = r.u64()?;
+        self.counters.page_misses = r.u64()?;
+        self.counters.way_mispredicts = r.u64()?;
+        self.counters.predicted_lines = r.u64()?;
+        self.tick = r.u64()?;
+        Ok(())
     }
 }
 

@@ -20,6 +20,7 @@ use crate::stage::StageArea;
 use baryon_compress::RangeCompressor;
 use baryon_sim::rng::SimRng;
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::MemoryContents;
 use phase::PhaseTracker;
@@ -510,6 +511,201 @@ impl BaryonController {
             self.reads_since_scrub = 0;
             self.scrub_metadata(now);
         }
+    }
+
+    /// Serializes all mutable state for checkpointing. Geometry, config
+    /// and the pure range compressor are rebuilt by the constructor;
+    /// `data_base`/`flat_blocks` are derived from them.
+    ///
+    /// The phase tracker is deliberately not serialized (only its enabled
+    /// flag, which must be off): checkpointed runs never enable tracking.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.devices.save_state(w);
+        self.remap.save_state(w);
+        self.stage.save_state(w);
+        w.seq(self.phys.len());
+        for p in &self.phys {
+            match &p.state {
+                PhysState::Free => w.u8(0),
+                PhysState::Original => w.u8(1),
+                PhysState::Committed { sb, residents } => {
+                    w.u8(2);
+                    w.u64(*sb);
+                    w.seq(residents.len());
+                    for r in residents {
+                        w.u64(*r);
+                    }
+                }
+            }
+            w.u64(p.stamp);
+            w.u64(p.alloc_stamp);
+            w.bool(p.ref_bit);
+            w.u32(p.freq);
+        }
+        w.seq(self.meta.len());
+        for m in &self.meta {
+            w.u32(m.dirty_mask);
+            w.u32(m.slow_cf2);
+            w.u32(m.slow_cf4);
+            w.bool(m.displaced);
+            w.bool(m.degraded);
+        }
+        self.serve.save_state(w);
+        let c = &self.counters;
+        for v in [
+            c.case1_stage_hits,
+            c.case2_commit_hits,
+            c.case3_stage_misses,
+            c.case4_bypasses,
+            c.case5_block_misses,
+            c.zero_serves,
+            c.stage_overflows,
+            c.committed_overflows,
+            c.commits,
+            c.stage_evictions,
+            c.commit_aborts,
+            c.spread_swaps,
+            c.three_way_swaps,
+            c.flat_original_hits,
+            c.displaced_accesses,
+            c.decompressions,
+            c.cf_subs,
+            c.cf_slots,
+            c.dbg_case4_in_cwindow,
+            c.dbg_wbmiss_in_cwindow,
+            c.dbg_commit_full,
+            c.dbg_commit_partial,
+            c.dbg_commit_missing_subs,
+            c.faults_detected,
+            c.faults_corrected,
+            c.faults_degraded,
+            c.faults_unrecoverable,
+            c.scrub_passes,
+            c.scrub_repairs,
+        ] {
+            w.u64(v);
+        }
+        w.bool(self.tracker.is_enabled());
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.u64(self.tick);
+        w.usize(self.fifo_cursor);
+        w.seq(self.clock_hands.len());
+        for h in &self.clock_hands {
+            w.usize(*h);
+        }
+        w.seq(self.free_list.len());
+        for f in &self.free_list {
+            w.usize(*f);
+        }
+        w.u64(self.reads_since_scrub);
+        self.telemetry.save_state(w);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload, a geometry mismatch,
+    /// or a checkpoint taken with phase tracking enabled (unsupported).
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.devices.load_state(r)?;
+        self.remap.load_state(r)?;
+        self.stage.load_state(r)?;
+        let n = r.seq()?;
+        if n != self.phys.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for p in &mut self.phys {
+            p.state = match r.u8()? {
+                0 => PhysState::Free,
+                1 => PhysState::Original,
+                2 => {
+                    let sb = r.u64()?;
+                    let residents = (0..r.seq()?).map(|_| r.u64()).collect::<Result<_, _>>()?;
+                    PhysState::Committed { sb, residents }
+                }
+                t => return Err(WireError::BadTag(t)),
+            };
+            p.stamp = r.u64()?;
+            p.alloc_stamp = r.u64()?;
+            p.ref_bit = r.bool()?;
+            p.freq = r.u32()?;
+        }
+        let n = r.seq()?;
+        if n != self.meta.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for m in &mut self.meta {
+            m.dirty_mask = r.u32()?;
+            m.slow_cf2 = r.u32()?;
+            m.slow_cf4 = r.u32()?;
+            m.displaced = r.bool()?;
+            m.degraded = r.bool()?;
+        }
+        self.serve.load_state(r)?;
+        let c = &mut self.counters;
+        for v in [
+            &mut c.case1_stage_hits,
+            &mut c.case2_commit_hits,
+            &mut c.case3_stage_misses,
+            &mut c.case4_bypasses,
+            &mut c.case5_block_misses,
+            &mut c.zero_serves,
+            &mut c.stage_overflows,
+            &mut c.committed_overflows,
+            &mut c.commits,
+            &mut c.stage_evictions,
+            &mut c.commit_aborts,
+            &mut c.spread_swaps,
+            &mut c.three_way_swaps,
+            &mut c.flat_original_hits,
+            &mut c.displaced_accesses,
+            &mut c.decompressions,
+            &mut c.cf_subs,
+            &mut c.cf_slots,
+            &mut c.dbg_case4_in_cwindow,
+            &mut c.dbg_wbmiss_in_cwindow,
+            &mut c.dbg_commit_full,
+            &mut c.dbg_commit_partial,
+            &mut c.dbg_commit_missing_subs,
+            &mut c.faults_detected,
+            &mut c.faults_corrected,
+            &mut c.faults_degraded,
+            &mut c.faults_unrecoverable,
+            &mut c.scrub_passes,
+            &mut c.scrub_repairs,
+        ] {
+            *v = r.u64()?;
+        }
+        if r.bool()? {
+            // Phase tracking carries unserializable analysis state.
+            return Err(WireError::BadTag(1));
+        }
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.u64()?;
+        }
+        self.rng = SimRng::from_state(rng_state);
+        self.tick = r.u64()?;
+        self.fifo_cursor = r.usize()?;
+        let n = r.seq()?;
+        if n != self.clock_hands.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for h in &mut self.clock_hands {
+            *h = r.usize()?;
+        }
+        let n = r.seq()?;
+        if n > self.phys.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        self.free_list = (0..n).map(|_| r.usize()).collect::<Result<_, _>>()?;
+        self.reads_since_scrub = r.u64()?;
+        self.telemetry = Registry::load_state(r)?;
+        Ok(())
     }
 }
 

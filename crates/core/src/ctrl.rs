@@ -2,6 +2,7 @@
 
 use baryon_mem::{DeviceConfig, MemDevice};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::MemoryContents;
 
@@ -151,6 +152,22 @@ impl Devices {
         self.slow.stats().export(&mut s);
         reg.absorb("slow", &s);
     }
+
+    /// Serializes both devices' mutable state for checkpointing.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.fast.save_state(w);
+        self.slow.save_state(w);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.fast.load_state(r)?;
+        self.slow.load_state(r)
+    }
 }
 
 /// Convenience used by controllers to keep `ServeStats` consistent.
@@ -199,6 +216,27 @@ impl ServeCounter {
     /// Clears the counters.
     pub fn reset(&mut self) {
         *self = ServeCounter::default();
+    }
+
+    /// Serializes the counters for checkpointing.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.u64(self.reads);
+        w.u64(self.fast_served);
+        w.u64(self.writebacks);
+        w.u64(self.useful_bytes);
+    }
+
+    /// Restores the counters from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.reads = r.u64()?;
+        self.fast_served = r.u64()?;
+        self.writebacks = r.u64()?;
+        self.useful_bytes = r.u64()?;
+        Ok(())
     }
 }
 

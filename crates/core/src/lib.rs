@@ -36,6 +36,7 @@
 pub mod addr;
 pub mod baselines;
 pub mod budget;
+pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod ctrl;

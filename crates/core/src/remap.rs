@@ -8,6 +8,7 @@
 use crate::metadata::RemapEntry;
 use baryon_cache::{CacheConfig, SetAssocCache};
 use baryon_mem::MemDevice;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 
 /// Statistics of the remap metadata path.
@@ -152,6 +153,49 @@ impl RemapTable {
     pub fn reset_stats(&mut self) {
         self.stats = RemapStats::default();
     }
+
+    /// Serializes the mutable state (entries, cache contents, stats) for
+    /// checkpointing; geometry is rebuilt by [`RemapTable::new`].
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.entries.len());
+        for e in &self.entries {
+            w.u32(e.remap);
+            w.u32(e.pointer);
+            w.u32(e.cf2);
+            w.u32(e.cf4);
+            w.bool(e.zero);
+        }
+        self.cache.save_state(w);
+        w.u64(self.stats.cache_hits);
+        w.u64(self.stats.cache_misses);
+        w.u64(self.stats.table_updates);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.entries.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for e in &mut self.entries {
+            *e = RemapEntry {
+                remap: r.u32()?,
+                pointer: r.u32()?,
+                cf2: r.u32()?,
+                cf4: r.u32()?,
+                zero: r.bool()?,
+            };
+        }
+        self.cache.load_state(r)?;
+        self.stats.cache_hits = r.u64()?;
+        self.stats.cache_misses = r.u64()?;
+        self.stats.table_updates = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +276,28 @@ mod tests {
     #[should_panic]
     fn out_of_range_block_panics() {
         table().entry(99999);
+    }
+
+    #[test]
+    fn wire_state_round_trips() {
+        let mut t = table();
+        let mut f = fast();
+        t.entry_mut(17).set_range(0, Cf::X2);
+        t.entry_mut(17).pointer = 3;
+        t.lookup(0, 2, &mut f);
+        t.lookup(100, 2, &mut f);
+        let mut w = baryon_sim::wire::Writer::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = table();
+        let mut r = baryon_sim::wire::Reader::new(&bytes);
+        fresh.load_state(&mut r).expect("well-formed");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(*fresh.entry(17), *t.entry(17));
+        assert_eq!(fresh.stats(), t.stats());
+        // The restored remap cache must hit exactly where the original does.
+        let lat_orig = t.lookup(1000, 2, &mut fast());
+        let lat_restored = fresh.lookup(1000, 2, &mut fast());
+        assert_eq!(lat_orig, lat_restored);
     }
 }

@@ -7,7 +7,9 @@
 //! `aging_period` accesses to the set). The replacement *policies* live in
 //! the controller; this module provides the mechanics.
 
-use crate::metadata::stage_entry::{StageEntry, SubHit};
+use crate::metadata::stage_entry::{RangeRef, StageEntry, SubHit};
+use baryon_compress::Cf;
+use baryon_sim::wire::{Reader, WireError, Writer};
 
 /// Identifies one stage-area physical block: `(set, way)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -262,6 +264,131 @@ impl StageArea {
             })
             .collect()
     }
+
+    /// Serializes the mutable state (entries, stamps, counters) for
+    /// checkpointing; geometry is rebuilt by [`StageArea::new`].
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.entries.len());
+        for entry in &self.entries {
+            w.opt(entry.is_some());
+            if let Some(e) = entry {
+                w.u64(e.tag);
+                w.seq(e.slots.len());
+                for slot in &e.slots {
+                    w.opt(slot.is_some());
+                    if let Some(r) = slot {
+                        save_range(w, r);
+                    }
+                }
+                w.seq(e.zero_ranges.len());
+                for r in &e.zero_ranges {
+                    save_range(w, r);
+                }
+                w.u8(e.fifo);
+                w.u16(e.miss_cnt);
+            }
+        }
+        w.seq(self.stamps.len());
+        for s in &self.stamps {
+            w.u64(*s);
+        }
+        w.seq(self.mru_miss_cnt.len());
+        for c in &self.mru_miss_cnt {
+            w.u16(*c);
+        }
+        w.seq(self.set_accesses.len());
+        for a in &self.set_accesses {
+            w.u64(*a);
+        }
+        w.u64(self.tick);
+        w.u64(self.stats.stagings);
+        w.u64(self.stats.sub_replacements);
+        w.u64(self.stats.block_replacements);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.entries.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for entry in &mut self.entries {
+            *entry = if r.opt()? {
+                let tag = r.u64()?;
+                let slots = r.seq()?;
+                if slots != self.slots_per_block {
+                    return Err(WireError::BadLength(slots as u64));
+                }
+                let mut e = StageEntry::new(tag, slots);
+                for slot in &mut e.slots {
+                    *slot = if r.opt()? { Some(load_range(r)?) } else { None };
+                }
+                let zeros = r.seq()?;
+                e.zero_ranges = (0..zeros)
+                    .map(|_| load_range(r))
+                    .collect::<Result<_, _>>()?;
+                e.fifo = r.u8()?;
+                e.miss_cnt = r.u16()?;
+                Some(e)
+            } else {
+                None
+            };
+        }
+        load_u64_exact(r, &mut self.stamps)?;
+        let n = r.seq()?;
+        if n != self.mru_miss_cnt.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for c in &mut self.mru_miss_cnt {
+            *c = r.u16()?;
+        }
+        load_u64_exact(r, &mut self.set_accesses)?;
+        self.tick = r.u64()?;
+        self.stats.stagings = r.u64()?;
+        self.stats.sub_replacements = r.u64()?;
+        self.stats.block_replacements = r.u64()?;
+        Ok(())
+    }
+}
+
+fn save_range(w: &mut Writer, r: &RangeRef) {
+    w.u8(r.blk_off);
+    w.u8(r.sub_off);
+    w.u8(r.cf.sub_blocks() as u8);
+    w.bool(r.dirty);
+}
+
+fn load_range(r: &mut Reader<'_>) -> Result<RangeRef, WireError> {
+    let blk_off = r.u8()?;
+    let sub_off = r.u8()?;
+    let cf = match r.u8()? {
+        1 => Cf::X1,
+        2 => Cf::X2,
+        4 => Cf::X4,
+        t => return Err(WireError::BadTag(t)),
+    };
+    let dirty = r.bool()?;
+    Ok(RangeRef {
+        blk_off,
+        sub_off,
+        cf,
+        dirty,
+    })
+}
+
+fn load_u64_exact(r: &mut Reader<'_>, out: &mut [u64]) -> Result<(), WireError> {
+    let n = r.seq()?;
+    if n != out.len() {
+        return Err(WireError::BadLength(n as u64));
+    }
+    for v in out {
+        *v = r.u64()?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -402,5 +529,49 @@ mod tests {
         let occ = a.occupied_slots();
         assert_eq!(occ.len(), 2);
         assert!(occ.contains(&StageSlot { set: 2, way: 0 }));
+    }
+
+    #[test]
+    fn wire_state_round_trips() {
+        let mut a = area();
+        let slot = a.free_way(a.set_of(9)).expect("free");
+        a.allocate(slot, 9);
+        put_range(&mut a, slot, 2, 4, Cf::X2);
+        a.entry_mut(slot)
+            .expect("allocated")
+            .zero_ranges
+            .push(RangeRef {
+                blk_off: 1,
+                sub_off: 0,
+                cf: Cf::X4,
+                dirty: true,
+            });
+        a.lookup(9, 2, 5);
+        a.lookup(9, 2, 6); // miss
+        a.note_sub_replacement();
+        let mut w = Writer::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = area();
+        let mut r = Reader::new(&bytes);
+        fresh.load_state(&mut r).expect("well-formed");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(fresh.entry(slot), a.entry(slot));
+        assert_eq!(fresh.stats(), a.stats());
+        assert_eq!(fresh.occupied_slots(), a.occupied_slots());
+        let (found, hit) = fresh.lookup(9, 2, 5).expect("staged range survives");
+        assert_eq!(found, slot);
+        assert_eq!(hit.cf, Cf::X2);
+    }
+
+    #[test]
+    fn wire_state_rejects_geometry_mismatch() {
+        let a = area();
+        let mut w = Writer::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = StageArea::new(8, 2, 8, 100);
+        let mut r = Reader::new(&bytes);
+        assert!(other.load_state(&mut r).is_err());
     }
 }

@@ -14,6 +14,7 @@ use crate::ctrl::{MemoryController, Request, ServeStats};
 use crate::metrics::RunResult;
 use baryon_cache::{Hierarchy, HierarchyConfig, HitLevel};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 use baryon_workloads::{MemoryContents, Scale, TraceGen, Workload};
 
@@ -117,6 +118,41 @@ impl AnyController {
             _ => None,
         }
     }
+
+    fn variant_tag(&self) -> u8 {
+        match self {
+            AnyController::Baryon(_) => 0,
+            AnyController::Simple(_) => 1,
+            AnyController::Unison(_) => 2,
+            AnyController::Dice(_) => 3,
+            AnyController::Hybrid2(_) => 4,
+            AnyController::MicroSector(_) => 5,
+            AnyController::OsPaging(_) => 6,
+        }
+    }
+
+    /// Serializes the controller's mutable state (prefixed with a variant
+    /// tag so a checkpoint cannot be overlaid onto a different kind).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.u8(self.variant_tag());
+        delegate!(self, c => c.save_state(w))
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadTag`] if the checkpoint was taken with a
+    /// different controller kind, and propagates truncation/geometry
+    /// errors from the inner controller.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let tag = r.u8()?;
+        if tag != self.variant_tag() {
+            return Err(WireError::BadTag(tag));
+        }
+        delegate!(self, c => c.load_state(r))
+    }
 }
 
 /// System-level configuration.
@@ -192,6 +228,31 @@ impl SystemConfig {
     }
 }
 
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Progress of an incremental run ([`System::begin`] /
+/// [`System::advance`] / [`System::finish`]): which phase the run is in,
+/// the per-core instruction targets of that phase, and the measurement
+/// baselines captured at the warm-up/measure boundary. Serialized inside
+/// checkpoints so a restored system resumes mid-phase.
+#[derive(Debug, Clone)]
+struct RunCursor {
+    phase: u8,
+    /// Measured instructions per core (fixed at [`System::begin`]).
+    measure_insts: u64,
+    /// Per-core cumulative instruction targets of the current phase.
+    targets: Vec<u64>,
+    /// Per-core cycle counts when measurement started.
+    start: Vec<Cycle>,
+    /// Total instructions executed when measurement started.
+    insts_before: u64,
+    /// Operations (trace steps) executed since [`System::begin`] — the
+    /// unit the periodic checkpointer counts.
+    ops: u64,
+}
+
 /// The simulated 16-core system.
 pub struct System {
     cfg: SystemConfig,
@@ -208,6 +269,8 @@ pub struct System {
     wb_queue: Vec<Vec<Cycle>>,
     llc_misses: u64,
     read_latency: baryon_sim::histogram::Histogram,
+    /// In-progress incremental run, if any.
+    cursor: Option<RunCursor>,
     /// System-level spans (warm-up / measure phases); live only when
     /// `SystemConfig::telemetry` is set.
     telemetry: Registry,
@@ -249,6 +312,7 @@ impl System {
             wb_queue: vec![Vec::new(); cores],
             llc_misses: 0,
             read_latency: baryon_sim::histogram::Histogram::new(),
+            cursor: None,
             telemetry,
             workload_name: workload.name.to_owned(),
             cfg,
@@ -268,26 +332,127 @@ impl System {
     /// Runs warm-up (if configured) followed by `insts_per_core` measured
     /// instructions per core, and returns the measured results.
     pub fn run(&mut self, insts_per_core: u64) -> RunResult {
-        if self.cfg.warmup_insts > 0 {
-            // Phase spans are coarse one-shot events: always sample.
-            let t = self.telemetry.phase_timer();
-            self.run_phase(self.cfg.warmup_insts);
-            self.telemetry.record_span("sim.span.warmup", t);
-            self.reset_measurement();
+        self.begin(insts_per_core);
+        self.advance(u64::MAX);
+        self.finish()
+    }
+
+    /// Starts an incremental run: warm-up (if configured) followed by
+    /// `insts_per_core` measured instructions per core. Drive it with
+    /// [`System::advance`] and collect results with [`System::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run is already in progress.
+    pub fn begin(&mut self, insts_per_core: u64) {
+        assert!(self.cursor.is_none(), "a run is already in progress");
+        let cursor = if self.cfg.warmup_insts > 0 {
+            RunCursor {
+                phase: PHASE_WARMUP,
+                measure_insts: insts_per_core,
+                targets: self
+                    .core_insts
+                    .iter()
+                    .map(|i| i + self.cfg.warmup_insts)
+                    .collect(),
+                start: Vec::new(),
+                insts_before: 0,
+                ops: 0,
+            }
+        } else {
+            RunCursor {
+                phase: PHASE_MEASURE,
+                measure_insts: insts_per_core,
+                targets: self.core_insts.iter().map(|i| i + insts_per_core).collect(),
+                start: self.core_time.clone(),
+                insts_before: self.core_insts.iter().sum(),
+                ops: 0,
+            }
+        };
+        self.cursor = Some(cursor);
+    }
+
+    /// Executes up to `max_ops` trace operations of the in-progress run,
+    /// crossing the warm-up/measure boundary as needed. Returns `true`
+    /// once the run is complete (then call [`System::finish`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run is in progress.
+    pub fn advance(&mut self, max_ops: u64) -> bool {
+        assert!(self.cursor.is_some(), "no run in progress");
+        let mut budget = max_ops;
+        loop {
+            let phase = self.cursor.as_ref().expect("cursor").phase;
+            match phase {
+                PHASE_WARMUP => {
+                    let targets = self.cursor.as_ref().expect("cursor").targets.clone();
+                    // Phase spans are coarse events: always sample.
+                    let t = self.telemetry.phase_timer();
+                    let (done, ops) = self.run_phase_chunk(&targets, &mut budget);
+                    self.telemetry.record_span("sim.span.warmup", t);
+                    self.cursor.as_mut().expect("cursor").ops += ops;
+                    if !done {
+                        return false;
+                    }
+                    self.reset_measurement();
+                    let start = self.core_time.clone();
+                    let insts_before = self.core_insts.iter().sum();
+                    let measure_insts = self.cursor.as_ref().expect("cursor").measure_insts;
+                    let targets = self.core_insts.iter().map(|i| i + measure_insts).collect();
+                    let cur = self.cursor.as_mut().expect("cursor");
+                    cur.phase = PHASE_MEASURE;
+                    cur.targets = targets;
+                    cur.start = start;
+                    cur.insts_before = insts_before;
+                }
+                PHASE_MEASURE => {
+                    let targets = self.cursor.as_ref().expect("cursor").targets.clone();
+                    let t = self.telemetry.phase_timer();
+                    let (done, ops) = self.run_phase_chunk(&targets, &mut budget);
+                    self.telemetry.record_span("sim.span.measure", t);
+                    let cur = self.cursor.as_mut().expect("cursor");
+                    cur.ops += ops;
+                    if !done {
+                        return false;
+                    }
+                    cur.phase = PHASE_DONE;
+                    return true;
+                }
+                _ => return true,
+            }
         }
-        let start: Vec<Cycle> = self.core_time.clone();
-        let insts_before: u64 = self.core_insts.iter().sum();
-        let t = self.telemetry.phase_timer();
-        self.run_phase(insts_per_core);
-        self.telemetry.record_span("sim.span.measure", t);
+    }
+
+    /// Operations executed so far by the in-progress run (0 if none).
+    pub fn run_ops(&self) -> u64 {
+        self.cursor.as_ref().map_or(0, |c| c.ops)
+    }
+
+    /// True while a [`System::begin`] run has not been [`System::finish`]ed.
+    pub fn run_in_progress(&self) -> bool {
+        self.cursor.is_some()
+    }
+
+    /// Assembles the results of a completed incremental run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run is in progress or the run has not completed.
+    pub fn finish(&mut self) -> RunResult {
+        let cur = self.cursor.take().expect("no run in progress");
+        assert!(
+            cur.phase == PHASE_DONE,
+            "run not complete: keep calling advance()"
+        );
         let cycles = self
             .core_time
             .iter()
-            .zip(&start)
+            .zip(&cur.start)
             .map(|(t, s)| t - s)
             .max()
             .unwrap_or(0);
-        let instructions = self.core_insts.iter().sum::<u64>() - insts_before;
+        let instructions = self.core_insts.iter().sum::<u64>() - cur.insts_before;
         let serve = self.controller.serve_stats();
         let mut reg = Registry::new();
         self.hierarchy.export(&mut reg);
@@ -321,22 +486,27 @@ impl System {
         self.read_latency = baryon_sim::histogram::Histogram::new();
     }
 
-    /// Advances every core by `insts_per_core` instructions, interleaving
-    /// cores in timestamp order.
-    fn run_phase(&mut self, insts_per_core: u64) {
+    /// Advances cores toward the per-core cumulative instruction
+    /// `targets`, interleaving cores in timestamp order and spending at
+    /// most `budget` operations. Returns whether every core reached its
+    /// target, plus the operations executed.
+    fn run_phase_chunk(&mut self, targets: &[u64], budget: &mut u64) -> (bool, u64) {
         let cores = self.core_time.len();
-        let targets: Vec<u64> = self.core_insts.iter().map(|i| i + insts_per_core).collect();
-        let mut live = cores;
-        while live > 0 {
+        let mut ops = 0;
+        loop {
             // The lagging unfinished core goes next.
-            let core = (0..cores)
+            let Some(core) = (0..cores)
                 .filter(|c| self.core_insts[*c] < targets[*c])
                 .min_by_key(|c| self.core_time[*c])
-                .expect("live > 0");
-            self.step(core);
-            if self.core_insts[core] >= targets[core] {
-                live -= 1;
+            else {
+                return (true, ops);
+            };
+            if *budget == 0 {
+                return (false, ops);
             }
+            self.step(core);
+            ops += 1;
+            *budget -= 1;
         }
     }
 
@@ -417,6 +587,139 @@ impl System {
         q.push(done);
         t
     }
+
+    /// Serializes the complete mutable system state — run cursor, cache
+    /// hierarchy, controller, memory contents, trace-generator RNGs,
+    /// per-core timing, and telemetry — for crash-consistent
+    /// checkpointing. Configuration is not serialized: the restorer
+    /// rebuilds an identical [`System`] via [`System::new`] first.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.opt(self.cursor.is_some());
+        if let Some(cur) = &self.cursor {
+            w.u8(cur.phase);
+            w.u64(cur.measure_insts);
+            w.seq(cur.targets.len());
+            for t in &cur.targets {
+                w.u64(*t);
+            }
+            w.seq(cur.start.len());
+            for s in &cur.start {
+                w.u64(*s);
+            }
+            w.u64(cur.insts_before);
+            w.u64(cur.ops);
+        }
+        self.hierarchy.save_state(w);
+        self.controller.save_state(w);
+        self.contents.save_state(w);
+        w.seq(self.gens.len());
+        for g in &self.gens {
+            g.save_state(w);
+        }
+        w.seq(self.core_time.len());
+        for t in &self.core_time {
+            w.u64(*t);
+        }
+        w.seq(self.core_insts.len());
+        for i in &self.core_insts {
+            w.u64(*i);
+        }
+        save_queues(w, &self.outstanding);
+        save_queues(w, &self.wb_queue);
+        w.u64(self.llc_misses);
+        self.read_latency.save_state(w);
+        self.telemetry.save_state(w);
+    }
+
+    /// Overlays checkpointed state onto this freshly constructed system.
+    /// The system must have been built with the same configuration,
+    /// workload, and seed as the checkpointed one; continuing the run
+    /// afterwards is bit-identical to never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated or corrupt payload, or when
+    /// the state shape does not match this system (wrong controller kind,
+    /// core count, or geometry).
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let cores = self.core_time.len();
+        self.cursor = if r.opt()? {
+            let phase = r.u8()?;
+            if phase > PHASE_DONE {
+                return Err(WireError::BadTag(phase));
+            }
+            let measure_insts = r.u64()?;
+            let n = r.seq()?;
+            if n != cores {
+                return Err(WireError::BadLength(n as u64));
+            }
+            let targets = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            let n = r.seq()?;
+            if n != cores && n != 0 {
+                return Err(WireError::BadLength(n as u64));
+            }
+            let start = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            Some(RunCursor {
+                phase,
+                measure_insts,
+                targets,
+                start,
+                insts_before: r.u64()?,
+                ops: r.u64()?,
+            })
+        } else {
+            None
+        };
+        self.hierarchy.load_state(r)?;
+        self.controller.load_state(r)?;
+        self.contents.load_state(r)?;
+        let n = r.seq()?;
+        if n != self.gens.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for g in &mut self.gens {
+            g.load_state(r)?;
+        }
+        load_u64_exact(r, &mut self.core_time)?;
+        load_u64_exact(r, &mut self.core_insts)?;
+        self.outstanding = load_queues(r, cores)?;
+        self.wb_queue = load_queues(r, cores)?;
+        self.llc_misses = r.u64()?;
+        self.read_latency = baryon_sim::histogram::Histogram::load_state(r)?;
+        self.telemetry = Registry::load_state(r)?;
+        Ok(())
+    }
+}
+
+fn save_queues(w: &mut Writer, queues: &[Vec<Cycle>]) {
+    w.seq(queues.len());
+    for q in queues {
+        w.seq(q.len());
+        for c in q {
+            w.u64(*c);
+        }
+    }
+}
+
+fn load_queues(r: &mut Reader<'_>, cores: usize) -> Result<Vec<Vec<Cycle>>, WireError> {
+    let n = r.seq()?;
+    if n != cores {
+        return Err(WireError::BadLength(n as u64));
+    }
+    (0..n)
+        .map(|_| (0..r.seq()?).map(|_| r.u64()).collect())
+        .collect()
+}
+
+fn load_u64_exact(r: &mut Reader<'_>, out: &mut [u64]) -> Result<(), WireError> {
+    let n = r.seq()?;
+    if n != out.len() {
+        return Err(WireError::BadLength(n as u64));
+    }
+    for v in out {
+        *v = r.u64()?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -547,6 +850,67 @@ mod tests {
         // Loads are a strict subset of LLC misses (stores miss too but are
         // posted and unsampled).
         assert!(r.read_latency.count() <= r.llc_misses);
+    }
+
+    #[test]
+    fn incremental_run_matches_one_shot() {
+        let w = by_name("505.mcf_r", scale()).expect("workload");
+        let mut cfg = SystemConfig::with_controller(scale(), ControllerKind::Simple);
+        cfg.warmup_insts = 5_000;
+        let golden = System::new(cfg.clone(), &w, 7).run(10_000);
+        let mut sys = System::new(cfg, &w, 7);
+        sys.begin(10_000);
+        while !sys.advance(1_000) {}
+        let chunked = sys.finish();
+        assert_eq!(golden.total_cycles, chunked.total_cycles);
+        assert_eq!(golden.serve, chunked.serve);
+        assert_eq!(
+            golden.telemetry.snapshot(),
+            chunked.telemetry.snapshot(),
+            "chunked execution must be invisible in telemetry"
+        );
+    }
+
+    #[test]
+    fn save_restore_resumes_bit_identically() {
+        let w = by_name("505.mcf_r", scale()).expect("workload");
+        let mut cfg = SystemConfig::baryon_cache_mode(scale());
+        cfg.warmup_insts = 5_000;
+        let golden = System::new(cfg.clone(), &w, 7).run(10_000);
+
+        let mut sys = System::new(cfg.clone(), &w, 7);
+        sys.begin(10_000);
+        let done = sys.advance(8_000); // stop mid-run
+        assert!(!done && sys.run_in_progress());
+        let mut wr = Writer::new();
+        sys.save_state(&mut wr);
+        let bytes = wr.into_bytes();
+        drop(sys); // the original "crashes"
+
+        let mut restored = System::new(cfg, &w, 7);
+        let mut rd = Reader::new(&bytes);
+        restored.load_state(&mut rd).expect("well-formed state");
+        rd.finish().expect("no trailing bytes");
+        assert_eq!(restored.run_ops(), 8_000);
+        restored.advance(u64::MAX);
+        let resumed = restored.finish();
+        assert_eq!(golden.total_cycles, resumed.total_cycles);
+        assert_eq!(golden.llc_misses, resumed.llc_misses);
+        assert_eq!(golden.serve, resumed.serve);
+        assert_eq!(golden.telemetry.snapshot(), resumed.telemetry.snapshot());
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_controller() {
+        let w = by_name("505.mcf_r", scale()).expect("workload");
+        let cfg = SystemConfig::with_controller(scale(), ControllerKind::Simple);
+        let mut wr = Writer::new();
+        System::new(cfg, &w, 7).save_state(&mut wr);
+        let bytes = wr.into_bytes();
+        let other = SystemConfig::with_controller(scale(), ControllerKind::Dice);
+        let mut sys = System::new(other, &w, 7);
+        let mut rd = Reader::new(&bytes);
+        assert!(sys.load_state(&mut rd).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::config::DeviceConfig;
 use crate::energy::EnergyMeter;
 use crate::fault::{FaultConfig, FaultInjector, FaultKind};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 
 /// Aggregate statistics of one device.
@@ -285,6 +286,87 @@ impl MemDevice {
     /// with an open row (the best case), useful for calibration/tests.
     pub fn unloaded_read_latency(&self) -> Cycle {
         self.cfg.hit_latency + self.cfg.burst_cycles
+    }
+
+    /// Serializes the mutable device state: bank rows, channel timing,
+    /// statistics, and the fault injector's transient RNG stream. The
+    /// configuration (and with it the energy meter and the injector's
+    /// stuck set, both pure functions of it) is rebuilt by the caller.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.banks.len());
+        for b in &self.banks {
+            w.opt(b.open_row.is_some());
+            if let Some(row) = b.open_row {
+                w.u64(row);
+            }
+            w.u64(b.free_at);
+        }
+        w.seq(self.channel_free.len());
+        for c in &self.channel_free {
+            w.u64(*c);
+        }
+        w.u64(self.stats.reads);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.read_bytes);
+        w.u64(self.stats.written_bytes);
+        w.u64(self.stats.row_hits);
+        w.u64(self.stats.row_misses);
+        w.u64(self.stats.bus_busy_cycles);
+        w.f64(self.stats.energy_pj);
+        w.u64(self.stats.faults_transient);
+        w.u64(self.stats.faults_stuck);
+        w.opt(self.fault.is_some());
+        if let Some(f) = &self.fault {
+            for word in f.rng_state() {
+                w.u64(word);
+            }
+        }
+    }
+
+    /// Overlays checkpointed state onto this (freshly constructed) device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or a geometry/fault
+    /// mismatch against this device's configuration.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.banks.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for b in &mut self.banks {
+            b.open_row = if r.opt()? { Some(r.u64()?) } else { None };
+            b.free_at = r.u64()?;
+        }
+        let n = r.seq()?;
+        if n != self.channel_free.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for c in &mut self.channel_free {
+            *c = r.u64()?;
+        }
+        self.stats.reads = r.u64()?;
+        self.stats.writes = r.u64()?;
+        self.stats.read_bytes = r.u64()?;
+        self.stats.written_bytes = r.u64()?;
+        self.stats.row_hits = r.u64()?;
+        self.stats.row_misses = r.u64()?;
+        self.stats.bus_busy_cycles = r.u64()?;
+        self.stats.energy_pj = r.f64()?;
+        self.stats.faults_transient = r.u64()?;
+        self.stats.faults_stuck = r.u64()?;
+        let has_fault = r.opt()?;
+        if has_fault != self.fault.is_some() {
+            return Err(WireError::BadTag(has_fault as u8));
+        }
+        if let Some(f) = &mut self.fault {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = r.u64()?;
+            }
+            f.restore_rng(s);
+        }
+        Ok(())
     }
 }
 

@@ -130,6 +130,18 @@ impl FaultInjector {
         &self.cfg
     }
 
+    /// The transient-draw stream's raw RNG state, for checkpointing. The
+    /// stuck set is a pure hash of the seed and needs no state.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rewinds the transient-draw stream to a checkpointed
+    /// [`FaultInjector::rng_state`].
+    pub fn restore_rng(&mut self, s: [u64; 4]) {
+        self.rng = SimRng::from_state(s);
+    }
+
     /// True when the 64 B line holding `addr` is permanently stuck. Pure
     /// in the address: repeated queries always agree.
     pub fn line_is_stuck(&self, addr: u64) -> bool {

@@ -95,18 +95,59 @@ pub enum CancelOutcome {
 struct TableInner {
     jobs: BTreeMap<u64, JobRecord>,
     next_id: u64,
+    evicted: u64,
+}
+
+/// Evicts the oldest finished (done / failed / cancelled) jobs beyond
+/// `cap`, so a long-lived server's table cannot grow without bound.
+/// Queued and running jobs are never evicted. Returns how many went.
+fn evict_excess(inner: &mut TableInner, cap: usize) -> u64 {
+    let terminal =
+        |s: JobState| matches!(s, JobState::Done | JobState::Failed | JobState::Cancelled);
+    // BTreeMap iterates in ascending ID order, so this list is
+    // oldest-first and the front is what goes.
+    let finished: Vec<u64> = inner
+        .jobs
+        .values()
+        .filter(|r| terminal(r.state))
+        .map(|r| r.id)
+        .collect();
+    let excess = finished.len().saturating_sub(cap);
+    for id in &finished[..excess] {
+        inner.jobs.remove(id);
+    }
+    inner.evicted += excess as u64;
+    excess as u64
 }
 
 /// The shared, locked registry of every job this server has seen.
-#[derive(Default)]
 pub struct JobTable {
     inner: Mutex<TableInner>,
+    finished_cap: usize,
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        JobTable {
+            inner: Mutex::default(),
+            finished_cap: usize::MAX,
+        }
+    }
 }
 
 impl JobTable {
-    /// Creates an empty table.
+    /// Creates an empty table with unbounded retention.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table that retains at most `cap` finished jobs
+    /// (the oldest beyond that are evicted as new ones settle).
+    pub fn with_finished_cap(cap: usize) -> Self {
+        JobTable {
+            inner: Mutex::default(),
+            finished_cap: cap.max(1),
+        }
     }
 
     /// Registers a new queued job and returns its ID.
@@ -126,6 +167,28 @@ impl JobTable {
             },
         );
         id
+    }
+
+    /// Re-installs a record reconstructed from the journal, preserving
+    /// its original ID. The ID counter is floored so new submissions
+    /// never collide with recovered jobs.
+    pub fn install(&self, record: JobRecord) {
+        let mut inner = self.inner.lock().expect("job table lock poisoned");
+        inner.next_id = inner.next_id.max(record.id);
+        inner.jobs.insert(record.id, record);
+        evict_excess(&mut inner, self.finished_cap);
+    }
+
+    /// Raises the ID counter so future submissions start above `floor` —
+    /// used at recovery so new IDs never collide with journaled ones.
+    pub fn floor_next_id(&self, floor: u64) {
+        let mut inner = self.inner.lock().expect("job table lock poisoned");
+        inner.next_id = inner.next_id.max(floor);
+    }
+
+    /// Total finished jobs evicted by the retention cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().expect("job table lock poisoned").evicted
     }
 
     /// Removes a job that was never enqueued (its queue push was refused),
@@ -165,6 +228,7 @@ impl JobTable {
             None => CancelOutcome::NotFound,
             Some(record) if record.state == JobState::Queued => {
                 record.state = JobState::Cancelled;
+                evict_excess(&mut inner, self.finished_cap);
                 CancelOutcome::Cancelled
             }
             Some(record) => CancelOutcome::TooLate(record.state),
@@ -207,6 +271,7 @@ impl JobTable {
                 record.error = Some(message);
             }
         }
+        evict_excess(&mut inner, self.finished_cap);
         true
     }
 
@@ -305,6 +370,51 @@ mod tests {
         assert!(t.get(id).is_none());
         // IDs are not reused.
         assert_eq!(t.submit(spec()), id + 1);
+    }
+
+    #[test]
+    fn finished_jobs_are_bounded_oldest_first() {
+        let t = JobTable::with_finished_cap(2);
+        // Settle four jobs; the two oldest must be evicted.
+        for _ in 0..4 {
+            let id = t.submit(spec());
+            t.start(id);
+            t.finish(id, Ok(Json::Null), 1);
+        }
+        assert_eq!(t.evictions(), 2);
+        assert!(t.get(1).is_none());
+        assert!(t.get(2).is_none());
+        assert!(t.get(3).is_some());
+        assert!(t.get(4).is_some());
+        // Live jobs never count against the cap and are never evicted.
+        let live = t.submit(spec());
+        t.start(live);
+        let id = t.submit(spec());
+        t.start(id);
+        t.finish(id, Err("x".into()), 1);
+        assert_eq!(t.evictions(), 3);
+        assert_eq!(t.state(live), Some(JobState::Running));
+        // Cancellation settles a job too.
+        let id = t.submit(spec());
+        t.cancel(id);
+        assert_eq!(t.evictions(), 4);
+        // IDs keep climbing even though old records are gone.
+        assert_eq!(t.submit(spec()), 8);
+    }
+
+    #[test]
+    fn install_preserves_ids_and_floors_the_counter() {
+        let t = JobTable::new();
+        t.install(JobRecord {
+            id: 7,
+            state: JobState::Done,
+            spec: spec(),
+            result: Some(Json::Null),
+            error: None,
+            wall_us: None,
+        });
+        assert_eq!(t.state(7), Some(JobState::Done));
+        assert_eq!(t.submit(spec()), 8, "new IDs start above recovered ones");
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //!     port: 0, // ephemeral
 //!     workers: 1,
 //!     queue_depth: 4,
-//!     job_deadline: None,
+//!     ..ServeConfig::default()
 //! })
 //! .expect("bind loopback");
 //! let addr = server.local_addr();
@@ -55,6 +55,7 @@ pub mod client;
 pub mod error;
 pub mod http;
 pub mod job;
+pub mod journal;
 pub mod queue;
 pub mod server;
 

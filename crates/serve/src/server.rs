@@ -9,21 +9,24 @@
 
 use crate::error::ErrorCode;
 use crate::http::{read_request, Request, Response};
-use crate::job::{CancelOutcome, JobTable};
+use crate::job::{CancelOutcome, JobRecord, JobState, JobTable};
+use crate::journal::{recover, Journal, JournalEvent, RecoveredState};
 use crate::queue::{BoundedQueue, PushError};
-use baryon_bench::spec::JobSpec;
+use baryon_bench::spec::{resume_from, JobSpec, CHECKPOINT_PREFIX};
+use baryon_core::checkpoint::Checkpoint;
 use baryon_sim::histogram::Histogram;
 use baryon_sim::json::{self, Json};
 use baryon_sim::telemetry::Registry;
 use std::io::{self, BufReader};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server construction knobs (the CLI's `serve` flags).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// TCP port on 127.0.0.1; `0` asks the OS for an ephemeral port
     /// (useful in tests — read it back via [`Server::local_addr`]).
@@ -37,6 +40,17 @@ pub struct ServeConfig {
     /// queued job; the stuck runner thread is abandoned (its late result
     /// is discarded). `None` lets jobs run unbounded.
     pub job_deadline: Option<Duration>,
+    /// Directory for the write-ahead job journal and per-job checkpoints.
+    /// When set, accepted jobs survive a crash: on the next bind with the
+    /// same directory, settled jobs are re-installed with their journaled
+    /// results, never-started jobs are re-enqueued, and interrupted
+    /// single runs resume from their newest checkpoint. `None` keeps the
+    /// server fully in-memory.
+    pub journal_dir: Option<PathBuf>,
+    /// Retain at most this many finished (done / failed / cancelled)
+    /// jobs in the table; the oldest beyond it are evicted as new jobs
+    /// settle. Queued and running jobs are never evicted.
+    pub finished_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,8 +60,23 @@ impl Default for ServeConfig {
             workers: 2,
             queue_depth: 16,
             job_deadline: None,
+            journal_dir: None,
+            finished_cap: 256,
         }
     }
+}
+
+/// How many trace operations an interrupted-able (journaled) single run
+/// executes between checkpoints; override with
+/// `BARYON_SERVE_CHECKPOINT_EVERY`.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 20_000;
+
+fn checkpoint_every_from_env() -> u64 {
+    std::env::var("BARYON_SERVE_CHECKPOINT_EVERY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CHECKPOINT_EVERY)
 }
 
 /// Serve-layer counters, exported uniformly through the unified
@@ -63,6 +92,7 @@ pub struct Metrics {
     timed_out: AtomicU64,
     panicked: AtomicU64,
     cancelled: AtomicU64,
+    recovered: AtomicU64,
     runs_executed: AtomicU64,
     busy: AtomicUsize,
     latency_us: Mutex<Histogram>,
@@ -79,8 +109,10 @@ impl Metrics {
     /// Snapshots every counter and gauge into a telemetry [`Registry`]
     /// under the `serve.` namespace. Job latency is published both as a
     /// summary (`serve.job_latency_us`) and as the legacy flat counters
-    /// (`serve.job_latency.count` / `.p50_us` / `.p95_us`).
-    pub fn to_registry(&self, queue_depth: usize, workers: usize) -> Registry {
+    /// (`serve.job_latency.count` / `.p50_us` / `.p95_us`). `evicted` is
+    /// the job table's retention-eviction count (the table owns it, the
+    /// metrics document reports it).
+    pub fn to_registry(&self, queue_depth: usize, workers: usize, evicted: u64) -> Registry {
         let mut reg = Registry::new();
         reg.set_counter("serve.http.requests", self.requests.load(Ordering::Relaxed));
         reg.set_counter(
@@ -88,6 +120,11 @@ impl Metrics {
             self.submitted.load(Ordering::Relaxed),
         );
         reg.set_counter("serve.jobs.rejected", self.rejected.load(Ordering::Relaxed));
+        reg.set_counter("serve.jobs.evicted", evicted);
+        reg.set_counter(
+            "serve.jobs.recovered",
+            self.recovered.load(Ordering::Relaxed),
+        );
         reg.set_counter("serve.jobs.done", self.done.load(Ordering::Relaxed));
         reg.set_counter("serve.jobs.failed", self.failed.load(Ordering::Relaxed));
         reg.set_counter(
@@ -130,6 +167,20 @@ struct Shared {
     addr: SocketAddr,
     workers: usize,
     job_deadline: Option<Duration>,
+    journal: Option<Journal>,
+    journal_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+}
+
+/// Appends to the journal if one is configured. Append failures are
+/// reported but do not fail the request — the in-memory state is still
+/// correct for this incarnation; only crash durability degrades.
+fn journal_append(shared: &Shared, event: &JournalEvent) {
+    if let Some(journal) = &shared.journal {
+        if let Err(e) = journal.append(event) {
+            eprintln!("baryon-serve: journal append failed: {e}");
+        }
+    }
 }
 
 /// A bound, running job server (workers already spawned; call
@@ -153,15 +204,25 @@ impl Server {
     pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
         assert!(cfg.workers > 0, "need at least one worker");
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, cfg.port))?;
+        let journal = match &cfg.journal_dir {
+            Some(dir) => Some(Journal::open(dir)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
-            jobs: JobTable::new(),
+            jobs: JobTable::with_finished_cap(cfg.finished_cap),
             queue: BoundedQueue::new(cfg.queue_depth),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
             addr: listener.local_addr()?,
             workers: cfg.workers,
             job_deadline: cfg.job_deadline,
+            journal,
+            journal_dir: cfg.journal_dir.clone(),
+            checkpoint_every: checkpoint_every_from_env(),
         });
+        if let Some(dir) = &cfg.journal_dir {
+            recover_from_journal(&shared, dir)?;
+        }
         let workers = (0..cfg.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -209,12 +270,111 @@ impl Server {
     }
 }
 
+/// Boot-time recovery: replays the write-ahead journal and reconstructs
+/// the job table. Settled jobs come back with their journaled outcomes;
+/// never-started and interrupted jobs are re-enqueued (interrupted single
+/// runs will resume from their newest checkpoint when a worker picks them
+/// up). Runs before the worker pool spawns, so recovered work is queued
+/// ahead of anything newly submitted.
+fn recover_from_journal(shared: &Shared, dir: &std::path::Path) -> io::Result<()> {
+    let events = Journal::replay(dir)?;
+    let (jobs, max_id) = recover(&events);
+    shared.jobs.floor_next_id(max_id);
+    for job in jobs {
+        let spec = json::parse(&job.spec_json)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| JobSpec::from_json(&doc));
+        let spec = match spec {
+            Ok(spec) => spec,
+            Err(e) => {
+                // A journaled spec that no longer parses (e.g. the
+                // workload registry changed under it) surfaces as a
+                // failed job instead of being dropped silently.
+                shared.jobs.install(JobRecord {
+                    id: job.id,
+                    state: JobState::Failed,
+                    spec: JobSpec::Run(baryon_bench::spec::RunSpec::default()),
+                    result: None,
+                    error: Some(format!("unrecoverable journaled spec: {e}")),
+                    wall_us: None,
+                });
+                continue;
+            }
+        };
+        match job.state {
+            RecoveredState::Queued | RecoveredState::Interrupted => {
+                shared.jobs.install(JobRecord {
+                    id: job.id,
+                    state: JobState::Queued,
+                    spec,
+                    result: None,
+                    error: None,
+                    wall_us: None,
+                });
+                if shared.queue.try_push(job.id).is_ok() {
+                    shared.metrics.recovered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // The queue is smaller than the recovered backlog;
+                    // failing loudly beats stranding the job as `queued`
+                    // forever.
+                    let reason = "recovery: queue full, job not re-enqueued".to_owned();
+                    shared.jobs.start(job.id);
+                    shared.jobs.finish(job.id, Err(reason.clone()), 0);
+                    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    journal_append(
+                        shared,
+                        &JournalEvent::Finish {
+                            id: job.id,
+                            ok: false,
+                            body: reason,
+                        },
+                    );
+                }
+            }
+            RecoveredState::Finished { ok, body } => {
+                let (state, result, error) = if ok {
+                    match json::parse(&body) {
+                        Ok(doc) => (JobState::Done, Some(doc), None),
+                        Err(e) => (
+                            JobState::Failed,
+                            None,
+                            Some(format!("unrecoverable journaled result: {e}")),
+                        ),
+                    }
+                } else {
+                    (JobState::Failed, None, Some(body))
+                };
+                shared.jobs.install(JobRecord {
+                    id: job.id,
+                    state,
+                    spec,
+                    result,
+                    error,
+                    wall_us: None,
+                });
+            }
+            RecoveredState::Cancelled => {
+                shared.jobs.install(JobRecord {
+                    id: job.id,
+                    state: JobState::Cancelled,
+                    spec,
+                    result: None,
+                    error: None,
+                    wall_us: None,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(id) = shared.queue.pop() {
         // `start` refuses jobs cancelled while queued.
         let Some(spec) = shared.jobs.start(id) else {
             continue;
         };
+        journal_append(shared, &JournalEvent::Start { id });
         shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
         match shared.job_deadline {
             None => run_job(shared, id, spec),
@@ -224,22 +384,64 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Executes a job's spec. With journaling enabled, single runs write
+/// rotating checkpoints under `<journal_dir>/ckpt-<id>/` and resume from
+/// the newest one left behind by a previous incarnation — the simulator's
+/// bit-identical continuation invariant makes the resumed result
+/// indistinguishable from an uninterrupted run. Grid jobs restart from
+/// scratch: their cells are independent and each is short. Checkpoints
+/// are deleted once the job settles.
+fn execute_spec(shared: &Shared, id: u64, spec: &JobSpec) -> Result<Json, String> {
+    let Some(dir) = &shared.journal_dir else {
+        return spec.execute();
+    };
+    let JobSpec::Run(run) = spec else {
+        return spec.execute();
+    };
+    let ckpt_dir = dir.join(format!("ckpt-{id}"));
+    if let Ok(Some(path)) = Checkpoint::latest_in(&ckpt_dir, CHECKPOINT_PREFIX) {
+        if let Ok((resumed_spec, result)) = resume_from(&path) {
+            if resumed_spec == *run {
+                let _ = std::fs::remove_dir_all(&ckpt_dir);
+                return Ok(result.to_json());
+            }
+        }
+        // A stale or undecodable checkpoint falls through to a fresh run.
+    }
+    let result = run.execute_with_checkpoints(&ckpt_dir, shared.checkpoint_every, 2)?;
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    Ok(result.to_json())
+}
+
 /// Executes `spec` and records the outcome. The guarded
 /// [`JobTable::finish`] decides whether this result lands — if a watchdog
 /// already failed the job, the late result is discarded and no completion
 /// metrics move (a job resolves exactly once).
 fn run_job(shared: &Shared, id: u64, spec: JobSpec) {
     let t0 = Instant::now();
-    let (outcome, panicked) = match panic::catch_unwind(AssertUnwindSafe(|| spec.execute())) {
-        Ok(outcome) => (outcome, false),
-        Err(payload) => (Err(panic_message(payload.as_ref())), true),
-    };
+    let (outcome, panicked) =
+        match panic::catch_unwind(AssertUnwindSafe(|| execute_spec(shared, id, &spec))) {
+            Ok(outcome) => (outcome, false),
+            Err(payload) => (Err(panic_message(payload.as_ref())), true),
+        };
     let wall_us = t0.elapsed().as_micros() as u64;
     if panicked {
         shared.metrics.panicked.fetch_add(1, Ordering::Relaxed);
     }
     let succeeded = outcome.is_ok();
+    let body = match &outcome {
+        Ok(doc) => doc.render(),
+        Err(message) => message.clone(),
+    };
     if shared.jobs.finish(id, outcome, wall_us) {
+        journal_append(
+            shared,
+            &JournalEvent::Finish {
+                id,
+                ok: succeeded,
+                body,
+            },
+        );
         shared.metrics.record_latency(wall_us);
         if succeeded {
             shared.metrics.done.fetch_add(1, Ordering::Relaxed);
@@ -376,6 +578,7 @@ fn job_route(shared: &Shared, method: &str, rest: &str) -> Response {
         },
         ("POST", Some("cancel")) => match shared.jobs.cancel(id) {
             CancelOutcome::Cancelled => {
+                journal_append(shared, &JournalEvent::Cancel { id });
                 shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
                 Response::json(
                     200,
@@ -421,7 +624,22 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
             )
         }
     };
+    let spec_json = spec.to_json().render();
     let id = shared.jobs.submit(spec);
+    // Write-ahead: the submit record must be durable before the client
+    // sees 202. If it cannot be journaled, the submission is refused —
+    // an acknowledged job that would vanish in a crash is worse than a
+    // retry.
+    if let Some(journal) = &shared.journal {
+        if let Err(e) = journal.append(&JournalEvent::Submit { id, spec_json }) {
+            shared.jobs.forget(id);
+            return Response::error(
+                500,
+                ErrorCode::Internal,
+                &format!("cannot journal submission: {e}"),
+            );
+        }
+    }
     match shared.queue.try_push(id) {
         Ok(()) => {
             shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
@@ -432,21 +650,26 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
         }
         Err(PushError::Full) => {
             shared.jobs.forget(id);
+            // The submit record is already durable; compensate so a
+            // replay never resurrects a job the client saw refused.
+            journal_append(shared, &JournalEvent::Cancel { id });
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             Response::error(503, ErrorCode::QueueFull, "queue full, retry later")
                 .header("Retry-After", "1")
         }
         Err(PushError::Closed) => {
             shared.jobs.forget(id);
+            journal_append(shared, &JournalEvent::Cancel { id });
             Response::error(503, ErrorCode::ShuttingDown, "server is shutting down")
         }
     }
 }
 
 fn metrics_response(shared: &Shared) -> Response {
-    let reg = shared
-        .metrics
-        .to_registry(shared.queue.len(), shared.workers);
+    let reg =
+        shared
+            .metrics
+            .to_registry(shared.queue.len(), shared.workers, shared.jobs.evictions());
     Response::json(200, &reg.to_json())
 }
 
@@ -475,11 +698,14 @@ mod tests {
         m.timed_out.store(2, Ordering::Relaxed);
         m.panicked.store(1, Ordering::Relaxed);
         m.busy.store(1, Ordering::Relaxed);
+        m.recovered.store(4, Ordering::Relaxed);
         m.record_latency(1000);
         m.record_latency(2000);
-        let reg = m.to_registry(4, 2);
+        let reg = m.to_registry(4, 2, 7);
         assert_eq!(reg.counter("serve.jobs.submitted"), 5);
         assert_eq!(reg.counter("serve.jobs.done"), 3);
+        assert_eq!(reg.counter("serve.jobs.evicted"), 7);
+        assert_eq!(reg.counter("serve.jobs.recovered"), 4);
         assert_eq!(reg.counter("serve.jobs.timed_out"), 2);
         assert_eq!(reg.counter("serve.jobs.panicked"), 1);
         assert_eq!(reg.counter("serve.queue.depth"), 4);
@@ -501,7 +727,7 @@ mod tests {
         // breaks scrapers and must be deliberate.
         let m = Metrics::default();
         m.record_latency(1000);
-        let reg = m.to_registry(4, 2);
+        let reg = m.to_registry(4, 2, 0);
         let counters: Vec<&str> = reg.counters().map(|(k, _)| k).collect();
         assert_eq!(
             counters,
@@ -512,8 +738,10 @@ mod tests {
                 "serve.job_latency.p95_us",
                 "serve.jobs.cancelled",
                 "serve.jobs.done",
+                "serve.jobs.evicted",
                 "serve.jobs.failed",
                 "serve.jobs.panicked",
+                "serve.jobs.recovered",
                 "serve.jobs.rejected",
                 "serve.jobs.submitted",
                 "serve.jobs.timed_out",
@@ -553,5 +781,7 @@ mod tests {
         assert!(cfg.workers > 0);
         assert!(cfg.queue_depth > 0);
         assert!(cfg.job_deadline.is_none(), "jobs run unbounded by default");
+        assert!(cfg.journal_dir.is_none(), "in-memory by default");
+        assert!(cfg.finished_cap > 0, "retention cap must admit jobs");
     }
 }

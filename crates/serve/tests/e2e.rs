@@ -31,6 +31,7 @@ fn boot_with_deadline(
         workers,
         queue_depth,
         job_deadline,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral loopback port");
     let addr = server.local_addr();

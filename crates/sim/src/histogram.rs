@@ -5,6 +5,8 @@
 //! `floor(log2(value))`, giving constant-size storage and ~1.4x relative
 //! resolution, which is plenty for cycle latencies spanning 10^1..10^5.
 
+use crate::wire::{Reader, WireError, Writer};
+
 /// Number of log2 buckets (covers values up to 2^47).
 const BUCKETS: usize = 48;
 
@@ -116,6 +118,41 @@ impl Histogram {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
+    }
+
+    /// Serializes the full histogram state for checkpointing.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.seq(self.buckets.len());
+        for b in &self.buckets {
+            w.u64(*b);
+        }
+        w.u64(self.count);
+        w.u128(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    /// Rebuilds a histogram from [`Histogram::save_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated or malformed payload.
+    pub fn load_state(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq()?;
+        if n != BUCKETS {
+            return Err(WireError::BadLength(n as u64));
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(r.u64()?);
+        }
+        Ok(Histogram {
+            buckets,
+            count: r.u64()?,
+            sum: r.u128()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        })
     }
 
     /// Non-empty `(bucket_lower_bound, count)` pairs, ascending.

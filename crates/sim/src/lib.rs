@@ -31,6 +31,7 @@ pub mod json;
 pub mod rng;
 pub mod summary;
 pub mod telemetry;
+pub mod wire;
 pub mod zipf;
 
 /// A simulated clock cycle count.

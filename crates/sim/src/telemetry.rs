@@ -46,6 +46,7 @@
 
 use crate::histogram::Histogram;
 use crate::json::Json;
+use crate::wire::{Reader, WireError, Writer};
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -446,6 +447,61 @@ impl Registry {
         Some(out)
     }
 
+    /// Serializes the complete registry state — including the spans flag
+    /// and the span sampling tick, so a restored run samples the same
+    /// timer calls the uninterrupted run would have.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.bool(self.spans_enabled);
+        w.u64(self.span_tick.get());
+        w.seq(self.counters.len());
+        for (k, v) in &self.counters {
+            w.str(k);
+            w.u64(*v);
+        }
+        w.seq(self.gauges.len());
+        for (k, v) in &self.gauges {
+            w.str(k);
+            w.f64(*v);
+        }
+        w.seq(self.summaries.len());
+        for (k, h) in &self.summaries {
+            w.str(k);
+            h.save_state(w);
+        }
+    }
+
+    /// Rebuilds a registry from [`Registry::save_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated or malformed payload.
+    pub fn load_state(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let spans_enabled = r.bool()?;
+        let span_tick = Cell::new(r.u64()?);
+        let mut counters = BTreeMap::new();
+        for _ in 0..r.seq()? {
+            let k = r.str()?;
+            counters.insert(k, r.u64()?);
+        }
+        let mut gauges = BTreeMap::new();
+        for _ in 0..r.seq()? {
+            let k = r.str()?;
+            gauges.insert(k, r.f64()?);
+        }
+        let mut summaries = BTreeMap::new();
+        for _ in 0..r.seq()? {
+            let k = r.str()?;
+            summaries.insert(k, Histogram::load_state(r)?);
+        }
+        Ok(Registry {
+            spans_enabled,
+            span_tick,
+            counters,
+            gauges,
+            summaries,
+        })
+    }
+
     /// Renders as CSV lines `name,value` (summaries export their count).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("name,value\n");
@@ -595,6 +651,28 @@ mod tests {
         r.observe("sim.lat", 900);
         let doc = parse(&r.to_json().render()).expect("registry JSON parses");
         assert_eq!(Registry::snapshot_from_json(&doc), Some(r.snapshot()));
+    }
+
+    #[test]
+    fn wire_state_round_trip_is_exact() {
+        let mut r = Registry::with_spans();
+        r.add("ctrl.reads", 41);
+        r.set_gauge("ctrl.cf", 2.5);
+        r.observe("sim.lat", 12);
+        r.observe("sim.lat", 900);
+        let t = r.timer();
+        r.record_span("span.x", t);
+        let mut w = crate::wire::Writer::new();
+        r.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut rd = crate::wire::Reader::new(&bytes);
+        let back = Registry::load_state(&mut rd).expect("round trip");
+        rd.finish().expect("no trailing bytes");
+        assert_eq!(back.spans_enabled(), r.spans_enabled());
+        assert_eq!(back.span_tick.get(), r.span_tick.get());
+        assert_eq!(back.counters, r.counters);
+        assert_eq!(back.summaries, r.summaries);
+        assert_eq!(back.gauges.len(), r.gauges.len());
     }
 
     #[test]

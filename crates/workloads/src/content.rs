@@ -11,6 +11,7 @@
 //!   probability a rewritten line degenerates to incompressible bytes).
 
 use baryon_sim::rng::mix64;
+use baryon_sim::wire::{Reader, WireError, Writer};
 use std::collections::HashMap;
 
 /// Bytes per cacheline.
@@ -191,6 +192,34 @@ impl MemoryContents {
     /// Number of lines ever written (for memory-usage introspection).
     pub fn written_lines(&self) -> usize {
         self.versions.len()
+    }
+
+    /// Serializes the write-version map (the only mutable state; the mix
+    /// and seed are rebuilt from the workload definition on restore). The
+    /// map is written in sorted line order so the byte stream is canonical.
+    pub fn save_state(&self, w: &mut Writer) {
+        let mut lines: Vec<(u64, u32)> = self.versions.iter().map(|(k, v)| (*k, *v)).collect();
+        lines.sort_unstable();
+        w.seq(lines.len());
+        for (line, version) in lines {
+            w.u64(line);
+            w.u32(version);
+        }
+    }
+
+    /// Overlays a checkpointed version map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        self.versions.clear();
+        for _ in 0..n {
+            let line = r.u64()?;
+            self.versions.insert(line, r.u32()?);
+        }
+        Ok(())
     }
 
     /// The 64 bytes of the line containing `addr` (line-aligned).

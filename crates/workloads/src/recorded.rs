@@ -6,6 +6,7 @@
 //! `u64` address, `u32` gap, `u8` flags (bit 0 = write).
 
 use crate::trace::{Op, TraceGen};
+use baryon_sim::wire::{Reader, WireError, Writer};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"BTR1";
@@ -155,6 +156,19 @@ impl TraceGen for RecordedTrace {
         let op = self.ops[self.pos];
         self.pos = (self.pos + 1) % self.ops.len();
         op
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.usize(self.pos);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let pos = r.usize()?;
+        if pos >= self.ops.len() {
+            return Err(WireError::BadLength(pos as u64));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 

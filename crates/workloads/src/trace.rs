@@ -1,5 +1,7 @@
 //! The trace interface between workload generators and the system driver.
 
+use baryon_sim::wire::{Reader, WireError, Writer};
+
 /// One memory operation emitted by a core's trace generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Op {
@@ -26,11 +28,34 @@ impl Op {
 pub trait TraceGen: Send {
     /// Produces the next operation.
     fn next_op(&mut self) -> Op;
+
+    /// Serializes the generator's mutable state (cursors, RNG streams) for
+    /// checkpointing. Structural parameters (region bases, sizes,
+    /// distributions) are not written: restore first rebuilds the generator
+    /// from its construction seed, then overlays this state.
+    fn save_state(&self, w: &mut Writer);
+
+    /// Overlays checkpointed [`TraceGen::save_state`] bytes onto this
+    /// (freshly constructed) generator; the op stream then continues
+    /// bit-identically to the checkpointed run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated or mismatched payload.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError>;
 }
 
 impl TraceGen for Box<dyn TraceGen> {
     fn next_op(&mut self) -> Op {
         (**self).next_op()
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        (**self).save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        (**self).load_state(r)
     }
 }
 
@@ -47,6 +72,15 @@ mod tests {
                 write: false,
                 gap: 3,
             }
+        }
+
+        fn save_state(&self, w: &mut Writer) {
+            w.u64(self.0);
+        }
+
+        fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+            self.0 = r.u64()?;
+            Ok(())
         }
     }
 

@@ -37,6 +37,15 @@ cargo test -q -p baryon-serve --offline --test e2e
 echo "==> chaos fault-injection suite (fixed seeds)"
 cargo test -q -p baryon-core --offline --test chaos_faults
 
+# Crash-recovery gate: SIGKILL a serving process mid-run (after its job
+# has written a checkpoint into the journal directory), restart a server
+# on the same journal, and require the recovered job to finish with the
+# byte-identical result of an uninterrupted run. The harness is a single
+# self-contained binary (it forks itself as the server child), so the
+# gate needs no curl, fixed ports, or startup sleeps.
+echo "==> serve kill-and-resume gate"
+cargo run --release -p baryon-serve --bin kill_resume --offline
+
 # Telemetry overhead gate: the sim-throughput harness runs a small
 # workload matrix twice (spans off / spans on) and fails when enabling
 # telemetry costs more than 5% aggregate wall-clock (override with
