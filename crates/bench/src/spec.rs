@@ -76,6 +76,9 @@ pub struct RunSpec {
     /// Off by default: disabled runs never read the host clock, keeping
     /// results bit-identical.
     pub telemetry: bool,
+    /// Host threads used to refill per-core trace shards. Purely a
+    /// throughput knob: any value produces bit-identical results.
+    pub threads: u64,
 }
 
 impl Default for RunSpec {
@@ -89,6 +92,7 @@ impl Default for RunSpec {
             seed: 42,
             mlp: 1,
             telemetry: false,
+            threads: 1,
         }
     }
 }
@@ -137,7 +141,7 @@ fn field_str_list(key: &str, value: &Json) -> Result<Vec<String>, String> {
 impl RunSpec {
     /// Builds a spec from a JSON object, starting from [`Default`] and
     /// overriding any of `workload`, `controller`, `insts`, `warmup`,
-    /// `scale`, `seed`, `mlp`, `telemetry`.
+    /// `scale`, `seed`, `mlp`, `telemetry`, `threads`.
     ///
     /// # Errors
     ///
@@ -158,6 +162,7 @@ impl RunSpec {
                 "seed" => spec.seed = field_u64(key, value)?,
                 "mlp" => spec.mlp = field_u64(key, value)?,
                 "telemetry" => spec.telemetry = field_bool(key, value)?,
+                "threads" => spec.threads = field_u64(key, value)?,
                 other => return Err(format!("unknown run spec field `{other}`")),
             }
         }
@@ -176,6 +181,7 @@ impl RunSpec {
             ("seed", Json::from(self.seed)),
             ("mlp", Json::from(self.mlp)),
             ("telemetry", Json::Bool(self.telemetry)),
+            ("threads", Json::from(self.threads)),
         ])
     }
 
@@ -202,6 +208,9 @@ impl RunSpec {
         }
         if self.mlp == 0 {
             return Err("`mlp` must be at least 1".to_owned());
+        }
+        if self.threads == 0 {
+            return Err("`threads` must be at least 1".to_owned());
         }
         Ok(())
     }
@@ -237,6 +246,7 @@ impl RunSpec {
         cfg.warmup_insts = self.warmup;
         cfg.mlp = self.mlp as usize;
         cfg.telemetry = self.telemetry;
+        cfg.threads = self.threads as usize;
         Ok(System::new(cfg, &workload, self.seed))
     }
 
@@ -357,6 +367,7 @@ impl GridSpec {
                 "seed" => base.seed = field_u64(key, value)?,
                 "mlp" => base.mlp = field_u64(key, value)?,
                 "telemetry" => base.telemetry = field_bool(key, value)?,
+                "threads" => base.threads = field_u64(key, value)?,
                 other => return Err(format!("unknown grid spec field `{other}`")),
             }
         }
@@ -442,6 +453,7 @@ impl JobSpec {
                     ("seed", Json::from(grid.base.seed)),
                     ("mlp", Json::from(grid.base.mlp)),
                     ("telemetry", Json::Bool(grid.base.telemetry)),
+                    ("threads", Json::from(grid.base.threads)),
                 ]),
             )]),
         }
@@ -503,6 +515,7 @@ mod tests {
             seed: 7,
             mlp: 2,
             telemetry: true,
+            threads: 4,
         };
         let back = RunSpec::from_json(&spec.to_json()).expect("roundtrip");
         assert_eq!(back, spec);
@@ -519,6 +532,7 @@ mod tests {
         assert_eq!(spec.scale, 256);
         assert_eq!(spec.seed, 42);
         assert_eq!(spec.mlp, 1);
+        assert_eq!(spec.threads, 1);
     }
 
     #[test]
@@ -533,6 +547,7 @@ mod tests {
             r#"{"insts":0}"#,
             r#"{"scale":0}"#,
             r#"{"mlp":0}"#,
+            r#"{"threads":0}"#,
             r#"[1,2]"#,
         ] {
             let doc = parse(bad).expect("valid json");
@@ -551,6 +566,7 @@ mod tests {
             seed: 9,
             mlp: 1,
             telemetry: false,
+            threads: 1,
         };
         let via_spec = spec.execute().expect("runs");
 
@@ -623,6 +639,7 @@ mod tests {
             seed: 11,
             mlp: 1,
             telemetry: false,
+            threads: 1,
         }
     }
 

@@ -21,6 +21,7 @@ fn spec_for(controller: &str, seed: u64) -> RunSpec {
         seed,
         mlp: 1,
         telemetry: false,
+        threads: 1,
     }
 }
 

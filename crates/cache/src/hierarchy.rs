@@ -83,6 +83,29 @@ pub struct HierAccess {
     pub writebacks: Vec<u64>,
 }
 
+/// The core-private outcome of one reference: everything
+/// [`Hierarchy::access`] decides by touching only `core`'s L1D and L2.
+///
+/// This is the hand-off record of the deterministic parallel run mode:
+/// worker threads drive disjoint cores' private caches ahead of time with
+/// [`Hierarchy::access_private`], and the single merge thread later
+/// replays the shared part (LLC state, statistics) in the canonical core
+/// interleaving with [`Hierarchy::access_shared`]. Composing the two is
+/// exactly [`Hierarchy::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivateAccess {
+    /// The reference hit in L1D.
+    pub l1_hit: bool,
+    /// The reference hit in L2 (only meaningful when `!l1_hit`).
+    pub l2_hit: bool,
+    /// Dirty line pushed from L2 toward the LLC while installing the L1
+    /// victim (before the L2 demand lookup).
+    pub to_llc_victim: Option<u64>,
+    /// Dirty line pushed from L2 toward the LLC by the demand fill
+    /// (only possible when the reference missed L2).
+    pub to_llc_demand: Option<u64>,
+}
+
 /// Per-core L1D and L2 plus a shared LLC.
 ///
 /// Inclusion is not enforced (mostly-exclusive like modern parts); dirty
@@ -136,42 +159,70 @@ impl Hierarchy {
     ///
     /// Panics if `core >= cores`.
     pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> HierAccess {
+        let private = self.access_private(core, addr, is_write);
+        self.access_shared(addr, is_write, &private)
+    }
+
+    /// The core-private half of [`Hierarchy::access`]: runs the reference
+    /// through `core`'s L1D and L2 (contents and LRU mutate; statistics do
+    /// not) and records what the shared half needs. Touches no shared
+    /// state, so disjoint cores may run this concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= cores`.
+    pub fn access_private(&mut self, core: usize, addr: u64, is_write: bool) -> PrivateAccess {
         assert!(core < self.cfg.cores, "core {core} out of range");
+        private_access(&mut self.l1d[core], &mut self.l2[core], addr, is_write)
+    }
+
+    /// The shared half of [`Hierarchy::access`]: counts the private
+    /// hit/miss outcomes into `core`-independent statistics totals, applies
+    /// the recorded dirty spills to the LLC in their original order, and
+    /// performs the LLC demand lookup. Must run in the canonical core
+    /// interleaving — it mutates the shared LLC.
+    ///
+    /// The statistics counted here are the private levels' as well: the
+    /// parallel run mode defers them to the merge thread so the
+    /// measurement-boundary reset observes the same counts as a serial
+    /// run (worker threads may already have simulated past the boundary).
+    pub fn access_shared(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        private: &PrivateAccess,
+    ) -> HierAccess {
+        // `access_private` pairs each quiet L1 access with this count; the
+        // core does not matter because private statistics are summed.
+        self.l1d[0].count_access(private.l1_hit, is_write);
         let mut latency = self.cfg.l1d.latency;
         let mut writebacks = Vec::new();
-
-        let l1 = self.l1d[core].access(addr, is_write);
-        if l1.hit {
+        if private.l1_hit {
             return HierAccess {
                 level: HitLevel::L1,
                 latency,
                 writebacks,
             };
         }
-        // L1 dirty victim goes to L2.
-        if let Some(ev) = l1.eviction.filter(|e| e.dirty) {
-            if let Some(l2ev) = self.l2[core].install_dirty(ev.addr) {
-                if l2ev.dirty {
-                    if let Some(llcev) = self.llc.install_dirty(l2ev.addr) {
-                        if llcev.dirty {
-                            writebacks.push(llcev.addr);
-                        }
-                    }
+        if let Some(victim) = private.to_llc_victim {
+            if let Some(llcev) = self.llc.install_dirty(victim) {
+                if llcev.dirty {
+                    writebacks.push(llcev.addr);
                 }
             }
         }
 
         latency += self.cfg.l2.latency;
-        let l2 = self.l2[core].access(addr, false);
-        if l2.hit {
+        self.l2[0].count_access(private.l2_hit, false);
+        if private.l2_hit {
             return HierAccess {
                 level: HitLevel::L2,
                 latency,
                 writebacks,
             };
         }
-        if let Some(ev) = l2.eviction.filter(|e| e.dirty) {
-            if let Some(llcev) = self.llc.install_dirty(ev.addr) {
+        if let Some(demand) = private.to_llc_demand {
+            if let Some(llcev) = self.llc.install_dirty(demand) {
                 if llcev.dirty {
                     writebacks.push(llcev.addr);
                 }
@@ -198,6 +249,56 @@ impl Hierarchy {
         }
     }
 
+    /// Mutable access to each core's private `(L1D, L2)` pair, in core
+    /// order — the per-core shards the parallel run mode hands to worker
+    /// threads (disjoint cores, disjoint caches).
+    pub fn private_shards(
+        &mut self,
+    ) -> impl Iterator<Item = (&mut SetAssocCache, &mut SetAssocCache)> {
+        self.l1d.iter_mut().zip(self.l2.iter_mut())
+    }
+}
+
+/// [`Hierarchy::access_private`] over one detached `(L1D, L2)` pair — the
+/// form worker threads use after [`Hierarchy::private_shards`] has split
+/// the hierarchy into disjoint per-core borrows.
+pub fn private_access(
+    l1: &mut SetAssocCache,
+    l2: &mut SetAssocCache,
+    addr: u64,
+    is_write: bool,
+) -> PrivateAccess {
+    let mut private = PrivateAccess {
+        l1_hit: false,
+        l2_hit: false,
+        to_llc_victim: None,
+        to_llc_demand: None,
+    };
+    let first = l1.access_quiet(addr, is_write);
+    if first.hit {
+        private.l1_hit = true;
+        return private;
+    }
+    // L1 dirty victim goes to L2.
+    if let Some(ev) = first.eviction.filter(|e| e.dirty) {
+        if let Some(l2ev) = l2.install_dirty(ev.addr) {
+            if l2ev.dirty {
+                private.to_llc_victim = Some(l2ev.addr);
+            }
+        }
+    }
+    let second = l2.access_quiet(addr, false);
+    if second.hit {
+        private.l2_hit = true;
+        return private;
+    }
+    if let Some(ev) = second.eviction.filter(|e| e.dirty) {
+        private.to_llc_demand = Some(ev.addr);
+    }
+    private
+}
+
+impl Hierarchy {
     /// Installs extra decompressed 64 B lines into the LLC (Baryon's
     /// bandwidth-free memory-to-LLC prefetch, §III-E). Returns dirty lines
     /// displaced to memory.

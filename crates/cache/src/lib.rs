@@ -32,5 +32,5 @@
 pub mod hierarchy;
 pub mod setassoc;
 
-pub use hierarchy::{Hierarchy, HierarchyConfig, HitLevel};
+pub use hierarchy::{Hierarchy, HierarchyConfig, HitLevel, PrivateAccess};
 pub use setassoc::{AccessResult, CacheConfig, Eviction, SetAssocCache};

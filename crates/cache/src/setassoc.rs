@@ -175,6 +175,18 @@ impl SetAssocCache {
     /// Accesses `addr`; on a miss the line is filled (write-allocate),
     /// possibly evicting the set's LRU line.
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        let result = self.access_quiet(addr, is_write);
+        self.count_access(result.hit, is_write);
+        result
+    }
+
+    /// The state-mutating half of [`SetAssocCache::access`]: identical tag,
+    /// LRU, dirty-bit and fill behaviour, but no statistics. Used by the
+    /// deterministic parallel run mode, where private caches are simulated
+    /// ahead of time by worker threads and the hit/miss *counts* are
+    /// replayed in merge order via [`SetAssocCache::count_access`] (so the
+    /// warm-up statistics reset falls at the same point it would serially).
+    pub fn access_quiet(&mut self, addr: u64, is_write: bool) -> AccessResult {
         self.tick += 1;
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
@@ -184,26 +196,27 @@ impl SetAssocCache {
         if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.stamp = self.tick;
             line.dirty |= is_write;
-            if is_write {
-                self.stats.write_hits += 1;
-            } else {
-                self.stats.read_hits += 1;
-            }
             return AccessResult {
                 hit: true,
                 eviction: None,
             };
         }
 
-        if is_write {
-            self.stats.write_misses += 1;
-        } else {
-            self.stats.read_misses += 1;
-        }
         let eviction = self.fill_at(set, tag, is_write);
         AccessResult {
             hit: false,
             eviction,
+        }
+    }
+
+    /// Counts one access outcome into the statistics — the counting half
+    /// of [`SetAssocCache::access`].
+    pub fn count_access(&mut self, hit: bool, is_write: bool) {
+        match (hit, is_write) {
+            (true, true) => self.stats.write_hits += 1,
+            (true, false) => self.stats.read_hits += 1,
+            (false, true) => self.stats.write_misses += 1,
+            (false, false) => self.stats.read_misses += 1,
         }
     }
 

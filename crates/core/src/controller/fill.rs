@@ -1,5 +1,6 @@
 //! Staging, replacement, commit and eviction machinery (§III-E, §III-F).
 
+use super::memo::{MemoKey, Probe, MEMO_LINES};
 use super::serve::range_mask;
 use super::{BaryonController, PhysState};
 use crate::metadata::stage_entry::RangeRef;
@@ -53,12 +54,87 @@ impl BaryonController {
             self.devices.slow.access(at, addr, total_bytes - 64, false);
         }
 
-        let raw = mem.range(
-            self.geom.sub_addr(b, start),
-            cf.sub_blocks() * self.geom.sub_bytes as usize,
-        );
-        let zero = self.cfg.zero_opt && is_all_zero(&raw);
+        let zero = self.cfg.zero_opt
+            && self.range_is_zero(
+                self.geom.sub_addr(b, start),
+                cf.sub_blocks() * self.geom.sub_bytes as usize,
+                mem,
+            );
         self.stage_put(at, b, range, zero, mem);
+    }
+
+    /// Memoized per-chunk compression verdict: does the `64 * factor`-byte
+    /// chunk at `chunk_base` compress into one cacheline? This is the
+    /// atom every cacheline-aligned trial decomposes into, and the level
+    /// where memoization pays: a write invalidates only the chunks whose
+    /// lines it touched, so the other chunks of a re-tried range still hit.
+    pub(crate) fn chunk_fits_memoized(
+        &mut self,
+        chunk_base: u64,
+        factor: usize,
+        mem: &MemoryContents,
+    ) -> bool {
+        let len = 64 * factor;
+        let probe = Probe::ChunkFits {
+            factor: factor as u8,
+        };
+        let key = MemoKey::build(mem, chunk_base, len, probe);
+        if let Some(k) = &key {
+            if let Some(v) = self.memo.lookup(k) {
+                return v != 0;
+            }
+        }
+        // Render into a stack buffer: chunks are at most 4 lines.
+        let mut buf = [0u8; 256];
+        for i in 0..len / 64 {
+            buf[i * 64..(i + 1) * 64].copy_from_slice(&mem.line(chunk_base + i as u64 * 64));
+        }
+        let fits = self.rc.chunk_size(&buf[..len]) <= 64;
+        if let Some(k) = &key {
+            self.memo.insert(k, fits as u32);
+        }
+        fits
+    }
+
+    /// Memoized cacheline-aligned [`baryon_compress::RangeCompressor::fits`]:
+    /// every `64 * factor`-byte chunk of the `cf`-range at `base` must
+    /// compress into one cacheline. Identical chunking to the compressor's
+    /// own aligned mode, evaluated chunk by chunk through the memo.
+    pub(crate) fn range_fits_aligned(&mut self, base: u64, cf: Cf, mem: &MemoryContents) -> bool {
+        let chunk = 64 * cf.factor();
+        let len = cf.sub_blocks() * self.geom.sub_bytes as usize;
+        (0..len / chunk)
+            .all(|i| self.chunk_fits_memoized(base + (i * chunk) as u64, cf.factor(), mem))
+    }
+
+    /// Memoized `is_all_zero` over a rendered range, decomposed into
+    /// [`MEMO_LINES`]-line pieces so a write re-checks only the piece it
+    /// touched (versions unchanged means bytes unchanged).
+    fn range_is_zero(&mut self, base: u64, len: usize, mem: &MemoryContents) -> bool {
+        const PIECE: usize = 64 * MEMO_LINES;
+        let mut off = 0;
+        while off < len {
+            let n = PIECE.min(len - off);
+            if !self.piece_is_zero(base + off as u64, n, mem) {
+                return false;
+            }
+            off += n;
+        }
+        true
+    }
+
+    fn piece_is_zero(&mut self, base: u64, len: usize, mem: &MemoryContents) -> bool {
+        let key = MemoKey::build(mem, base, len, Probe::Zero);
+        if let Some(k) = &key {
+            if let Some(v) = self.memo.lookup(k) {
+                return v != 0;
+            }
+        }
+        let zero = (0..len / 64).all(|i| is_all_zero(&mem.line(base + i as u64 * 64)));
+        if let Some(k) = &key {
+            self.memo.insert(k, zero as u32);
+        }
+        zero
     }
 
     /// Chooses the fetch range for a demand miss: slow-copy hints first
@@ -66,7 +142,7 @@ impl BaryonController {
     /// contiguous aligned range that compresses into one slot, shrunk to
     /// avoid overlapping already-staged sub-blocks.
     pub(crate) fn choose_range(
-        &self,
+        &mut self,
         b: u64,
         sub: usize,
         existing_mask: u32,
@@ -89,11 +165,30 @@ impl BaryonController {
             }
         }
         let window = sub / 4 * 4;
-        let data = mem.range(
-            self.geom.sub_addr(b, window),
-            4 * self.geom.sub_bytes as usize,
-        );
-        let (mut cf, mut rel) = self.rc.best_range(&data, sub - window);
+        let base = self.geom.sub_addr(b, window);
+        let len = 4 * self.geom.sub_bytes as usize;
+        let pos = sub - window;
+        // `RangeCompressor::best_range`, decomposed so each trial runs
+        // through the chunk memo: CF4 over the whole window, else CF2
+        // over the aligned half holding `pos`, else CF1.
+        let (mut cf, mut rel) = if self.cfg.cacheline_aligned {
+            if self.range_fits_aligned(base, Cf::X4, mem) {
+                (Cf::X4, 0)
+            } else {
+                let half = pos / 2;
+                let half_base = base + (half * 2 * self.geom.sub_bytes as usize) as u64;
+                if self.range_fits_aligned(half_base, Cf::X2, mem) {
+                    (Cf::X2, half * 2)
+                } else {
+                    (Cf::X1, pos)
+                }
+            }
+        } else {
+            // whole_range ablation: trials span the full window, so chunk
+            // memoization does not apply — compute directly.
+            let data = mem.range(base, len);
+            self.rc.best_range(&data, pos)
+        };
         // Shrink on overlap with already-staged sub-blocks of this block.
         loop {
             let start = window + rel;
@@ -174,17 +269,19 @@ impl BaryonController {
             for covered in range.sub_off as usize..range.sub_off as usize + cf.sub_blocks() {
                 mask &= !(1 << covered);
             }
-            let raw = mem.range(
-                self.geom.sub_addr(b, range.sub_off as usize),
-                cf.sub_blocks() * self.geom.sub_bytes as usize,
-            );
-            let zero = self.cfg.zero_opt && !dirty && is_all_zero(&raw);
+            let zero = self.cfg.zero_opt
+                && !dirty
+                && self.range_is_zero(
+                    self.geom.sub_addr(b, range.sub_off as usize),
+                    cf.sub_blocks() * self.geom.sub_bytes as usize,
+                    mem,
+                );
             self.stage_put(at, b, range, zero, mem);
         }
     }
 
     /// The widest aligned CF whose whole group is in `mask` and compresses.
-    fn best_cf_for_group(&self, b: u64, s: usize, mask: u32, mem: &MemoryContents) -> Cf {
+    fn best_cf_for_group(&mut self, b: u64, s: usize, mask: u32, mem: &MemoryContents) -> Cf {
         if self.meta[b as usize].degraded {
             return Cf::X1;
         }
@@ -192,17 +289,22 @@ impl BaryonController {
             let n = cf.sub_blocks();
             let start = s / n * n;
             let group: u32 = ((1u32 << n) - 1) << start;
-            if mask & group == group {
-                let data = mem.range(
-                    self.geom.sub_addr(b, start),
-                    n * self.geom.sub_bytes as usize,
-                );
-                if self.rc.fits(&data, cf) {
-                    return cf;
-                }
+            if mask & group == group && self.fits_memoized(b, start, cf, mem) {
+                return cf;
             }
         }
         Cf::X1
+    }
+
+    /// Memoized `RangeCompressor::fits` over the group starting at
+    /// sub-block `start` of block `b`.
+    fn fits_memoized(&mut self, b: u64, start: usize, cf: Cf, mem: &MemoryContents) -> bool {
+        let base = self.geom.sub_addr(b, start);
+        if self.cfg.cacheline_aligned {
+            return self.range_fits_aligned(base, cf, mem);
+        }
+        let len = cf.sub_blocks() * self.geom.sub_bytes as usize;
+        self.rc.fits(&mem.range(base, len), cf)
     }
 
     /// Finds (or makes) a stage slot with a free sub-block slot for block
@@ -1111,7 +1213,7 @@ mod tests {
 
     #[test]
     fn choose_range_prefers_widest_compressible() {
-        let c = ctrl();
+        let mut c = ctrl();
         let m = mem(ValueProfile::Zero);
         let (start, cf, compressed) = c.choose_range(5, 2, 0, &m);
         assert_eq!(
@@ -1124,7 +1226,7 @@ mod tests {
 
     #[test]
     fn choose_range_shrinks_on_overlap() {
-        let c = ctrl();
+        let mut c = ctrl();
         let m = mem(ValueProfile::Zero);
         // Sub 1 already staged: a CF4 range over 0..4 would overlap, and so
         // would the 0..2 half; the fetch shrinks to just sub 2... which is
@@ -1160,7 +1262,7 @@ mod tests {
 
     #[test]
     fn best_cf_for_group_respects_mask_and_content() {
-        let c = ctrl();
+        let mut c = ctrl();
         let zeros = mem(ValueProfile::Zero);
         // Full mask: zeros group at CF4.
         assert_eq!(c.best_cf_for_group(9, 0, 0xFF, &zeros), Cf::X4);

@@ -9,6 +9,7 @@
 //! three-way slow swap implement §III-F.
 
 mod fill;
+mod memo;
 pub mod phase;
 mod serve;
 
@@ -179,6 +180,9 @@ pub struct BaryonController {
     pub(crate) flat_blocks: u64,
     /// Demand reads since the last metadata-scrub pass.
     pub(crate) reads_since_scrub: u64,
+    /// Version-keyed cache of compression verdicts (pure memo: never
+    /// serialized, cannot change behaviour — see [`memo::CompressMemo`]).
+    pub(crate) memo: memo::CompressMemo,
     /// Unified telemetry: span timings of the access flow (and any future
     /// controller-local metrics). Spans are off unless enabled.
     pub(crate) telemetry: Registry,
@@ -256,6 +260,7 @@ impl BaryonController {
             data_base,
             flat_blocks,
             reads_since_scrub: 0,
+            memo: memo::CompressMemo::new(),
             telemetry: Registry::new(),
             cfg,
         }
@@ -705,6 +710,10 @@ impl BaryonController {
         self.free_list = (0..n).map(|_| r.usize()).collect::<Result<_, _>>()?;
         self.reads_since_scrub = r.u64()?;
         self.telemetry = Registry::load_state(r)?;
+        // The memo would stay *correct* across a restore (its keys embed
+        // line versions), but a cold start keeps restored runs trivially
+        // equivalent to fresh ones.
+        self.memo.clear();
         Ok(())
     }
 }

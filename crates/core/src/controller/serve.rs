@@ -648,7 +648,7 @@ impl BaryonController {
     /// Does the chunk containing `sub`'s updated line still compress into
     /// its slot at the range's CF?
     pub(crate) fn chunk_still_fits(
-        &self,
+        &mut self,
         b: u64,
         r: RangeRef,
         _sub: usize,
@@ -659,16 +659,13 @@ impl BaryonController {
         }
         let range_base = self.geom.sub_addr(b, r.sub_off as usize);
         if self.cfg.cacheline_aligned {
-            // Check every chunk (cheap: chunks are small and the common case
-            // is one changed chunk; checking all keeps the model simple).
-            let chunk = 64 * r.cf.factor();
-            let data = mem.range(range_base, r.cf.sub_blocks() * self.geom.sub_bytes as usize);
-            data.chunks_exact(chunk)
-                .all(|c| self.rc.chunk_size(c) <= 64)
-        } else {
-            let data = mem.range(range_base, r.cf.sub_blocks() * self.geom.sub_bytes as usize);
-            self.rc.chunk_size(&data) <= self.geom.sub_bytes as usize
+            // Check every chunk through the chunk memo (the common case
+            // is one changed chunk; the untouched ones hit).
+            return self.range_fits_aligned(range_base, r.cf, mem);
         }
+        let len = r.cf.sub_blocks() * self.geom.sub_bytes as usize;
+        let data = mem.range(range_base, len);
+        self.rc.chunk_size(&data) <= self.geom.sub_bytes as usize
     }
 
     /// Device address of the 64 B compressed chunk holding `line` within a
@@ -818,7 +815,7 @@ mod tests {
     #[test]
     fn chunk_still_fits_tracks_content_changes() {
         let mut m = mem(ValueProfile::NarrowInt);
-        let c = ctrl();
+        let mut c = ctrl();
         let r = RangeRef {
             blk_off: 0,
             sub_off: 0,
@@ -845,7 +842,7 @@ mod tests {
     #[test]
     fn cf1_always_fits() {
         let m = mem(ValueProfile::Random);
-        let c = ctrl();
+        let mut c = ctrl();
         let r = RangeRef {
             blk_off: 0,
             sub_off: 0,

@@ -43,12 +43,28 @@ impl StageStats {
     }
 }
 
+/// Tag value of an unallocated way in the struct-of-arrays tag lane.
+/// Super-block indices are derived from physical capacity and can never
+/// reach it (asserted in [`StageArea::allocate`]).
+const NO_TAG: u64 = u64::MAX;
+
 /// The stage area tag mechanics.
+///
+/// Hot-path layout: the fields every probe touches — `tags` (one `u64`
+/// per way) and `stamps` — are flat parallel arrays indexed by
+/// `set * ways + way`, so `stage_probe` walks one contiguous cacheline-
+/// sized strip per set instead of chasing per-entry allocations. The
+/// full [`StageEntry`] payloads (range slots, FIFO cursor, MissCnt) live
+/// in the parallel `entries` lane and are only dereferenced after a tag
+/// match. The `tags` lane is maintained exclusively by
+/// [`StageArea::allocate`], [`StageArea::evict`] and
+/// [`StageArea::load_state`]; everything else reads it.
 #[derive(Debug, Clone)]
 pub struct StageArea {
     sets: usize,
     ways: usize,
     slots_per_block: usize,
+    tags: Vec<u64>,
     entries: Vec<Option<StageEntry>>,
     stamps: Vec<u64>,
     mru_miss_cnt: Vec<u16>,
@@ -73,6 +89,7 @@ impl StageArea {
             sets,
             ways,
             slots_per_block,
+            tags: vec![NO_TAG; sets * ways],
             entries: vec![None; sets * ways],
             stamps: vec![0; sets * ways],
             mru_miss_cnt: vec![0; sets],
@@ -132,21 +149,26 @@ impl StageArea {
     /// All ways in `sb`'s set currently staging super-block `sb`.
     pub fn blocks_of(&self, sb: u64) -> Vec<StageSlot> {
         let set = self.set_of(sb);
+        let base = set * self.ways;
         (0..self.ways)
-            .filter(|w| {
-                self.entries[set * self.ways + w]
-                    .as_ref()
-                    .is_some_and(|e| e.tag == sb)
-            })
+            .filter(|w| self.tags[base + w] == sb)
             .map(|way| StageSlot { set, way })
             .collect()
     }
 
     /// Finds the slot and hit info of `(sb, blk_off, sub)` if staged.
+    /// Allocation-free: probes the contiguous tag lane of `sb`'s set and
+    /// dereferences an entry only on a tag match.
     pub fn lookup(&self, sb: u64, blk_off: usize, sub: usize) -> Option<(StageSlot, SubHit)> {
-        for slot in self.blocks_of(sb) {
-            if let Some(hit) = self.entry(slot).and_then(|e| e.find(blk_off, sub)) {
-                return Some((slot, hit));
+        let set = self.set_of(sb);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            if self.tags[base + way] != sb {
+                continue;
+            }
+            let entry = self.entries[base + way].as_ref().expect("tagged way");
+            if let Some(hit) = entry.find(blk_off, sub) {
+                return Some((StageSlot { set, way }, hit));
             }
         }
         None
@@ -154,10 +176,20 @@ impl StageArea {
 
     /// The slot among `sb`'s blocks that holds ranges of `blk_off`, if any
     /// (Rule 3: a data block's staged sub-blocks live in one physical block).
+    /// Allocation-free, same probe sequence as [`StageArea::lookup`].
     pub fn block_home(&self, sb: u64, blk_off: usize) -> Option<StageSlot> {
-        self.blocks_of(sb)
-            .into_iter()
-            .find(|s| self.entry(*s).is_some_and(|e| e.has_block(blk_off)))
+        let set = self.set_of(sb);
+        let base = set * self.ways;
+        (0..self.ways).find_map(|way| {
+            if self.tags[base + way] != sb {
+                return None;
+            }
+            self.entries[base + way]
+                .as_ref()
+                .expect("tagged way")
+                .has_block(blk_off)
+                .then_some(StageSlot { set, way })
+        })
     }
 
     /// Marks `slot` most-recently-used.
@@ -170,7 +202,7 @@ impl StageArea {
     /// The LRU *allocated* way of `set`, if any entry exists.
     pub fn lru_way(&self, set: usize) -> Option<StageSlot> {
         (0..self.ways)
-            .filter(|w| self.entries[set * self.ways + w].is_some())
+            .filter(|w| self.tags[set * self.ways + w] != NO_TAG)
             .min_by_key(|w| self.stamps[set * self.ways + w])
             .map(|way| StageSlot { set, way })
     }
@@ -183,7 +215,7 @@ impl StageArea {
     /// A free (unallocated) way in `set`, if any.
     pub fn free_way(&self, set: usize) -> Option<StageSlot> {
         (0..self.ways)
-            .find(|w| self.entries[set * self.ways + w].is_none())
+            .find(|w| self.tags[set * self.ways + w] == NO_TAG)
             .map(|way| StageSlot { set, way })
     }
 
@@ -196,6 +228,8 @@ impl StageArea {
     pub fn allocate(&mut self, slot: StageSlot, sb: u64) {
         let i = self.idx(slot);
         assert!(self.entries[i].is_none(), "slot {slot:?} is occupied");
+        assert_ne!(sb, NO_TAG, "super-block index collides with NO_TAG");
+        self.tags[i] = sb;
         self.entries[i] = Some(StageEntry::new(sb, self.slots_per_block));
         self.stats.stagings += 1;
         self.touch(slot);
@@ -209,6 +243,7 @@ impl StageArea {
     pub fn evict(&mut self, slot: StageSlot) -> StageEntry {
         let i = self.idx(slot);
         self.stats.block_replacements += 1;
+        self.tags[i] = NO_TAG;
         self.entries[i]
             .take()
             .expect("evicting an empty stage slot")
@@ -249,7 +284,7 @@ impl StageArea {
     pub fn is_mru(&self, slot: StageSlot) -> bool {
         let set = slot.set;
         (0..self.ways)
-            .filter(|w| self.entries[set * self.ways + w].is_some())
+            .filter(|w| self.tags[set * self.ways + w] != NO_TAG)
             .max_by_key(|w| self.stamps[set * self.ways + w])
             == Some(slot.way)
     }
@@ -257,7 +292,7 @@ impl StageArea {
     /// Iterates all allocated slots (for drain/inspection).
     pub fn occupied_slots(&self) -> Vec<StageSlot> {
         (0..self.sets * self.ways)
-            .filter(|i| self.entries[*i].is_some())
+            .filter(|i| self.tags[*i] != NO_TAG)
             .map(|i| StageSlot {
                 set: i / self.ways,
                 way: i % self.ways,
@@ -316,9 +351,12 @@ impl StageArea {
         if n != self.entries.len() {
             return Err(WireError::BadLength(n as u64));
         }
-        for entry in &mut self.entries {
-            *entry = if r.opt()? {
+        for i in 0..self.entries.len() {
+            self.entries[i] = if r.opt()? {
                 let tag = r.u64()?;
+                if tag == NO_TAG {
+                    return Err(WireError::BadTag(0xFF));
+                }
                 let slots = r.seq()?;
                 if slots != self.slots_per_block {
                     return Err(WireError::BadLength(slots as u64));
@@ -333,8 +371,10 @@ impl StageArea {
                     .collect::<Result<_, _>>()?;
                 e.fifo = r.u8()?;
                 e.miss_cnt = r.u16()?;
+                self.tags[i] = tag;
                 Some(e)
             } else {
+                self.tags[i] = NO_TAG;
                 None
             };
         }

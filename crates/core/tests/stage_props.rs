@@ -5,7 +5,7 @@
 
 use baryon_compress::Cf;
 use baryon_core::metadata::stage_entry::RangeRef;
-use baryon_core::stage::StageArea;
+use baryon_core::stage::{StageArea, StageSlot};
 use baryon_sim::check::{props, Gen};
 
 #[derive(Debug, Clone)]
@@ -163,6 +163,201 @@ fn aging_halves_counters() {
         let agings = accesses / 16;
         let expected = before >> agings.min(15);
         assert_eq!(area.mru_miss_cnt(0), expected);
+    });
+}
+
+/// A naive reference model of the stage area for the differential
+/// property below: one record per (set, way), no tag lane, every query
+/// recomputed from first principles. The struct-of-arrays refactor keeps
+/// a separate `tags` lane beside the entry array; this model pins the
+/// invariant that the lane is always an exact projection of the entries.
+struct Model {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<(u64, Vec<RangeRef>)>>,
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl Model {
+    fn new(sets: usize, ways: usize) -> Self {
+        Model {
+            sets,
+            ways,
+            slots: (0..sets * ways).map(|_| None).collect(),
+            stamps: vec![0; sets * ways],
+            tick: 0,
+        }
+    }
+
+    fn idx(&self, s: StageSlot) -> usize {
+        s.set * self.ways + s.way
+    }
+
+    fn touch(&mut self, s: StageSlot) {
+        self.tick += 1;
+        let i = self.idx(s);
+        self.stamps[i] = self.tick;
+    }
+
+    fn allocate(&mut self, s: StageSlot, sb: u64) {
+        let i = self.idx(s);
+        assert!(self.slots[i].is_none());
+        self.slots[i] = Some((sb, Vec::new()));
+        self.touch(s);
+    }
+
+    fn evict(&mut self, s: StageSlot) -> u64 {
+        let i = self.idx(s);
+        self.slots[i].take().expect("occupied").0
+    }
+
+    fn free_way(&self, set: usize) -> Option<StageSlot> {
+        (0..self.ways)
+            .find(|w| self.slots[set * self.ways + w].is_none())
+            .map(|way| StageSlot { set, way })
+    }
+
+    fn lru_way(&self, set: usize) -> Option<StageSlot> {
+        (0..self.ways)
+            .filter(|w| self.slots[set * self.ways + w].is_some())
+            .min_by_key(|w| self.stamps[set * self.ways + w])
+            .map(|way| StageSlot { set, way })
+    }
+
+    fn mru_way(&self, set: usize) -> Option<StageSlot> {
+        (0..self.ways)
+            .filter(|w| self.slots[set * self.ways + w].is_some())
+            .max_by_key(|w| self.stamps[set * self.ways + w])
+            .map(|way| StageSlot { set, way })
+    }
+
+    fn blocks_of(&self, sb: u64) -> Vec<StageSlot> {
+        let set = (sb % self.sets as u64) as usize;
+        (0..self.ways)
+            .filter(|w| {
+                self.slots[set * self.ways + w]
+                    .as_ref()
+                    .is_some_and(|(tag, _)| *tag == sb)
+            })
+            .map(|way| StageSlot { set, way })
+            .collect()
+    }
+
+    fn lookup(&self, sb: u64, blk: usize, sub: usize) -> Option<(StageSlot, Cf)> {
+        let set = (sb % self.sets as u64) as usize;
+        for way in 0..self.ways {
+            let Some((tag, ranges)) = self.slots[set * self.ways + way].as_ref() else {
+                continue;
+            };
+            if *tag != sb {
+                continue;
+            }
+            if let Some(r) = ranges.iter().find(|r| r.covers(blk, sub)) {
+                return Some((StageSlot { set, way }, r.cf));
+            }
+        }
+        None
+    }
+
+    fn block_home(&self, sb: u64, blk: usize) -> Option<StageSlot> {
+        let set = (sb % self.sets as u64) as usize;
+        (0..self.ways)
+            .find(|w| {
+                self.slots[set * self.ways + w]
+                    .as_ref()
+                    .is_some_and(|(tag, ranges)| {
+                        *tag == sb && ranges.iter().any(|r| r.blk_off as usize == blk)
+                    })
+            })
+            .map(|way| StageSlot { set, way })
+    }
+
+    fn occupied_slots(&self) -> Vec<StageSlot> {
+        (0..self.sets * self.ways)
+            .filter(|i| self.slots[*i].is_some())
+            .map(|i| StageSlot {
+                set: i / self.ways,
+                way: i % self.ways,
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn stage_area_matches_naive_model() {
+    props("stage_soa_vs_model").cases(48).run(|g| {
+        let sets = g.usize_range(2, 8);
+        let ways = g.usize_range(1, 4);
+        g.note(format!("{sets} sets x {ways} ways"));
+        let mut area = StageArea::new(sets, ways, 8, 100);
+        let mut model = Model::new(sets, ways);
+        let sb_universe = (sets * ways * 2) as u64;
+
+        for _ in 0..g.usize_range(40, 400) {
+            let sb = g.u64() % sb_universe;
+            let set = area.set_of(sb);
+            match g.choice(5) {
+                0 | 1 => {
+                    assert_eq!(area.free_way(set), model.free_way(set));
+                    if let Some(slot) = area.free_way(set) {
+                        area.allocate(slot, sb);
+                        model.allocate(slot, sb);
+                    }
+                }
+                2 => {
+                    let occ = model.occupied_slots();
+                    if !occ.is_empty() {
+                        let slot = occ[g.choice(occ.len())];
+                        area.touch(slot);
+                        model.touch(slot);
+                    }
+                }
+                3 => {
+                    // Evict the LRU of the set, as the controller does.
+                    assert_eq!(area.lru_way(set), model.lru_way(set));
+                    if let Some(slot) = area.lru_way(set) {
+                        let entry = area.evict(slot);
+                        assert_eq!(entry.tag, model.evict(slot), "evicted wrong tag");
+                    }
+                }
+                _ => {
+                    // Stage a range into a random block of this super-block.
+                    if let Some(&slot) = model.blocks_of(sb).first() {
+                        let cf = [Cf::X1, Cf::X2, Cf::X4][g.choice(3)];
+                        let r = RangeRef {
+                            blk_off: g.u8() % 8,
+                            sub_off: (g.u8() % 8) / cf.sub_blocks() as u8 * cf.sub_blocks() as u8,
+                            cf,
+                            dirty: g.bool(),
+                        };
+                        let e = area.entry_mut(slot).expect("occupied");
+                        if let Some(free) = e.free_slot() {
+                            e.slots[free] = Some(r);
+                            let i = model.idx(slot);
+                            model.slots[i].as_mut().expect("occupied").1.push(r);
+                        }
+                    }
+                }
+            }
+
+            // Cross-check every query the hot path relies on.
+            let blk = g.u8() as usize % 8;
+            let sub = g.u8() as usize % 8;
+            assert_eq!(
+                area.lookup(sb, blk, sub).map(|(s, h)| (s, h.cf)),
+                model.lookup(sb, blk, sub),
+                "lookup(sb={sb}, blk={blk}, sub={sub})"
+            );
+            assert_eq!(area.block_home(sb, blk), model.block_home(sb, blk));
+            assert_eq!(area.blocks_of(sb), model.blocks_of(sb));
+            assert_eq!(area.free_way(set), model.free_way(set));
+            assert_eq!(area.lru_way(set), model.lru_way(set));
+            if let Some(mru) = model.mru_way(set) {
+                assert!(area.is_mru(mru), "model MRU not MRU in area");
+            }
+            assert_eq!(area.occupied_slots(), model.occupied_slots());
+        }
     });
 }
 

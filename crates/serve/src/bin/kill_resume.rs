@@ -53,6 +53,7 @@ fn gate_spec() -> RunSpec {
         seed: 7,
         mlp: 1,
         telemetry: false,
+        threads: 1,
     }
 }
 

@@ -118,6 +118,7 @@ fn served_result_is_byte_identical_to_direct_run() {
         seed: 7,
         mlp: 1,
         telemetry: false,
+        threads: 1,
     };
     let direct = spec.execute().expect("spec runs").to_json().render();
     assert_eq!(served, direct, "served result diverged from direct run");

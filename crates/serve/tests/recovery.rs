@@ -82,6 +82,7 @@ fn quick_spec() -> RunSpec {
         seed: 5,
         mlp: 1,
         telemetry: false,
+        threads: 1,
     }
 }
 

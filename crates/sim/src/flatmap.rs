@@ -1,0 +1,333 @@
+//! A flat, open-addressed hash map for `u64` keys.
+//!
+//! The simulator's hottest lookups (per-line write versions, controller
+//! side tables) are integer-keyed and latency-bound: `std::HashMap`'s
+//! SipHash plus pointer-chasing buckets cost more than the lookup's
+//! useful work. [`OpenMap`] stores control bytes, keys and values in
+//! three parallel arrays (struct-of-arrays), probes linearly from a
+//! Fibonacci-hashed start slot, and deletes with tombstones, so a probe
+//! touches contiguous memory and resolves in a handful of cycles.
+//!
+//! Iteration order is *table order* (insertion/probe dependent), not
+//! sorted: callers that serialize must sort, exactly as they already do
+//! for `std::HashMap`.
+
+/// Multiplicative (Fibonacci) hashing constant: `2^64 / phi`, odd.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+const EMPTY: u8 = 0;
+const FULL: u8 = 1;
+const TOMB: u8 = 2;
+
+/// Minimum capacity (power of two).
+const MIN_CAP: usize = 16;
+
+/// An open-addressed, linear-probe hash map from `u64` to `V`.
+///
+/// # Examples
+///
+/// ```
+/// use baryon_sim::flatmap::OpenMap;
+///
+/// let mut m: OpenMap<u32> = OpenMap::new();
+/// m.insert(7, 1);
+/// *m.entry_or_default(7) += 1;
+/// assert_eq!(m.get(7), Some(&2));
+/// assert_eq!(m.remove(7), Some(2));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenMap<V> {
+    ctrl: Vec<u8>,
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    len: usize,
+    /// Occupied-or-tombstone slots (bounds the probe load factor).
+    used: usize,
+}
+
+impl<V: Copy + Default> Default for OpenMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy + Default> OpenMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        OpenMap {
+            ctrl: vec![EMPTY; MIN_CAP],
+            keys: vec![0; MIN_CAP],
+            vals: vec![V::default(); MIN_CAP],
+            len: 0,
+            used: 0,
+        }
+    }
+
+    /// Creates an empty map that can hold `n` entries without resizing.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n * 8 / 7 + 1).next_power_of_two().max(MIN_CAP);
+        OpenMap {
+            ctrl: vec![EMPTY; cap],
+            keys: vec![0; cap],
+            vals: vec![V::default(); cap],
+            len: 0,
+            used: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn start_slot(&self, key: u64) -> usize {
+        // Fibonacci hashing: multiply spreads consecutive keys across the
+        // table; the high bits index it (the table is a power of two).
+        let h = key.wrapping_mul(FIB);
+        (h >> (64 - self.ctrl.len().trailing_zeros())) as usize
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start_slot(key);
+        loop {
+            match self.ctrl[i] {
+                EMPTY => return None,
+                FULL if self.keys[i] == key => return Some(&self.vals[i]),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Looks a key up, returning a copy (hot-path convenience).
+    pub fn get_copied(&self, key: u64) -> Option<V> {
+        self.get(key).copied()
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start_slot(key);
+        loop {
+            match self.ctrl[i] {
+                EMPTY => return None,
+                FULL if self.keys[i] == key => return Some(&mut self.vals[i]),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts or replaces, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        self.reserve_one();
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start_slot(key);
+        let mut first_tomb = None;
+        loop {
+            match self.ctrl[i] {
+                EMPTY => {
+                    let slot = first_tomb.unwrap_or(i);
+                    if first_tomb.is_none() {
+                        self.used += 1;
+                    }
+                    self.ctrl[slot] = FULL;
+                    self.keys[slot] = key;
+                    self.vals[slot] = value;
+                    self.len += 1;
+                    return None;
+                }
+                FULL if self.keys[i] == key => {
+                    return Some(std::mem::replace(&mut self.vals[i], value));
+                }
+                TOMB => {
+                    first_tomb.get_or_insert(i);
+                    i = (i + 1) & mask;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Returns a mutable reference to the key's value, inserting
+    /// `V::default()` first if absent (the `HashMap::entry().or_default()`
+    /// idiom, without the allocation-heavy entry machinery).
+    pub fn entry_or_default(&mut self, key: u64) -> &mut V {
+        if self.get(key).is_none() {
+            self.insert(key, V::default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start_slot(key);
+        loop {
+            match self.ctrl[i] {
+                EMPTY => return None,
+                FULL if self.keys[i] == key => {
+                    self.ctrl[i] = TOMB;
+                    self.len -= 1;
+                    return Some(self.vals[i]);
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Drops every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.ctrl.fill(EMPTY);
+        self.len = 0;
+        self.used = 0;
+    }
+
+    /// Iterates `(key, &value)` in table order (NOT sorted — sort before
+    /// serializing).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.ctrl
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == FULL)
+            .map(|(i, _)| (self.keys[i], &self.vals[i]))
+    }
+
+    /// Grows (or compacts tombstones) so one more slot is guaranteed.
+    fn reserve_one(&mut self) {
+        // Keep used (full + tombstone) slots under 7/8 so probes stay
+        // short and always terminate on an EMPTY slot.
+        if (self.used + 1) * 8 < self.ctrl.len() * 7 {
+            return;
+        }
+        // Grow when genuinely full; rehash in place (dropping tombstones)
+        // when churn, not growth, filled the table.
+        let cap = if (self.len + 1) * 8 >= self.ctrl.len() * 7 {
+            self.ctrl.len() * 2
+        } else {
+            self.ctrl.len()
+        };
+        let old_ctrl = std::mem::replace(&mut self.ctrl, vec![EMPTY; cap]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); cap]);
+        self.len = 0;
+        self.used = 0;
+        let mask = cap - 1;
+        for (i, c) in old_ctrl.into_iter().enumerate() {
+            if c != FULL {
+                continue;
+            }
+            // Fresh table has no tombstones: place at the first empty.
+            let mut j = self.start_slot(old_keys[i]);
+            while self.ctrl[j] == FULL {
+                j = (j + 1) & mask;
+            }
+            self.ctrl[j] = FULL;
+            self.keys[j] = old_keys[i];
+            self.vals[j] = old_vals[i];
+            self.len += 1;
+            self.used += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: OpenMap<u64> = OpenMap::new();
+        for k in 0..100u64 {
+            assert_eq!(m.insert(k * 7, k), None);
+        }
+        assert_eq!(m.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(m.get(k * 7), Some(&k));
+        }
+        assert_eq!(m.get(1), None);
+        for k in 0..50u64 {
+            assert_eq!(m.remove(k * 7), Some(k));
+        }
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.remove(0), None);
+        for k in 50..100u64 {
+            assert_eq!(m.get(k * 7), Some(&k));
+        }
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut m: OpenMap<u32> = OpenMap::new();
+        assert_eq!(m.insert(3, 10), None);
+        assert_eq!(m.insert(3, 20), Some(10));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(3), Some(&20));
+    }
+
+    #[test]
+    fn entry_or_default_counts() {
+        let mut m: OpenMap<u32> = OpenMap::new();
+        for _ in 0..3 {
+            *m.entry_or_default(9) += 1;
+        }
+        assert_eq!(m.get(9), Some(&3));
+    }
+
+    #[test]
+    fn tombstone_churn_stays_bounded() {
+        // Insert/remove the same keys far more times than the capacity:
+        // tombstone rehashing must keep probes terminating.
+        let mut m: OpenMap<u32> = OpenMap::new();
+        for round in 0..1000u64 {
+            m.insert(round % 8, round as u32);
+            m.remove(round % 8);
+        }
+        assert!(m.is_empty());
+        assert!(m.ctrl.len() <= 64, "churn must not grow the table");
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: OpenMap<u32> = OpenMap::with_capacity(4);
+        for k in 0..10_000u64 {
+            m.insert(k.wrapping_mul(0x1234_5678_9ABC_DEF1), k as u32);
+        }
+        assert_eq!(m.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(
+                m.get(k.wrapping_mul(0x1234_5678_9ABC_DEF1)),
+                Some(&(k as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn iter_yields_every_entry_once() {
+        let mut m: OpenMap<u32> = OpenMap::new();
+        for k in 0..500u64 {
+            m.insert(k, (k * 2) as u32);
+        }
+        let mut seen: Vec<(u64, u32)> = m.iter().map(|(k, v)| (k, *v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 500);
+        for (i, (k, v)) in seen.into_iter().enumerate() {
+            assert_eq!((k, v), (i as u64, i as u32 * 2));
+        }
+    }
+
+    #[test]
+    fn zero_key_is_a_normal_key() {
+        let mut m: OpenMap<u32> = OpenMap::new();
+        m.insert(0, 42);
+        assert_eq!(m.get(0), Some(&42));
+        assert_eq!(m.remove(0), Some(42));
+        assert_eq!(m.get(0), None);
+    }
+}

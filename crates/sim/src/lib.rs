@@ -26,6 +26,7 @@
 //! ```
 
 pub mod check;
+pub mod flatmap;
 pub mod histogram;
 pub mod json;
 pub mod rng;

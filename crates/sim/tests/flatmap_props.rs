@@ -1,0 +1,77 @@
+//! Model-based property tests for [`baryon_sim::flatmap::OpenMap`]: a
+//! random operation sequence is applied to both the open-addressed map
+//! and `std::collections::HashMap`, and every return value plus the
+//! final contents must agree. Keys are drawn from a deliberately small
+//! universe so probe chains collide, removals leave tombstones that
+//! later inserts must reuse, and long sequences cross several resize
+//! boundaries.
+
+use baryon_sim::check::props;
+use baryon_sim::flatmap::OpenMap;
+use std::collections::HashMap;
+
+#[test]
+fn openmap_matches_hashmap_model() {
+    props("openmap_vs_hashmap").cases(64).run(|g| {
+        let mut map: OpenMap<u64> = OpenMap::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let key_bits = g.usize_range(3, 8); // 8..=256 distinct keys
+        let ops = g.usize_range(50, 2_000);
+        g.note(format!("{ops} ops over {} keys", 1u64 << key_bits));
+        for _ in 0..ops {
+            let key = g.u64() & ((1 << key_bits) - 1);
+            match g.choice(6) {
+                // Insert dominates so the map actually grows.
+                0 | 1 => {
+                    let v = g.u64();
+                    assert_eq!(map.insert(key, v), model.insert(key, v), "insert {key}");
+                }
+                2 => assert_eq!(map.remove(key), model.remove(&key), "remove {key}"),
+                3 => assert_eq!(map.get(key).copied(), model.get(&key).copied(), "get {key}"),
+                4 => {
+                    let v = map.entry_or_default(key);
+                    let mv = model.entry(key).or_default();
+                    assert_eq!(*v, *mv, "entry_or_default {key}");
+                    *v += 1;
+                    *mv += 1;
+                }
+                _ => {
+                    if let Some(v) = map.get_mut(key) {
+                        *v ^= 0x9e37;
+                    }
+                    if let Some(mv) = model.get_mut(&key) {
+                        *mv ^= 0x9e37;
+                    }
+                    assert_eq!(map.get_copied(key), model.get(&key).copied());
+                }
+            }
+            assert_eq!(map.len(), model.len());
+        }
+        let mut got: Vec<(u64, u64)> = map.iter().map(|(k, v)| (k, *v)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "final contents diverged");
+    });
+}
+
+#[test]
+fn openmap_survives_tombstone_churn() {
+    // Insert/remove the same small key set far more times than the table
+    // has slots: if tombstones were never reused or miscounted, the table
+    // would either grow without bound or lose entries.
+    props("openmap_tombstone_churn").cases(16).run(|g| {
+        let mut map: OpenMap<u64> = OpenMap::new();
+        let keys: Vec<u64> = (0..g.u64() % 12 + 4).collect();
+        for round in 0..500u64 {
+            for &k in &keys {
+                assert!(map.insert(k, round).is_none());
+            }
+            for &k in &keys {
+                assert_eq!(map.remove(k), Some(round));
+            }
+        }
+        assert!(map.is_empty());
+        assert_eq!(map.iter().count(), 0);
+    });
+}

@@ -10,9 +10,9 @@
 //!   written data drifts (each profile has a *dirty entropy* giving the
 //!   probability a rewritten line degenerates to incompressible bytes).
 
+use baryon_sim::flatmap::OpenMap;
 use baryon_sim::rng::mix64;
 use baryon_sim::wire::{Reader, WireError, Writer};
-use std::collections::HashMap;
 
 /// Bytes per cacheline.
 pub const LINE_BYTES: u64 = 64;
@@ -153,7 +153,8 @@ impl ProfileMix {
 pub struct MemoryContents {
     mix: ProfileMix,
     seed: u64,
-    versions: HashMap<u64, u32>,
+    salt: u64,
+    versions: OpenMap<u32>,
 }
 
 impl MemoryContents {
@@ -164,11 +165,48 @@ impl MemoryContents {
     /// Panics if the mix has zero total weight.
     pub fn new(mix: ProfileMix, seed: u64) -> Self {
         assert!(mix.total() > 0.0, "profile mix must have positive weight");
+        let mut salt = mix64(seed, 0x5A17);
+        for (_, weight) in mix.entries() {
+            salt = mix64(salt, weight.to_bits());
+        }
         MemoryContents {
             mix,
             seed,
-            versions: HashMap::new(),
+            salt,
+            versions: OpenMap::new(),
         }
+    }
+
+    /// A value identifying this content model (seed and profile mix, the
+    /// immutable inputs of [`MemoryContents::line`]). Two contents with
+    /// the same salt and the same per-line versions render identical
+    /// bytes, which is what lets controllers memoize compression verdicts
+    /// keyed by `(salt, address, versions)` instead of re-rendering.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Writes the versions of the `len / 64` lines starting at
+    /// line-aligned `addr` into `out`, returning the line count, or
+    /// `None` if the range spans more lines than `out` holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `len` is not 64 B aligned.
+    pub fn versions_into(&self, addr: u64, len: usize, out: &mut [u32]) -> Option<usize> {
+        assert!(
+            addr.is_multiple_of(LINE_BYTES) && (len as u64).is_multiple_of(LINE_BYTES),
+            "range must be line-aligned"
+        );
+        let lines = len / LINE_BYTES as usize;
+        if lines > out.len() {
+            return None;
+        }
+        let first = addr / LINE_BYTES;
+        for (i, slot) in out.iter_mut().enumerate().take(lines) {
+            *slot = self.versions.get_copied(first + i as u64).unwrap_or(0);
+        }
+        Some(lines)
     }
 
     /// The profile of the 2 kB block containing `addr`.
@@ -178,15 +216,12 @@ impl MemoryContents {
 
     /// Current version of the line containing `addr` (0 if never written).
     pub fn version_of(&self, addr: u64) -> u32 {
-        self.versions
-            .get(&(addr / LINE_BYTES))
-            .copied()
-            .unwrap_or(0)
+        self.versions.get_copied(addr / LINE_BYTES).unwrap_or(0)
     }
 
     /// Records a write to the line containing `addr`, bumping its version.
     pub fn write_line(&mut self, addr: u64) {
-        *self.versions.entry(addr / LINE_BYTES).or_insert(0) += 1;
+        *self.versions.entry_or_default(addr / LINE_BYTES) += 1;
     }
 
     /// Number of lines ever written (for memory-usage introspection).
@@ -198,7 +233,7 @@ impl MemoryContents {
     /// and seed are rebuilt from the workload definition on restore). The
     /// map is written in sorted line order so the byte stream is canonical.
     pub fn save_state(&self, w: &mut Writer) {
-        let mut lines: Vec<(u64, u32)> = self.versions.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut lines: Vec<(u64, u32)> = self.versions.iter().map(|(k, v)| (k, *v)).collect();
         lines.sort_unstable();
         w.seq(lines.len());
         for (line, version) in lines {
@@ -241,12 +276,29 @@ impl MemoryContents {
             "range must be line-aligned"
         );
         let mut out = Vec::with_capacity(len);
+        self.range_into(addr, len, &mut out);
+        out
+    }
+
+    /// Assembles `len` bytes starting at line-aligned `addr` into a
+    /// caller-provided buffer (cleared first), so hot paths can reuse one
+    /// allocation across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `len` is not 64 B aligned.
+    pub fn range_into(&self, addr: u64, len: usize, out: &mut Vec<u8>) {
+        assert!(
+            addr.is_multiple_of(LINE_BYTES) && (len as u64).is_multiple_of(LINE_BYTES),
+            "range must be line-aligned"
+        );
+        out.clear();
+        out.reserve(len);
         let mut a = addr;
         while out.len() < len {
             out.extend_from_slice(&self.line(a));
             a += LINE_BYTES;
         }
-        out
     }
 }
 

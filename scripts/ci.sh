@@ -46,12 +46,27 @@ cargo test -q -p baryon-core --offline --test chaos_faults
 echo "==> serve kill-and-resume gate"
 cargo run --release -p baryon-serve --bin kill_resume --offline
 
-# Telemetry overhead gate: the sim-throughput harness runs a small
-# workload matrix twice (spans off / spans on) and fails when enabling
-# telemetry costs more than 5% aggregate wall-clock (override with
-# BARYON_BENCH_MAX_OVERHEAD_PCT). It also refreshes the profiling
-# document BENCH_sim_throughput.json at the repository root.
-echo "==> bench: sim-throughput (telemetry overhead gate)"
+# Determinism gate: the `threads` knob is a pure host-side throughput
+# lever. Runs with 8 worker threads must be byte-identical to the
+# single-threaded run — full result JSON and non-span telemetry — and a
+# checkpoint cut inside a parallel run must resume to the same bytes.
+echo "==> parallel determinism gate (threads 1 vs 8)"
+cargo test -q -p baryon-bench --release --offline --test parallel_determinism
+
+# Hot-path oracle: every controller on every registry workload must hash
+# to the goldens blessed before the data-oriented refactor. Any
+# behaviour drift in the arena/memo/SoA structures fails here first.
+echo "==> differential golden gate (9 controllers x 17 workloads)"
+cargo test -q -p baryon-bench --release --offline --test differential_golden
+
+# Throughput + telemetry overhead gate: the sim-throughput harness runs
+# a small workload matrix twice (spans off / spans on) and fails when
+# enabling telemetry costs more than 5% aggregate wall-clock (override
+# with BARYON_BENCH_MAX_OVERHEAD_PCT) or when any workload drops below
+# its per-workload ops/sec regression floor (scale the floors with
+# BARYON_BENCH_FLOOR_SCALE on slow hosts). It also refreshes the
+# profiling document BENCH_sim_throughput.json at the repository root.
+echo "==> bench: sim-throughput (regression floors + telemetry overhead gate)"
 cargo run --release -p baryon-bench --bin sim_throughput --offline
 
 echo "==> OK"
