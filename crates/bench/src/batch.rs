@@ -1,0 +1,165 @@
+//! Deterministic scatter/gather planning for fleet grid sweeps.
+//!
+//! A [`crate::spec::GridSpec`] submitted to a fleet coordinator is split
+//! into its row-major cells and scattered across N worker shards; results
+//! come back whenever shards finish them, and the gather step reassembles
+//! the exact `{"results": [...]}` document a single-process
+//! [`crate::spec::JobSpec::execute`] would have produced. The plan is
+//! pure data — which cell goes where is fixed by `(cell index, shard
+//! count)` alone — so the same sweep always scatters the same way and the
+//! gathered document is byte-identical no matter which shards finished
+//! first, crashed, or were restarted along the way.
+
+use crate::spec::{GridSpec, RunSpec};
+use baryon_sim::json::Json;
+
+/// One scattered cell: its position in the grid's row-major order (which
+/// fixes its slot in the gathered document) and the shard that executes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedCell {
+    /// Row-major cell index within the grid.
+    pub index: usize,
+    /// The shard assigned to execute this cell.
+    pub shard: usize,
+    /// The fully-expanded run.
+    pub spec: RunSpec,
+}
+
+/// The deterministic scatter of a grid across `shards` workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Every cell, in row-major grid order.
+    pub cells: Vec<PlannedCell>,
+    /// Number of shards the plan scatters over.
+    pub shards: usize,
+}
+
+impl BatchPlan {
+    /// Scatters `grid` across `shards` workers: cell `i` goes to shard
+    /// `i % shards` (round-robin keeps the load within one cell of even,
+    /// and the assignment is a pure function of the plan inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn scatter(grid: &GridSpec, shards: usize) -> BatchPlan {
+        assert!(shards > 0, "cannot scatter over zero shards");
+        let cells = grid
+            .expand()
+            .into_iter()
+            .enumerate()
+            .map(|(index, spec)| PlannedCell {
+                index,
+                shard: index % shards,
+                spec,
+            })
+            .collect();
+        BatchPlan { cells, shards }
+    }
+
+    /// The cells assigned to one shard, in row-major order.
+    pub fn cells_for(&self, shard: usize) -> impl Iterator<Item = &PlannedCell> {
+        self.cells.iter().filter(move |c| c.shard == shard)
+    }
+
+    /// Reassembles per-cell result documents (indexed row-major, i.e.
+    /// `results[i]` is cell `i`'s document) into the grid job's result:
+    /// `{"results": [...]}` — byte-identical to a single-process
+    /// [`crate::spec::JobSpec::execute`] of the same grid.
+    ///
+    /// # Errors
+    ///
+    /// Names the first cell still missing a result.
+    pub fn gather(&self, results: Vec<Option<Json>>) -> Result<Json, String> {
+        if results.len() != self.cells.len() {
+            return Err(format!(
+                "gather got {} slots for {} cells",
+                results.len(),
+                self.cells.len()
+            ));
+        }
+        let mut out = Vec::with_capacity(results.len());
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot {
+                Some(doc) => out.push(doc),
+                None => {
+                    let cell = &self.cells[i];
+                    return Err(format!(
+                        "cell {i} ({} / {}) has no result",
+                        cell.spec.workload, cell.spec.controller
+                    ));
+                }
+            }
+        }
+        Ok(Json::obj([("results", Json::Arr(out))]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+
+    fn grid() -> GridSpec {
+        GridSpec {
+            workloads: vec!["ycsb-a".into(), "pr.twi".into()],
+            controllers: vec!["simple".into(), "dice".into(), "unison".into()],
+            base: RunSpec {
+                insts: 2_000,
+                warmup: 500,
+                scale: 2048,
+                ..RunSpec::default()
+            },
+        }
+    }
+
+    #[test]
+    fn scatter_is_round_robin_and_total() {
+        let plan = BatchPlan::scatter(&grid(), 3);
+        assert_eq!(plan.cells.len(), 6);
+        let shards: Vec<usize> = plan.cells.iter().map(|c| c.shard).collect();
+        assert_eq!(shards, [0, 1, 2, 0, 1, 2]);
+        // Cells keep row-major order and match the grid expansion.
+        let expanded = grid().expand();
+        for (i, cell) in plan.cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.spec, expanded[i]);
+        }
+        // Per-shard views partition the plan.
+        let total: usize = (0..3).map(|s| plan.cells_for(s).count()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn scatter_uneven_shard_counts_stay_balanced() {
+        let plan = BatchPlan::scatter(&grid(), 4);
+        let counts: Vec<usize> = (0..4).map(|s| plan.cells_for(s).count()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 6);
+        assert!(counts.iter().all(|&c| c == 1 || c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn gather_matches_single_process_grid_execute() {
+        let g = grid();
+        let golden = JobSpec::Grid(g.clone()).execute().expect("grid runs");
+        let plan = BatchPlan::scatter(&g, 3);
+        // Execute cells out of order (as shards would) and gather.
+        let mut slots: Vec<Option<Json>> = vec![None; plan.cells.len()];
+        for cell in plan.cells.iter().rev() {
+            slots[cell.index] = Some(cell.spec.execute().expect("cell runs").to_json());
+        }
+        let gathered = plan.gather(slots).expect("complete");
+        assert_eq!(gathered.render(), golden.render());
+    }
+
+    #[test]
+    fn gather_reports_missing_cells() {
+        let plan = BatchPlan::scatter(&grid(), 2);
+        let mut slots: Vec<Option<Json>> = vec![Some(Json::Null); plan.cells.len()];
+        slots[4] = None;
+        let err = plan.gather(slots).expect_err("missing cell");
+        assert!(err.contains("cell 4"), "{err}");
+        let err = plan.gather(vec![]).expect_err("wrong arity");
+        assert!(err.contains("0 slots"), "{err}");
+    }
+}

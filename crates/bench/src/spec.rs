@@ -11,7 +11,7 @@
 use baryon_core::checkpoint::{Checkpoint, RestoreError};
 use baryon_core::config::BaryonConfig;
 use baryon_core::metrics::RunResult;
-use baryon_core::system::{ControllerKind, System, SystemConfig};
+use baryon_core::system::{ControllerKind, RunProgress, System, SystemConfig};
 use baryon_sim::json::{parse, Json};
 use baryon_sim::wire::{Reader, Writer};
 use baryon_workloads::{by_name, Scale};
@@ -279,15 +279,45 @@ impl RunSpec {
         every: u64,
         keep: usize,
     ) -> Result<RunResult, String> {
+        self.execute_observed(every, Some((dir, keep)), &mut |_| {})
+    }
+
+    /// Runs the spec to completion incrementally, invoking `observe` with
+    /// a [`RunProgress`] snapshot every `every` trace operations (and once
+    /// more when the run completes). When `checkpoints` is
+    /// `Some((dir, keep))`, a rotating checkpoint is also written at each
+    /// step. Observation and checkpointing only watch the run — the
+    /// result is bit-identical to [`RunSpec::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RunSpec::validate`] error, or an I/O error message
+    /// if a checkpoint cannot be written.
+    pub fn execute_observed(
+        &self,
+        every: u64,
+        checkpoints: Option<(&Path, usize)>,
+        observe: &mut dyn FnMut(RunProgress),
+    ) -> Result<RunResult, String> {
         let every = every.max(1);
         let mut system = self.build_system()?;
         system.begin(self.insts);
-        while !system.advance(every) {
-            self.checkpoint_of(&system)
-                .save_rotating(dir, CHECKPOINT_PREFIX, keep)
-                .map_err(|e| format!("cannot write checkpoint into {}: {e}", dir.display()))?;
+        loop {
+            let done = system.advance(every);
+            if let Some((dir, keep)) = checkpoints {
+                if !done {
+                    self.checkpoint_of(&system)
+                        .save_rotating(dir, CHECKPOINT_PREFIX, keep)
+                        .map_err(|e| {
+                            format!("cannot write checkpoint into {}: {e}", dir.display())
+                        })?;
+                }
+            }
+            observe(system.run_progress().expect("run in progress"));
+            if done {
+                return Ok(system.finish());
+            }
         }
-        Ok(system.finish())
     }
 }
 

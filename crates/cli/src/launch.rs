@@ -1,0 +1,142 @@
+//! Typed launch failures for the serving commands.
+//!
+//! `serve` and `fleet` are the two commands that acquire host resources
+//! (a TCP port, worker-shard processes) before doing anything useful.
+//! Their failures are classified into [`LaunchError`] so scripts can
+//! branch on the exit code instead of grepping stderr:
+//!
+//! * exit [`BIND_EXIT`] (3) — the coordinator/server port could not be
+//!   bound (taken, privileged, or unroutable);
+//! * exit [`SPAWN_EXIT`] (4) — worker shards could not be spawned or
+//!   never announced their address.
+//!
+//! (Exit 2 remains the argument-shape error, exit 1 a runtime failure
+//! after a successful launch.)
+
+use std::io;
+use std::process::ExitCode;
+
+/// Exit status for a failed port bind.
+pub const BIND_EXIT: u8 = 3;
+/// Exit status for a failed shard spawn.
+pub const SPAWN_EXIT: u8 = 4;
+
+/// Why a serving command never came up.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// The listener port could not be bound.
+    Bind {
+        /// The requested port.
+        port: u16,
+        /// The underlying bind failure.
+        source: io::Error,
+    },
+    /// A worker shard could not be spawned, or exited before announcing
+    /// its address.
+    Spawn {
+        /// The shard executable that was being launched.
+        program: String,
+        /// The underlying spawn failure.
+        source: io::Error,
+    },
+}
+
+impl LaunchError {
+    /// Classifies a [`Fleet::bind`](baryon_fleet::Fleet::bind) failure.
+    /// The listener is bound before any shard is spawned, so the
+    /// address-shaped error kinds can only have come from the bind; all
+    /// other failures are shard-launch problems.
+    pub fn classify_fleet(port: u16, program: &str, source: io::Error) -> LaunchError {
+        match source.kind() {
+            io::ErrorKind::AddrInUse
+            | io::ErrorKind::AddrNotAvailable
+            | io::ErrorKind::PermissionDenied => LaunchError::Bind { port, source },
+            _ => LaunchError::Spawn {
+                program: program.to_owned(),
+                source,
+            },
+        }
+    }
+
+    /// The command's exit status for this failure.
+    pub fn exit_code(&self) -> ExitCode {
+        match self {
+            LaunchError::Bind { .. } => ExitCode::from(BIND_EXIT),
+            LaunchError::Spawn { .. } => ExitCode::from(SPAWN_EXIT),
+        }
+    }
+
+    /// Prints the error to stderr and returns the matching exit code.
+    pub fn report(self) -> ExitCode {
+        eprintln!("{self}");
+        self.exit_code()
+    }
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Bind { port, source } => {
+                write!(f, "error[bind]: cannot bind 127.0.0.1:{port}: {source}")
+            }
+            LaunchError::Spawn { program, source } => {
+                write!(f, "error[spawn]: cannot launch shard {program:?}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LaunchError::Bind { source, .. } | LaunchError::Spawn { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_kinds_classify_as_bind() {
+        for kind in [
+            io::ErrorKind::AddrInUse,
+            io::ErrorKind::AddrNotAvailable,
+            io::ErrorKind::PermissionDenied,
+        ] {
+            let e = LaunchError::classify_fleet(80, "prog", io::Error::new(kind, "x"));
+            assert!(matches!(e, LaunchError::Bind { port: 80, .. }), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn other_kinds_classify_as_spawn() {
+        for kind in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::InvalidData,
+            io::ErrorKind::BrokenPipe,
+        ] {
+            let e = LaunchError::classify_fleet(80, "prog", io::Error::new(kind, "x"));
+            assert!(matches!(e, LaunchError::Spawn { .. }), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn messages_name_the_resource() {
+        let bind = LaunchError::Bind {
+            port: 8678,
+            source: io::Error::new(io::ErrorKind::AddrInUse, "taken"),
+        };
+        let text = bind.to_string();
+        assert!(text.contains("error[bind]"), "{text}");
+        assert!(text.contains("8678"), "{text}");
+        let spawn = LaunchError::Spawn {
+            program: "/bin/missing".to_owned(),
+            source: io::Error::new(io::ErrorKind::NotFound, "no such file"),
+        };
+        let text = spawn.to_string();
+        assert!(text.contains("error[spawn]"), "{text}");
+        assert!(text.contains("/bin/missing"), "{text}");
+    }
+}

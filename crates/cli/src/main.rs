@@ -9,23 +9,33 @@
 //! baryon-cli compare --workload ycsb-a
 //! baryon-cli record --workload ycsb-a --ops 100000 --out trace.bin
 //! baryon-cli serve --port 8677 --workers 4 --queue-depth 32
+//! baryon-cli fleet --port 8678 --shards 3 --workers 2
 //! ```
 //!
 //! Controllers: `baryon`, `baryon-fa`, `baryon-mixed`, `simple`, `unison`,
 //! `dice`, `hybrid2`, `micro-sector`, `os-paging`.
+//!
+//! `serve` and `fleet` print `ADDR <socket-addr>` as their first stdout
+//! line once bound — the machine-readable spawn contract supervisors and
+//! scripts key on (with `--port 0` it carries the ephemeral port). Launch
+//! failures exit with typed statuses: 3 when the port cannot be bound, 4
+//! when a worker shard cannot be spawned (see [`launch`]).
 
 use baryon_bench::spec::{controller_kind, resume_from, RunSpec};
 use baryon_core::checkpoint::atomic_write;
 use baryon_core::metrics::RunResult;
 use baryon_core::system::{System, SystemConfig};
+use baryon_fleet::{Fleet, FleetConfig, ShardLauncher};
 use baryon_serve::{ServeConfig, Server};
 use baryon_workloads::{by_name, registry, RecordedTrace};
 use std::path::Path;
 use std::process::ExitCode;
 
 mod args;
+mod launch;
 
 use args::Args;
+use launch::LaunchError;
 
 fn usage() -> ! {
     eprintln!(
@@ -37,7 +47,9 @@ fn usage() -> ! {
          baryon-cli compare --workload <name> [--insts N] [--scale D]\n  \
          baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n  \
          baryon-cli serve [--port P] [--workers N] [--queue-depth N] [--deadline-ms MS]\n      \
-         [--journal-dir DIR]\n\n\
+         [--journal-dir DIR]\n  \
+         baryon-cli fleet [--port P] [--shards N] [--workers N] [--queue-depth N]\n      \
+         [--queue-cap N] [--max-in-flight N] [--journal-root DIR] [--shard-program EXE]\n\n\
          flags accept both `--flag value` and `--flag=value`\n\
          controllers: baryon baryon-fa baryon-mixed simple unison dice hybrid2 \
          micro-sector os-paging"
@@ -237,11 +249,17 @@ fn cmd_serve(args: &Args) -> ExitCode {
     };
     let server = match Server::bind(cfg.clone()) {
         Ok(server) => server,
-        Err(e) => {
-            eprintln!("cannot bind 127.0.0.1:{}: {e}", cfg.port);
-            return ExitCode::FAILURE;
+        Err(source) => {
+            return LaunchError::Bind {
+                port: cfg.port,
+                source,
+            }
+            .report()
         }
     };
+    // The spawn contract: the first stdout line is machine-readable, so a
+    // fleet coordinator (or any script) can supervise this process.
+    println!("ADDR {}", server.local_addr());
     println!(
         "baryon-serve listening on http://{} ({} workers, queue depth {})",
         server.local_addr(),
@@ -264,6 +282,70 @@ fn cmd_serve(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_fleet(args: &Args) -> ExitCode {
+    let program = match args.get("shard-program") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(source) => {
+                return LaunchError::Spawn {
+                    program: "<current executable>".to_owned(),
+                    source,
+                }
+                .report()
+            }
+        },
+    };
+    let cfg = FleetConfig {
+        port: args.num("port", 8678) as u16,
+        shards: (args.num("shards", 3) as usize).max(1),
+        workers_per_shard: (args.num("workers", 2) as usize).max(1),
+        shard_queue_depth: (args.num("queue-depth", 64) as usize).max(1),
+        queue_cap: (args.num("queue-cap", 256) as usize).max(1),
+        max_in_flight_per_client: (args.num("max-in-flight", 8) as usize).max(1),
+        journal_root: std::path::PathBuf::from(
+            args.get("journal-root")
+                .unwrap_or_else(|| "fleet-journal".into()),
+        ),
+    };
+    let launcher = ShardLauncher {
+        program: program.clone(),
+        // Each shard is this CLI (or --shard-program) running `serve`.
+        prefix_args: vec!["serve".to_owned()],
+        workers: cfg.workers_per_shard,
+        queue_depth: cfg.shard_queue_depth,
+    };
+    let fleet = match Fleet::bind(cfg.clone(), launcher) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            return LaunchError::classify_fleet(cfg.port, &program.display().to_string(), e)
+                .report()
+        }
+    };
+    println!("ADDR {}", fleet.local_addr());
+    println!(
+        "baryon-fleet coordinator on http://{} ({} shards x {} workers, journals under {})",
+        fleet.local_addr(),
+        cfg.shards,
+        cfg.workers_per_shard,
+        cfg.journal_root.display()
+    );
+    println!(
+        "submit jobs with POST /v1/jobs (x-baryon-class: interactive|batch); \
+         stop with POST /v1/shutdown"
+    );
+    match fleet.run() {
+        Ok(()) => {
+            println!("fleet drained and shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fleet error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
     match args.command() {
@@ -272,6 +354,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args),
         Some("record") => cmd_record(&args),
         Some("serve") => cmd_serve(&args),
+        Some("fleet") => cmd_fleet(&args),
         _ => usage(),
     }
 }

@@ -357,6 +357,47 @@ struct RunCursor {
     ops: u64,
 }
 
+/// Which phase an incremental run is in (see [`System::run_progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Executing warm-up instructions; measurement has not started.
+    Warmup,
+    /// Executing measured instructions.
+    Measure,
+    /// The run is complete; [`System::finish`] will succeed.
+    Done,
+}
+
+impl RunPhase {
+    /// The wire name of the phase (`"warmup"`, `"measure"`, `"done"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunPhase::Warmup => "warmup",
+            RunPhase::Measure => "measure",
+            RunPhase::Done => "done",
+        }
+    }
+}
+
+/// A read-only snapshot of an in-progress run — the progress event hook
+/// on the run cursor. Streaming endpoints serialize these between
+/// [`System::advance`] chunks; `ops` is strictly monotonic over a run, so
+/// consumers can order events without wall clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Current phase.
+    pub phase: RunPhase,
+    /// Trace operations executed since [`System::begin`] (monotonic).
+    pub ops: u64,
+    /// Cumulative instructions executed toward `insts_target`.
+    pub insts_done: u64,
+    /// Cumulative instruction target of the current phase.
+    pub insts_target: u64,
+    /// Simulated cycles elapsed in the measure phase so far (0 during
+    /// warm-up) — the partial-telemetry figure streamed to clients.
+    pub cycles: u64,
+}
+
 /// The simulated 16-core system.
 pub struct System {
     cfg: SystemConfig,
@@ -535,6 +576,39 @@ impl System {
     /// Operations executed so far by the in-progress run (0 if none).
     pub fn run_ops(&self) -> u64 {
         self.cursor.as_ref().map_or(0, |c| c.ops)
+    }
+
+    /// A snapshot of the in-progress run's cursor — the progress event
+    /// hook that feeds streaming status endpoints. Returns `None` when no
+    /// run is in progress. Reading progress never perturbs the run.
+    pub fn run_progress(&self) -> Option<RunProgress> {
+        let cur = self.cursor.as_ref()?;
+        let insts: u64 = self.core_insts.iter().sum();
+        let target: u64 = cur.targets.iter().sum();
+        let cycles = match cur.phase {
+            PHASE_MEASURE | PHASE_DONE => self
+                .core_time
+                .iter()
+                .zip(&cur.start)
+                .map(|(t, s)| t - s)
+                .max()
+                .unwrap_or(0),
+            _ => 0,
+        };
+        Some(RunProgress {
+            phase: match cur.phase {
+                PHASE_WARMUP => RunPhase::Warmup,
+                PHASE_MEASURE => RunPhase::Measure,
+                _ => RunPhase::Done,
+            },
+            ops: cur.ops,
+            // Both counts are cumulative since system construction, so
+            // `insts_done` is monotonic across the whole run; the target
+            // steps up once at the warm-up/measure boundary.
+            insts_done: insts.min(target),
+            insts_target: target,
+            cycles,
+        })
     }
 
     /// True while a [`System::begin`] run has not been [`System::finish`]ed.

@@ -1,0 +1,140 @@
+//! Self-forking harness support for fleet binaries.
+//!
+//! The fleet's CI gates and benches are hermetic single binaries: the
+//! same executable acts as the coordinator's parent process *and* — when
+//! re-invoked with `--shard` — as a worker shard speaking the
+//! [`crate::shard::ShardLauncher`] spawn contract (`--port=0
+//! --workers=N --queue-depth=N --journal-dir=DIR`, then `ADDR <addr>` on
+//! stdout). No pre-built `baryon-cli`, fixed ports, or startup sleeps.
+
+use crate::shard::ShardLauncher;
+use baryon_serve::{ServeConfig, Server};
+use std::io;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// When invoked as `<exe> --shard --port=... --workers=... ...`, runs a
+/// `baryon-serve` shard to completion and returns its exit code; returns
+/// `None` when this invocation is not shard mode (the caller proceeds as
+/// the parent harness).
+pub fn maybe_run_shard() -> Option<ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("--shard") {
+        return None;
+    }
+    Some(run_shard(&args[1..]))
+}
+
+/// A launcher that re-invokes the current executable in `--shard` mode.
+///
+/// # Errors
+///
+/// Propagates `current_exe` resolution failures.
+pub fn self_launcher(workers: usize, queue_depth: usize) -> io::Result<ShardLauncher> {
+    Ok(ShardLauncher {
+        program: std::env::current_exe()?,
+        prefix_args: vec!["--shard".to_owned()],
+        workers,
+        queue_depth,
+    })
+}
+
+/// Parses `--key=value` shard flags onto a [`ServeConfig`].
+///
+/// # Errors
+///
+/// Describes the first malformed or unknown flag.
+fn parse_shard_config(flags: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig {
+        port: 0,
+        ..ServeConfig::default()
+    };
+    for flag in flags {
+        let Some((key, value)) = flag.split_once('=') else {
+            return Err(format!("flags are --key=value, got {flag:?}"));
+        };
+        let ok = match key {
+            "--port" => value.parse().map(|p| cfg.port = p).is_ok(),
+            "--workers" => value.parse().map(|w| cfg.workers = w).is_ok(),
+            "--queue-depth" => value.parse().map(|q| cfg.queue_depth = q).is_ok(),
+            "--journal-dir" => {
+                cfg.journal_dir = Some(PathBuf::from(value));
+                true
+            }
+            _ => return Err(format!("unknown flag {key:?}")),
+        };
+        if !ok {
+            return Err(format!("cannot parse {flag:?}"));
+        }
+    }
+    Ok(cfg)
+}
+
+fn run_shard(flags: &[String]) -> ExitCode {
+    let cfg = match parse_shard_config(flags) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("shard mode: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("shard cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Line-buffered stdout: the supervisor reads this line synchronously.
+    println!("ADDR {}", server.local_addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shard server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_launcher_speaks_the_spawn_contract() {
+        let launcher = self_launcher(2, 16).expect("current exe resolves");
+        assert_eq!(launcher.prefix_args, ["--shard"]);
+        assert_eq!(launcher.workers, 2);
+        assert_eq!(launcher.queue_depth, 16);
+        assert!(launcher.program.is_absolute());
+    }
+
+    #[test]
+    fn shard_flags_parse_onto_serve_config() {
+        let flags: Vec<String> = [
+            "--port=0",
+            "--workers=3",
+            "--queue-depth=9",
+            "--journal-dir=/tmp/j",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let cfg = parse_shard_config(&flags).expect("well-formed");
+        assert_eq!(cfg.port, 0);
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue_depth, 9);
+        assert_eq!(
+            cfg.journal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/j"))
+        );
+    }
+
+    #[test]
+    fn bad_shard_flags_are_rejected() {
+        for bad in ["--workers", "--workers=lots", "--turbo=1"] {
+            let err = parse_shard_config(&[bad.to_owned()]).expect_err(bad);
+            assert!(err.contains(bad.split('=').next().unwrap_or(bad)), "{err}");
+        }
+    }
+}

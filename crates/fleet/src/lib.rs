@@ -1,0 +1,46 @@
+//! `baryon-fleet` — sharded multi-process serving for Baryon.
+//!
+//! One coordinator process fronts N `baryon-serve` worker shards (child
+//! processes, each with its own journal directory), giving the simulator
+//! a horizontally scaled, crash-tolerant job service:
+//!
+//! * **Routing** — single runs hash onto one shard
+//!   ([`shard::route`]); grid sweeps scatter cell-by-cell across every
+//!   shard ([`baryon_bench::batch::BatchPlan`]) and gather back into the
+//!   byte-identical single-process result document.
+//! * **QoS** — per-client in-flight quotas (`429 quota_exceeded`) and a
+//!   two-level interactive/batch dispatch queue with per-class bounds and
+//!   `Retry-After` ([`quota`]).
+//! * **Supervision** — shards are health-checked and restarted in place;
+//!   a restarted shard replays its write-ahead journal and resumes
+//!   interrupted runs from checkpoints, so a mid-sweep `SIGKILL` costs
+//!   latency, never results ([`shard::ShardSet`]).
+//! * **Streaming** — `GET /v1/jobs/<id>/events` at the coordinator
+//!   proxies the executing shard's chunked progress stream for single
+//!   runs (IDs rewritten, monotonicity preserved across restarts) and
+//!   synthesizes cell-completion progress for batches.
+//! * **Telemetry** — `GET /v1/metrics` merges every shard's
+//!   full-fidelity wire registry into one fleet document under
+//!   `shard<i>.` namespaces, alongside the coordinator's own `fleet.*`
+//!   counters.
+//!
+//! # HTTP surface (coordinator)
+//!
+//! | Method | Path                    | Purpose                               |
+//! |--------|-------------------------|---------------------------------------|
+//! | GET    | `/v1/healthz`           | liveness + shard count                |
+//! | GET    | `/v1/metrics`           | fleet + per-shard merged registry     |
+//! | POST   | `/v1/jobs`              | submit (headers: `x-baryon-class`, `x-baryon-client`) |
+//! | GET    | `/v1/jobs/<id>`         | fleet job status / result             |
+//! | GET    | `/v1/jobs/<id>/events`  | chunked progress event stream         |
+//! | POST   | `/v1/jobs/<id>/cancel`  | cancel a still-queued fleet job       |
+//! | POST   | `/v1/shutdown`          | drain and stop coordinator + shards   |
+
+pub mod coordinator;
+pub mod harness;
+pub mod quota;
+pub mod router;
+pub mod shard;
+
+pub use coordinator::{Fleet, FleetConfig, FleetController};
+pub use shard::ShardLauncher;

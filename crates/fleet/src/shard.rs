@@ -1,0 +1,353 @@
+//! Worker-shard processes: spawn, health-check, kill, restart.
+//!
+//! A shard is any child process that accepts `baryon-serve`-style flags
+//! (`--port=0 --workers=N --queue-depth=N --journal-dir=DIR`) and prints
+//! `ADDR <socket-addr>` on stdout once its listener is bound — both
+//! `baryon-cli serve` and the self-forking test gates speak this
+//! contract. Every shard gets its own journal directory, so a restarted
+//! shard replays its journal, re-enqueues never-started jobs, and resumes
+//! interrupted runs from their checkpoints; the coordinator's pollers
+//! simply keep polling the same shard-local job IDs at the new address.
+
+use baryon_serve::client::Client;
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How a shard process is launched. `prefix_args` come before the
+/// standard serve flags (e.g. `["serve"]` for `baryon-cli`, or
+/// `["--shard"]` for a self-forking gate binary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLauncher {
+    /// The executable to spawn.
+    pub program: PathBuf,
+    /// Arguments before the standard serve flags.
+    pub prefix_args: Vec<String>,
+    /// Worker threads per shard.
+    pub workers: usize,
+    /// Bounded queue depth per shard.
+    pub queue_depth: usize,
+}
+
+impl ShardLauncher {
+    /// Spawns one shard and waits for its `ADDR <addr>` line.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, or `InvalidData` if the child exits (or closes
+    /// stdout) before announcing its address.
+    fn spawn(&self, journal_dir: &Path) -> io::Result<(Child, SocketAddr)> {
+        let mut child = Command::new(&self.program)
+            .args(&self.prefix_args)
+            .arg("--port=0")
+            .arg(format!("--workers={}", self.workers))
+            .arg(format!("--queue-depth={}", self.queue_depth))
+            .arg(format!("--journal-dir={}", journal_dir.display()))
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut reader = BufReader::new(stdout);
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "shard exited before announcing ADDR",
+                ));
+            }
+            if let Some(addr) = line.trim().strip_prefix("ADDR ") {
+                let addr: SocketAddr = addr.parse().map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("shard announced a malformed address {addr:?}: {e}"),
+                    )
+                })?;
+                // Keep draining stdout so the shard never blocks on a full
+                // pipe; its output is banner noise once ADDR is out.
+                std::thread::spawn(move || {
+                    let mut sink = io::sink();
+                    let _ = io::copy(&mut reader, &mut sink);
+                });
+                return Ok((child, addr));
+            }
+        }
+    }
+}
+
+/// One live shard slot.
+struct Shard {
+    child: Child,
+    addr: SocketAddr,
+    /// Bumps on every restart; lets concurrent observers tell incarnations
+    /// apart.
+    generation: u64,
+    /// Consecutive failed health probes (reset on success).
+    health_failures: u32,
+}
+
+/// Consecutive health-probe failures before a live-but-wedged shard is
+/// killed and restarted.
+const MAX_HEALTH_FAILURES: u32 = 5;
+
+/// The fleet's shard processes: fixed count, each supervised and restarted
+/// in place (same index, same journal directory, fresh ephemeral port).
+pub struct ShardSet {
+    launcher: ShardLauncher,
+    journal_root: PathBuf,
+    slots: Vec<Mutex<Shard>>,
+    restarts: AtomicU64,
+}
+
+impl ShardSet {
+    /// Spawns `count` shards under `journal_root/shard<i>/`.
+    ///
+    /// # Errors
+    ///
+    /// The first spawn or journal-directory failure; already-spawned
+    /// shards are killed before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn spawn(
+        launcher: ShardLauncher,
+        journal_root: &Path,
+        count: usize,
+    ) -> io::Result<ShardSet> {
+        assert!(count > 0, "a fleet needs at least one shard");
+        let mut slots = Vec::with_capacity(count);
+        for i in 0..count {
+            let dir = journal_root.join(format!("shard{i}"));
+            std::fs::create_dir_all(&dir)?;
+            match launcher.spawn(&dir) {
+                Ok((child, addr)) => slots.push(Mutex::new(Shard {
+                    child,
+                    addr,
+                    generation: 0,
+                    health_failures: 0,
+                })),
+                Err(e) => {
+                    for slot in &slots {
+                        let mut shard = slot.lock().expect("shard lock poisoned");
+                        let _ = shard.child.kill();
+                        let _ = shard.child.wait();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ShardSet {
+            launcher,
+            journal_root: journal_root.to_path_buf(),
+            slots,
+            restarts: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false — a spawned set has at least one shard.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The shard's current address (changes across restarts).
+    pub fn addr(&self, index: usize) -> SocketAddr {
+        self.slots[index].lock().expect("shard lock poisoned").addr
+    }
+
+    /// A typed client for the shard, with retries tuned for the
+    /// coordinator's dispatch path (backpressure is expected under load).
+    pub fn client(&self, index: usize) -> Client {
+        Client::new(self.addr(index))
+            .connect_timeout(Duration::from_millis(500))
+            .read_timeout(Duration::from_secs(30))
+            .retries(2)
+            .backoff_base(Duration::from_millis(50))
+    }
+
+    /// Total restarts performed across all shards.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Chaos hook: SIGKILL the shard's current process. The supervisor's
+    /// next tick restarts it (journal replay resumes its jobs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kill failure (e.g. already reaped).
+    pub fn kill(&self, index: usize) -> io::Result<()> {
+        let mut shard = self.slots[index].lock().expect("shard lock poisoned");
+        shard.child.kill()
+    }
+
+    /// One supervisor tick: restart exited shards, probe the rest, and
+    /// kill-and-restart any shard failing [`MAX_HEALTH_FAILURES`]
+    /// consecutive probes. Returns restarts performed this tick.
+    pub fn check_and_restart(&self) -> u64 {
+        let mut restarted = 0;
+        for (i, slot) in self.slots.iter().enumerate() {
+            // Probe without holding the lock — a slow shard must not
+            // block address lookups on the dispatch path.
+            let (addr, generation, dead) = {
+                let mut shard = slot.lock().expect("shard lock poisoned");
+                let dead = matches!(shard.child.try_wait(), Ok(Some(_)));
+                (shard.addr, shard.generation, dead)
+            };
+            let unhealthy = if dead {
+                true
+            } else {
+                let probe = Client::new(addr)
+                    .connect_timeout(Duration::from_millis(250))
+                    .read_timeout(Duration::from_millis(500))
+                    .healthz();
+                let mut shard = slot.lock().expect("shard lock poisoned");
+                if shard.generation != generation {
+                    continue; // restarted concurrently; leave it be
+                }
+                match probe {
+                    Ok(()) => {
+                        shard.health_failures = 0;
+                        false
+                    }
+                    Err(_) => {
+                        shard.health_failures += 1;
+                        shard.health_failures >= MAX_HEALTH_FAILURES
+                    }
+                }
+            };
+            if !unhealthy {
+                continue;
+            }
+            if self.restart(i, generation) {
+                restarted += 1;
+            }
+        }
+        self.restarts.fetch_add(restarted, Ordering::Relaxed);
+        restarted
+    }
+
+    /// Kills (if still alive) and respawns the shard on its journal
+    /// directory. Returns false if another restart got there first.
+    fn restart(&self, index: usize, expected_generation: u64) -> bool {
+        let dir = self.journal_root.join(format!("shard{index}"));
+        let spawned = self.launcher.spawn(&dir);
+        let mut shard = self.slots[index].lock().expect("shard lock poisoned");
+        if shard.generation != expected_generation {
+            // Lost the race; throw the extra child away.
+            if let Ok((mut child, _)) = spawned {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            return false;
+        }
+        let _ = shard.child.kill();
+        let _ = shard.child.wait();
+        match spawned {
+            Ok((child, addr)) => {
+                shard.child = child;
+                shard.addr = addr;
+                shard.generation += 1;
+                shard.health_failures = 0;
+                true
+            }
+            Err(e) => {
+                // The old child is dead and the new one would not come up;
+                // leave the slot for the next tick to retry.
+                eprintln!("baryon-fleet: shard {index} restart failed: {e}");
+                false
+            }
+        }
+    }
+
+    /// Gracefully shuts every shard down (`POST /v1/shutdown`, then reap;
+    /// kill on a deaf shard).
+    pub fn shutdown(&self) {
+        for slot in &self.slots {
+            let mut shard = slot.lock().expect("shard lock poisoned");
+            let polite = Client::new(shard.addr)
+                .connect_timeout(Duration::from_millis(500))
+                .read_timeout(Duration::from_secs(5))
+                .request("POST", "/v1/shutdown", None)
+                .is_ok();
+            if !polite {
+                let _ = shard.child.kill();
+            }
+            let _ = shard.child.wait();
+        }
+    }
+}
+
+impl Drop for ShardSet {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            if let Ok(mut shard) = slot.lock() {
+                let _ = shard.child.kill();
+                let _ = shard.child.wait();
+            }
+        }
+    }
+}
+
+/// Hash-routes a fleet job ID onto one of `shards` worker shards
+/// (Fibonacci multiplicative hash — IDs are sequential, and a plain
+/// modulo would stripe consecutive jobs onto consecutive shards, which is
+/// fine, but hashing also spreads any strided submission pattern).
+pub fn route(id: u64, shards: usize) -> usize {
+    let mixed = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mixed >> 32) as usize % shards.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_stable_and_in_range() {
+        for shards in 1..=8usize {
+            for id in 0..1000u64 {
+                let s = route(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, route(id, shards), "same id, same shard");
+            }
+        }
+    }
+
+    #[test]
+    fn route_spreads_sequential_ids() {
+        let shards = 3;
+        let mut counts = [0usize; 3];
+        for id in 1..=300u64 {
+            counts[route(id, shards)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 50, "shard {i} starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn spawn_contract_rejects_a_silent_child() {
+        // `true` exits immediately without printing ADDR.
+        let launcher = ShardLauncher {
+            program: PathBuf::from("/bin/true"),
+            prefix_args: Vec::new(),
+            workers: 1,
+            queue_depth: 4,
+        };
+        let dir = std::env::temp_dir().join("baryon-fleet-spawn-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let err = launcher.spawn(&dir).expect_err("no ADDR line ever comes");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+}

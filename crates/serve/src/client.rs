@@ -15,7 +15,7 @@
 //! and read timeouts, honouring the server's `Retry-After` header.
 
 use crate::error::{ApiError, ErrorCode};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -198,6 +198,101 @@ impl Client {
         })
     }
 
+    /// Liveness probe against `GET /v1/healthz` — the cheap endpoint that
+    /// allocates no metrics snapshot, so supervisors can poll it at high
+    /// frequency without perturbing `serve.*` counters or scrape load.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; a down shard shows up as
+    /// [`ClientError::Connect`], a wedged one as [`ClientError::Timeout`].
+    pub fn healthz(&self) -> Result<(), ClientError> {
+        self.request("GET", "/v1/healthz", None)?
+            .into_result()
+            .map(|_| ())
+    }
+
+    /// Opens a streamed (chunked transfer encoding) GET and invokes
+    /// `on_line` with each newline-terminated event line as it arrives,
+    /// returning once the server terminates the stream. A non-chunked
+    /// response is treated as the API refusing to stream: its body is
+    /// decoded into [`ClientError::Api`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] / [`ClientError::Timeout`] / [`ClientError::Io`]
+    /// as for [`Client::request`]; [`ClientError::Api`] when the server
+    /// answered with a plain (error) response instead of a stream.
+    pub fn stream(&self, path: &str, on_line: &mut dyn FnMut(&str)) -> Result<(), ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)
+            .map_err(ClientError::Connect)?;
+        let mut exchange = || -> io::Result<Result<(), ClientResponse>> {
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            let mut writer = stream.try_clone()?;
+            let request = format!(
+                "GET {path} HTTP/1.1\r\nHost: baryon\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+            );
+            writer.write_all(request.as_bytes())?;
+            writer.flush()?;
+            let mut reader = BufReader::new(&stream);
+            let (status, headers) = read_response_head(&mut reader)?;
+            let chunked = headers
+                .iter()
+                .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+            if !chunked {
+                let body = read_response_body(&mut reader, &headers)?;
+                return Ok(Err(ClientResponse {
+                    status,
+                    headers,
+                    body,
+                }));
+            }
+            let mut pending = String::new();
+            loop {
+                let mut size_line = String::new();
+                if reader.read_line(&mut size_line)? == 0 {
+                    return Err(malformed("connection closed inside chunked stream"));
+                }
+                let size_str = size_line.trim().split(';').next().unwrap_or("").trim();
+                let size =
+                    usize::from_str_radix(size_str, 16).map_err(|_| malformed("bad chunk size"))?;
+                if size == 0 {
+                    break;
+                }
+                let mut chunk = vec![0u8; size + 2]; // payload + CRLF
+                reader.read_exact(&mut chunk)?;
+                if &chunk[size..] != b"\r\n" {
+                    return Err(malformed("chunk not terminated by CRLF"));
+                }
+                chunk.truncate(size);
+                pending.push_str(
+                    std::str::from_utf8(&chunk).map_err(|_| malformed("chunk is not UTF-8"))?,
+                );
+                while let Some(pos) = pending.find('\n') {
+                    on_line(pending[..pos].trim_end_matches('\r'));
+                    pending.drain(..=pos);
+                }
+            }
+            if !pending.is_empty() {
+                on_line(&pending);
+            }
+            Ok(Ok(()))
+        };
+        match exchange() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(response)) => response.into_result().map(|_| ()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(ClientError::Timeout(e))
+            }
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
     /// Like [`Client::request`], but retries on `503` responses and read
     /// timeouts with exponential backoff and deterministic jitter. A `503`
     /// carrying `Retry-After: <seconds>` sleeps that long instead of the
@@ -325,7 +420,8 @@ fn malformed(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
+/// Reads the status line and headers, leaving the reader at the body.
+fn read_response_head(reader: &mut impl BufRead) -> io::Result<(u16, Vec<(String, String)>)> {
     let mut line = String::new();
     reader.read_line(&mut line)?;
     // "HTTP/1.1 200 OK"
@@ -335,7 +431,6 @@ fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| malformed("malformed status line"))?;
     let mut headers = Vec::new();
-    let mut content_length: Option<usize> = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -348,25 +443,41 @@ fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| malformed("malformed header line"))?;
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim().to_owned();
-        if name == "content-length" {
-            content_length = Some(value.parse().map_err(|_| malformed("bad Content-Length"))?);
-        }
-        headers.push((name, value));
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
-    let body = match content_length {
+    Ok((status, headers))
+}
+
+/// Reads a `Content-Length` body (or to EOF without one).
+fn read_response_body(
+    reader: &mut impl BufRead,
+    headers: &[(String, String)],
+) -> io::Result<String> {
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| malformed("bad Content-Length"))
+        })
+        .transpose()?;
+    match content_length {
         Some(len) => {
             let mut buf = vec![0u8; len];
             reader.read_exact(&mut buf)?;
-            String::from_utf8(buf).map_err(|_| malformed("body is not UTF-8"))?
+            String::from_utf8(buf).map_err(|_| malformed("body is not UTF-8"))
         }
         None => {
             let mut buf = String::new();
             reader.read_to_string(&mut buf)?;
-            buf
+            Ok(buf)
         }
-    };
+    }
+}
+
+fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
+    let (status, headers) = read_response_head(reader)?;
+    let body = read_response_body(reader, &headers)?;
     Ok(ClientResponse {
         status,
         headers,
@@ -526,6 +637,48 @@ mod tests {
         };
         let err = legacy.into_result().expect_err("500 is an error");
         assert_eq!(err.code(), Some(ErrorCode::Internal));
+    }
+
+    #[test]
+    fn healthz_maps_status_to_result() {
+        let addr = canned_server(&[
+            "HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\n{\"ok\":true}",
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n",
+        ]);
+        let client = Client::new(addr);
+        client.healthz().expect("first probe healthy");
+        let err = client.healthz().expect_err("second probe unhealthy");
+        assert!(matches!(err, ClientError::Api { status: 503, .. }), "{err}");
+    }
+
+    #[test]
+    fn stream_decodes_chunked_event_lines() {
+        let addr = canned_server(&[
+            "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n\
+             3\r\na\nb\r\n2\r\nc\n\r\n0\r\n\r\n",
+        ]);
+        let mut lines = Vec::new();
+        Client::new(addr)
+            .stream("/v1/jobs/1/events", &mut |line| lines.push(line.to_owned()))
+            .expect("stream completes");
+        assert_eq!(lines, ["a", "bc"]);
+    }
+
+    #[test]
+    fn stream_surfaces_plain_error_responses_as_api_errors() {
+        let body = r#"{"error":{"code":"not_found","message":"no such job"}}"#;
+        let raw: &'static str = Box::leak(
+            format!(
+                "HTTP/1.1 404 Not Found\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_boxed_str(),
+        );
+        let addr = canned_server(Box::leak(Box::new([raw])));
+        let err = Client::new(addr)
+            .stream("/v1/jobs/999/events", &mut |_| {})
+            .expect_err("404 is not a stream");
+        assert_eq!(err.code(), Some(ErrorCode::NotFound));
     }
 
     #[test]

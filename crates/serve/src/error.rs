@@ -24,6 +24,8 @@ pub enum ErrorCode {
     Conflict,
     /// Backpressure: the job queue is full; retry later.
     QueueFull,
+    /// The client has too many jobs in flight; retry after some finish.
+    QuotaExceeded,
     /// The server is draining and refuses new work.
     ShuttingDown,
     /// Anything else that went wrong server-side.
@@ -41,6 +43,7 @@ impl ErrorCode {
             ErrorCode::MethodNotAllowed => "method_not_allowed",
             ErrorCode::Conflict => "conflict",
             ErrorCode::QueueFull => "queue_full",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
         }
@@ -56,6 +59,7 @@ impl ErrorCode {
             "method_not_allowed" => ErrorCode::MethodNotAllowed,
             "conflict" => ErrorCode::Conflict,
             "queue_full" => ErrorCode::QueueFull,
+            "quota_exceeded" => ErrorCode::QuotaExceeded,
             "shutting_down" => ErrorCode::ShuttingDown,
             "internal" => ErrorCode::Internal,
             _ => return None,
@@ -69,6 +73,7 @@ impl ErrorCode {
             ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
             ErrorCode::Conflict => 409,
+            ErrorCode::QuotaExceeded => 429,
             ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
             ErrorCode::Internal => 500,
         }
@@ -146,7 +151,7 @@ impl std::error::Error for ApiError {}
 mod tests {
     use super::*;
 
-    const ALL: [ErrorCode; 9] = [
+    const ALL: [ErrorCode; 10] = [
         ErrorCode::BadRequest,
         ErrorCode::InvalidJson,
         ErrorCode::InvalidSpec,
@@ -154,6 +159,7 @@ mod tests {
         ErrorCode::MethodNotAllowed,
         ErrorCode::Conflict,
         ErrorCode::QueueFull,
+        ErrorCode::QuotaExceeded,
         ErrorCode::ShuttingDown,
         ErrorCode::Internal,
     ];

@@ -1,9 +1,10 @@
 //! A minimal HTTP/1.1 request reader and response writer.
 //!
 //! Just enough of RFC 9112 for a hermetic job server: request line,
-//! headers, `Content-Length` bodies, and keep-alive. No chunked encoding,
-//! no TLS, no compression — job specs and result documents are small JSON
-//! bodies over loopback or a trusted network.
+//! headers, `Content-Length` bodies, keep-alive, and chunked transfer
+//! encoding for streamed responses ([`ChunkedWriter`] /
+//! [`read_chunked_body`]). No TLS, no compression — job specs and result
+//! documents are small JSON bodies over loopback or a trusted network.
 
 use crate::error::{ApiError, ErrorCode};
 use baryon_sim::json::Json;
@@ -199,6 +200,115 @@ impl Response {
     }
 }
 
+/// A `Transfer-Encoding: chunked` response body writer for endpoints whose
+/// length is unknown up front (streamed job events). Each [`chunk`] is one
+/// HTTP chunk, flushed immediately so the peer sees events as they happen;
+/// [`finish`] writes the zero-length terminator. The connection always
+/// closes after a streamed response — mixing a stream into keep-alive
+/// pipelining buys nothing over loopback and complicates the reader.
+///
+/// [`chunk`]: ChunkedWriter::chunk
+/// [`finish`]: ChunkedWriter::finish
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head (status + `Transfer-Encoding: chunked` +
+    /// `Connection: close` + any extra headers) and returns the body
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn begin(mut w: W, status: u16, headers: &[(&str, &str)]) -> io::Result<ChunkedWriter<W>> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+            status,
+            reason(status),
+        );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Writes one chunk and flushes it. Empty payloads are skipped — a
+    /// zero-length chunk would terminate the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors (a disconnected peer shows up here).
+    pub fn chunk(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", payload.len())?;
+        self.w.write_all(payload)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Writes the terminating zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// Decodes a complete chunked body (everything between the blank line after
+/// the headers and the zero-length terminator) from a reader. Used by the
+/// typed client and by stream proxies.
+///
+/// # Errors
+///
+/// `InvalidData` on malformed chunk framing; other I/O errors pass through.
+pub fn read_chunked_body(r: &mut impl BufRead, max: usize) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(malformed("connection closed inside chunked body"));
+        };
+        let size_str = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| malformed(format!("bad chunk size {line:?}")))?;
+        if size == 0 {
+            // Trailer section: consume lines until the blank terminator.
+            loop {
+                match read_line(r)? {
+                    Some(l) if l.is_empty() => return Ok(body),
+                    Some(_) => continue,
+                    None => return Err(malformed("connection closed inside trailers")),
+                }
+            }
+        }
+        if body.len() + size > max {
+            return Err(malformed(format!("chunked body exceeds {max} bytes")));
+        }
+        let at = body.len();
+        body.resize(at + size, 0);
+        r.read_exact(&mut body[at..])
+            .map_err(|_| malformed("chunk shorter than its size"))?;
+        let mut crlf = [0u8; 2];
+        r.read_exact(&mut crlf)
+            .map_err(|_| malformed("chunk missing terminator"))?;
+        if &crlf != b"\r\n" {
+            return Err(malformed("chunk not terminated by CRLF"));
+        }
+    }
+}
+
 /// The standard reason phrase for the status codes this server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -209,6 +319,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -317,6 +428,52 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut out = Vec::new();
+        let mut cw =
+            ChunkedWriter::begin(&mut out, 200, &[("x-baryon-job", "7")]).expect("vec write");
+        cw.chunk(b"{\"event\":\"progress\"}\n").expect("chunk");
+        cw.chunk(b"").expect("empty chunk skipped");
+        cw.chunk(b"{\"event\":\"end\"}\n").expect("chunk");
+        cw.finish().expect("terminator");
+        let text = String::from_utf8(out.clone()).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("x-baryon-job: 7\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+        // Strip the head and decode the body back.
+        let split = text.find("\r\n\r\n").expect("head terminator") + 4;
+        let mut r = BufReader::new(&out[split..]);
+        let body = read_chunked_body(&mut r, MAX_BODY_BYTES).expect("well-formed");
+        assert_eq!(
+            String::from_utf8(body).expect("utf8"),
+            "{\"event\":\"progress\"}\n{\"event\":\"end\"}\n"
+        );
+    }
+
+    #[test]
+    fn chunked_decoder_rejects_malformed_framing() {
+        for bad in [
+            b"zz\r\nhello\r\n0\r\n\r\n".as_slice(),
+            b"5\r\nhel",
+            b"5\r\nhelloXX0\r\n\r\n",
+            b"5\r\nhello\r\n",
+            b"",
+        ] {
+            let mut r = BufReader::new(bad);
+            assert!(
+                read_chunked_body(&mut r, MAX_BODY_BYTES).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        // Size cap enforced before allocation.
+        let mut r = BufReader::new(b"ffffff\r\n".as_slice());
+        assert!(read_chunked_body(&mut r, 16).is_err());
     }
 
     #[test]

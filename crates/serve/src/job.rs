@@ -39,6 +39,15 @@ impl JobState {
             JobState::Cancelled => "cancelled",
         }
     }
+
+    /// True once the job can no longer change state (done, failed, or
+    /// cancelled) — event streams end on this.
+    pub fn is_settled(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
 }
 
 /// One job's full record.

@@ -15,9 +15,11 @@
 //! |---------------------------|------------------------------------------------|
 //! | `POST /v1/jobs`           | Submit a run or grid spec; `202` + job ID      |
 //! | `GET /v1/jobs/<id>`       | Status + result document once done             |
+//! | `GET /v1/jobs/<id>/events` | Chunked stream of progress events until settled |
 //! | `POST /v1/jobs/<id>/cancel` | Cancel a still-queued job                    |
 //! | `GET /v1/metrics`         | Serve-layer counters (queue depth, latency…)   |
-//! | `GET /v1/healthz`         | Liveness probe                                 |
+//! | `GET /v1/metrics?format=wire` | Full-fidelity registry bytes (hex) for fleet merging |
+//! | `GET /v1/healthz`         | Liveness probe (no metrics snapshot allocated) |
 //! | `POST /v1/shutdown`       | Graceful shutdown, draining accepted jobs      |
 //!
 //! Every non-2xx response carries the uniform error envelope
@@ -56,6 +58,7 @@ pub mod error;
 pub mod http;
 pub mod job;
 pub mod journal;
+pub mod progress;
 pub mod queue;
 pub mod server;
 

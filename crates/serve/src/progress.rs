@@ -1,0 +1,195 @@
+//! Live per-job progress shared between workers and event streams.
+//!
+//! Workers publish [`JobProgress`] snapshots into the [`ProgressBoard`] as
+//! their run advances (fed by the simulator's incremental `RunCursor`
+//! execution); each `GET /v1/jobs/<id>/events` stream blocks on the board
+//! and emits a chunk whenever the snapshot's sequence number moves. The
+//! board is observational only — publishing never perturbs a run, and a
+//! job with no subscribers pays one mutex lock per observation interval.
+
+use baryon_sim::json::Json;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// One job's latest progress snapshot. For single runs the simulator
+/// fields (`phase`, `ops`, `insts_done`, `insts_target`, `cycles`) carry
+/// the signal and `cells_total` is 1; for grids the cell counters carry it
+/// and the simulator fields describe the cell currently executing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobProgress {
+    /// Bumps on every publish; streams emit when it moves past what they
+    /// last sent, so `seq` is strictly monotonic within one stream.
+    pub seq: u64,
+    /// Run phase: `warmup`, `measure`, or `done`.
+    pub phase: &'static str,
+    /// Trace operations executed since the (current cell's) run began.
+    /// Strictly monotonic over a single run — the ordering guarantee
+    /// streamed consumers assert on.
+    pub ops: u64,
+    /// Instructions retired so far (cumulative across warmup + measure).
+    pub insts_done: u64,
+    /// Instruction target (steps up once at the warmup/measure boundary).
+    pub insts_target: u64,
+    /// Measure-phase cycles so far (0 during warmup).
+    pub cycles: u64,
+    /// Grid cells completed.
+    pub cells_done: u64,
+    /// Total grid cells (1 for a single run).
+    pub cells_total: u64,
+}
+
+impl JobProgress {
+    /// The event-stream JSON for this snapshot (without the `event` tag —
+    /// the stream layer wraps it).
+    pub fn to_json(&self, id: u64) -> Json {
+        Json::obj([
+            ("event", Json::from("progress")),
+            ("id", Json::from(id)),
+            ("seq", Json::from(self.seq)),
+            ("phase", Json::from(self.phase)),
+            ("ops", Json::from(self.ops)),
+            ("insts_done", Json::from(self.insts_done)),
+            ("insts_target", Json::from(self.insts_target)),
+            ("cycles", Json::from(self.cycles)),
+            ("cells_done", Json::from(self.cells_done)),
+            ("cells_total", Json::from(self.cells_total)),
+        ])
+    }
+}
+
+/// The shared progress table: job ID → latest snapshot, with a condvar so
+/// event streams can sleep until something moves.
+#[derive(Default)]
+pub struct ProgressBoard {
+    inner: Mutex<HashMap<u64, JobProgress>>,
+    moved: Condvar,
+}
+
+impl ProgressBoard {
+    /// Creates an empty board.
+    pub fn new() -> ProgressBoard {
+        ProgressBoard::default()
+    }
+
+    /// Publishes an update for `id`: `apply` mutates the job's snapshot
+    /// (created zeroed on first publish), the sequence number bumps, and
+    /// every waiting stream wakes.
+    pub fn publish(&self, id: u64, apply: impl FnOnce(&mut JobProgress)) {
+        let mut inner = self.inner.lock().expect("progress lock poisoned");
+        let entry = inner.entry(id).or_default();
+        apply(entry);
+        entry.seq += 1;
+        drop(inner);
+        self.moved.notify_all();
+    }
+
+    /// The latest snapshot for `id`, if the job has published anything.
+    pub fn get(&self, id: u64) -> Option<JobProgress> {
+        self.inner
+            .lock()
+            .expect("progress lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Blocks until `id` has a snapshot with `seq > after`, or `timeout`
+    /// elapses. Returns the newer snapshot, or `None` on timeout (callers
+    /// re-check job state and come back — settled jobs stop publishing).
+    pub fn wait_past(&self, id: u64, after: u64, timeout: Duration) -> Option<JobProgress> {
+        let inner = self.inner.lock().expect("progress lock poisoned");
+        let (inner, timed_out) = self
+            .moved
+            .wait_timeout_while(inner, timeout, |map| {
+                map.get(&id).is_none_or(|p| p.seq <= after)
+            })
+            .map(|(guard, result)| (guard, result.timed_out()))
+            .expect("progress lock poisoned");
+        if timed_out {
+            return None;
+        }
+        inner.get(&id).cloned()
+    }
+
+    /// Drops a settled job's snapshot (its final state now lives in the
+    /// job table; keeping board entries for evicted jobs would leak).
+    pub fn remove(&self, id: u64) {
+        self.inner
+            .lock()
+            .expect("progress lock poisoned")
+            .remove(&id);
+        self.moved.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_bumps_seq_and_get_sees_it() {
+        let board = ProgressBoard::new();
+        assert_eq!(board.get(7), None);
+        board.publish(7, |p| {
+            p.phase = "warmup";
+            p.ops = 100;
+            p.cells_total = 1;
+        });
+        let p = board.get(7).expect("published");
+        assert_eq!(p.seq, 1);
+        assert_eq!(p.ops, 100);
+        board.publish(7, |p| p.ops = 200);
+        let p = board.get(7).expect("published");
+        assert_eq!(p.seq, 2);
+        assert_eq!(p.ops, 200);
+        board.remove(7);
+        assert_eq!(board.get(7), None);
+    }
+
+    #[test]
+    fn wait_past_times_out_without_updates() {
+        let board = ProgressBoard::new();
+        board.publish(1, |p| p.ops = 1);
+        assert!(board.wait_past(1, 1, Duration::from_millis(10)).is_none());
+        // seq 1 already satisfies `after = 0` — returns immediately.
+        let p = board
+            .wait_past(1, 0, Duration::from_millis(10))
+            .expect("already past");
+        assert_eq!(p.seq, 1);
+    }
+
+    #[test]
+    fn wait_past_wakes_on_publish() {
+        let board = Arc::new(ProgressBoard::new());
+        let waiter = Arc::clone(&board);
+        let handle = std::thread::spawn(move || waiter.wait_past(9, 0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        board.publish(9, |p| p.ops = 42);
+        let p = handle.join().expect("no panic").expect("woken");
+        assert_eq!(p.ops, 42);
+    }
+
+    #[test]
+    fn progress_json_shape() {
+        let mut p = JobProgress {
+            seq: 3,
+            phase: "measure",
+            ops: 500,
+            insts_done: 400,
+            insts_target: 1000,
+            cycles: 2000,
+            cells_done: 0,
+            cells_total: 1,
+        };
+        let text = p.to_json(12).render();
+        assert!(
+            text.starts_with("{\"event\":\"progress\",\"id\":12,\"seq\":3,"),
+            "{text}"
+        );
+        assert!(text.contains("\"phase\":\"measure\""), "{text}");
+        assert!(text.contains("\"ops\":500"), "{text}");
+        p.phase = "done";
+        assert!(p.to_json(12).render().contains("\"phase\":\"done\""));
+    }
+}

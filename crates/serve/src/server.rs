@@ -8,15 +8,17 @@
 //! `Retry-After`, never blocking the accept path.
 
 use crate::error::ErrorCode;
-use crate::http::{read_request, Request, Response};
+use crate::http::{read_request, ChunkedWriter, Request, Response};
 use crate::job::{CancelOutcome, JobRecord, JobState, JobTable};
 use crate::journal::{recover, Journal, JournalEvent, RecoveredState};
+use crate::progress::ProgressBoard;
 use crate::queue::{BoundedQueue, PushError};
-use baryon_bench::spec::{resume_from, JobSpec, CHECKPOINT_PREFIX};
+use baryon_bench::spec::{resume_from, GridSpec, JobSpec, RunSpec, CHECKPOINT_PREFIX};
 use baryon_core::checkpoint::Checkpoint;
 use baryon_sim::histogram::Histogram;
 use baryon_sim::json::{self, Json};
 use baryon_sim::telemetry::Registry;
+use baryon_sim::wire;
 use std::io::{self, BufReader};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
@@ -163,6 +165,7 @@ struct Shared {
     jobs: JobTable,
     queue: BoundedQueue<u64>,
     metrics: Metrics,
+    progress: ProgressBoard,
     shutdown: AtomicBool,
     addr: SocketAddr,
     workers: usize,
@@ -212,6 +215,7 @@ impl Server {
             jobs: JobTable::with_finished_cap(cfg.finished_cap),
             queue: BoundedQueue::new(cfg.queue_depth),
             metrics: Metrics::default(),
+            progress: ProgressBoard::new(),
             shutdown: AtomicBool::new(false),
             addr: listener.local_addr()?,
             workers: cfg.workers,
@@ -392,25 +396,73 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// scratch: their cells are independent and each is short. Checkpoints
 /// are deleted once the job settles.
 fn execute_spec(shared: &Shared, id: u64, spec: &JobSpec) -> Result<Json, String> {
-    let Some(dir) = &shared.journal_dir else {
-        return spec.execute();
-    };
-    let JobSpec::Run(run) = spec else {
-        return spec.execute();
-    };
-    let ckpt_dir = dir.join(format!("ckpt-{id}"));
-    if let Ok(Some(path)) = Checkpoint::latest_in(&ckpt_dir, CHECKPOINT_PREFIX) {
-        if let Ok((resumed_spec, result)) = resume_from(&path) {
-            if resumed_spec == *run {
-                let _ = std::fs::remove_dir_all(&ckpt_dir);
-                return Ok(result.to_json());
-            }
-        }
-        // A stale or undecodable checkpoint falls through to a fresh run.
+    match spec {
+        JobSpec::Run(run) => execute_run(shared, id, run),
+        JobSpec::Grid(grid) => execute_grid(shared, id, grid),
     }
-    let result = run.execute_with_checkpoints(&ckpt_dir, shared.checkpoint_every, 2)?;
-    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+/// Executes a single run, publishing [`crate::progress::JobProgress`]
+/// snapshots every `checkpoint_every` trace operations. Both observation
+/// and checkpointing only watch the run, so the result stays bit-identical
+/// to a plain [`RunSpec::execute`].
+fn execute_run(shared: &Shared, id: u64, run: &RunSpec) -> Result<Json, String> {
+    let ckpt_dir = shared
+        .journal_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("ckpt-{id}")));
+    if let Some(dir) = &ckpt_dir {
+        if let Ok(Some(path)) = Checkpoint::latest_in(dir, CHECKPOINT_PREFIX) {
+            if let Ok((resumed_spec, result)) = resume_from(&path) {
+                if resumed_spec == *run {
+                    let _ = std::fs::remove_dir_all(dir);
+                    return Ok(result.to_json());
+                }
+            }
+            // A stale or undecodable checkpoint falls through to a fresh
+            // run.
+        }
+    }
+    let result = run.execute_observed(
+        shared.checkpoint_every,
+        ckpt_dir.as_deref().map(|dir| (dir, 2)),
+        &mut |p| {
+            shared.progress.publish(id, |jp| {
+                jp.phase = p.phase.as_str();
+                jp.ops = p.ops;
+                jp.insts_done = p.insts_done;
+                jp.insts_target = p.insts_target;
+                jp.cycles = p.cycles;
+                jp.cells_total = 1;
+            });
+        },
+    )?;
+    if let Some(dir) = &ckpt_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     Ok(result.to_json())
+}
+
+/// Executes a grid cell by cell, publishing `cells_done` after each — the
+/// cell order, the result document, and the first-error semantics are
+/// exactly those of [`JobSpec::execute`]. Grid cells restart from scratch
+/// after a crash: they are independent and each is short.
+fn execute_grid(shared: &Shared, id: u64, grid: &GridSpec) -> Result<Json, String> {
+    let cells = grid.expand();
+    let total = cells.len() as u64;
+    shared.progress.publish(id, |jp| {
+        jp.phase = "measure";
+        jp.cells_total = total;
+    });
+    let mut results = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        results.push(cell.execute()?.to_json());
+        shared.progress.publish(id, |jp| {
+            jp.cells_done = i as u64 + 1;
+            jp.ops = i as u64 + 1;
+        });
+    }
+    Ok(Json::obj([("results", Json::Arr(results))]))
 }
 
 /// Executes `spec` and records the outcome. The guarded
@@ -453,6 +505,9 @@ fn run_job(shared: &Shared, id: u64, spec: JobSpec) {
             shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
         }
     }
+    // The final state now lives in the job table; event streams emit
+    // their end record from there.
+    shared.progress.remove(id);
 }
 
 /// Runs `spec` on a watchdog-supervised runner thread. If the runner does
@@ -531,6 +586,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Err(_) => return, // timeout or reset
         };
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // Event streams take over the connection: chunked transfer until
+        // the job settles, then close.
+        if let Some(id) = events_target(&request) {
+            if shared.jobs.get(id).is_some() {
+                let _ = stream_events(shared, id, &mut writer);
+            } else {
+                let _ = Response::error(404, ErrorCode::NotFound, "no such job")
+                    .write_to(&mut writer, true);
+            }
+            return;
+        }
         let response = route(shared, &request);
         let close = !request.keep_alive() || shared.shutdown.load(Ordering::SeqCst);
         if response.write_to(&mut writer, close).is_err() || close {
@@ -539,13 +605,98 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Dispatches one request to its endpoint.
+/// `GET /v1/jobs/<id>/events` → the job ID; anything else → `None`.
+fn events_target(request: &Request) -> Option<u64> {
+    if request.method != "GET" {
+        return None;
+    }
+    let path = request
+        .path
+        .split_once('?')
+        .map_or(request.path.as_str(), |(p, _)| p);
+    path.strip_prefix("/v1/jobs/")?
+        .strip_suffix("/events")?
+        .parse()
+        .ok()
+}
+
+/// How many empty waits (500 ms each) between `alive` heartbeats on an
+/// otherwise idle event stream — a dead peer is noticed within ~10 s even
+/// when the job publishes nothing (e.g. still queued).
+const STREAM_HEARTBEAT_WAITS: u32 = 20;
+
+/// Streams one JSON event object per line over chunked transfer encoding
+/// until the job settles: `progress` events whenever the job's
+/// [`crate::progress::JobProgress`] sequence moves (strictly monotonic
+/// `seq`/`ops` within a run), `alive` heartbeats across long gaps, and a
+/// final `end` event carrying the settled state.
+fn stream_events(shared: &Shared, id: u64, writer: &mut TcpStream) -> io::Result<()> {
+    let mut stream = ChunkedWriter::begin(&mut *writer, 200, &[])?;
+    let mut last_seq = 0;
+    let mut idle_waits = 0;
+    loop {
+        if let Some(p) = shared.progress.get(id) {
+            if p.seq > last_seq {
+                last_seq = p.seq;
+                idle_waits = 0;
+                let mut line = p.to_json(id).render();
+                line.push('\n');
+                stream.chunk(line.as_bytes())?;
+            }
+        }
+        let Some(state) = shared.jobs.state(id) else {
+            // Evicted mid-stream (retention cap) — close the stream with
+            // what we know.
+            let mut line = Json::obj([
+                ("event", Json::from("end")),
+                ("id", Json::from(id)),
+                ("state", Json::from("evicted")),
+            ])
+            .render();
+            line.push('\n');
+            stream.chunk(line.as_bytes())?;
+            return stream.finish();
+        };
+        if state.is_settled() {
+            let mut line = Json::obj([
+                ("event", Json::from("end")),
+                ("id", Json::from(id)),
+                ("state", Json::from(state.as_str())),
+            ])
+            .render();
+            line.push('\n');
+            stream.chunk(line.as_bytes())?;
+            return stream.finish();
+        }
+        if shared
+            .progress
+            .wait_past(id, last_seq, Duration::from_millis(500))
+            .is_none()
+        {
+            idle_waits += 1;
+            if idle_waits >= STREAM_HEARTBEAT_WAITS {
+                idle_waits = 0;
+                let mut line =
+                    Json::obj([("event", Json::from("alive")), ("id", Json::from(id))]).render();
+                line.push('\n');
+                stream.chunk(line.as_bytes())?;
+            }
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint. The query string (if any) only
+/// matters to `/v1/metrics` (`?format=wire`); it never participates in
+/// path matching.
 fn route(shared: &Shared, request: &Request) -> Response {
-    let path = request.path.as_str();
+    let (path, query) = request
+        .path
+        .split_once('?')
+        .unwrap_or((request.path.as_str(), ""));
     let method = request.method.as_str();
     match (method, path) {
         ("GET", "/v1/healthz") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
-        ("GET", "/v1/metrics") => metrics_response(shared),
+        ("GET", "/v1/metrics") => metrics_response(shared, query),
         ("POST", "/v1/jobs") => submit(shared, &request.body),
         ("POST", "/v1/shutdown") => shutdown(shared),
         _ => {
@@ -665,11 +816,23 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
     }
 }
 
-fn metrics_response(shared: &Shared) -> Response {
+/// `GET /v1/metrics` — the JSON registry document by default, or
+/// `{"wire": "<hex>"}` of the registry's full-fidelity
+/// [`Registry::save_state`] bytes with `?format=wire`. The wire form is
+/// what fleet coordinators absorb: unlike the JSON summaries (five fixed
+/// percentile fields), the wire bytes reconstruct the registry exactly, so
+/// merged fleet histograms stay faithful.
+fn metrics_response(shared: &Shared, query: &str) -> Response {
     let reg =
         shared
             .metrics
             .to_registry(shared.queue.len(), shared.workers, shared.jobs.evictions());
+    if query.split('&').any(|pair| pair == "format=wire") {
+        let mut w = wire::Writer::new();
+        reg.save_state(&mut w);
+        let hex = wire::to_hex(&w.into_bytes());
+        return Response::json(200, &Json::obj([("wire", Json::from(hex.as_str()))]));
+    }
     Response::json(200, &reg.to_json())
 }
 

@@ -388,3 +388,109 @@ fn submissions_after_shutdown_are_refused() {
     assert!(client::request(addr, "POST", "/v1/jobs", Some(QUICK_SPEC)).is_err());
     let _ = id;
 }
+
+#[test]
+fn events_stream_delivers_monotonic_progress_then_end() {
+    let (addr, handle) = boot(1, 4);
+    // Long enough to cross several observation intervals (the default
+    // cadence is 20k trace operations between progress publishes).
+    let spec = r#"{"workload":"ycsb-a","controller":"simple",
+        "insts":150000,"warmup":10000,"scale":1024,"seed":7}"#;
+    let accepted = submit(addr, spec);
+    assert_eq!(accepted.status, 202);
+    let id = job_id(&accepted);
+
+    let mut lines = Vec::new();
+    baryon_serve::client::Client::new(addr)
+        .stream(&format!("/v1/jobs/{id}/events"), &mut |line| {
+            lines.push(line.to_owned())
+        })
+        .expect("stream runs to completion");
+    assert!(!lines.is_empty(), "stream delivered nothing");
+
+    let mut last_ops = 0u64;
+    let mut progress_events = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        let doc = parse(line).expect("event line is JSON");
+        let Json::Str(event) = get_field(&doc, "event") else {
+            panic!("event should be a string: {line}");
+        };
+        match event.as_str() {
+            "progress" => {
+                progress_events += 1;
+                let Json::U64(ops) = get_field(&doc, "ops") else {
+                    panic!("ops should be an integer: {line}");
+                };
+                assert!(
+                    *ops > last_ops,
+                    "progress must be strictly monotonic: {ops} after {last_ops}"
+                );
+                last_ops = *ops;
+            }
+            "end" => {
+                assert_eq!(i, lines.len() - 1, "end must be the final event");
+                let Json::Str(state) = get_field(&doc, "state") else {
+                    panic!("state should be a string: {line}");
+                };
+                assert_eq!(state, "done", "{line}");
+            }
+            "alive" => {}
+            other => panic!("unknown event {other}: {line}"),
+        }
+    }
+    assert!(progress_events >= 1, "no progress events in {lines:?}");
+    assert!(
+        lines
+            .last()
+            .expect("nonempty")
+            .contains("\"event\":\"end\""),
+        "stream must settle with an end event: {lines:?}"
+    );
+
+    // Streaming observed the run without perturbing it: the result still
+    // matches the direct in-process execution byte for byte.
+    let status = await_job(addr, id);
+    let direct = {
+        let doc = parse(spec).expect("spec is JSON");
+        let run = RunSpec::from_json(&doc).expect("valid spec");
+        run.execute().expect("runs").to_json().render()
+    };
+    assert_eq!(get_field(&status, "result").render(), direct);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn events_stream_for_unknown_job_is_a_typed_404() {
+    let (addr, handle) = boot(1, 2);
+    let err = baryon_serve::client::Client::new(addr)
+        .stream("/v1/jobs/424242/events", &mut |_| {})
+        .expect_err("no such job");
+    assert_eq!(err.code(), Some(baryon_serve::ErrorCode::NotFound), "{err}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn wire_metrics_reconstruct_the_registry_exactly() {
+    let (addr, handle) = boot(1, 2);
+    let accepted = submit(addr, QUICK_SPEC);
+    assert_eq!(accepted.status, 202);
+    await_job(addr, job_id(&accepted));
+
+    let wire_doc = client::request(addr, "GET", "/v1/metrics?format=wire", None)
+        .expect("wire metrics reachable");
+    assert_eq!(wire_doc.status, 200, "{}", wire_doc.body);
+    let doc = parse(&wire_doc.body).expect("wire envelope is JSON");
+    let Json::Str(hex) = get_field(&doc, "wire") else {
+        panic!("wire should be a hex string: {}", wire_doc.body);
+    };
+    let bytes = baryon_sim::wire::from_hex(hex).expect("valid hex");
+    let mut reader = baryon_sim::wire::Reader::new(&bytes);
+    let reg = baryon_sim::telemetry::Registry::load_state(&mut reader).expect("registry decodes");
+    assert_eq!(reg.counter("serve.jobs.done"), 1);
+    assert_eq!(reg.counter("serve.jobs.submitted"), 1);
+    assert!(
+        reg.summary("serve.job_latency_us").is_some(),
+        "histograms survive the wire form"
+    );
+    shutdown(addr, handle);
+}

@@ -280,6 +280,46 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Lower-case hex encoding of a wire payload, for transports that only
+/// carry UTF-8 text (JSON response bodies). Two characters per byte; no
+/// prefix, no separators.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xF) as usize] as char);
+    }
+    out
+}
+
+/// Decodes [`to_hex`] output back into bytes. Accepts upper- or
+/// lower-case digits.
+///
+/// # Errors
+///
+/// [`WireError::BadLength`] on odd-length input, [`WireError::BadTag`] on
+/// a non-hex character (carrying the offending byte).
+pub fn from_hex(text: &str) -> Result<Vec<u8>, WireError> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(WireError::BadLength(bytes.len() as u64));
+    }
+    let digit = |c: u8| -> Result<u8, WireError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(WireError::BadTag(c)),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((digit(pair[0])? << 4) | digit(pair[1])?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +348,21 @@ mod tests {
         assert!(r.bool().unwrap());
         assert!(!r.bool().unwrap());
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn hex_round_trip_and_rejection() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(to_hex(&[0x00, 0xAB, 0xFF]), "00abff");
+        assert_eq!(from_hex("00abff").unwrap(), vec![0x00, 0xAB, 0xFF]);
+        assert_eq!(from_hex("00ABFF").unwrap(), vec![0x00, 0xAB, 0xFF]);
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        for i in 0..=255u8 {
+            let bytes = vec![i, i.wrapping_mul(31)];
+            assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        }
+        assert_eq!(from_hex("abc"), Err(WireError::BadLength(3)));
+        assert_eq!(from_hex("zz"), Err(WireError::BadTag(b'z')));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Property tests for [`Registry::absorb`] — the namespacing merge a
+//! fleet coordinator uses to fold every worker shard's registry into one
+//! `/v1/metrics` document under `shard<i>.` prefixes.
+//!
+//! Three contracts, for arbitrary shard registries:
+//!
+//! * **Order-independence** — absorbing K shard snapshots under distinct
+//!   prefixes yields the same merged snapshot in any absorption order.
+//! * **Collision-freedom** — every merged metric maps back to exactly one
+//!   shard with its value intact; nothing is lost, nothing is conflated,
+//!   even when every shard exports identical metric names.
+//! * **Restart semantics** — re-absorbing a restarted shard's registry
+//!   under its old prefix replaces gauges (latest wins) rather than
+//!   double-counting them; counters accumulate by design, which is why a
+//!   scraper that wants replace-semantics rebuilds from a fresh registry
+//!   (as the fleet's `/v1/metrics` does).
+
+use baryon_sim::check;
+use baryon_sim::telemetry::Registry;
+
+/// A metric name from a small fixed pool — collisions *between shards*
+/// are the interesting case, so every shard draws from the same pool.
+fn name(g: &mut check::Gen, kind: &str) -> String {
+    let comp = ["serve", "ctrl", "cache.l2", "mem"][g.choice(4)];
+    let field = ["jobs.done", "reads", "bytes", "lat"][g.choice(4)];
+    format!("{comp}.{field}.{kind}")
+}
+
+/// An arbitrary shard registry: counters, gauges, and summaries with
+/// bounded magnitudes (counts, not bit patterns — sums must not overflow).
+fn shard_registry(g: &mut check::Gen) -> Registry {
+    let mut reg = Registry::new();
+    for _ in 0..g.range(0, 6) {
+        reg.add(&name(g, "c"), g.range(0, 1 << 40));
+    }
+    for _ in 0..g.range(0, 6) {
+        // Finite, comparable gauges (no NaN: the equality below must hold).
+        reg.set_gauge(&name(g, "g"), g.range(0, 1 << 20) as f64);
+    }
+    for _ in 0..g.range(0, 3) {
+        let n = name(g, "s");
+        for _ in 0..g.range(1, 6) {
+            reg.observe(&n, g.range(0, 1 << 40));
+        }
+    }
+    reg
+}
+
+#[test]
+fn absorbing_disjoint_prefixes_is_order_independent() {
+    check::props("absorb_order_independent").run(|g| {
+        let k = g.usize_range(1, 5);
+        let shards: Vec<Registry> = (0..k).map(|_| shard_registry(g)).collect();
+        let mut forward = Registry::new();
+        for (i, shard) in shards.iter().enumerate() {
+            forward.absorb(&format!("shard{i}"), shard);
+        }
+        let mut reverse = Registry::new();
+        for (i, shard) in shards.iter().enumerate().rev() {
+            reverse.absorb(&format!("shard{i}"), shard);
+        }
+        assert_eq!(
+            forward.snapshot(),
+            reverse.snapshot(),
+            "distinct prefixes must commute"
+        );
+    });
+}
+
+#[test]
+fn absorbed_metrics_map_back_to_exactly_one_shard() {
+    check::props("absorb_collision_free").run(|g| {
+        let k = g.usize_range(1, 5);
+        let shards: Vec<Registry> = (0..k).map(|_| shard_registry(g)).collect();
+        let mut merged = Registry::new();
+        for (i, shard) in shards.iter().enumerate() {
+            merged.absorb(&format!("shard{i}"), shard);
+        }
+        // Every shard metric appears under its own prefix with its exact
+        // value — shards exporting identical names never conflate.
+        for (i, shard) in shards.iter().enumerate() {
+            for (name, value) in shard.counters() {
+                assert_eq!(merged.counter(&format!("shard{i}.{name}")), value);
+            }
+            for (name, value) in shard.gauges() {
+                assert_eq!(merged.gauge(&format!("shard{i}.{name}")), value);
+            }
+            for (name, h) in shard.summaries() {
+                let m = merged
+                    .summary(&format!("shard{i}.{name}"))
+                    .expect("summary survives the merge");
+                assert_eq!((m.count(), m.min(), m.max()), (h.count(), h.min(), h.max()));
+            }
+        }
+        // ... and nothing else appears: the merged registry is exactly the
+        // union, so every merged key parses back to a live (shard, name).
+        for (full, _) in merged.counters() {
+            let (prefix, rest) = full.split_once('.').expect("prefixed name");
+            let i: usize = prefix
+                .strip_prefix("shard")
+                .expect("shard prefix")
+                .parse()
+                .expect("shard index");
+            assert!(i < k, "{full} names a shard that was never absorbed");
+            assert!(
+                shards[i].counters().any(|(n, _)| n == rest),
+                "{full} has no source metric"
+            );
+        }
+        let merged_count = merged.counters().count();
+        let source_count: usize = shards.iter().map(|s| s.counters().count()).sum();
+        assert_eq!(
+            merged_count, source_count,
+            "no key collisions across prefixes"
+        );
+    });
+}
+
+#[test]
+fn reabsorbing_a_restarted_shard_replaces_gauges() {
+    check::props("absorb_restart_gauges_replace").run(|g| {
+        let before = shard_registry(g);
+        let after = shard_registry(g); // the restarted incarnation
+        let mut merged = Registry::new();
+        merged.absorb("shard0", &before);
+        merged.absorb("shard0", &after);
+        // Gauges are instantaneous readings: the restarted shard's value
+        // wins outright, never `before + after`.
+        for (name, value) in after.gauges() {
+            assert_eq!(
+                merged.gauge(&format!("shard0.{name}")),
+                value,
+                "gauge {name} must read the latest incarnation"
+            );
+        }
+        // Counters accumulate on re-absorb (absorb is a merge, not a
+        // scrape) — the documented reason a fleet scraper folds shards
+        // into a *fresh* registry each time. A fresh rebuild restores
+        // replace-semantics for counters too:
+        let mut rebuilt = Registry::new();
+        rebuilt.absorb("shard0", &after);
+        for (name, value) in after.counters() {
+            assert!(
+                merged.counter(&format!("shard0.{name}")) >= value,
+                "merge accumulated"
+            );
+            assert_eq!(
+                rebuilt.counter(&format!("shard0.{name}")),
+                value,
+                "fresh scrape must not double-count {name}"
+            );
+        }
+        assert_eq!(rebuilt.snapshot(), {
+            let mut expect = Registry::new();
+            expect.absorb("shard0", &after);
+            expect.snapshot()
+        });
+    });
+}

@@ -59,14 +59,25 @@ cargo test -q -p baryon-bench --release --offline --test parallel_determinism
 echo "==> differential golden gate (9 controllers x 17 workloads)"
 cargo test -q -p baryon-bench --release --offline --test differential_golden
 
+# Fleet determinism gate: boot a coordinator over 3 real shard
+# processes, submit a batched grid sweep, SIGKILL one shard while cells
+# are in flight, and require the supervisor to restart it and the
+# gathered result to be byte-identical to a single-process run of the
+# same spec. Also asserts the event stream's progress is monotonic and
+# /v1/metrics reports every shard under its shard<i>. namespace.
+echo "==> fleet kill-mid-sweep determinism gate (3 shards)"
+cargo run --release -p baryon-fleet --bin fleet_gate --offline
+
 # Throughput + telemetry overhead gate: the sim-throughput harness runs
 # a small workload matrix twice (spans off / spans on) and fails when
 # enabling telemetry costs more than 5% aggregate wall-clock (override
 # with BARYON_BENCH_MAX_OVERHEAD_PCT) or when any workload drops below
 # its per-workload ops/sec regression floor (scale the floors with
 # BARYON_BENCH_FLOOR_SCALE on slow hosts). It also refreshes the
-# profiling document BENCH_sim_throughput.json at the repository root.
+# profiling document BENCH_sim_throughput.json at the repository root,
+# now including the fleet_submit control-plane figure (jobs/sec for
+# trivial specs through a live 2-shard coordinator).
 echo "==> bench: sim-throughput (regression floors + telemetry overhead gate)"
-cargo run --release -p baryon-bench --bin sim_throughput --offline
+cargo run --release -p baryon-fleet --bin sim_throughput --offline
 
 echo "==> OK"
