@@ -11,6 +11,7 @@
 use baryon_core::checkpoint::{Checkpoint, RestoreError};
 use baryon_core::config::BaryonConfig;
 use baryon_core::metrics::RunResult;
+use baryon_core::policy::FleetPolicy;
 use baryon_core::system::{ControllerKind, RunProgress, System, SystemConfig};
 use baryon_sim::json::{parse, Json};
 use baryon_sim::wire::{Reader, Writer};
@@ -50,6 +51,22 @@ pub fn controller_kind(name: &str, scale: Scale) -> Option<ControllerKind> {
         "os-paging" => ControllerKind::OsPaging,
         _ => return None,
     })
+}
+
+/// Overlays a fleet policy's controller overrides onto a resolved
+/// [`ControllerKind`]. Baseline controllers (non-Baryon) carry no tunable
+/// knobs and pass through unchanged.
+fn apply_policy(kind: ControllerKind, policy: Option<&FleetPolicy>) -> ControllerKind {
+    match (kind, policy) {
+        (ControllerKind::Baryon(cfg), Some(p)) => ControllerKind::Baryon(p.apply(cfg)),
+        (kind, _) => kind,
+    }
+}
+
+/// Stamps the policy's config generation into a finished result.
+fn stamp_generation(mut result: RunResult, policy: Option<&FleetPolicy>) -> RunResult {
+    result.config_generation = policy.map_or(0, |p| p.generation);
+    result
 }
 
 /// One fully-specified simulation run.
@@ -224,8 +241,20 @@ impl RunSpec {
     ///
     /// Returns the [`RunSpec::validate`] error for bad names or ranges.
     pub fn execute(&self) -> Result<RunResult, String> {
-        let mut system = self.build_system()?;
-        Ok(system.run(self.insts))
+        self.execute_with(None)
+    }
+
+    /// [`RunSpec::execute`] under a fleet policy: controller overrides are
+    /// overlaid onto the run's design point and the policy's config
+    /// generation is stamped into the result. `None` is the baseline and
+    /// bit-identical to [`RunSpec::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RunSpec::validate`] error for bad names or ranges.
+    pub fn execute_with(&self, policy: Option<&FleetPolicy>) -> Result<RunResult, String> {
+        let mut system = self.build_system_with(policy)?;
+        Ok(stamp_generation(system.run(self.insts), policy))
     }
 
     /// Constructs the [`System`] this spec describes without running it —
@@ -236,12 +265,25 @@ impl RunSpec {
     ///
     /// Returns the [`RunSpec::validate`] error for bad names or ranges.
     pub fn build_system(&self) -> Result<System, String> {
+        self.build_system_with(None)
+    }
+
+    /// [`RunSpec::build_system`] with a fleet policy overlaid onto the
+    /// resolved controller configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RunSpec::validate`] error for bad names or ranges.
+    pub fn build_system_with(&self, policy: Option<&FleetPolicy>) -> Result<System, String> {
         self.validate()?;
         let scale = Scale {
             divisor: self.scale,
         };
         let workload = by_name(&self.workload, scale).expect("validated");
-        let kind = controller_kind(&self.controller, scale).expect("validated");
+        let kind = apply_policy(
+            controller_kind(&self.controller, scale).expect("validated"),
+            policy,
+        );
         let mut cfg = SystemConfig::with_controller(scale, kind);
         cfg.warmup_insts = self.warmup;
         cfg.mlp = self.mlp as usize;
@@ -299,8 +341,25 @@ impl RunSpec {
         checkpoints: Option<(&Path, usize)>,
         observe: &mut dyn FnMut(RunProgress),
     ) -> Result<RunResult, String> {
+        self.execute_observed_with(every, checkpoints, observe, None)
+    }
+
+    /// [`RunSpec::execute_observed`] under a fleet policy (see
+    /// [`RunSpec::execute_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RunSpec::validate`] error, or an I/O error message
+    /// if a checkpoint cannot be written.
+    pub fn execute_observed_with(
+        &self,
+        every: u64,
+        checkpoints: Option<(&Path, usize)>,
+        observe: &mut dyn FnMut(RunProgress),
+        policy: Option<&FleetPolicy>,
+    ) -> Result<RunResult, String> {
         let every = every.max(1);
-        let mut system = self.build_system()?;
+        let mut system = self.build_system_with(policy)?;
         system.begin(self.insts);
         loop {
             let done = system.advance(every);
@@ -315,7 +374,7 @@ impl RunSpec {
             }
             observe(system.run_progress().expect("run in progress"));
             if done {
-                return Ok(system.finish());
+                return Ok(stamp_generation(system.finish(), policy));
             }
         }
     }
@@ -332,6 +391,20 @@ impl RunSpec {
 /// does not decode against the rebuilt system, or an embedded spec that
 /// disagrees with the checkpoint envelope.
 pub fn resume_from(path: &Path) -> Result<(RunSpec, RunResult), RestoreError> {
+    resume_from_with(path, None)
+}
+
+/// [`resume_from`] under a fleet policy: the system is rebuilt with the
+/// same overlaid configuration the checkpointed run executed with, so a
+/// shard respawned mid-generation resumes its jobs correctly.
+///
+/// # Errors
+///
+/// Any [`RestoreError`] (see [`resume_from`]).
+pub fn resume_from_with(
+    path: &Path,
+    policy: Option<&FleetPolicy>,
+) -> Result<(RunSpec, RunResult), RestoreError> {
     let ckpt = Checkpoint::read_from(path)?;
     let doc = parse(&ckpt.spec_json)
         .map_err(|e| RestoreError::SpecMismatch(format!("embedded spec is not valid JSON: {e}")))?;
@@ -348,7 +421,9 @@ pub fn resume_from(path: &Path) -> Result<(RunSpec, RunResult), RestoreError> {
             ckpt.seed, spec.seed
         )));
     }
-    let mut system = spec.build_system().map_err(RestoreError::SpecMismatch)?;
+    let mut system = spec
+        .build_system_with(policy)
+        .map_err(RestoreError::SpecMismatch)?;
     let mut r = Reader::new(&ckpt.state);
     system.load_state(&mut r)?;
     r.finish()?;
@@ -358,7 +433,7 @@ pub fn resume_from(path: &Path) -> Result<(RunSpec, RunResult), RestoreError> {
         ));
     }
     system.advance(u64::MAX);
-    Ok((spec, system.finish()))
+    Ok((spec, stamp_generation(system.finish(), policy)))
 }
 
 /// A cross product of workloads × controllers sharing one set of knobs —
@@ -722,6 +797,62 @@ mod tests {
             Err(RestoreError::SpecMismatch(msg)) => assert!(msg.contains("seed"), "{msg}"),
             other => panic!("expected SpecMismatch, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn policy_overlay_changes_run_and_stamps_generation() {
+        let spec = small_spec();
+        let baseline = spec.execute().expect("baseline");
+        // An empty policy at generation 0 is bit-identical to no policy.
+        let noop = FleetPolicy::default();
+        let under_noop = spec.execute_with(Some(&noop)).expect("noop policy");
+        assert_eq!(under_noop.to_json().render(), baseline.to_json().render());
+        // A real override perturbs the run and stamps its generation.
+        let policy = FleetPolicy {
+            generation: 5,
+            commit_all: Some(true),
+            ..FleetPolicy::default()
+        };
+        let under_policy = spec.execute_with(Some(&policy)).expect("policy run");
+        assert_eq!(under_policy.config_generation, 5);
+        assert!(
+            under_policy
+                .to_json()
+                .render()
+                .contains("\"config_generation\":5"),
+            "generation missing from the document"
+        );
+        assert_ne!(
+            under_policy.total_cycles, baseline.total_cycles,
+            "commit-all override did not change the run"
+        );
+    }
+
+    #[test]
+    fn policy_resume_matches_uninterrupted_policy_run() {
+        let spec = small_spec();
+        let policy = FleetPolicy {
+            generation: 2,
+            zero_opt: Some(false),
+            ..FleetPolicy::default()
+        };
+        let golden = spec.execute_with(Some(&policy)).expect("golden");
+        let dir = temp_dir("policy-ckpt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let observed = spec
+            .execute_observed_with(500, Some((&dir, 3)), &mut |_| {}, Some(&policy))
+            .expect("checkpointed run");
+        assert_eq!(observed.to_json().render(), golden.to_json().render());
+        let latest = Checkpoint::latest_in(&dir, CHECKPOINT_PREFIX)
+            .expect("scan")
+            .expect("checkpoint exists");
+        let (_, resumed) = resume_from_with(&latest, Some(&policy)).expect("resume");
+        assert_eq!(
+            resumed.to_json().render(),
+            golden.to_json().render(),
+            "policy-aware resume diverged"
+        );
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

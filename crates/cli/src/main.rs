@@ -10,6 +10,8 @@
 //! baryon-cli record --workload ycsb-a --ops 100000 --out trace.bin
 //! baryon-cli serve --port 8677 --workers 4 --queue-depth 32
 //! baryon-cli fleet --port 8678 --shards 3 --workers 2
+//! baryon-cli fleet admin stage --file policy.json
+//! baryon-cli fleet admin commit
 //! ```
 //!
 //! Controllers: `baryon`, `baryon-fa`, `baryon-mixed`, `simple`, `unison`,
@@ -31,6 +33,7 @@ use baryon_workloads::{by_name, registry, RecordedTrace};
 use std::path::Path;
 use std::process::ExitCode;
 
+mod admin;
 mod args;
 mod launch;
 
@@ -47,9 +50,10 @@ fn usage() -> ! {
          baryon-cli compare --workload <name> [--insts N] [--scale D]\n  \
          baryon-cli record --workload <name> --out FILE [--ops N] [--core C]\n  \
          baryon-cli serve [--port P] [--workers N] [--queue-depth N] [--deadline-ms MS]\n      \
-         [--journal-dir DIR]\n  \
+         [--journal-dir DIR] [--policy FILE]\n  \
          baryon-cli fleet [--port P] [--shards N] [--workers N] [--queue-depth N]\n      \
-         [--queue-cap N] [--max-in-flight N] [--journal-root DIR] [--shard-program EXE]\n\n\
+         [--queue-cap N] [--max-in-flight N] [--journal-root DIR] [--shard-program EXE]\n  \
+         baryon-cli fleet admin status|stage|commit|rollback [--addr HOST:PORT] [--file FILE]\n\n\
          flags accept both `--flag value` and `--flag=value`\n\
          controllers: baryon baryon-fa baryon-mixed simple unison dice hybrid2 \
          micro-sector os-paging"
@@ -238,6 +242,18 @@ fn cmd_record(args: &Args) -> ExitCode {
 }
 
 fn cmd_serve(args: &Args) -> ExitCode {
+    // A fleet commit respawns shards with `--policy <staged file>`; the
+    // flag is therefore part of the spawn contract, not just a user knob.
+    let policy = match args.get("policy") {
+        None => None,
+        Some(path) => match baryon_core::policy::FleetPolicy::load(Path::new(&path)) {
+            Ok(policy) => Some(policy),
+            Err(e) => {
+                eprintln!("cannot load policy {path}: {e}");
+                return ExitCode::from(5);
+            }
+        },
+    };
     let deadline_ms = args.num("deadline-ms", 0);
     let cfg = ServeConfig {
         port: args.num("port", 8677) as u16,
@@ -246,6 +262,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
         job_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         journal_dir: args.get("journal-dir").map(std::path::PathBuf::from),
         finished_cap: (args.num("finished-cap", 256) as usize).max(1),
+        policy,
     };
     let server = match Server::bind(cfg.clone()) {
         Ok(server) => server,
@@ -314,6 +331,9 @@ fn cmd_fleet(args: &Args) -> ExitCode {
         prefix_args: vec!["serve".to_owned()],
         workers: cfg.workers_per_shard,
         queue_depth: cfg.shard_queue_depth,
+        // The coordinator fills this in when a committed config rollout
+        // (or a restored slot file) dictates the shards' policy.
+        policy_path: None,
     };
     let fleet = match Fleet::bind(cfg.clone(), launcher) {
         Ok(fleet) => fleet,
@@ -347,7 +367,17 @@ fn cmd_fleet(args: &Args) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args = Args::parse(std::env::args().skip(1));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `fleet admin <action>` carries a second positional the flag parser
+    // doesn't model; route it before general parsing.
+    if argv.first().map(String::as_str) == Some("fleet")
+        && argv.get(1).map(String::as_str) == Some("admin")
+    {
+        let action = argv.get(2).cloned();
+        let args = Args::parse(argv.into_iter().skip(3));
+        return admin::cmd_admin(action.as_deref(), &args);
+    }
+    let args = Args::parse(argv);
     match args.command() {
         Some("list") => cmd_list(&args),
         Some("run") => cmd_run(&args),

@@ -42,6 +42,7 @@ pub mod controller;
 pub mod ctrl;
 pub mod metadata;
 pub mod metrics;
+pub mod policy;
 pub mod remap;
 pub mod stage;
 pub mod system;
@@ -50,3 +51,4 @@ pub use addr::Geometry;
 pub use config::{BaryonConfig, HybridMode};
 pub use ctrl::{MemoryController, Request, Response};
 pub use metrics::RunResult;
+pub use policy::FleetPolicy;

@@ -28,6 +28,11 @@ pub struct RunResult {
     /// [`RunResult::snapshot`] or [`Registry`] accessors — the per-crate
     /// stats structs are internal publishers only.
     pub telemetry: Registry,
+    /// The fleet config generation the run executed under (0 = the
+    /// built-in baseline; stamped by policy-aware execution paths so
+    /// results produced under different rollout generations are
+    /// distinguishable).
+    pub config_generation: u64,
 }
 
 impl RunResult {
@@ -86,7 +91,7 @@ impl RunResult {
     /// summary, latency percentiles, and the unified telemetry registry)
     /// for machine consumption, e.g. `baryon-cli run --json`.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let doc = Json::obj([
             ("controller", Json::from(self.controller.as_str())),
             ("workload", Json::from(self.workload.as_str())),
             ("cycles", Json::from(self.total_cycles)),
@@ -120,7 +125,20 @@ impl RunResult {
                 ]),
             ),
             ("telemetry", self.telemetry.to_json()),
-        ])
+        ]);
+        // Stamped only when non-zero so baseline (generation 0) documents
+        // stay byte-identical with or without the rollout machinery.
+        if self.config_generation == 0 {
+            return doc;
+        }
+        let Json::Obj(mut pairs) = doc else {
+            unreachable!("Json::obj builds an object");
+        };
+        pairs.push((
+            "config_generation".to_owned(),
+            Json::U64(self.config_generation),
+        ));
+        Json::Obj(pairs)
     }
 }
 
@@ -164,6 +182,7 @@ mod tests {
             serve: ServeStats::default(),
             read_latency: Histogram::new(),
             telemetry: Registry::new(),
+            config_generation: 0,
         }
     }
 
@@ -215,6 +234,22 @@ mod tests {
         }
         // Deterministic output for identical results.
         assert_eq!(text, r.to_json().render());
+    }
+
+    #[test]
+    fn config_generation_stamped_only_when_non_zero() {
+        let mut r = result(1000, 4000);
+        let baseline = r.to_json().render();
+        assert!(
+            !baseline.contains("config_generation"),
+            "generation 0 must not perturb baseline documents:\n{baseline}"
+        );
+        r.config_generation = 3;
+        let stamped = r.to_json().render();
+        assert!(
+            stamped.contains("\"config_generation\":3"),
+            "missing stamp in:\n{stamped}"
+        );
     }
 
     #[test]

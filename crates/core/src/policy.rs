@@ -1,0 +1,450 @@
+//! Fleet-wide configuration policy: the unit of A/B rollout.
+//!
+//! A [`FleetPolicy`] is a sparse overlay over [`BaryonConfig`]: every field
+//! is optional, and an absent field means "keep the controller's default
+//! for the run's scale". This keeps a staged policy meaningful across runs
+//! at different scales (the overlay is applied on top of the design point
+//! the run would have used anyway) and makes the empty policy exactly the
+//! baseline — generation 0 results are byte-identical with or without the
+//! rollout machinery.
+//!
+//! Validation goes through [`BaryonConfig::builder`], so a bad policy is
+//! rejected at *stage* time with the same typed [`ConfigError`] a direct
+//! misconfiguration would produce, never at job-execution time on a live
+//! shard.
+
+use crate::config::{BaryonConfig, ConfigError};
+use baryon_sim::json::Json;
+use baryon_sim::wire::{Reader, WireError, Writer};
+use baryon_workloads::Scale;
+
+/// A versioned, sparse overlay of operator-tunable controller knobs plus
+/// serving limits, distributed to shards by the fleet's rollout engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetPolicy {
+    /// The fleet config generation that produced this policy (0 = the
+    /// built-in baseline; stamped by the coordinator's slot machine).
+    pub generation: u64,
+    /// Overrides the selective-commit weight `k` (Eq. 1).
+    pub commit_k: Option<f64>,
+    /// Overrides the commit-all ablation switch.
+    pub commit_all: Option<bool>,
+    /// Overrides cacheline-aligned compression.
+    pub cacheline_aligned: Option<bool>,
+    /// Overrides the `Z`-bit all-zero range optimization.
+    pub zero_opt: Option<bool>,
+    /// Overrides the C-Pack compressor toggle.
+    pub use_cpack: Option<bool>,
+    /// Overrides compressed fast-to-slow writeback.
+    pub compressed_writeback: Option<bool>,
+    /// Overrides block-level stage replacement.
+    pub two_level_replacement: Option<bool>,
+    /// Overrides the metadata-scrub interval.
+    pub scrub_interval: Option<u64>,
+    /// Overrides the stage-area associativity.
+    pub stage_ways: Option<usize>,
+    /// Per-job wall-clock deadline on shards, in milliseconds.
+    pub job_deadline_ms: Option<u64>,
+    /// Checkpoint cadence (instructions) on shards.
+    pub checkpoint_every: Option<u64>,
+}
+
+/// The scale every staged policy is validated against. Controller knobs are
+/// scale-independent (they overlay whatever design point a run uses), so
+/// one canonical scale suffices to catch illegal values at stage time.
+pub const VALIDATION_SCALE: Scale = Scale { divisor: 256 };
+
+impl FleetPolicy {
+    /// True when the policy overrides nothing — the built-in baseline.
+    pub fn is_baseline(&self) -> bool {
+        self.commit_k.is_none()
+            && self.commit_all.is_none()
+            && self.cacheline_aligned.is_none()
+            && self.zero_opt.is_none()
+            && self.use_cpack.is_none()
+            && self.compressed_writeback.is_none()
+            && self.two_level_replacement.is_none()
+            && self.scrub_interval.is_none()
+            && self.stage_ways.is_none()
+            && self.job_deadline_ms.is_none()
+            && self.checkpoint_every.is_none()
+    }
+
+    /// Applies the controller overrides on top of `cfg`.
+    pub fn apply(&self, mut cfg: BaryonConfig) -> BaryonConfig {
+        if let Some(k) = self.commit_k {
+            cfg.commit_k = k;
+        }
+        if let Some(v) = self.commit_all {
+            cfg.commit_all = v;
+        }
+        if let Some(v) = self.cacheline_aligned {
+            cfg.cacheline_aligned = v;
+        }
+        if let Some(v) = self.zero_opt {
+            cfg.zero_opt = v;
+        }
+        if let Some(v) = self.use_cpack {
+            cfg.use_cpack = v;
+        }
+        if let Some(v) = self.compressed_writeback {
+            cfg.compressed_writeback = v;
+        }
+        if let Some(v) = self.two_level_replacement {
+            cfg.two_level_replacement = v;
+        }
+        if let Some(v) = self.scrub_interval {
+            cfg.scrub_interval = v;
+        }
+        if let Some(v) = self.stage_ways {
+            cfg.stage_ways = v;
+        }
+        cfg
+    }
+
+    /// Validates the policy through [`BaryonConfig::builder`] at
+    /// [`VALIDATION_SCALE`], returning the resolved configuration.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ConfigError`] for the first violated invariant.
+    pub fn validate(&self) -> Result<BaryonConfig, ConfigError> {
+        let mut b = BaryonConfig::builder(VALIDATION_SCALE);
+        if let Some(k) = self.commit_k {
+            b = b.commit_k(k);
+        }
+        if let Some(v) = self.commit_all {
+            b = b.commit_all(v);
+        }
+        if let Some(v) = self.cacheline_aligned {
+            b = b.cacheline_aligned(v);
+        }
+        if let Some(v) = self.zero_opt {
+            b = b.zero_opt(v);
+        }
+        if let Some(v) = self.use_cpack {
+            b = b.use_cpack(v);
+        }
+        if let Some(v) = self.compressed_writeback {
+            b = b.compressed_writeback(v);
+        }
+        if let Some(v) = self.two_level_replacement {
+            b = b.two_level_replacement(v);
+        }
+        if let Some(v) = self.scrub_interval {
+            b = b.scrub_interval(v);
+        }
+        if let Some(v) = self.stage_ways {
+            b = b.stage_ways(v);
+        }
+        b.build()
+    }
+
+    /// Renders the policy as a JSON document (absent overrides omitted).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("generation".to_owned(), Json::U64(self.generation))];
+        if let Some(k) = self.commit_k {
+            pairs.push(("commit_k".to_owned(), Json::F64(k)));
+        }
+        if let Some(v) = self.commit_all {
+            pairs.push(("commit_all".to_owned(), Json::Bool(v)));
+        }
+        if let Some(v) = self.cacheline_aligned {
+            pairs.push(("cacheline_aligned".to_owned(), Json::Bool(v)));
+        }
+        if let Some(v) = self.zero_opt {
+            pairs.push(("zero_opt".to_owned(), Json::Bool(v)));
+        }
+        if let Some(v) = self.use_cpack {
+            pairs.push(("use_cpack".to_owned(), Json::Bool(v)));
+        }
+        if let Some(v) = self.compressed_writeback {
+            pairs.push(("compressed_writeback".to_owned(), Json::Bool(v)));
+        }
+        if let Some(v) = self.two_level_replacement {
+            pairs.push(("two_level_replacement".to_owned(), Json::Bool(v)));
+        }
+        if let Some(v) = self.scrub_interval {
+            pairs.push(("scrub_interval".to_owned(), Json::U64(v)));
+        }
+        if let Some(v) = self.stage_ways {
+            pairs.push(("stage_ways".to_owned(), Json::U64(v as u64)));
+        }
+        if let Some(v) = self.job_deadline_ms {
+            pairs.push(("job_deadline_ms".to_owned(), Json::U64(v)));
+        }
+        if let Some(v) = self.checkpoint_every {
+            pairs.push(("checkpoint_every".to_owned(), Json::U64(v)));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses a policy document. Unknown keys are rejected — an operator
+    /// typo must fail at stage time, not silently no-op on the fleet.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending key or value.
+    pub fn from_json(doc: &Json) -> Result<FleetPolicy, String> {
+        let Json::Obj(pairs) = doc else {
+            return Err("policy must be a JSON object".to_owned());
+        };
+        let mut p = FleetPolicy::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "generation" => p.generation = expect_u64(key, value)?,
+                "commit_k" => p.commit_k = Some(expect_f64(key, value)?),
+                "commit_all" => p.commit_all = Some(expect_bool(key, value)?),
+                "cacheline_aligned" => p.cacheline_aligned = Some(expect_bool(key, value)?),
+                "zero_opt" => p.zero_opt = Some(expect_bool(key, value)?),
+                "use_cpack" => p.use_cpack = Some(expect_bool(key, value)?),
+                "compressed_writeback" => p.compressed_writeback = Some(expect_bool(key, value)?),
+                "two_level_replacement" => {
+                    p.two_level_replacement = Some(expect_bool(key, value)?);
+                }
+                "scrub_interval" => p.scrub_interval = Some(expect_u64(key, value)?),
+                "stage_ways" => p.stage_ways = Some(expect_u64(key, value)? as usize),
+                "job_deadline_ms" => {
+                    let ms = expect_u64(key, value)?;
+                    if ms == 0 {
+                        return Err("job_deadline_ms must be non-zero".to_owned());
+                    }
+                    p.job_deadline_ms = Some(ms);
+                }
+                "checkpoint_every" => {
+                    let every = expect_u64(key, value)?;
+                    if every == 0 {
+                        return Err("checkpoint_every must be non-zero".to_owned());
+                    }
+                    p.checkpoint_every = Some(every);
+                }
+                other => return Err(format!("unknown policy field {other:?}")),
+            }
+        }
+        Ok(p)
+    }
+
+    /// Serializes the policy over the wire codec.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.u64(self.generation);
+        opt_f64(w, self.commit_k);
+        opt_bool(w, self.commit_all);
+        opt_bool(w, self.cacheline_aligned);
+        opt_bool(w, self.zero_opt);
+        opt_bool(w, self.use_cpack);
+        opt_bool(w, self.compressed_writeback);
+        opt_bool(w, self.two_level_replacement);
+        opt_u64(w, self.scrub_interval);
+        opt_u64(w, self.stage_ways.map(|v| v as u64));
+        opt_u64(w, self.job_deadline_ms);
+        opt_u64(w, self.checkpoint_every);
+    }
+
+    /// Deserializes a policy written by [`FleetPolicy::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a truncated or malformed buffer.
+    pub fn load_state(r: &mut Reader<'_>) -> Result<FleetPolicy, WireError> {
+        Ok(FleetPolicy {
+            generation: r.u64()?,
+            commit_k: read_opt_f64(r)?,
+            commit_all: read_opt_bool(r)?,
+            cacheline_aligned: read_opt_bool(r)?,
+            zero_opt: read_opt_bool(r)?,
+            use_cpack: read_opt_bool(r)?,
+            compressed_writeback: read_opt_bool(r)?,
+            two_level_replacement: read_opt_bool(r)?,
+            scrub_interval: read_opt_u64(r)?,
+            stage_ways: read_opt_u64(r)?.map(|v| v as usize),
+            job_deadline_ms: read_opt_u64(r)?,
+            checkpoint_every: read_opt_u64(r)?,
+        })
+    }
+
+    /// Reads, parses, and validates a policy file.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the I/O, parse, or validation failure.
+    pub fn load(path: &std::path::Path) -> Result<FleetPolicy, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let doc =
+            baryon_sim::json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        let policy = FleetPolicy::from_json(&doc)?;
+        policy.validate().map_err(|e| e.to_string())?;
+        Ok(policy)
+    }
+}
+
+fn expect_u64(key: &str, value: &Json) -> Result<u64, String> {
+    match value {
+        Json::U64(n) => Ok(*n),
+        _ => Err(format!("{key} must be a non-negative integer")),
+    }
+}
+
+fn expect_f64(key: &str, value: &Json) -> Result<f64, String> {
+    match value {
+        Json::F64(x) => Ok(*x),
+        Json::U64(n) => Ok(*n as f64),
+        Json::I64(n) => Ok(*n as f64),
+        _ => Err(format!("{key} must be a number")),
+    }
+}
+
+fn expect_bool(key: &str, value: &Json) -> Result<bool, String> {
+    match value {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("{key} must be a boolean")),
+    }
+}
+
+fn opt_u64(w: &mut Writer, v: Option<u64>) {
+    w.opt(v.is_some());
+    if let Some(v) = v {
+        w.u64(v);
+    }
+}
+
+fn opt_f64(w: &mut Writer, v: Option<f64>) {
+    w.opt(v.is_some());
+    if let Some(v) = v {
+        w.f64(v);
+    }
+}
+
+fn opt_bool(w: &mut Writer, v: Option<bool>) {
+    w.opt(v.is_some());
+    if let Some(v) = v {
+        w.bool(v);
+    }
+}
+
+fn read_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, WireError> {
+    Ok(if r.opt()? { Some(r.u64()?) } else { None })
+}
+
+fn read_opt_f64(r: &mut Reader<'_>) -> Result<Option<f64>, WireError> {
+    Ok(if r.opt()? { Some(r.f64()?) } else { None })
+}
+
+fn read_opt_bool(r: &mut Reader<'_>) -> Result<Option<bool>, WireError> {
+    Ok(if r.opt()? { Some(r.bool()?) } else { None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_sim::json;
+
+    #[test]
+    fn default_is_baseline_and_applies_nothing() {
+        let p = FleetPolicy::default();
+        assert!(p.is_baseline());
+        let base = BaryonConfig::default_cache_mode(VALIDATION_SCALE);
+        assert_eq!(p.apply(base.clone()), base);
+        assert_eq!(p.validate().expect("baseline valid"), base);
+    }
+
+    #[test]
+    fn overrides_apply_and_validate() {
+        let p = FleetPolicy {
+            commit_k: Some(2.0),
+            zero_opt: Some(false),
+            scrub_interval: Some(1000),
+            ..FleetPolicy::default()
+        };
+        assert!(!p.is_baseline());
+        let cfg = p.validate().expect("valid");
+        assert_eq!(cfg.commit_k, 2.0);
+        assert!(!cfg.zero_opt);
+        assert_eq!(cfg.scrub_interval, 1000);
+        let applied = p.apply(BaryonConfig::default_flat_fa(VALIDATION_SCALE));
+        assert_eq!(applied.commit_k, 2.0);
+        assert_eq!(applied.mode, crate::config::HybridMode::Flat, "mode kept");
+    }
+
+    #[test]
+    fn invalid_overrides_surface_builder_errors() {
+        let p = FleetPolicy {
+            commit_k: Some(-1.0),
+            ..FleetPolicy::default()
+        };
+        assert_eq!(
+            p.validate().expect_err("bad k"),
+            ConfigError::NegativeCommitK
+        );
+        let p = FleetPolicy {
+            stage_ways: Some(0),
+            ..FleetPolicy::default()
+        };
+        assert_eq!(
+            p.validate().expect_err("bad ways"),
+            ConfigError::ZeroStageWays
+        );
+    }
+
+    #[test]
+    fn json_round_trip_and_unknown_keys() {
+        let p = FleetPolicy {
+            generation: 3,
+            commit_k: Some(2.5),
+            commit_all: Some(true),
+            use_cpack: Some(false),
+            stage_ways: Some(8),
+            job_deadline_ms: Some(5000),
+            checkpoint_every: Some(20_000),
+            ..FleetPolicy::default()
+        };
+        let doc = json::parse(&p.to_json().render()).expect("rendered JSON parses");
+        assert_eq!(FleetPolicy::from_json(&doc).expect("round trip"), p);
+        let bad = json::parse(r#"{"comit_k": 2.0}"#).expect("parses");
+        let err = FleetPolicy::from_json(&bad).expect_err("typo rejected");
+        assert!(err.contains("comit_k"), "{err}");
+        let zero = json::parse(r#"{"job_deadline_ms": 0}"#).expect("parses");
+        assert!(FleetPolicy::from_json(&zero).is_err());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for p in [
+            FleetPolicy::default(),
+            FleetPolicy {
+                generation: 9,
+                commit_k: Some(0.5),
+                cacheline_aligned: Some(false),
+                compressed_writeback: Some(true),
+                two_level_replacement: Some(false),
+                scrub_interval: Some(77),
+                job_deadline_ms: Some(1),
+                ..FleetPolicy::default()
+            },
+        ] {
+            let mut w = Writer::new();
+            p.save_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = FleetPolicy::load_state(&mut r).expect("decodes");
+            r.finish().expect("fully consumed");
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn load_rejects_invalid_files() {
+        let dir = std::env::temp_dir().join(format!("baryon-policy-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let good = dir.join("good.json");
+        std::fs::write(&good, r#"{"commit_k": 2.0}"#).expect("write");
+        assert_eq!(FleetPolicy::load(&good).expect("loads").commit_k, Some(2.0));
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"commit_k": -3.0}"#).expect("write");
+        let err = FleetPolicy::load(&bad).expect_err("invalid config rejected");
+        assert!(err.contains("commit_k"), "{err}");
+        let missing = dir.join("nope.json");
+        assert!(FleetPolicy::load(&missing).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

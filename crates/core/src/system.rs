@@ -658,6 +658,7 @@ impl System {
             serve,
             read_latency: self.read_latency.clone(),
             telemetry: reg,
+            config_generation: 0,
         }
     }
 

@@ -1,0 +1,376 @@
+//! `rollout_gate` — the fleet config-rollout CI gate.
+//!
+//! Proves the A/B rollout invariants end to end, across real process
+//! boundaries, with a sweep in flight:
+//!
+//! 1. compute the golden result of a grid sweep in-process,
+//! 2. boot a coordinator over 3 worker shards (this binary re-invoked in
+//!    `--shard` mode),
+//! 3. reject an **invalid** policy at stage time (`400 invalid_config`),
+//! 4. submit the sweep; once it is demonstrably mid-flight, stage a
+//!    **degraded but valid** policy (a 1 ms job deadline) and commit —
+//!    the first shard's canary must fail and the fleet must auto-roll
+//!    back (`409 rollout_failed`, slot marked bad, rollback counted),
+//! 5. require the sweep to finish with **zero lost jobs** and a result
+//!    **byte-identical** to the single-process run,
+//! 6. require `/v1/metrics` to expose `fleet.config.generation`,
+//!    `fleet.config.rollbacks`, and per-shard respawn-backoff gauges,
+//! 7. commit a **benign** policy: the rolling restart must succeed, the
+//!    generation must bump, results must be stamped with it, and every
+//!    shard must report `serve.policy.generation`,
+//! 8. roll back: the fleet returns to the baseline and results lose the
+//!    stamp.
+//!
+//! ```text
+//! cargo run --release -p baryon-fleet --bin rollout_gate
+//! ```
+//!
+//! Exits non-zero with a diagnostic on any divergence; `scripts/ci.sh`
+//! runs it as the fleet-ops e2e gate.
+
+use baryon_bench::spec::{GridSpec, JobSpec, RunSpec};
+use baryon_fleet::coordinator::{Fleet, FleetConfig};
+use baryon_fleet::harness;
+use baryon_serve::client::Client;
+use baryon_sim::json::{self, Json};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 3;
+const POLL: Duration = Duration::from_millis(10);
+const DEADLINE: Duration = Duration::from_secs(180);
+
+/// The sweep: 8 cells over 3 shards, long enough that the degraded
+/// commit demonstrably begins while cells are still in flight.
+fn gate_grid() -> GridSpec {
+    GridSpec {
+        workloads: vec![
+            "505.mcf_r".into(),
+            "557.xz_r".into(),
+            "pr.twi".into(),
+            "ycsb-a".into(),
+        ],
+        controllers: vec!["simple".into(), "baryon".into()],
+        base: RunSpec {
+            insts: 150_000,
+            warmup: 15_000,
+            scale: 1024,
+            seed: 11,
+            ..RunSpec::default()
+        },
+    }
+}
+
+fn obj_get<'a>(doc: &'a Json, key: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn get_u64(doc: &Json, key: &str) -> Option<u64> {
+    match obj_get(doc, key)? {
+        Json::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+    match obj_get(doc, key)? {
+        Json::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn client(addr: SocketAddr) -> Client {
+    Client::new(addr).read_timeout(Duration::from_secs(120))
+}
+
+/// Polls the fleet job until `predicate` holds on its status document.
+fn await_status(
+    addr: SocketAddr,
+    id: u64,
+    what: &str,
+    predicate: impl Fn(&Json) -> bool,
+) -> Result<Json, String> {
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let r = client(addr)
+            .request("GET", &format!("/v1/jobs/{id}"), None)
+            .map_err(|e| format!("job status: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("job status {}: {}", r.status, r.body));
+        }
+        let doc = json::parse(&r.body).map_err(|e| format!("status not JSON ({e}): {}", r.body))?;
+        if predicate(&doc) {
+            return Ok(doc);
+        }
+        if let Some("failed") = get_str(&doc, "state") {
+            return Err(format!("job failed while waiting for {what}: {}", r.body));
+        }
+        if Instant::now() > deadline {
+            return Err(format!("timed out waiting for {what}: {}", r.body));
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+/// Submits a single run and returns its settled `result` document.
+fn run_single(addr: SocketAddr, what: &str) -> Result<Json, String> {
+    const RUN: &str = r#"{"workload":"ycsb-a","controller":"baryon","insts":50000,"warmup":5000,"scale":1024,"seed":13}"#;
+    let accepted = client(addr)
+        .request("POST", "/v1/jobs", Some(RUN))
+        .map_err(|e| format!("{what} submit: {e}"))?;
+    if accepted.status != 202 {
+        return Err(format!(
+            "{what} submit {}: {}",
+            accepted.status, accepted.body
+        ));
+    }
+    let doc = json::parse(&accepted.body).map_err(|e| format!("202 body not JSON: {e}"))?;
+    let id = get_u64(&doc, "id").ok_or("202 body has no id")?;
+    let status = await_status(addr, id, what, |doc| get_str(doc, "state") == Some("done"))?;
+    obj_get(&status, "result")
+        .cloned()
+        .ok_or_else(|| format!("{what}: done job has no result"))
+}
+
+/// The `GET /v1/admin/config` document.
+fn admin_config(addr: SocketAddr) -> Result<Json, String> {
+    let r = client(addr)
+        .request("GET", "/v1/admin/config", None)
+        .map_err(|e| format!("admin config: {e}"))?;
+    if r.status != 200 {
+        return Err(format!("admin config {}: {}", r.status, r.body));
+    }
+    json::parse(&r.body).map_err(|e| format!("admin config not JSON ({e}): {}", r.body))
+}
+
+fn active_generation(addr: SocketAddr) -> Result<u64, String> {
+    let doc = admin_config(addr)?;
+    get_u64(&doc, "active_generation").ok_or_else(|| format!("no active_generation: {doc:?}"))
+}
+
+fn run_gate() -> Result<(), String> {
+    let journal_root =
+        std::env::temp_dir().join(format!("baryon-rollout-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_root);
+
+    let grid = gate_grid();
+    let cells = grid.expand().len();
+    let golden = JobSpec::Grid(grid.clone())
+        .execute()
+        .map_err(|e| format!("golden run: {e}"))?
+        .render();
+
+    let launcher = harness::self_launcher(1, 16).map_err(|e| format!("launcher: {e}"))?;
+    let fleet = Fleet::bind(
+        FleetConfig {
+            port: 0,
+            shards: SHARDS,
+            workers_per_shard: 1,
+            shard_queue_depth: 16,
+            queue_cap: 64,
+            max_in_flight_per_client: 4,
+            journal_root: journal_root.clone(),
+        },
+        launcher,
+    )
+    .map_err(|e| format!("fleet bind: {e}"))?;
+    let addr = fleet.local_addr();
+    let serving = std::thread::spawn(move || fleet.run());
+
+    let outcome = (|| -> Result<(), String> {
+        // An invalid policy must be refused at stage time with the typed
+        // code — nothing reaches the slots.
+        let r = client(addr)
+            .request("POST", "/v1/admin/config/stage", Some(r#"{"commit_k":-1}"#))
+            .map_err(|e| format!("invalid stage: {e}"))?;
+        if r.status != 400 || !r.body.contains("invalid_config") {
+            return Err(format!("invalid stage got {}: {}", r.status, r.body));
+        }
+        if active_generation(addr)? != 0 {
+            return Err("an invalid stage moved the active generation".to_owned());
+        }
+
+        // Submit the sweep and wait until it is demonstrably mid-flight.
+        let body = JobSpec::Grid(grid).to_json().render();
+        let accepted = client(addr)
+            .request("POST", "/v1/jobs", Some(&body))
+            .map_err(|e| format!("submit: {e}"))?;
+        if accepted.status != 202 {
+            return Err(format!("submit {}: {}", accepted.status, accepted.body));
+        }
+        let accepted_doc =
+            json::parse(&accepted.body).map_err(|e| format!("202 body not JSON: {e}"))?;
+        let id = get_u64(&accepted_doc, "id").ok_or("202 body has no id")?;
+        await_status(addr, id, "the mid-sweep rollout window", |doc| {
+            get_u64(doc, "cells_done").is_some_and(|d| d >= 1 && d < cells as u64)
+                && get_str(doc, "state") == Some("running")
+        })?;
+
+        // Stage a degraded-but-valid policy: a 1 ms job deadline passes
+        // validation but fails every real run. Commit must hit the first
+        // shard's canary, auto-roll the fleet back, and answer 409.
+        let r = client(addr)
+            .request(
+                "POST",
+                "/v1/admin/config/stage",
+                Some(r#"{"job_deadline_ms":1}"#),
+            )
+            .map_err(|e| format!("degraded stage: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("degraded stage {}: {}", r.status, r.body));
+        }
+        println!("staged degraded config mid-sweep; committing");
+        let r = client(addr)
+            .request("POST", "/v1/admin/config/commit", None)
+            .map_err(|e| format!("degraded commit: {e}"))?;
+        if r.status != 409 || !r.body.contains("rollout_failed") {
+            return Err(format!(
+                "degraded commit should roll back with 409 rollout_failed, got {}: {}",
+                r.status, r.body
+            ));
+        }
+        println!("degraded commit auto-rolled back: {}", r.body);
+        let config = admin_config(addr)?;
+        if get_u64(&config, "active_generation") != Some(0) {
+            return Err(format!("rollback left the wrong generation: {config:?}"));
+        }
+        let failed_slot = obj_get(&config, "last_failed").ok_or("no last_failed record")?;
+        if get_u64(failed_slot, "generation") != Some(1) {
+            return Err(format!("last_failed should name generation 1: {config:?}"));
+        }
+        if get_u64(&config, "rollbacks") != Some(1) {
+            return Err(format!("expected exactly one rollback: {config:?}"));
+        }
+
+        // The sweep must finish with zero lost jobs and a byte-identical
+        // gathered document.
+        let status = await_status(addr, id, "completion", |doc| {
+            get_str(doc, "state") == Some("done")
+        })?;
+        let result = obj_get(&status, "result").ok_or("done job has no result")?;
+        if result.render() != golden {
+            return Err(format!(
+                "sweep diverged after the failed rollout\n  golden: {golden}\n  fleet:  {}",
+                result.render()
+            ));
+        }
+        let metrics = client(addr)
+            .request("GET", "/v1/metrics", None)
+            .map_err(|e| format!("metrics: {e}"))?;
+        if !metrics.body.contains("\"fleet.jobs.failed\":0") {
+            return Err(format!(
+                "jobs were lost during the rollout: {}",
+                metrics.body
+            ));
+        }
+        for needle in [
+            "\"fleet.config.generation\":",
+            "\"fleet.config.rollbacks\":1",
+            "\"fleet.shard0.respawn_backoff_ms\":",
+        ] {
+            if !metrics.body.contains(needle) {
+                return Err(format!("metrics missing {needle}: {}", metrics.body));
+            }
+        }
+
+        // A benign policy must commit cleanly: rolling restart, bumped
+        // generation, stamped results, per-shard policy metric.
+        let r = client(addr)
+            .request(
+                "POST",
+                "/v1/admin/config/stage",
+                Some(r#"{"scrub_interval":100000}"#),
+            )
+            .map_err(|e| format!("benign stage: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("benign stage {}: {}", r.status, r.body));
+        }
+        let r = client(addr)
+            .request("POST", "/v1/admin/config/commit", None)
+            .map_err(|e| format!("benign commit: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("benign commit {}: {}", r.status, r.body));
+        }
+        if active_generation(addr)? != 2 {
+            return Err("benign commit should activate generation 2".to_owned());
+        }
+        println!("benign config committed across the fleet (generation 2)");
+        let result = run_single(addr, "post-commit run")?;
+        if get_u64(&result, "config_generation") != Some(2) {
+            return Err(format!(
+                "post-commit result not stamped with generation 2: {}",
+                result.render()
+            ));
+        }
+        let metrics = client(addr)
+            .request("GET", "/v1/metrics", None)
+            .map_err(|e| format!("metrics: {e}"))?;
+        for i in 0..SHARDS {
+            let needle = format!("\"shard{i}.serve.policy.generation\":2");
+            if !metrics.body.contains(&needle) {
+                return Err(format!("metrics missing {needle}: {}", metrics.body));
+            }
+        }
+
+        // Rollback restores the baseline and un-stamps results.
+        let r = client(addr)
+            .request("POST", "/v1/admin/config/rollback", None)
+            .map_err(|e| format!("rollback: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("rollback {}: {}", r.status, r.body));
+        }
+        if active_generation(addr)? != 0 {
+            return Err("rollback should restore generation 0".to_owned());
+        }
+        let result = run_single(addr, "post-rollback run")?;
+        if obj_get(&result, "config_generation").is_some() {
+            return Err(format!(
+                "baseline results must not carry a stamp: {}",
+                result.render()
+            ));
+        }
+
+        let r = client(addr)
+            .request("POST", "/v1/shutdown", None)
+            .map_err(|e| format!("shutdown: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("shutdown {}: {}", r.status, r.body));
+        }
+        Ok(())
+    })();
+
+    // Always bring the fleet down before reporting.
+    if outcome.is_err() {
+        let _ = client(addr).request("POST", "/v1/shutdown", None);
+    }
+    serving
+        .join()
+        .map_err(|_| "serving thread panicked".to_owned())?
+        .map_err(|e| format!("fleet run: {e}"))?;
+    outcome?;
+
+    std::fs::remove_dir_all(&journal_root)
+        .map_err(|e| format!("cleanup {}: {e}", journal_root.display()))?;
+    println!(
+        "rollout gate OK: bad config auto-rolled back mid-sweep with zero lost jobs and a \
+         byte-identical gather; benign config rolled out and back across {SHARDS} shards"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    if let Some(code) = harness::maybe_run_shard() {
+        return code;
+    }
+    match run_gate() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rollout gate failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,11 +14,14 @@
 //! IDs at the new address, so a mid-sweep `SIGKILL` costs latency, never
 //! results.
 
+use crate::config::{CommitError, RollbackError, Slot, SlotMachine, StageError};
 use crate::quota::{Class, ClientQuotas, QosQueue, QueueError};
 use crate::router::{CellState, FleetJob, FleetJobKind, JobBoard};
 use crate::shard::{ShardLauncher, ShardSet};
 use baryon_bench::batch::BatchPlan;
 use baryon_bench::spec::JobSpec;
+use baryon_core::checkpoint::atomic_write;
+use baryon_core::policy::FleetPolicy;
 use baryon_serve::client::Client;
 use baryon_serve::error::ErrorCode;
 use baryon_serve::http::{read_request, ChunkedWriter, Request, Response};
@@ -29,10 +32,10 @@ use baryon_sim::telemetry::Registry;
 use baryon_sim::wire;
 use std::io::{self, BufReader};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Coordinator construction knobs (the CLI's `fleet` flags).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +103,14 @@ struct FleetShared {
     metrics: FleetMetrics,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// The A/B config slot machine (persisted under `config_dir`).
+    config: Mutex<SlotMachine>,
+    /// Where slot policies and the machine state live
+    /// (`<journal_root>/config/`).
+    config_dir: PathBuf,
+    /// Serializes rollouts: commit/rollback hold this for the whole
+    /// rolling restart so at most one engine runs.
+    rollout: Mutex<()>,
 }
 
 impl FleetShared {
@@ -165,6 +176,37 @@ impl FleetController {
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
     }
+
+    /// Pauses dispatch and supervision for a shard (test hook — the
+    /// rollout engine pauses shards itself during commit/rollback).
+    pub fn pause_shard(&self, index: usize) {
+        self.shared.shards.pause(index);
+    }
+
+    /// Resumes a paused shard.
+    pub fn unpause_shard(&self, index: usize) {
+        self.shared.shards.unpause(index);
+    }
+
+    /// The active config generation (0 = built-in baseline).
+    pub fn config_generation(&self) -> u64 {
+        self.shared
+            .config
+            .lock()
+            .expect("config lock poisoned")
+            .active()
+            .1
+            .generation
+    }
+
+    /// Completed rollbacks (manual and automatic).
+    pub fn config_rollbacks(&self) -> u64 {
+        self.shared
+            .config
+            .lock()
+            .expect("config lock poisoned")
+            .rollbacks()
+    }
 }
 
 /// A bound, running fleet (shards spawned, dispatchers/poller/supervisor
@@ -195,10 +237,19 @@ impl Fleet {
     ///
     /// Panics if `cfg.shards`, `cfg.queue_cap`, or
     /// `cfg.max_in_flight_per_client` is zero.
-    pub fn bind(cfg: FleetConfig, launcher: ShardLauncher) -> io::Result<Fleet> {
+    pub fn bind(cfg: FleetConfig, mut launcher: ShardLauncher) -> io::Result<Fleet> {
         // Bind before spawning: a taken port fails fast (with its
         // distinctive `AddrInUse`) instead of after N process launches.
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, cfg.port))?;
+        // Recover the config slots before spawning so restarted fleets
+        // come back up on the generation they last committed.
+        let config_dir = cfg.journal_root.join("config");
+        std::fs::create_dir_all(&config_dir)?;
+        let machine = load_slot_machine(&config_dir);
+        let (active, info) = machine.active();
+        if info.generation > 0 {
+            launcher.policy_path = Some(slot_policy_path(&config_dir, active));
+        }
         let shards = ShardSet::spawn(launcher, &cfg.journal_root, cfg.shards)?;
         let shared = Arc::new(FleetShared {
             board: JobBoard::new(),
@@ -209,6 +260,9 @@ impl Fleet {
             metrics: FleetMetrics::default(),
             shutdown: AtomicBool::new(false),
             addr: listener.local_addr()?,
+            config: Mutex::new(machine),
+            config_dir,
+            rollout: Mutex::new(()),
         });
         let dispatchers = (0..cfg.shards.max(2))
             .map(|i| {
@@ -216,17 +270,15 @@ impl Fleet {
                 std::thread::Builder::new()
                     .name(format!("baryon-fleet-dispatch-{i}"))
                     .spawn(move || dispatcher_loop(&shared))
-                    .expect("spawn dispatcher thread")
             })
-            .collect();
+            .collect::<io::Result<Vec<_>>>()?;
         let mut background = Vec::new();
         {
             let shared = Arc::clone(&shared);
             background.push(
                 std::thread::Builder::new()
                     .name("baryon-fleet-poller".to_owned())
-                    .spawn(move || poller_loop(&shared))
-                    .expect("spawn poller thread"),
+                    .spawn(move || poller_loop(&shared))?,
             );
         }
         {
@@ -234,8 +286,7 @@ impl Fleet {
             background.push(
                 std::thread::Builder::new()
                     .name("baryon-fleet-supervisor".to_owned())
-                    .spawn(move || supervisor_loop(&shared))
-                    .expect("spawn supervisor thread"),
+                    .spawn(move || supervisor_loop(&shared))?,
             );
         }
         Ok(Fleet {
@@ -326,6 +377,12 @@ fn dispatch(shared: &Arc<FleetShared>, class: Class, item: WorkItem) {
         }
         _ => return, // malformed item; nothing sensible to do
     };
+    if shared.shards.is_paused(shard) {
+        // The rollout engine is draining/restarting this shard; keep the
+        // item in play until the shard comes back.
+        requeue(shared, class, item);
+        return;
+    }
     let outcome =
         shared
             .shards
@@ -372,13 +429,15 @@ fn dispatch(shared: &Arc<FleetShared>, class: Class, item: WorkItem) {
     });
 }
 
-/// Puts an undeliverable item back on the queue after a short pause; if
-/// the queue refuses it (closed, or full again), the cell fails loudly
-/// rather than stranding the job.
+/// Puts an undeliverable item back on the queue after a short pause. The
+/// requeue bypasses the class cap — the item was already admitted, and a
+/// momentarily full queue (e.g. a saturating burst while a shard is
+/// paused for a rollout) must not cost the job — so only a closed queue
+/// (shutdown) fails the cell.
 fn requeue(shared: &Arc<FleetShared>, class: Class, item: WorkItem) {
     shared.metrics.redispatched.fetch_add(1, Ordering::Relaxed);
     std::thread::sleep(Duration::from_millis(100));
-    if shared.queue.push(class, (class, item)).is_err() {
+    if shared.queue.requeue(class, (class, item)).is_err() {
         fail_cell(shared, &item, "shard unreachable and dispatch queue closed");
     }
 }
@@ -448,7 +507,7 @@ fn poll_job(shared: &Arc<FleetShared>, id: u64) {
                     }
                     _ => {}
                 });
-                if shared.queue.push(job.class, (job.class, item)).is_err() {
+                if shared.queue.requeue(job.class, (job.class, item)).is_err() {
                     fail_cell(shared, &item, "shard lost the job and queue is closed");
                 }
                 continue;
@@ -573,13 +632,27 @@ fn route(shared: &Arc<FleetShared>, request: &Request) -> Response {
         ("GET", "/v1/metrics") => metrics_response(shared, query),
         ("POST", "/v1/jobs") => submit(shared, request),
         ("POST", "/v1/shutdown") => shutdown(shared),
+        ("GET", "/v1/admin/config") => {
+            let machine = shared.config.lock().expect("config lock poisoned");
+            Response::json(200, &machine.to_json())
+        }
+        ("POST", "/v1/admin/config/stage") => admin_stage(shared, request),
+        ("POST", "/v1/admin/config/commit") => admin_commit(shared),
+        ("POST", "/v1/admin/config/rollback") => admin_rollback(shared),
         _ => {
             if let Some(rest) = path.strip_prefix("/v1/jobs/") {
                 return job_route(shared, method, rest);
             }
             if matches!(
                 path,
-                "/v1/healthz" | "/v1/metrics" | "/v1/jobs" | "/v1/shutdown"
+                "/v1/healthz"
+                    | "/v1/metrics"
+                    | "/v1/jobs"
+                    | "/v1/shutdown"
+                    | "/v1/admin/config"
+                    | "/v1/admin/config/stage"
+                    | "/v1/admin/config/commit"
+                    | "/v1/admin/config/rollback"
             ) {
                 return Response::error(405, ErrorCode::MethodNotAllowed, "method not allowed");
             }
@@ -787,6 +860,388 @@ fn submit(shared: &Arc<FleetShared>, request: &Request) -> Response {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Fleet config rollout: the /v1/admin surface and the rolling-restart engine.
+// ---------------------------------------------------------------------------
+
+/// Where a slot's policy file lives.
+fn slot_policy_path(config_dir: &Path, slot: Slot) -> PathBuf {
+    config_dir.join(format!("slot-{}.json", slot.as_str()))
+}
+
+/// Loads the persisted slot machine, falling back to the boot state on a
+/// missing or unreadable file — a corrupt slots file must never brick the
+/// fleet, it just forgets staged candidates.
+fn load_slot_machine(config_dir: &Path) -> SlotMachine {
+    let path = config_dir.join("slots.bin");
+    let Ok(bytes) = std::fs::read(&path) else {
+        return SlotMachine::new();
+    };
+    let mut reader = wire::Reader::new(&bytes);
+    match SlotMachine::load_state(&mut reader) {
+        Ok(machine) => machine,
+        Err(e) => {
+            eprintln!(
+                "baryon-fleet: ignoring corrupt config slots {}: {e:?}",
+                path.display()
+            );
+            SlotMachine::new()
+        }
+    }
+}
+
+fn persist_slot_machine(shared: &FleetShared, machine: &SlotMachine) {
+    let mut w = wire::Writer::new();
+    machine.save_state(&mut w);
+    if let Err(e) = atomic_write(&shared.config_dir.join("slots.bin"), &w.into_bytes()) {
+        eprintln!("baryon-fleet: cannot persist config slots: {e}");
+    }
+}
+
+/// A millisecond budget from the environment (tests shrink these).
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+/// `POST /v1/admin/config/stage` — validate the candidate policy and
+/// persist it into the non-active slot.
+fn admin_stage(shared: &Arc<FleetShared>, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, ErrorCode::BadRequest, "body is not UTF-8"),
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return Response::error(400, ErrorCode::InvalidJson, &format!("invalid JSON: {e}"))
+        }
+    };
+    let policy = match FleetPolicy::from_json(&doc) {
+        Ok(policy) => policy,
+        Err(e) => {
+            return Response::error(
+                400,
+                ErrorCode::InvalidConfig,
+                &format!("invalid policy: {e}"),
+            )
+        }
+    };
+    let mut machine = shared.config.lock().expect("config lock poisoned");
+    let (slot, generation) = match machine.stage(policy) {
+        Ok(staged) => staged,
+        Err(StageError::Invalid(e)) => {
+            return Response::error(
+                400,
+                ErrorCode::InvalidConfig,
+                &format!("invalid policy: {e}"),
+            )
+        }
+        Err(StageError::RolloutInFlight) => {
+            return Response::error(409, ErrorCode::RolloutFailed, "a rollout is in flight")
+        }
+    };
+    // The commit engine boots shards onto this file; it must be durable
+    // before the stage is acknowledged.
+    let body = match &machine.slot(slot).policy {
+        Some(staged) => staged.to_json().render(),
+        None => return Response::error(500, ErrorCode::Internal, "staged slot lost its policy"),
+    };
+    if let Err(e) = atomic_write(&slot_policy_path(&shared.config_dir, slot), body.as_bytes()) {
+        return Response::error(
+            500,
+            ErrorCode::Internal,
+            &format!("cannot persist staged policy: {e}"),
+        );
+    }
+    persist_slot_machine(shared, &machine);
+    Response::json(
+        200,
+        &Json::obj([
+            ("ok", Json::Bool(true)),
+            ("slot", Json::from(slot.as_str())),
+            ("generation", Json::from(generation)),
+        ]),
+    )
+}
+
+/// `POST /v1/admin/config/commit` — rolling restart onto the staged slot,
+/// auto-rolling back to the active policy if any shard fails its health
+/// probe or canary, or if job failures regress during the roll.
+fn admin_commit(shared: &Arc<FleetShared>) -> Response {
+    let Ok(_guard) = shared.rollout.try_lock() else {
+        return Response::error(409, ErrorCode::RolloutFailed, "a rollout is in flight");
+    };
+    let (target, generation, old_path) = {
+        let mut machine = shared.config.lock().expect("config lock poisoned");
+        let (active, info) = machine.active();
+        let old_path = (info.generation > 0).then(|| slot_policy_path(&shared.config_dir, active));
+        match machine.begin_commit() {
+            Ok((slot, generation)) => (slot, generation, old_path),
+            Err(CommitError::NothingStaged) => {
+                return Response::error(
+                    409,
+                    ErrorCode::Conflict,
+                    "nothing staged; stage a config first",
+                )
+            }
+            Err(CommitError::RolloutInFlight) => {
+                return Response::error(409, ErrorCode::RolloutFailed, "a rollout is in flight")
+            }
+        }
+    };
+    let new_path = Some(slot_policy_path(&shared.config_dir, target));
+    match roll_fleet(shared, new_path, old_path) {
+        Ok(()) => {
+            let mut machine = shared.config.lock().expect("config lock poisoned");
+            machine.boot_succeeded();
+            persist_slot_machine(shared, &machine);
+            Response::json(
+                200,
+                &Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("active_slot", Json::from(target.as_str())),
+                    ("generation", Json::from(generation)),
+                ]),
+            )
+        }
+        Err(reason) => {
+            let mut machine = shared.config.lock().expect("config lock poisoned");
+            machine.boot_failed();
+            persist_slot_machine(shared, &machine);
+            Response::error(
+                409,
+                ErrorCode::RolloutFailed,
+                &format!("commit of generation {generation} rolled back: {reason}"),
+            )
+        }
+    }
+}
+
+/// `POST /v1/admin/config/rollback` — the same rolling mechanism, back
+/// onto the previous slot.
+fn admin_rollback(shared: &Arc<FleetShared>) -> Response {
+    let Ok(_guard) = shared.rollout.try_lock() else {
+        return Response::error(409, ErrorCode::RolloutFailed, "a rollout is in flight");
+    };
+    let (target, generation, current_path) = {
+        let mut machine = shared.config.lock().expect("config lock poisoned");
+        let (active, info) = machine.active();
+        let current = (info.generation > 0).then(|| slot_policy_path(&shared.config_dir, active));
+        match machine.begin_rollback() {
+            Ok((slot, generation)) => (slot, generation, current),
+            Err(RollbackError::NoPrevious) => {
+                return Response::error(
+                    409,
+                    ErrorCode::Conflict,
+                    "no previous config to roll back to",
+                )
+            }
+            Err(RollbackError::RolloutInFlight) => {
+                return Response::error(409, ErrorCode::RolloutFailed, "a rollout is in flight")
+            }
+        }
+    };
+    // Generation 0 is the built-in baseline: no policy file at all.
+    let target_path = (generation > 0).then(|| slot_policy_path(&shared.config_dir, target));
+    match roll_fleet(shared, target_path, current_path) {
+        Ok(()) => {
+            let mut machine = shared.config.lock().expect("config lock poisoned");
+            machine.boot_succeeded();
+            persist_slot_machine(shared, &machine);
+            Response::json(
+                200,
+                &Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("active_slot", Json::from(target.as_str())),
+                    ("generation", Json::from(generation)),
+                ]),
+            )
+        }
+        Err(reason) => {
+            let mut machine = shared.config.lock().expect("config lock poisoned");
+            machine.boot_failed();
+            persist_slot_machine(shared, &machine);
+            Response::error(
+                409,
+                ErrorCode::RolloutFailed,
+                &format!("rollback to generation {generation} failed: {reason}"),
+            )
+        }
+    }
+}
+
+/// Rolls every shard onto `new_path`, one at a time. On any failure the
+/// already-rolled shards (and the failing one) are rolled back onto
+/// `old_path` before returning the error — the fleet never stays split
+/// across policies longer than the undo takes.
+fn roll_fleet(
+    shared: &Arc<FleetShared>,
+    new_path: Option<PathBuf>,
+    old_path: Option<PathBuf>,
+) -> Result<(), String> {
+    let failed_before = shared.metrics.failed.load(Ordering::Relaxed);
+    let undo = |upto: usize| {
+        for j in (0..=upto).rev() {
+            if let Err(e) = roll_shard(shared, j, old_path.clone()) {
+                // Best effort: unpause and let the supervisor respawn it.
+                eprintln!("baryon-fleet: rollback of shard {j} failed: {e}");
+                shared.shards.unpause(j);
+            }
+        }
+    };
+    for i in 0..shared.shards.len() {
+        if let Err(reason) = roll_shard(shared, i, new_path.clone()) {
+            undo(i);
+            return Err(format!("shard {i}: {reason}"));
+        }
+    }
+    // The canary exercised each shard in isolation; a config can pass it
+    // and still fail real jobs. A regressing fleet-wide failure counter
+    // during the roll is a rollback, not a success.
+    let failed_after = shared.metrics.failed.load(Ordering::Relaxed);
+    if failed_after > failed_before {
+        undo(shared.shards.len() - 1);
+        return Err(format!(
+            "{} job(s) failed during the roll",
+            failed_after - failed_before
+        ));
+    }
+    Ok(())
+}
+
+/// Rolls one shard: pause → drain in-flight cells → respawn with the
+/// policy → health probe green → canary run. Unpauses on success; leaves
+/// the shard paused on failure so no work lands on it until the caller's
+/// rollback has restored the old policy.
+fn roll_shard(
+    shared: &Arc<FleetShared>,
+    index: usize,
+    policy_path: Option<PathBuf>,
+) -> Result<(), String> {
+    shared.shards.pause(index);
+    let outcome = drain_shard(shared, index)
+        .and_then(|()| {
+            shared
+                .shards
+                .restart_with_policy(index, policy_path)
+                .map_err(|e| format!("respawn failed: {e}"))
+        })
+        .and_then(|()| probe_green(shared, index))
+        .and_then(|()| canary(shared, index));
+    if outcome.is_ok() {
+        shared.shards.unpause(index);
+    }
+    outcome
+}
+
+/// Waits until the shard has no dispatched cells (the poller lands them
+/// as they finish; new dispatches requeue while the shard is paused).
+fn drain_shard(shared: &Arc<FleetShared>, index: usize) -> Result<(), String> {
+    let deadline = Instant::now() + env_ms("BARYON_FLEET_DRAIN_TIMEOUT_MS", 60_000);
+    while shard_busy(shared, index) {
+        if Instant::now() >= deadline {
+            return Err("drain timed out with cells still in flight".to_owned());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Ok(())
+}
+
+/// Whether any unsettled fleet job has a cell dispatched on the shard.
+fn shard_busy(shared: &Arc<FleetShared>, index: usize) -> bool {
+    for id in shared.board.active_ids() {
+        let Some(job) = shared.board.get(id) else {
+            continue;
+        };
+        let busy = match &job.kind {
+            FleetJobKind::Single { shard, cell } => {
+                *shard == index && matches!(cell, CellState::Dispatched { .. })
+            }
+            FleetJobKind::Batch { cells, .. } => cells
+                .iter()
+                .any(|c| matches!(c, CellState::Dispatched { shard, .. } if *shard == index)),
+        };
+        if busy {
+            return true;
+        }
+    }
+    false
+}
+
+/// Requires 3 consecutive green health probes within the probe budget.
+fn probe_green(shared: &Arc<FleetShared>, index: usize) -> Result<(), String> {
+    let deadline = Instant::now() + env_ms("BARYON_FLEET_PROBE_BUDGET_MS", 10_000);
+    let mut green = 0;
+    loop {
+        let ok = Client::new(shared.shards.addr(index))
+            .connect_timeout(Duration::from_millis(250))
+            .read_timeout(Duration::from_millis(500))
+            .healthz()
+            .is_ok();
+        green = if ok { green + 1 } else { 0 };
+        if green >= 3 {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err("health probe never went green".to_owned());
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// A tiny deterministic run POSTed straight to the restarted shard: the
+/// cheapest end-to-end proof the new config actually executes jobs — a
+/// config can bind and answer healthz yet fail every run (e.g. an
+/// unmeetable job deadline).
+/// Heavy enough (hundreds of thousands of instructions) that a canary
+/// under a pathological deadline policy fails deterministically rather
+/// than racing the watchdog, yet still well under a second per shard.
+const CANARY_SPEC: &str = r#"{"workload":"ycsb-a","controller":"baryon","insts":400000,"warmup":20000,"scale":2048,"seed":1}"#;
+
+fn canary(shared: &Arc<FleetShared>, index: usize) -> Result<(), String> {
+    let client = Client::new(shared.shards.addr(index))
+        .connect_timeout(Duration::from_millis(500))
+        .read_timeout(Duration::from_secs(10));
+    let accepted = client
+        .request("POST", "/v1/jobs", Some(CANARY_SPEC))
+        .map_err(|e| format!("canary submit failed: {e}"))?
+        .into_result()
+        .map_err(|e| format!("canary submit rejected: {e}"))?;
+    let id = json::parse(&accepted.body)
+        .ok()
+        .as_ref()
+        .and_then(|doc| get_u64(doc, "id"))
+        .ok_or_else(|| "canary 202 body unreadable".to_owned())?;
+    let deadline = Instant::now() + env_ms("BARYON_FLEET_CANARY_TIMEOUT_MS", 30_000);
+    loop {
+        let record = client
+            .request("GET", &format!("/v1/jobs/{id}"), None)
+            .ok()
+            .and_then(|r| r.into_result().ok())
+            .and_then(|r| json::parse(&r.body).ok());
+        if let Some(record) = record {
+            match get_str(&record, "state") {
+                Some("done") => return Ok(()),
+                Some("failed") => {
+                    return Err(format!(
+                        "canary failed under the new config: {}",
+                        get_str(&record, "error").unwrap_or("no error detail")
+                    ))
+                }
+                _ => {}
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err("canary never settled".to_owned());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
 /// `GET /v1/metrics` — one registry for the whole fleet: coordinator
 /// counters under `fleet.*`, plus every reachable shard's full-fidelity
 /// wire registry absorbed under `shard<i>.`. The merge starts from a
@@ -813,6 +1268,20 @@ fn metrics_response(shared: &Arc<FleetShared>, _query: &str) -> Response {
     );
     reg.set_counter("fleet.shards.total", shared.shards.len() as u64);
     reg.set_counter("fleet.shards.restarts", shared.shards.restarts());
+    {
+        let machine = shared.config.lock().expect("config lock poisoned");
+        reg.set_gauge(
+            "fleet.config.generation",
+            machine.active().1.generation as f64,
+        );
+        reg.set_counter("fleet.config.rollbacks", machine.rollbacks());
+    }
+    for i in 0..shared.shards.len() {
+        reg.set_gauge(
+            &format!("fleet.shard{i}.respawn_backoff_ms"),
+            shared.shards.respawn_backoff_ms(i) as f64,
+        );
+    }
     let (interactive, batch) = shared.queue.depths();
     reg.set_counter("fleet.queue.interactive_depth", interactive as u64);
     reg.set_counter("fleet.queue.batch_depth", batch as u64);

@@ -36,6 +36,7 @@ pub fn self_launcher(workers: usize, queue_depth: usize) -> io::Result<ShardLaun
         prefix_args: vec!["--shard".to_owned()],
         workers,
         queue_depth,
+        policy_path: None,
     })
 }
 
@@ -59,6 +60,12 @@ fn parse_shard_config(flags: &[String]) -> Result<ServeConfig, String> {
             "--queue-depth" => value.parse().map(|q| cfg.queue_depth = q).is_ok(),
             "--journal-dir" => {
                 cfg.journal_dir = Some(PathBuf::from(value));
+                true
+            }
+            "--policy" => {
+                let policy = baryon_core::policy::FleetPolicy::load(std::path::Path::new(value))
+                    .map_err(|e| format!("cannot load policy {value:?}: {e}"))?;
+                cfg.policy = Some(policy);
                 true
             }
             _ => return Err(format!("unknown flag {key:?}")),
@@ -128,6 +135,25 @@ mod tests {
             cfg.journal_dir.as_deref(),
             Some(std::path::Path::new("/tmp/j"))
         );
+    }
+
+    #[test]
+    fn policy_flag_loads_and_validates_the_file() {
+        let dir =
+            std::env::temp_dir().join(format!("baryon-harness-policy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("policy.json");
+        std::fs::write(&path, r#"{"generation":7,"scrub_interval":100000}"#).expect("write");
+        let cfg = parse_shard_config(&[format!("--policy={}", path.display())]).expect("loads");
+        let policy = cfg.policy.expect("policy set");
+        assert_eq!(policy.generation, 7);
+        assert_eq!(policy.scrub_interval, Some(100_000));
+        // An invalid policy file is a parse error, not a panic.
+        std::fs::write(&path, r#"{"commit_k":-1}"#).expect("write");
+        let err = parse_shard_config(&[format!("--policy={}", path.display())])
+            .expect_err("invalid policy");
+        assert!(err.contains("cannot load policy"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

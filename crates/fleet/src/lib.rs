@@ -23,24 +23,36 @@
 //!   full-fidelity wire registry into one fleet document under
 //!   `shard<i>.` namespaces, alongside the coordinator's own `fleet.*`
 //!   counters.
+//! * **Fleet ops** — a versioned A/B config subsystem ([`config`]): stage
+//!   a validated [`baryon_core::policy::FleetPolicy`] into the non-active
+//!   slot, commit it with a rolling shard restart (drain → respawn with
+//!   `--policy` → health probe → canary), and roll back the same way. A
+//!   failed probe or canary auto-rolls the fleet back; every generation
+//!   is stamped into results and telemetry.
 //!
 //! # HTTP surface (coordinator)
 //!
-//! | Method | Path                    | Purpose                               |
-//! |--------|-------------------------|---------------------------------------|
-//! | GET    | `/v1/healthz`           | liveness + shard count                |
-//! | GET    | `/v1/metrics`           | fleet + per-shard merged registry     |
-//! | POST   | `/v1/jobs`              | submit (headers: `x-baryon-class`, `x-baryon-client`) |
-//! | GET    | `/v1/jobs/<id>`         | fleet job status / result             |
-//! | GET    | `/v1/jobs/<id>/events`  | chunked progress event stream         |
-//! | POST   | `/v1/jobs/<id>/cancel`  | cancel a still-queued fleet job       |
-//! | POST   | `/v1/shutdown`          | drain and stop coordinator + shards   |
+//! | Method | Path                        | Purpose                               |
+//! |--------|-----------------------------|---------------------------------------|
+//! | GET    | `/v1/healthz`               | liveness + shard count                |
+//! | GET    | `/v1/metrics`               | fleet + per-shard merged registry     |
+//! | POST   | `/v1/jobs`                  | submit (headers: `x-baryon-class`, `x-baryon-client`) |
+//! | GET    | `/v1/jobs/<id>`             | fleet job status / result             |
+//! | GET    | `/v1/jobs/<id>/events`      | chunked progress event stream         |
+//! | POST   | `/v1/jobs/<id>/cancel`      | cancel a still-queued fleet job       |
+//! | POST   | `/v1/shutdown`              | drain and stop coordinator + shards   |
+//! | GET    | `/v1/admin/config`          | config slots, generations, history    |
+//! | POST   | `/v1/admin/config/stage`    | validate + persist a candidate policy |
+//! | POST   | `/v1/admin/config/commit`   | rolling restart onto the staged slot  |
+//! | POST   | `/v1/admin/config/rollback` | rolling restart onto the previous slot|
 
+pub mod config;
 pub mod coordinator;
 pub mod harness;
 pub mod quota;
 pub mod router;
 pub mod shard;
 
+pub use config::SlotMachine;
 pub use coordinator::{Fleet, FleetConfig, FleetController};
 pub use shard::ShardLauncher;

@@ -178,6 +178,29 @@ impl<T> QosQueue<T> {
         Ok(())
     }
 
+    /// Re-enqueues an item that was already admitted once (a dispatch
+    /// retry), bypassing the class cap: the cap gates *new* admissions,
+    /// and refusing a requeue would either lose the job or deadlock the
+    /// dispatcher holding it against a full queue.
+    ///
+    /// # Errors
+    ///
+    /// Only [`QueueError::Closed`] after [`QosQueue::close`].
+    pub fn requeue(&self, class: Class, item: T) -> Result<(), QueueError> {
+        let mut levels = self.levels.lock().expect("queue lock poisoned");
+        if levels.closed {
+            return Err(QueueError::Closed);
+        }
+        let level = match class {
+            Class::Interactive => &mut levels.interactive,
+            Class::Batch => &mut levels.batch,
+        };
+        level.push_back(item);
+        drop(levels);
+        self.available.notify_one();
+        Ok(())
+    }
+
     /// Blocks for the next item — interactive first, batch only when the
     /// interactive level is empty. `None` once closed and fully drained.
     pub fn pop(&self) -> Option<T> {
@@ -262,6 +285,68 @@ mod tests {
         assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn requeue_bypasses_the_cap_but_not_close() {
+        let q: QosQueue<u32> = QosQueue::new(1);
+        q.push(Class::Interactive, 1).expect("room");
+        assert_eq!(q.push(Class::Interactive, 2), Err(QueueError::Full));
+        q.requeue(Class::Interactive, 2)
+            .expect("requeue ignores the cap");
+        assert_eq!(q.depths(), (2, 0));
+        q.close();
+        assert_eq!(q.requeue(Class::Interactive, 3), Err(QueueError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_acquire_release_never_leaks_or_underflows() {
+        let quotas = std::sync::Arc::new(ClientQuotas::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let quotas = std::sync::Arc::clone(&quotas);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        if quotas.try_acquire("shared") {
+                            assert!(quotas.in_flight("shared") <= 4, "cap never overshoots");
+                            quotas.release("shared");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("no panic");
+        }
+        assert_eq!(quotas.in_flight("shared"), 0, "every slot returned");
+        // A double release after the count hit zero must not underflow into
+        // a huge in-flight value that blocks the client forever.
+        quotas.release("shared");
+        assert_eq!(quotas.in_flight("shared"), 0);
+        assert!(quotas.try_acquire("shared"));
+    }
+
+    #[test]
+    fn interactive_never_starves_behind_continuous_batch() {
+        let q: QosQueue<u32> = QosQueue::new(256);
+        // A deep standing batch backlog, refilled after every pop — the
+        // batch level never goes empty, as under a saturating sweep.
+        for i in 0..64 {
+            q.push(Class::Batch, i).expect("room");
+        }
+        for round in 0..32 {
+            q.push(Class::Interactive, 1000 + round).expect("room");
+            q.push(Class::Batch, 100 + round).expect("room");
+            let got = q.pop().expect("item");
+            assert_eq!(
+                got,
+                1000 + round,
+                "round {round}: the pending interactive item always pops first"
+            );
+        }
     }
 
     #[test]

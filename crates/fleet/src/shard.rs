@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a shard process is launched. `prefix_args` come before the
 /// standard serve flags (e.g. `["serve"]` for `baryon-cli`, or
@@ -31,6 +31,10 @@ pub struct ShardLauncher {
     pub workers: usize,
     /// Bounded queue depth per shard.
     pub queue_depth: usize,
+    /// Fleet-policy file every shard loads at boot (`--policy=PATH`);
+    /// `None` runs the built-in baseline. Per-shard overrides during a
+    /// rolling restart go through [`ShardSet::restart_with_policy`].
+    pub policy_path: Option<PathBuf>,
 }
 
 impl ShardLauncher {
@@ -40,17 +44,31 @@ impl ShardLauncher {
     ///
     /// Spawn failures, or `InvalidData` if the child exits (or closes
     /// stdout) before announcing its address.
-    fn spawn(&self, journal_dir: &Path) -> io::Result<(Child, SocketAddr)> {
-        let mut child = Command::new(&self.program)
+    fn spawn(
+        &self,
+        journal_dir: &Path,
+        policy_path: Option<&Path>,
+    ) -> io::Result<(Child, SocketAddr)> {
+        let mut command = Command::new(&self.program);
+        command
             .args(&self.prefix_args)
             .arg("--port=0")
             .arg(format!("--workers={}", self.workers))
             .arg(format!("--queue-depth={}", self.queue_depth))
-            .arg(format!("--journal-dir={}", journal_dir.display()))
+            .arg(format!("--journal-dir={}", journal_dir.display()));
+        if let Some(path) = policy_path {
+            command.arg(format!("--policy={}", path.display()));
+        }
+        let mut child = command
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .spawn()?;
-        let stdout = child.stdout.take().expect("stdout was piped");
+        let stdout = child.stdout.take().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "shard stdout pipe missing despite Stdio::piped",
+            )
+        })?;
         let mut reader = BufReader::new(stdout);
         loop {
             let mut line = String::new();
@@ -90,11 +108,50 @@ struct Shard {
     generation: u64,
     /// Consecutive failed health probes (reset on success).
     health_failures: u32,
+    /// Policy file this incarnation booted with (may diverge from the
+    /// launcher's during a rolling rollout); respawns reuse it.
+    policy_path: Option<PathBuf>,
+    /// Paused shards are skipped by the supervisor and receive no new
+    /// dispatches — the rollout engine pauses a shard while draining it.
+    paused: bool,
+    /// Supervisor-driven respawns within [`RESPAWN_WINDOW`] of each other
+    /// (a crash loop); resets once the shard stays up past the window.
+    consecutive_respawns: u32,
+    /// When the last supervisor-driven respawn happened.
+    last_respawn: Option<Instant>,
+    /// Crash-loop backoff: the supervisor will not respawn before this.
+    backoff_until: Option<Instant>,
 }
 
 /// Consecutive health-probe failures before a live-but-wedged shard is
 /// killed and restarted.
 const MAX_HEALTH_FAILURES: u32 = 5;
+
+/// Two respawns within this window count as a crash loop.
+const RESPAWN_WINDOW: Duration = Duration::from_secs(10);
+
+/// First crash-loop backoff step; doubles per consecutive respawn.
+const BACKOFF_BASE_MS: u64 = 500;
+
+/// Crash-loop backoff ceiling.
+const BACKOFF_CAP_MS: u64 = 30_000;
+
+/// Crash-loop backoff for the `consecutive`-th respawn of shard `index`:
+/// exponential from [`BACKOFF_BASE_MS`], capped at [`BACKOFF_CAP_MS`],
+/// plus a small deterministic jitter keyed on the shard index so a fleet
+/// of crash-looping shards does not respawn in lockstep. The first
+/// respawn (`consecutive == 0` or `1`) is immediate.
+pub fn respawn_backoff(consecutive: u32, index: usize) -> Duration {
+    if consecutive <= 1 {
+        return Duration::ZERO;
+    }
+    let exp = (consecutive - 2).min(63);
+    let base = BACKOFF_BASE_MS
+        .saturating_mul(1u64 << exp.min(16))
+        .min(BACKOFF_CAP_MS);
+    let jitter = (index as u64 * 31 + consecutive as u64 * 17) % 100;
+    Duration::from_millis(base + jitter)
+}
 
 /// The fleet's shard processes: fixed count, each supervised and restarted
 /// in place (same index, same journal directory, fresh ephemeral port).
@@ -126,12 +183,17 @@ impl ShardSet {
         for i in 0..count {
             let dir = journal_root.join(format!("shard{i}"));
             std::fs::create_dir_all(&dir)?;
-            match launcher.spawn(&dir) {
+            match launcher.spawn(&dir, launcher.policy_path.as_deref()) {
                 Ok((child, addr)) => slots.push(Mutex::new(Shard {
                     child,
                     addr,
                     generation: 0,
                     health_failures: 0,
+                    policy_path: launcher.policy_path.clone(),
+                    paused: false,
+                    consecutive_respawns: 0,
+                    last_respawn: None,
+                    backoff_until: None,
                 })),
                 Err(e) => {
                     for slot in &slots {
@@ -181,6 +243,44 @@ impl ShardSet {
         self.restarts.load(Ordering::Relaxed)
     }
 
+    /// Pauses a shard: the supervisor leaves it alone and the coordinator
+    /// stops dispatching to it. Used while the rollout engine drains and
+    /// restarts the shard.
+    pub fn pause(&self, index: usize) {
+        self.slots[index]
+            .lock()
+            .expect("shard lock poisoned")
+            .paused = true;
+    }
+
+    /// Resumes supervision and dispatch for a paused shard.
+    pub fn unpause(&self, index: usize) {
+        self.slots[index]
+            .lock()
+            .expect("shard lock poisoned")
+            .paused = false;
+    }
+
+    /// Whether the shard is paused.
+    pub fn is_paused(&self, index: usize) -> bool {
+        self.slots[index]
+            .lock()
+            .expect("shard lock poisoned")
+            .paused
+    }
+
+    /// The shard's remaining crash-loop backoff in milliseconds (0 when it
+    /// is not backing off). Exported as `fleet.shard<i>.respawn_backoff_ms`.
+    pub fn respawn_backoff_ms(&self, index: usize) -> u64 {
+        let shard = self.slots[index].lock().expect("shard lock poisoned");
+        shard.backoff_until.map_or(0, |until| {
+            until
+                .saturating_duration_since(Instant::now())
+                .as_millis()
+                .min(u128::from(u64::MAX)) as u64
+        })
+    }
+
     /// Chaos hook: SIGKILL the shard's current process. The supervisor's
     /// next tick restarts it (journal replay resumes its jobs).
     ///
@@ -202,6 +302,15 @@ impl ShardSet {
             // block address lookups on the dispatch path.
             let (addr, generation, dead) = {
                 let mut shard = slot.lock().expect("shard lock poisoned");
+                if shard.paused {
+                    continue; // the rollout engine owns this shard
+                }
+                if let Some(until) = shard.backoff_until {
+                    if Instant::now() < until {
+                        continue; // crash-looping; let the backoff elapse
+                    }
+                    shard.backoff_until = None;
+                }
                 let dead = matches!(shard.child.try_wait(), Ok(Some(_)));
                 (shard.addr, shard.generation, dead)
             };
@@ -239,10 +348,20 @@ impl ShardSet {
     }
 
     /// Kills (if still alive) and respawns the shard on its journal
-    /// directory. Returns false if another restart got there first.
+    /// directory, keeping its current policy file. Returns false if
+    /// another restart got there first. Tracks crash loops: respawns
+    /// landing within [`RESPAWN_WINDOW`] of the previous one arm an
+    /// exponential backoff the supervisor honours before the next try.
     fn restart(&self, index: usize, expected_generation: u64) -> bool {
+        let policy_path = {
+            let shard = self.slots[index].lock().expect("shard lock poisoned");
+            if shard.generation != expected_generation {
+                return false;
+            }
+            shard.policy_path.clone()
+        };
         let dir = self.journal_root.join(format!("shard{index}"));
-        let spawned = self.launcher.spawn(&dir);
+        let spawned = self.launcher.spawn(&dir, policy_path.as_deref());
         let mut shard = self.slots[index].lock().expect("shard lock poisoned");
         if shard.generation != expected_generation {
             // Lost the race; throw the extra child away.
@@ -254,6 +373,20 @@ impl ShardSet {
         }
         let _ = shard.child.kill();
         let _ = shard.child.wait();
+        let now = Instant::now();
+        shard.consecutive_respawns = match shard.last_respawn {
+            Some(last) if now.duration_since(last) < RESPAWN_WINDOW => {
+                shard.consecutive_respawns.saturating_add(1)
+            }
+            _ => 1,
+        };
+        shard.last_respawn = Some(now);
+        let backoff = respawn_backoff(shard.consecutive_respawns, index);
+        shard.backoff_until = if backoff.is_zero() {
+            None
+        } else {
+            Some(now + backoff)
+        };
         match spawned {
             Ok((child, addr)) => {
                 shard.child = child;
@@ -264,11 +397,49 @@ impl ShardSet {
             }
             Err(e) => {
                 // The old child is dead and the new one would not come up;
-                // leave the slot for the next tick to retry.
+                // the next tick retries once the backoff elapses.
                 eprintln!("baryon-fleet: shard {index} restart failed: {e}");
                 false
             }
         }
+    }
+
+    /// Rolling-rollout restart: politely shuts the shard down (it should
+    /// be paused and drained first), respawns it with `policy_path`, and
+    /// records that path for future supervisor respawns. Unlike the
+    /// supervisor path this is deliberate, so it resets crash-loop
+    /// accounting and does not count toward `fleet.shards.restarts`.
+    ///
+    /// # Errors
+    ///
+    /// The respawn failure; on error the old process is already gone and
+    /// the slot keeps its previous address — the caller must either retry
+    /// or roll the fleet back.
+    pub fn restart_with_policy(
+        &self,
+        index: usize,
+        policy_path: Option<PathBuf>,
+    ) -> io::Result<()> {
+        let mut shard = self.slots[index].lock().expect("shard lock poisoned");
+        let _ = Client::new(shard.addr)
+            .connect_timeout(Duration::from_millis(500))
+            .read_timeout(Duration::from_secs(5))
+            .request("POST", "/v1/shutdown", None);
+        // Reap the old incarnation before the new one replays the shared
+        // journal directory — two writers on one journal is corruption.
+        let _ = shard.child.kill();
+        let _ = shard.child.wait();
+        let dir = self.journal_root.join(format!("shard{index}"));
+        let (child, addr) = self.launcher.spawn(&dir, policy_path.as_deref())?;
+        shard.child = child;
+        shard.addr = addr;
+        shard.generation += 1;
+        shard.health_failures = 0;
+        shard.policy_path = policy_path;
+        shard.consecutive_respawns = 0;
+        shard.last_respawn = None;
+        shard.backoff_until = None;
+        Ok(())
     }
 
     /// Gracefully shuts every shard down (`POST /v1/shutdown`, then reap;
@@ -344,10 +515,55 @@ mod tests {
             prefix_args: Vec::new(),
             workers: 1,
             queue_depth: 4,
+            policy_path: None,
         };
         let dir = std::env::temp_dir().join("baryon-fleet-spawn-test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
-        let err = launcher.spawn(&dir).expect_err("no ADDR line ever comes");
+        let err = launcher
+            .spawn(&dir, None)
+            .expect_err("no ADDR line ever comes");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn backoff_is_zero_then_exponential_then_capped() {
+        assert_eq!(respawn_backoff(0, 0), Duration::ZERO);
+        assert_eq!(
+            respawn_backoff(1, 0),
+            Duration::ZERO,
+            "first respawn is free"
+        );
+        let steps: Vec<u64> = (2..=10)
+            .map(|c| respawn_backoff(c, 0).as_millis() as u64)
+            .collect();
+        assert!(
+            steps[0] >= 500 && steps[0] < 600,
+            "first backoff ~base: {steps:?}"
+        );
+        for pair in steps.windows(2) {
+            assert!(pair[1] >= pair[0], "monotone: {steps:?}");
+        }
+        assert!(
+            respawn_backoff(60, 0).as_millis() as u64 <= BACKOFF_CAP_MS + 100,
+            "capped"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_spread_by_index() {
+        for consecutive in 2..6 {
+            for index in 0..4 {
+                assert_eq!(
+                    respawn_backoff(consecutive, index),
+                    respawn_backoff(consecutive, index),
+                    "deterministic"
+                );
+            }
+        }
+        assert_ne!(
+            respawn_backoff(3, 0),
+            respawn_backoff(3, 1),
+            "different shards get different jitter"
+        );
     }
 }

@@ -212,6 +212,53 @@ impl Client {
             .map(|_| ())
     }
 
+    /// `GET /v1/admin/config` — the coordinator's slot-machine state
+    /// document (slots, active generation, rollback history).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; non-2xx answers decode into
+    /// [`ClientError::Api`].
+    pub fn admin_config(&self) -> Result<ClientResponse, ClientError> {
+        self.request("GET", "/v1/admin/config", None)?.into_result()
+    }
+
+    /// `POST /v1/admin/config/stage` — validates and persists a candidate
+    /// policy document into the non-active slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with `invalid_json` / `invalid_config` on a
+    /// bad candidate, `conflict` while a rollout is in flight.
+    pub fn admin_stage(&self, policy_json: &str) -> Result<ClientResponse, ClientError> {
+        self.request("POST", "/v1/admin/config/stage", Some(policy_json))?
+            .into_result()
+    }
+
+    /// `POST /v1/admin/config/commit` — rolling-restarts the fleet onto
+    /// the staged slot; auto-rolls-back on a failed health probe/canary.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with `conflict` when nothing is staged or a
+    /// rollout is in flight, `rollout_failed` when the fleet rolled back.
+    pub fn admin_commit(&self) -> Result<ClientResponse, ClientError> {
+        self.request("POST", "/v1/admin/config/commit", None)?
+            .into_result()
+    }
+
+    /// `POST /v1/admin/config/rollback` — rolling-restarts the fleet back
+    /// onto the previous slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with `conflict` when there is no previous slot
+    /// or a rollout is in flight.
+    pub fn admin_rollback(&self) -> Result<ClientResponse, ClientError> {
+        self.request("POST", "/v1/admin/config/rollback", None)?
+            .into_result()
+    }
+
     /// Opens a streamed (chunked transfer encoding) GET and invokes
     /// `on_line` with each newline-terminated event line as it arrives,
     /// returning once the server terminates the stream. A non-chunked

@@ -28,6 +28,12 @@ pub enum ErrorCode {
     QuotaExceeded,
     /// The server is draining and refuses new work.
     ShuttingDown,
+    /// A staged fleet policy failed validation.
+    InvalidConfig,
+    /// A config commit could not be completed (a shard failed its health
+    /// probe or canary and the fleet rolled back, or a rollout is already
+    /// in flight).
+    RolloutFailed,
     /// Anything else that went wrong server-side.
     Internal,
 }
@@ -45,6 +51,8 @@ impl ErrorCode {
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::QuotaExceeded => "quota_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::InvalidConfig => "invalid_config",
+            ErrorCode::RolloutFailed => "rollout_failed",
             ErrorCode::Internal => "internal",
         }
     }
@@ -61,6 +69,8 @@ impl ErrorCode {
             "queue_full" => ErrorCode::QueueFull,
             "quota_exceeded" => ErrorCode::QuotaExceeded,
             "shutting_down" => ErrorCode::ShuttingDown,
+            "invalid_config" => ErrorCode::InvalidConfig,
+            "rollout_failed" => ErrorCode::RolloutFailed,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -69,10 +79,13 @@ impl ErrorCode {
     /// The canonical HTTP status for this code.
     pub fn status(self) -> u16 {
         match self {
-            ErrorCode::BadRequest | ErrorCode::InvalidJson | ErrorCode::InvalidSpec => 400,
+            ErrorCode::BadRequest
+            | ErrorCode::InvalidJson
+            | ErrorCode::InvalidSpec
+            | ErrorCode::InvalidConfig => 400,
             ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
-            ErrorCode::Conflict => 409,
+            ErrorCode::Conflict | ErrorCode::RolloutFailed => 409,
             ErrorCode::QuotaExceeded => 429,
             ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
             ErrorCode::Internal => 500,
@@ -151,7 +164,7 @@ impl std::error::Error for ApiError {}
 mod tests {
     use super::*;
 
-    const ALL: [ErrorCode; 10] = [
+    const ALL: [ErrorCode; 12] = [
         ErrorCode::BadRequest,
         ErrorCode::InvalidJson,
         ErrorCode::InvalidSpec,
@@ -161,6 +174,8 @@ mod tests {
         ErrorCode::QueueFull,
         ErrorCode::QuotaExceeded,
         ErrorCode::ShuttingDown,
+        ErrorCode::InvalidConfig,
+        ErrorCode::RolloutFailed,
         ErrorCode::Internal,
     ];
 

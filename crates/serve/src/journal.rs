@@ -64,16 +64,25 @@ pub enum JournalEvent {
         /// The job's ID.
         id: u64,
     },
+    /// This incarnation of the server booted under a fleet config
+    /// generation (stamped once at bind time when non-zero). Not a job
+    /// lifecycle transition — it marks which policy produced the results
+    /// journaled after it.
+    PolicyGeneration {
+        /// The fleet config generation.
+        generation: u64,
+    },
 }
 
 impl JournalEvent {
-    /// The job this event refers to.
+    /// The job this event refers to (0 for non-job marker events).
     pub fn id(&self) -> u64 {
         match self {
             JournalEvent::Submit { id, .. }
             | JournalEvent::Start { id }
             | JournalEvent::Finish { id, .. }
             | JournalEvent::Cancel { id } => *id,
+            JournalEvent::PolicyGeneration { .. } => 0,
         }
     }
 
@@ -99,6 +108,10 @@ impl JournalEvent {
                 w.u8(3);
                 w.u64(*id);
             }
+            JournalEvent::PolicyGeneration { generation } => {
+                w.u8(4);
+                w.u64(*generation);
+            }
         }
         w.into_bytes()
     }
@@ -119,6 +132,8 @@ impl JournalEvent {
                 body: r.str()?,
             },
             3 => JournalEvent::Cancel { id },
+            // The u64 after the tag is the generation for this variant.
+            4 => JournalEvent::PolicyGeneration { generation: id },
             other => return Err(WireError::BadTag(other)),
         };
         r.finish()?;
@@ -285,6 +300,8 @@ pub fn recover(events: &[JournalEvent]) -> (Vec<RecoveredJob>, u64) {
                     }
                 }
             }
+            // A boot marker, not a job transition.
+            JournalEvent::PolicyGeneration { .. } => {}
         }
     }
     (jobs.into_values().collect(), max_id)
@@ -345,6 +362,28 @@ mod tests {
             })
             .expect("append after reopen");
         assert_eq!(Journal::replay(&dir).expect("replay").len(), 8);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn policy_generation_round_trips_and_is_not_a_job() {
+        let dir = temp_dir("policy-gen");
+        let journal = Journal::open(&dir).expect("open");
+        let marker = JournalEvent::PolicyGeneration { generation: 7 };
+        assert_eq!(marker.id(), 0, "marker events carry no job ID");
+        journal.append(&marker).expect("append");
+        journal
+            .append(&JournalEvent::Submit {
+                id: 1,
+                spec_json: "{}".to_owned(),
+            })
+            .expect("append");
+        drop(journal);
+        let back = Journal::replay(&dir).expect("replay");
+        assert_eq!(back[0], marker);
+        let (jobs, max_id) = recover(&back);
+        assert_eq!(jobs.len(), 1, "the marker recovers no job");
+        assert_eq!(max_id, 1);
         fs::remove_dir_all(&dir).expect("cleanup");
     }
 

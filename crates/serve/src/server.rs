@@ -13,8 +13,9 @@ use crate::job::{CancelOutcome, JobRecord, JobState, JobTable};
 use crate::journal::{recover, Journal, JournalEvent, RecoveredState};
 use crate::progress::ProgressBoard;
 use crate::queue::{BoundedQueue, PushError};
-use baryon_bench::spec::{resume_from, GridSpec, JobSpec, RunSpec, CHECKPOINT_PREFIX};
+use baryon_bench::spec::{resume_from_with, GridSpec, JobSpec, RunSpec, CHECKPOINT_PREFIX};
 use baryon_core::checkpoint::Checkpoint;
+use baryon_core::policy::FleetPolicy;
 use baryon_sim::histogram::Histogram;
 use baryon_sim::json::{self, Json};
 use baryon_sim::telemetry::Registry;
@@ -28,7 +29,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server construction knobs (the CLI's `serve` flags).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// TCP port on 127.0.0.1; `0` asks the OS for an ephemeral port
     /// (useful in tests — read it back via [`Server::local_addr`]).
@@ -53,6 +54,13 @@ pub struct ServeConfig {
     /// jobs in the table; the oldest beyond it are evicted as new jobs
     /// settle. Queued and running jobs are never evicted.
     pub finished_cap: usize,
+    /// The fleet policy this incarnation executes under. Controller
+    /// overrides are overlaid onto every run; `job_deadline_ms` /
+    /// `checkpoint_every` (when set) take precedence over the fields
+    /// above; the policy's generation is stamped into results, metrics
+    /// (`serve.policy.generation`) and the journal. `None` is the
+    /// baseline and behaves exactly like earlier versions.
+    pub policy: Option<FleetPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +72,7 @@ impl Default for ServeConfig {
             job_deadline: None,
             journal_dir: None,
             finished_cap: 256,
+            policy: None,
         }
     }
 }
@@ -114,9 +123,16 @@ impl Metrics {
     /// (`serve.job_latency.count` / `.p50_us` / `.p95_us`). `evicted` is
     /// the job table's retention-eviction count (the table owns it, the
     /// metrics document reports it).
-    pub fn to_registry(&self, queue_depth: usize, workers: usize, evicted: u64) -> Registry {
+    pub fn to_registry(
+        &self,
+        queue_depth: usize,
+        workers: usize,
+        evicted: u64,
+        generation: u64,
+    ) -> Registry {
         let mut reg = Registry::new();
         reg.set_counter("serve.http.requests", self.requests.load(Ordering::Relaxed));
+        reg.set_counter("serve.policy.generation", generation);
         reg.set_counter(
             "serve.jobs.submitted",
             self.submitted.load(Ordering::Relaxed),
@@ -173,6 +189,14 @@ struct Shared {
     journal: Option<Journal>,
     journal_dir: Option<PathBuf>,
     checkpoint_every: u64,
+    policy: Option<FleetPolicy>,
+}
+
+impl Shared {
+    /// The fleet config generation this incarnation executes under.
+    fn policy_generation(&self) -> u64 {
+        self.policy.as_ref().map_or(0, |p| p.generation)
+    }
 }
 
 /// Appends to the journal if one is configured. Append failures are
@@ -211,6 +235,19 @@ impl Server {
             Some(dir) => Some(Journal::open(dir)?),
             None => None,
         };
+        // Policy serving limits take precedence over the direct config
+        // fields: the rollout distributes one document, not two.
+        let job_deadline = cfg
+            .policy
+            .as_ref()
+            .and_then(|p| p.job_deadline_ms)
+            .map(Duration::from_millis)
+            .or(cfg.job_deadline);
+        let checkpoint_every = cfg
+            .policy
+            .as_ref()
+            .and_then(|p| p.checkpoint_every)
+            .unwrap_or_else(checkpoint_every_from_env);
         let shared = Arc::new(Shared {
             jobs: JobTable::with_finished_cap(cfg.finished_cap),
             queue: BoundedQueue::new(cfg.queue_depth),
@@ -219,13 +256,25 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr: listener.local_addr()?,
             workers: cfg.workers,
-            job_deadline: cfg.job_deadline,
+            job_deadline,
             journal,
             journal_dir: cfg.journal_dir.clone(),
-            checkpoint_every: checkpoint_every_from_env(),
+            checkpoint_every,
+            policy: cfg.policy.clone(),
         });
         if let Some(dir) = &cfg.journal_dir {
             recover_from_journal(&shared, dir)?;
+        }
+        // Mark which generation this incarnation journals under, so the
+        // journal distinguishes results across rollouts. Generation 0 is
+        // the baseline and stays unmarked (byte-identical journals).
+        if shared.policy_generation() > 0 {
+            journal_append(
+                &shared,
+                &JournalEvent::PolicyGeneration {
+                    generation: shared.policy_generation(),
+                },
+            );
         }
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -233,9 +282,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("baryon-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
             })
-            .collect();
+            .collect::<io::Result<Vec<_>>>()?;
         Ok(Server {
             listener,
             shared,
@@ -413,7 +461,7 @@ fn execute_run(shared: &Shared, id: u64, run: &RunSpec) -> Result<Json, String> 
         .map(|dir| dir.join(format!("ckpt-{id}")));
     if let Some(dir) = &ckpt_dir {
         if let Ok(Some(path)) = Checkpoint::latest_in(dir, CHECKPOINT_PREFIX) {
-            if let Ok((resumed_spec, result)) = resume_from(&path) {
+            if let Ok((resumed_spec, result)) = resume_from_with(&path, shared.policy.as_ref()) {
                 if resumed_spec == *run {
                     let _ = std::fs::remove_dir_all(dir);
                     return Ok(result.to_json());
@@ -423,7 +471,7 @@ fn execute_run(shared: &Shared, id: u64, run: &RunSpec) -> Result<Json, String> 
             // run.
         }
     }
-    let result = run.execute_observed(
+    let result = run.execute_observed_with(
         shared.checkpoint_every,
         ckpt_dir.as_deref().map(|dir| (dir, 2)),
         &mut |p| {
@@ -436,6 +484,7 @@ fn execute_run(shared: &Shared, id: u64, run: &RunSpec) -> Result<Json, String> 
                 jp.cells_total = 1;
             });
         },
+        shared.policy.as_ref(),
     )?;
     if let Some(dir) = &ckpt_dir {
         let _ = std::fs::remove_dir_all(dir);
@@ -456,7 +505,7 @@ fn execute_grid(shared: &Shared, id: u64, grid: &GridSpec) -> Result<Json, Strin
     });
     let mut results = Vec::with_capacity(cells.len());
     for (i, cell) in cells.iter().enumerate() {
-        results.push(cell.execute()?.to_json());
+        results.push(cell.execute_with(shared.policy.as_ref())?.to_json());
         shared.progress.publish(id, |jp| {
             jp.cells_done = i as u64 + 1;
             jp.ops = i as u64 + 1;
@@ -518,13 +567,24 @@ fn run_job(shared: &Shared, id: u64, spec: JobSpec) {
 fn run_job_with_deadline(shared: &Arc<Shared>, id: u64, spec: JobSpec, deadline: Duration) {
     let (done_tx, done_rx) = mpsc::channel::<()>();
     let runner_shared = Arc::clone(shared);
-    let runner = std::thread::Builder::new()
+    let runner = match std::thread::Builder::new()
         .name(format!("baryon-serve-job-{id}"))
         .spawn(move || {
             run_job(&runner_shared, id, spec);
             let _ = done_tx.send(());
-        })
-        .expect("spawn job runner thread");
+        }) {
+        Ok(runner) => runner,
+        Err(e) => {
+            // Thread exhaustion must fail this job, not the whole worker.
+            if shared
+                .jobs
+                .finish(id, Err(format!("cannot spawn job runner thread: {e}")), 0)
+            {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+    };
     match done_rx.recv_timeout(deadline) {
         Ok(()) => {
             let _ = runner.join();
@@ -823,10 +883,12 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
 /// percentile fields), the wire bytes reconstruct the registry exactly, so
 /// merged fleet histograms stay faithful.
 fn metrics_response(shared: &Shared, query: &str) -> Response {
-    let reg =
-        shared
-            .metrics
-            .to_registry(shared.queue.len(), shared.workers, shared.jobs.evictions());
+    let reg = shared.metrics.to_registry(
+        shared.queue.len(),
+        shared.workers,
+        shared.jobs.evictions(),
+        shared.policy_generation(),
+    );
     if query.split('&').any(|pair| pair == "format=wire") {
         let mut w = wire::Writer::new();
         reg.save_state(&mut w);
@@ -864,8 +926,9 @@ mod tests {
         m.recovered.store(4, Ordering::Relaxed);
         m.record_latency(1000);
         m.record_latency(2000);
-        let reg = m.to_registry(4, 2, 7);
+        let reg = m.to_registry(4, 2, 7, 3);
         assert_eq!(reg.counter("serve.jobs.submitted"), 5);
+        assert_eq!(reg.counter("serve.policy.generation"), 3);
         assert_eq!(reg.counter("serve.jobs.done"), 3);
         assert_eq!(reg.counter("serve.jobs.evicted"), 7);
         assert_eq!(reg.counter("serve.jobs.recovered"), 4);
@@ -890,7 +953,7 @@ mod tests {
         // breaks scrapers and must be deliberate.
         let m = Metrics::default();
         m.record_latency(1000);
-        let reg = m.to_registry(4, 2, 0);
+        let reg = m.to_registry(4, 2, 0, 0);
         let counters: Vec<&str> = reg.counters().map(|(k, _)| k).collect();
         assert_eq!(
             counters,
@@ -908,6 +971,7 @@ mod tests {
                 "serve.jobs.rejected",
                 "serve.jobs.submitted",
                 "serve.jobs.timed_out",
+                "serve.policy.generation",
                 "serve.queue.depth",
                 "serve.runs.executed",
                 "serve.workers.busy",
@@ -946,5 +1010,6 @@ mod tests {
         assert!(cfg.job_deadline.is_none(), "jobs run unbounded by default");
         assert!(cfg.journal_dir.is_none(), "in-memory by default");
         assert!(cfg.finished_cap > 0, "retention cap must admit jobs");
+        assert!(cfg.policy.is_none(), "baseline policy by default");
     }
 }

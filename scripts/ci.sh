@@ -68,6 +68,17 @@ cargo test -q -p baryon-bench --release --offline --test differential_golden
 echo "==> fleet kill-mid-sweep determinism gate (3 shards)"
 cargo run --release -p baryon-fleet --bin fleet_gate --offline
 
+# Config-rollout gate: on a live 3-shard fleet with a grid sweep in
+# flight, stage a degraded-but-valid policy (1 ms job deadline) and
+# commit. The rolling restart's canary must fail on the first shard and
+# the fleet must roll itself back: 409 rollout_failed, the slot marked
+# bad, zero lost jobs, and the gathered grid byte-identical to a
+# single-process run. Then a benign policy must commit cleanly (the
+# generation propagating into results and every shard's metrics) and
+# roll back to the unstamped baseline.
+echo "==> fleet config-rollout auto-rollback gate (3 shards)"
+cargo run --release -p baryon-fleet --bin rollout_gate --offline
+
 # Throughput + telemetry overhead gate: the sim-throughput harness runs
 # a small workload matrix twice (spans off / spans on) and fails when
 # enabling telemetry costs more than 5% aggregate wall-clock (override
