@@ -9,7 +9,7 @@
 //! submitted remotely byte-identical to the same run performed locally.
 
 use baryon_core::checkpoint::{Checkpoint, RestoreError};
-use baryon_core::config::BaryonConfig;
+use baryon_core::family::FamilyId;
 use baryon_core::metrics::RunResult;
 use baryon_core::policy::FleetPolicy;
 use baryon_core::system::{ControllerKind, RunProgress, System, SystemConfig};
@@ -22,35 +22,16 @@ use std::path::Path;
 /// rotating checkpoint files (`ckpt-<ops>.ckpt`).
 pub const CHECKPOINT_PREFIX: &str = "ckpt";
 
-/// Controller names accepted by [`controller_kind`], in presentation order.
-pub const CONTROLLER_NAMES: &[&str] = &[
-    "baryon",
-    "baryon-fa",
-    "baryon-mixed",
-    "simple",
-    "unison",
-    "dice",
-    "hybrid2",
-    "micro-sector",
-    "os-paging",
-];
+/// Controller names accepted by [`controller_kind`], in presentation
+/// order — the [`FamilyId`] registry's name table.
+pub const CONTROLLER_NAMES: &[&str] = &FamilyId::NAMES;
 
-/// Resolves a controller name to its configuration at the given scale.
+/// Resolves a controller name to its configuration at the given scale
+/// through the [`FamilyId`] registry.
 ///
 /// Returns `None` for unknown names; see [`CONTROLLER_NAMES`].
 pub fn controller_kind(name: &str, scale: Scale) -> Option<ControllerKind> {
-    Some(match name {
-        "baryon" => ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
-        "baryon-fa" => ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)),
-        "baryon-mixed" => ControllerKind::Baryon(BaryonConfig::default_mixed(scale, 0.5)),
-        "simple" => ControllerKind::Simple,
-        "unison" => ControllerKind::Unison,
-        "dice" => ControllerKind::Dice,
-        "hybrid2" => ControllerKind::Hybrid2,
-        "micro-sector" => ControllerKind::MicroSector,
-        "os-paging" => ControllerKind::OsPaging,
-        _ => return None,
-    })
+    Some(FamilyId::parse(name).ok()?.kind(scale))
 }
 
 /// Overlays a fleet policy's controller overrides onto a resolved

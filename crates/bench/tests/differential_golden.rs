@@ -19,7 +19,7 @@ use std::path::PathBuf;
 
 /// Small but non-trivial: enough instructions that every controller
 /// exercises fills, evictions, commits and writebacks on every workload,
-/// small enough that the 9×17 matrix stays affordable in debug builds.
+/// small enough that the 10×17 matrix stays affordable in debug builds.
 const INSTS: u64 = 1_200;
 const WARMUP: u64 = 300;
 const SCALE: u64 = 2048;

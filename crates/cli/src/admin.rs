@@ -18,6 +18,7 @@
 use crate::args::Args;
 use baryon_serve::client::{Client, ClientError};
 use baryon_serve::ErrorCode;
+use baryon_sim::json::Json;
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -76,10 +77,54 @@ pub fn cmd_admin(action: Option<&str>, args: &Args) -> ExitCode {
     match outcome {
         Ok(resp) => {
             println!("{}", resp.body.trim_end());
+            if action == Some("status") {
+                render_staged_diff(&resp.body);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => report(&e),
     }
+}
+
+/// Renders the coordinator's `staged_diff` block (if any) as a
+/// human-readable summary on stderr, keeping stdout pure JSON for
+/// scripts. Silent when nothing is staged or the body is not the
+/// expected shape — the JSON on stdout is always the source of truth.
+fn render_staged_diff(body: &str) {
+    let Ok(doc) = baryon_sim::json::parse(body) else {
+        return;
+    };
+    let Some(diff) = field(&doc, "staged_diff") else {
+        return;
+    };
+    let (Some(Json::U64(from)), Some(Json::U64(to))) =
+        (field(diff, "from_generation"), field(diff, "to_generation"))
+    else {
+        return;
+    };
+    let Some(Json::Obj(changes)) = field(diff, "changes") else {
+        return;
+    };
+    eprintln!(
+        "staged: generation {from} -> {to} ({} change{})",
+        changes.len(),
+        if changes.len() == 1 { "" } else { "s" }
+    );
+    for (knob, change) in changes {
+        let side = |name| match field(change, name) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => "?".to_owned(),
+        };
+        eprintln!("  {knob}: {} -> {}", side("from"), side("to"));
+    }
+}
+
+/// Looks up `name` in a JSON object; `None` for non-objects.
+fn field<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    let Json::Obj(pairs) = doc else {
+        return None;
+    };
+    pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
 
 /// Maps a client failure onto the documented exit statuses.

@@ -15,7 +15,9 @@
 //! ```
 //!
 //! Controllers: `baryon`, `baryon-fa`, `baryon-mixed`, `simple`, `unison`,
-//! `dice`, `hybrid2`, `micro-sector`, `os-paging`.
+//! `dice`, `hybrid2`, `micro-sector`, `os-paging`, `trimma` — the
+//! [`FamilyId`](baryon_core::family::FamilyId) registry is the single
+//! source of truth for these names.
 //!
 //! `serve` and `fleet` print `ADDR <socket-addr>` as their first stdout
 //! line once bound — the machine-readable spawn contract supervisors and
@@ -23,10 +25,11 @@
 //! failures exit with typed statuses: 3 when the port cannot be bound, 4
 //! when a worker shard cannot be spawned (see [`launch`]).
 
-use baryon_bench::spec::{controller_kind, resume_from, RunSpec};
+use baryon_bench::spec::{resume_from, RunSpec};
 use baryon_core::checkpoint::atomic_write;
+use baryon_core::family::FamilyId;
 use baryon_core::metrics::RunResult;
-use baryon_core::system::{System, SystemConfig};
+use baryon_core::system::{ControllerKind, System, SystemConfig};
 use baryon_fleet::{Fleet, FleetConfig, ShardLauncher};
 use baryon_serve::{ServeConfig, Server};
 use baryon_workloads::{by_name, registry, RecordedTrace};
@@ -55,8 +58,8 @@ fn usage() -> ! {
          [--queue-cap N] [--max-in-flight N] [--journal-root DIR] [--shard-program EXE]\n  \
          baryon-cli fleet admin status|stage|commit|rollback [--addr HOST:PORT] [--file FILE]\n\n\
          flags accept both `--flag value` and `--flag=value`\n\
-         controllers: baryon baryon-fa baryon-mixed simple unison dice hybrid2 \
-         micro-sector os-paging"
+         controllers: {}",
+        FamilyId::NAMES.join(" ")
     );
     std::process::exit(2)
 }
@@ -187,19 +190,20 @@ fn cmd_compare(args: &Args) -> ExitCode {
         "{:<14} {:>12} {:>8} {:>8} {:>9} {:>9}",
         "controller", "cycles", "speedup", "serve%", "lat p50", "lat p99"
     );
+    // Every registry family, baselines first so the table reads
+    // worst-to-best; speedups are normalized to the `simple` baseline.
+    let mut families: Vec<FamilyId> = FamilyId::ALL
+        .into_iter()
+        .filter(|f| !matches!(f.kind(scale), ControllerKind::Baryon(_)))
+        .collect();
+    families.extend(
+        FamilyId::ALL
+            .into_iter()
+            .filter(|f| matches!(f.kind(scale), ControllerKind::Baryon(_))),
+    );
     let mut base = None;
-    for name in [
-        "simple",
-        "unison",
-        "dice",
-        "micro-sector",
-        "os-paging",
-        "hybrid2",
-        "baryon-fa",
-        "baryon-mixed",
-        "baryon",
-    ] {
-        let kind = controller_kind(name, scale).expect("static list");
+    for family in families {
+        let kind = family.kind(scale);
         let mut cfg = SystemConfig::with_controller(scale, kind);
         cfg.warmup_insts = args.num("warmup", 50_000);
         let r = System::new(cfg, &workload, args.num("seed", 42)).run(insts);

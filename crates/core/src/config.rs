@@ -76,6 +76,14 @@ pub enum ConfigError {
         /// The underlying fault-config error.
         reason: String,
     },
+    /// A multi-level remap `region_blocks` that is zero, not a power of
+    /// two, or not a multiple of `blocks_per_super`.
+    BadRemapRegion,
+    /// A multi-level remap with a zero-byte hot-level cache.
+    ZeroHotCache,
+    /// A controller-family name with no entry in the
+    /// [`FamilyId`](crate::family::FamilyId) registry.
+    UnknownFamily(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -100,6 +108,51 @@ impl fmt::Display for ConfigError {
                 f.write_str("mixed mode needs flat_fraction strictly between 0 and 1")
             }
             ConfigError::Fault { device, reason } => write!(f, "{device}: {reason}"),
+            ConfigError::BadRemapRegion => f.write_str(
+                "multi-level remap region_blocks must be a power of two \
+                 and a multiple of blocks_per_super",
+            ),
+            ConfigError::ZeroHotCache => {
+                f.write_str("multi-level remap needs a non-zero hot-level cache")
+            }
+            ConfigError::UnknownFamily(name) => {
+                write!(f, "unknown controller family `{name}`")
+            }
+        }
+    }
+}
+
+/// Which remap metadata structure the controller embeds (the
+/// [`RemapStore`](crate::remap::RemapStore) family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapKind {
+    /// Baryon's flat table: one 2 B entry per OS block, fully
+    /// provisioned in fast memory (§III-C).
+    Flat,
+    /// The Trimma-style non-uniform multi-level structure: a coarse
+    /// root level covers unmigrated regions with one entry; fine leaf
+    /// tables exist only where blocks have actually moved.
+    MultiLevel {
+        /// OS blocks per leaf region (power of two, multiple of
+        /// `blocks_per_super`).
+        region_blocks: u64,
+        /// Hot-level cache capacity in bytes (split between root and
+        /// leaf lines).
+        hot_bytes: u64,
+        /// Hot-level cache hit latency in cycles.
+        hot_latency: Cycle,
+    },
+}
+
+impl RemapKind {
+    /// The default Trimma-style parameters: 512-block regions (1 MB of
+    /// OS space in the default geometry), an 8 kB hot-level cache, and
+    /// a 2-cycle hot hit.
+    pub fn default_multi_level() -> Self {
+        RemapKind::MultiLevel {
+            region_blocks: 512,
+            hot_bytes: 8 << 10,
+            hot_latency: 2,
         }
     }
 }
@@ -168,6 +221,9 @@ pub struct BaryonConfig {
     pub fault_slow: FaultConfig,
     /// Demand reads between metadata-scrub passes (0 disables scrubbing).
     pub scrub_interval: u64,
+    /// Remap metadata structure: the classic flat table, or the
+    /// Trimma-style multi-level store (the `trimma` family).
+    pub remap: RemapKind,
 }
 
 impl BaryonConfig {
@@ -215,6 +271,21 @@ impl BaryonConfig {
             fault_fast: FaultConfig::default(),
             fault_slow: FaultConfig::default(),
             scrub_interval: 0,
+            remap: RemapKind::Flat,
+        }
+    }
+
+    /// The `trimma` design point: the cache-mode controller with the
+    /// flat remap table swapped for the Trimma-style multi-level store.
+    /// Regions of 512 blocks (1 MB of OS space in the default geometry)
+    /// keep the root level tiny; an 8 kB hot-level cache resolves both
+    /// levels on-chip in 2 cycles — smaller and faster than the 32 kB /
+    /// 3-cycle flat remap cache because it only needs reach over live
+    /// leaves plus root lines.
+    pub fn default_trimma(scale: Scale) -> Self {
+        BaryonConfig {
+            remap: RemapKind::default_multi_level(),
+            ..Self::default_cache_mode(scale)
         }
     }
 
@@ -265,9 +336,30 @@ impl BaryonConfig {
         total_blocks * 2
     }
 
+    /// Bytes of fast memory *reserved* for the remap structure. The flat
+    /// table reserves exactly [`BaryonConfig::remap_table_bytes`]; the
+    /// multi-level store additionally reserves its root level (and sizes
+    /// the leaf pool for the worst case where every region has a leaf,
+    /// padded to whole super-block lines). The runtime footprint of the
+    /// multi-level store is usually far below this reservation — that
+    /// delta is what `BENCH_metadata.json` measures.
+    pub fn remap_reserved_bytes(&self) -> u64 {
+        match self.remap {
+            RemapKind::Flat => self.remap_table_bytes(),
+            RemapKind::MultiLevel { region_blocks, .. } => {
+                let bps = self.geometry.blocks_per_super.max(1);
+                let line = (bps * 2).next_power_of_two().max(16);
+                let total_blocks = (self.fast_bytes + self.slow_bytes) / self.geometry.block_bytes;
+                let regions = total_blocks.div_ceil(region_blocks.max(1));
+                let leaf_bytes = region_blocks.max(1) / bps * line;
+                (regions * 2).next_multiple_of(64) + regions * leaf_bytes
+            }
+        }
+    }
+
     /// Fast-memory bytes left for the cache/flat data area.
     pub fn data_area_bytes(&self) -> u64 {
-        let meta = self.stage_bytes + self.remap_table_bytes();
+        let meta = self.stage_bytes + self.remap_reserved_bytes();
         self.fast_bytes.saturating_sub(meta) / self.geometry.block_bytes * self.geometry.block_bytes
     }
 
@@ -368,6 +460,21 @@ impl BaryonConfig {
         {
             return Err(ConfigError::BadFlatFraction);
         }
+        if let RemapKind::MultiLevel {
+            region_blocks,
+            hot_bytes,
+            ..
+        } = self.remap
+        {
+            if !region_blocks.is_power_of_two()
+                || !region_blocks.is_multiple_of(self.geometry.blocks_per_super)
+            {
+                return Err(ConfigError::BadRemapRegion);
+            }
+            if hot_bytes == 0 {
+                return Err(ConfigError::ZeroHotCache);
+            }
+        }
         self.fault_fast.validate().map_err(|e| ConfigError::Fault {
             device: "fault_fast",
             reason: e,
@@ -466,6 +573,16 @@ impl BaryonConfigBuilder {
         fault_slow: FaultConfig,
         /// Sets the metadata-scrub interval (0 disables scrubbing).
         scrub_interval: u64,
+        /// Sets the remap metadata structure (flat or multi-level).
+        remap: RemapKind,
+    }
+
+    /// Switches the remap structure to the Trimma-style multi-level
+    /// store with the [`BaryonConfig::default_trimma`] parameters.
+    #[must_use]
+    pub fn trimma(mut self) -> Self {
+        self.cfg.remap = RemapKind::default_multi_level();
+        self
     }
 
     /// Switches to the fully-associative flat organization

@@ -5,6 +5,7 @@ use super::serve::range_mask;
 use super::{BaryonController, PhysState};
 use crate::metadata::stage_entry::RangeRef;
 use crate::metadata::RemapEntry;
+use crate::remap::RemapStore;
 use crate::stage::StageSlot;
 use baryon_compress::{is_all_zero, Cf};
 use baryon_sim::Cycle;
@@ -821,7 +822,7 @@ impl BaryonController {
     /// clears its remap entry. In flat mode everything is swapped (all
     /// sub-blocks written); in cache mode only dirty ranges are.
     fn evict_committed_resident(&mut self, at: Cycle, b: u64, phys: usize, mem: &MemoryContents) {
-        let entry = *self.remap.entry(b);
+        let entry = self.remap.entry(b);
         if entry.is_empty() {
             return;
         }
@@ -858,7 +859,7 @@ impl BaryonController {
                 None => sub += 1,
             }
         }
-        *self.remap.entry_mut(b) = RemapEntry::empty();
+        self.remap.invalidate(b);
         self.meta[b as usize].dirty_mask = 0;
         self.tracker.on_evict_committed(b);
     }
@@ -953,7 +954,7 @@ impl BaryonController {
                     (full_mask & !re.remap).count_ones() as u64;
             }
             re.pointer = self.pointer_of_phys(sb, target);
-            *self.remap.entry_mut(b) = re;
+            self.remap.set_entry(b, re);
             self.meta[b as usize].dirty_mask = dirty;
             // Committed data supersedes any slow-copy hints.
             self.meta[b as usize].slow_cf2 = 0;
@@ -1019,7 +1020,7 @@ impl BaryonController {
     /// Flat mode: the whole physical block is restored to its original.
     pub(crate) fn evict_committed_block(&mut self, at: Cycle, b: u64, mem: &mut MemoryContents) {
         let sb = self.geom.super_of_block(b);
-        let entry = *self.remap.entry(b);
+        let entry = self.remap.entry(b);
         if entry.is_empty() {
             return;
         }
@@ -1096,14 +1097,14 @@ impl BaryonController {
 
     fn direct_fill_inner(&mut self, at: Cycle, b: u64, sub: usize, mem: &mut MemoryContents) {
         let sb = self.geom.super_of_block(b);
-        let mut entry = *self.remap.entry(b);
+        let mut entry = self.remap.entry(b);
         if entry.has_sub(sub) {
             return;
         }
         if entry.zero {
             // A Z entry cannot be extended in place: evict it first.
             self.evict_committed_block(at, b, mem);
-            entry = *self.remap.entry(b);
+            entry = self.remap.entry(b);
         }
         let (start, cf, compressed_src) = self.choose_range(b, sub, entry.remap, mem);
         // Fetch from slow.
@@ -1139,11 +1140,11 @@ impl BaryonController {
         };
 
         // Update the remap entry and charge the re-sort.
-        let mut re = *self.remap.entry(b);
+        let mut re = self.remap.entry(b);
         re.set_range(start, cf);
         re.zero = false;
         re.pointer = self.pointer_of_phys(sb, target);
-        *self.remap.entry_mut(b) = re;
+        self.remap.set_entry(b, re);
         match &mut self.phys[target].state {
             PhysState::Committed { residents, .. } => {
                 if !residents.contains(&b) {
@@ -1333,10 +1334,10 @@ mod tests {
         let mut c = BaryonController::new(cfg);
         let mut m = mem(ValueProfile::NarrowInt);
         c.direct_fill(0, 11, 0, &mut m);
-        let e0 = *c.remap.entry(11);
+        let e0 = c.remap.entry(11);
         assert!(e0.has_sub(0), "first fill commits the range");
         c.direct_fill(1_000, 11, 6, &mut m);
-        let e1 = *c.remap.entry(11);
+        let e1 = c.remap.entry(11);
         assert!(
             e1.has_sub(6),
             "later fills extend the entry (with a re-sort)"

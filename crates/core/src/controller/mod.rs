@@ -2,7 +2,7 @@
 //!
 //! State is split between the *architectural* metadata structures — the
 //! [`StageArea`](crate::stage::StageArea) tag array and the
-//! [`RemapTable`](crate::remap::RemapTable) — and the *functional* residency
+//! [`RemapStore`](crate::remap::RemapStore) — and the *functional* residency
 //! bookkeeping (`PhysBlock`, `BlockMeta`) a real machine would carry in the
 //! data itself. The access flow implements the five cases of Fig 6; the
 //! replacement/commit policies implement §III-E; flat-mode spread-swap and
@@ -14,9 +14,10 @@ pub mod phase;
 mod serve;
 
 use crate::addr::Geometry;
+use crate::config::RemapKind;
 use crate::config::{BaryonConfig, HybridMode};
 use crate::ctrl::{Devices, MemoryController, Request, Response, ServeCounter, ServeStats};
-use crate::remap::RemapTable;
+use crate::remap::{MultiLevelRemap, RemapStore, RemapStoreImpl, RemapTable};
 use crate::stage::StageArea;
 use baryon_compress::RangeCompressor;
 use baryon_sim::rng::SimRng;
@@ -159,7 +160,7 @@ pub struct BaryonController {
     pub(crate) geom: Geometry,
     pub(crate) rc: RangeCompressor,
     pub(crate) devices: Devices,
-    pub(crate) remap: RemapTable,
+    pub(crate) remap: RemapStoreImpl,
     pub(crate) stage: StageArea,
     pub(crate) phys: Vec<PhysBlock>,
     pub(crate) meta: Vec<BlockMeta>,
@@ -213,15 +214,32 @@ impl BaryonController {
             cfg.aging_period,
         );
         let remap_base = cfg.stage_bytes;
-        let data_base = cfg.stage_bytes + cfg.remap_table_bytes();
+        let data_base = cfg.stage_bytes + cfg.remap_reserved_bytes();
         let os_blocks = cfg.os_blocks();
-        let remap = RemapTable::new(
-            os_blocks,
-            geom.blocks_per_super as usize,
-            cfg.remap_cache_bytes,
-            cfg.remap_cache_latency,
-            remap_base,
-        );
+        let remap = match cfg.remap {
+            RemapKind::Flat => RemapStoreImpl::Flat(
+                RemapTable::new(
+                    os_blocks,
+                    geom.blocks_per_super as usize,
+                    cfg.remap_cache_bytes,
+                    cfg.remap_cache_latency,
+                    remap_base,
+                )
+                .with_provisioned_bytes(cfg.remap_table_bytes()),
+            ),
+            RemapKind::MultiLevel {
+                region_blocks,
+                hot_bytes,
+                hot_latency,
+            } => RemapStoreImpl::MultiLevel(MultiLevelRemap::new(
+                os_blocks,
+                geom.blocks_per_super as usize,
+                region_blocks,
+                hot_bytes,
+                hot_latency,
+                remap_base,
+            )),
+        };
         let flat_blocks = cfg.flat_blocks();
         // Flat slots (indices below flat_blocks) start as identity-mapped
         // originals; cache slots start free.
@@ -418,13 +436,15 @@ impl BaryonController {
     /// repairs nothing — the `scrub_repairs` counter is the chaos suite's
     /// canary for metadata corruption. Returns this pass's repair count.
     ///
-    /// Scrubbing streams the remap-table region of fast memory, so passes
+    /// Scrubbing streams the resident remap structure out of fast memory
+    /// ([`RemapStore::footprint_bytes`] — the full table for the flat
+    /// store, root plus live leaves for the multi-level store), so passes
     /// cost device bandwidth; they only run when
     /// [`BaryonConfig::scrub_interval`](crate::config::BaryonConfig) is
     /// non-zero (or when called directly, e.g. from tests).
     pub fn scrub_metadata(&mut self, now: Cycle) -> u64 {
         let mut repairs = 0u64;
-        let table_bytes = self.cfg.remap_table_bytes() as usize;
+        let table_bytes = self.remap.footprint_bytes() as usize;
         if table_bytes > 0 {
             self.devices
                 .fast
@@ -434,7 +454,7 @@ impl BaryonController {
         // Every non-empty remap entry must point at a committed physical
         // block that lists it as a resident.
         for b in 0..self.cfg.os_blocks() {
-            let entry = *self.remap.entry(b);
+            let entry = self.remap.entry(b);
             if entry.is_empty() {
                 continue;
             }
@@ -446,7 +466,7 @@ impl BaryonController {
                     PhysState::Committed { sb: s, residents } if *s == sb && residents.contains(&b)
                 );
             if !resident {
-                *self.remap.entry_mut(b) = crate::metadata::RemapEntry::empty();
+                self.remap.invalidate(b);
                 self.meta[b as usize].dirty_mask = 0;
                 repairs += 1;
             }
@@ -766,7 +786,7 @@ impl MemoryController for BaryonController {
         self.stage.stats().export(&mut sub);
         reg.absorb("stage", &sub);
         let mut sub = Registry::new();
-        self.remap.stats().export(&mut sub);
+        self.remap.export(&mut sub);
         reg.absorb("remap", &sub);
         reg.set_gauge("remap.cache_hit_rate", self.remap.cache_hit_rate());
         self.devices.export(reg);
@@ -783,6 +803,11 @@ impl MemoryController for BaryonController {
     }
 
     fn name(&self) -> &str {
+        // The multi-level remap store defines the trimma family
+        // regardless of the hybrid mode it rides on.
+        if matches!(self.cfg.remap, RemapKind::MultiLevel { .. }) {
+            return "trimma";
+        }
         match (self.cfg.mode, self.cfg.is_fully_associative()) {
             (HybridMode::Cache, false) => "baryon",
             (HybridMode::Cache, true) => "baryon-fa-cache",

@@ -5,6 +5,7 @@ use super::{BaryonController, PhysState};
 use crate::ctrl::{Request, Response};
 use crate::metadata::locate_sub_block;
 use crate::metadata::stage_entry::RangeRef;
+use crate::remap::RemapStore;
 use baryon_compress::{Cf, CACHELINE_BYTES};
 use baryon_mem::FaultKind;
 use baryon_sim::Cycle;
@@ -122,7 +123,7 @@ impl BaryonController {
         // Remap metadata path (stage tag array probed in parallel).
         let t = self.telemetry.timer();
         let remap_lat = self.remap.lookup(now, sb, &mut self.devices.fast);
-        let entry = *self.remap.entry(b);
+        let entry = self.remap.entry(b);
         self.telemetry.record_span("span.remap_walk", t);
         let meta_lat = meta_lat.max(remap_lat);
 
@@ -309,7 +310,7 @@ impl BaryonController {
             }
         }
 
-        let entry = *self.remap.entry(b);
+        let entry = self.remap.entry(b);
         if entry.has_sub(sub) {
             if entry.zero {
                 // Writing a Z block materializes it: evict to slow.

@@ -1,0 +1,175 @@
+//! The typed controller-family registry: one id ↔ name ↔ constructor
+//! table shared by the config builder, the CLI `--controller` flag,
+//! `RunSpec` JSON, and the differential-golden fixture.
+//!
+//! Every place that selects a controller goes through [`FamilyId`]:
+//! [`FamilyId::parse`] turns an external name into a typed id (unknown
+//! names become [`ConfigError::UnknownFamily`], never a panic), and
+//! [`FamilyId::kind`] builds the family's default design point at a
+//! scale. Adding a family means adding a variant here — the compiler
+//! then walks you through the name table and constructor, and the
+//! golden gate and CLI pick it up automatically.
+
+use crate::config::{BaryonConfig, ConfigError};
+use crate::system::ControllerKind;
+use baryon_workloads::Scale;
+
+/// A first-class controller family.
+///
+/// The order of [`FamilyId::ALL`] is the presentation order used by the
+/// CLI and the golden fixture; new families append to the end so the
+/// fixture stays append-only across PRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyId {
+    /// Baryon, cache mode (the paper's default design point).
+    Baryon,
+    /// Baryon, fully-associative flat mode (Fig 10).
+    BaryonFa,
+    /// Baryon, static cache + flat mixed mode (§III-A).
+    BaryonMixed,
+    /// Simple 2 kB DRAM cache.
+    Simple,
+    /// Unison Cache.
+    Unison,
+    /// DICE compressed DRAM cache.
+    Dice,
+    /// Hybrid2 flat-mode hybrid memory.
+    Hybrid2,
+    /// Micro-sector cache (Baryon's closest sub-blocking prior, §V).
+    MicroSector,
+    /// OS-based 4 kB page migration (the §II-A software design point).
+    OsPaging,
+    /// Baryon with the Trimma-style multi-level remap store.
+    Trimma,
+}
+
+impl FamilyId {
+    /// Every family, in presentation order.
+    pub const ALL: [FamilyId; 10] = [
+        FamilyId::Baryon,
+        FamilyId::BaryonFa,
+        FamilyId::BaryonMixed,
+        FamilyId::Simple,
+        FamilyId::Unison,
+        FamilyId::Dice,
+        FamilyId::Hybrid2,
+        FamilyId::MicroSector,
+        FamilyId::OsPaging,
+        FamilyId::Trimma,
+    ];
+
+    /// The external name (CLI `--controller`, `RunSpec` JSON, golden
+    /// fixture keys, `RunResult::controller`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            FamilyId::Baryon => "baryon",
+            FamilyId::BaryonFa => "baryon-fa",
+            FamilyId::BaryonMixed => "baryon-mixed",
+            FamilyId::Simple => "simple",
+            FamilyId::Unison => "unison",
+            FamilyId::Dice => "dice",
+            FamilyId::Hybrid2 => "hybrid2",
+            FamilyId::MicroSector => "micro-sector",
+            FamilyId::OsPaging => "os-paging",
+            FamilyId::Trimma => "trimma",
+        }
+    }
+
+    /// The external names of every family, in [`FamilyId::ALL`] order.
+    pub const NAMES: [&'static str; 10] = [
+        FamilyId::ALL[0].name(),
+        FamilyId::ALL[1].name(),
+        FamilyId::ALL[2].name(),
+        FamilyId::ALL[3].name(),
+        FamilyId::ALL[4].name(),
+        FamilyId::ALL[5].name(),
+        FamilyId::ALL[6].name(),
+        FamilyId::ALL[7].name(),
+        FamilyId::ALL[8].name(),
+        FamilyId::ALL[9].name(),
+    ];
+
+    /// Resolves an external name.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnknownFamily`] when no family carries the name.
+    pub fn parse(name: &str) -> Result<FamilyId, ConfigError> {
+        Self::ALL
+            .into_iter()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| ConfigError::UnknownFamily(name.to_owned()))
+    }
+
+    /// Builds the family's default design point at `scale`.
+    pub fn kind(self, scale: Scale) -> ControllerKind {
+        match self {
+            FamilyId::Baryon => ControllerKind::Baryon(BaryonConfig::default_cache_mode(scale)),
+            FamilyId::BaryonFa => ControllerKind::Baryon(BaryonConfig::default_flat_fa(scale)),
+            FamilyId::BaryonMixed => {
+                ControllerKind::Baryon(BaryonConfig::default_mixed(scale, 0.5))
+            }
+            FamilyId::Trimma => ControllerKind::Baryon(BaryonConfig::default_trimma(scale)),
+            FamilyId::Simple => ControllerKind::Simple,
+            FamilyId::Unison => ControllerKind::Unison,
+            FamilyId::Dice => ControllerKind::Dice,
+            FamilyId::Hybrid2 => ControllerKind::Hybrid2,
+            FamilyId::MicroSector => ControllerKind::MicroSector,
+            FamilyId::OsPaging => ControllerKind::OsPaging,
+        }
+    }
+}
+
+impl std::fmt::Display for FamilyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for family in FamilyId::ALL {
+            assert_eq!(FamilyId::parse(family.name()), Ok(family));
+        }
+    }
+
+    #[test]
+    fn names_table_matches_all_order() {
+        for (family, name) in FamilyId::ALL.iter().zip(FamilyId::NAMES) {
+            assert_eq!(family.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        assert_eq!(
+            FamilyId::parse("warp-drive"),
+            Err(ConfigError::UnknownFamily("warp-drive".to_owned()))
+        );
+    }
+
+    #[test]
+    fn every_family_builds_a_valid_kind() {
+        let scale = Scale { divisor: 2048 };
+        for family in FamilyId::ALL {
+            if let ControllerKind::Baryon(cfg) = family.kind(scale) {
+                cfg.validate().expect("registry constructors stay valid");
+            }
+        }
+    }
+
+    #[test]
+    fn trimma_selects_the_multilevel_store() {
+        let ControllerKind::Baryon(cfg) = FamilyId::Trimma.kind(Scale { divisor: 2048 }) else {
+            panic!("trimma is a Baryon-family controller");
+        };
+        assert!(matches!(
+            cfg.remap,
+            crate::config::RemapKind::MultiLevel { .. }
+        ));
+    }
+}

@@ -40,6 +40,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod ctrl;
+pub mod family;
 pub mod metadata;
 pub mod metrics;
 pub mod policy;
@@ -48,7 +49,8 @@ pub mod stage;
 pub mod system;
 
 pub use addr::Geometry;
-pub use config::{BaryonConfig, HybridMode};
+pub use config::{BaryonConfig, HybridMode, RemapKind};
 pub use ctrl::{MemoryController, Request, Response};
+pub use family::FamilyId;
 pub use metrics::RunResult;
 pub use policy::FleetPolicy;

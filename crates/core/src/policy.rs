@@ -140,6 +140,45 @@ impl FleetPolicy {
         b.build()
     }
 
+    /// Per-knob differences from `base` (the currently active policy) to
+    /// `self` (the staged candidate): `(knob, from, to)` triples in
+    /// declaration order, where an absent override renders as
+    /// `"default"`. Knobs identical on both sides are omitted, so an
+    /// empty vec means the rollout would change nothing.
+    pub fn diff_from(&self, base: &FleetPolicy) -> Vec<(&'static str, String, String)> {
+        fn side<T: std::fmt::Display>(v: &Option<T>) -> String {
+            match v {
+                Some(v) => v.to_string(),
+                None => "default".to_owned(),
+            }
+        }
+        macro_rules! knobs {
+            ($($field:ident),* $(,)?) => {{
+                let mut out = Vec::new();
+                $(
+                    let (from, to) = (side(&base.$field), side(&self.$field));
+                    if from != to {
+                        out.push((stringify!($field), from, to));
+                    }
+                )*
+                out
+            }};
+        }
+        knobs!(
+            commit_k,
+            commit_all,
+            cacheline_aligned,
+            zero_opt,
+            use_cpack,
+            compressed_writeback,
+            two_level_replacement,
+            scrub_interval,
+            stage_ways,
+            job_deadline_ms,
+            checkpoint_every,
+        )
+    }
+
     /// Renders the policy as a JSON document (absent overrides omitted).
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![("generation".to_owned(), Json::U64(self.generation))];
@@ -405,6 +444,32 @@ mod tests {
         assert!(err.contains("comit_k"), "{err}");
         let zero = json::parse(r#"{"job_deadline_ms": 0}"#).expect("parses");
         assert!(FleetPolicy::from_json(&zero).is_err());
+    }
+
+    #[test]
+    fn diff_names_changed_knobs_with_default_for_absent() {
+        let active = FleetPolicy {
+            commit_k: Some(2.0),
+            zero_opt: Some(false),
+            ..FleetPolicy::default()
+        };
+        let staged = FleetPolicy {
+            commit_k: Some(2.5),
+            scrub_interval: Some(1000),
+            ..FleetPolicy::default()
+        };
+        assert_eq!(
+            staged.diff_from(&active),
+            vec![
+                ("commit_k", "2".to_owned(), "2.5".to_owned()),
+                ("zero_opt", "false".to_owned(), "default".to_owned()),
+                ("scrub_interval", "default".to_owned(), "1000".to_owned()),
+            ]
+        );
+        assert!(
+            staged.diff_from(&staged).is_empty(),
+            "identical policies diff to nothing"
+        );
     }
 
     #[test]

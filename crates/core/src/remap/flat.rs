@@ -1,50 +1,18 @@
-//! The off-chip remap table and its on-chip remap cache.
+//! The flat off-chip remap table and its on-chip remap cache.
 //!
 //! The remap table lives in fast memory (one 2 B [`RemapEntry`] per OS
 //! block) and is accessed at super-block granularity: one 16 B line holds
 //! all eight entries of a super-block, which the locator needs anyway
 //! (§III-C). The on-chip remap cache (32 kB, Table I) caches those lines.
 
+use super::{RemapStats, RemapStore};
 use crate::metadata::RemapEntry;
 use baryon_cache::{CacheConfig, SetAssocCache};
 use baryon_mem::MemDevice;
 use baryon_sim::wire::{Reader, WireError, Writer};
 use baryon_sim::Cycle;
 
-/// Statistics of the remap metadata path.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RemapStats {
-    /// Remap cache hits.
-    pub cache_hits: u64,
-    /// Remap cache misses (each costs a fast-memory table read).
-    pub cache_misses: u64,
-    /// Metadata write traffic events (table updates).
-    pub table_updates: u64,
-}
-
-impl RemapStats {
-    /// Publishes into the unified telemetry [`Registry`]
-    /// (absorbed by the controller under `remap.`).
-    ///
-    /// [`Registry`]: baryon_sim::telemetry::Registry
-    pub fn export(&self, reg: &mut baryon_sim::telemetry::Registry) {
-        reg.set_counter("cache_hits", self.cache_hits);
-        reg.set_counter("cache_misses", self.cache_misses);
-        reg.set_counter("table_updates", self.table_updates);
-    }
-
-    /// Remap-cache hit rate in `[0, 1]`; 0 with no lookups.
-    pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / total as f64
-        }
-    }
-}
-
-/// The remap table plus its cache model.
+/// The flat remap table plus its cache model.
 #[derive(Debug, Clone)]
 pub struct RemapTable {
     entries: Vec<RemapEntry>,
@@ -53,6 +21,10 @@ pub struct RemapTable {
     hit_latency: Cycle,
     /// Device address of the table inside fast memory.
     table_base: u64,
+    /// Bytes reserved for the table in fast memory (the footprint). The
+    /// controller provisions the table over the full fast+slow block space,
+    /// which can exceed `entries.len() * 2`.
+    provisioned_bytes: u64,
     stats: RemapStats,
 }
 
@@ -84,8 +56,19 @@ impl RemapTable {
             cache: SetAssocCache::new(CacheConfig::new(sets, ways, line_bytes, hit_latency)),
             hit_latency,
             table_base,
+            provisioned_bytes: os_blocks * 2,
             stats: RemapStats::default(),
         }
+    }
+
+    /// Sets the provisioned table size (the flat footprint reported by
+    /// [`RemapStore::footprint_bytes`] and streamed by the metadata scrub).
+    /// The controller reserves the table over the full fast+slow block
+    /// space, which can exceed the OS-visible `os_blocks * 2`.
+    #[must_use]
+    pub fn with_provisioned_bytes(mut self, bytes: u64) -> Self {
+        self.provisioned_bytes = bytes;
+        self
     }
 
     /// The entry of `block`.
@@ -195,6 +178,54 @@ impl RemapTable {
         self.stats.cache_misses = r.u64()?;
         self.stats.table_updates = r.u64()?;
         Ok(())
+    }
+}
+
+impl RemapStore for RemapTable {
+    fn entry(&self, block: u64) -> RemapEntry {
+        self.entries[block as usize]
+    }
+
+    fn set_entry(&mut self, block: u64, entry: RemapEntry) {
+        *self.entry_mut(block) = entry;
+    }
+
+    fn super_entries(&self, sb: u64) -> &[RemapEntry] {
+        RemapTable::super_entries(self, sb)
+    }
+
+    fn lookup(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) -> Cycle {
+        RemapTable::lookup(self, now, sb, fast)
+    }
+
+    fn record_update(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) {
+        RemapTable::record_update(self, now, sb, fast)
+    }
+
+    fn stats(&self) -> &RemapStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        RemapTable::reset_stats(self)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.provisioned_bytes
+    }
+
+    fn export(&self, reg: &mut baryon_sim::telemetry::Registry) {
+        // The flat store publishes exactly the classic stat triple; the
+        // differential goldens pin this metric set.
+        self.stats.export(reg);
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        RemapTable::save_state(self, w)
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        RemapTable::load_state(self, r)
     }
 }
 

@@ -1,0 +1,276 @@
+//! Remap metadata stores: the translation layer between OS blocks and
+//! their current physical placement.
+//!
+//! Two stores implement the one [`RemapStore`] contract the controller
+//! hot path dispatches through:
+//!
+//! - [`RemapTable`] (`flat`) — Baryon's classic layout: one 2 B
+//!   [`RemapEntry`] per OS block in fast memory behind a 32 kB on-chip
+//!   remap cache (§III-C).
+//! - [`MultiLevelRemap`] (`multilevel`) — the Trimma-style non-uniform
+//!   structure: a coarse root level covers unmigrated regions with a
+//!   single identity entry, and fine leaf tables exist only for regions
+//!   where blocks have actually moved, behind a small hot-level cache.
+//!
+//! The controller holds a concrete [`RemapStoreImpl`] so dispatch stays
+//! static (the serve hot path is floor-gated), while both stores remain
+//! usable through the trait for tests and tooling.
+
+mod flat;
+mod multilevel;
+
+pub use flat::RemapTable;
+pub use multilevel::{MultiLevelRemap, MultiLevelStats};
+
+use crate::metadata::RemapEntry;
+use baryon_mem::MemDevice;
+use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
+use baryon_sim::Cycle;
+
+/// Statistics of the remap metadata path, common to every store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemapStats {
+    /// Remap cache hits (the lookup was fully served on-chip).
+    pub cache_hits: u64,
+    /// Remap cache misses (each costs at least one fast-memory read).
+    pub cache_misses: u64,
+    /// Metadata write traffic events (table updates).
+    pub table_updates: u64,
+}
+
+impl RemapStats {
+    /// Publishes into the unified telemetry [`Registry`]
+    /// (absorbed by the controller under `remap.`).
+    pub fn export(&self, reg: &mut Registry) {
+        reg.set_counter("cache_hits", self.cache_hits);
+        reg.set_counter("cache_misses", self.cache_misses);
+        reg.set_counter("table_updates", self.table_updates);
+    }
+
+    /// Remap-cache hit rate in `[0, 1]`; 0 with no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The remap metadata contract the controller dispatches through.
+///
+/// Translations are whole-entry: production code reads entries by value
+/// and replaces them atomically with [`RemapStore::set_entry`] (or clears
+/// them with [`RemapStore::invalidate`]), which is what lets a store
+/// drop per-block state for regions that hold no mappings. Timing is
+/// modelled by [`RemapStore::lookup`] / [`RemapStore::record_update`],
+/// which charge the hot-level cache and any fast-memory walk traffic.
+pub trait RemapStore: std::fmt::Debug {
+    /// The current translation of `block` (empty if unmigrated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    fn entry(&self, block: u64) -> RemapEntry;
+
+    /// Replaces the translation of `block`; counts a table update.
+    ///
+    /// Entries with no remapped sub-blocks (`entry.is_empty()`) may be
+    /// canonicalized to [`RemapEntry::empty`] — a store is free to drop
+    /// per-block state for regions holding no live mappings.
+    fn set_entry(&mut self, block: u64, entry: RemapEntry);
+
+    /// Clears the translation of `block` back to empty.
+    fn invalidate(&mut self, block: u64) {
+        self.set_entry(block, RemapEntry::empty());
+    }
+
+    /// All entries of super-block `sb`, in block order.
+    fn super_entries(&self, sb: u64) -> &[RemapEntry];
+
+    /// Simulates the metadata walk for super-block `sb`: probes the
+    /// hot-level cache, walking the in-memory structure on a miss.
+    /// Returns the metadata latency.
+    fn lookup(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) -> Cycle;
+
+    /// Records a metadata write for super-block `sb` (on commit/evict).
+    /// Updates go through the cache; a miss also costs a fast-memory
+    /// write.
+    fn record_update(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice);
+
+    /// Accumulated common statistics.
+    fn stats(&self) -> &RemapStats;
+
+    /// Hot-level cache hit rate.
+    fn cache_hit_rate(&self) -> f64 {
+        self.stats().cache_hit_rate()
+    }
+
+    /// Resets statistics only; translations are untouched.
+    fn reset_stats(&mut self);
+
+    /// Bytes of fast memory the structure currently occupies. Flat
+    /// stores report their full provisioned table; multi-level stores
+    /// report the root plus only the live leaves.
+    fn footprint_bytes(&self) -> u64;
+
+    /// Publishes store metrics (absorbed by the controller under
+    /// `remap.`). Every store exports the [`RemapStats`] triple;
+    /// stores may add their own metrics after it.
+    fn export(&self, reg: &mut Registry);
+
+    /// Serializes the mutable state (translations, cache contents,
+    /// stats) for checkpointing; geometry is rebuilt by the constructor.
+    fn save_state(&self, w: &mut Writer);
+
+    /// Overlays checkpointed state onto this freshly constructed store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a truncated payload or geometry mismatch.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError>;
+}
+
+/// The concrete store the controller embeds: static dispatch over the
+/// [`RemapStore`] families so the serve hot path stays branch-predictable
+/// and inlinable (the sim-throughput floors gate this path).
+// One instance per controller, never moved on the hot path: boxing the
+// large variant would add a pointer chase to every translation for no
+// memory win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RemapStoreImpl {
+    /// Baryon's flat table (`RemapKind::Flat`).
+    Flat(RemapTable),
+    /// The Trimma-style multi-level store (`RemapKind::MultiLevel`).
+    MultiLevel(MultiLevelRemap),
+}
+
+/// Wire discriminants for [`RemapStoreImpl::save_state`].
+const TAG_FLAT: u8 = 0;
+const TAG_MULTI_LEVEL: u8 = 1;
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            RemapStoreImpl::Flat($inner) => $body,
+            RemapStoreImpl::MultiLevel($inner) => $body,
+        }
+    };
+}
+
+impl RemapStore for RemapStoreImpl {
+    fn entry(&self, block: u64) -> RemapEntry {
+        delegate!(self, s => RemapStore::entry(s, block))
+    }
+
+    fn set_entry(&mut self, block: u64, entry: RemapEntry) {
+        delegate!(self, s => RemapStore::set_entry(s, block, entry))
+    }
+
+    fn super_entries(&self, sb: u64) -> &[RemapEntry] {
+        delegate!(self, s => RemapStore::super_entries(s, sb))
+    }
+
+    fn lookup(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) -> Cycle {
+        delegate!(self, s => RemapStore::lookup(s, now, sb, fast))
+    }
+
+    fn record_update(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) {
+        delegate!(self, s => RemapStore::record_update(s, now, sb, fast))
+    }
+
+    fn stats(&self) -> &RemapStats {
+        delegate!(self, s => RemapStore::stats(s))
+    }
+
+    fn reset_stats(&mut self) {
+        delegate!(self, s => RemapStore::reset_stats(s))
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        delegate!(self, s => s.footprint_bytes())
+    }
+
+    fn export(&self, reg: &mut Registry) {
+        delegate!(self, s => s.export(reg))
+    }
+
+    /// Prefixes a kind tag so a checkpoint cannot be restored into a
+    /// store of the wrong family.
+    fn save_state(&self, w: &mut Writer) {
+        match self {
+            RemapStoreImpl::Flat(s) => {
+                w.u8(TAG_FLAT);
+                s.save_state(w);
+            }
+            RemapStoreImpl::MultiLevel(s) => {
+                w.u8(TAG_MULTI_LEVEL);
+                s.save_state(w);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (TAG_FLAT, RemapStoreImpl::Flat(s)) => s.load_state(r),
+            (TAG_MULTI_LEVEL, RemapStoreImpl::MultiLevel(s)) => s.load_state(r),
+            (tag, _) => Err(WireError::BadTag(tag)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_mem::DeviceConfig;
+
+    fn flat() -> RemapStoreImpl {
+        RemapStoreImpl::Flat(RemapTable::new(1024, 8, 32 << 10, 3, 0))
+    }
+
+    fn multi() -> RemapStoreImpl {
+        RemapStoreImpl::MultiLevel(MultiLevelRemap::new(1024, 8, 128, 8 << 10, 2, 0))
+    }
+
+    #[test]
+    fn kind_tag_guards_cross_family_restore() {
+        let mut w = Writer::new();
+        flat().save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let err = multi().load_state(&mut r).unwrap_err();
+        assert!(matches!(err, WireError::BadTag(0)), "got {err:?}");
+    }
+
+    #[test]
+    fn same_family_restore_round_trips_through_the_enum() {
+        let mut store = flat();
+        let mut f = MemDevice::new(DeviceConfig::ddr4_3200());
+        store.set_entry(17, RemapEntry::empty());
+        store.lookup(0, 2, &mut f);
+        let mut w = Writer::new();
+        store.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = flat();
+        let mut r = Reader::new(&bytes);
+        fresh.load_state(&mut r).expect("well-formed");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(fresh.stats(), store.stats());
+    }
+
+    #[test]
+    fn invalidate_clears_to_empty() {
+        for mut store in [flat(), multi()] {
+            let mut e = RemapEntry::empty();
+            e.remap = 1;
+            e.pointer = 7;
+            store.set_entry(12, e);
+            store.invalidate(12);
+            assert!(store.entry(12).is_empty());
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! The Trimma-style non-uniform multi-level remap store.
+//!
+//! Instead of provisioning one flat 2 B entry per OS block, the address
+//! space is carved into fixed regions. A coarse **root** level holds one
+//! 2 B slot per region: identity while the region has no migrated
+//! blocks, or a pointer to a fine **leaf** table otherwise. Leaves are
+//! allocated from a pool behind the root on first migration into a
+//! region and freed when the last mapping in the region is cleared, so
+//! the fast-memory footprint tracks the *live* migration set instead of
+//! the full block space — the Trimma insight (PAPERS.md, same authors
+//! as Baryon).
+//!
+//! A small **hot-level cache** splits its budget between root lines
+//! (one 64 B line covers 32 regions, giving sparse workloads enormous
+//! reach) and leaf lines (one line per super-block, as in the flat
+//! remap cache). A lookup that resolves on-chip costs `hot_latency`;
+//! a miss walks the root line and, if the region has a leaf, the leaf
+//! line in fast memory — the two reads serialize, which is the walk
+//! cost Trimma trims by keeping most regions leafless.
+
+use super::{RemapStats, RemapStore};
+use crate::metadata::RemapEntry;
+use baryon_cache::{CacheConfig, SetAssocCache};
+use baryon_mem::MemDevice;
+use baryon_sim::telemetry::Registry;
+use baryon_sim::wire::{Reader, WireError, Writer};
+use baryon_sim::Cycle;
+
+/// Counters specific to the multi-level walk, exported beside the
+/// common [`RemapStats`] triple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiLevelStats {
+    /// Fast-memory reads of root-level lines (walk step 1 misses).
+    pub root_reads: u64,
+    /// Fast-memory reads of leaf-level lines (walk step 2 misses).
+    pub leaf_reads: u64,
+    /// Leaf tables allocated (first migration into a region).
+    pub leaves_allocated: u64,
+    /// Leaf tables freed (last mapping in a region cleared).
+    pub leaves_freed: u64,
+}
+
+/// One fine-grained leaf table covering a single region.
+#[derive(Debug, Clone)]
+struct Leaf {
+    /// One entry per OS block of the region.
+    entries: Vec<RemapEntry>,
+    /// How many entries currently hold a live mapping.
+    non_empty: u32,
+    /// The leaf pool slot (fixes the leaf's fast-memory address).
+    slot: u32,
+}
+
+/// The multi-level remap store plus its hot-level cache model.
+#[derive(Debug, Clone)]
+pub struct MultiLevelRemap {
+    blocks_per_super: usize,
+    region_blocks: u64,
+    supers_per_region: u64,
+    /// Leaf tables, indexed by region; `None` = identity (unmigrated).
+    leaves: Vec<Option<Leaf>>,
+    /// Recycled leaf pool slots, reused LIFO.
+    free_slots: Vec<u32>,
+    /// High-water mark of the leaf pool.
+    next_slot: u32,
+    root_cache: SetAssocCache,
+    leaf_cache: SetAssocCache,
+    hit_latency: Cycle,
+    /// Device address of the root level inside fast memory; the leaf
+    /// pool starts at `table_base + root_bytes`.
+    table_base: u64,
+    root_bytes: u64,
+    /// Bytes of one leaf line (all entries of one super-block).
+    line_bytes: u64,
+    /// Canonical all-empty super-block slice for leafless regions.
+    empty_super: Vec<RemapEntry>,
+    stats: RemapStats,
+    ml: MultiLevelStats,
+}
+
+impl MultiLevelRemap {
+    /// Creates a store for `os_blocks` blocks carved into regions of
+    /// `region_blocks`. `hot_bytes` sizes the hot-level cache (split
+    /// between root and leaf lines); `hot_latency` is its hit latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, or if `region_blocks` is not a
+    /// power of two or not a multiple of `blocks_per_super`.
+    pub fn new(
+        os_blocks: u64,
+        blocks_per_super: usize,
+        region_blocks: u64,
+        hot_bytes: u64,
+        hot_latency: Cycle,
+        table_base: u64,
+    ) -> Self {
+        assert!(os_blocks > 0 && blocks_per_super > 0, "empty remap store");
+        assert!(
+            region_blocks.is_power_of_two()
+                && region_blocks.is_multiple_of(blocks_per_super as u64),
+            "region_blocks {region_blocks} must be a power of two and a \
+             multiple of blocks_per_super {blocks_per_super}"
+        );
+        assert!(hot_bytes > 0, "zero hot-level cache");
+        let line_bytes = (blocks_per_super * 2).next_power_of_two().max(16) as u64;
+        let num_regions = os_blocks.div_ceil(region_blocks);
+        let root_bytes = (num_regions * 2).next_multiple_of(64);
+        let ways = 8;
+        let root_sets = (hot_bytes / 2 / 64 / ways as u64)
+            .max(2)
+            .next_power_of_two() as usize;
+        let leaf_sets = (hot_bytes / 2 / line_bytes / ways as u64)
+            .max(4)
+            .next_power_of_two() as usize;
+        MultiLevelRemap {
+            blocks_per_super,
+            region_blocks,
+            supers_per_region: region_blocks / blocks_per_super as u64,
+            leaves: vec![None; num_regions as usize],
+            free_slots: Vec::new(),
+            next_slot: 0,
+            root_cache: SetAssocCache::new(CacheConfig::new(root_sets, ways, 64, hot_latency)),
+            leaf_cache: SetAssocCache::new(CacheConfig::new(
+                leaf_sets,
+                ways,
+                line_bytes,
+                hot_latency,
+            )),
+            hit_latency: hot_latency,
+            table_base,
+            root_bytes,
+            line_bytes,
+            empty_super: vec![RemapEntry::empty(); blocks_per_super],
+            stats: RemapStats::default(),
+            ml: MultiLevelStats::default(),
+        }
+    }
+
+    /// Multi-level walk counters.
+    pub fn multilevel_stats(&self) -> &MultiLevelStats {
+        &self.ml
+    }
+
+    /// Number of regions currently backed by a leaf table.
+    pub fn live_leaves(&self) -> u64 {
+        self.leaves.iter().filter(|l| l.is_some()).count() as u64
+    }
+
+    /// Bytes of one leaf table in fast memory (super-block lines).
+    fn leaf_bytes(&self) -> u64 {
+        self.supers_per_region * self.line_bytes
+    }
+
+    /// Fast-memory address of the leaf line holding super-block `sb`.
+    fn leaf_line_addr(&self, slot: u32, sb: u64) -> u64 {
+        let off = (sb % self.supers_per_region) * self.line_bytes;
+        self.table_base + self.root_bytes + u64::from(slot) * self.leaf_bytes() + off
+    }
+
+    fn alloc_slot(&mut self) -> u32 {
+        self.ml.leaves_allocated += 1;
+        if let Some(slot) = self.free_slots.pop() {
+            slot
+        } else {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            slot
+        }
+    }
+}
+
+impl RemapStore for MultiLevelRemap {
+    fn entry(&self, block: u64) -> RemapEntry {
+        let region = (block / self.region_blocks) as usize;
+        match &self.leaves[region] {
+            Some(leaf) => leaf.entries[(block % self.region_blocks) as usize],
+            None => RemapEntry::empty(),
+        }
+    }
+
+    fn set_entry(&mut self, block: u64, entry: RemapEntry) {
+        self.stats.table_updates += 1;
+        let region = (block / self.region_blocks) as usize;
+        if self.leaves[region].is_none() {
+            if entry.is_empty() {
+                // Clearing inside an identity region: nothing to store.
+                return;
+            }
+            let slot = self.alloc_slot();
+            self.leaves[region] = Some(Leaf {
+                entries: vec![RemapEntry::empty(); self.region_blocks as usize],
+                non_empty: 0,
+                slot,
+            });
+        }
+        let leaf = self.leaves[region].as_mut().expect("leaf just ensured");
+        let idx = (block % self.region_blocks) as usize;
+        let was_live = !leaf.entries[idx].is_empty();
+        let is_live = !entry.is_empty();
+        leaf.entries[idx] = entry;
+        match (was_live, is_live) {
+            (false, true) => leaf.non_empty += 1,
+            (true, false) => leaf.non_empty -= 1,
+            _ => {}
+        }
+        if leaf.non_empty == 0 {
+            // Last mapping gone: collapse the region back to identity.
+            let slot = leaf.slot;
+            self.leaves[region] = None;
+            self.free_slots.push(slot);
+            self.ml.leaves_freed += 1;
+        }
+    }
+
+    fn super_entries(&self, sb: u64) -> &[RemapEntry] {
+        let region = (sb / self.supers_per_region) as usize;
+        match &self.leaves[region] {
+            Some(leaf) => {
+                let start = (sb % self.supers_per_region) as usize * self.blocks_per_super;
+                &leaf.entries[start..start + self.blocks_per_super]
+            }
+            None => &self.empty_super,
+        }
+    }
+
+    fn lookup(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) -> Cycle {
+        let region = sb / self.supers_per_region;
+        let leaf_slot = self.leaves[region as usize].as_ref().map(|l| l.slot);
+        if self.root_cache.access(region * 2, false).hit {
+            match leaf_slot {
+                // Identity region resolved entirely on-chip.
+                None => {
+                    self.stats.cache_hits += 1;
+                    self.hit_latency
+                }
+                Some(slot) => {
+                    if self.leaf_cache.access(sb * self.line_bytes, false).hit {
+                        self.stats.cache_hits += 1;
+                        self.hit_latency
+                    } else {
+                        self.stats.cache_misses += 1;
+                        self.ml.leaf_reads += 1;
+                        let done = fast.access(
+                            now + self.hit_latency,
+                            self.leaf_line_addr(slot, sb),
+                            64, // minimum burst
+                            false,
+                        );
+                        done - now
+                    }
+                }
+            }
+        } else {
+            self.stats.cache_misses += 1;
+            self.ml.root_reads += 1;
+            let mut done = fast.access(
+                now + self.hit_latency,
+                self.table_base + region * 2,
+                64,
+                false,
+            );
+            if let Some(slot) = leaf_slot {
+                // The leaf read serializes behind the root read.
+                self.ml.leaf_reads += 1;
+                self.leaf_cache.access(sb * self.line_bytes, false);
+                done = fast.access(done, self.leaf_line_addr(slot, sb), 64, false);
+            }
+            done - now
+        }
+    }
+
+    fn record_update(&mut self, now: Cycle, sb: u64, fast: &mut MemDevice) {
+        self.stats.table_updates += 1;
+        let region = sb / self.supers_per_region;
+        match self.leaves[region as usize].as_ref().map(|l| l.slot) {
+            Some(slot) => {
+                if !self.leaf_cache.access(sb * self.line_bytes, true).hit {
+                    fast.access(now, self.leaf_line_addr(slot, sb), 64, true);
+                }
+            }
+            None => {
+                // The region collapsed to identity: the root line itself
+                // is what changed.
+                if !self.root_cache.access(region * 2, true).hit {
+                    fast.access(now, self.table_base + region * 2, 64, true);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &RemapStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = RemapStats::default();
+        self.ml = MultiLevelStats::default();
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.root_bytes + self.live_leaves() * self.leaf_bytes()
+    }
+
+    fn export(&self, reg: &mut Registry) {
+        self.stats.export(reg);
+        reg.set_counter("root_reads", self.ml.root_reads);
+        reg.set_counter("leaf_reads", self.ml.leaf_reads);
+        reg.set_counter("leaves_allocated", self.ml.leaves_allocated);
+        reg.set_counter("leaves_freed", self.ml.leaves_freed);
+        reg.set_gauge("live_leaves", self.live_leaves() as f64);
+        reg.set_gauge("footprint_bytes", self.footprint_bytes() as f64);
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.seq(self.leaves.len());
+        for leaf in &self.leaves {
+            w.opt(leaf.is_some());
+            if let Some(leaf) = leaf {
+                w.u32(leaf.slot);
+                w.u32(leaf.non_empty);
+                for e in &leaf.entries {
+                    w.u32(e.remap);
+                    w.u32(e.pointer);
+                    w.u32(e.cf2);
+                    w.u32(e.cf4);
+                    w.bool(e.zero);
+                }
+            }
+        }
+        w.seq(self.free_slots.len());
+        for s in &self.free_slots {
+            w.u32(*s);
+        }
+        w.u32(self.next_slot);
+        self.root_cache.save_state(w);
+        self.leaf_cache.save_state(w);
+        w.u64(self.stats.cache_hits);
+        w.u64(self.stats.cache_misses);
+        w.u64(self.stats.table_updates);
+        w.u64(self.ml.root_reads);
+        w.u64(self.ml.leaf_reads);
+        w.u64(self.ml.leaves_allocated);
+        w.u64(self.ml.leaves_freed);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let n = r.seq()?;
+        if n != self.leaves.len() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for leaf in &mut self.leaves {
+            *leaf = if r.opt()? {
+                let slot = r.u32()?;
+                let non_empty = r.u32()?;
+                let mut entries = vec![RemapEntry::empty(); self.region_blocks as usize];
+                for e in &mut entries {
+                    *e = RemapEntry {
+                        remap: r.u32()?,
+                        pointer: r.u32()?,
+                        cf2: r.u32()?,
+                        cf4: r.u32()?,
+                        zero: r.bool()?,
+                    };
+                }
+                Some(Leaf {
+                    entries,
+                    non_empty,
+                    slot,
+                })
+            } else {
+                None
+            };
+        }
+        let n = r.seq()?;
+        self.free_slots = (0..n).map(|_| r.u32()).collect::<Result<_, _>>()?;
+        self.next_slot = r.u32()?;
+        self.root_cache.load_state(r)?;
+        self.leaf_cache.load_state(r)?;
+        self.stats.cache_hits = r.u64()?;
+        self.stats.cache_misses = r.u64()?;
+        self.stats.table_updates = r.u64()?;
+        self.ml.root_reads = r.u64()?;
+        self.ml.leaf_reads = r.u64()?;
+        self.ml.leaves_allocated = r.u64()?;
+        self.ml.leaves_freed = r.u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baryon_compress::Cf;
+    use baryon_mem::DeviceConfig;
+
+    fn store() -> MultiLevelRemap {
+        // 1024 blocks, 8 per super, regions of 128 -> 8 regions.
+        MultiLevelRemap::new(1024, 8, 128, 8 << 10, 2, 0)
+    }
+
+    fn fast() -> MemDevice {
+        MemDevice::new(DeviceConfig::ddr4_3200())
+    }
+
+    fn live_entry() -> RemapEntry {
+        let mut e = RemapEntry::empty();
+        e.set_range(0, Cf::X2);
+        e.pointer = 5;
+        e
+    }
+
+    #[test]
+    fn starts_fully_identity() {
+        let s = store();
+        assert_eq!(s.live_leaves(), 0);
+        assert!(s.entry(0).is_empty());
+        assert!(s.entry(1023).is_empty());
+        assert!(s.super_entries(100).iter().all(|e| e.is_empty()));
+        assert_eq!(s.footprint_bytes(), 64); // root only (8 regions -> 16 B, padded)
+    }
+
+    #[test]
+    fn leaf_allocates_on_first_mapping_and_frees_on_last_clear() {
+        let mut s = store();
+        s.set_entry(200, live_entry());
+        assert_eq!(s.live_leaves(), 1);
+        assert!(s.entry(200).has_sub(0));
+        assert_eq!(s.footprint_bytes(), 64 + 128 * 2);
+        s.set_entry(201, live_entry());
+        assert_eq!(s.live_leaves(), 1, "same region shares one leaf");
+        s.invalidate(200);
+        assert_eq!(s.live_leaves(), 1);
+        s.invalidate(201);
+        assert_eq!(s.live_leaves(), 0, "empty leaf must be freed");
+        assert_eq!(s.multilevel_stats().leaves_allocated, 1);
+        assert_eq!(s.multilevel_stats().leaves_freed, 1);
+        assert_eq!(s.footprint_bytes(), 64);
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut s = store();
+        s.set_entry(0, live_entry());
+        s.invalidate(0);
+        s.set_entry(500, live_entry());
+        // The second leaf reuses slot 0 instead of growing the pool.
+        assert_eq!(s.next_slot, 1);
+        assert!(s.free_slots.is_empty());
+    }
+
+    #[test]
+    fn super_entries_match_per_block_entries() {
+        let mut s = store();
+        s.set_entry(17, live_entry());
+        let entries = s.super_entries(2); // blocks 16..24
+        assert_eq!(entries.len(), 8);
+        assert!(entries[1].has_sub(0));
+        assert!(entries[0].is_empty());
+    }
+
+    #[test]
+    fn identity_region_lookup_hits_after_root_warmup() {
+        let mut s = store();
+        let mut f = fast();
+        let cold = s.lookup(0, 5, &mut f);
+        let warm = s.lookup(1000, 5, &mut f);
+        assert!(cold > warm, "cold {cold} <= warm {warm}");
+        assert_eq!(warm, 2, "identity region resolves at hot latency");
+        assert_eq!(s.multilevel_stats().root_reads, 1);
+        assert_eq!(s.multilevel_stats().leaf_reads, 0);
+    }
+
+    #[test]
+    fn migrated_region_walk_serializes_root_and_leaf() {
+        let mut s = store();
+        let mut f = fast();
+        s.set_entry(40, live_entry()); // region 0, super-block 5
+        let walk = s.lookup(0, 5, &mut f);
+        // Two serialized fast reads: strictly slower than the identity walk.
+        let mut ident = store();
+        let cold_ident = ident.lookup(0, 5, &mut fast());
+        assert!(walk > cold_ident, "walk {walk} <= identity {cold_ident}");
+        assert_eq!(s.multilevel_stats().root_reads, 1);
+        assert_eq!(s.multilevel_stats().leaf_reads, 1);
+        // Warm: both levels now cached on-chip.
+        assert_eq!(s.lookup(5000, 5, &mut f), 2);
+    }
+
+    #[test]
+    fn record_update_writes_through_on_cold_miss() {
+        let mut s = store();
+        let mut f = fast();
+        s.set_entry(40, live_entry());
+        s.record_update(0, 5, &mut f);
+        assert_eq!(f.stats().writes, 1);
+        s.record_update(100, 5, &mut f);
+        assert_eq!(f.stats().writes, 1, "second update hits the hot cache");
+    }
+
+    #[test]
+    fn reset_clears_stats_not_translations() {
+        let mut s = store();
+        let mut f = fast();
+        s.set_entry(4, live_entry());
+        s.lookup(0, 0, &mut f);
+        s.reset_stats();
+        assert_eq!(s.stats().cache_misses, 0);
+        assert_eq!(s.multilevel_stats().root_reads, 0);
+        assert!(s.entry(4).has_sub(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        store().entry(99999);
+    }
+
+    #[test]
+    fn wire_state_round_trips_bit_identically() {
+        let mut s = store();
+        let mut f = fast();
+        s.set_entry(17, live_entry());
+        s.set_entry(900, live_entry());
+        s.invalidate(900);
+        s.lookup(0, 2, &mut f);
+        s.lookup(100, 60, &mut f);
+        let mut w = Writer::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = store();
+        let mut r = Reader::new(&bytes);
+        fresh.load_state(&mut r).expect("well-formed");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(fresh.entry(17), s.entry(17));
+        assert_eq!(fresh.stats(), s.stats());
+        assert_eq!(fresh.multilevel_stats(), s.multilevel_stats());
+        assert_eq!(fresh.free_slots, s.free_slots);
+        assert_eq!(fresh.next_slot, s.next_slot);
+        // The restored hot cache must hit exactly where the original does.
+        let lat_orig = s.lookup(1000, 2, &mut fast());
+        let lat_restored = fresh.lookup(1000, 2, &mut fast());
+        assert_eq!(lat_orig, lat_restored);
+        // And re-saving produces byte-identical state.
+        let mut w2 = Writer::new();
+        fresh.save_state(&mut w2);
+        let mut w1 = Writer::new();
+        s.save_state(&mut w1);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_wire_error() {
+        let mut w = Writer::new();
+        store().save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = MultiLevelRemap::new(2048, 8, 128, 8 << 10, 2, 0);
+        let mut r = Reader::new(&bytes);
+        assert!(other.load_state(&mut r).is_err());
+    }
+}

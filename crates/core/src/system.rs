@@ -36,6 +36,8 @@ use baryon_workloads::{MemoryContents, Op, Scale, TraceGen, Workload};
 use std::collections::VecDeque;
 
 /// Which memory controller a system runs.
+// Constructed once per run; the config payload is not worth boxing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ControllerKind {
     /// The Baryon controller with the given configuration.

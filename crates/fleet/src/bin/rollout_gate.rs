@@ -289,6 +289,22 @@ fn run_gate() -> Result<(), String> {
         if r.status != 200 {
             return Err(format!("benign stage {}: {}", r.status, r.body));
         }
+        // While the candidate sits staged, the admin surface must show
+        // the per-knob diff an operator would be committing.
+        let config = admin_config(addr)?;
+        let diff = obj_get(&config, "staged_diff").ok_or("benign stage produced no staged_diff")?;
+        if get_u64(diff, "from_generation") != Some(0) || get_u64(diff, "to_generation") != Some(2)
+        {
+            return Err(format!(
+                "staged_diff names the wrong generations: {config:?}"
+            ));
+        }
+        let changes = obj_get(diff, "changes")
+            .ok_or("staged_diff has no changes")?
+            .render();
+        if !changes.contains(r#""scrub_interval":{"from":"default","to":"100000"}"#) {
+            return Err(format!("staged_diff missing the scrub knob: {changes}"));
+        }
         let r = client(addr)
             .request("POST", "/v1/admin/config/commit", None)
             .map_err(|e| format!("benign commit: {e}"))?;

@@ -399,6 +399,33 @@ impl SlotMachine {
             ("slot_b".to_owned(), self.slots[1].to_json()),
             ("rollbacks".to_owned(), Json::U64(self.rollbacks)),
         ];
+        // A staged candidate gets a per-knob diff against the active
+        // policy, so `fleet admin status` shows exactly what a commit
+        // would change before anyone pulls the trigger.
+        let staged = &self.slots[active.other().index()];
+        if staged.state == SlotState::Staged {
+            if let Some(policy) = &staged.policy {
+                let base = info.policy.clone().unwrap_or_default();
+                let changes = policy
+                    .diff_from(&base)
+                    .into_iter()
+                    .map(|(knob, from, to)| {
+                        (
+                            knob.to_owned(),
+                            Json::obj([("from", Json::from(from)), ("to", Json::from(to))]),
+                        )
+                    })
+                    .collect();
+                pairs.push((
+                    "staged_diff".to_owned(),
+                    Json::obj([
+                        ("from_generation", Json::U64(info.generation)),
+                        ("to_generation", Json::U64(staged.generation)),
+                        ("changes", Json::Obj(changes)),
+                    ]),
+                ));
+            }
+        }
         if let Some((slot, flight)) = self.in_flight {
             pairs.push((
                 "in_flight".to_owned(),
@@ -600,6 +627,29 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn staged_slot_gets_a_policy_diff_against_active() {
+        let mut m = SlotMachine::new();
+        m.stage(FleetPolicy {
+            scrub_interval: Some(100_000),
+            commit_k: Some(2.5),
+            ..FleetPolicy::default()
+        })
+        .expect("stages");
+        let text = m.to_json().render();
+        for needle in [
+            "\"staged_diff\":{\"from_generation\":0,\"to_generation\":1",
+            "\"commit_k\":{\"from\":\"default\",\"to\":\"2.5\"}",
+            "\"scrub_interval\":{\"from\":\"default\",\"to\":\"100000\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Once committed and booted the diff disappears (nothing staged).
+        m.begin_commit().expect("commits");
+        m.boot_succeeded();
+        assert!(!m.to_json().render().contains("staged_diff"));
     }
 
     #[test]

@@ -56,7 +56,7 @@ cargo test -q -p baryon-bench --release --offline --test parallel_determinism
 # Hot-path oracle: every controller on every registry workload must hash
 # to the goldens blessed before the data-oriented refactor. Any
 # behaviour drift in the arena/memo/SoA structures fails here first.
-echo "==> differential golden gate (9 controllers x 17 workloads)"
+echo "==> differential golden gate (10 controllers x 17 workloads)"
 cargo test -q -p baryon-bench --release --offline --test differential_golden
 
 # Fleet determinism gate: boot a coordinator over 3 real shard
@@ -90,5 +90,14 @@ cargo run --release -p baryon-fleet --bin rollout_gate --offline
 # trivial specs through a live 2-shard coordinator).
 echo "==> bench: sim-throughput (regression floors + telemetry overhead gate)"
 cargo run --release -p baryon-fleet --bin sim_throughput --offline
+
+# Metadata footprint gate: runs the registry through baryon (flat remap
+# table), hybrid2, and trimma (multi-level remap) with telemetry on,
+# refreshes BENCH_metadata.json at the repository root (footprint bytes,
+# remap-walk span time, hot-level hit latency/rate per workload), and
+# fails when trimma's live footprint stops undercutting the flat table
+# on a majority of workloads (override with BARYON_METADATA_MIN_WINS).
+echo "==> bench: metadata footprint (trimma vs flat regression gate)"
+cargo run --release -p baryon-bench --bin metadata_report --offline
 
 echo "==> OK"
