@@ -294,8 +294,9 @@ impl RunSpec {
     ///
     /// # Errors
     ///
-    /// Returns the [`RunSpec::validate`] error, or an I/O error message
-    /// if a checkpoint cannot be written.
+    /// Returns the [`RunSpec::validate`] error. A checkpoint that cannot
+    /// be written (full or faulty disk) is logged and skipped — the run
+    /// itself never fails over its recovery accelerator.
     pub fn execute_with_checkpoints(
         &self,
         dir: &Path,
@@ -314,8 +315,9 @@ impl RunSpec {
     ///
     /// # Errors
     ///
-    /// Returns the [`RunSpec::validate`] error, or an I/O error message
-    /// if a checkpoint cannot be written.
+    /// Returns the [`RunSpec::validate`] error. A checkpoint that cannot
+    /// be written (full or faulty disk) is logged and skipped — the run
+    /// itself never fails over its recovery accelerator.
     pub fn execute_observed(
         &self,
         every: u64,
@@ -330,8 +332,9 @@ impl RunSpec {
     ///
     /// # Errors
     ///
-    /// Returns the [`RunSpec::validate`] error, or an I/O error message
-    /// if a checkpoint cannot be written.
+    /// Returns the [`RunSpec::validate`] error. A checkpoint that cannot
+    /// be written (full or faulty disk) is logged and skipped — the run
+    /// itself never fails over its recovery accelerator.
     pub fn execute_observed_with(
         &self,
         every: u64,
@@ -346,11 +349,16 @@ impl RunSpec {
             let done = system.advance(every);
             if let Some((dir, keep)) = checkpoints {
                 if !done {
-                    self.checkpoint_of(&system)
-                        .save_rotating(dir, CHECKPOINT_PREFIX, keep)
-                        .map_err(|e| {
-                            format!("cannot write checkpoint into {}: {e}", dir.display())
-                        })?;
+                    // Checkpoints are a recovery accelerator, not the source
+                    // of truth (the journal is): a write failure — a full or
+                    // lying disk under chaos — degrades resume granularity
+                    // but must never fail the run itself.
+                    if let Err(e) =
+                        self.checkpoint_of(&system)
+                            .save_rotating(dir, CHECKPOINT_PREFIX, keep)
+                    {
+                        eprintln!("baryon: skipping checkpoint into {}: {e}", dir.display());
+                    }
                 }
             }
             observe(system.run_progress().expect("run in progress"));

@@ -24,6 +24,31 @@
 //! scripts key on (with `--port 0` it carries the ephemeral port). Launch
 //! failures exit with typed statuses: 3 when the port cannot be bound, 4
 //! when a worker shard cannot be spawned (see [`launch`]).
+//!
+//! # Chaos injection (testing only)
+//!
+//! Every process honors the seeded fault-injection knobs from
+//! [`baryon_sim::faultfs`] via its environment — all default off, and a
+//! run with no `BARYON_CHAOS_*` variable set is bit-identical to a build
+//! without the layer:
+//!
+//! ```text
+//! BARYON_CHAOS_SEED                  RNG seed for every injection decision
+//! BARYON_CHAOS_WRITE_FAIL_PPM        short writes (a prefix persists, the call errors)
+//! BARYON_CHAOS_ENOSPC_PPM            writes fail with "no space", nothing persists
+//! BARYON_CHAOS_FSYNC_FAIL_PPM        sync_data errors (data stays in the page cache)
+//! BARYON_CHAOS_READ_FLIP_PPM         single-byte flip in a read buffer
+//! BARYON_CHAOS_CORRUPT_PPM           silent single-byte flip on disk after a write
+//! BARYON_CHAOS_RESPONSE_CORRUPT_PPM  single-byte flip in an HTTP body after its CRC
+//! ```
+//!
+//! Rates are parts-per-million per I/O call. A `serve` or `fleet` shard
+//! started under these variables injects faults into its own journal,
+//! checkpoints, and responses — the degradation ladder (checkpoint
+//! quarantine, shard quarantine, failover, reply validation) is expected
+//! to absorb them; `chaos_gate` in CI holds it to that. The fleet
+//! supervisor's crash-loop budget is `BARYON_FLEET_QUARANTINE_AFTER`
+//! rapid respawns (default 8, `0` disables quarantine).
 
 use baryon_bench::spec::{resume_from, RunSpec};
 use baryon_core::checkpoint::atomic_write;
@@ -338,6 +363,7 @@ fn cmd_fleet(args: &Args) -> ExitCode {
         // The coordinator fills this in when a committed config rollout
         // (or a restored slot file) dictates the shards' policy.
         policy_path: None,
+        extra_env: Vec::new(),
     };
     let fleet = match Fleet::bind(cfg.clone(), launcher) {
         Ok(fleet) => fleet,

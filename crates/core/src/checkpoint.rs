@@ -24,6 +24,7 @@
 //! parses.
 
 use baryon_compress::crc::crc32;
+use baryon_sim::faultfs;
 use baryon_sim::wire::{Reader, WireError, Writer};
 use std::fmt;
 use std::io;
@@ -199,13 +200,15 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Reads and validates a checkpoint from `path`.
+    /// Reads and validates a checkpoint from `path`. The read goes
+    /// through [`baryon_sim::faultfs`], so chaos runs exercise read-side
+    /// bit flips here.
     ///
     /// # Errors
     ///
     /// Returns [`RestoreError`] for I/O failures and every malformation.
     pub fn read_from(path: &Path) -> Result<Self, RestoreError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::from_bytes(&faultfs::read_file(path)?)
     }
 
     /// Writes this checkpoint into `dir` as `<prefix>-<ops>.ckpt` and
@@ -234,19 +237,74 @@ impl Checkpoint {
         Ok(path)
     }
 
-    /// The newest rotation member in `dir` for `prefix`, if any.
+    /// The newest rotation member in `dir` for `prefix` that actually
+    /// parses, if any. Unreadable or corrupt members are skipped (left in
+    /// place), never returned and never an error: a rotting newest
+    /// checkpoint must cost at most some replay, not the restore.
     ///
     /// # Errors
     ///
     /// Propagates directory-read failures (a missing directory is `None`).
     pub fn latest_in(dir: &Path, prefix: &str) -> Result<Option<PathBuf>, RestoreError> {
+        Ok(Self::latest_valid_in_impl(dir, prefix, false)?.newest_valid)
+    }
+
+    /// The fallback ladder: like [`Checkpoint::latest_in`], but corrupt
+    /// members newer than the returned one are *quarantined* — renamed
+    /// with a `.bad` suffix so they leave the rotation and can be
+    /// inspected post-mortem — and counted in the returned
+    /// [`ValidScan::quarantined`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures (a missing directory is an
+    /// empty scan).
+    pub fn latest_valid_in(dir: &Path, prefix: &str) -> Result<ValidScan, RestoreError> {
+        Self::latest_valid_in_impl(dir, prefix, true)
+    }
+
+    fn latest_valid_in_impl(
+        dir: &Path,
+        prefix: &str,
+        quarantine: bool,
+    ) -> Result<ValidScan, RestoreError> {
+        let mut scan = ValidScan::default();
         if !dir.exists() {
-            return Ok(None);
+            return Ok(scan);
         }
         let mut members = rotation_members(dir, prefix)?;
         members.sort();
-        Ok(members.pop())
+        for path in members.into_iter().rev() {
+            match Checkpoint::read_from(&path) {
+                Ok(_) => {
+                    scan.newest_valid = Some(path);
+                    return Ok(scan);
+                }
+                Err(_) => {
+                    scan.quarantined += 1;
+                    if quarantine {
+                        let bad = path.with_file_name(format!(
+                            "{}.bad",
+                            path.file_name().and_then(|n| n.to_str()).unwrap_or("ckpt")
+                        ));
+                        // Best effort: a failed rename still skips the file.
+                        let _ = std::fs::rename(&path, &bad);
+                    }
+                }
+            }
+        }
+        Ok(scan)
     }
+}
+
+/// Result of a [`Checkpoint::latest_valid_in`] ladder scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidScan {
+    /// The newest member that parsed, if any survived.
+    pub newest_valid: Option<PathBuf>,
+    /// How many newer members failed validation (and, for
+    /// `latest_valid_in`, were renamed `.bad`).
+    pub quarantined: u64,
 }
 
 fn rotation_members(dir: &Path, prefix: &str) -> Result<Vec<PathBuf>, RestoreError> {
@@ -278,7 +336,11 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
             ))
         }
     };
-    std::fs::write(&tmp, bytes)?;
+    // Through faultfs: chaos runs inject ENOSPC / short writes / silent
+    // corruption here, underneath every checkpoint and result-JSON write.
+    faultfs::write_file(&tmp, bytes).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })?;
     std::fs::rename(&tmp, path).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
     })
@@ -404,5 +466,78 @@ mod tests {
     fn latest_in_missing_dir_is_none() {
         let dir = std::env::temp_dir().join("baryon-ckpt-test-definitely-missing");
         assert!(Checkpoint::latest_in(&dir, "run").expect("ok").is_none());
+    }
+
+    /// Writes rotation members at the given op counts, then corrupts the
+    /// members whose op counts appear in `rot`.
+    fn seeded_rotation(dir: &Path, ops_list: &[u64], rot: &[u64]) {
+        let mut c = sample();
+        for &ops in ops_list {
+            c.ops = ops;
+            c.save_rotating(dir, "run", ops_list.len()).expect("save");
+        }
+        for &ops in rot {
+            let path = dir.join(format!("run-{ops:020}.ckpt"));
+            let mut bytes = std::fs::read(&path).expect("member exists");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).expect("corrupt");
+        }
+    }
+
+    #[test]
+    fn latest_in_skips_corrupt_members_without_touching_them() {
+        let dir = tmp_dir("skip-corrupt");
+        seeded_rotation(&dir, &[100, 200, 300], &[300]);
+        let latest = Checkpoint::latest_in(&dir, "run")
+            .expect("scan")
+            .expect("an older member parses");
+        assert_eq!(Checkpoint::read_from(&latest).expect("load").ops, 200);
+        // Non-quarantining scan leaves the corrupt file in place.
+        assert!(dir.join(format!("run-{:020}.ckpt", 300u64)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_in_skips_garbage_files_in_rotation() {
+        let dir = tmp_dir("skip-garbage");
+        seeded_rotation(&dir, &[100], &[]);
+        // A zero-byte file and a non-checkpoint blob sort newest.
+        std::fs::write(dir.join(format!("run-{:020}.ckpt", 500u64)), b"").expect("empty");
+        std::fs::write(dir.join(format!("run-{:020}.ckpt", 400u64)), b"not a ckpt")
+            .expect("garbage");
+        let latest = Checkpoint::latest_in(&dir, "run")
+            .expect("scan")
+            .expect("valid member found");
+        assert_eq!(Checkpoint::read_from(&latest).expect("load").ops, 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_valid_in_quarantines_newer_corruption() {
+        let dir = tmp_dir("quarantine");
+        seeded_rotation(&dir, &[100, 200, 300, 400], &[300, 400]);
+        let scan = Checkpoint::latest_valid_in(&dir, "run").expect("scan");
+        assert_eq!(scan.quarantined, 2);
+        let survivor = scan.newest_valid.expect("gen 200 survives");
+        assert_eq!(Checkpoint::read_from(&survivor).expect("load").ops, 200);
+        // The corrupt members left the rotation under a .bad suffix …
+        assert!(dir.join(format!("run-{:020}.ckpt.bad", 400u64)).exists());
+        assert!(dir.join(format!("run-{:020}.ckpt.bad", 300u64)).exists());
+        // … so the next scan is clean.
+        let rescan = Checkpoint::latest_valid_in(&dir, "run").expect("rescan");
+        assert_eq!(rescan.quarantined, 0);
+        assert_eq!(rescan.newest_valid.as_deref(), Some(survivor.as_path()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fully_rotten_rotation_scans_to_empty() {
+        let dir = tmp_dir("all-rotten");
+        seeded_rotation(&dir, &[100, 200], &[100, 200]);
+        let scan = Checkpoint::latest_valid_in(&dir, "run").expect("scan");
+        assert_eq!(scan.newest_valid, None);
+        assert_eq!(scan.quarantined, 2, "both members quarantined");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

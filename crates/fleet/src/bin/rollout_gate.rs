@@ -19,7 +19,14 @@
 //!    generation must bump, results must be stamped with it, and every
 //!    shard must report `serve.policy.generation`,
 //! 8. roll back: the fleet returns to the baseline and results lose the
-//!    stamp.
+//!    stamp,
+//! 9. commit a generous 15 s job deadline (generation 3), then commit a
+//!    further candidate with a healthy run in flight and an unbounded
+//!    run that trips the deadline mid-roll: the failure regression must
+//!    auto-roll the commit back, and the healthy run's mid-roll result
+//!    must be **quarantined** (`fleet.config.quarantined_results`),
+//!    re-dispatched under the restored generation, and settle
+//!    byte-identical to a clean run of the same spec.
 //!
 //! ```text
 //! cargo run --release -p baryon-fleet --bin rollout_gate
@@ -134,6 +141,34 @@ fn run_single(addr: SocketAddr, what: &str) -> Result<Json, String> {
     obj_get(&status, "result")
         .cloned()
         .ok_or_else(|| format!("{what}: done job has no result"))
+}
+
+/// Submits a single run and returns its job id without waiting for it.
+fn submit_single(addr: SocketAddr, spec: &str, what: &str) -> Result<u64, String> {
+    let accepted = client(addr)
+        .request("POST", "/v1/jobs", Some(spec))
+        .map_err(|e| format!("{what} submit: {e}"))?;
+    if accepted.status != 202 {
+        return Err(format!(
+            "{what} submit {}: {}",
+            accepted.status, accepted.body
+        ));
+    }
+    let doc = json::parse(&accepted.body).map_err(|e| format!("202 body not JSON: {e}"))?;
+    get_u64(&doc, "id").ok_or_else(|| format!("{what}: 202 body has no id"))
+}
+
+/// Reads one counter out of `/v1/metrics` (0 when it has not fired yet).
+fn counter(addr: SocketAddr, key: &str) -> Result<u64, String> {
+    let r = client(addr)
+        .request("GET", "/v1/metrics", None)
+        .map_err(|e| format!("metrics: {e}"))?;
+    if r.status != 200 {
+        return Err(format!("metrics {}: {}", r.status, r.body));
+    }
+    let doc = json::parse(&r.body).map_err(|e| format!("metrics not JSON ({e}): {}", r.body))?;
+    let counters = obj_get(&doc, "counters").unwrap_or(&doc);
+    Ok(get_u64(counters, key).unwrap_or(0))
 }
 
 /// The `GET /v1/admin/config` document.
@@ -350,6 +385,128 @@ fn run_gate() -> Result<(), String> {
             ));
         }
 
+        // Arm a generous job deadline as generation 3. The fleet canary
+        // runs in the low seconds on an idle host, so 15 s passes every
+        // canary and every run this gate submits — except the deliberately
+        // unbounded one below, which is how the next commit is made to
+        // fail mid-roll deterministically.
+        let r = client(addr)
+            .request(
+                "POST",
+                "/v1/admin/config/stage",
+                Some(r#"{"job_deadline_ms":15000}"#),
+            )
+            .map_err(|e| format!("deadline stage: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("deadline stage {}: {}", r.status, r.body));
+        }
+        let r = client(addr)
+            .request("POST", "/v1/admin/config/commit", None)
+            .map_err(|e| format!("deadline commit: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("deadline commit {}: {}", r.status, r.body));
+        }
+        if active_generation(addr)? != 3 {
+            return Err("deadline commit should activate generation 3".to_owned());
+        }
+
+        // Results that land while a commit is rolling are held back, and a
+        // failed commit must quarantine them for re-dispatch rather than
+        // release documents produced under a config the fleet rejected.
+        // The healthy run below is in flight when the commit starts, so
+        // its shard cannot drain before the result lands — staged. The
+        // unbounded run trips the active deadline mid-roll, which trips
+        // the failure-regression check and rolls the commit back.
+        const MID_ROLL: &str = r#"{"workload":"ycsb-a","controller":"baryon","insts":300000,"warmup":20000,"scale":1024,"seed":21}"#;
+        const UNBOUNDED: &str = r#"{"workload":"ycsb-a","controller":"baryon","insts":2000000000,"warmup":20000,"scale":1024,"seed":22}"#;
+        let quarantined_before = counter(addr, "fleet.config.quarantined_results")?;
+        let failed_before = counter(addr, "fleet.jobs.failed")?;
+        let mid_roll = submit_single(addr, MID_ROLL, "mid-roll run")?;
+        await_status(addr, mid_roll, "mid-roll dispatch", |doc| {
+            get_str(doc, "state") == Some("running")
+        })?;
+        let doomed = submit_single(addr, UNBOUNDED, "unbounded run")?;
+        await_status(addr, doomed, "unbounded dispatch", |doc| {
+            get_str(doc, "state") == Some("running")
+        })?;
+        let r = client(addr)
+            .request(
+                "POST",
+                "/v1/admin/config/stage",
+                Some(r#"{"job_deadline_ms":15000,"scrub_interval":50000}"#),
+            )
+            .map_err(|e| format!("mid-roll stage: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("mid-roll stage {}: {}", r.status, r.body));
+        }
+        println!("committing with a healthy run and a doomed run in flight");
+        let r = client(addr)
+            .request("POST", "/v1/admin/config/commit", None)
+            .map_err(|e| format!("mid-roll commit: {e}"))?;
+        if r.status != 409 || !r.body.contains("rollout_failed") {
+            return Err(format!(
+                "mid-roll commit should roll back with 409 rollout_failed, got {}: {}",
+                r.status, r.body
+            ));
+        }
+        if active_generation(addr)? != 3 {
+            return Err("failed mid-roll commit should leave generation 3 active".to_owned());
+        }
+        let status = await_status(addr, doomed, "deadline kill", |doc| {
+            get_str(doc, "state") == Some("failed")
+        })?;
+        println!("unbounded run killed by the deadline: {}", status.render());
+        let failed_after = counter(addr, "fleet.jobs.failed")?;
+        if failed_after != failed_before + 1 {
+            let mid = client(addr)
+                .request("GET", &format!("/v1/jobs/{mid_roll}"), None)
+                .map(|r| r.body)
+                .unwrap_or_default();
+            let metrics = client(addr)
+                .request("GET", "/v1/metrics", None)
+                .map(|r| r.body)
+                .unwrap_or_default();
+            return Err(format!(
+                "exactly the unbounded run should have failed ({failed_before} -> \
+                 {failed_after})\n  mid-roll job: {mid}\n  metrics: {metrics}"
+            ));
+        }
+        let quarantined = counter(addr, "fleet.config.quarantined_results")?;
+        if quarantined <= quarantined_before {
+            return Err(format!(
+                "the mid-roll result was never quarantined ({quarantined_before} -> {quarantined})"
+            ));
+        }
+        // The quarantined cell must be re-dispatched under the restored
+        // generation and settle byte-identical to a clean run of the same
+        // spec.
+        let status = await_status(addr, mid_roll, "requeued completion", |doc| {
+            get_str(doc, "state") == Some("done")
+        })?;
+        let result = obj_get(&status, "result").ok_or("requeued job has no result")?;
+        if get_u64(result, "config_generation") != Some(3) {
+            return Err(format!(
+                "requeued result not stamped with the restored generation: {}",
+                result.render()
+            ));
+        }
+        let fresh = submit_single(addr, MID_ROLL, "reference run")?;
+        let fresh = await_status(addr, fresh, "reference completion", |doc| {
+            get_str(doc, "state") == Some("done")
+        })?;
+        let fresh = obj_get(&fresh, "result").ok_or("reference job has no result")?;
+        if result.render() != fresh.render() {
+            return Err(format!(
+                "quarantined re-run diverged from a clean run\n  clean: {}\n  requeued: {}",
+                fresh.render(),
+                result.render()
+            ));
+        }
+        println!(
+            "mid-roll result quarantined ({} total), re-dispatched, byte-identical",
+            quarantined
+        );
+
         let r = client(addr)
             .request("POST", "/v1/shutdown", None)
             .map_err(|e| format!("shutdown: {e}"))?;
@@ -373,7 +530,8 @@ fn run_gate() -> Result<(), String> {
         .map_err(|e| format!("cleanup {}: {e}", journal_root.display()))?;
     println!(
         "rollout gate OK: bad config auto-rolled back mid-sweep with zero lost jobs and a \
-         byte-identical gather; benign config rolled out and back across {SHARDS} shards"
+         byte-identical gather; benign config rolled out and back across {SHARDS} shards; \
+         mid-roll results quarantined and re-dispatched after a failed commit"
     );
     Ok(())
 }

@@ -20,11 +20,12 @@ use crate::router::{CellState, FleetJob, FleetJobKind, JobBoard};
 use crate::shard::{ShardLauncher, ShardSet};
 use baryon_bench::batch::BatchPlan;
 use baryon_bench::spec::JobSpec;
+use baryon_compress::crc::crc32;
 use baryon_core::checkpoint::atomic_write;
 use baryon_core::policy::FleetPolicy;
-use baryon_serve::client::Client;
+use baryon_serve::client::{Client, ClientError, ClientResponse};
 use baryon_serve::error::ErrorCode;
-use baryon_serve::http::{read_request, ChunkedWriter, Request, Response};
+use baryon_serve::http::{read_request, ChunkedWriter, Request, Response, CRC_HEADER};
 use baryon_serve::job::{CancelOutcome, JobState};
 use baryon_serve::progress::ProgressBoard;
 use baryon_sim::json::{self, Json};
@@ -82,7 +83,45 @@ struct FleetMetrics {
     failed: AtomicU64,
     cancelled: AtomicU64,
     redispatched: AtomicU64,
+    /// Cells re-dispatched off a shard that exhausted its crash-loop
+    /// budget and was quarantined.
+    failover: AtomicU64,
+    /// Shard replies that flunked their CRC frame (a lying shard) and
+    /// were discarded instead of trusted.
+    reply_errors: AtomicU64,
+    /// Results computed under a config generation whose roll failed —
+    /// withheld from gathers and re-dispatched under the restored config.
+    quarantined_results: AtomicU64,
 }
+
+/// A shard reply the coordinator refused to act on.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The reply body does not hash to its `x-baryon-crc` frame — a
+    /// lying shard (or a corrupting path between us and it).
+    Corrupt {
+        /// The CRC the shard stamped on the reply.
+        claimed: String,
+        /// The CRC of the body that actually arrived.
+        actual: u32,
+    },
+    /// Transport-level failure reaching the shard.
+    Transport(ClientError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Corrupt { claimed, actual } => write!(
+                f,
+                "shard reply failed its CRC check (claimed {claimed}, body is {actual:08x})"
+            ),
+            ShardError::Transport(e) => write!(f, "shard unreachable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 /// One unit of dispatch: a whole single run (`cell == None`) or one batch
 /// cell.
@@ -111,6 +150,11 @@ struct FleetShared {
     /// Serializes rollouts: commit/rollback hold this for the whole
     /// rolling restart so at most one engine runs.
     rollout: Mutex<()>,
+    /// The config generation a commit is currently rolling toward (0 =
+    /// no roll in flight). While nonzero, the poller stages finished
+    /// results instead of settling them — a gather must never mix cells
+    /// computed under a generation that may yet be rolled back.
+    rolling_to: AtomicU64,
 }
 
 impl FleetShared {
@@ -121,7 +165,14 @@ impl FleetShared {
         let Some((client, _class)) = self.board.update(id, apply) else {
             return;
         };
-        self.quotas.release(&client);
+        self.settle_bookkeeping(id, &client);
+    }
+
+    /// The post-settle tail shared by [`FleetShared::apply_update`] and
+    /// staged-result resolution: release the quota slot, bump the
+    /// completion counter, and wake event streams.
+    fn settle_bookkeeping(&self, id: u64, client: &str) {
+        self.quotas.release(client);
         match self.board.state(id) {
             Some(JobState::Done) => {
                 self.metrics.done.fetch_add(1, Ordering::Relaxed);
@@ -141,6 +192,24 @@ impl FleetShared {
                 jp.ops = done.max(jp.ops);
             });
         }
+    }
+
+    /// Validates the CRC frame every shard stamps on its replies
+    /// ([`CRC_HEADER`]). A mismatch means the body was corrupted after
+    /// the shard computed it — the reply is discarded (typed
+    /// [`ShardError::Corrupt`], counted in `fleet.shard.reply_errors`)
+    /// rather than trusted, and callers treat it like any transient
+    /// shard failure: retry, requeue, or poll again next tick.
+    fn verify_reply(&self, response: ClientResponse) -> Result<ClientResponse, ShardError> {
+        let Some(claimed) = response.header(CRC_HEADER).map(str::to_owned) else {
+            return Ok(response); // no frame (e.g. a pre-CRC shard) — accept
+        };
+        let actual = crc32(response.body.as_bytes());
+        if claimed == format!("{actual:08x}") {
+            return Ok(response);
+        }
+        self.metrics.reply_errors.fetch_add(1, Ordering::Relaxed);
+        Err(ShardError::Corrupt { claimed, actual })
     }
 }
 
@@ -197,6 +266,17 @@ impl FleetController {
             .active()
             .1
             .generation
+    }
+
+    /// How many shards are currently quarantined (crash-loop budget
+    /// exhausted, out of the routing rotation).
+    pub fn quarantined_shards(&self) -> u64 {
+        self.shared.shards.quarantined_count()
+    }
+
+    /// Whether shard `index` is quarantined.
+    pub fn shard_is_quarantined(&self, index: usize) -> bool {
+        self.shared.shards.is_quarantined(index)
     }
 
     /// Completed rollbacks (manual and automatic).
@@ -263,6 +343,7 @@ impl Fleet {
             config: Mutex::new(machine),
             config_dir,
             rollout: Mutex::new(()),
+            rolling_to: AtomicU64::new(0),
         });
         let dispatchers = (0..cfg.shards.max(2))
             .map(|i| {
@@ -377,6 +458,14 @@ fn dispatch(shared: &Arc<FleetShared>, class: Class, item: WorkItem) {
         }
         _ => return, // malformed item; nothing sensible to do
     };
+    // A quarantined shard never comes back on its own; deterministically
+    // probe forward from the routed index for a shard still in rotation.
+    let Some(shard) = first_in_rotation(shared, shard) else {
+        // Every shard is quarantined; keep the item in play — an
+        // operator rollout is the one path back.
+        requeue(shared, class, item);
+        return;
+    };
     if shared.shards.is_paused(shard) {
         // The rollout engine is draining/restarting this shard; keep the
         // item in play until the shard comes back.
@@ -389,28 +478,38 @@ fn dispatch(shared: &Arc<FleetShared>, class: Class, item: WorkItem) {
             .client(shard)
             .request_with_retry("POST", "/v1/jobs", Some(&spec_body));
     let remote = match outcome {
-        // 503 (queue full / shutting down) survived the client's retries:
-        // back off and requeue — the shard will drain or be restarted.
-        Ok(response) if response.status == 503 => None,
-        Ok(response) => match response.into_result() {
-            Ok(accepted) => match json::parse(&accepted.body)
-                .ok()
-                .as_ref()
-                .and_then(|doc| get_u64(doc, "id"))
-            {
-                Some(remote) => Some(remote),
-                None => {
-                    fail_cell(shared, &item, "shard sent an unreadable 202 body");
+        // A 5xx survived the client's retries: 503 means queue full /
+        // shutting down, 500 a transient shard-side fault (e.g. the
+        // journal under a hostile disk refusing the submission). Either
+        // way the shard may recover — back off and requeue, never fail
+        // the cell on a server-side error.
+        Ok(response) if response.status >= 500 => None,
+        // A corrupt 202 is indistinguishable from garbage: the shard may
+        // or may not hold the job. Requeue — the duplicate-dispatch guard
+        // above drops the item if the poller lands it first.
+        Ok(response) => match shared.verify_reply(response) {
+            Err(_) => None,
+            Ok(response) => match response.into_result() {
+                Ok(accepted) => match json::parse(&accepted.body)
+                    .ok()
+                    .as_ref()
+                    .and_then(|doc| get_u64(doc, "id"))
+                {
+                    Some(remote) => Some(remote),
+                    None => {
+                        fail_cell(shared, &item, "shard sent an unreadable 202 body");
+                        return;
+                    }
+                },
+                Err(e) => {
+                    // The shard understood the request and refused it for
+                    // good (e.g. invalid spec surfaced late) — fail the
+                    // cell; retrying cannot change a deterministic
+                    // rejection.
+                    fail_cell(shared, &item, &format!("shard rejected job: {e}"));
                     return;
                 }
             },
-            Err(e) => {
-                // The shard understood the request and refused it for
-                // good (e.g. invalid spec surfaced late) — fail the cell;
-                // retrying cannot change a deterministic rejection.
-                fail_cell(shared, &item, &format!("shard rejected job: {e}"));
-                return;
-            }
         },
         Err(_) => None, // connect/timeout → shard is restarting; requeue
     };
@@ -440,6 +539,17 @@ fn requeue(shared: &Arc<FleetShared>, class: Class, item: WorkItem) {
     if shared.queue.requeue(class, (class, item)).is_err() {
         fail_cell(shared, &item, "shard unreachable and dispatch queue closed");
     }
+}
+
+/// The first non-quarantined shard at or after `preferred`, probing
+/// forward deterministically (`(preferred + k) % n`) so the same cell
+/// keeps landing on the same substitute while the quarantine set is
+/// stable. `None` when every shard is out of rotation.
+fn first_in_rotation(shared: &Arc<FleetShared>, preferred: usize) -> Option<usize> {
+    let n = shared.shards.len();
+    (0..n)
+        .map(|k| (preferred + k) % n)
+        .find(|&s| !shared.shards.is_quarantined(s))
 }
 
 fn fail_cell(shared: &Arc<FleetShared>, item: &WorkItem, reason: &str) {
@@ -512,9 +622,15 @@ fn poll_job(shared: &Arc<FleetShared>, id: u64) {
                 }
                 continue;
             }
-            Ok(r) => match r.into_result() {
-                Ok(ok) => json::parse(&ok.body).ok(),
-                Err(_) => continue, // transient server-side error; retry next tick
+            // A reply failing its CRC frame is a lying shard: discard it
+            // and poll again next tick rather than settle a cell on
+            // garbage.
+            Ok(r) => match shared.verify_reply(r) {
+                Ok(r) => match r.into_result() {
+                    Ok(ok) => json::parse(&ok.body).ok(),
+                    Err(_) => continue, // transient server-side error; retry next tick
+                },
+                Err(_) => continue,
             },
             Err(_) => continue, // shard restarting; retry next tick
         };
@@ -531,10 +647,22 @@ fn poll_job(shared: &Arc<FleetShared>, id: u64) {
             _ => None, // queued / running — keep polling
         };
         let Some(update) = update else { continue };
-        shared.apply_update(id, |job| match (&mut job.kind, cell_index) {
-            (FleetJobKind::Single { cell, .. }, None) => *cell = update.clone(),
-            (FleetJobKind::Batch { cells, .. }, Some(i)) => cells[i] = update.clone(),
-            _ => {}
+        // The `rolling_to` read happens inside the board lock: staged
+        // resolution clears the flag *before* taking that lock, so a
+        // result landing after resolution scanned the board sees 0 here
+        // and settles directly — no cell can stay staged forever.
+        shared.apply_update(id, |job| {
+            let update = match update.clone() {
+                CellState::Done(doc) if shared.rolling_to.load(Ordering::SeqCst) > 0 => {
+                    CellState::Staged(doc)
+                }
+                other => other,
+            };
+            match (&mut job.kind, cell_index) {
+                (FleetJobKind::Single { cell, .. }, None) => *cell = update,
+                (FleetJobKind::Batch { cells, .. }, Some(i)) => cells[i] = update,
+                _ => {}
+            }
         });
     }
     // Publish batch progress when cells landed this pass (settled jobs
@@ -552,15 +680,73 @@ fn poll_job(shared: &Arc<FleetShared>, id: u64) {
     }
 }
 
-/// The supervisor: periodic health sweep over the shard set.
+/// The supervisor: periodic health sweep over the shard set. A shard
+/// that exhausts its crash-loop budget comes back quarantined — its
+/// in-flight cells fail over to healthy shards immediately.
 fn supervisor_loop(shared: &Arc<FleetShared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
-        shared.shards.check_and_restart();
+        for index in shared.shards.check_and_restart() {
+            fail_over_shard(shared, index);
+        }
         // Sleep in small steps so shutdown is prompt.
         let mut slept = Duration::ZERO;
         while slept < SUPERVISE_EVERY && !shared.shutdown.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(50));
             slept += Duration::from_millis(50);
+        }
+    }
+}
+
+/// Re-dispatches every cell that was in flight on a newly quarantined
+/// shard: the cell goes back to `Pending` and onto the queue, where
+/// [`dispatch`] routes it around the dead slot. The shard's journal
+/// still holds the jobs, but nothing will replay it until an operator
+/// rolls the shard back in — waiting on it would strand the cells.
+fn fail_over_shard(shared: &Arc<FleetShared>, index: usize) {
+    for id in shared.board.active_ids() {
+        let Some(job) = shared.board.get(id) else {
+            continue;
+        };
+        let stranded: Vec<Option<usize>> = match &job.kind {
+            FleetJobKind::Single { cell, .. } => match cell {
+                CellState::Dispatched { shard, .. } if *shard == index => vec![None],
+                _ => Vec::new(),
+            },
+            FleetJobKind::Batch { cells, .. } => cells
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| match c {
+                    CellState::Dispatched { shard, .. } if *shard == index => Some(Some(i)),
+                    _ => None,
+                })
+                .collect(),
+        };
+        for cell_index in stranded {
+            // Re-check under the board lock: the poller may have landed
+            // the cell between the snapshot above and now.
+            let mut moved = false;
+            shared.apply_update(id, |job| {
+                let cell = match (&mut job.kind, cell_index) {
+                    (FleetJobKind::Single { cell, .. }, None) => cell,
+                    (FleetJobKind::Batch { cells, .. }, Some(i)) => &mut cells[i],
+                    _ => return,
+                };
+                if matches!(cell, CellState::Dispatched { shard, .. } if *shard == index) {
+                    *cell = CellState::Pending;
+                    moved = true;
+                }
+            });
+            if !moved {
+                continue;
+            }
+            shared.metrics.failover.fetch_add(1, Ordering::Relaxed);
+            let item = WorkItem {
+                fleet_id: id,
+                cell: cell_index,
+            };
+            if shared.queue.requeue(job.class, (job.class, item)).is_err() {
+                fail_cell(shared, &item, "shard quarantined and dispatch queue closed");
+            }
         }
     }
 }
@@ -994,8 +1180,13 @@ fn admin_commit(shared: &Arc<FleetShared>) -> Response {
         }
     };
     let new_path = Some(slot_policy_path(&shared.config_dir, target));
+    // From here until the roll settles, results landing on the board are
+    // staged, not gathered: they may have been computed under a
+    // generation that is about to be rolled back.
+    shared.rolling_to.store(generation.max(1), Ordering::SeqCst);
     match roll_fleet(shared, new_path, old_path) {
         Ok(()) => {
+            resolve_staged_results(shared, true);
             let mut machine = shared.config.lock().expect("config lock poisoned");
             machine.boot_succeeded();
             persist_slot_machine(shared, &machine);
@@ -1009,6 +1200,7 @@ fn admin_commit(shared: &Arc<FleetShared>) -> Response {
             )
         }
         Err(reason) => {
+            resolve_staged_results(shared, false);
             let mut machine = shared.config.lock().expect("config lock poisoned");
             machine.boot_failed();
             persist_slot_machine(shared, &machine);
@@ -1017,6 +1209,41 @@ fn admin_commit(shared: &Arc<FleetShared>) -> Response {
                 ErrorCode::RolloutFailed,
                 &format!("commit of generation {generation} rolled back: {reason}"),
             )
+        }
+    }
+}
+
+/// Settles the roll's staged results once its outcome is known. On a
+/// committed roll the results are promoted (jobs settle, quotas release,
+/// streams wake). On a rolled-back roll they are quarantined — counted
+/// in `fleet.config.quarantined_results` — and their cells requeued for
+/// re-dispatch under the restored config, so the job's eventual gather
+/// is byte-identical to one computed wholly under that config.
+fn resolve_staged_results(shared: &Arc<FleetShared>, accept: bool) {
+    // Clear the flag before scanning: any result that lands after the
+    // scan observes 0 (the load is under the same board lock) and
+    // settles directly instead of staging forever.
+    shared.rolling_to.store(0, Ordering::SeqCst);
+    let resolution = shared.board.resolve_staged(accept);
+    for (id, client, _class) in &resolution.released {
+        shared.settle_bookkeeping(*id, client);
+    }
+    if !accept && resolution.count > 0 {
+        shared
+            .metrics
+            .quarantined_results
+            .fetch_add(resolution.count, Ordering::Relaxed);
+    }
+    for (id, cell_index) in resolution.requeue {
+        let Some(job) = shared.board.get(id) else {
+            continue;
+        };
+        let item = WorkItem {
+            fleet_id: id,
+            cell: cell_index,
+        };
+        if shared.queue.requeue(job.class, (job.class, item)).is_err() {
+            fail_cell(shared, &item, "staged result quarantined and queue closed");
         }
     }
 }
@@ -1158,8 +1385,10 @@ fn shard_busy(shared: &Arc<FleetShared>, index: usize) -> bool {
             continue;
         };
         let busy = match &job.kind {
-            FleetJobKind::Single { shard, cell } => {
-                *shard == index && matches!(cell, CellState::Dispatched { .. })
+            // Match on where the cell actually landed, not the routed
+            // shard — failover can dispatch a single off its home route.
+            FleetJobKind::Single { cell, .. } => {
+                matches!(cell, CellState::Dispatched { shard, .. } if *shard == index)
             }
             FleetJobKind::Batch { cells, .. } => cells
                 .iter()
@@ -1208,7 +1437,8 @@ fn canary(shared: &Arc<FleetShared>, index: usize) -> Result<(), String> {
         .read_timeout(Duration::from_secs(10));
     let accepted = client
         .request("POST", "/v1/jobs", Some(CANARY_SPEC))
-        .map_err(|e| format!("canary submit failed: {e}"))?
+        .map_err(|e| format!("canary submit failed: {e}"))
+        .and_then(|r| shared.verify_reply(r).map_err(|e| e.to_string()))?
         .into_result()
         .map_err(|e| format!("canary submit rejected: {e}"))?;
     let id = json::parse(&accepted.body)
@@ -1221,6 +1451,7 @@ fn canary(shared: &Arc<FleetShared>, index: usize) -> Result<(), String> {
         let record = client
             .request("GET", &format!("/v1/jobs/{id}"), None)
             .ok()
+            .and_then(|r| shared.verify_reply(r).ok())
             .and_then(|r| r.into_result().ok())
             .and_then(|r| json::parse(&r.body).ok());
         if let Some(record) = record {
@@ -1268,6 +1499,19 @@ fn metrics_response(shared: &Arc<FleetShared>, _query: &str) -> Response {
     );
     reg.set_counter("fleet.shards.total", shared.shards.len() as u64);
     reg.set_counter("fleet.shards.restarts", shared.shards.restarts());
+    reg.set_gauge(
+        "fleet.shards.quarantined",
+        shared.shards.quarantined_count() as f64,
+    );
+    reg.set_counter("fleet.cells.failover", m.failover.load(Ordering::Relaxed));
+    reg.set_counter(
+        "fleet.shard.reply_errors",
+        m.reply_errors.load(Ordering::Relaxed),
+    );
+    reg.set_counter(
+        "fleet.config.quarantined_results",
+        m.quarantined_results.load(Ordering::Relaxed),
+    );
     {
         let machine = shared.config.lock().expect("config lock poisoned");
         reg.set_gauge(
@@ -1292,6 +1536,7 @@ fn metrics_response(shared: &Arc<FleetShared>, _query: &str) -> Response {
             .read_timeout(Duration::from_secs(5))
             .request("GET", "/v1/metrics?format=wire", None)
             .ok()
+            .and_then(|r| shared.verify_reply(r).ok())
             .and_then(|r| r.into_result().ok())
             .and_then(|r| json::parse(&r.body).ok())
             .and_then(|doc| get_str(&doc, "wire").map(str::to_owned))

@@ -37,6 +37,7 @@ pub fn self_launcher(workers: usize, queue_depth: usize) -> io::Result<ShardLaun
         workers,
         queue_depth,
         policy_path: None,
+        extra_env: Vec::new(),
     })
 }
 

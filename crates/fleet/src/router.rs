@@ -34,6 +34,13 @@ pub enum CellState {
         /// The shard-local job ID to poll.
         remote: u64,
     },
+    /// Finished on a shard whose config generation is still mid-rollout:
+    /// the result is held back (not settled, not gathered) until the roll
+    /// commits. [`JobBoard::resolve_staged`] then promotes it to `Done`,
+    /// or — if the roll failed and was rolled back — discards it and
+    /// returns the cell to `Pending` for re-dispatch under the restored
+    /// config.
+    Staged(Json),
     /// Settled successfully with its result document.
     Done(Json),
     /// Settled with an error.
@@ -116,6 +123,16 @@ impl FleetJob {
         Json::Obj(pairs)
     }
 
+    /// Whether any cell's result is staged behind an in-flight rollout.
+    pub fn has_staged(&self) -> bool {
+        match &self.kind {
+            FleetJobKind::Single { cell, .. } => matches!(cell, CellState::Staged(_)),
+            FleetJobKind::Batch { cells, .. } => {
+                cells.iter().any(|c| matches!(c, CellState::Staged(_)))
+            }
+        }
+    }
+
     /// Count of settled-successful cells (1 for a done single run).
     pub fn cells_done(&self) -> u64 {
         match &self.kind {
@@ -134,6 +151,19 @@ impl FleetJob {
             FleetJobKind::Batch { cells, .. } => cells.len() as u64,
         }
     }
+}
+
+/// What [`JobBoard::resolve_staged`] did, for the caller to act on.
+pub struct StagedResolution {
+    /// Jobs an accept settled, with the quota slot to release exactly
+    /// once per entry.
+    pub released: Vec<(u64, String, Class)>,
+    /// Cells a reject returned to `Pending`; the caller must requeue each
+    /// (`None` cell index means a single run).
+    pub requeue: Vec<(u64, Option<usize>)>,
+    /// Staged cells resolved either way (the
+    /// `fleet.config.quarantined_results` bump on a reject).
+    pub count: u64,
 }
 
 /// The coordinator's fleet-wide job table.
@@ -219,7 +249,7 @@ impl JobBoard {
         let settled = match &job.kind {
             FleetJobKind::Single { cell, .. } => match cell {
                 CellState::Pending => None,
-                CellState::Dispatched { .. } => {
+                CellState::Dispatched { .. } | CellState::Staged(_) => {
                     job.state = JobState::Running;
                     None
                 }
@@ -271,6 +301,59 @@ impl JobBoard {
         }
         job.state = JobState::Cancelled;
         CancelOutcome::Cancelled
+    }
+
+    /// Resolves every staged cell on the board after a rollout settles.
+    ///
+    /// `accept: true` (the roll committed) promotes staged results to
+    /// `Done`, settling jobs whose last cell was waiting on the roll;
+    /// `accept: false` (the roll failed and was undone) quarantines the
+    /// results — they were computed under a config generation that never
+    /// committed — and returns the cells to `Pending` for re-dispatch
+    /// under the restored config.
+    pub fn resolve_staged(&self, accept: bool) -> StagedResolution {
+        let ids: Vec<u64> = {
+            let jobs = self.jobs.lock().expect("job board lock poisoned");
+            jobs.values()
+                .filter(|j| !j.state.is_settled() && j.has_staged())
+                .map(|j| j.id)
+                .collect()
+        };
+        let mut out = StagedResolution {
+            released: Vec::new(),
+            requeue: Vec::new(),
+            count: 0,
+        };
+        for id in ids {
+            let mut touched: Vec<Option<usize>> = Vec::new();
+            let resolve =
+                |cell: &mut CellState, index: Option<usize>, touched: &mut Vec<Option<usize>>| {
+                    if let CellState::Staged(doc) = cell {
+                        touched.push(index);
+                        *cell = if accept {
+                            CellState::Done(doc.clone())
+                        } else {
+                            CellState::Pending
+                        };
+                    }
+                };
+            let released = self.update(id, |job| match &mut job.kind {
+                FleetJobKind::Single { cell, .. } => resolve(cell, None, &mut touched),
+                FleetJobKind::Batch { cells, .. } => {
+                    for (i, cell) in cells.iter_mut().enumerate() {
+                        resolve(cell, Some(i), &mut touched);
+                    }
+                }
+            });
+            out.count += touched.len() as u64;
+            if accept {
+                out.released
+                    .extend(released.map(|(client, class)| (id, client, class)));
+            } else {
+                out.requeue.extend(touched.into_iter().map(|c| (id, c)));
+            }
+        }
+        out
     }
 
     /// Snapshot of every unsettled job's ID (the poller's work list).
@@ -421,6 +504,82 @@ mod tests {
         let job = board.get(id2).expect("job");
         assert_eq!(job.state, JobState::Failed);
         assert_eq!(job.error.as_deref(), Some("no such workload"));
+    }
+
+    #[test]
+    fn staged_cells_hold_the_gather_until_the_roll_commits() {
+        let grid = tiny_grid();
+        let plan = BatchPlan::scatter(&grid, 2);
+        let n = plan.cells.len();
+        let board = JobBoard::new();
+        let id = board.admit(
+            JobSpec::Grid(grid),
+            "dana".into(),
+            Class::Batch,
+            FleetJobKind::Batch {
+                plan,
+                cells: vec![CellState::Pending; n],
+            },
+        );
+
+        // One cell settles normally; the other finished on a mid-rollout
+        // shard, so its result is staged. The batch must NOT gather yet.
+        let settled = board.update(id, |j| {
+            if let FleetJobKind::Batch { cells, .. } = &mut j.kind {
+                cells[0] = CellState::Done(Json::from(0u64));
+                cells[1] = CellState::Staged(Json::from(1u64));
+            }
+        });
+        assert_eq!(settled, None, "a staged cell must not settle the batch");
+        assert_eq!(board.state(id), Some(JobState::Running));
+
+        // The roll commits: the staged result is promoted and the batch
+        // gathers exactly as if the cell had settled directly.
+        let resolution = board.resolve_staged(true);
+        assert_eq!(resolution.count, 1);
+        assert_eq!(resolution.released, vec![(id, "dana".into(), Class::Batch)]);
+        assert!(resolution.requeue.is_empty());
+        let job = board.get(id).expect("job");
+        assert_eq!(job.state, JobState::Done);
+        assert_eq!(job.result.expect("result").render(), r#"{"results":[0,1]}"#);
+    }
+
+    #[test]
+    fn rejected_staged_cells_go_back_to_pending_for_redispatch() {
+        let board = JobBoard::new();
+        let id = board.admit(
+            JobSpec::Run(RunSpec::default()),
+            "erin".into(),
+            Class::Interactive,
+            single_kind(),
+        );
+        board.update(id, |j| {
+            if let FleetJobKind::Single { cell, .. } = &mut j.kind {
+                *cell = CellState::Staged(Json::from(42u64));
+            }
+        });
+
+        // The roll failed: the staged result is quarantined and the cell
+        // returns to Pending — no quota released, job still open.
+        let resolution = board.resolve_staged(false);
+        assert_eq!(resolution.count, 1);
+        assert!(resolution.released.is_empty());
+        assert_eq!(resolution.requeue, vec![(id, None)]);
+        let job = board.get(id).expect("job");
+        assert!(!job.state.is_settled(), "{:?}", job.state);
+        assert!(
+            matches!(
+                job.kind,
+                FleetJobKind::Single {
+                    cell: CellState::Pending,
+                    ..
+                }
+            ),
+            "cell must be re-dispatchable"
+        );
+
+        // Nothing staged left: resolving again is a no-op.
+        assert_eq!(board.resolve_staged(false).count, 0);
     }
 
     #[test]

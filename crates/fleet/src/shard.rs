@@ -35,6 +35,10 @@ pub struct ShardLauncher {
     /// `None` runs the built-in baseline. Per-shard overrides during a
     /// rolling restart go through [`ShardSet::restart_with_policy`].
     pub policy_path: Option<PathBuf>,
+    /// Extra environment variables for the child process. Chaos gates use
+    /// this to scope `BARYON_CHAOS_*` fault injection to the shard
+    /// processes only, keeping the coordinator itself on clean I/O.
+    pub extra_env: Vec<(String, String)>,
 }
 
 impl ShardLauncher {
@@ -58,6 +62,9 @@ impl ShardLauncher {
             .arg(format!("--journal-dir={}", journal_dir.display()));
         if let Some(path) = policy_path {
             command.arg(format!("--policy={}", path.display()));
+        }
+        for (key, value) in &self.extra_env {
+            command.env(key, value);
         }
         let mut child = command
             .stdin(Stdio::null())
@@ -121,6 +128,11 @@ struct Shard {
     last_respawn: Option<Instant>,
     /// Crash-loop backoff: the supervisor will not respawn before this.
     backoff_until: Option<Instant>,
+    /// Quarantined shards exhausted their crash-loop budget: the
+    /// supervisor stops respawning them and the coordinator routes
+    /// around them. Only a deliberate
+    /// [`ShardSet::restart_with_policy`] brings one back.
+    quarantined: bool,
 }
 
 /// Consecutive health-probe failures before a live-but-wedged shard is
@@ -135,6 +147,20 @@ const BACKOFF_BASE_MS: u64 = 500;
 
 /// Crash-loop backoff ceiling.
 const BACKOFF_CAP_MS: u64 = 30_000;
+
+/// Default crash-loop budget: this many supervisor respawns, each within
+/// [`RESPAWN_WINDOW`] of the last, quarantine the shard. Overridable via
+/// `BARYON_FLEET_QUARANTINE_AFTER` (`0` disables quarantine entirely).
+const QUARANTINE_AFTER_DEFAULT: u32 = 8;
+
+/// The crash-loop budget from `BARYON_FLEET_QUARANTINE_AFTER`, falling
+/// back to [`QUARANTINE_AFTER_DEFAULT`] when unset or unparseable.
+fn quarantine_after_from_env() -> u32 {
+    std::env::var("BARYON_FLEET_QUARANTINE_AFTER")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(QUARANTINE_AFTER_DEFAULT)
+}
 
 /// Crash-loop backoff for the `consecutive`-th respawn of shard `index`:
 /// exponential from [`BACKOFF_BASE_MS`], capped at [`BACKOFF_CAP_MS`],
@@ -153,6 +179,17 @@ pub fn respawn_backoff(consecutive: u32, index: usize) -> Duration {
     Duration::from_millis(base + jitter)
 }
 
+/// What one [`ShardSet::restart`] attempt did.
+enum RestartOutcome {
+    /// A fresh incarnation is up.
+    Restarted,
+    /// Nothing happened (lost a race, or the respawn itself failed and
+    /// the next tick will retry).
+    Skipped,
+    /// The shard exhausted its crash-loop budget and was retired.
+    Quarantined,
+}
+
 /// The fleet's shard processes: fixed count, each supervised and restarted
 /// in place (same index, same journal directory, fresh ephemeral port).
 pub struct ShardSet {
@@ -160,6 +197,8 @@ pub struct ShardSet {
     journal_root: PathBuf,
     slots: Vec<Mutex<Shard>>,
     restarts: AtomicU64,
+    /// Crash-loop budget before a shard is quarantined (0 = never).
+    quarantine_after: u32,
 }
 
 impl ShardSet {
@@ -194,6 +233,7 @@ impl ShardSet {
                     consecutive_respawns: 0,
                     last_respawn: None,
                     backoff_until: None,
+                    quarantined: false,
                 })),
                 Err(e) => {
                     for slot in &slots {
@@ -210,6 +250,7 @@ impl ShardSet {
             journal_root: journal_root.to_path_buf(),
             slots,
             restarts: AtomicU64::new(0),
+            quarantine_after: quarantine_after_from_env(),
         })
     }
 
@@ -269,6 +310,24 @@ impl ShardSet {
             .paused
     }
 
+    /// Whether the shard has exhausted its crash-loop budget and been
+    /// taken out of rotation.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.slots[index]
+            .lock()
+            .expect("shard lock poisoned")
+            .quarantined
+    }
+
+    /// How many shards are currently quarantined. Exported as the
+    /// `fleet.shards.quarantined` gauge.
+    pub fn quarantined_count(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|slot| slot.lock().expect("shard lock poisoned").quarantined)
+            .count() as u64
+    }
+
     /// The shard's remaining crash-loop backoff in milliseconds (0 when it
     /// is not backing off). Exported as `fleet.shard<i>.respawn_backoff_ms`.
     pub fn respawn_backoff_ms(&self, index: usize) -> u64 {
@@ -294,16 +353,21 @@ impl ShardSet {
 
     /// One supervisor tick: restart exited shards, probe the rest, and
     /// kill-and-restart any shard failing [`MAX_HEALTH_FAILURES`]
-    /// consecutive probes. Returns restarts performed this tick.
-    pub fn check_and_restart(&self) -> u64 {
+    /// consecutive probes. A shard that blows through its crash-loop
+    /// budget (`BARYON_FLEET_QUARANTINE_AFTER` rapid respawns) is
+    /// quarantined instead of respawned again; the returned indices are
+    /// the shards that were newly quarantined this tick, so the caller
+    /// can fail their in-flight work over to healthy shards.
+    pub fn check_and_restart(&self) -> Vec<usize> {
         let mut restarted = 0;
+        let mut newly_quarantined = Vec::new();
         for (i, slot) in self.slots.iter().enumerate() {
             // Probe without holding the lock — a slow shard must not
             // block address lookups on the dispatch path.
             let (addr, generation, dead) = {
                 let mut shard = slot.lock().expect("shard lock poisoned");
-                if shard.paused {
-                    continue; // the rollout engine owns this shard
+                if shard.paused || shard.quarantined {
+                    continue; // owned by the rollout engine / out of rotation
                 }
                 if let Some(until) = shard.backoff_until {
                     if Instant::now() < until {
@@ -339,24 +403,46 @@ impl ShardSet {
             if !unhealthy {
                 continue;
             }
-            if self.restart(i, generation) {
-                restarted += 1;
+            match self.restart(i, generation) {
+                RestartOutcome::Restarted => restarted += 1,
+                RestartOutcome::Quarantined => newly_quarantined.push(i),
+                RestartOutcome::Skipped => {}
             }
         }
         self.restarts.fetch_add(restarted, Ordering::Relaxed);
-        restarted
+        newly_quarantined
     }
 
     /// Kills (if still alive) and respawns the shard on its journal
-    /// directory, keeping its current policy file. Returns false if
-    /// another restart got there first. Tracks crash loops: respawns
-    /// landing within [`RESPAWN_WINDOW`] of the previous one arm an
-    /// exponential backoff the supervisor honours before the next try.
-    fn restart(&self, index: usize, expected_generation: u64) -> bool {
+    /// directory, keeping its current policy file. Tracks crash loops:
+    /// respawns landing within [`RESPAWN_WINDOW`] of the previous one arm
+    /// an exponential backoff the supervisor honours before the next try,
+    /// and once they exhaust the quarantine budget the shard is retired
+    /// instead of respawned.
+    fn restart(&self, index: usize, expected_generation: u64) -> RestartOutcome {
         let policy_path = {
-            let shard = self.slots[index].lock().expect("shard lock poisoned");
+            let mut shard = self.slots[index].lock().expect("shard lock poisoned");
             if shard.generation != expected_generation {
-                return false;
+                return RestartOutcome::Skipped;
+            }
+            // Spend the crash-loop budget before paying for a spawn: if
+            // this respawn would be the one that exhausts it, retire the
+            // shard now — the coordinator re-dispatches its jobs.
+            let now = Instant::now();
+            let prospective = match shard.last_respawn {
+                Some(last) if now.duration_since(last) < RESPAWN_WINDOW => {
+                    shard.consecutive_respawns.saturating_add(1)
+                }
+                _ => 1,
+            };
+            if self.quarantine_after > 0 && prospective >= self.quarantine_after {
+                shard.quarantined = true;
+                let _ = shard.child.kill();
+                let _ = shard.child.wait();
+                eprintln!(
+                    "baryon-fleet: shard {index} quarantined after {prospective} rapid respawns"
+                );
+                return RestartOutcome::Quarantined;
             }
             shard.policy_path.clone()
         };
@@ -369,7 +455,7 @@ impl ShardSet {
                 let _ = child.kill();
                 let _ = child.wait();
             }
-            return false;
+            return RestartOutcome::Skipped;
         }
         let _ = shard.child.kill();
         let _ = shard.child.wait();
@@ -393,13 +479,13 @@ impl ShardSet {
                 shard.addr = addr;
                 shard.generation += 1;
                 shard.health_failures = 0;
-                true
+                RestartOutcome::Restarted
             }
             Err(e) => {
                 // The old child is dead and the new one would not come up;
                 // the next tick retries once the backoff elapses.
                 eprintln!("baryon-fleet: shard {index} restart failed: {e}");
-                false
+                RestartOutcome::Skipped
             }
         }
     }
@@ -425,11 +511,21 @@ impl ShardSet {
             .connect_timeout(Duration::from_millis(500))
             .read_timeout(Duration::from_secs(5))
             .request("POST", "/v1/shutdown", None);
-        // Reap the old incarnation before the new one replays the shared
-        // journal directory — two writers on one journal is corruption.
+        // Reap the old incarnation before touching the shared journal
+        // directory — two writers on one journal is corruption.
         let _ = shard.child.kill();
         let _ = shard.child.wait();
         let dir = self.journal_root.join(format!("shard{index}"));
+        // A rolling restart is a *planned* restart: the coordinator
+        // drained the shard first, so every in-flight cell is already
+        // accounted for upstream (landed, staged, or requeued). Start the
+        // new incarnation on a clean journal — replaying the old one
+        // would resurrect and re-run jobs the fleet already owns, and a
+        // resurrected job can share an id with a fresh dispatch. Crash
+        // respawns (`restart`) keep the journal: replay is exactly right
+        // when nobody drained the shard.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir)?;
         let (child, addr) = self.launcher.spawn(&dir, policy_path.as_deref())?;
         shard.child = child;
         shard.addr = addr;
@@ -439,6 +535,9 @@ impl ShardSet {
         shard.consecutive_respawns = 0;
         shard.last_respawn = None;
         shard.backoff_until = None;
+        // A deliberate operator-driven restart is the one path back into
+        // rotation for a quarantined shard.
+        shard.quarantined = false;
         Ok(())
     }
 
@@ -516,6 +615,7 @@ mod tests {
             workers: 1,
             queue_depth: 4,
             policy_path: None,
+            extra_env: Vec::new(),
         };
         let dir = std::env::temp_dir().join("baryon-fleet-spawn-test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
@@ -523,6 +623,14 @@ mod tests {
             .spawn(&dir, None)
             .expect_err("no ADDR line ever comes");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn quarantine_budget_reads_env_with_a_sane_default() {
+        // No test in this binary sets the variable, so the default shows.
+        assert_eq!(quarantine_after_from_env(), QUARANTINE_AFTER_DEFAULT);
+        // One crash must never retire a shard.
+        const _: () = assert!(QUARANTINE_AFTER_DEFAULT > 1);
     }
 
     #[test]

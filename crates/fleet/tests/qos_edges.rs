@@ -19,6 +19,7 @@ fn launcher(workers: usize, queue_depth: usize) -> ShardLauncher {
         workers,
         queue_depth,
         policy_path: None,
+        extra_env: Vec::new(),
     }
 }
 

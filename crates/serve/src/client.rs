@@ -32,8 +32,14 @@ pub enum ClientError {
     /// The connection succeeded but the response did not arrive within
     /// the read timeout.
     Timeout(io::Error),
-    /// Any other I/O or parse failure after connecting (reset mid-body,
-    /// malformed response, ...).
+    /// The connection died after the request went out — reset, aborted,
+    /// or closed mid-response-body. The server may or may not have
+    /// processed the request, so this is retryable for idempotent (GET)
+    /// requests only; [`Client::request_with_retry`] honours exactly
+    /// that.
+    Interrupted(io::Error),
+    /// Any other I/O or parse failure after connecting (malformed
+    /// response, ...).
     Io(io::Error),
     /// The server answered with an error envelope; the HTTP status plus
     /// the decoded `{code, message}`.
@@ -62,6 +68,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Connect(e) => write!(f, "connect failed: {e}"),
             ClientError::Timeout(e) => write!(f, "response timed out: {e}"),
+            ClientError::Interrupted(e) => write!(f, "connection broke mid-response: {e}"),
             ClientError::Io(e) => write!(f, "request failed: {e}"),
             ClientError::Api { status, error } => write!(f, "server said {status} {error}"),
         }
@@ -71,7 +78,10 @@ impl std::fmt::Display for ClientError {
 impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ClientError::Connect(e) | ClientError::Timeout(e) | ClientError::Io(e) => Some(e),
+            ClientError::Connect(e)
+            | ClientError::Timeout(e)
+            | ClientError::Interrupted(e)
+            | ClientError::Io(e) => Some(e),
             ClientError::Api { error, .. } => Some(error),
         }
     }
@@ -80,7 +90,10 @@ impl std::error::Error for ClientError {
 impl From<ClientError> for io::Error {
     fn from(e: ClientError) -> io::Error {
         match e {
-            ClientError::Connect(e) | ClientError::Timeout(e) | ClientError::Io(e) => e,
+            ClientError::Connect(e)
+            | ClientError::Timeout(e)
+            | ClientError::Interrupted(e)
+            | ClientError::Io(e) => e,
             ClientError::Api { .. } => io::Error::other(e.to_string()),
         }
     }
@@ -161,7 +174,9 @@ impl Client {
     ///
     /// [`ClientError::Connect`] when the TCP connect fails or exceeds the
     /// connect timeout, [`ClientError::Timeout`] when the response does
-    /// not arrive within the read timeout, [`ClientError::Io`] otherwise.
+    /// not arrive within the read timeout, [`ClientError::Interrupted`]
+    /// when the connection resets or closes mid-response,
+    /// [`ClientError::Io`] otherwise.
     pub fn request(
         &self,
         method: &str,
@@ -184,18 +199,7 @@ impl Client {
             writer.flush()?;
             read_response(&mut BufReader::new(&stream))
         };
-        exchange().map_err(|e| {
-            // Both names appear in the wild for a read-timeout errno
-            // (WouldBlock on Unix, TimedOut on Windows).
-            if matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ) {
-                ClientError::Timeout(e)
-            } else {
-                ClientError::Io(e)
-            }
-        })
+        exchange().map_err(typed_io_error)
     }
 
     /// Liveness probe against `GET /v1/healthz` — the cheap endpoint that
@@ -328,24 +332,19 @@ impl Client {
         match exchange() {
             Ok(Ok(())) => Ok(()),
             Ok(Err(response)) => response.into_result().map(|_| ()),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                Err(ClientError::Timeout(e))
-            }
-            Err(e) => Err(ClientError::Io(e)),
+            Err(e) => Err(typed_io_error(e)),
         }
     }
 
     /// Like [`Client::request`], but retries on `503` responses and read
     /// timeouts with exponential backoff and deterministic jitter. A `503`
     /// carrying `Retry-After: <seconds>` sleeps that long instead of the
-    /// backoff (both capped at 10 s). Connect, I/O, and parse errors are
-    /// returned immediately — retrying cannot fix a dead server, and
-    /// POSTs must not be replayed onto a connection that broke mid-body.
+    /// backoff (both capped at 10 s). An interrupted response
+    /// ([`ClientError::Interrupted`] — reset or close mid-body) is retried
+    /// for `GET` only: the server may have already processed the request,
+    /// and replaying a `POST` could apply its effect twice. Connect, I/O,
+    /// and parse errors are returned immediately — retrying cannot fix a
+    /// dead server.
     ///
     /// # Errors
     ///
@@ -366,12 +365,32 @@ impl Client {
                     .map(Duration::from_secs),
                 Ok(r) => return Ok(r),
                 Err(ClientError::Timeout(_)) if attempt < self.retries => None,
+                Err(ClientError::Interrupted(_)) if method == "GET" && attempt < self.retries => {
+                    None
+                }
                 Err(e) => return Err(e),
             };
             let delay = wait.unwrap_or_else(|| backoff_delay(self.backoff_base, attempt));
             std::thread::sleep(delay.min(BACKOFF_CAP) + jitter(self.addr, attempt));
             attempt += 1;
         }
+    }
+}
+
+/// Classifies an I/O failure that happened after the connect succeeded.
+///
+/// Both `WouldBlock` and `TimedOut` appear in the wild for a read-timeout
+/// errno (WouldBlock on Unix, TimedOut on Windows). Reset/abort/EOF kinds
+/// mean the peer dropped the connection after the request went out — the
+/// retryable-for-GET [`ClientError::Interrupted`] case.
+fn typed_io_error(e: io::Error) -> ClientError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout(e),
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => ClientError::Interrupted(e),
+        _ => ClientError::Io(e),
     }
 }
 
@@ -633,6 +652,50 @@ mod tests {
             .expect("second attempt succeeds");
         assert_eq!(r.status, 200);
         assert_eq!(r.body, "ok");
+    }
+
+    #[test]
+    fn reset_mid_body_is_a_typed_interrupted_error() {
+        // The harness promises 10 body bytes, sends 3, and drops the
+        // connection — the client must type this as Interrupted, not as
+        // a generic I/O or parse failure.
+        let addr = canned_server(&["HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nhel"]);
+        let err = Client::new(addr)
+            .request("GET", "/v1/metrics", None)
+            .expect_err("body cut short mid-flight");
+        assert!(matches!(err, ClientError::Interrupted(_)), "{err:?}");
+    }
+
+    #[test]
+    fn get_retry_recovers_from_a_mid_body_reset() {
+        let addr = canned_server(&[
+            "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nhel",
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+        ]);
+        let r = Client::new(addr)
+            .retries(2)
+            .backoff_base(Duration::from_millis(1))
+            .request_with_retry("GET", "/v1/metrics", None)
+            .expect("second attempt completes");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "ok");
+    }
+
+    #[test]
+    fn post_is_never_replayed_after_an_interrupted_response() {
+        // Same two-act harness as above, but a POST: the first (broken)
+        // response must surface as Interrupted without touching the
+        // second connection — replaying could apply the effect twice.
+        let addr = canned_server(&[
+            "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nhel",
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+        ]);
+        let err = Client::new(addr)
+            .retries(2)
+            .backoff_base(Duration::from_millis(1))
+            .request_with_retry("POST", "/v1/jobs", Some("{}"))
+            .expect_err("POST must not retry an interrupted exchange");
+        assert!(matches!(err, ClientError::Interrupted(_)), "{err:?}");
     }
 
     #[test]

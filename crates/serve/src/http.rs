@@ -7,6 +7,8 @@
 //! documents are small JSON bodies over loopback or a trusted network.
 
 use crate::error::{ApiError, ErrorCode};
+use baryon_compress::crc::crc32;
+use baryon_sim::faultfs;
 use baryon_sim::json::Json;
 use std::io::{self, BufRead, Read, Write};
 
@@ -17,6 +19,11 @@ pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// Largest accepted request body (job specs are tiny; result documents
 /// only ever travel in responses).
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// The body-integrity header every [`Response`] carries: the CRC-32 of
+/// the body, in lower-case fixed-width hex. Peers that know the header
+/// (the fleet coordinator) verify it; everyone else ignores it.
+pub const CRC_HEADER: &str = "x-baryon-crc";
 
 /// A parsed request: method, path, lower-cased headers, raw body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,12 +183,20 @@ impl Response {
 
     /// Serializes the response; `close` controls the `Connection` header.
     ///
+    /// Every response carries an [`CRC_HEADER`] integrity header — the
+    /// CRC-32 of the body as rendered. It is stamped *before* the chaos
+    /// layer's response corruption fires (see
+    /// [`baryon_sim::faultfs::corrupt_response`]), which is exactly what
+    /// lets a coordinator detect a lying shard instead of gathering
+    /// garbage.
+    ///
     /// # Errors
     ///
     /// Propagates writer errors.
     pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+        let crc = crc32(self.body.as_bytes());
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{CRC_HEADER}: {crc:08x}\r\n",
             self.status,
             reason(self.status),
             self.body.len(),
@@ -195,7 +210,14 @@ impl Response {
         }
         head.push_str("\r\n");
         w.write_all(head.as_bytes())?;
-        w.write_all(self.body.as_bytes())?;
+        if faultfs::global().is_some() {
+            // The lying shard: flip a body byte after the CRC was stamped.
+            let mut body = self.body.clone().into_bytes();
+            let _ = faultfs::corrupt_response(&mut body);
+            w.write_all(&body)?;
+        } else {
+            w.write_all(self.body.as_bytes())?;
+        }
         w.flush()
     }
 }
@@ -428,6 +450,21 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn responses_carry_a_matching_body_crc() {
+        let mut out = Vec::new();
+        Response::json(200, &Json::obj([("ok", Json::Bool(true))]))
+            .write_to(&mut out, true)
+            .expect("vec write");
+        let text = String::from_utf8(out).expect("ascii");
+        let stamped = text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{CRC_HEADER}: ")))
+            .expect("integrity header present");
+        let body = text.split("\r\n\r\n").nth(1).expect("body");
+        assert_eq!(stamped, format!("{:08x}", crc32(body.as_bytes())));
     }
 
     #[test]

@@ -23,10 +23,11 @@
 //! jobs are re-installed with their journaled outcome.
 
 use baryon_compress::crc::crc32;
+use baryon_sim::faultfs;
 use baryon_sim::wire::{Reader, WireError, Writer};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write as _};
+use std::io;
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -165,11 +166,15 @@ impl Journal {
     }
 
     /// Appends one record and syncs it to disk. Once this returns, the
-    /// event survives a crash.
+    /// event survives a crash. The write and sync go through
+    /// [`baryon_sim::faultfs`], so chaos runs inject torn appends, silent
+    /// record corruption, and fsync failures exactly here — the CRC
+    /// framing plus [`Journal::replay`]'s stop-at-first-bad-frame rule
+    /// are what keep those faults from ever mis-replaying.
     ///
     /// # Errors
     ///
-    /// Propagates write and sync failures.
+    /// Propagates write and sync failures (real or injected).
     pub fn append(&self, event: &JournalEvent) -> io::Result<()> {
         let payload = event.encode();
         let mut record = Vec::with_capacity(8 + payload.len());
@@ -177,8 +182,8 @@ impl Journal {
         record.extend_from_slice(&crc32(&payload).to_le_bytes());
         record.extend_from_slice(&payload);
         let mut file = self.file.lock().expect("journal lock poisoned");
-        file.write_all(&record)?;
-        file.sync_data()
+        faultfs::append(&mut file, &record)?;
+        faultfs::sync_data(&file)
     }
 
     /// Replays every committed record of the journal in `dir`, in append
@@ -456,6 +461,57 @@ mod tests {
         fs::write(&path, &damaged).expect("write damaged");
         let back = Journal::replay(&dir).expect("replay");
         assert_eq!(back, events()[..1]);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// The chaos-PR extension of the truncation property: flip one byte at
+    /// *every* offset of the journal (two masks — a full inversion and a
+    /// single-bit flip). Replay must recover exactly the records before
+    /// the damaged frame — a typed prefix, never a panic, never a
+    /// mis-replayed (altered) record — and recovery over the survivors
+    /// must be panic-free too.
+    #[test]
+    fn single_byte_corruption_at_every_offset_recovers_a_prefix() {
+        let dir = temp_dir("flip-everywhere");
+        let journal = Journal::open(&dir).expect("open");
+        let all = events();
+        for event in &all {
+            journal.append(event).expect("append");
+        }
+        drop(journal);
+        let path = dir.join(JOURNAL_FILE);
+        let full = fs::read(&path).expect("read journal");
+
+        // Record index covering each byte offset, from the frame walk.
+        let mut record_of = vec![0usize; full.len()];
+        let mut pos = 0usize;
+        let mut index = 0usize;
+        while pos < full.len() {
+            let len = u32::from_le_bytes(full[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            record_of[pos..pos + 8 + len].fill(index);
+            pos += 8 + len;
+            index += 1;
+        }
+        assert_eq!(index, all.len(), "frame walk covers every record");
+
+        for offset in 0..full.len() {
+            for mask in [0xffu8, 0x01] {
+                let mut damaged = full.clone();
+                damaged[offset] ^= mask;
+                fs::write(&path, &damaged).expect("write damaged");
+                let back = Journal::replay(&dir).expect("replay never errors");
+                // CRC framing guarantees the damaged frame (and therefore
+                // everything after it) is dropped whole, and everything
+                // before it survives byte-identically.
+                assert_eq!(
+                    back,
+                    all[..record_of[offset]],
+                    "flip {mask:#04x} at byte {offset} mis-replayed"
+                );
+                let (jobs, _) = recover(&back);
+                assert!(jobs.len() <= 3, "recovery invented jobs");
+            }
+        }
         fs::remove_dir_all(&dir).expect("cleanup");
     }
 

@@ -105,6 +105,7 @@ pub struct Metrics {
     cancelled: AtomicU64,
     recovered: AtomicU64,
     runs_executed: AtomicU64,
+    ckpt_quarantined: AtomicU64,
     busy: AtomicUsize,
     latency_us: Mutex<Histogram>,
 }
@@ -157,6 +158,10 @@ impl Metrics {
         reg.set_counter(
             "serve.runs.executed",
             self.runs_executed.load(Ordering::Relaxed),
+        );
+        reg.set_counter(
+            "serve.ckpt.quarantined",
+            self.ckpt_quarantined.load(Ordering::Relaxed),
         );
         reg.set_counter("serve.queue.depth", queue_depth as u64);
         let busy = self.busy.load(Ordering::Relaxed);
@@ -460,15 +465,46 @@ fn execute_run(shared: &Shared, id: u64, run: &RunSpec) -> Result<Json, String> 
         .as_ref()
         .map(|dir| dir.join(format!("ckpt-{id}")));
     if let Some(dir) = &ckpt_dir {
-        if let Ok(Some(path)) = Checkpoint::latest_in(dir, CHECKPOINT_PREFIX) {
-            if let Ok((resumed_spec, result)) = resume_from_with(&path, shared.policy.as_ref()) {
-                if resumed_spec == *run {
+        // The fallback ladder: newest checkpoint → older rotations → cold
+        // re-run (the journal already re-admitted this job). A rung that
+        // fails validation or resume is quarantined (renamed `.bad`,
+        // counted in `serve.ckpt.quarantined`) and the descent continues;
+        // a rotten checkpoint costs replay time, never the job.
+        // (An unreadable directory falls straight through to a cold run.)
+        while let Ok(scan) = Checkpoint::latest_valid_in(dir, CHECKPOINT_PREFIX) {
+            if scan.quarantined > 0 {
+                shared
+                    .metrics
+                    .ckpt_quarantined
+                    .fetch_add(scan.quarantined, Ordering::Relaxed);
+            }
+            let Some(path) = scan.newest_valid else {
+                break; // ladder exhausted → cold run
+            };
+            match resume_from_with(&path, shared.policy.as_ref()) {
+                Ok((resumed_spec, result)) if resumed_spec == *run => {
                     let _ = std::fs::remove_dir_all(dir);
                     return Ok(result.to_json());
                 }
+                // A stale checkpoint of some other spec: this directory
+                // belonged to a different job; run fresh.
+                Ok(_) => break,
+                // Framed correctly yet unresumable (or re-read under
+                // chaos): quarantine this rung too and descend.
+                Err(_) => {
+                    shared
+                        .metrics
+                        .ckpt_quarantined
+                        .fetch_add(1, Ordering::Relaxed);
+                    let bad = path.with_file_name(format!(
+                        "{}.bad",
+                        path.file_name().and_then(|n| n.to_str()).unwrap_or("ckpt")
+                    ));
+                    if std::fs::rename(&path, &bad).is_err() {
+                        break; // cannot descend safely → cold run
+                    }
+                }
             }
-            // A stale or undecodable checkpoint falls through to a fresh
-            // run.
         }
     }
     let result = run.execute_observed_with(
@@ -958,6 +994,7 @@ mod tests {
         assert_eq!(
             counters,
             [
+                "serve.ckpt.quarantined",
                 "serve.http.requests",
                 "serve.job_latency.count",
                 "serve.job_latency.p50_us",

@@ -7,6 +7,8 @@
 //!
 //! * [`Cycle`] and time conversion helpers,
 //! * a deterministic, splittable random number generator ([`rng::SimRng`]),
+//! * a seeded fault-injecting file I/O layer ([`faultfs`]) the durability
+//!   code (checkpoints, journals) routes through,
 //! * a Zipfian sampler used by the YCSB-style workloads ([`zipf::Zipfian`]),
 //! * the unified telemetry registry ([`telemetry::Registry`]) every
 //!   component publishes counters, gauges and span timings into,
@@ -26,6 +28,7 @@
 //! ```
 
 pub mod check;
+pub mod faultfs;
 pub mod flatmap;
 pub mod histogram;
 pub mod json;

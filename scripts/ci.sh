@@ -79,6 +79,21 @@ cargo run --release -p baryon-fleet --bin fleet_gate --offline
 echo "==> fleet config-rollout auto-rollback gate (3 shards)"
 cargo run --release -p baryon-fleet --bin rollout_gate --offline
 
+# Fleet chaos gate: the degradation ladder under aggressive seeded fault
+# injection on every shard (torn/failed journal appends, silent
+# post-write corruption, read flips, fsync failures, post-CRC response
+# flips) plus a forced crash loop. One shard must exhaust its crash-loop
+# budget and be quarantined with singles failing over, rotten checkpoint
+# rotations must be quarantined down the fallback ladder to a cold run,
+# and an 8-cell sweep over the degraded fleet must lose zero jobs and
+# gather byte-identical to a fault-free run. To reproduce a failure
+# exactly, re-run with the seed and rates it printed, e.g.
+#   BARYON_CHAOS_SEED=42 BARYON_CHAOS_CORRUPT_PPM=20000 ... chaos_gate
+# (every BARYON_CHAOS_*_PPM knob honors the environment; all default off
+# outside this gate, so nothing else in CI sees injected faults).
+echo "==> fleet chaos gate (hostile disk + lying shard, 3 shards)"
+cargo run --release -p baryon-fleet --bin chaos_gate --offline
+
 # Throughput + telemetry overhead gate: the sim-throughput harness runs
 # a small workload matrix twice (spans off / spans on) and fails when
 # enabling telemetry costs more than 5% aggregate wall-clock (override
